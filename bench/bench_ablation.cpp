@@ -1,0 +1,118 @@
+// Ablation study (beyond the paper): which parts of RS-GDE3's design
+// matter? Compares, on the mm tuning problem for both machines:
+//   * RS-GDE3 (the paper's algorithm)
+//   * plain GDE3 (rough-set reduction disabled)
+//   * NSGA-II (different evolutionary machinery, same budget regime)
+// and sweeps the population size (the paper fixes 30 citing prior work).
+#include "bench/common.h"
+
+#include "core/nsga2.h"
+#include "support/stats.h"
+
+#include <iostream>
+
+using namespace motune;
+
+namespace {
+
+struct Variant {
+  std::string label;
+  std::vector<opt::OptResult> runs;
+};
+
+} // namespace
+
+int main() {
+  std::cout << "=== Ablation: RS-GDE3 vs plain GDE3 vs NSGA-II, and "
+               "population-size sensitivity (mm) ===\n";
+
+  for (const auto& m : bench::paperMachines()) {
+    tuning::KernelTuningProblem problem(kernels::kernelByName("mm"), m);
+    runtime::ThreadPool pool;
+
+    std::cout << "\n--- " << m.name << " (means of 5 runs) ---\n";
+    support::TextTable table;
+    table.setHeader({"variant", "E", "|S|", "V(S)"});
+
+    std::vector<Variant> variants;
+    // Every variant gets the same parallelism-aware refinement (counted in
+    // E) so the comparison isolates the search strategy itself.
+    auto sweep = [&](const char* label, auto makeAndRun) {
+      Variant v;
+      v.label = label;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        opt::OptResult r = makeAndRun(seed);
+        autotune::threadSweepRefinement(problem, r);
+        v.runs.push_back(std::move(r));
+      }
+      variants.push_back(std::move(v));
+    };
+
+    sweep("RS-GDE3 (paper)", [&](std::uint64_t seed) {
+      opt::RSGDE3Options o;
+      o.gde3.seed = seed;
+      return opt::RSGDE3(problem, pool, o).run();
+    });
+    sweep("GDE3, no reduction", [&](std::uint64_t seed) {
+      opt::RSGDE3Options o;
+      o.gde3.seed = seed;
+      o.reductionEnabled = false;
+      return opt::RSGDE3(problem, pool, o).run();
+    });
+    sweep("NSGA-II", [&](std::uint64_t seed) {
+      opt::NSGA2Options o;
+      o.seed = seed;
+      o.noImproveLimit = 6;
+      return opt::NSGA2(problem, pool, o).run();
+    });
+    sweep("RS-GDE3, pop 10", [&](std::uint64_t seed) {
+      opt::RSGDE3Options o;
+      o.gde3.seed = seed;
+      o.gde3.population = 10;
+      return opt::RSGDE3(problem, pool, o).run();
+    });
+    sweep("RS-GDE3, pop 60", [&](std::uint64_t seed) {
+      opt::RSGDE3Options o;
+      o.gde3.seed = seed;
+      o.gde3.population = 60;
+      return opt::RSGDE3(problem, pool, o).run();
+    });
+    sweep("RS-GDE3, no immigrants", [&](std::uint64_t seed) {
+      opt::RSGDE3Options o;
+      o.gde3.seed = seed;
+      o.gde3.immigrantsOnStagnation = 0;
+      return opt::RSGDE3(problem, pool, o).run();
+    });
+    sweep("RS-GDE3, strict paper stop (3)", [&](std::uint64_t seed) {
+      opt::RSGDE3Options o;
+      o.gde3.seed = seed;
+      o.gde3.noImproveLimit = 3;
+      return opt::RSGDE3(problem, pool, o).run();
+    });
+
+    // Joint normalization across every run of every variant.
+    std::vector<const std::vector<opt::Individual>*> allFronts;
+    for (const auto& v : variants)
+      for (const auto& r : v.runs) allFronts.push_back(&r.front);
+    const auto scores = bench::scoreFrontsJointly(allFronts);
+
+    std::size_t idx = 0;
+    for (const auto& v : variants) {
+      std::vector<double> es, ss, vs;
+      for (const auto& r : v.runs) {
+        es.push_back(static_cast<double>(r.evaluations));
+        ss.push_back(static_cast<double>(r.front.size()));
+        vs.push_back(scores[idx++]);
+      }
+      table.addRow({v.label, support::fmt(support::mean(es), 0),
+                    support::fmt(support::mean(ss), 1),
+                    support::fmt(support::mean(vs), 3)});
+    }
+    std::cout << table.render();
+  }
+
+  std::cout << "\nReading: the reduction mainly buys evaluation efficiency; "
+               "the elite-transfer immigrants buy front coverage; "
+               "population 30 (the paper's choice) balances both.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces paper Fig. 2: relative execution time of (t_i, t_j) tile-size
+// combinations (t_k fixed) for different thread counts — the heat maps
+// showing that the optimal tile region MOVES with the thread count, the
+// observation motivating parallelism-aware multi-versioning.
+#include "bench/common.h"
+
+#include <iostream>
+#include <limits>
+
+using namespace motune;
+
+int main() {
+  const machine::MachineModel m = machine::westmere();
+  tuning::KernelTuningProblem problem(kernels::kernelByName("mm"), m);
+  const std::int64_t tk = 8; // fixed, as in the paper's figure
+
+  std::cout << "=== Fig. 2: relative execution time over (t_i, t_j), "
+               "t_k = "
+            << tk << ", mm on " << m.name
+            << " ===\n(darker = faster; '@' fastest decile ... ' ' slowest; "
+               "'#' marks the minimum)\n";
+
+  const auto vals = opt::geometricValues(4, 700, 18);
+  const char shades[] = {'@', '%', '+', '=', '-', ':', '.', ' '};
+
+  for (int threads : {1, 10, 40}) {
+    std::vector<std::vector<double>> t(vals.size(),
+                                       std::vector<double>(vals.size()));
+    double tMin = std::numeric_limits<double>::infinity();
+    double tMax = 0.0;
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < vals.size(); ++i)
+      for (std::size_t j = 0; j < vals.size(); ++j) {
+        t[i][j] = problem.evaluate({vals[i], vals[j], tk, threads})[0];
+        if (t[i][j] < tMin) {
+          tMin = t[i][j];
+          bi = i;
+          bj = j;
+        }
+        tMax = std::max(tMax, t[i][j]);
+      }
+
+    std::cout << "\n--- " << threads << " thread(s): fastest " << tMin
+              << " s at (t_i, t_j) = (" << vals[bi] << ", " << vals[bj]
+              << "), slowest " << support::fmt(tMax / tMin, 1)
+              << "x slower ---\n";
+    std::cout << "     t_j:";
+    for (std::size_t j = 0; j < vals.size(); j += 3)
+      printf("%5ld", static_cast<long>(vals[j]));
+    std::cout << "\n";
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      printf("t_i %4ld |", static_cast<long>(vals[i]));
+      for (std::size_t j = 0; j < vals.size(); ++j) {
+        // Shade by time relative to this map's own min (log-ish bands).
+        const double rel = t[i][j] / tMin;
+        std::size_t band =
+            rel < 1.05 ? 0
+            : rel < 1.15 ? 1
+            : rel < 1.3  ? 2
+            : rel < 1.6  ? 3
+            : rel < 2.2  ? 4
+            : rel < 3.5  ? 5
+            : rel < 6.0  ? 6
+                         : 7;
+        char c = shades[band];
+        if (i == bi && j == bj) c = '#';
+        std::cout << c;
+      }
+      std::cout << "|\n";
+    }
+  }
+
+  std::cout << "\nThe fast ('@') region shifts and shrinks as threads grow "
+               "(shared L3 per thread shrinks)\n— the same qualitative "
+               "pattern as the paper's heat maps.\n";
+  return 0;
+}

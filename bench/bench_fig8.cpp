@@ -1,0 +1,74 @@
+// Reproduces paper Fig. 8: execution time vs. resource usage of all
+// brute-force-evaluated mm configurations, grouped by thread count. Each
+// thread count forms one trajectory; the globally non-dominated tips of
+// the trajectories form the Pareto front the static optimizer targets.
+#include "bench/common.h"
+
+#include <algorithm>
+#include <iostream>
+
+using namespace motune;
+
+int main() {
+  std::cout << "=== Fig. 8: execution time vs. resource usage per thread "
+               "count (mm, brute force) ===\n";
+
+  for (const auto& m : bench::paperMachines()) {
+    tuning::KernelTuningProblem problem(kernels::kernelByName("mm"), m);
+    const auto counts = machine::evaluatedThreadCounts(m);
+
+    runtime::ThreadPool pool;
+    opt::GridSearch grid(problem, pool, bench::paperGrid(problem));
+    const opt::OptResult bf = grid.run();
+
+    std::cout << "\n--- " << m.name << " ---\n";
+    support::TextTable table;
+    table.setHeader({"threads", "min time", "median time", "max time",
+                     "min resources", "resources@min-time", "tip on front?"});
+
+    // The Pareto front over everything (the "globally non-dominated tips").
+    const auto front = bf.front;
+    auto onFront = [&](double seconds, int threads) {
+      for (const auto& ind : front)
+        if (static_cast<int>(ind.config.back()) == threads &&
+            ind.objectives[0] <= seconds * (1.0 + 1e-12))
+          return true;
+      return false;
+    };
+
+    for (int p : counts) {
+      std::vector<double> times;
+      double minRes = std::numeric_limits<double>::infinity();
+      for (const auto& ind : bf.population) {
+        if (static_cast<int>(ind.config.back()) != p) continue;
+        times.push_back(ind.objectives[0]);
+        minRes = std::min(minRes, ind.objectives[1]);
+      }
+      std::sort(times.begin(), times.end());
+      const double tMin = times.front();
+      table.addRow({std::to_string(p), support::fmtSeconds(tMin),
+                    support::fmtSeconds(times[times.size() / 2]),
+                    support::fmtSeconds(times.back()),
+                    support::fmt(minRes, 3) + " core-s",
+                    support::fmt(tMin * p, 3) + " core-s",
+                    onFront(tMin, p) ? "yes" : "no"});
+    }
+    std::cout << table.render();
+
+    std::cout << "Pareto front (the tips, time-sorted):\n";
+    std::vector<opt::Individual> sorted = front;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) {
+                return a.objectives[0] < b.objectives[0];
+              });
+    for (const auto& ind : sorted)
+      std::cout << "  p=" << ind.config.back() << " tiles="
+                << bench::tilesStr(ind.config, 3) << "  time="
+                << support::fmtSeconds(ind.objectives[0]) << "  resources="
+                << support::fmt(ind.objectives[1], 3) << " core-s\n";
+  }
+  std::cout << "\nAs in the paper: every evaluated thread count contributes "
+               "its fastest variant as one tip of the front; higher thread "
+               "counts buy time for resources.\n";
+  return 0;
+}

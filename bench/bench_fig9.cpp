@@ -1,0 +1,102 @@
+// Reproduces paper Fig. 9: the Pareto fronts obtained by brute force,
+// random search (equal budget to RS-GDE3) and RS-GDE3 on the mm kernel,
+// for both machines — including an ASCII rendering of the fronts in
+// (time, resources) space.
+#include "bench/common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+using namespace motune;
+
+namespace {
+
+void plotFronts(const std::vector<std::pair<char, const std::vector<opt::Individual>*>>& fronts,
+                double tMax, double rMin, double rMax) {
+  const int W = 72, H = 24;
+  std::vector<std::string> canvas(H, std::string(W, ' '));
+  for (const auto& [mark, front] : fronts) {
+    for (const auto& ind : *front) {
+      const double t = ind.objectives[0];
+      const double r = ind.objectives[1];
+      if (t > tMax || r > rMax) continue;
+      const int x = std::min(W - 1, static_cast<int>(t / tMax * (W - 1)));
+      const int y =
+          std::min(H - 1, static_cast<int>((r - rMin) / (rMax - rMin) *
+                                           (H - 1)));
+      canvas[static_cast<std::size_t>(H - 1 - y)][static_cast<std::size_t>(
+          x)] = mark;
+    }
+  }
+  printf("resources\n");
+  for (int row = 0; row < H; ++row) {
+    const double r = rMax - (rMax - rMin) * row / (H - 1);
+    printf("%7.2f |%s\n", r, canvas[static_cast<std::size_t>(row)].c_str());
+  }
+  printf("        +%s> time (0 .. %.2fs)\n", std::string(W, '-').c_str(),
+         tMax);
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== Fig. 9: Pareto fronts computed by different "
+               "optimization algorithms (mm) ===\n";
+
+  for (const auto& m : bench::paperMachines()) {
+    tuning::KernelTuningProblem problem(kernels::kernelByName("mm"), m);
+    runtime::ThreadPool pool;
+
+    opt::GridSearch grid(problem, pool, bench::paperGrid(problem));
+    const opt::OptResult bf = grid.run();
+
+    const opt::OptResult rs = bench::runRSGDE3(problem, pool, /*seed=*/11);
+
+    opt::RandomSearch random(problem, pool, {rs.evaluations, 11, true});
+    const opt::OptResult rnd = random.run();
+
+    std::cout << "\n--- " << m.name << " ---\n";
+    support::TextTable table;
+    table.setHeader({"strategy", "E", "|S|", "V(S)", "fastest",
+                     "most efficient"});
+    const auto scores =
+        bench::scoreFrontsJointly({&bf.front, &rnd.front, &rs.front});
+    auto addRow = [&](const char* name, const opt::OptResult& r,
+                      double score) {
+      double tBest = std::numeric_limits<double>::infinity();
+      double rBest = std::numeric_limits<double>::infinity();
+      for (const auto& ind : r.front) {
+        tBest = std::min(tBest, ind.objectives[0]);
+        rBest = std::min(rBest, ind.objectives[1]);
+      }
+      table.addRow({name, std::to_string(r.evaluations),
+                    std::to_string(r.front.size()),
+                    support::fmt(score, 3), support::fmtSeconds(tBest),
+                    support::fmt(rBest, 3) + " core-s"});
+    };
+    addRow("brute force", bf, scores[0]);
+    addRow("random", rnd, scores[1]);
+    addRow("RS-GDE3", rs, scores[2]);
+    std::cout << table.render();
+
+    // Plot window sized by the union of brute-force and random fronts.
+    double tMax = 0.0, rMin = 1e300, rMax = 0.0;
+    for (const auto* res : {&bf, &rnd, &rs}) {
+      for (const auto& ind : res->front) {
+        tMax = std::max(tMax, ind.objectives[0]);
+        rMin = std::min(rMin, ind.objectives[1]);
+        rMax = std::max(rMax, ind.objectives[1]);
+      }
+    }
+    std::cout << "front plot: B = brute force, R = random, G = RS-GDE3 "
+                 "(later marks overdraw earlier)\n";
+    plotFronts({{'B', &bf.front}, {'R', &rnd.front}, {'G', &rs.front}},
+               tMax * 1.05, rMin * 0.95, rMax * 1.05);
+  }
+
+  std::cout << "\nPaper reference: RS-GDE3 matches or exceeds brute force "
+               "(up to 13% faster points on Westmere) while random search "
+               "at equal budget 'is very far off'.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces paper Table I: the experimental platforms. In this
+// reproduction the platforms are machine models consumed by the analytical
+// performance simulator (DESIGN.md §1); this binary prints their exact
+// parameterization so every other experiment's context is on record.
+#include "bench/common.h"
+
+#include <iostream>
+
+using namespace motune;
+
+int main() {
+  std::cout << "=== Table I: experimental setup (modeled machines) ===\n\n";
+  support::TextTable table;
+  table.setHeader({"System", "Sockets/Cores", "L1d", "L2", "L3 (shared)",
+                   "GHz", "GB/s per socket"});
+  for (const auto& m : bench::paperMachines()) {
+    auto kb = [](std::int64_t b) { return std::to_string(b / 1024) + "K"; };
+    auto mb = [](std::int64_t b) {
+      return std::to_string(b / 1024 / 1024) + "M";
+    };
+    table.addRow({m.name,
+                  std::to_string(m.sockets) + "/" +
+                      std::to_string(m.totalCores()),
+                  kb(m.caches[0].capacityBytes), kb(m.caches[1].capacityBytes),
+                  mb(m.caches[2].capacityBytes), support::fmt(m.freqGHz, 1),
+                  support::fmt(m.dramBandwidthGBs, 1)});
+  }
+  std::cout << table.render() << "\n";
+
+  support::TextTable detail("Model calibration (not in the paper's table; "
+                            "documented for reproducibility)");
+  detail.setHeader({"System", "lat L1/L2/L3/DRAM (cycles)", "flops/cycle",
+                    "contention/thread", "contention/socket"});
+  for (const auto& m : bench::paperMachines()) {
+    detail.addRow({m.name,
+                   std::to_string(m.caches[0].latencyCycles) + "/" +
+                       std::to_string(m.caches[1].latencyCycles) + "/" +
+                       std::to_string(m.caches[2].latencyCycles) + "/" +
+                       std::to_string(m.dramLatencyCycles),
+                   support::fmt(m.flopsPerCyclePerCore, 0),
+                   support::fmt(m.memContentionPerThread, 4),
+                   support::fmt(m.memContentionPerSocket, 2)});
+  }
+  std::cout << detail.render();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces paper Table III: speedup, efficiency, relative time and
+// relative resource investment of the per-thread-count optimal mm variants
+// — the concrete numbers behind the speedup/efficiency trade-off (the
+// Pareto points the multi-objective optimizer must expose).
+#include "bench/common.h"
+
+#include <iostream>
+
+using namespace motune;
+
+int main() {
+  std::cout << "=== Table III: impact of the number of threads on speedup "
+               "and efficiency (mm, N = 1400) ===\n";
+
+  struct PaperRef {
+    const char* name;
+    std::vector<double> speedup;
+  };
+  const PaperRef refs[] = {
+      {"Westmere", {1.0, 4.82873, 9.26091, 16.77778, 26.35799}},
+      {"Barcelona", {1.0, 1.92067, 3.65286, 6.53208, 10.65231, 14.53095}},
+  };
+
+  for (std::size_t mi = 0; mi < 2; ++mi) {
+    const machine::MachineModel m = bench::paperMachines()[mi];
+    tuning::KernelTuningProblem problem(kernels::kernelByName("mm"), m);
+    const auto counts = machine::evaluatedThreadCounts(m);
+
+    runtime::ThreadPool pool;
+    opt::GridSearch grid(problem, pool, bench::paperGrid(problem));
+    const auto best = bench::perThreadOptima(grid.run(), counts);
+    const double serial = best.front().seconds; // fastest tiled sequential
+
+    std::cout << "\n--- " << m.name << " ---\n";
+    support::TextTable table;
+    table.setHeader({"cores", "speedup", "efficiency", "rel. time",
+                     "rel. resources", "paper speedup"});
+    for (std::size_t i = 0; i < best.size(); ++i) {
+      const double s = serial / best[i].seconds;
+      const double e = s / best[i].threads;
+      table.addRow({std::to_string(best[i].threads), support::fmt(s, 5),
+                    support::fmt(e, 5),
+                    support::fmtPercent(best[i].seconds / serial, 0),
+                    support::fmtPercent(1.0 / e, 0),
+                    support::fmt(refs[mi].speedup[i], 5)});
+    }
+    std::cout << table.render();
+    std::cout << "(every row is non-dominated in (time, resources): each "
+                 "thread count contributes one Pareto point, as in the "
+                 "paper)\n";
+  }
+  return 0;
+}

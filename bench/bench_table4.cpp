@@ -1,0 +1,35 @@
+// Reproduces paper Table IV: computation and memory complexity of the
+// evaluation kernels — augmented with per-iteration operation counts
+// measured directly from each kernel's IR by the nest analyzer.
+#include "bench/common.h"
+
+#include "perfmodel/footprint.h"
+
+#include <iostream>
+
+using namespace motune;
+
+int main() {
+  std::cout << "=== Table IV: evaluation kernel characteristics ===\n\n";
+  support::TextTable table;
+  table.setHeader({"kernel", "compute", "memory", "tile dims", "N (paper)",
+                   "flops/iter", "heavy/iter", "mem refs/iter",
+                   "unit-stride inner"});
+  for (const auto& spec : kernels::allKernels()) {
+    const ir::Program prog = spec.buildIR(spec.paperN);
+    const perf::NestAnalysis na = perf::analyzeNest(prog);
+    table.addRow({spec.name, spec.computeComplexity, spec.memoryComplexity,
+                  std::to_string(spec.tileDims),
+                  std::to_string(spec.paperN),
+                  support::fmt(na.flopsPerIter, 0),
+                  support::fmt(na.heavyOpsPerIter, 0),
+                  support::fmt(na.memAccessesPerIter, 0),
+                  na.innermostUnitStride ? "yes" : "no"});
+  }
+  std::cout << table.render();
+  std::cout << "\nmm and dsyrk share complexity but differ in access "
+               "pattern (dsyrk's on-the-fly transposition removes the "
+               "unaligned B access — both operands of its product are "
+               "row-major unit-stride), matching the paper's remark.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces paper Table VI: the comparison of search strategies — brute
+// force, random search, RS-GDE3 — on all five kernels and both machines,
+// by the three metrics E (evaluations), |S| (solution-set size) and V(S)
+// (normalized hypervolume). Stochastic strategies are averaged over 5
+// seeded runs, as in the paper.
+#include "bench/common.h"
+
+#include "support/stats.h"
+
+#include <iostream>
+
+using namespace motune;
+
+int main() {
+  std::cout << "=== Table VI: brute force vs. random search vs. RS-GDE3 "
+               "(means of 5 runs for stochastic strategies) ===\n";
+
+  for (const auto& m : bench::paperMachines()) {
+    std::cout << "\n--- " << m.name << " ---\n";
+    support::TextTable table;
+    table.setHeader({"benchmark", "BF E", "BF |S|", "BF V", "Rnd E",
+                     "Rnd |S|", "Rnd V", "RS-GDE3 E", "RS-GDE3 |S|",
+                     "RS-GDE3 V"});
+
+    for (const auto& spec : kernels::allKernels()) {
+      tuning::KernelTuningProblem problem(spec, m);
+      runtime::ThreadPool pool;
+
+      opt::GridSearch grid(problem, pool, bench::paperGrid(problem));
+      const opt::OptResult bf = grid.run();
+
+      std::vector<double> bfVs, rsE, rsS, rsV, rndE, rndS, rndV;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const opt::OptResult rs = bench::runRSGDE3(problem, pool, seed);
+        // Random search at the budget this RS-GDE3 run used (paper setup).
+        opt::RandomSearch random(problem, pool,
+                                 {rs.evaluations, seed + 100, true});
+        const opt::OptResult rnd = random.run();
+
+        const auto scores =
+            bench::scoreFrontsJointly({&bf.front, &rnd.front, &rs.front});
+        bfVs.push_back(scores[0]);
+        rndE.push_back(static_cast<double>(rnd.evaluations));
+        rndS.push_back(static_cast<double>(rnd.front.size()));
+        rndV.push_back(scores[1]);
+        rsE.push_back(static_cast<double>(rs.evaluations));
+        rsS.push_back(static_cast<double>(rs.front.size()));
+        rsV.push_back(scores[2]);
+      }
+
+      table.addRow({spec.name, std::to_string(bf.evaluations),
+                    std::to_string(bf.front.size()),
+                    support::fmt(support::mean(bfVs), 2),
+                    support::fmt(support::mean(rndE), 0),
+                    support::fmt(support::mean(rndS), 1),
+                    support::fmt(support::mean(rndV), 2),
+                    support::fmt(support::mean(rsE), 0),
+                    support::fmt(support::mean(rsS), 1),
+                    support::fmt(support::mean(rsV), 2)});
+    }
+    std::cout << table.render();
+  }
+
+  std::cout
+      << "\nPaper reference (shape): RS-GDE3 evaluates 90-99% fewer points "
+         "than brute force,\nfinds more solutions than both baselines, "
+         "reaches brute-force-level hypervolume,\nand random search at "
+         "equal budget falls far behind (e.g. V = 0.03 vs 0.88, mm/W).\n";
+  return 0;
+}

@@ -1,0 +1,152 @@
+#include "bench/common.h"
+
+#include "support/check.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace motune::bench {
+
+opt::GridSpec paperGrid(const tuning::KernelTuningProblem& problem) {
+  const auto& space = problem.space();
+  const std::size_t tileDims = problem.skeleton().tileDepth();
+  // 3-D tiling: ~24 values/dim (mm: 24^3 * 5 = 69120 vs. the paper's
+  // 71290); 2-D tiling: 69 values/dim (jacobi-2d: 69^2 * 5 = 23805,
+  // exactly the paper's count); the small 3d-stencil space uses 13/dim.
+  std::size_t perDim = 24;
+  if (tileDims == 2) perDim = 69;
+  if (problem.kernel().name == "3d-stencil") perDim = 13;
+  if (problem.kernel().name == "n-body") perDim = 72;
+
+  opt::GridSpec spec;
+  for (std::size_t d = 0; d < tileDims; ++d)
+    spec.values.push_back(
+        opt::geometricValues(space[d].lo, space[d].hi, perDim));
+  std::vector<std::int64_t> threads;
+  for (int t : machine::evaluatedThreadCounts(problem.machine()))
+    threads.push_back(t);
+  spec.values.push_back(std::move(threads));
+  return spec;
+}
+
+std::vector<PerThreadBest> perThreadOptima(const opt::OptResult& result,
+                                           const std::vector<int>& counts) {
+  std::vector<PerThreadBest> best(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    best[i].threads = counts[i];
+    best[i].seconds = std::numeric_limits<double>::infinity();
+  }
+  for (const opt::Individual& ind : result.population) {
+    const auto threads = static_cast<int>(ind.config.back());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == threads && ind.objectives[0] < best[i].seconds) {
+        best[i].seconds = ind.objectives[0];
+        best[i].config = ind.config;
+      }
+    }
+  }
+  for (const auto& b : best)
+    MOTUNE_CHECK_MSG(!b.config.empty(),
+                     "no configuration evaluated for a thread count");
+  return best;
+}
+
+std::vector<std::vector<double>>
+crossLossMatrix(tuning::KernelTuningProblem& problem,
+                const std::vector<PerThreadBest>& best,
+                const std::vector<int>& counts) {
+  std::vector<std::vector<double>> loss(
+      best.size(), std::vector<double>(counts.size(), 0.0));
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+      tuning::Config config = best[i].config;   // tiles tuned for counts[i]
+      config.back() = counts[j];                // ... run with counts[j]
+      const double t = problem.evaluate(config)[0];
+      loss[i][j] = t / best[j].seconds - 1.0;
+    }
+  }
+  return loss;
+}
+
+double averageOffDiagonal(const std::vector<double>& row, std::size_t self) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    if (j == self) continue;
+    sum += row[j];
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+opt::OptResult runRSGDE3(tuning::KernelTuningProblem& problem,
+                         runtime::ThreadPool& pool, std::uint64_t seed) {
+  opt::RSGDE3Options options;
+  options.gde3.seed = seed;
+  opt::RSGDE3 engine(problem, pool, options);
+  opt::OptResult result = engine.run();
+  autotune::threadSweepRefinement(problem, result); // counted in E
+  return result;
+}
+
+double scoreFront(const std::vector<opt::Individual>& front,
+                  tuning::KernelTuningProblem& problem) {
+  const double timeRef = problem.untiledSerialSeconds();
+  return autotune::scoreHypervolume(front, timeRef, 2.0 * timeRef);
+}
+
+std::vector<double> scoreFrontsJointly(
+    const std::vector<const std::vector<opt::Individual>*>& fronts) {
+  MOTUNE_CHECK(!fronts.empty());
+  // Ideal / nadir over the union of all front points.
+  tuning::Objectives ideal, nadir;
+  for (const auto* front : fronts) {
+    for (const auto& ind : *front) {
+      if (ideal.empty()) {
+        ideal = ind.objectives;
+        nadir = ind.objectives;
+        continue;
+      }
+      for (std::size_t d = 0; d < ideal.size(); ++d) {
+        ideal[d] = std::min(ideal[d], ind.objectives[d]);
+        nadir[d] = std::max(nadir[d], ind.objectives[d]);
+      }
+    }
+  }
+  MOTUNE_CHECK(!ideal.empty());
+  for (std::size_t d = 0; d < ideal.size(); ++d)
+    if (nadir[d] <= ideal[d]) nadir[d] = ideal[d] + 1.0;
+
+  const tuning::Objectives ref(ideal.size(), 1.1);
+  std::vector<double> scores;
+  const double full = opt::hypervolume2d({{0.0, 0.0}}, ref); // 1.21
+  for (const auto* front : fronts) {
+    std::vector<tuning::Objectives> pts;
+    for (const auto& ind : *front) {
+      tuning::Objectives q(ideal.size());
+      for (std::size_t d = 0; d < ideal.size(); ++d)
+        q[d] = (ind.objectives[d] - ideal[d]) / (nadir[d] - ideal[d]);
+      pts.push_back(std::move(q));
+    }
+    scores.push_back(opt::hypervolume2d(std::move(pts), ref) / full);
+  }
+  return scores;
+}
+
+std::string tilesStr(const tuning::Config& config, std::size_t tileDims) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t d = 0; d < tileDims; ++d) {
+    if (d) os << ", ";
+    os << config[d];
+  }
+  os << ")";
+  return os.str();
+}
+
+std::vector<machine::MachineModel> paperMachines() {
+  return {machine::westmere(), machine::barcelona()};
+}
+
+} // namespace motune::bench

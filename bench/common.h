@@ -1,0 +1,74 @@
+// Shared helpers for the experiment harness: paper-matched brute-force
+// grids, per-thread-count optimum extraction, cross-application loss
+// matrices, and uniformly configured optimizer runs.
+#pragma once
+
+#include "autotune/autotuner.h"
+#include "core/grid_search.h"
+#include "core/random_search.h"
+#include "core/rsgde3.h"
+#include "kernels/kernel.h"
+#include "machine/machine.h"
+#include "runtime/thread_pool.h"
+#include "support/table.h"
+#include "tuning/kernel_problem.h"
+
+#include <string>
+#include <vector>
+
+namespace motune::bench {
+
+/// The restricted brute-force grid of the paper's §V: ~24 geometric tile
+/// values per dimension for 3-D kernels (~14k combinations), ~69 for 2-D
+/// kernels, times the machine's evaluated thread counts — reproducing the
+/// paper's per-kernel evaluation counts E (Table VI) to within a few
+/// percent.
+opt::GridSpec paperGrid(const tuning::KernelTuningProblem& problem);
+
+/// The best configuration per evaluated thread count within a brute-force
+/// population (the rows of paper Table II).
+struct PerThreadBest {
+  int threads = 0;
+  tuning::Config config;
+  double seconds = 0.0;
+};
+std::vector<PerThreadBest> perThreadOptima(const opt::OptResult& result,
+                                           const std::vector<int>& counts);
+
+/// loss[i][j]: relative slowdown (fraction, e.g. 0.151 for 15.1%) when the
+/// tile sizes tuned for counts[i] run with counts[j] threads, versus the
+/// configuration tuned for counts[j] (paper Table II's right-hand block).
+std::vector<std::vector<double>>
+crossLossMatrix(tuning::KernelTuningProblem& problem,
+                const std::vector<PerThreadBest>& best,
+                const std::vector<int>& counts);
+
+/// Mean of a row excluding the diagonal (Table II's "Avg." column).
+double averageOffDiagonal(const std::vector<double>& row, std::size_t self);
+
+/// One RS-GDE3 run with the paper's configuration (population 30,
+/// CR = F = 0.5).
+opt::OptResult runRSGDE3(tuning::KernelTuningProblem& problem,
+                         runtime::ThreadPool& pool, std::uint64_t seed);
+
+/// V(S) under the per-(kernel, machine) normalization shared by all
+/// strategies (see autotune::scoreHypervolume).
+double scoreFront(const std::vector<opt::Individual>& front,
+                  tuning::KernelTuningProblem& problem);
+
+/// V(S) for several fronts under a JOINT normalization: ideal and nadir
+/// points are taken over the union of the fronts, each objective is mapped
+/// to [0, 1], and the hypervolume is computed against (1.1, 1.1) (a small
+/// margin so nadir points still contribute). This is the scoring used for
+/// the Table VI / Fig. 9 comparisons — differences between strategies stay
+/// visible instead of being compressed by a distant reference corner.
+std::vector<double>
+scoreFrontsJointly(const std::vector<const std::vector<opt::Individual>*>& fronts);
+
+/// "(t_i, t_j, t_k)" style rendering of the tile part of a configuration.
+std::string tilesStr(const tuning::Config& config, std::size_t tileDims);
+
+/// Both paper machines, in paper order.
+std::vector<machine::MachineModel> paperMachines();
+
+} // namespace motune::bench

@@ -1,0 +1,33 @@
+# Benchmark harness: one binary per paper table/figure, plus ablation and
+# microbenchmark binaries. All binaries land in ${CMAKE_BINARY_DIR}/bench.
+
+add_library(motune_bench_common STATIC
+  ${CMAKE_SOURCE_DIR}/bench/common.cpp)
+target_link_libraries(motune_bench_common PUBLIC motune)
+target_include_directories(motune_bench_common PUBLIC ${CMAKE_SOURCE_DIR})
+
+function(motune_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE motune_bench_common)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+motune_bench(bench_table1)
+motune_bench(bench_fig1)
+motune_bench(bench_fig2)
+motune_bench(bench_table2)
+motune_bench(bench_table3)
+motune_bench(bench_fig8)
+motune_bench(bench_fig9)
+motune_bench(bench_table4)
+motune_bench(bench_table5)
+motune_bench(bench_table6)
+motune_bench(bench_ablation)
+
+# google-benchmark microbenchmarks of the framework's building blocks.
+add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cpp)
+target_link_libraries(bench_micro PRIVATE motune_bench_common
+                                          benchmark::benchmark)
+set_target_properties(bench_micro PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

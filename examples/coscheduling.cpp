@@ -1,0 +1,68 @@
+// Co-scheduling multi-versioned regions (extension of the paper's §III.A
+// outlook): two tuned regions compete for one machine; a scheduler picks
+// one version per region so the combined thread demand fits the available
+// cores — trading per-region speed against global makespan.
+//
+//   $ ./coscheduling
+#include "autotune/autotuner.h"
+#include "autotune/backend.h"
+#include "kernels/kernel.h"
+#include "machine/machine.h"
+#include "runtime/scheduler.h"
+#include "support/table.h"
+
+#include <iostream>
+
+using namespace motune;
+
+int main() {
+  const machine::MachineModel m = machine::westmere();
+  std::cout << "Co-scheduling two tuned regions on " << m.name << " ("
+            << m.totalCores() << " cores)\n\n";
+
+  autotune::TunerOptions options;
+  options.gde3.seed = 9;
+  autotune::AutoTuner tuner(options);
+  runtime::ThreadPool pool;
+
+  tuning::KernelTuningProblem mmProblem(kernels::kernelByName("mm"), m);
+  const autotune::TuningResult mmResult = tuner.tune(mmProblem);
+  mv::VersionTable mmTable =
+      autotune::buildVersionTable(mmResult, mmProblem, pool, 96);
+
+  tuning::KernelTuningProblem j2Problem(kernels::kernelByName("jacobi-2d"),
+                                        m);
+  const autotune::TuningResult j2Result = tuner.tune(j2Problem);
+  mv::VersionTable j2Table =
+      autotune::buildVersionTable(j2Result, j2Problem, pool, 128);
+
+  std::cout << "region 'mm': " << mmTable.size()
+            << " versions; region 'jacobi-2d': " << j2Table.size()
+            << " versions\n\n";
+
+  support::TextTable table("assignments under shrinking core budgets "
+                           "(goal: minimize makespan)");
+  table.setHeader({"budget", "mm threads", "mm est.", "jacobi threads",
+                   "jacobi est.", "makespan", "total cores"});
+  for (int budget : {40, 24, 12, 6, 2}) {
+    runtime::MultiRegionScheduler scheduler({&mmTable, &j2Table}, budget);
+    const auto placements = scheduler.schedule();
+    table.addRow(
+        {std::to_string(budget), std::to_string(placements[0].threads),
+         support::fmtSeconds(placements[0].estSeconds),
+         std::to_string(placements[1].threads),
+         support::fmtSeconds(placements[1].estSeconds),
+         support::fmtSeconds(runtime::MultiRegionScheduler::makespan(
+             placements)),
+         std::to_string(
+             runtime::MultiRegionScheduler::totalThreads(placements))});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout << "The scheduler spends cores where they buy the most "
+               "makespan: the long-running region\n(mm) receives the bulk, "
+               "and both regions degrade gracefully as the budget "
+               "shrinks\n— exactly the flexibility multi-versioning exists "
+               "to provide.\n";
+  return 0;
+}

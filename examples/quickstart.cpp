@@ -1,0 +1,93 @@
+// Quickstart: tune one kernel for two conflicting objectives, inspect the
+// Pareto set, and let runtime policies pick versions.
+//
+// This walks the full pipeline of the paper (Fig. 3): region analysis,
+// RS-GDE3 multi-objective search, multi-versioning, and runtime selection.
+//
+//   $ ./quickstart
+#include "autotune/autotuner.h"
+#include "autotune/backend.h"
+#include "kernels/kernel.h"
+#include "machine/machine.h"
+#include "runtime/region.h"
+#include "support/table.h"
+
+#include <iostream>
+
+using namespace motune;
+
+int main() {
+  // 1. Pick a kernel and a target machine. The machine model stands in for
+  //    real hardware in this reproduction (see DESIGN.md §1).
+  const machine::MachineModel target = machine::westmere();
+  tuning::KernelTuningProblem problem(kernels::kernelByName("mm"), target);
+
+  std::cout << "Tuning '" << problem.kernel().name << "' (N = "
+            << problem.problemSize() << ") for " << target.name << " ("
+            << target.totalCores() << " cores)\n"
+            << "Search space: " << problem.space().size() << " parameters, "
+            << tuning::spaceCardinality(problem.space())
+            << " configurations\n"
+            << "Untiled serial baseline: "
+            << support::fmtSeconds(problem.untiledSerialSeconds()) << "\n\n";
+
+  // 2. Run the multi-objective static optimizer (RS-GDE3, the paper's
+  //    algorithm: GDE3 + rough-set search-space reduction).
+  autotune::TunerOptions options; // defaults: RS-GDE3, population 30
+  autotune::AutoTuner tuner(options);
+  const autotune::TuningResult result = tuner.tune(problem);
+
+  std::cout << "RS-GDE3 finished: " << result.raw.generations
+            << " generations, " << result.evaluations
+            << " evaluations, hypervolume V(S) = "
+            << support::fmt(result.hypervolume, 3) << "\n\n";
+
+  // 3. Inspect the Pareto set: each row is one code version the backend
+  //    will generate (the trade-off table of paper Fig. 6).
+  support::TextTable table("Pareto-optimal versions (fastest first)");
+  table.setHeader({"version", "t_i", "t_j", "t_k", "threads", "est. time",
+                   "resources", "vs untiled"});
+  for (std::size_t v = 0; v < result.front.size(); ++v) {
+    const mv::VersionMeta& m = result.front[v];
+    table.addRow({"v" + std::to_string(v), std::to_string(m.tileSizes[0]),
+                  std::to_string(m.tileSizes[1]),
+                  std::to_string(m.tileSizes[2]), std::to_string(m.threads),
+                  support::fmtSeconds(m.timeSeconds),
+                  support::fmt(m.resources, 2) + " core-s",
+                  support::fmt(result.timeRef / m.timeSeconds, 1) + "x"});
+  }
+  std::cout << table.render() << "\n";
+
+  // 4. Build the runnable multi-version table (small native instance so
+  //    this example executes quickly on any host) and dispatch through the
+  //    runtime with different policies.
+  runtime::ThreadPool pool;
+  mv::VersionTable versions =
+      autotune::buildVersionTable(result, problem, pool, /*nativeN=*/128);
+  runtime::Region region(std::move(versions));
+
+  struct Scenario {
+    const char* description;
+    const runtime::SelectionPolicy& policy;
+  };
+  const runtime::WeightedSumPolicy fastest(1.0, 0.0);
+  const runtime::WeightedSumPolicy balanced(0.5, 0.5);
+  const runtime::WeightedSumPolicy thrifty(0.0, 1.0);
+  const runtime::ThreadCapPolicy capped(4);
+  for (const Scenario& s :
+       {Scenario{"all about speed  (w = 1.0/0.0)", fastest},
+        Scenario{"balanced         (w = 0.5/0.5)", balanced},
+        Scenario{"resource saver   (w = 0.0/1.0)", thrifty},
+        Scenario{"only 4 cores free (thread cap)", capped}}) {
+    const std::size_t pick = region.invoke(s.policy);
+    const mv::VersionMeta& m = region.table()[pick].meta;
+    std::cout << s.description << " -> v" << pick << " (threads="
+              << m.threads << ", est. "
+              << support::fmtSeconds(m.timeSeconds) << ")\n";
+  }
+
+  std::cout << "\nRegion ran " << region.totalInvocations()
+            << " times; every invocation executed the real tiled kernel "
+               "through the runtime's thread pool.\n";
+  return 0;
+}

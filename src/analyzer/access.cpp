@@ -1,0 +1,43 @@
+#include "analyzer/access.h"
+
+namespace motune::analyzer {
+
+namespace {
+
+void collectFromExpr(const ir::Expr& e,
+                     const std::vector<const ir::Loop*>& loops,
+                     std::vector<Access>& out) {
+  switch (e.kind) {
+  case ir::Expr::Kind::Read:
+    out.push_back({e.array, e.subscripts, /*isWrite=*/false, loops});
+    return;
+  case ir::Expr::Kind::Binary:
+    collectFromExpr(*e.lhs, loops, out);
+    collectFromExpr(*e.rhs, loops, out);
+    return;
+  case ir::Expr::Kind::Unary:
+    collectFromExpr(*e.lhs, loops, out);
+    return;
+  case ir::Expr::Kind::Const:
+  case ir::Expr::Kind::IvRef:
+    return;
+  }
+}
+
+} // namespace
+
+std::vector<Access> collectAccesses(const ir::Program& program) {
+  std::vector<Access> out;
+  ir::walk(program, [&](const ir::Stmt& s,
+                        const std::vector<const ir::Loop*>& loops) {
+    if (s.kind != ir::Stmt::Kind::Assign) return;
+    const ir::Assign& a = s.assign;
+    collectFromExpr(*a.rhs, loops, out);
+    if (a.accumulate)
+      out.push_back({a.array, a.subscripts, /*isWrite=*/false, loops});
+    out.push_back({a.array, a.subscripts, /*isWrite=*/true, loops});
+  });
+  return out;
+}
+
+} // namespace motune::analyzer

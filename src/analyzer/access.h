@@ -1,0 +1,25 @@
+// Array-access collection: the raw material for dependence analysis and the
+// footprint-based performance model.
+#pragma once
+
+#include "ir/program.h"
+
+#include <string>
+#include <vector>
+
+namespace motune::analyzer {
+
+/// One static array reference together with its enclosing loop nest.
+struct Access {
+  std::string array;
+  std::vector<ir::AffineExpr> subscripts;
+  bool isWrite = false;
+  std::vector<const ir::Loop*> loops; ///< enclosing loops, outermost first
+};
+
+/// Collects every array read and write in the program, in program order.
+/// An accumulate assignment (a += b) contributes both a read and a write
+/// of the target.
+std::vector<Access> collectAccesses(const ir::Program& program);
+
+} // namespace motune::analyzer

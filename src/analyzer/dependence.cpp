@@ -1,0 +1,210 @@
+#include "analyzer/dependence.h"
+
+#include "support/check.h"
+
+#include <algorithm>
+
+namespace motune::analyzer {
+
+namespace {
+
+/// Longest common prefix of the two loop stacks (pointer identity).
+std::vector<const ir::Loop*>
+commonLoops(const std::vector<const ir::Loop*>& a,
+            const std::vector<const ir::Loop*>& b) {
+  std::vector<const ir::Loop*> out;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    if (a[i] != b[i]) break;
+    out.push_back(a[i]);
+  }
+  return out;
+}
+
+bool ivInLoops(const std::string& iv,
+               const std::vector<const ir::Loop*>& loops) {
+  return std::any_of(loops.begin(), loops.end(),
+                     [&](const ir::Loop* l) { return l->iv == iv; });
+}
+
+/// Returns false if the pair provably has no dependence; otherwise fills
+/// `entries` (indexed like `common`) with the distance information.
+bool solveDistance(const Access& a, const Access& b,
+                   const std::vector<const ir::Loop*>& common,
+                   std::vector<DistanceEntry>& entries) {
+  entries.assign(common.size(), DistanceEntry::free());
+
+  auto indexOfIv = [&](const std::string& iv) -> std::ptrdiff_t {
+    for (std::size_t i = 0; i < common.size(); ++i)
+      if (common[i]->iv == iv) return static_cast<std::ptrdiff_t>(i);
+    return -1;
+  };
+
+  MOTUNE_CHECK(a.subscripts.size() == b.subscripts.size());
+  for (std::size_t d = 0; d < a.subscripts.size(); ++d) {
+    const ir::AffineExpr& fa = a.subscripts[d];
+    const ir::AffineExpr& fb = b.subscripts[d];
+
+    // Restrict attention to common induction variables; a dimension that
+    // references a non-common iv yields no usable constraint (its value
+    // range is re-swept by the private loop), so skip it conservatively.
+    bool referencesPrivateIv = false;
+    for (const auto& iv : fa.variables())
+      if (!ivInLoops(iv, common)) referencesPrivateIv = true;
+    for (const auto& iv : fb.variables())
+      if (!ivInLoops(iv, common)) referencesPrivateIv = true;
+    if (referencesPrivateIv) continue;
+
+    // Uniformly generated? (identical linear parts over the common ivs)
+    bool uniform = true;
+    std::vector<std::pair<std::string, std::int64_t>> linear;
+    for (const auto* loop : common) {
+      const std::int64_t ca = fa.coeffOf(loop->iv);
+      const std::int64_t cb = fb.coeffOf(loop->iv);
+      if (ca != cb) uniform = false;
+      if (ca != 0) linear.emplace_back(loop->iv, ca);
+    }
+    if (!uniform) {
+      // Non-uniform references (e.g. A[i][k] vs A[j][k]): no exact distance
+      // information; every involved common iv stays Free.
+      continue;
+    }
+
+    const std::int64_t residual = fa.constantTerm() - fb.constantTerm();
+    if (linear.empty()) {
+      if (residual != 0) return false; // e.g. A[0] vs A[1]: independent
+      continue;
+    }
+    if (linear.size() == 1) {
+      const auto& [iv, coeff] = linear.front();
+      if (residual % coeff != 0) return false; // GCD test: no solution
+      const std::int64_t delta = residual / coeff;
+      const std::ptrdiff_t pos = indexOfIv(iv);
+      MOTUNE_CHECK(pos >= 0);
+      DistanceEntry& e = entries[static_cast<std::size_t>(pos)];
+      if (e.isExact() && e.value != delta) return false; // inconsistent dims
+      e = DistanceEntry::exact(delta);
+      continue;
+    }
+    // Multiple ivs in one dimension (e.g. collapsed subscripts): leave the
+    // involved entries Free — conservative but safe.
+  }
+  return true;
+}
+
+/// Number of band positions [0, depth) this dependence permits in a fully
+/// permutable band. A band is safe iff every realizable distance vector
+/// (any lex-positive completion of the entries, in either pair order) has
+/// non-negative components inside the band.
+///
+/// Sound decision rules over the full vector's "active" positions P (Free
+/// or Exact non-zero):
+///  * P empty: loop-independent, any depth.
+///  * |P| == 1: the single carrier can always be sign-normalized positive
+///    (the reversed access pair covers the other sign), any depth.
+///  * all entries Exact: the realizable orientation is the lex-positive
+///    one; the band may extend until the first component that is negative
+///    under it.
+///  * otherwise (>= 2 active positions, at least one Free): conservative —
+///    the band must exclude every active position (a Free entry elsewhere
+///    makes both signs of an in-band carrier realizable).
+std::size_t permutableDepth(const Dependence& dep, std::size_t nestDepth) {
+  const std::size_t n = std::min(dep.distance.size(), nestDepth);
+  std::vector<std::size_t> active;
+  bool anyFree = false;
+  for (std::size_t p = 0; p < dep.distance.size(); ++p) {
+    const DistanceEntry& e = dep.distance[p];
+    if (!e.isExact()) {
+      active.push_back(p);
+      anyFree = true;
+    } else if (e.value != 0) {
+      active.push_back(p);
+    }
+  }
+
+  if (active.empty() || active.size() == 1) return n;
+
+  if (!anyFree) {
+    // All exact: normalize to the lex-positive orientation.
+    std::int64_t sign = 0;
+    for (const auto& e : dep.distance) {
+      if (e.value != 0) {
+        sign = e.value > 0 ? 1 : -1;
+        break;
+      }
+    }
+    for (std::size_t p = 0; p < n; ++p)
+      if (dep.distance[p].value * sign < 0) return p;
+    return n;
+  }
+
+  return std::min(n, active.front());
+}
+
+} // namespace
+
+std::optional<std::vector<Dependence>>
+computeDependences(const ir::Program& program) {
+  const std::vector<Access> accesses = collectAccesses(program);
+  std::vector<Dependence> deps;
+
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    for (std::size_t j = i; j < accesses.size(); ++j) {
+      const Access& a = accesses[i];
+      const Access& b = accesses[j];
+      if (a.array != b.array) continue;
+      if (!a.isWrite && !b.isWrite) continue;
+      if (i == j && !a.isWrite) continue;
+
+      const auto common = commonLoops(a.loops, b.loops);
+      std::vector<DistanceEntry> entries;
+      if (!solveDistance(a, b, common, entries)) continue; // independent
+
+      // A self-pair with an all-zero exact vector is just the access itself.
+      if (i == j) {
+        const bool allZero = std::all_of(
+            entries.begin(), entries.end(),
+            [](const DistanceEntry& e) { return e.isExact() && e.value == 0; });
+        if (allZero) continue;
+      }
+
+      Dependence dep;
+      dep.array = a.array;
+      for (const auto* loop : common) dep.loopIvs.push_back(loop->iv);
+      dep.distance = std::move(entries);
+      dep.writeToWrite = a.isWrite && b.isWrite;
+      deps.push_back(std::move(dep));
+    }
+  }
+  return deps;
+}
+
+bool isParallelizable(const std::vector<Dependence>& deps, std::size_t level) {
+  for (const Dependence& dep : deps) {
+    if (level >= dep.distance.size()) continue; // level below the common nest
+    // Carried at `level` iff the prefix can be all-zero and the entry at
+    // `level` can be non-zero.
+    bool prefixCanBeZero = true;
+    for (std::size_t p = 0; p < level; ++p) {
+      const DistanceEntry& e = dep.distance[p];
+      if (e.isExact() && e.value != 0) {
+        prefixCanBeZero = false;
+        break;
+      }
+    }
+    if (!prefixCanBeZero) continue;
+    const DistanceEntry& at = dep.distance[level];
+    if (!at.isExact() || at.value != 0) return false; // carried here
+  }
+  return true;
+}
+
+std::size_t tileableBandDepth(const std::vector<Dependence>& deps,
+                              std::size_t nestDepth) {
+  std::size_t depth = nestDepth;
+  for (const Dependence& dep : deps)
+    depth = std::min(depth, std::max(permutableDepth(dep, nestDepth),
+                                     std::size_t{0}));
+  return depth;
+}
+
+} // namespace motune::analyzer

@@ -1,0 +1,63 @@
+// Data-dependence analysis over affine loop nests.
+//
+// This is the paper's dependency test ("based on the polyhedral model",
+// §IV): it determines the largest outer loop band that can be tiled and
+// whether the outermost loop can be parallelized. We implement a
+// separability-based distance-vector test: exact for the (very common)
+// case of uniformly generated references whose subscript dimensions each
+// involve a single induction variable, and conservative otherwise.
+#pragma once
+
+#include "analyzer/access.h"
+#include "ir/program.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace motune::analyzer {
+
+/// One component of a dependence distance vector.
+struct DistanceEntry {
+  enum class Kind {
+    Exact, ///< the distance is exactly `value`
+    Free,  ///< any value is possible (subject to lexicographic positivity)
+  };
+  Kind kind = Kind::Free;
+  std::int64_t value = 0;
+
+  static DistanceEntry exact(std::int64_t v) {
+    return {Kind::Exact, v};
+  }
+  static DistanceEntry free() { return {Kind::Free, 0}; }
+  bool isExact() const { return kind == Kind::Exact; }
+};
+
+/// A (possibly conservative) dependence between two references of `array`,
+/// expressed as a distance vector over the loops common to both accesses
+/// (outermost first).
+struct Dependence {
+  std::string array;
+  std::vector<std::string> loopIvs;
+  std::vector<DistanceEntry> distance;
+  bool writeToWrite = false;
+};
+
+/// Computes all loop-carried and loop-independent dependences of a program
+/// whose body is a single perfect or imperfect loop nest. Returns
+/// std::nullopt when the subscripts fall outside the analyzable affine
+/// subset (callers must then assume the worst).
+std::optional<std::vector<Dependence>>
+computeDependences(const ir::Program& program);
+
+/// True if loop level `level` (0 = outermost) of the common nest can be
+/// executed in parallel: no dependence is carried at that level.
+bool isParallelizable(const std::vector<Dependence>& deps, std::size_t level);
+
+/// Largest `depth` such that the outermost `depth` loops form a fully
+/// permutable (hence tileable) band: every realizable dependence has
+/// non-negative distance in each band dimension.
+std::size_t tileableBandDepth(const std::vector<Dependence>& deps,
+                              std::size_t nestDepth);
+
+} // namespace motune::analyzer

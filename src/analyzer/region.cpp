@@ -1,0 +1,78 @@
+#include "analyzer/region.h"
+
+#include "support/check.h"
+#include "transform/transforms.h"
+
+#include <algorithm>
+
+namespace motune::analyzer {
+
+RegionInfo analyzeRegion(const ir::Program& program) {
+  RegionInfo info;
+  const auto nest = transform::perfectNest(program);
+  info.nestDepth = nest.size();
+  if (nest.empty()) return info;
+
+  const auto deps = computeDependences(program);
+  MOTUNE_CHECK_MSG(deps.has_value(), "region is not analyzable");
+
+  info.tileableDepth = tileableBandDepth(*deps, info.nestDepth);
+  info.outerParallelizable = isParallelizable(*deps, 0);
+
+  ir::Env env;
+  for (std::size_t l = 0; l < info.tileableDepth; ++l) {
+    info.bandIvs.push_back(nest[l]->iv);
+    info.bandTrips.push_back(ir::tripCount(*nest[l], env));
+    info.parallelizable.push_back(isParallelizable(*deps, l));
+  }
+  return info;
+}
+
+TransformationSkeleton TransformationSkeleton::build(
+    const ir::Program& program, int maxThreads) {
+  MOTUNE_CHECK(maxThreads >= 1);
+  TransformationSkeleton sk;
+  sk.base_ = program.clone();
+  sk.info_ = analyzeRegion(program);
+  MOTUNE_CHECK_MSG(sk.info_.tileableDepth >= 1,
+                   "region has no tileable band");
+  MOTUNE_CHECK_MSG(sk.info_.outerParallelizable,
+                   "region's outer loop cannot be parallelized");
+
+  for (std::size_t l = 0; l < sk.info_.tileableDepth; ++l) {
+    ParamSpec spec;
+    spec.name = "t_" + sk.info_.bandIvs[l];
+    spec.lo = 1;
+    spec.hi = std::max<std::int64_t>(1, sk.info_.bandTrips[l] / 2);
+    sk.params_.push_back(std::move(spec));
+  }
+  sk.params_.push_back({"threads", 1, maxThreads});
+
+  // Collapse the two outermost tile loops when the band allows it — needed
+  // because large tiles leave too few parallel iterations otherwise (paper
+  // §IV and §V.B: "collapsing the two outermost tiling loops"). Collapsing
+  // is only legal when the second band loop is itself parallelizable
+  // (collapsed iterations are distributed jointly).
+  sk.collapseDepth_ = (sk.info_.tileableDepth >= 2 &&
+                       sk.info_.parallelizable.size() >= 2 &&
+                       sk.info_.parallelizable[1])
+                          ? 2
+                          : 1;
+  return sk;
+}
+
+ir::Program TransformationSkeleton::instantiate(
+    std::span<const std::int64_t> values) const {
+  MOTUNE_CHECK_MSG(values.size() == params_.size(),
+                   "parameter count mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i)
+    MOTUNE_CHECK_MSG(values[i] >= params_[i].lo && values[i] <= params_[i].hi,
+                     "parameter out of range: " + params_[i].name);
+
+  const std::span<const std::int64_t> tiles =
+      values.subspan(0, tileDepth());
+  ir::Program tiled = transform::tile(base_, tiles);
+  return transform::parallelizeOuter(tiled, collapseDepth_);
+}
+
+} // namespace motune::analyzer

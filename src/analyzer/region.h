@@ -1,0 +1,77 @@
+// Region analysis and transformation skeletons (paper Fig. 3, labels 1-2).
+//
+// The analyzer "searches for nested loops and performs a dependency test
+// ... to determine the largest subset of loops which can be tiled and
+// optionally collapsed, without sacrificing the possibility of
+// parallelizing the resulting loop" (paper §IV). The result is a
+// TransformationSkeleton: a generic transformation sequence with unbound
+// parameters (tile sizes, thread count) that the optimizer instantiates
+// into concrete code variants.
+#pragma once
+
+#include "analyzer/dependence.h"
+#include "ir/program.h"
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace motune::analyzer {
+
+/// Static facts about a tunable region.
+struct RegionInfo {
+  std::size_t nestDepth = 0;      ///< perfect-nest depth at the root
+  std::size_t tileableDepth = 0;  ///< outer fully-permutable band
+  bool outerParallelizable = false;
+  std::vector<bool> parallelizable; ///< per band level: loop carries no dep
+  std::vector<std::string> bandIvs;
+  std::vector<std::int64_t> bandTrips; ///< trip counts of the band loops
+};
+
+/// Analyzes a region (single loop nest program).
+RegionInfo analyzeRegion(const ir::Program& program);
+
+/// Bounds for one unbound skeleton parameter (inclusive).
+struct ParamSpec {
+  std::string name;
+  std::int64_t lo = 1;
+  std::int64_t hi = 1;
+};
+
+/// A generic, legality-checked transformation sequence with unbound
+/// parameters: tile the band with sizes (t_0..t_{d-1}), collapse the two
+/// outermost tile loops, parallelize the result. The trailing parameter is
+/// always the thread count (consumed by the runtime, not the code
+/// transformation), mirroring the paper's combined search problem.
+class TransformationSkeleton {
+public:
+  /// Builds the skeleton for a region on a machine with `maxThreads`
+  /// hardware threads. Tile-size upper bounds default to trip/2 — larger
+  /// tiles "clearly have little potential to dominate smaller tile sizes"
+  /// (paper §V.B.3).
+  static TransformationSkeleton build(const ir::Program& program,
+                                      int maxThreads);
+
+  /// Parameter specifications: d tile sizes followed by "threads".
+  const std::vector<ParamSpec>& params() const { return params_; }
+
+  /// Tile-band depth d (number of tile-size parameters).
+  std::size_t tileDepth() const { return params_.size() - 1; }
+
+  /// Instantiates the transformation with concrete parameter values
+  /// (tile sizes then thread count; thread count only selects parallel
+  /// metadata — the emitted loop structure is thread-count independent).
+  ir::Program instantiate(std::span<const std::int64_t> values) const;
+
+  const RegionInfo& region() const { return info_; }
+  const ir::Program& base() const { return base_; }
+
+private:
+  ir::Program base_;
+  RegionInfo info_;
+  std::vector<ParamSpec> params_;
+  int collapseDepth_ = 1;
+};
+
+} // namespace motune::analyzer

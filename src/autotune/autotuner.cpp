@@ -1,0 +1,144 @@
+#include "autotune/autotuner.h"
+
+#include "core/hypervolume.h"
+#include "support/check.h"
+
+#include <algorithm>
+#include <set>
+
+namespace motune::autotune {
+
+AutoTuner::AutoTuner(TunerOptions options)
+    : options_(std::move(options)),
+      pool_(std::make_unique<runtime::ThreadPool>(
+          options_.evaluationWorkers)) {}
+
+opt::OptResult AutoTuner::optimize(tuning::ObjectiveFunction& fn) {
+  switch (options_.algorithm) {
+  case Algorithm::RSGDE3: {
+    opt::RSGDE3 engine(fn, *pool_, {options_.gde3, true});
+    return engine.run();
+  }
+  case Algorithm::PlainGDE3: {
+    opt::RSGDE3 engine(fn, *pool_, {options_.gde3, false});
+    return engine.run();
+  }
+  case Algorithm::NSGA2: {
+    opt::NSGA2 engine(fn, *pool_, options_.nsga2);
+    return engine.run();
+  }
+  case Algorithm::Random: {
+    opt::RandomSearch engine(fn, *pool_, {options_.randomBudget, options_.gde3.seed, true});
+    return engine.run();
+  }
+  case Algorithm::BruteForce: {
+    MOTUNE_CHECK_MSG(options_.grid.has_value(),
+                     "BruteForce requires a GridSpec");
+    opt::GridSearch engine(fn, *pool_, *options_.grid);
+    return engine.run();
+  }
+  }
+  MOTUNE_CHECK_MSG(false, "unknown algorithm");
+  return {};
+}
+
+double scoreHypervolume(const std::vector<opt::Individual>& front,
+                        double timeRef, double resourceRef) {
+  MOTUNE_CHECK(timeRef > 0.0 && resourceRef > 0.0);
+  const opt::HypervolumeMetric metric({timeRef, resourceRef});
+  return metric.ofFront(front);
+}
+
+std::uint64_t threadSweepRefinement(tuning::KernelTuningProblem& problem,
+                                    opt::OptResult& result) {
+  const auto& space = problem.space();
+  const std::size_t tileDims = problem.skeleton().tileDepth();
+  const auto maxThreads = space.back().hi;
+
+  // Distinct tile settings on the current front.
+  std::set<tuning::Config> tiles;
+  std::set<tuning::Config> evaluated;
+  for (const auto& ind : result.front) {
+    tiles.insert(tuning::Config(ind.config.begin(),
+                                ind.config.begin() +
+                                    static_cast<std::ptrdiff_t>(tileDims)));
+  }
+  for (const auto& ind : result.population) evaluated.insert(ind.config);
+
+  std::uint64_t extra = 0;
+  std::vector<opt::Individual> pool = result.front;
+  for (const auto& t : tiles) {
+    for (std::int64_t p = 1; p <= maxThreads; ++p) {
+      tuning::Config config = t;
+      config.push_back(p);
+      if (!evaluated.insert(config).second) continue;
+      opt::Individual ind;
+      ind.genome.assign(config.begin(), config.end());
+      ind.objectives = problem.evaluate(config);
+      ind.config = std::move(config);
+      pool.push_back(std::move(ind));
+      ++extra;
+    }
+  }
+  result.front = opt::paretoFront(pool);
+  result.evaluations += extra;
+  return extra;
+}
+
+TuningResult AutoTuner::tune(tuning::KernelTuningProblem& problem) {
+  TuningResult out;
+  out.raw = optimize(problem);
+  if (options_.algorithm == Algorithm::RSGDE3 ||
+      options_.algorithm == Algorithm::PlainGDE3 ||
+      options_.algorithm == Algorithm::NSGA2)
+    threadSweepRefinement(problem, out.raw);
+  out.evaluations = out.raw.evaluations;
+
+  // Normalization for V(S): the untiled serial region is the "worst
+  // reasonable" baseline per objective (resource usage capped at twice the
+  // serial cost — the efficiency >= 0.5 band; energy at twice the serial
+  // energy). Fixed per (kernel, machine), so brute force, random search
+  // and RS-GDE3 are scored on the same scale.
+  const perf::Prediction baseline = problem.untiledSerialPrediction();
+  out.timeRef = baseline.seconds;
+  out.resourceRef = 2.0 * baseline.seconds;
+  {
+    tuning::Objectives worst;
+    for (tuning::Objective obj : problem.objectives()) {
+      switch (obj) {
+      case tuning::Objective::Time: worst.push_back(out.timeRef); break;
+      case tuning::Objective::Resources:
+        worst.push_back(out.resourceRef);
+        break;
+      case tuning::Objective::Energy:
+        worst.push_back(2.0 * baseline.joules);
+        break;
+      }
+    }
+    const opt::HypervolumeMetric metric(std::move(worst));
+    out.hypervolume = metric.ofFront(out.raw.front);
+  }
+
+  // Version metadata is derived from the full cost breakdown, so it stays
+  // complete whatever objective subset drove the search.
+  const std::size_t tileDims = problem.skeleton().tileDepth();
+  for (const opt::Individual& ind : out.raw.front) {
+    const perf::Prediction pred = problem.predictFull(ind.config);
+    mv::VersionMeta meta;
+    meta.configuration = ind.config;
+    meta.tileSizes.assign(ind.config.begin(),
+                          ind.config.begin() + static_cast<std::ptrdiff_t>(tileDims));
+    meta.threads = static_cast<int>(ind.config.back());
+    meta.timeSeconds = pred.seconds;
+    meta.resources = pred.resources;
+    meta.joules = pred.joules;
+    out.front.push_back(std::move(meta));
+  }
+  std::sort(out.front.begin(), out.front.end(),
+            [](const mv::VersionMeta& a, const mv::VersionMeta& b) {
+              return a.timeSeconds < b.timeSeconds;
+            });
+  return out;
+}
+
+} // namespace motune::autotune

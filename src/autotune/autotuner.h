@@ -1,0 +1,90 @@
+// Public facade: the compiler driver of the paper's architecture (Fig. 3).
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto machine = machine::westmere();
+//   tuning::KernelTuningProblem problem(kernels::kernelByName("mm"), machine);
+//   autotune::AutoTuner tuner;                       // RS-GDE3 by default
+//   autotune::TuningResult result = tuner.tune(problem);
+//   mv::VersionTable table = autotune::buildVersionTable(result, problem);
+//   runtime::Region region(table);
+//   region.invoke(runtime::WeightedSumPolicy(0.7, 0.3));
+#pragma once
+
+#include "core/gde3.h"
+#include "core/grid_search.h"
+#include "core/nsga2.h"
+#include "core/random_search.h"
+#include "core/rsgde3.h"
+#include "multiversion/version_table.h"
+#include "tuning/kernel_problem.h"
+
+#include <optional>
+
+namespace motune::autotune {
+
+enum class Algorithm {
+  RSGDE3,     ///< the paper's optimizer (default)
+  PlainGDE3,  ///< GDE3 without rough-set reduction (ablation)
+  NSGA2,      ///< NSGA-II comparator (ablation)
+  Random,     ///< random-search baseline (paper §V.B.3)
+  BruteForce, ///< restricted-grid exhaustive search (paper §V.B.1)
+};
+
+struct TunerOptions {
+  Algorithm algorithm = Algorithm::RSGDE3;
+  opt::GDE3Options gde3;          ///< used by RSGDE3 / PlainGDE3
+  opt::NSGA2Options nsga2;        ///< used by NSGA2
+  std::uint64_t randomBudget = 1000;
+  std::optional<opt::GridSpec> grid; ///< required for BruteForce
+  unsigned evaluationWorkers = 0;    ///< 0 = hardware concurrency
+};
+
+/// Tuning outcome: the Pareto set with metadata plus the comparison metrics
+/// of Table VI (|S|, E, V(S)).
+struct TuningResult {
+  opt::OptResult raw;
+  std::vector<mv::VersionMeta> front; ///< sorted by predicted time
+  std::uint64_t evaluations = 0;      ///< E
+  double hypervolume = 0.0;           ///< V(S), normalized (see below)
+  double timeRef = 0.0;               ///< normalization: untiled serial time
+  double resourceRef = 0.0;           ///< normalization: 2x untiled serial
+};
+
+class AutoTuner {
+public:
+  explicit AutoTuner(TunerOptions options = {});
+
+  /// Runs the configured search strategy on `problem` and packages the
+  /// Pareto set for the multi-versioning backend.
+  TuningResult tune(tuning::KernelTuningProblem& problem);
+
+  /// Same, for an arbitrary objective function (no version metadata
+  /// enrichment beyond the raw configs).
+  opt::OptResult optimize(tuning::ObjectiveFunction& fn);
+
+  const TunerOptions& options() const { return options_; }
+
+private:
+  TunerOptions options_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+};
+
+/// Normalized V(S) for an arbitrary front under the same reference scheme
+/// AutoTuner uses — lets benches score brute-force/random fronts
+/// identically (comparability across optimizers, paper §V.B.3).
+double scoreHypervolume(const std::vector<opt::Individual>& front,
+                        double timeRef, double resourceRef);
+
+/// Parallelism-aware refinement (an extension beyond the paper's search):
+/// every distinct tile setting on the front is re-evaluated at every thread
+/// count, and the front is rebuilt. On the Pareto front of (time,
+/// threads x time) each useful thread count contributes one point (paper
+/// §V.B.2), so good tile settings discovered at one count usually extend
+/// the front at many others. The extra evaluations are added to
+/// `result.evaluations`, keeping equal-budget comparisons fair. Returns the
+/// number of evaluations performed.
+std::uint64_t threadSweepRefinement(tuning::KernelTuningProblem& problem,
+                                    opt::OptResult& result);
+
+} // namespace motune::autotune

@@ -1,0 +1,128 @@
+#include "autotune/backend.h"
+
+#include "codegen/cemit.h"
+#include "support/check.h"
+
+#include <algorithm>
+
+namespace motune::autotune {
+
+namespace {
+
+/// Shared data context for all versions of one region; versions differ only
+/// in tiling/threads, so they can share buffers.
+struct KernelData {
+  std::string kernel;
+  std::int64_t n;
+  std::vector<double> a, b, c;
+  std::unique_ptr<kernels::Bodies> bodies;
+
+  KernelData(const std::string& kernelName, std::int64_t size)
+      : kernel(kernelName), n(size) {
+    const auto sz = static_cast<std::size_t>(n * n);
+    if (kernel == "mm") {
+      a.resize(sz);
+      b.resize(sz);
+      c.resize(sz);
+      kernels::fillDeterministic(a, 1);
+      kernels::fillDeterministic(b, 2);
+    } else if (kernel == "dsyrk") {
+      a.resize(sz);
+      c.resize(sz);
+      kernels::fillDeterministic(a, 1);
+    } else if (kernel == "jacobi-2d") {
+      a.resize(sz);
+      b.resize(sz);
+      kernels::fillDeterministic(a, 1);
+    } else if (kernel == "3d-stencil") {
+      const auto sz3 = static_cast<std::size_t>(n * n * n);
+      a.resize(sz3);
+      b.resize(sz3);
+      kernels::fillDeterministic(a, 1);
+    } else if (kernel == "n-body") {
+      bodies = std::make_unique<kernels::Bodies>(static_cast<std::size_t>(n));
+      kernels::fillDeterministic(bodies->x, 1);
+      kernels::fillDeterministic(bodies->y, 2);
+      kernels::fillDeterministic(bodies->z, 3);
+    } else {
+      MOTUNE_CHECK_MSG(false, "unknown kernel: " + kernel);
+    }
+  }
+
+  void run(const std::vector<std::int64_t>& tiles, int threads,
+           runtime::ThreadPool& pool) {
+    auto t = [&](std::size_t i) {
+      return std::min<std::int64_t>(std::max<std::int64_t>(tiles[i], 1), n);
+    };
+    if (kernel == "mm") {
+      std::fill(c.begin(), c.end(), 0.0);
+      kernels::mmTiled(a.data(), b.data(), c.data(), n, {t(0), t(1), t(2)},
+                       threads, pool);
+    } else if (kernel == "dsyrk") {
+      std::fill(c.begin(), c.end(), 0.0);
+      kernels::dsyrkTiled(a.data(), c.data(), n, {t(0), t(1), t(2)}, threads,
+                          pool);
+    } else if (kernel == "jacobi-2d") {
+      kernels::jacobi2dTiled(a.data(), b.data(), n, {t(0), t(1)}, threads,
+                             pool);
+    } else if (kernel == "3d-stencil") {
+      kernels::stencil3dTiled(a.data(), b.data(), n, {t(0), t(1), t(2)},
+                              threads, pool);
+    } else { // n-body
+      std::fill(bodies->fx.begin(), bodies->fx.end(), 0.0);
+      std::fill(bodies->fy.begin(), bodies->fy.end(), 0.0);
+      std::fill(bodies->fz.begin(), bodies->fz.end(), 0.0);
+      kernels::nbodyTiled(*bodies, {t(0), t(1)}, threads, pool);
+    }
+  }
+};
+
+} // namespace
+
+mv::VersionTable buildVersionTableFromMetas(
+    const std::string& kernelName, std::int64_t nativeN,
+    const std::vector<mv::VersionMeta>& metas, runtime::ThreadPool& pool) {
+  MOTUNE_CHECK_MSG(!metas.empty(), "no versions to build a table from");
+  auto data = std::make_shared<KernelData>(kernelName, nativeN);
+
+  mv::VersionTable table(kernelName);
+  for (const mv::VersionMeta& meta : metas) {
+    mv::CodeVersion version;
+    version.meta = meta;
+    version.run = [data, tiles = meta.tileSizes, &pool](int threads) {
+      data->run(tiles, threads, pool);
+    };
+    table.add(std::move(version));
+  }
+  return table;
+}
+
+mv::VersionTable buildVersionTable(const TuningResult& result,
+                                   const tuning::KernelTuningProblem& problem,
+                                   runtime::ThreadPool& pool,
+                                   std::int64_t nativeN) {
+  const std::int64_t n = nativeN > 0 ? nativeN : problem.problemSize();
+  return buildVersionTableFromMetas(problem.kernel().name, n, result.front,
+                                    pool);
+}
+
+std::string emitMultiVersionedC(const TuningResult& result,
+                                const tuning::KernelTuningProblem& problem) {
+  MOTUNE_CHECK(!result.front.empty());
+  std::vector<codegen::VersionDescriptor> descriptors;
+  descriptors.reserve(result.front.size());
+  for (const mv::VersionMeta& meta : result.front) {
+    codegen::VersionDescriptor d;
+    d.program = problem.instantiate(meta.configuration);
+    d.tileSizes = meta.tileSizes;
+    d.threads = meta.threads;
+    d.estTimeSeconds = meta.timeSeconds;
+    d.estResources = meta.resources;
+    descriptors.push_back(std::move(d));
+  }
+  std::string regionName = problem.kernel().name;
+  std::replace(regionName.begin(), regionName.end(), '-', '_');
+  return codegen::emitMultiVersionModule(regionName, descriptors);
+}
+
+} // namespace motune::autotune

@@ -1,0 +1,41 @@
+// Multi-versioning backend (paper Fig. 3 label 5): turns a tuning result
+// into executable artifacts —
+//  * a runtime VersionTable whose entries run the real tiled kernels
+//    through the thread pool with the Pareto-optimal parameters, and
+//  * a generated multi-versioned C module (codegen path, paper Fig. 6).
+#pragma once
+
+#include "autotune/autotuner.h"
+#include "kernels/native.h"
+#include "multiversion/version_table.h"
+#include "runtime/thread_pool.h"
+
+#include <memory>
+#include <string>
+
+namespace motune::autotune {
+
+/// Builds a runnable version table for the problem's kernel. `nativeN`
+/// selects the problem size the versions execute natively (defaults to the
+/// problem's size; tests pass something small). Tile sizes are clamped to
+/// the native problem size. The table shares ownership of its input/output
+/// buffers; all versions of one table compute on the same data.
+mv::VersionTable buildVersionTable(const TuningResult& result,
+                                   const tuning::KernelTuningProblem& problem,
+                                   runtime::ThreadPool& pool,
+                                   std::int64_t nativeN = 0);
+
+/// Same, from raw version metadata (the path a loaded tuning artifact
+/// takes, see artifact.h). `kernelName` must be one of the built-in
+/// kernels.
+mv::VersionTable buildVersionTableFromMetas(
+    const std::string& kernelName, std::int64_t nativeN,
+    const std::vector<mv::VersionMeta>& metas, runtime::ThreadPool& pool);
+
+/// Emits the multi-versioned C module for the tuning result (one function
+/// per Pareto point + metadata table), ready to be compiled by a system
+/// compiler.
+std::string emitMultiVersionedC(const TuningResult& result,
+                                const tuning::KernelTuningProblem& problem);
+
+} // namespace motune::autotune

@@ -1,0 +1,84 @@
+#include "cachesim/cache.h"
+
+#include "support/check.h"
+
+#include <limits>
+
+namespace motune::cachesim {
+
+namespace {
+bool isPow2(std::int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+} // namespace
+
+SetAssocCache::SetAssocCache(std::int64_t capacityBytes,
+                             std::int64_t lineBytes, int associativity)
+    : capacityBytes_(capacityBytes), lineBytes_(lineBytes) {
+  MOTUNE_CHECK(capacityBytes > 0);
+  MOTUNE_CHECK(isPow2(lineBytes));
+  const std::int64_t numLines = capacityBytes / lineBytes;
+  MOTUNE_CHECK_MSG(numLines * lineBytes == capacityBytes,
+                   "capacity must be a multiple of the line size");
+  ways_ = associativity <= 0 ? static_cast<int>(numLines) : associativity;
+  MOTUNE_CHECK(numLines % ways_ == 0);
+  sets_ = static_cast<std::size_t>(numLines / ways_);
+  lines_.resize(sets_ * static_cast<std::size_t>(ways_));
+}
+
+bool SetAssocCache::access(Addr lineAddr, bool isWrite, bool* evictedDirty) {
+  ++clock_;
+  ++stats_.accesses;
+  if (evictedDirty) *evictedDirty = false;
+
+  const std::size_t set = static_cast<std::size_t>(lineAddr) % sets_;
+  Way* begin = &lines_[set * static_cast<std::size_t>(ways_)];
+
+  Way* lru = begin;
+  std::uint64_t lruUse = std::numeric_limits<std::uint64_t>::max();
+  for (int w = 0; w < ways_; ++w) {
+    Way& way = begin[w];
+    if (way.valid && way.tag == lineAddr) {
+      way.lastUse = clock_;
+      way.dirty = way.dirty || isWrite;
+      ++stats_.hits;
+      return true;
+    }
+    const std::uint64_t use = way.valid ? way.lastUse : 0;
+    if (!way.valid) {
+      lru = &way;
+      lruUse = 0;
+    } else if (use < lruUse) {
+      lru = &way;
+      lruUse = use;
+    }
+  }
+
+  ++stats_.misses;
+  if (lru->valid) {
+    ++stats_.evictions;
+    if (lru->dirty) {
+      ++stats_.writebacks;
+      if (evictedDirty) *evictedDirty = true;
+    }
+  }
+  lru->valid = true;
+  lru->tag = lineAddr;
+  lru->lastUse = clock_;
+  lru->dirty = isWrite;
+  return false;
+}
+
+bool SetAssocCache::contains(Addr lineAddr) const {
+  const std::size_t set = static_cast<std::size_t>(lineAddr) % sets_;
+  const Way* begin = &lines_[set * static_cast<std::size_t>(ways_)];
+  for (int w = 0; w < ways_; ++w)
+    if (begin[w].valid && begin[w].tag == lineAddr) return true;
+  return false;
+}
+
+void SetAssocCache::reset() {
+  for (auto& w : lines_) w = Way{};
+  clock_ = 0;
+  stats_ = CacheStats{};
+}
+
+} // namespace motune::cachesim

@@ -1,0 +1,67 @@
+#include "cachesim/hierarchy.h"
+
+#include "support/check.h"
+
+#include <algorithm>
+
+namespace motune::cachesim {
+
+Hierarchy::Hierarchy(const machine::MachineModel& machine, int threads) {
+  MOTUNE_CHECK(!machine.caches.empty());
+  MOTUNE_CHECK(threads >= 1);
+  lineBytes_ = machine.caches.front().lineBytes;
+  dramLatency_ = machine.dramLatencyCycles;
+  for (const auto& spec : machine.caches) {
+    std::int64_t capacity = spec.capacityBytes;
+    if (spec.sharedPerSocket) {
+      // Per-thread slice of the shared level, rounded down to a whole
+      // number of sets (line count must stay a multiple of the ways).
+      const int sharers = machine.maxThreadsOnOneSocket(threads);
+      const std::int64_t ways =
+          spec.associativity > 0 ? spec.associativity : 1;
+      std::int64_t lines = capacity / spec.lineBytes / sharers;
+      lines = std::max<std::int64_t>(ways, lines - lines % ways);
+      capacity = lines * spec.lineBytes;
+    }
+    caches_.push_back(std::make_unique<SetAssocCache>(capacity, spec.lineBytes,
+                                                      spec.associativity));
+    hitLatency_.push_back(spec.latencyCycles);
+  }
+}
+
+void Hierarchy::access(Addr addr, std::int64_t sizeBytes, bool isWrite) {
+  MOTUNE_CHECK(sizeBytes > 0);
+  const Addr first = addr / static_cast<Addr>(lineBytes_);
+  const Addr last =
+      (addr + static_cast<Addr>(sizeBytes) - 1) / static_cast<Addr>(lineBytes_);
+  for (Addr line = first; line <= last; ++line) {
+    for (auto& cache : caches_) {
+      if (cache->access(line, isWrite)) break; // hit: stop forwarding
+    }
+  }
+}
+
+std::uint64_t Hierarchy::dramLines() const {
+  return caches_.back()->stats().misses;
+}
+
+std::uint64_t Hierarchy::dramBytes() const {
+  return dramLines() * static_cast<std::uint64_t>(lineBytes_);
+}
+
+double Hierarchy::totalCycles() const {
+  double cycles = 0.0;
+  for (std::size_t l = 0; l < caches_.size(); ++l) {
+    // Every access that reaches level l pays its hit latency.
+    cycles += static_cast<double>(caches_[l]->stats().accesses) *
+              hitLatency_[l];
+  }
+  cycles += static_cast<double>(dramLines()) * dramLatency_;
+  return cycles;
+}
+
+void Hierarchy::reset() {
+  for (auto& c : caches_) c->reset();
+}
+
+} // namespace motune::cachesim

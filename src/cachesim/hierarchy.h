@@ -1,0 +1,45 @@
+// Multi-level cache hierarchy driven by byte-granular memory traces.
+#pragma once
+
+#include "cachesim/cache.h"
+#include "machine/machine.h"
+
+#include <memory>
+#include <vector>
+
+namespace motune::cachesim {
+
+/// Inclusive-fetch multi-level hierarchy: an access that misses level l is
+/// forwarded to level l+1; a final-level miss counts as DRAM traffic.
+class Hierarchy {
+public:
+  /// Builds one private hierarchy slice as seen by a single thread on
+  /// `machine` when `threads` threads are running: shared levels are
+  /// modeled by a proportionally smaller per-thread slice (same
+  /// associativity, fewer sets — capacity rounded to keep power-of-two
+  /// set counts where possible).
+  Hierarchy(const machine::MachineModel& machine, int threads);
+
+  /// Accesses `sizeBytes` bytes starting at `addr` (split into lines).
+  void access(Addr addr, std::int64_t sizeBytes, bool isWrite);
+
+  std::size_t levels() const { return caches_.size(); }
+  const SetAssocCache& level(std::size_t i) const { return *caches_[i]; }
+
+  /// Misses of the last cache level, i.e. lines fetched from DRAM.
+  std::uint64_t dramLines() const;
+  std::uint64_t dramBytes() const;
+
+  /// Total simulated access cost in cycles (hit latencies plus DRAM).
+  double totalCycles() const;
+
+  void reset();
+
+private:
+  std::vector<std::unique_ptr<SetAssocCache>> caches_;
+  std::vector<int> hitLatency_;
+  std::int64_t lineBytes_;
+  int dramLatency_;
+};
+
+} // namespace motune::cachesim

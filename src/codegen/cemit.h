@@ -1,0 +1,39 @@
+// C back end: turns IR programs into compilable C functions and emits the
+// multi-versioned region modules of the paper's backend (Fig. 3 label 5,
+// Fig. 6): one specialized function per Pareto-optimal configuration plus a
+// statically initialized version table carrying the trade-off metadata the
+// runtime system consults.
+#pragma once
+
+#include "ir/program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace motune::codegen {
+
+/// Emits a self-contained C function `void <fnName>(double* A, ...)` with
+/// one pointer parameter per array (row-major, cast to the declared shape
+/// inside). Parallel loops carry OpenMP pragmas.
+std::string emitFunction(const ir::Program& program, const std::string& fnName,
+                         bool emitPragmas = true);
+
+/// Metadata attached to one generated code version (paper Fig. 6: each
+/// entry describes the trade-off the version represents).
+struct VersionDescriptor {
+  ir::Program program;
+  std::vector<std::int64_t> tileSizes;
+  int threads = 1;
+  double estTimeSeconds = 0.0;
+  double estResources = 0.0; ///< threads x time, the second objective
+};
+
+/// Emits a full multi-versioned C module for one region: all version
+/// functions, a `motune_<region>_version_t` metadata struct, the statically
+/// initialized version table and a count symbol. The runtime (or any
+/// third-party scheduler) selects a version by scanning the table.
+std::string emitMultiVersionModule(const std::string& regionName,
+                                   const std::vector<VersionDescriptor>& versions);
+
+} // namespace motune::codegen

@@ -1,0 +1,46 @@
+// Brute-force grid search — the paper's "extensive search within a
+// necessarily restricted search space" (§V.B.1): evaluate every point of a
+// per-dimension value grid (e.g. ~14,000 tile-size combinations times the
+// evaluated thread counts for mm) and keep the non-dominated set.
+//
+// Besides the Pareto front, the result retains every evaluated point — the
+// Table II / Table V analyses need the per-thread-count optima and
+// cross-application losses, and Fig. 8 plots all points.
+#pragma once
+
+#include "core/result.h"
+#include "runtime/thread_pool.h"
+#include "tuning/evaluator.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace motune::opt {
+
+struct GridSpec {
+  /// Explicit values per parameter dimension, innermost-last; the cartesian
+  /// product is evaluated.
+  std::vector<std::vector<std::int64_t>> values;
+
+  std::uint64_t points() const;
+};
+
+/// Roughly geometric value ladder in [lo, hi] with about `count` entries
+/// (the paper's restricted brute-force grid for tile sizes).
+std::vector<std::int64_t> geometricValues(std::int64_t lo, std::int64_t hi,
+                                          std::size_t count);
+
+class GridSearch {
+public:
+  GridSearch(tuning::ObjectiveFunction& fn, runtime::ThreadPool& pool,
+             GridSpec spec, bool parallelEvaluation = true);
+  OptResult run(); ///< population = all evaluated points
+
+private:
+  tuning::ObjectiveFunction& fn_;
+  runtime::ThreadPool& pool_;
+  GridSpec spec_;
+  bool parallel_;
+};
+
+} // namespace motune::opt

@@ -1,0 +1,41 @@
+// NSGA-II (Deb et al. 2002) — not part of the paper, included as an
+// additional comparator for the ablation study: it shares the Pareto
+// machinery with GDE3 but uses SBX crossover + polynomial mutation and
+// binary tournament selection, which lets the benches separate "multi-
+// objective evolutionary search" from the specific DE + rough-set design
+// the paper proposes.
+#pragma once
+
+#include "core/result.h"
+#include "runtime/thread_pool.h"
+#include "support/rng.h"
+#include "tuning/evaluator.h"
+
+namespace motune::opt {
+
+struct NSGA2Options {
+  std::size_t population = 30;
+  int maxGenerations = 100;
+  int noImproveLimit = 3;
+  double improveEpsilon = 1e-4;
+  double crossoverProb = 0.9;
+  double mutationProbPerGene = -1.0; ///< <0 selects 1/dims
+  double sbxEta = 15.0;
+  double mutationEta = 20.0;
+  std::uint64_t seed = 1;
+  bool parallelEvaluation = true;
+};
+
+class NSGA2 {
+public:
+  NSGA2(tuning::ObjectiveFunction& fn, runtime::ThreadPool& pool,
+        NSGA2Options options = {});
+  OptResult run();
+
+private:
+  tuning::ObjectiveFunction& fn_;
+  runtime::ThreadPool& pool_;
+  NSGA2Options options_;
+};
+
+} // namespace motune::opt

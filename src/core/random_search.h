@@ -1,0 +1,32 @@
+// Random search baseline (paper §V.B.3): "generates random configurations,
+// evaluates them and returns those which are non-dominated". The evaluation
+// budget is set to match RS-GDE3's so Table VI/Fig. 9 compare equal effort.
+#pragma once
+
+#include "core/result.h"
+#include "runtime/thread_pool.h"
+#include "tuning/evaluator.h"
+
+#include <cstdint>
+
+namespace motune::opt {
+
+struct RandomSearchOptions {
+  std::uint64_t budget = 1000; ///< unique configurations to evaluate
+  std::uint64_t seed = 1;
+  bool parallelEvaluation = true;
+};
+
+class RandomSearch {
+public:
+  RandomSearch(tuning::ObjectiveFunction& fn, runtime::ThreadPool& pool,
+               RandomSearchOptions options = {});
+  OptResult run();
+
+private:
+  tuning::ObjectiveFunction& fn_;
+  runtime::ThreadPool& pool_;
+  RandomSearchOptions options_;
+};
+
+} // namespace motune::opt

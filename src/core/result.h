@@ -1,0 +1,21 @@
+// Result type shared by all search strategies, carrying the three metrics
+// Table VI compares: the solution set S, the evaluation count E and (via
+// HypervolumeMetric) V(S).
+#pragma once
+
+#include "core/pareto.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace motune::opt {
+
+struct OptResult {
+  std::vector<Individual> front;      ///< non-dominated solutions found
+  std::vector<Individual> population; ///< final population (if applicable)
+  std::uint64_t evaluations = 0;      ///< E: unique configurations evaluated
+  int generations = 0;                ///< iterations performed
+  std::vector<double> hvHistory;      ///< per-generation front hypervolume
+};
+
+} // namespace motune::opt

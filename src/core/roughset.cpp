@@ -1,0 +1,49 @@
+#include "core/roughset.h"
+
+#include "support/check.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace motune::opt {
+
+tuning::Boundary roughSetReduce(std::span<const Individual> population,
+                                const tuning::Boundary& full) {
+  MOTUNE_CHECK(!population.empty());
+  const std::size_t dims = full.dims();
+
+  const auto ndIdx = nonDominatedIndices(population);
+  std::vector<bool> isNd(population.size(), false);
+  for (std::size_t i : ndIdx) isNd[i] = true;
+
+  // Without dominated witnesses there is nothing to cut away.
+  if (ndIdx.size() == population.size()) return full;
+
+  tuning::Boundary reduced = full;
+  for (std::size_t d = 0; d < dims; ++d) {
+    // Span of the non-dominated solutions along dimension d.
+    double ndLo = std::numeric_limits<double>::infinity();
+    double ndHi = -std::numeric_limits<double>::infinity();
+    for (std::size_t i : ndIdx) {
+      const auto v = static_cast<double>(population[i].config[d]);
+      ndLo = std::min(ndLo, v);
+      ndHi = std::max(ndHi, v);
+    }
+
+    // Tightest dominated coordinates strictly outside that span: they
+    // become the edges of the largest enclosing hyper-rectangle.
+    double cutLo = full.lo[d];
+    double cutHi = full.hi[d];
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      if (isNd[i]) continue;
+      const auto v = static_cast<double>(population[i].config[d]);
+      if (v < ndLo) cutLo = std::max(cutLo, v);
+      if (v > ndHi) cutHi = std::min(cutHi, v);
+    }
+    reduced.lo[d] = cutLo;
+    reduced.hi[d] = cutHi;
+  }
+  return reduced;
+}
+
+} // namespace motune::opt

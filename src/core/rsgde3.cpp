@@ -1,0 +1,37 @@
+#include "core/rsgde3.h"
+
+#include "core/roughset.h"
+
+namespace motune::opt {
+
+RSGDE3::RSGDE3(tuning::ObjectiveFunction& fn, runtime::ThreadPool& pool,
+               RSGDE3Options options)
+    : fn_(fn), pool_(pool), options_(options) {}
+
+OptResult RSGDE3::run() {
+  const int maxGens = options_.maxTotalGenerations > 0
+                          ? options_.maxTotalGenerations
+                          : options_.gde3.maxGenerations;
+  GDE3Options inner = options_.gde3;
+  inner.maxGenerations = maxGens;
+  GDE3 engine(fn_, pool_, inner);
+  const tuning::Boundary full = tuning::Boundary::fromSpace(fn_.space());
+
+  engine.initialize();
+  if (options_.reductionEnabled)
+    engine.setBoundary(roughSetReduce(engine.population(), full));
+
+  // Loop of Fig. 4: one GDE3 generation, then rebuild the reduced search
+  // space from the new population; terminate when generations stop
+  // improving the solution set.
+  int flat = 0;
+  while (flat < options_.gde3.noImproveLimit &&
+         engine.generationsDone() < maxGens) {
+    flat = engine.step() ? 0 : flat + 1;
+    if (options_.reductionEnabled)
+      engine.setBoundary(roughSetReduce(engine.population(), full));
+  }
+  return engine.snapshot();
+}
+
+} // namespace motune::opt

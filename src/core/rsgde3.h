@@ -1,0 +1,34 @@
+// RS-GDE3: the paper's novel multi-objective optimization algorithm
+// (§III.B, Fig. 4) — GDE3 generations interleaved with rough-set search
+// space reduction. Each iteration generates new configurations with GDE3
+// inside the current boundary, then rebuilds the boundary from the new
+// population ("we continuously update the reduced search space ... to
+// gradually steer the search towards the area where the optimal Pareto set
+// is located"). Terminates when results stop improving.
+#pragma once
+
+#include "core/gde3.h"
+
+namespace motune::opt {
+
+struct RSGDE3Options {
+  GDE3Options gde3;
+  bool reductionEnabled = true; ///< false = plain GDE3 (ablation switch)
+  int maxTotalGenerations = 0; ///< hard generation cap; 0 = inherit
+                               ///< gde3.maxGenerations
+};
+
+class RSGDE3 {
+public:
+  RSGDE3(tuning::ObjectiveFunction& fn, runtime::ThreadPool& pool,
+         RSGDE3Options options = {});
+
+  OptResult run();
+
+private:
+  tuning::ObjectiveFunction& fn_;
+  runtime::ThreadPool& pool_;
+  RSGDE3Options options_;
+};
+
+} // namespace motune::opt

@@ -1,0 +1,172 @@
+#include "core/testproblems.h"
+
+#include "core/hypervolume.h"
+#include "support/check.h"
+
+#include <cmath>
+
+namespace motune::opt {
+
+SyntheticProblem::SyntheticProblem(std::string name, std::size_t vars,
+                                   double lo, double hi,
+                                   std::size_t objectives, Fn fn,
+                                   std::int64_t resolution)
+    : name_(std::move(name)), vars_(vars), lo_(lo), hi_(hi), m_(objectives),
+      fn_(std::move(fn)), resolution_(resolution) {
+  MOTUNE_CHECK(vars >= 1 && resolution >= 2 && hi > lo);
+  for (std::size_t v = 0; v < vars_; ++v)
+    space_.push_back({"x" + std::to_string(v), 0, resolution_});
+}
+
+std::vector<double> SyntheticProblem::decode(const tuning::Config& c) const {
+  MOTUNE_CHECK(c.size() == vars_);
+  std::vector<double> x(vars_);
+  for (std::size_t v = 0; v < vars_; ++v)
+    x[v] = lo_ + (hi_ - lo_) * static_cast<double>(c[v]) /
+                     static_cast<double>(resolution_);
+  return x;
+}
+
+tuning::Objectives SyntheticProblem::evaluate(const tuning::Config& config) {
+  return fn_(decode(config));
+}
+
+SyntheticProblem makeSchaffer() {
+  return {"schaffer", 1, -10.0, 10.0, 2, [](const std::vector<double>& x) {
+            return tuning::Objectives{x[0] * x[0], (x[0] - 2) * (x[0] - 2)};
+          }};
+}
+
+SyntheticProblem makeFonseca() {
+  return {"fonseca", 3, -4.0, 4.0, 2, [](const std::vector<double>& x) {
+            const double a = 1.0 / std::sqrt(3.0);
+            double s1 = 0.0, s2 = 0.0;
+            for (double xi : x) {
+              s1 += (xi - a) * (xi - a);
+              s2 += (xi + a) * (xi + a);
+            }
+            return tuning::Objectives{1.0 - std::exp(-s1),
+                                      1.0 - std::exp(-s2)};
+          }};
+}
+
+namespace {
+double zdtG(const std::vector<double>& x) {
+  double s = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) s += x[i];
+  return 1.0 + 9.0 * s / static_cast<double>(x.size() - 1);
+}
+} // namespace
+
+SyntheticProblem makeZDT1() {
+  return {"zdt1", 30, 0.0, 1.0, 2, [](const std::vector<double>& x) {
+            const double g = zdtG(x);
+            return tuning::Objectives{x[0],
+                                      g * (1.0 - std::sqrt(x[0] / g))};
+          }};
+}
+
+SyntheticProblem makeZDT2() {
+  return {"zdt2", 30, 0.0, 1.0, 2, [](const std::vector<double>& x) {
+            const double g = zdtG(x);
+            const double r = x[0] / g;
+            return tuning::Objectives{x[0], g * (1.0 - r * r)};
+          }};
+}
+
+SyntheticProblem makeZDT3() {
+  return {"zdt3", 30, 0.0, 1.0, 2, [](const std::vector<double>& x) {
+            const double g = zdtG(x);
+            const double r = x[0] / g;
+            return tuning::Objectives{
+                x[0], g * (1.0 - std::sqrt(r) -
+                           r * std::sin(10.0 * std::acos(-1.0) * x[0]))};
+          }};
+}
+
+SyntheticProblem makeZDT6() {
+  return {"zdt6", 10, 0.0, 1.0, 2, [](const std::vector<double>& x) {
+            const double pi = std::acos(-1.0);
+            const double s6 = std::pow(std::sin(6.0 * pi * x[0]), 6.0);
+            const double f1 = 1.0 - std::exp(-4.0 * x[0]) * s6;
+            double s = 0.0;
+            for (std::size_t i = 1; i < x.size(); ++i) s += x[i];
+            const double g =
+                1.0 + 9.0 * std::pow(s / static_cast<double>(x.size() - 1),
+                                     0.25);
+            const double r = f1 / g;
+            return tuning::Objectives{f1, g * (1.0 - r * r)};
+          }};
+}
+
+SyntheticProblem makeKursawe() {
+  return {"kursawe", 3, -5.0, 5.0, 2, [](const std::vector<double>& x) {
+            double f1 = 0.0, f2 = 0.0;
+            for (std::size_t i = 0; i + 1 < x.size(); ++i)
+              f1 += -10.0 * std::exp(-0.2 * std::sqrt(x[i] * x[i] +
+                                                      x[i + 1] * x[i + 1]));
+            for (double xi : x)
+              f2 += std::pow(std::abs(xi), 0.8) +
+                    5.0 * std::sin(xi * xi * xi);
+            // Shift into the positive quadrant so the hypervolume metric
+            // applies unchanged (f1 in [-20, 0], f2 in [-12, ~26]).
+            return tuning::Objectives{f1 + 20.0, f2 + 15.0};
+          }};
+}
+
+double idealHypervolume(const std::string& problemName) {
+  // All values are the exact (or numerically converged, 200k-point
+  // parametric sampling) hypervolume of the true Pareto front after
+  // normalizing each objective by 1.0 and using the (1, 1) reference.
+  // Closed forms: schaffer needs worst = (4, 4): 5/6; zdt1: 2/3;
+  // zdt2: 1/3 (see header comments). The sampled fronts below reproduce
+  // these to ~1e-5, so one code path serves every problem.
+  const std::size_t samples = 200001;
+  std::vector<Objectives> pts;
+  pts.reserve(samples);
+
+  if (problemName == "schaffer") {
+    for (std::size_t i = 0; i < samples; ++i) {
+      const double x = 2.0 * static_cast<double>(i) / (samples - 1);
+      pts.push_back({x * x / 4.0, (x - 2) * (x - 2) / 4.0}); // worst (4,4)
+    }
+    return hypervolume2d(std::move(pts), {1.0, 1.0});
+  }
+  if (problemName == "fonseca") {
+    const double a = 1.0 / std::sqrt(3.0);
+    for (std::size_t i = 0; i < samples; ++i) {
+      const double x = -a + 2.0 * a * static_cast<double>(i) / (samples - 1);
+      pts.push_back({1.0 - std::exp(-3.0 * (x - a) * (x - a)),
+                     1.0 - std::exp(-3.0 * (x + a) * (x + a))});
+    }
+    return hypervolume2d(std::move(pts), {1.0, 1.0});
+  }
+  if (problemName == "zdt1") {
+    for (std::size_t i = 0; i < samples; ++i) {
+      const double f1 = static_cast<double>(i) / (samples - 1);
+      pts.push_back({f1, 1.0 - std::sqrt(f1)});
+    }
+    return hypervolume2d(std::move(pts), {1.0, 1.0});
+  }
+  if (problemName == "zdt2") {
+    for (std::size_t i = 0; i < samples; ++i) {
+      const double f1 = static_cast<double>(i) / (samples - 1);
+      pts.push_back({f1, 1.0 - f1 * f1});
+    }
+    return hypervolume2d(std::move(pts), {1.0, 1.0});
+  }
+  if (problemName == "zdt6") {
+    const double pi = std::acos(-1.0);
+    for (std::size_t i = 0; i < samples; ++i) {
+      const double x = static_cast<double>(i) / (samples - 1);
+      const double f1 =
+          1.0 - std::exp(-4.0 * x) * std::pow(std::sin(6.0 * pi * x), 6.0);
+      pts.push_back({f1, 1.0 - f1 * f1});
+    }
+    return hypervolume2d(std::move(pts), {1.0, 1.0});
+  }
+  MOTUNE_CHECK_MSG(false, "no ideal hypervolume known for " + problemName);
+  return 0.0;
+}
+
+} // namespace motune::opt

@@ -1,0 +1,64 @@
+// Standard multi-objective benchmark problems with analytically known
+// Pareto fronts (Schaffer, Fonseca-Fleming, ZDT suite, Kursawe).
+//
+// These are not in the paper; they validate the optimizer implementations:
+// the tests drive GDE3/RS-GDE3/NSGA-II against fronts whose geometry and
+// hypervolume are known in closed form. Continuous variables are mapped
+// onto an integer grid so the problems exercise the same Config pathway as
+// the tuning problems.
+#pragma once
+
+#include "tuning/kernel_problem.h" // ObjectiveFunction
+
+#include <functional>
+#include <string>
+
+namespace motune::opt {
+
+/// A continuous test problem exposed through the integer Config interface:
+/// each variable is discretized into `resolution` + 1 grid steps.
+class SyntheticProblem final : public tuning::ObjectiveFunction {
+public:
+  using Fn = std::function<tuning::Objectives(const std::vector<double>&)>;
+
+  SyntheticProblem(std::string name, std::size_t vars, double lo, double hi,
+                   std::size_t objectives, Fn fn,
+                   std::int64_t resolution = 10000);
+
+  std::size_t numObjectives() const override { return m_; }
+  const std::vector<tuning::ParamSpec>& space() const override {
+    return space_;
+  }
+  tuning::Objectives evaluate(const tuning::Config& config) override;
+
+  /// Decodes a configuration back to continuous variables.
+  std::vector<double> decode(const tuning::Config& config) const;
+
+  const std::string& name() const { return name_; }
+
+private:
+  std::string name_;
+  std::size_t vars_;
+  double lo_, hi_;
+  std::size_t m_;
+  Fn fn_;
+  std::int64_t resolution_;
+  std::vector<tuning::ParamSpec> space_;
+};
+
+// Factories. Each documents its true Pareto front; `idealHypervolume` gives
+// the exact normalized hypervolume of the true front under the stated
+// normalization (see testproblems.cpp), used as the test target.
+SyntheticProblem makeSchaffer();  ///< f = (x^2, (x-2)^2), front x in [0,2]
+SyntheticProblem makeFonseca();   ///< 3 vars in [-4,4], concave front
+SyntheticProblem makeZDT1();      ///< 30 vars, convex front f2 = 1 - sqrt(f1)
+SyntheticProblem makeZDT2();      ///< 30 vars, concave front f2 = 1 - f1^2
+SyntheticProblem makeZDT3();      ///< 30 vars, disconnected front
+SyntheticProblem makeZDT6();      ///< 10 vars, nonuniform concave front
+SyntheticProblem makeKursawe();   ///< 3 vars in [-5,5], disconnected front
+
+/// Exact hypervolume of the true front w.r.t. the normalization used by the
+/// optimizer tests (reference box documented per problem in the .cpp).
+double idealHypervolume(const std::string& problemName);
+
+} // namespace motune::opt

@@ -1,0 +1,160 @@
+#include "ir/affine.h"
+
+#include "support/check.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace motune::ir {
+
+void Env::set(const std::string& name, std::int64_t value) {
+  for (auto& [n, v] : vars_) {
+    if (n == name) {
+      v = value;
+      return;
+    }
+  }
+  vars_.emplace_back(name, value);
+}
+
+std::int64_t Env::get(const std::string& name) const {
+  for (const auto& [n, v] : vars_)
+    if (n == name) return v;
+  MOTUNE_CHECK_MSG(false, "unbound variable: " + name);
+  return 0;
+}
+
+bool Env::has(const std::string& name) const {
+  return std::any_of(vars_.begin(), vars_.end(),
+                     [&](const auto& p) { return p.first == name; });
+}
+
+AffineExpr AffineExpr::constant(std::int64_t c) {
+  AffineExpr e;
+  e.constant_ = c;
+  return e;
+}
+
+AffineExpr AffineExpr::var(const std::string& name, std::int64_t coeff) {
+  AffineExpr e;
+  e.addTerm(name, coeff);
+  return e;
+}
+
+void AffineExpr::addTerm(const std::string& name, std::int64_t coeff) {
+  if (coeff == 0) return;
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), name,
+      [](const auto& term, const std::string& n) { return term.first < n; });
+  if (it != terms_.end() && it->first == name) {
+    it->second += coeff;
+    if (it->second == 0) terms_.erase(it);
+  } else {
+    terms_.insert(it, {name, coeff});
+  }
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& rhs) const {
+  AffineExpr out = *this;
+  out.constant_ += rhs.constant_;
+  for (const auto& [name, coeff] : rhs.terms_) out.addTerm(name, coeff);
+  return out;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& rhs) const {
+  return *this + rhs * -1;
+}
+
+AffineExpr AffineExpr::operator*(std::int64_t factor) const {
+  AffineExpr out;
+  out.constant_ = constant_ * factor;
+  if (factor != 0) {
+    out.terms_ = terms_;
+    for (auto& [name, coeff] : out.terms_) coeff *= factor;
+  }
+  return out;
+}
+
+AffineExpr AffineExpr::operator+(std::int64_t c) const {
+  AffineExpr out = *this;
+  out.constant_ += c;
+  return out;
+}
+
+AffineExpr AffineExpr::operator-(std::int64_t c) const {
+  return *this + (-c);
+}
+
+std::int64_t AffineExpr::eval(const Env& env) const {
+  std::int64_t value = constant_;
+  for (const auto& [name, coeff] : terms_) value += coeff * env.get(name);
+  return value;
+}
+
+std::int64_t AffineExpr::coeffOf(const std::string& name) const {
+  for (const auto& [n, c] : terms_)
+    if (n == name) return c;
+  return 0;
+}
+
+bool AffineExpr::dependsOn(const std::string& name) const {
+  return coeffOf(name) != 0;
+}
+
+AffineExpr AffineExpr::substitute(const std::string& name,
+                                  const AffineExpr& replacement) const {
+  const std::int64_t coeff = coeffOf(name);
+  if (coeff == 0) return *this;
+  AffineExpr out = *this;
+  out.addTerm(name, -coeff); // drop the term
+  return out + replacement * coeff;
+}
+
+std::vector<std::string> AffineExpr::variables() const {
+  std::vector<std::string> names;
+  names.reserve(terms_.size());
+  for (const auto& [name, coeff] : terms_) {
+    (void)coeff;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string AffineExpr::str() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, coeff] : terms_) {
+    if (!first) os << (coeff >= 0 ? " + " : " - ");
+    const std::int64_t mag = first ? coeff : std::abs(coeff);
+    if (first && coeff < 0) os << "-";
+    if (std::abs(mag) != 1)
+      os << std::abs(mag) << "*" << name;
+    else
+      os << name;
+    first = false;
+  }
+  if (constant_ != 0 || first) {
+    if (!first) os << (constant_ >= 0 ? " + " : " - ");
+    os << (first ? constant_ : std::abs(constant_));
+  }
+  return os.str();
+}
+
+std::int64_t Bound::eval(const Env& env) const {
+  const std::int64_t b = base.eval(env);
+  return cap ? std::min(b, cap->eval(env)) : b;
+}
+
+Bound Bound::substitute(const std::string& name, const AffineExpr& repl) const {
+  Bound out;
+  out.base = base.substitute(name, repl);
+  if (cap) out.cap = cap->substitute(name, repl);
+  return out;
+}
+
+std::string Bound::str() const {
+  if (!cap) return base.str();
+  return "min(" + base.str() + ", " + cap->str() + ")";
+}
+
+} // namespace motune::ir

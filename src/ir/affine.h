@@ -1,0 +1,91 @@
+// Affine integer expressions over named loop induction variables.
+//
+// Loop bounds and array subscripts in the IR are affine: c0 + sum ci * iv_i.
+// This restriction is what makes dependence analysis, tiling legality and
+// the footprint-based performance model decidable, mirroring the polyhedral
+// subset the paper's analyzer operates on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace motune::ir {
+
+/// Evaluation environment mapping induction-variable names to values.
+class Env {
+public:
+  void set(const std::string& name, std::int64_t value);
+  std::int64_t get(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+private:
+  // Loop nests are shallow (<= ~12 levels after tiling); linear scan over a
+  // small vector beats a hash map here.
+  std::vector<std::pair<std::string, std::int64_t>> vars_;
+};
+
+/// c0 + sum_i ci * iv_i with integer coefficients; terms kept sorted by name.
+class AffineExpr {
+public:
+  AffineExpr() = default;
+
+  static AffineExpr constant(std::int64_t c);
+  static AffineExpr var(const std::string& name, std::int64_t coeff = 1);
+
+  AffineExpr operator+(const AffineExpr& rhs) const;
+  AffineExpr operator-(const AffineExpr& rhs) const;
+  AffineExpr operator*(std::int64_t factor) const;
+  AffineExpr operator+(std::int64_t c) const;
+  AffineExpr operator-(std::int64_t c) const;
+
+  std::int64_t eval(const Env& env) const;
+
+  std::int64_t constantTerm() const { return constant_; }
+  std::int64_t coeffOf(const std::string& name) const;
+  bool dependsOn(const std::string& name) const;
+  bool isConstant() const { return terms_.empty(); }
+
+  /// Substitutes variable `name` with another affine expression (used by
+  /// loop transformations, e.g. unrolling replaces iv with iv + offset).
+  AffineExpr substitute(const std::string& name,
+                        const AffineExpr& replacement) const;
+
+  /// All variables with non-zero coefficient, in sorted order.
+  std::vector<std::string> variables() const;
+
+  const std::vector<std::pair<std::string, std::int64_t>>& terms() const {
+    return terms_;
+  }
+
+  std::string str() const;
+
+  bool operator==(const AffineExpr& rhs) const = default;
+
+private:
+  void addTerm(const std::string& name, std::int64_t coeff);
+
+  std::int64_t constant_ = 0;
+  std::vector<std::pair<std::string, std::int64_t>> terms_;
+};
+
+/// An upper loop bound of the form min(base, cap); `cap` appears on the
+/// inner point loops produced by tiling (i < min(it + T, N)).
+struct Bound {
+  AffineExpr base;
+  std::optional<AffineExpr> cap;
+
+  Bound() = default;
+  Bound(AffineExpr b) : base(std::move(b)) {} // NOLINT(google-explicit-*)
+  Bound(AffineExpr b, AffineExpr c) : base(std::move(b)), cap(std::move(c)) {}
+
+  std::int64_t eval(const Env& env) const;
+  Bound substitute(const std::string& name, const AffineExpr& repl) const;
+  std::string str() const;
+  bool operator==(const Bound& rhs) const = default;
+};
+
+} // namespace motune::ir

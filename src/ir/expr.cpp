@@ -1,0 +1,97 @@
+#include "ir/expr.h"
+
+namespace motune::ir {
+
+ExprPtr constant(double v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Const;
+  e->constant = v;
+  return e;
+}
+
+ExprPtr ivRef(const std::string& name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::IvRef;
+  e->iv = name;
+  return e;
+}
+
+ExprPtr read(const std::string& array, std::vector<AffineExpr> subs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Read;
+  e->array = array;
+  e->subscripts = std::move(subs);
+  return e;
+}
+
+ExprPtr binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Binary;
+  e->binOp = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr unary(UnOp op, ExprPtr operand) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Unary;
+  e->unOp = op;
+  e->lhs = std::move(operand);
+  return e;
+}
+
+ExprPtr sqrtOf(ExprPtr x) { return unary(UnOp::Sqrt, std::move(x)); }
+
+ExprPtr Expr::substitute(const std::string& name,
+                         const AffineExpr& repl) const {
+  switch (kind) {
+  case Kind::Const:
+    return std::make_shared<Expr>(*this);
+  case Kind::IvRef: {
+    if (iv != name) return std::make_shared<Expr>(*this);
+    // Only a plain variable or constant replacement keeps an IvRef valid;
+    // general affine replacements are not needed for IvRefs in practice
+    // (unrolling replaces iv with iv + const, handled below).
+    auto out = std::make_shared<Expr>(*this);
+    if (repl.isConstant()) {
+      out->kind = Kind::Const;
+      out->constant = static_cast<double>(repl.constantTerm());
+      out->iv.clear();
+      return out;
+    }
+    // iv -> a*iv' + c is representable as an expression tree.
+    const auto& terms = repl.terms();
+    ExprPtr acc = ::motune::ir::constant(
+        static_cast<double>(repl.constantTerm()));
+    for (const auto& [var, coeff] : terms) {
+      ExprPtr term = ivRef(var);
+      if (coeff != 1)
+        term = binary(BinOp::Mul,
+                      ::motune::ir::constant(static_cast<double>(coeff)),
+                      term);
+      acc = binary(BinOp::Add, acc, term);
+    }
+    return acc;
+  }
+  case Kind::Read: {
+    auto out = std::make_shared<Expr>(*this);
+    for (auto& sub : out->subscripts) sub = sub.substitute(name, repl);
+    return out;
+  }
+  case Kind::Binary: {
+    auto out = std::make_shared<Expr>(*this);
+    out->lhs = lhs->substitute(name, repl);
+    out->rhs = rhs->substitute(name, repl);
+    return out;
+  }
+  case Kind::Unary: {
+    auto out = std::make_shared<Expr>(*this);
+    out->lhs = lhs->substitute(name, repl);
+    return out;
+  }
+  }
+  return nullptr; // unreachable
+}
+
+} // namespace motune::ir

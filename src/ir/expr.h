@@ -1,0 +1,67 @@
+// Value expressions: the scalar computation inside loop bodies.
+//
+// Expressions form an immutable tree (shared_ptr<const Expr>); subtrees can
+// therefore be shared freely between program versions produced by the
+// transformation pipeline.
+#pragma once
+
+#include "ir/affine.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace motune::ir {
+
+enum class BinOp { Add, Sub, Mul, Div, Min, Max };
+enum class UnOp { Neg, Sqrt, Abs };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// A scalar double-valued expression node.
+struct Expr {
+  enum class Kind { Const, IvRef, Read, Binary, Unary };
+
+  Kind kind;
+
+  // Kind::Const
+  double constant = 0.0;
+  // Kind::IvRef — the induction variable's integer value as a double
+  std::string iv;
+  // Kind::Read — A[sub0][sub1]...
+  std::string array;
+  std::vector<AffineExpr> subscripts;
+  // Kind::Binary / Kind::Unary
+  BinOp binOp = BinOp::Add;
+  UnOp unOp = UnOp::Neg;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  /// Substitutes induction variable `name` inside subscripts and IvRefs.
+  ExprPtr substitute(const std::string& name, const AffineExpr& repl) const;
+};
+
+// Construction helpers — these make kernel builders read like the code they
+// describe (see src/kernels/irbuilders.cpp).
+ExprPtr constant(double v);
+ExprPtr ivRef(const std::string& name);
+ExprPtr read(const std::string& array, std::vector<AffineExpr> subs);
+ExprPtr binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr unary(UnOp op, ExprPtr operand);
+
+inline ExprPtr operator+(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::Add, std::move(a), std::move(b));
+}
+inline ExprPtr operator-(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::Sub, std::move(a), std::move(b));
+}
+inline ExprPtr operator*(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::Mul, std::move(a), std::move(b));
+}
+inline ExprPtr operator/(ExprPtr a, ExprPtr b) {
+  return binary(BinOp::Div, std::move(a), std::move(b));
+}
+ExprPtr sqrtOf(ExprPtr x);
+
+} // namespace motune::ir

@@ -1,0 +1,142 @@
+#include "ir/interp.h"
+
+#include "support/check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace motune::ir {
+
+namespace {
+constexpr std::uint64_t kPageAlign = 4096;
+
+std::uint64_t alignUp(std::uint64_t x) {
+  return (x + kPageAlign - 1) / kPageAlign * kPageAlign;
+}
+} // namespace
+
+Interpreter::Interpreter(const Program& program)
+    : program_(program.clone()) {
+  std::uint64_t nextBase = kPageAlign;
+  for (const auto& decl : program_.arrays) {
+    Storage st;
+    st.decl = &decl;
+    st.data.assign(static_cast<std::size_t>(decl.elements()), 0.0);
+    st.baseAddr = nextBase;
+    nextBase = alignUp(nextBase + static_cast<std::uint64_t>(decl.bytes()));
+    storage_.emplace(decl.name, std::move(st));
+  }
+}
+
+std::vector<double>& Interpreter::array(const std::string& name) {
+  auto it = storage_.find(name);
+  MOTUNE_CHECK_MSG(it != storage_.end(), "unknown array: " + name);
+  return it->second.data;
+}
+
+const std::vector<double>& Interpreter::array(const std::string& name) const {
+  auto it = storage_.find(name);
+  MOTUNE_CHECK_MSG(it != storage_.end(), "unknown array: " + name);
+  return it->second.data;
+}
+
+std::size_t Interpreter::flatIndex(const Storage& st,
+                                   const std::vector<AffineExpr>& subs,
+                                   const Env& env) {
+  const auto& dims = st.decl->dims;
+  MOTUNE_CHECK_MSG(subs.size() == dims.size(),
+                   "subscript rank mismatch for array " + st.decl->name);
+  std::int64_t idx = 0;
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    const std::int64_t s = subs[d].eval(env);
+    MOTUNE_CHECK_MSG(s >= 0 && s < dims[d],
+                     "out-of-bounds access to array " + st.decl->name);
+    idx = idx * dims[d] + s;
+  }
+  return static_cast<std::size_t>(idx);
+}
+
+double Interpreter::evalExpr(const Expr& e, const Env& env) {
+  switch (e.kind) {
+  case Expr::Kind::Const:
+    return e.constant;
+  case Expr::Kind::IvRef:
+    return static_cast<double>(env.get(e.iv));
+  case Expr::Kind::Read: {
+    auto it = storage_.find(e.array);
+    MOTUNE_CHECK_MSG(it != storage_.end(), "unknown array: " + e.array);
+    const Storage& st = it->second;
+    const std::size_t idx = flatIndex(st, e.subscripts, env);
+    if (trace_)
+      trace_(st.baseAddr + idx * static_cast<std::uint64_t>(st.decl->elemBytes),
+             st.decl->elemBytes, /*isWrite=*/false);
+    return st.data[idx];
+  }
+  case Expr::Kind::Binary: {
+    const double a = evalExpr(*e.lhs, env);
+    const double b = evalExpr(*e.rhs, env);
+    switch (e.binOp) {
+    case BinOp::Add: return a + b;
+    case BinOp::Sub: return a - b;
+    case BinOp::Mul: return a * b;
+    case BinOp::Div: return a / b;
+    case BinOp::Min: return std::min(a, b);
+    case BinOp::Max: return std::max(a, b);
+    }
+    break;
+  }
+  case Expr::Kind::Unary: {
+    const double a = evalExpr(*e.lhs, env);
+    switch (e.unOp) {
+    case UnOp::Neg: return -a;
+    case UnOp::Sqrt: return std::sqrt(a);
+    case UnOp::Abs: return std::abs(a);
+    }
+    break;
+  }
+  }
+  MOTUNE_CHECK_MSG(false, "unreachable expression kind");
+  return 0.0;
+}
+
+void Interpreter::execAssign(const Assign& a, Env& env) {
+  ++stmtCount_;
+  auto it = storage_.find(a.array);
+  MOTUNE_CHECK_MSG(it != storage_.end(), "unknown array: " + a.array);
+  Storage& st = it->second;
+  const double value = evalExpr(*a.rhs, env);
+  const std::size_t idx = flatIndex(st, a.subscripts, env);
+  const std::uint64_t addr =
+      st.baseAddr + idx * static_cast<std::uint64_t>(st.decl->elemBytes);
+  if (a.accumulate) {
+    if (trace_) trace_(addr, st.decl->elemBytes, /*isWrite=*/false);
+    st.data[idx] += value;
+  } else {
+    st.data[idx] = value;
+  }
+  if (trace_) trace_(addr, st.decl->elemBytes, /*isWrite=*/true);
+}
+
+void Interpreter::execLoop(const Loop& loop, Env& env) {
+  const std::int64_t lo = loop.lower.eval(env);
+  const std::int64_t hi = loop.upper.eval(env);
+  for (std::int64_t v = lo; v < hi; v += loop.step) {
+    env.set(loop.iv, v);
+    for (const auto& child : loop.body) execStmt(*child, env);
+  }
+}
+
+void Interpreter::execStmt(const Stmt& s, Env& env) {
+  if (s.kind == Stmt::Kind::Loop)
+    execLoop(s.loop, env);
+  else
+    execAssign(s.assign, env);
+}
+
+void Interpreter::run() {
+  stmtCount_ = 0;
+  Env env;
+  for (const auto& s : program_.body) execStmt(*s, env);
+}
+
+} // namespace motune::ir

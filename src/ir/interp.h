@@ -1,0 +1,68 @@
+// Reference interpreter for IR programs.
+//
+// Two purposes: (1) semantic ground truth — property tests execute original
+// and transformed programs and require bit-identical array contents, which
+// is how tiling/collapse/unroll legality is validated end-to-end; and
+// (2) memory-trace generation for the trace-driven cache simulator, which
+// cross-validates the analytical performance model.
+#pragma once
+
+#include "ir/program.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace motune::ir {
+
+class Interpreter {
+public:
+  /// Called for every array element touched: absolute byte address, size,
+  /// and whether the access writes.
+  using TraceFn =
+      std::function<void(std::uint64_t addr, int bytes, bool isWrite)>;
+
+  /// Takes a deep copy of the program, so temporaries are safe to pass.
+  explicit Interpreter(const Program& program);
+
+  /// Read/write access to an array's backing store (for input setup and
+  /// result comparison). Arrays are zero-initialized.
+  std::vector<double>& array(const std::string& name);
+  const std::vector<double>& array(const std::string& name) const;
+
+  /// Installs a memory-trace callback (pass nullptr to disable).
+  void setTrace(TraceFn trace) { trace_ = std::move(trace); }
+
+  /// Executes the whole program sequentially. Parallel markers are ignored:
+  /// the loops the analyzer marks parallel are exactly those whose
+  /// iterations are independent, so sequential execution is a valid
+  /// schedule and keeps results deterministic.
+  void run();
+
+  /// Number of assignments executed by the last run().
+  std::uint64_t statementsExecuted() const { return stmtCount_; }
+
+private:
+  struct Storage {
+    const ArrayDecl* decl;
+    std::vector<double> data;
+    std::uint64_t baseAddr; // for trace generation
+  };
+
+  double evalExpr(const Expr& e, const Env& env);
+  void execStmt(const Stmt& s, Env& env);
+  void execLoop(const Loop& loop, Env& env);
+  void execAssign(const Assign& a, Env& env);
+
+  std::size_t flatIndex(const Storage& st,
+                        const std::vector<AffineExpr>& subs, const Env& env);
+
+  Program program_;
+  std::unordered_map<std::string, Storage> storage_;
+  TraceFn trace_;
+  std::uint64_t stmtCount_ = 0;
+};
+
+} // namespace motune::ir

@@ -1,0 +1,433 @@
+#include "ir/parse.h"
+
+#include "support/check.h"
+
+#include <cctype>
+#include <optional>
+
+namespace motune::ir {
+
+namespace {
+
+// --- lexer -------------------------------------------------------------
+
+enum class Tok {
+  End,
+  Ident,
+  Number,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Assign,     // =
+  PlusAssign, // +=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Semicolon,
+  Comma,
+  DotDot, // ..
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  double number = 0.0;
+  int line = 1;
+  int column = 1;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string& source) : src_(source) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    MOTUNE_CHECK_MSG(false, message + " at line " +
+                                std::to_string(current_.line) + ", column " +
+                                std::to_string(current_.column));
+    std::abort(); // unreachable
+  }
+
+private:
+  void skipWsAndComments() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_])) != 0)
+        bump();
+      if (pos_ < src_.size() && src_[pos_] == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') bump();
+        continue;
+      }
+      return;
+    }
+  }
+
+  void bump() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void advance() {
+    skipWsAndComments();
+    current_ = Token{};
+    current_.line = line_;
+    current_.column = column_;
+    if (pos_ >= src_.size()) {
+      current_.kind = Tok::End;
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::string ident;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) != 0 ||
+              src_[pos_] == '_')) {
+        ident += src_[pos_];
+        bump();
+      }
+      current_.kind = Tok::Ident;
+      current_.text = std::move(ident);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '.') {
+      if (c == '.' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '.') {
+        bump();
+        bump();
+        current_.kind = Tok::DotDot;
+        return;
+      }
+      std::string num;
+      while (pos_ < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[pos_])) != 0 ||
+              src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
+              ((src_[pos_] == '+' || src_[pos_] == '-') && !num.empty() &&
+               (num.back() == 'e' || num.back() == 'E')))) {
+        // ".." terminates a number (range operator, not a decimal point).
+        if (src_[pos_] == '.' && pos_ + 1 < src_.size() &&
+            src_[pos_ + 1] == '.')
+          break;
+        num += src_[pos_];
+        bump();
+      }
+      current_.kind = Tok::Number;
+      try {
+        current_.number = std::stod(num);
+      } catch (const std::exception&) {
+        fail("invalid number '" + num + "'");
+      }
+      current_.text = std::move(num);
+      return;
+    }
+    bump();
+    switch (c) {
+    case '[': current_.kind = Tok::LBracket; return;
+    case ']': current_.kind = Tok::RBracket; return;
+    case '{': current_.kind = Tok::LBrace; return;
+    case '}': current_.kind = Tok::RBrace; return;
+    case '(': current_.kind = Tok::LParen; return;
+    case ')': current_.kind = Tok::RParen; return;
+    case ';': current_.kind = Tok::Semicolon; return;
+    case ',': current_.kind = Tok::Comma; return;
+    case '-': current_.kind = Tok::Minus; return;
+    case '*': current_.kind = Tok::Star; return;
+    case '/': current_.kind = Tok::Slash; return;
+    case '=': current_.kind = Tok::Assign; return;
+    case '+':
+      if (pos_ < src_.size() && src_[pos_] == '=') {
+        bump();
+        current_.kind = Tok::PlusAssign;
+        return;
+      }
+      current_.kind = Tok::Plus;
+      return;
+    default:
+      fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  Token current_;
+};
+
+// --- parser ------------------------------------------------------------
+
+class ProgramParser {
+public:
+  ProgramParser(const std::string& source, std::string name)
+      : lexer_(source), name_(std::move(name)) {}
+
+  Program parse() {
+    Program p;
+    p.name = name_;
+    arrays_ = &p.arrays;
+    while (isIdent("array")) p.arrays.push_back(arrayDecl());
+    MOTUNE_CHECK_MSG(!p.arrays.empty(), "program declares no arrays");
+    while (isIdent("for")) p.body.push_back(forLoop());
+    if (lexer_.peek().kind != Tok::End)
+      lexer_.fail("expected 'for' or end of input");
+    MOTUNE_CHECK_MSG(!p.body.empty(), "program has no loops");
+    return p;
+  }
+
+private:
+  bool isIdent(const std::string& word) const {
+    return lexer_.peek().kind == Tok::Ident && lexer_.peek().text == word;
+  }
+
+  Token expect(Tok kind, const std::string& what) {
+    if (lexer_.peek().kind != kind) lexer_.fail("expected " + what);
+    return lexer_.take();
+  }
+
+  const ArrayDecl* findArray(const std::string& name) const {
+    for (const auto& a : *arrays_)
+      if (a.name == name) return &a;
+    return nullptr;
+  }
+
+  bool isLoopVar(const std::string& name) const {
+    for (const auto& iv : loopVars_)
+      if (iv == name) return true;
+    return false;
+  }
+
+  ArrayDecl arrayDecl() {
+    lexer_.take(); // 'array'
+    ArrayDecl decl;
+    decl.name = expect(Tok::Ident, "array name").text;
+    if (findArray(decl.name) != nullptr)
+      lexer_.fail("duplicate array '" + decl.name + "'");
+    while (lexer_.peek().kind == Tok::LBracket) {
+      lexer_.take();
+      const Token dim = expect(Tok::Number, "array dimension");
+      const auto size = static_cast<std::int64_t>(dim.number);
+      if (size < 1 || static_cast<double>(size) != dim.number)
+        lexer_.fail("array dimensions must be positive integers");
+      decl.dims.push_back(size);
+      expect(Tok::RBracket, "']'");
+    }
+    if (decl.dims.empty()) lexer_.fail("array needs at least one dimension");
+    return decl;
+  }
+
+  StmtPtr forLoop() {
+    lexer_.take(); // 'for'
+    Loop loop;
+    loop.iv = expect(Tok::Ident, "loop variable").text;
+    if (isLoopVar(loop.iv)) lexer_.fail("duplicate loop variable " + loop.iv);
+    expect(Tok::Assign, "'='");
+    loop.lower = affine();
+    expect(Tok::DotDot, "'..'");
+    loop.upper = Bound(affine());
+    expect(Tok::LBrace, "'{'");
+    loopVars_.push_back(loop.iv);
+    while (lexer_.peek().kind != Tok::RBrace) {
+      if (isIdent("for"))
+        loop.body.push_back(forLoop());
+      else
+        loop.body.push_back(assign());
+    }
+    lexer_.take(); // '}'
+    loopVars_.pop_back();
+    if (loop.body.empty()) lexer_.fail("empty loop body");
+    return Stmt::makeLoop(std::move(loop));
+  }
+
+  StmtPtr assign() {
+    Assign st;
+    const Token target = expect(Tok::Ident, "assignment target");
+    st.array = target.text;
+    const ArrayDecl* decl = findArray(st.array);
+    if (decl == nullptr) lexer_.fail("unknown array '" + st.array + "'");
+    st.subscripts = subscripts(*decl);
+    if (lexer_.peek().kind == Tok::PlusAssign) {
+      st.accumulate = true;
+      lexer_.take();
+    } else {
+      expect(Tok::Assign, "'=' or '+='");
+    }
+    st.rhs = expr();
+    expect(Tok::Semicolon, "';'");
+    return Stmt::makeAssign(std::move(st));
+  }
+
+  std::vector<AffineExpr> subscripts(const ArrayDecl& decl) {
+    std::vector<AffineExpr> subs;
+    while (lexer_.peek().kind == Tok::LBracket) {
+      lexer_.take();
+      subs.push_back(affine());
+      expect(Tok::RBracket, "']'");
+    }
+    if (subs.size() != decl.dims.size())
+      lexer_.fail("array '" + decl.name + "' has " +
+                  std::to_string(decl.dims.size()) + " dimension(s), got " +
+                  std::to_string(subs.size()) + " subscript(s)");
+    return subs;
+  }
+
+  // Affine expressions: +, -, and multiplication by integer constants.
+  AffineExpr affine() { return affineSum(); }
+
+  AffineExpr affineSum() {
+    AffineExpr acc = affineTerm();
+    for (;;) {
+      if (lexer_.peek().kind == Tok::Plus) {
+        lexer_.take();
+        acc = acc + affineTerm();
+      } else if (lexer_.peek().kind == Tok::Minus) {
+        lexer_.take();
+        acc = acc - affineTerm();
+      } else {
+        return acc;
+      }
+    }
+  }
+
+  AffineExpr affineTerm() {
+    AffineExpr acc = affineFactor();
+    while (lexer_.peek().kind == Tok::Star) {
+      lexer_.take();
+      const AffineExpr rhs = affineFactor();
+      if (acc.isConstant())
+        acc = rhs * acc.constantTerm();
+      else if (rhs.isConstant())
+        acc = acc * rhs.constantTerm();
+      else
+        lexer_.fail("non-affine product of two variables");
+    }
+    return acc;
+  }
+
+  AffineExpr affineFactor() {
+    const Token& t = lexer_.peek();
+    if (t.kind == Tok::Minus) {
+      lexer_.take();
+      return affineFactor() * -1;
+    }
+    if (t.kind == Tok::Number) {
+      const Token num = lexer_.take();
+      const auto v = static_cast<std::int64_t>(num.number);
+      if (static_cast<double>(v) != num.number)
+        lexer_.fail("affine expressions need integer constants");
+      return AffineExpr::constant(v);
+    }
+    if (t.kind == Tok::Ident) {
+      const Token id = lexer_.take();
+      if (!isLoopVar(id.text))
+        lexer_.fail("'" + id.text + "' is not a loop variable in scope");
+      return AffineExpr::var(id.text);
+    }
+    if (t.kind == Tok::LParen) {
+      lexer_.take();
+      const AffineExpr inner = affineSum();
+      expect(Tok::RParen, "')'");
+      return inner;
+    }
+    lexer_.fail("expected an affine expression");
+    return {};
+  }
+
+  // Value expressions.
+  ExprPtr expr() {
+    ExprPtr acc = term();
+    for (;;) {
+      if (lexer_.peek().kind == Tok::Plus) {
+        lexer_.take();
+        acc = binary(BinOp::Add, acc, term());
+      } else if (lexer_.peek().kind == Tok::Minus) {
+        lexer_.take();
+        acc = binary(BinOp::Sub, acc, term());
+      } else {
+        return acc;
+      }
+    }
+  }
+
+  ExprPtr term() {
+    ExprPtr acc = factor();
+    for (;;) {
+      if (lexer_.peek().kind == Tok::Star) {
+        lexer_.take();
+        acc = binary(BinOp::Mul, acc, factor());
+      } else if (lexer_.peek().kind == Tok::Slash) {
+        lexer_.take();
+        acc = binary(BinOp::Div, acc, factor());
+      } else {
+        return acc;
+      }
+    }
+  }
+
+  ExprPtr factor() {
+    const Token& t = lexer_.peek();
+    if (t.kind == Tok::Minus) {
+      lexer_.take();
+      return unary(UnOp::Neg, factor());
+    }
+    if (t.kind == Tok::Number) return constant(lexer_.take().number);
+    if (t.kind == Tok::LParen) {
+      lexer_.take();
+      ExprPtr inner = expr();
+      expect(Tok::RParen, "')'");
+      return inner;
+    }
+    if (t.kind == Tok::Ident) {
+      const Token id = lexer_.take();
+      if (id.text == "sqrt" || id.text == "abs") {
+        expect(Tok::LParen, "'('");
+        ExprPtr arg = expr();
+        expect(Tok::RParen, "')'");
+        return unary(id.text == "sqrt" ? UnOp::Sqrt : UnOp::Abs,
+                     std::move(arg));
+      }
+      if (id.text == "min" || id.text == "max") {
+        expect(Tok::LParen, "'('");
+        ExprPtr a = expr();
+        expect(Tok::Comma, "','");
+        ExprPtr b = expr();
+        expect(Tok::RParen, "')'");
+        return binary(id.text == "min" ? BinOp::Min : BinOp::Max,
+                      std::move(a), std::move(b));
+      }
+      if (const ArrayDecl* decl = findArray(id.text))
+        return read(id.text, subscripts(*decl));
+      if (isLoopVar(id.text)) return ivRef(id.text);
+      lexer_.fail("unknown identifier '" + id.text + "'");
+    }
+    lexer_.fail("expected an expression");
+    return nullptr;
+  }
+
+  Lexer lexer_;
+  std::string name_;
+  const std::vector<ArrayDecl>* arrays_ = nullptr;
+  std::vector<std::string> loopVars_;
+};
+
+} // namespace
+
+Program parseProgram(const std::string& source, const std::string& name) {
+  ProgramParser parser(source, name);
+  return parser.parse();
+}
+
+} // namespace motune::ir

@@ -1,0 +1,45 @@
+// Textual frontend: parses a small C-like kernel language into IR.
+//
+// This replaces the Insieme C/OpenMP frontend for user-supplied kernels —
+// everything the analyzer/transformations/codegen accept can be written as
+// text and fed to the framework (see `motune tune --source FILE`):
+//
+//     # jacobi sweep (comments run to end of line)
+//     array A[1024][1024]
+//     array B[1024][1024]
+//     for i = 1 .. 1023 {
+//       for j = 1 .. 1023 {
+//         B[i][j] = 0.25 * (A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]);
+//       }
+//     }
+//
+// Grammar (EBNF, whitespace-insensitive, '#' comments):
+//   program    := { arrayDecl } { forLoop }
+//   arrayDecl  := "array" IDENT "[" INT "]" { "[" INT "]" }
+//   forLoop    := "for" IDENT "=" affine ".." affine "{" { stmt } "}"
+//   stmt       := forLoop | assign
+//   assign     := IDENT subscripts ("=" | "+=") expr ";"
+//   subscripts := "[" affine "]" { "[" affine "]" }
+//   affine     := linear combination of INT and loop variables (+, -, *)
+//   expr       := term { ("+" | "-") term }
+//   term       := factor { ("*" | "/") factor }
+//   factor     := NUMBER | IDENT subscripts | IDENT | "(" expr ")"
+//               | ("sqrt" | "abs" | "min" | "max") "(" expr { "," expr } ")"
+//               | "-" factor
+//
+// A bare IDENT in an expression is a loop variable reference. Loop bounds
+// follow the IR convention: lower inclusive, upper exclusive.
+#pragma once
+
+#include "ir/program.h"
+
+#include <string>
+
+namespace motune::ir {
+
+/// Parses a program; throws support::CheckError with line/column context
+/// on any lexical, syntactic or semantic error (unknown arrays, non-affine
+/// subscripts, rank mismatches, duplicate loop variables).
+Program parseProgram(const std::string& source, const std::string& name = "kernel");
+
+} // namespace motune::ir

@@ -1,0 +1,123 @@
+#include "ir/print.h"
+
+#include "support/check.h"
+
+#include <sstream>
+
+namespace motune::ir {
+
+namespace {
+
+std::string subscriptList(const std::vector<AffineExpr>& subs) {
+  std::string out;
+  for (const auto& s : subs) out += "[" + s.str() + "]";
+  return out;
+}
+
+// Renders a Bound as a C expression; min() caps become ternaries.
+std::string boundToC(const Bound& b) {
+  if (!b.cap) return b.base.str();
+  const std::string lhs = b.base.str();
+  const std::string rhs = b.cap->str();
+  return "((" + lhs + ") < (" + rhs + ") ? (" + lhs + ") : (" + rhs + "))";
+}
+
+const char* binOpToken(BinOp op) {
+  switch (op) {
+  case BinOp::Add: return " + ";
+  case BinOp::Sub: return " - ";
+  case BinOp::Mul: return " * ";
+  case BinOp::Div: return " / ";
+  case BinOp::Min: return nullptr; // rendered as fmin()
+  case BinOp::Max: return nullptr; // rendered as fmax()
+  }
+  return nullptr;
+}
+
+void printExpr(const Expr& e, std::ostringstream& os) {
+  switch (e.kind) {
+  case Expr::Kind::Const: {
+    os << e.constant;
+    return;
+  }
+  case Expr::Kind::IvRef:
+    os << "(double)" << e.iv;
+    return;
+  case Expr::Kind::Read:
+    os << e.array << subscriptList(e.subscripts);
+    return;
+  case Expr::Kind::Binary: {
+    const char* tok = binOpToken(e.binOp);
+    if (tok == nullptr) {
+      os << (e.binOp == BinOp::Min ? "fmin(" : "fmax(");
+      printExpr(*e.lhs, os);
+      os << ", ";
+      printExpr(*e.rhs, os);
+      os << ")";
+      return;
+    }
+    os << "(";
+    printExpr(*e.lhs, os);
+    os << tok;
+    printExpr(*e.rhs, os);
+    os << ")";
+    return;
+  }
+  case Expr::Kind::Unary:
+    switch (e.unOp) {
+    case UnOp::Neg: os << "(-"; break;
+    case UnOp::Sqrt: os << "sqrt("; break;
+    case UnOp::Abs: os << "fabs("; break;
+    }
+    printExpr(*e.lhs, os);
+    os << ")";
+    return;
+  }
+}
+
+void printStmt(const Stmt& s, int indent, bool emitPragmas,
+               std::ostringstream& os) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (s.kind == Stmt::Kind::Assign) {
+    const Assign& a = s.assign;
+    os << pad << a.array << subscriptList(a.subscripts)
+       << (a.accumulate ? " += " : " = ");
+    printExpr(*a.rhs, os);
+    os << ";\n";
+    return;
+  }
+  const Loop& l = s.loop;
+  if (l.parallel && emitPragmas) {
+    os << pad << "#pragma omp parallel for";
+    if (l.collapse > 1) os << " collapse(" << l.collapse << ")";
+    os << " schedule(static)\n";
+  }
+  os << pad << "for (long " << l.iv << " = " << l.lower.str() << "; " << l.iv
+     << " < " << boundToC(l.upper) << "; " << l.iv << " += " << l.step
+     << ") {\n";
+  for (const auto& child : l.body)
+    printStmt(*child, indent + 1, emitPragmas, os);
+  os << pad << "}\n";
+}
+
+} // namespace
+
+std::string toC(const Expr& e) {
+  std::ostringstream os;
+  printExpr(e, os);
+  return os.str();
+}
+
+std::string toC(const Stmt& s, int indent, bool emitPragmas) {
+  std::ostringstream os;
+  printStmt(s, indent, emitPragmas, os);
+  return os.str();
+}
+
+std::string toC(const Program& p, bool emitPragmas) {
+  std::ostringstream os;
+  for (const auto& s : p.body) printStmt(*s, 1, emitPragmas, os);
+  return os.str();
+}
+
+} // namespace motune::ir

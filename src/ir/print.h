@@ -1,0 +1,20 @@
+// C-like pretty printing of IR programs; the code generator builds on this.
+#pragma once
+
+#include "ir/program.h"
+
+#include <string>
+
+namespace motune::ir {
+
+/// Renders an expression as C source.
+std::string toC(const Expr& e);
+
+/// Renders a statement (loop nest or assignment) as indented C source.
+/// `emitPragmas` controls whether parallel loops carry an OpenMP pragma.
+std::string toC(const Stmt& s, int indent = 0, bool emitPragmas = true);
+
+/// Renders the whole program body (no function wrapper; see codegen/).
+std::string toC(const Program& p, bool emitPragmas = true);
+
+} // namespace motune::ir

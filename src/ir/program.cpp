@@ -1,0 +1,99 @@
+#include "ir/program.h"
+
+#include "support/check.h"
+
+namespace motune::ir {
+
+std::int64_t ArrayDecl::elements() const {
+  std::int64_t n = 1;
+  for (auto d : dims) n *= d;
+  return n;
+}
+
+StmtPtr Stmt::makeLoop(Loop l) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::Loop;
+  s->loop = std::move(l);
+  return s;
+}
+
+StmtPtr Stmt::makeAssign(Assign a) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::Assign;
+  s->assign = std::move(a);
+  return s;
+}
+
+StmtPtr Stmt::clone() const {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  if (kind == Kind::Assign) {
+    s->assign = assign; // ExprPtr subtree is immutable and shared
+  } else {
+    s->loop.iv = loop.iv;
+    s->loop.lower = loop.lower;
+    s->loop.upper = loop.upper;
+    s->loop.step = loop.step;
+    s->loop.parallel = loop.parallel;
+    s->loop.collapse = loop.collapse;
+    s->loop.body.reserve(loop.body.size());
+    for (const auto& child : loop.body) s->loop.body.push_back(child->clone());
+  }
+  return s;
+}
+
+Program Program::clone() const {
+  Program p;
+  p.name = name;
+  p.arrays = arrays;
+  p.body.reserve(body.size());
+  for (const auto& s : body) p.body.push_back(s->clone());
+  return p;
+}
+
+const ArrayDecl* Program::findArray(const std::string& arrayName) const {
+  for (const auto& a : arrays)
+    if (a.name == arrayName) return &a;
+  return nullptr;
+}
+
+const Loop& Program::rootLoop() const {
+  MOTUNE_CHECK_MSG(body.size() == 1 && body.front()->kind == Stmt::Kind::Loop,
+                   "program body must be a single loop nest");
+  return body.front()->loop;
+}
+
+Loop& Program::rootLoop() {
+  MOTUNE_CHECK_MSG(body.size() == 1 && body.front()->kind == Stmt::Kind::Loop,
+                   "program body must be a single loop nest");
+  return body.front()->loop;
+}
+
+namespace {
+void walkStmt(const Stmt& s, std::vector<const Loop*>& stack,
+              const std::function<void(const Stmt&,
+                                       const std::vector<const Loop*>&)>& fn) {
+  fn(s, stack);
+  if (s.kind == Stmt::Kind::Loop) {
+    stack.push_back(&s.loop);
+    for (const auto& child : s.loop.body) walkStmt(*child, stack, fn);
+    stack.pop_back();
+  }
+}
+} // namespace
+
+void walk(const Program& p,
+          const std::function<void(const Stmt&,
+                                   const std::vector<const Loop*>&)>& fn) {
+  std::vector<const Loop*> stack;
+  for (const auto& s : p.body) walkStmt(*s, stack, fn);
+}
+
+std::int64_t tripCount(const Loop& loop, const Env& env) {
+  const std::int64_t lo = loop.lower.eval(env);
+  const std::int64_t hi = loop.upper.eval(env);
+  if (hi <= lo) return 0;
+  return (hi - lo + loop.step - 1) / loop.step;
+}
+
+} // namespace motune::ir

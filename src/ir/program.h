@@ -1,0 +1,89 @@
+// Structured loop-nest programs: the unit the analyzer, transformations,
+// code generator, interpreter and performance model all operate on.
+//
+// This is the INSPIRE substitute of the reproduction (DESIGN.md §1):
+// programs are trees of perfectly- or imperfectly-nested affine loops whose
+// leaves are array assignments.
+#pragma once
+
+#include "ir/affine.h"
+#include "ir/expr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace motune::ir {
+
+/// A dense row-major array of doubles (the kernels' element type).
+struct ArrayDecl {
+  std::string name;
+  std::vector<std::int64_t> dims;
+  int elemBytes = 8;
+
+  std::int64_t elements() const;
+  std::int64_t bytes() const { return elements() * elemBytes; }
+};
+
+/// target[subs] = rhs, or target[subs] += rhs when `accumulate` is set.
+struct Assign {
+  std::string array;
+  std::vector<AffineExpr> subscripts;
+  ExprPtr rhs;
+  bool accumulate = false;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// A counted loop: for (iv = lower; iv < upper; iv += step).
+struct Loop {
+  std::string iv;
+  AffineExpr lower;
+  Bound upper;   ///< exclusive; may carry a min() cap from tiling
+  std::int64_t step = 1;
+  bool parallel = false; ///< marked for work-sharing execution
+  int collapse = 1;      ///< loops (incl. this one) merged for scheduling
+  std::vector<StmtPtr> body;
+};
+
+/// Sum type of the two node kinds; kept flat (no virtual hierarchy) so the
+/// interpreter's dispatch stays branch-predictable.
+struct Stmt {
+  enum class Kind { Loop, Assign };
+  Kind kind;
+  Loop loop;     // valid when kind == Loop
+  Assign assign; // valid when kind == Assign
+
+  static StmtPtr makeLoop(Loop l);
+  static StmtPtr makeAssign(Assign a);
+  StmtPtr clone() const;
+};
+
+/// A tunable code region: array declarations plus a statement list.
+struct Program {
+  std::string name;
+  std::vector<ArrayDecl> arrays;
+  std::vector<StmtPtr> body;
+
+  Program() = default;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  Program clone() const;
+  const ArrayDecl* findArray(const std::string& arrayName) const;
+
+  /// The outermost loop, asserting the body is a single loop nest.
+  const Loop& rootLoop() const;
+  Loop& rootLoop();
+};
+
+/// Walks all statements (pre-order), calling `fn` with each Stmt and the
+/// stack of enclosing loops (outermost first).
+void walk(const Program& p,
+          const std::function<void(const Stmt&, const std::vector<const Loop*>&)>& fn);
+
+/// Exact trip count of a loop whose bounds are constant in `env`.
+std::int64_t tripCount(const Loop& loop, const Env& env);
+
+} // namespace motune::ir

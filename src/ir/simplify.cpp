@@ -1,0 +1,99 @@
+#include "ir/simplify.h"
+
+#include "support/check.h"
+
+#include <cmath>
+
+namespace motune::ir {
+
+namespace {
+
+bool isConst(const ExprPtr& e, double v) {
+  return e->kind == Expr::Kind::Const && e->constant == v;
+}
+
+void simplifyStmt(Stmt& s) {
+  if (s.kind == Stmt::Kind::Assign) {
+    s.assign.rhs = simplify(s.assign.rhs);
+    return;
+  }
+  for (auto& child : s.loop.body) simplifyStmt(*child);
+}
+
+} // namespace
+
+ExprPtr simplify(const ExprPtr& e) {
+  MOTUNE_CHECK(e != nullptr);
+  switch (e->kind) {
+  case Expr::Kind::Const:
+  case Expr::Kind::IvRef:
+  case Expr::Kind::Read:
+    return e;
+  case Expr::Kind::Unary: {
+    ExprPtr operand = simplify(e->lhs);
+    if (operand->kind == Expr::Kind::Const) {
+      const double v = operand->constant;
+      switch (e->unOp) {
+      case UnOp::Neg: return constant(-v);
+      case UnOp::Abs: return constant(std::abs(v));
+      case UnOp::Sqrt:
+        if (v >= 0.0) return constant(std::sqrt(v));
+        break;
+      }
+    }
+    // -(-x) -> x
+    if (e->unOp == UnOp::Neg && operand->kind == Expr::Kind::Unary &&
+        operand->unOp == UnOp::Neg)
+      return operand->lhs;
+    if (operand == e->lhs) return e;
+    return unary(e->unOp, std::move(operand));
+  }
+  case Expr::Kind::Binary: {
+    ExprPtr lhs = simplify(e->lhs);
+    ExprPtr rhs = simplify(e->rhs);
+    if (lhs->kind == Expr::Kind::Const && rhs->kind == Expr::Kind::Const) {
+      const double a = lhs->constant;
+      const double b = rhs->constant;
+      switch (e->binOp) {
+      case BinOp::Add: return constant(a + b);
+      case BinOp::Sub: return constant(a - b);
+      case BinOp::Mul: return constant(a * b);
+      case BinOp::Div:
+        if (b != 0.0) return constant(a / b);
+        break;
+      case BinOp::Min: return constant(std::min(a, b));
+      case BinOp::Max: return constant(std::max(a, b));
+      }
+    }
+    switch (e->binOp) {
+    case BinOp::Add:
+      if (isConst(lhs, 0.0)) return rhs;
+      if (isConst(rhs, 0.0)) return lhs;
+      break;
+    case BinOp::Sub:
+      if (isConst(rhs, 0.0)) return lhs;
+      if (isConst(lhs, 0.0)) return unary(UnOp::Neg, std::move(rhs));
+      break;
+    case BinOp::Mul:
+      if (isConst(lhs, 1.0)) return rhs;
+      if (isConst(rhs, 1.0)) return lhs;
+      if (isConst(lhs, 0.0) || isConst(rhs, 0.0)) return constant(0.0);
+      break;
+    case BinOp::Div:
+      if (isConst(rhs, 1.0)) return lhs;
+      break;
+    default:
+      break;
+    }
+    if (lhs == e->lhs && rhs == e->rhs) return e;
+    return binary(e->binOp, std::move(lhs), std::move(rhs));
+  }
+  }
+  return e;
+}
+
+void simplify(Program& p) {
+  for (auto& s : p.body) simplifyStmt(*s);
+}
+
+} // namespace motune::ir

@@ -1,0 +1,24 @@
+// Algebraic simplification of value expressions: constant folding and
+// identity elimination. The code generator runs it before emission so
+// generated modules don't carry degenerate arithmetic (e.g. `x * 1` from
+// mechanical transformation pipelines), and tests use it to normalize
+// expressions for comparison.
+#pragma once
+
+#include "ir/expr.h"
+#include "ir/program.h"
+
+namespace motune::ir {
+
+/// Returns a simplified equivalent expression. Applied rules:
+///   const OP const -> folded;  x+0, 0+x, x-0, x*1, 1*x, x/1 -> x;
+///   x*0, 0*x -> 0;  0-x -> -x;  -(-x) -> x;  -const -> folded;
+///   sqrt/abs of non-negative constants -> folded.
+/// Floating-point safe subset only: no reassociation, no distribution,
+/// no x-x or x/x rules (NaN/Inf semantics), so results stay bit-identical.
+ExprPtr simplify(const ExprPtr& e);
+
+/// Simplifies every assignment's right-hand side in place.
+void simplify(Program& p);
+
+} // namespace motune::ir

@@ -1,0 +1,169 @@
+#include "kernels/kernel.h"
+
+#include "support/check.h"
+
+namespace motune::kernels {
+
+namespace {
+
+using ir::AffineExpr;
+using ir::ExprPtr;
+
+AffineExpr v(const std::string& name) { return AffineExpr::var(name); }
+
+ir::Loop mkLoop(const std::string& iv, std::int64_t lo, std::int64_t hi) {
+  ir::Loop l;
+  l.iv = iv;
+  l.lower = AffineExpr::constant(lo);
+  l.upper = ir::Bound(AffineExpr::constant(hi));
+  l.step = 1;
+  return l;
+}
+
+/// Builds a loop vector by move (Loop is move-only: its body holds
+/// unique_ptrs, so initializer lists cannot be used).
+template <typename... L>
+std::vector<ir::Loop> loopVec(L&&... loops) {
+  std::vector<ir::Loop> v;
+  v.reserve(sizeof...(loops));
+  (v.push_back(std::move(loops)), ...);
+  return v;
+}
+
+/// Wraps `stmts` into the nest loops[0] > loops[1] > ... (outermost first).
+ir::Program nestProgram(const std::string& name,
+                        std::vector<ir::ArrayDecl> arrays,
+                        std::vector<ir::Loop> loops,
+                        std::vector<ir::StmtPtr> stmts) {
+  for (std::size_t l = loops.size(); l-- > 0;) {
+    loops[l].body = std::move(stmts);
+    stmts.clear();
+    stmts.push_back(ir::Stmt::makeLoop(std::move(loops[l])));
+  }
+  ir::Program p;
+  p.name = name;
+  p.arrays = std::move(arrays);
+  p.body = std::move(stmts);
+  return p;
+}
+
+} // namespace
+
+ir::Program buildMM(std::int64_t n) {
+  MOTUNE_CHECK(n >= 1);
+  // for i, j, k: C[i][j] += A[i][k] * B[k][j]   (IJK ordering, paper Fig. 7)
+  ir::Assign st;
+  st.array = "C";
+  st.subscripts = {v("i"), v("j")};
+  st.rhs = ir::read("A", {v("i"), v("k")}) * ir::read("B", {v("k"), v("j")});
+  st.accumulate = true;
+
+  std::vector<ir::StmtPtr> body;
+  body.push_back(ir::Stmt::makeAssign(std::move(st)));
+  return nestProgram(
+      "mm",
+      {{"A", {n, n}, 8}, {"B", {n, n}, 8}, {"C", {n, n}, 8}},
+      loopVec(mkLoop("i", 0, n), mkLoop("j", 0, n), mkLoop("k", 0, n)),
+      std::move(body));
+}
+
+ir::Program buildDsyrk(std::int64_t n) {
+  MOTUNE_CHECK(n >= 1);
+  // B = A * A^T + B: C[i][j] += A[i][k] * A[j][k] — the on-the-fly
+  // transposition removes mm's unaligned B access (paper §V.C).
+  ir::Assign st;
+  st.array = "C";
+  st.subscripts = {v("i"), v("j")};
+  st.rhs = ir::read("A", {v("i"), v("k")}) * ir::read("A", {v("j"), v("k")});
+  st.accumulate = true;
+
+  std::vector<ir::StmtPtr> body;
+  body.push_back(ir::Stmt::makeAssign(std::move(st)));
+  return nestProgram(
+      "dsyrk",
+      {{"A", {n, n}, 8}, {"C", {n, n}, 8}},
+      loopVec(mkLoop("i", 0, n), mkLoop("j", 0, n), mkLoop("k", 0, n)),
+      std::move(body));
+}
+
+ir::Program buildJacobi2d(std::int64_t n) {
+  MOTUNE_CHECK(n >= 3);
+  // One sweep of the 5-point Jacobi stencil, ping-pong arrays A -> B.
+  auto at = [&](std::int64_t di, std::int64_t dj) {
+    return ir::read("A", {v("i") + di, v("j") + dj});
+  };
+  ir::Assign st;
+  st.array = "B";
+  st.subscripts = {v("i"), v("j")};
+  st.rhs = ir::constant(0.2) *
+           (at(0, 0) + at(-1, 0) + at(1, 0) + at(0, -1) + at(0, 1));
+
+  std::vector<ir::StmtPtr> body;
+  body.push_back(ir::Stmt::makeAssign(std::move(st)));
+  return nestProgram(
+      "jacobi-2d",
+      {{"A", {n, n}, 8}, {"B", {n, n}, 8}},
+      loopVec(mkLoop("i", 1, n - 1), mkLoop("j", 1, n - 1)),
+      std::move(body));
+}
+
+ir::Program buildStencil3d(std::int64_t n) {
+  MOTUNE_CHECK(n >= 3);
+  // Generic 3x3x3 27-point box stencil, ping-pong arrays A -> B.
+  ExprPtr sum;
+  for (std::int64_t di = -1; di <= 1; ++di) {
+    for (std::int64_t dj = -1; dj <= 1; ++dj) {
+      for (std::int64_t dk = -1; dk <= 1; ++dk) {
+        ExprPtr term =
+            ir::read("A", {v("i") + di, v("j") + dj, v("k") + dk});
+        sum = sum ? sum + term : term;
+      }
+    }
+  }
+  ir::Assign st;
+  st.array = "B";
+  st.subscripts = {v("i"), v("j"), v("k")};
+  st.rhs = ir::constant(1.0 / 27.0) * sum;
+
+  std::vector<ir::StmtPtr> body;
+  body.push_back(ir::Stmt::makeAssign(std::move(st)));
+  return nestProgram(
+      "3d-stencil",
+      {{"A", {n, n, n}, 8}, {"B", {n, n, n}, 8}},
+      loopVec(mkLoop("i", 1, n - 1), mkLoop("j", 1, n - 1), mkLoop("k", 1, n - 1)),
+      std::move(body));
+}
+
+ir::Program buildNBody(std::int64_t n) {
+  MOTUNE_CHECK(n >= 2);
+  // Naive O(N^2) gravitational force accumulation with softening; the
+  // self-interaction (i == j) contributes a zero numerator and is harmless.
+  const double eps = 1e-9;
+  ExprPtr dx = ir::read("X", {v("j")}) - ir::read("X", {v("i")});
+  ExprPtr dy = ir::read("Y", {v("j")}) - ir::read("Y", {v("i")});
+  ExprPtr dz = ir::read("Z", {v("j")}) - ir::read("Z", {v("i")});
+  ExprPtr r2 = dx * dx + dy * dy + dz * dz + ir::constant(eps);
+  ExprPtr inv = ir::constant(1.0) / (r2 * ir::sqrtOf(r2));
+
+  auto accum = [&](const std::string& target, const ExprPtr& numerator) {
+    ir::Assign st;
+    st.array = target;
+    st.subscripts = {v("i")};
+    st.rhs = numerator * inv;
+    st.accumulate = true;
+    return ir::Stmt::makeAssign(std::move(st));
+  };
+
+  std::vector<ir::StmtPtr> body;
+  body.push_back(accum("FX", dx));
+  body.push_back(accum("FY", dy));
+  body.push_back(accum("FZ", dz));
+  return nestProgram(
+      "n-body",
+      {{"X", {n}, 8}, {"Y", {n}, 8}, {"Z", {n}, 8},
+       {"FX", {n}, 8}, {"FY", {n}, 8}, {"FZ", {n}, 8}},
+      loopVec(mkLoop("i", 0, n), mkLoop("j", 0, n)),
+      std::move(body));
+}
+
+} // namespace motune::kernels

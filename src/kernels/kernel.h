@@ -1,0 +1,44 @@
+// The paper's evaluation kernels (Table IV): matrix multiplication, dsyrk,
+// jacobi-2d, a generic 3x3x3 3d-stencil, and a naive n-body simulation.
+//
+// Each kernel exists in two forms:
+//  * an IR builder (the compiler path: analysis, transformation, codegen,
+//    performance model all consume the IR), and
+//  * native C++ implementations (reference + runtime-tiled parallel) used
+//    by the native evaluator and the correctness tests.
+#pragma once
+
+#include "ir/program.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace motune::kernels {
+
+struct KernelSpec {
+  std::string name;
+  std::size_t tileDims = 3; ///< dimensionality of the tiling search space
+  std::string computeComplexity; ///< paper Table IV
+  std::string memoryComplexity;  ///< paper Table IV
+  std::function<ir::Program(std::int64_t)> buildIR;
+  std::int64_t paperN = 0; ///< problem size for the experiment harness
+  std::int64_t testN = 0;  ///< miniature size for interpreter-backed tests
+};
+
+/// All five evaluation kernels, in the paper's order.
+const std::vector<KernelSpec>& allKernels();
+
+/// Lookup by name ("mm", "dsyrk", "jacobi-2d", "3d-stencil", "n-body").
+const KernelSpec& kernelByName(const std::string& name);
+
+// Individual IR builders (N is the problem size; arrays are N x N, N^3 or
+// N-element as appropriate).
+ir::Program buildMM(std::int64_t n);        ///< C[i][j] += A[i][k]*B[k][j], IJK
+ir::Program buildDsyrk(std::int64_t n);     ///< C[i][j] += A[i][k]*A[j][k]
+ir::Program buildJacobi2d(std::int64_t n);  ///< 5-point sweep A -> B
+ir::Program buildStencil3d(std::int64_t n); ///< 27-point sweep A -> B
+ir::Program buildNBody(std::int64_t n);     ///< naive O(N^2) force pass
+
+} // namespace motune::kernels

@@ -1,0 +1,234 @@
+#include "kernels/native.h"
+
+#include "runtime/parallel_for.h"
+#include "support/check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace motune::kernels {
+
+namespace {
+
+std::int64_t ceilDiv(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+void checkTile(std::int64_t t) { MOTUNE_CHECK(t >= 1); }
+
+} // namespace
+
+void fillDeterministic(std::vector<double>& data, std::uint64_t seed) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::uint64_t x = seed + 0x9e3779b97f4a7c15ull * (i + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    data[i] = static_cast<double>(x >> 11) * 0x1.0p-53 - 0.5;
+  }
+}
+
+// --- mm ---------------------------------------------------------------------
+
+void mmReference(const double* a, const double* b, double* c, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      for (std::int64_t k = 0; k < n; ++k)
+        c[i * n + j] += a[i * n + k] * b[k * n + j];
+}
+
+void mmTiled(const double* a, const double* b, double* c, std::int64_t n,
+             Tile3 t, int threads, runtime::ThreadPool& pool) {
+  checkTile(t.ti);
+  checkTile(t.tj);
+  checkTile(t.tk);
+  const std::int64_t nti = ceilDiv(n, t.ti);
+  const std::int64_t ntj = ceilDiv(n, t.tj);
+  // Collapsed (it, jt) tile space is the parallel loop; each (it, jt) tile
+  // owns a disjoint block of C, so the accumulation is race-free and the
+  // per-element k order equals the reference order (bit-exact results).
+  runtime::parallelForBlocked(
+      pool, 0, nti * ntj, threads, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t idx = lo; idx < hi; ++idx) {
+          const std::int64_t it = idx / ntj * t.ti;
+          const std::int64_t jt = idx % ntj * t.tj;
+          const std::int64_t iEnd = std::min(n, it + t.ti);
+          const std::int64_t jEnd = std::min(n, jt + t.tj);
+          for (std::int64_t kt = 0; kt < n; kt += t.tk) {
+            const std::int64_t kEnd = std::min(n, kt + t.tk);
+            for (std::int64_t i = it; i < iEnd; ++i)
+              for (std::int64_t j = jt; j < jEnd; ++j) {
+                double acc = c[i * n + j];
+                for (std::int64_t k = kt; k < kEnd; ++k)
+                  acc += a[i * n + k] * b[k * n + j];
+                c[i * n + j] = acc;
+              }
+          }
+        }
+      });
+}
+
+// --- dsyrk ------------------------------------------------------------------
+
+void dsyrkReference(const double* a, double* c, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      for (std::int64_t k = 0; k < n; ++k)
+        c[i * n + j] += a[i * n + k] * a[j * n + k];
+}
+
+void dsyrkTiled(const double* a, double* c, std::int64_t n, Tile3 t,
+                int threads, runtime::ThreadPool& pool) {
+  checkTile(t.ti);
+  checkTile(t.tj);
+  checkTile(t.tk);
+  const std::int64_t nti = ceilDiv(n, t.ti);
+  const std::int64_t ntj = ceilDiv(n, t.tj);
+  runtime::parallelForBlocked(
+      pool, 0, nti * ntj, threads, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t idx = lo; idx < hi; ++idx) {
+          const std::int64_t it = idx / ntj * t.ti;
+          const std::int64_t jt = idx % ntj * t.tj;
+          const std::int64_t iEnd = std::min(n, it + t.ti);
+          const std::int64_t jEnd = std::min(n, jt + t.tj);
+          for (std::int64_t kt = 0; kt < n; kt += t.tk) {
+            const std::int64_t kEnd = std::min(n, kt + t.tk);
+            for (std::int64_t i = it; i < iEnd; ++i)
+              for (std::int64_t j = jt; j < jEnd; ++j) {
+                double acc = c[i * n + j];
+                for (std::int64_t k = kt; k < kEnd; ++k)
+                  acc += a[i * n + k] * a[j * n + k];
+                c[i * n + j] = acc;
+              }
+          }
+        }
+      });
+}
+
+// --- jacobi-2d --------------------------------------------------------------
+
+void jacobi2dReference(const double* a, double* b, std::int64_t n) {
+  for (std::int64_t i = 1; i < n - 1; ++i)
+    for (std::int64_t j = 1; j < n - 1; ++j)
+      b[i * n + j] = 0.2 * (a[i * n + j] + a[(i - 1) * n + j] +
+                            a[(i + 1) * n + j] + a[i * n + j - 1] +
+                            a[i * n + j + 1]);
+}
+
+void jacobi2dTiled(const double* a, double* b, std::int64_t n, Tile2 t,
+                   int threads, runtime::ThreadPool& pool) {
+  checkTile(t.ti);
+  checkTile(t.tj);
+  const std::int64_t span = n - 2; // interior points per dimension
+  const std::int64_t nti = ceilDiv(span, t.ti);
+  const std::int64_t ntj = ceilDiv(span, t.tj);
+  runtime::parallelForBlocked(
+      pool, 0, nti * ntj, threads, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t idx = lo; idx < hi; ++idx) {
+          const std::int64_t it = 1 + idx / ntj * t.ti;
+          const std::int64_t jt = 1 + idx % ntj * t.tj;
+          const std::int64_t iEnd = std::min(n - 1, it + t.ti);
+          const std::int64_t jEnd = std::min(n - 1, jt + t.tj);
+          for (std::int64_t i = it; i < iEnd; ++i)
+            for (std::int64_t j = jt; j < jEnd; ++j)
+              b[i * n + j] = 0.2 * (a[i * n + j] + a[(i - 1) * n + j] +
+                                    a[(i + 1) * n + j] + a[i * n + j - 1] +
+                                    a[i * n + j + 1]);
+        }
+      });
+}
+
+// --- 3d-stencil -------------------------------------------------------------
+
+void stencil3dReference(const double* a, double* b, std::int64_t n) {
+  const double w = 1.0 / 27.0;
+  for (std::int64_t i = 1; i < n - 1; ++i)
+    for (std::int64_t j = 1; j < n - 1; ++j)
+      for (std::int64_t k = 1; k < n - 1; ++k) {
+        double acc = 0.0;
+        for (std::int64_t di = -1; di <= 1; ++di)
+          for (std::int64_t dj = -1; dj <= 1; ++dj)
+            for (std::int64_t dk = -1; dk <= 1; ++dk)
+              acc += a[((i + di) * n + (j + dj)) * n + (k + dk)];
+        b[(i * n + j) * n + k] = w * acc;
+      }
+}
+
+void stencil3dTiled(const double* a, double* b, std::int64_t n, Tile3 t,
+                    int threads, runtime::ThreadPool& pool) {
+  checkTile(t.ti);
+  checkTile(t.tj);
+  checkTile(t.tk);
+  const double w = 1.0 / 27.0;
+  const std::int64_t span = n - 2;
+  const std::int64_t nti = ceilDiv(span, t.ti);
+  const std::int64_t ntj = ceilDiv(span, t.tj);
+  runtime::parallelForBlocked(
+      pool, 0, nti * ntj, threads, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t idx = lo; idx < hi; ++idx) {
+          const std::int64_t it = 1 + idx / ntj * t.ti;
+          const std::int64_t jt = 1 + idx % ntj * t.tj;
+          const std::int64_t iEnd = std::min(n - 1, it + t.ti);
+          const std::int64_t jEnd = std::min(n - 1, jt + t.tj);
+          for (std::int64_t kt = 1; kt < n - 1; kt += t.tk) {
+            const std::int64_t kEnd = std::min(n - 1, kt + t.tk);
+            for (std::int64_t i = it; i < iEnd; ++i)
+              for (std::int64_t j = jt; j < jEnd; ++j)
+                for (std::int64_t k = kt; k < kEnd; ++k) {
+                  double acc = 0.0;
+                  for (std::int64_t di = -1; di <= 1; ++di)
+                    for (std::int64_t dj = -1; dj <= 1; ++dj)
+                      for (std::int64_t dk = -1; dk <= 1; ++dk)
+                        acc += a[((i + di) * n + (j + dj)) * n + (k + dk)];
+                  b[(i * n + j) * n + k] = w * acc;
+                }
+          }
+        }
+      });
+}
+
+// --- n-body -----------------------------------------------------------------
+
+namespace {
+constexpr double kSoftening = 1e-9;
+
+inline void nbodyAccumulate(Bodies& bodies, std::int64_t i, std::int64_t j) {
+  const double dx = bodies.x[j] - bodies.x[i];
+  const double dy = bodies.y[j] - bodies.y[i];
+  const double dz = bodies.z[j] - bodies.z[i];
+  const double r2 = dx * dx + dy * dy + dz * dz + kSoftening;
+  const double inv = 1.0 / (r2 * std::sqrt(r2));
+  bodies.fx[i] += dx * inv;
+  bodies.fy[i] += dy * inv;
+  bodies.fz[i] += dz * inv;
+}
+} // namespace
+
+void nbodyReference(Bodies& bodies) {
+  const auto n = static_cast<std::int64_t>(bodies.size());
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j) nbodyAccumulate(bodies, i, j);
+}
+
+void nbodyTiled(Bodies& bodies, Tile2 t, int threads,
+                runtime::ThreadPool& pool) {
+  checkTile(t.ti);
+  checkTile(t.tj);
+  const auto n = static_cast<std::int64_t>(bodies.size());
+  const std::int64_t nti = ceilDiv(n, t.ti);
+  // Only the i loop is parallel (j carries the force reduction); for each
+  // body, j still runs in ascending order -> bit-exact vs. the reference.
+  runtime::parallelForBlocked(
+      pool, 0, nti, threads, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t itIdx = lo; itIdx < hi; ++itIdx) {
+          const std::int64_t it = itIdx * t.ti;
+          const std::int64_t iEnd = std::min(n, it + t.ti);
+          for (std::int64_t i = it; i < iEnd; ++i)
+            for (std::int64_t jt = 0; jt < n; jt += t.tj) {
+              const std::int64_t jEnd = std::min(n, jt + t.tj);
+              for (std::int64_t j = jt; j < jEnd; ++j)
+                nbodyAccumulate(bodies, i, j);
+            }
+        }
+      });
+}
+
+} // namespace motune::kernels

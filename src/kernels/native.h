@@ -1,0 +1,65 @@
+// Native (compiled C++) kernel implementations.
+//
+// Reference versions are straightforward loops; tiled versions take the
+// tile sizes and thread count at run time and execute through the
+// framework's thread pool — exactly what a generated multi-version does,
+// minus the source-to-source step. Tests require tiled == reference
+// bit-for-bit (the arithmetic reassociation-free loop orders make this
+// exact for mm/dsyrk/stencils; n-body accumulates in a fixed j order too).
+#pragma once
+
+#include "runtime/thread_pool.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace motune::kernels {
+
+struct Tile3 {
+  std::int64_t ti = 1;
+  std::int64_t tj = 1;
+  std::int64_t tk = 1;
+};
+
+struct Tile2 {
+  std::int64_t ti = 1;
+  std::int64_t tj = 1;
+};
+
+// --- matrix multiplication (row-major N x N) -------------------------------
+void mmReference(const double* a, const double* b, double* c, std::int64_t n);
+void mmTiled(const double* a, const double* b, double* c, std::int64_t n,
+             Tile3 t, int threads, runtime::ThreadPool& pool);
+
+// --- dsyrk: C += A * A^T ----------------------------------------------------
+void dsyrkReference(const double* a, double* c, std::int64_t n);
+void dsyrkTiled(const double* a, double* c, std::int64_t n, Tile3 t,
+                int threads, runtime::ThreadPool& pool);
+
+// --- jacobi-2d: one 5-point sweep a -> b ------------------------------------
+void jacobi2dReference(const double* a, double* b, std::int64_t n);
+void jacobi2dTiled(const double* a, double* b, std::int64_t n, Tile2 t,
+                   int threads, runtime::ThreadPool& pool);
+
+// --- 3d-stencil: one 27-point sweep a -> b ----------------------------------
+void stencil3dReference(const double* a, double* b, std::int64_t n);
+void stencil3dTiled(const double* a, double* b, std::int64_t n, Tile3 t,
+                    int threads, runtime::ThreadPool& pool);
+
+// --- n-body: naive O(N^2) force accumulation --------------------------------
+struct Bodies {
+  std::vector<double> x, y, z, fx, fy, fz;
+
+  explicit Bodies(std::size_t n)
+      : x(n), y(n), z(n), fx(n, 0.0), fy(n, 0.0), fz(n, 0.0) {}
+  std::size_t size() const { return x.size(); }
+};
+
+void nbodyReference(Bodies& bodies);
+void nbodyTiled(Bodies& bodies, Tile2 t, int threads,
+                runtime::ThreadPool& pool);
+
+/// Deterministic pseudo-random initialization shared by tests/benches.
+void fillDeterministic(std::vector<double>& data, std::uint64_t seed);
+
+} // namespace motune::kernels

@@ -1,0 +1,54 @@
+#include "multiversion/version_table.h"
+
+#include "support/check.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace motune::mv {
+
+void VersionTable::add(CodeVersion version) {
+  MOTUNE_CHECK_MSG(version.meta.timeSeconds > 0.0,
+                   "version must carry a positive predicted time");
+  auto pos = std::lower_bound(
+      versions_.begin(), versions_.end(), version.meta.timeSeconds,
+      [](const CodeVersion& v, double t) { return v.meta.timeSeconds < t; });
+  versions_.insert(pos, std::move(version));
+}
+
+const CodeVersion& VersionTable::operator[](std::size_t i) const {
+  MOTUNE_CHECK(i < versions_.size());
+  return versions_[i];
+}
+
+std::size_t VersionTable::fastest() const {
+  MOTUNE_CHECK(!versions_.empty());
+  return 0;
+}
+
+std::size_t VersionTable::mostEfficient() const {
+  MOTUNE_CHECK(!versions_.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < versions_.size(); ++i)
+    if (versions_[i].meta.resources < versions_[best].meta.resources) best = i;
+  return best;
+}
+
+std::pair<double, double> VersionTable::timeRange() const {
+  MOTUNE_CHECK(!versions_.empty());
+  return {versions_.front().meta.timeSeconds,
+          versions_.back().meta.timeSeconds};
+}
+
+std::pair<double, double> VersionTable::resourceRange() const {
+  MOTUNE_CHECK(!versions_.empty());
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& v : versions_) {
+    lo = std::min(lo, v.meta.resources);
+    hi = std::max(hi, v.meta.resources);
+  }
+  return {lo, hi};
+}
+
+} // namespace motune::mv

@@ -1,0 +1,70 @@
+// Multi-versioned code regions (paper Fig. 6).
+//
+// The backend turns each Pareto-optimal configuration into a specialized
+// code version; the versions of one region are aggregated in a table
+// "enriched with meta-information comprising specific properties of the
+// individual versions", which the runtime decision process consults when
+// selecting the version to execute.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace motune::mv {
+
+/// Trade-off metadata attached to one code version.
+struct VersionMeta {
+  std::vector<std::int64_t> configuration; ///< full tuning vector
+  std::vector<std::int64_t> tileSizes;     ///< tile-size part of the config
+  int threads = 1;                         ///< thread count tuned for
+  double timeSeconds = 0.0;                ///< objective 1 (minimize)
+  double resources = 0.0;                  ///< objective 2: threads x time
+  double joules = 0.0;                     ///< optional energy objective
+
+  /// Parallel efficiency relative to a serial reference time.
+  double efficiency(double serialSeconds) const {
+    return resources > 0.0 ? serialSeconds / resources : 0.0;
+  }
+};
+
+/// One specialized version: metadata plus the callable realizing it.
+/// The callable receives the thread count the version was tuned for.
+struct CodeVersion {
+  VersionMeta meta;
+  std::function<void(int threads)> run;
+};
+
+/// The per-region table of Pareto-optimal versions (sorted by predicted
+/// execution time, fastest first — i.e. from "all cores" toward "serial").
+class VersionTable {
+public:
+  explicit VersionTable(std::string regionName = "region")
+      : region_(std::move(regionName)) {}
+
+  void add(CodeVersion version);
+
+  std::size_t size() const { return versions_.size(); }
+  bool empty() const { return versions_.empty(); }
+  const CodeVersion& operator[](std::size_t i) const;
+  const std::string& regionName() const { return region_; }
+
+  /// Index of the version with minimal predicted time (0 by construction,
+  /// provided for readability at call sites).
+  std::size_t fastest() const;
+
+  /// Index of the version with minimal resource usage.
+  std::size_t mostEfficient() const;
+
+  /// Extremes of each objective across the table (used by the weighted-sum
+  /// policy to normalize before combining).
+  std::pair<double, double> timeRange() const;
+  std::pair<double, double> resourceRange() const;
+
+private:
+  std::string region_;
+  std::vector<CodeVersion> versions_;
+};
+
+} // namespace motune::mv

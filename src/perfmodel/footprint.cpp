@@ -1,0 +1,328 @@
+#include "perfmodel/footprint.h"
+
+#include "analyzer/access.h"
+#include "support/check.h"
+#include "transform/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace motune::perf {
+
+namespace {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double width() const { return hi - lo; }
+};
+
+using IvIntervals = std::vector<std::pair<std::string, Interval>>;
+
+const Interval* find(const IvIntervals& ivs, const std::string& name) {
+  for (const auto& [n, iv] : ivs)
+    if (n == name) return &iv;
+  return nullptr;
+}
+
+Interval evalInterval(const ir::AffineExpr& e, const IvIntervals& ivs) {
+  Interval out{static_cast<double>(e.constantTerm()),
+               static_cast<double>(e.constantTerm())};
+  for (const auto& [name, coeff] : e.terms()) {
+    const Interval* iv = find(ivs, name);
+    MOTUNE_CHECK_MSG(iv != nullptr, "unbound iv in affine expr: " + name);
+    const double c = static_cast<double>(coeff);
+    if (c >= 0) {
+      out.lo += c * iv->lo;
+      out.hi += c * iv->hi;
+    } else {
+      out.lo += c * iv->hi;
+      out.hi += c * iv->lo;
+    }
+  }
+  return out;
+}
+
+/// Value intervals of every iv when loops [level, D) vary and outer loops
+/// are pinned to their first iteration.
+IvIntervals ivIntervalsAtLevel(const NestAnalysis& na, std::size_t level) {
+  IvIntervals ivs;
+  for (std::size_t idx = 0; idx < na.loops.size(); ++idx) {
+    const ir::Loop& loop = *na.loops[idx].loop;
+    const Interval lo = evalInterval(loop.lower, ivs);
+    Interval hi = evalInterval(loop.upper.base, ivs);
+    if (loop.upper.cap) {
+      const Interval cap = evalInterval(*loop.upper.cap, ivs);
+      hi.lo = std::min(hi.lo, cap.lo);
+      hi.hi = std::min(hi.hi, cap.hi);
+    }
+    Interval value;
+    if (idx >= level) {
+      value = {lo.lo, std::max(lo.lo, hi.hi - 1.0)};
+    } else {
+      value = {lo.lo, lo.lo}; // fixed at the first iteration
+    }
+    ivs.emplace_back(loop.iv, value);
+  }
+  return ivs;
+}
+
+double roundUpTo(double x, double granule) {
+  return std::ceil(x / granule) * granule;
+}
+
+/// Counts arithmetic in an expression tree. Shared subtrees (the builders
+/// reuse ExprPtr nodes, e.g. n-body's 1/(r^2 sqrt(r^2)) factor) are counted
+/// once — any real backend would CSE them.
+void countOps(const ir::Expr& e, double& flops, double& heavy, double& mem,
+              std::set<const ir::Expr*>& visited) {
+  if (!visited.insert(&e).second) return;
+  switch (e.kind) {
+  case ir::Expr::Kind::Const:
+  case ir::Expr::Kind::IvRef:
+    return;
+  case ir::Expr::Kind::Read:
+    mem += 1.0;
+    return;
+  case ir::Expr::Kind::Binary:
+    if (e.binOp == ir::BinOp::Div)
+      heavy += 1.0;
+    else
+      flops += 1.0;
+    countOps(*e.lhs, flops, heavy, mem, visited);
+    countOps(*e.rhs, flops, heavy, mem, visited);
+    return;
+  case ir::Expr::Kind::Unary:
+    if (e.unOp == ir::UnOp::Sqrt)
+      heavy += 1.0;
+    else
+      flops += 1.0;
+    countOps(*e.lhs, flops, heavy, mem, visited);
+    return;
+  }
+}
+
+/// Average trip count; exact for constant bounds and for the point loops
+/// produced by tiling (see header).
+double averageTrip(const ir::Loop& loop,
+                   const std::vector<const ir::Loop*>& outer) {
+  if (loop.lower.isConstant() && loop.upper.base.isConstant() &&
+      !loop.upper.cap.has_value()) {
+    const double lo = static_cast<double>(loop.lower.constantTerm());
+    const double hi = static_cast<double>(loop.upper.base.constantTerm());
+    if (hi <= lo) return 0.0;
+    return std::ceil((hi - lo) / static_cast<double>(loop.step));
+  }
+
+  // Point-loop pattern: lower = <tile iv>, upper = min(<tile iv> + T, N).
+  const auto vars = loop.lower.variables();
+  MOTUNE_CHECK_MSG(vars.size() == 1 && loop.lower.coeffOf(vars[0]) == 1 &&
+                       loop.upper.cap.has_value() &&
+                       loop.upper.cap->isConstant(),
+                   "unsupported loop bound shape in performance model");
+  const ir::AffineExpr tdiff = loop.upper.base - loop.lower;
+  MOTUNE_CHECK_MSG(tdiff.isConstant(), "point loop tile size must be constant");
+  const auto tileSize = static_cast<double>(tdiff.constantTerm());
+
+  const ir::Loop* tileLoop = nullptr;
+  for (const auto* o : outer)
+    if (o->iv == vars[0]) tileLoop = o;
+  MOTUNE_CHECK_MSG(tileLoop != nullptr, "tile loop not found for point loop");
+  MOTUNE_CHECK(tileLoop->lower.isConstant() &&
+               tileLoop->upper.base.isConstant());
+  const double range =
+      static_cast<double>(loop.upper.cap->constantTerm() -
+                          tileLoop->lower.constantTerm());
+  if (range <= 0) return 0.0;
+  const double tiles = std::ceil(range / tileSize);
+  return range / tiles;
+}
+
+} // namespace
+
+double NestAnalysis::outerIterations(std::size_t level) const {
+  MOTUNE_CHECK(level <= loops.size());
+  double prod = 1.0;
+  for (std::size_t l = 0; l < level; ++l) prod *= loops[l].avgTrip;
+  return prod;
+}
+
+NestAnalysis analyzeNest(const ir::Program& program) {
+  NestAnalysis na;
+  const auto nest = transform::perfectNest(program);
+  MOTUNE_CHECK_MSG(!nest.empty(), "program has no loop nest");
+
+  std::vector<const ir::Loop*> outerSoFar;
+  for (const auto* loop : nest) {
+    LoopDesc desc;
+    desc.loop = loop;
+    desc.avgTrip = averageTrip(*loop, outerSoFar);
+    desc.parallel = loop->parallel;
+    desc.collapse = loop->collapse;
+    na.loops.push_back(desc);
+    outerSoFar.push_back(loop);
+  }
+
+  // Group accesses into per-array classes with identical linear parts.
+  struct ClassBuild {
+    std::vector<ir::AffineExpr> linear;
+    std::vector<std::int64_t> minConst, maxConst;
+    int count = 0;
+    bool hasWrite = false;
+  };
+  struct ArrayBuild {
+    const ir::ArrayDecl* decl;
+    std::vector<ClassBuild> classes;
+  };
+  std::vector<ArrayBuild> arrayBuilds;
+
+  auto stripped = [](const std::vector<ir::AffineExpr>& subs) {
+    std::vector<ir::AffineExpr> out = subs;
+    for (auto& s : out) s = s - s.constantTerm();
+    return out;
+  };
+
+  for (const auto& acc : analyzer::collectAccesses(program)) {
+    const ir::ArrayDecl* decl = program.findArray(acc.array);
+    MOTUNE_CHECK_MSG(decl != nullptr, "access to undeclared array");
+    ArrayBuild* ab = nullptr;
+    for (auto& b : arrayBuilds)
+      if (b.decl == decl) ab = &b;
+    if (ab == nullptr) {
+      arrayBuilds.push_back({decl, {}});
+      ab = &arrayBuilds.back();
+    }
+
+    const auto linear = stripped(acc.subscripts);
+    ClassBuild* cls = nullptr;
+    for (auto& c : ab->classes)
+      if (c.linear == linear) cls = &c;
+    if (cls == nullptr) {
+      ClassBuild c;
+      c.linear = linear;
+      c.minConst.resize(linear.size());
+      c.maxConst.resize(linear.size());
+      for (std::size_t d = 0; d < linear.size(); ++d)
+        c.minConst[d] = c.maxConst[d] = acc.subscripts[d].constantTerm();
+      ab->classes.push_back(std::move(c));
+      cls = &ab->classes.back();
+    } else {
+      for (std::size_t d = 0; d < linear.size(); ++d) {
+        cls->minConst[d] =
+            std::min(cls->minConst[d], acc.subscripts[d].constantTerm());
+        cls->maxConst[d] =
+            std::max(cls->maxConst[d], acc.subscripts[d].constantTerm());
+      }
+    }
+    ++cls->count;
+    cls->hasWrite = cls->hasWrite || acc.isWrite;
+  }
+
+  for (auto& ab : arrayBuilds) {
+    ArrayUsage usage;
+    usage.decl = ab.decl;
+    for (auto& c : ab.classes) {
+      AccessClass out;
+      out.linear = std::move(c.linear);
+      out.spread.resize(out.linear.size());
+      for (std::size_t d = 0; d < out.spread.size(); ++d)
+        out.spread[d] = c.maxConst[d] - c.minConst[d];
+      out.accessCount = c.count;
+      out.hasWrite = c.hasWrite;
+      usage.classes.push_back(std::move(out));
+    }
+    na.arrays.push_back(std::move(usage));
+  }
+
+  // Leaf-body operation counts and vectorizability.
+  const ir::Loop* innermost = nest.back();
+  const std::string& innerIv = innermost->iv;
+  std::set<const ir::Expr*> visited;
+  ir::walk(program, [&](const ir::Stmt& s,
+                        const std::vector<const ir::Loop*>&) {
+    if (s.kind != ir::Stmt::Kind::Assign) return;
+    countOps(*s.assign.rhs, na.flopsPerIter, na.heavyOpsPerIter,
+             na.memAccessesPerIter, visited);
+    na.memAccessesPerIter += s.assign.accumulate ? 2.0 : 1.0; // target access
+    if (s.assign.accumulate) na.flopsPerIter += 1.0;
+  });
+
+  auto strideOk = [&](const std::vector<ir::AffineExpr>& subs) {
+    if (subs.empty()) return true;
+    for (std::size_t d = 0; d + 1 < subs.size(); ++d)
+      if (subs[d].dependsOn(innerIv)) return false;
+    const std::int64_t c = subs.back().coeffOf(innerIv);
+    return c == 0 || c == 1;
+  };
+  na.innermostUnitStride = true;
+  for (const auto& au : na.arrays)
+    for (const auto& cls : au.classes)
+      if (!strideOk(cls.linear)) na.innermostUnitStride = false;
+
+  return na;
+}
+
+namespace {
+double classFootprint(const AccessClass& cls, const ir::ArrayDecl& decl,
+                      const IvIntervals& ivs, double line) {
+  const auto elemBytes = static_cast<double>(decl.elemBytes);
+  double rows = 1.0;
+  double lastExtent = 1.0;
+  for (std::size_t d = 0; d < cls.linear.size(); ++d) {
+    double width = static_cast<double>(cls.spread[d]);
+    for (const auto& [name, coeff] : cls.linear[d].terms()) {
+      const Interval* iv = find(ivs, name);
+      MOTUNE_CHECK(iv != nullptr);
+      width += std::abs(static_cast<double>(coeff)) * iv->width();
+    }
+    double extent =
+        std::min(width + 1.0, static_cast<double>(decl.dims[d]));
+    if (d + 1 == cls.linear.size())
+      lastExtent = extent;
+    else
+      rows *= extent;
+  }
+  const double bytes = rows * roundUpTo(lastExtent * elemBytes, line);
+  // Never report more than the whole array.
+  return std::min(bytes, roundUpTo(static_cast<double>(decl.bytes()), line));
+}
+} // namespace
+
+double footprintBytes(const NestAnalysis& na, std::size_t arrayIdx,
+                      std::size_t level, std::int64_t lineBytes) {
+  MOTUNE_CHECK(arrayIdx < na.arrays.size());
+  const ArrayUsage& usage = na.arrays[arrayIdx];
+  const IvIntervals ivs = ivIntervalsAtLevel(na, level);
+
+  double total = 0.0;
+  for (const AccessClass& cls : usage.classes)
+    total += classFootprint(cls, *usage.decl, ivs,
+                            static_cast<double>(lineBytes));
+  // Classes of the same array may overlap (n-body reads X[i] and X[j]);
+  // never report more than the whole array.
+  const double arrayCap = roundUpTo(
+      static_cast<double>(usage.decl->bytes()), static_cast<double>(lineBytes));
+  return std::min(total, arrayCap);
+}
+
+double footprintBytesClass(const NestAnalysis& na, std::size_t arrayIdx,
+                           std::size_t classIdx, std::size_t level,
+                           std::int64_t lineBytes) {
+  MOTUNE_CHECK(arrayIdx < na.arrays.size());
+  const ArrayUsage& usage = na.arrays[arrayIdx];
+  MOTUNE_CHECK(classIdx < usage.classes.size());
+  const IvIntervals ivs = ivIntervalsAtLevel(na, level);
+  return classFootprint(usage.classes[classIdx], *usage.decl, ivs,
+                        static_cast<double>(lineBytes));
+}
+
+double totalFootprintBytes(const NestAnalysis& na, std::size_t level,
+                           std::int64_t lineBytes) {
+  double total = 0.0;
+  for (std::size_t a = 0; a < na.arrays.size(); ++a)
+    total += footprintBytes(na, a, level, lineBytes);
+  return total;
+}
+
+} // namespace motune::perf

@@ -1,0 +1,84 @@
+// Loop-nest footprint analysis.
+//
+// For every nesting level l, this module computes the number of distinct
+// bytes of each array touched by one complete execution of loops l..D with
+// the outer loops held fixed ("the footprint at level l"), with cache-line
+// granularity. The cost model (costmodel.h) combines these footprints with
+// cache capacities to estimate per-level traffic — the standard
+// working-set / distinct-lines approach (Ferrante et al.), which is what
+// makes the model respond to tile sizes and shared-cache capacity exactly
+// the way the paper's real machines do.
+#pragma once
+
+#include "ir/program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace motune::perf {
+
+/// One loop of the (perfect) nest with its average trip count. For tiled
+/// point loops the average accounts for boundary tiles exactly
+/// (avgTrip = range / numTiles), so products of avgTrips along the nest
+/// equal exact iteration counts.
+struct LoopDesc {
+  const ir::Loop* loop = nullptr;
+  double avgTrip = 1.0;
+  bool parallel = false;
+  int collapse = 1;
+};
+
+/// A group of accesses to one array sharing identical linear subscript
+/// parts; constant offsets are merged into per-dimension spreads (so the
+/// 27 reads of the 3d-stencil form a single class with spread 2 per dim).
+struct AccessClass {
+  std::vector<ir::AffineExpr> linear; ///< representative subscripts
+  std::vector<std::int64_t> spread;   ///< per dim: max - min constant term
+  int accessCount = 0;                ///< dynamic accesses per leaf iteration
+  bool hasWrite = false;
+};
+
+struct ArrayUsage {
+  const ir::ArrayDecl* decl = nullptr;
+  std::vector<AccessClass> classes;
+};
+
+/// Everything the cost model needs, extracted in one pass.
+struct NestAnalysis {
+  std::vector<LoopDesc> loops;     ///< outermost first
+  std::vector<ArrayUsage> arrays;
+  double flopsPerIter = 0.0;       ///< weighted flop count of the leaf body
+  double heavyOpsPerIter = 0.0;    ///< div/sqrt count (latency-bound ops)
+  double memAccessesPerIter = 0.0; ///< array reads+writes per leaf iteration
+  bool innermostUnitStride = true; ///< leaf vectorizable (stride 0/1 last dim)
+
+  /// Product of avgTrips of loops [0, level) — iterations of the sub-nest
+  /// at `level` (level loops.size() = leaf iterations of the whole nest).
+  double outerIterations(std::size_t level) const;
+
+  /// Total leaf iterations.
+  double leafIterations() const { return outerIterations(loops.size()); }
+};
+
+/// Analyzes a program whose body is a single perfect loop nest (original or
+/// tiled kernels; multi-statement leaf bodies are fine). The result holds
+/// pointers into `program`, which must outlive it.
+NestAnalysis analyzeNest(const ir::Program& program);
+
+/// Distinct bytes of `arrays[arrayIdx]` touched by one execution of loops
+/// [level, D) with outer loops fixed; line-granular, clamped to the array
+/// size. level == loops.size() gives the leaf (single iteration) footprint.
+double footprintBytes(const NestAnalysis& na, std::size_t arrayIdx,
+                      std::size_t level, std::int64_t lineBytes);
+
+/// Sum of footprintBytes over all arrays.
+double totalFootprintBytes(const NestAnalysis& na, std::size_t level,
+                           std::int64_t lineBytes);
+
+/// Footprint of a single access class (see footprintBytes).
+double footprintBytesClass(const NestAnalysis& na, std::size_t arrayIdx,
+                           std::size_t classIdx, std::size_t level,
+                           std::int64_t lineBytes);
+
+} // namespace motune::perf

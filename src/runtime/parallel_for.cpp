@@ -1,0 +1,63 @@
+#include "runtime/parallel_for.h"
+
+#include "support/check.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace motune::runtime {
+
+void parallelForBlocked(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end, int threads,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  MOTUNE_CHECK(threads >= 1);
+  if (end <= begin) return;
+  const std::int64_t total = end - begin;
+  const auto nChunks = static_cast<std::int64_t>(
+      std::min<std::int64_t>(threads, total));
+  if (nChunks == 1) {
+    fn(begin, end);
+    return;
+  }
+
+  // Static chunking identical to OpenMP schedule(static): ceil-sized blocks.
+  const std::int64_t chunk = (total + nChunks - 1) / nChunks;
+
+  std::atomic<std::int64_t> remaining{nChunks};
+  std::mutex doneMutex;
+  std::condition_variable doneCv;
+
+  for (std::int64_t c = 0; c < nChunks; ++c) {
+    const std::int64_t lo = begin + c * chunk;
+    const std::int64_t hi = std::min(end, lo + chunk);
+    pool.submit([&, lo, hi] {
+      if (lo < hi) fn(lo, hi);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(doneMutex);
+        doneCv.notify_all();
+      }
+    });
+  }
+
+  // Help drain the queue while waiting: guarantees progress under nested
+  // parallelism (a pool task may itself be inside a parallelFor).
+  while (remaining.load(std::memory_order_acquire) != 0) {
+    if (pool.tryRunOne()) continue;
+    std::unique_lock lock(doneMutex);
+    doneCv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+}
+
+void parallelFor(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                 int threads, const std::function<void(std::int64_t)>& fn) {
+  parallelForBlocked(pool, begin, end, threads,
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       for (std::int64_t i = lo; i < hi; ++i) fn(i);
+                     });
+}
+
+} // namespace motune::runtime

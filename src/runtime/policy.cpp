@@ -1,0 +1,108 @@
+#include "runtime/policy.h"
+
+#include "support/check.h"
+
+#include <limits>
+
+namespace motune::runtime {
+
+double serialReference(const mv::VersionTable& table) {
+  MOTUNE_CHECK(!table.empty());
+  for (std::size_t i = 0; i < table.size(); ++i)
+    if (table[i].meta.threads == 1) return table[i].meta.timeSeconds;
+  return table.resourceRange().first;
+}
+
+WeightedSumPolicy::WeightedSumPolicy(double timeWeight, double resourceWeight)
+    : wTime_(timeWeight), wRes_(resourceWeight) {
+  MOTUNE_CHECK(timeWeight >= 0.0 && resourceWeight >= 0.0);
+  MOTUNE_CHECK(timeWeight + resourceWeight > 0.0);
+}
+
+std::size_t WeightedSumPolicy::select(const mv::VersionTable& table) const {
+  MOTUNE_CHECK(!table.empty());
+  const auto [tLo, tHi] = table.timeRange();
+  const auto [rLo, rHi] = table.resourceRange();
+  const double tSpan = tHi > tLo ? tHi - tLo : 1.0;
+  const double rSpan = rHi > rLo ? rHi - rLo : 1.0;
+
+  std::size_t best = 0;
+  double bestScore = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto& m = table[i].meta;
+    const double score = wTime_ * (m.timeSeconds - tLo) / tSpan +
+                         wRes_ * (m.resources - rLo) / rSpan;
+    if (score < bestScore) {
+      bestScore = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TimeBudgetPolicy::TimeBudgetPolicy(double budgetSeconds) : budget_(budgetSeconds) {
+  MOTUNE_CHECK(budgetSeconds > 0.0);
+}
+
+std::size_t TimeBudgetPolicy::select(const mv::VersionTable& table) const {
+  MOTUNE_CHECK(!table.empty());
+  std::size_t best = table.fastest();
+  bool found = false;
+  double bestResources = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto& m = table[i].meta;
+    if (m.timeSeconds <= budget_ && m.resources < bestResources) {
+      bestResources = m.resources;
+      best = i;
+      found = true;
+    }
+  }
+  return found ? best : table.fastest();
+}
+
+EfficiencyFloorPolicy::EfficiencyFloorPolicy(double minEfficiency,
+                                             std::optional<double> serialSeconds)
+    : minEfficiency_(minEfficiency), serialSeconds_(serialSeconds) {
+  MOTUNE_CHECK(minEfficiency > 0.0 && minEfficiency <= 1.0);
+}
+
+std::size_t EfficiencyFloorPolicy::select(const mv::VersionTable& table) const {
+  MOTUNE_CHECK(!table.empty());
+  const double serial = serialSeconds_.value_or(serialReference(table));
+  std::size_t best = table.mostEfficient();
+  double bestTime = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto& m = table[i].meta;
+    if (m.efficiency(serial) >= minEfficiency_ && m.timeSeconds < bestTime) {
+      bestTime = m.timeSeconds;
+      best = i;
+      found = true;
+    }
+  }
+  return found ? best : table.mostEfficient();
+}
+
+ThreadCapPolicy::ThreadCapPolicy(int maxThreads) : maxThreads_(maxThreads) {
+  MOTUNE_CHECK(maxThreads >= 1);
+}
+
+std::size_t ThreadCapPolicy::select(const mv::VersionTable& table) const {
+  MOTUNE_CHECK(!table.empty());
+  std::size_t best = 0;
+  double bestTime = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto& m = table[i].meta;
+    if (m.threads <= maxThreads_ && m.timeSeconds < bestTime) {
+      bestTime = m.timeSeconds;
+      best = i;
+      found = true;
+    }
+  }
+  // No version fits the cap (all tuned for more threads): run the most
+  // efficient one, which by construction uses the fewest resources.
+  return found ? best : table.mostEfficient();
+}
+
+} // namespace motune::runtime

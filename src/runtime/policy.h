@@ -1,0 +1,88 @@
+// Runtime version-selection policies (paper Fig. 3 label 6, §IV).
+//
+// "The actual policy for selecting code versions is dynamically
+// configurable. For instance, a user may supply weights w_c for each
+// component c of the objective function f; the runtime system then ...
+// selects the version v from the Pareto set S which minimizes
+// sum_c w_c * f_c(v)." Beyond that weighted-sum policy, this module
+// provides the context-driven policies the paper sketches (system-wide
+// performance settings, schedulers reacting to available resources).
+#pragma once
+
+#include "multiversion/version_table.h"
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace motune::runtime {
+
+/// Strategy interface: picks the version of a table to execute.
+class SelectionPolicy {
+public:
+  virtual ~SelectionPolicy() = default;
+  virtual std::size_t select(const mv::VersionTable& table) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// The paper's example policy: minimize w_time * t + w_res * r over the
+/// table, with both objectives min-max normalized so the weights express a
+/// pure preference (weights need not sum to 1).
+class WeightedSumPolicy final : public SelectionPolicy {
+public:
+  WeightedSumPolicy(double timeWeight, double resourceWeight);
+  std::size_t select(const mv::VersionTable& table) const override;
+  std::string name() const override { return "weighted-sum"; }
+
+private:
+  double wTime_;
+  double wRes_;
+};
+
+/// Picks the most resource-efficient version meeting a wall-clock budget;
+/// falls back to the fastest version when no version meets it.
+class TimeBudgetPolicy final : public SelectionPolicy {
+public:
+  explicit TimeBudgetPolicy(double budgetSeconds);
+  std::size_t select(const mv::VersionTable& table) const override;
+  std::string name() const override { return "time-budget"; }
+
+private:
+  double budget_;
+};
+
+/// Picks the fastest version whose parallel efficiency (relative to the
+/// table's serial point or a supplied serial reference) stays above a
+/// floor — the "system-wide performance setting" scenario: an operator
+/// caps acceptable waste.
+class EfficiencyFloorPolicy final : public SelectionPolicy {
+public:
+  EfficiencyFloorPolicy(double minEfficiency,
+                        std::optional<double> serialSeconds = std::nullopt);
+  std::size_t select(const mv::VersionTable& table) const override;
+  std::string name() const override { return "efficiency-floor"; }
+
+private:
+  double minEfficiency_;
+  std::optional<double> serialSeconds_;
+};
+
+/// Picks the fastest version not exceeding the currently available core
+/// count — a dynamic scheduler adapting to external load.
+class ThreadCapPolicy final : public SelectionPolicy {
+public:
+  explicit ThreadCapPolicy(int maxThreads);
+  std::size_t select(const mv::VersionTable& table) const override;
+  std::string name() const override { return "thread-cap"; }
+
+private:
+  int maxThreads_;
+};
+
+/// Serial reference time of a table: the time of its single-threaded
+/// version if present, otherwise the minimal resource value (which equals
+/// the serial time when the serial point is Pareto-optimal).
+double serialReference(const mv::VersionTable& table);
+
+} // namespace motune::runtime

@@ -1,0 +1,32 @@
+#include "runtime/region.h"
+
+#include "support/check.h"
+
+#include <numeric>
+
+namespace motune::runtime {
+
+Region::Region(mv::VersionTable table)
+    : table_(std::move(table)), counts_(table_.size(), 0) {
+  MOTUNE_CHECK_MSG(!table_.empty(), "region needs at least one version");
+}
+
+std::size_t Region::invoke(const SelectionPolicy& policy) {
+  const std::size_t index = policy.select(table_);
+  invokeVersion(index);
+  return index;
+}
+
+void Region::invokeVersion(std::size_t index) {
+  MOTUNE_CHECK(index < table_.size());
+  const mv::CodeVersion& version = table_[index];
+  MOTUNE_CHECK_MSG(version.run != nullptr, "version has no executable body");
+  version.run(version.meta.threads);
+  ++counts_[index];
+}
+
+std::uint64_t Region::totalInvocations() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+} // namespace motune::runtime

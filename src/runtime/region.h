@@ -1,0 +1,42 @@
+// Region dispatcher: the runtime-system component that intercepts region
+// invocations and routes them to a version of the multi-version table
+// (paper §IV: "We delegate the invocation of each outlined region function
+// to the runtime system. The runtime then selects an adequate version from
+// the global table.").
+#pragma once
+
+#include "multiversion/version_table.h"
+#include "runtime/policy.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace motune::runtime {
+
+/// A tunable code region at run time: owns the version table and records
+/// which versions were chosen (monitoring hook for schedulers / reports).
+class Region {
+public:
+  explicit Region(mv::VersionTable table);
+
+  /// Selects a version with `policy`, executes it, and returns the index
+  /// of the version that ran.
+  std::size_t invoke(const SelectionPolicy& policy);
+
+  /// Executes a specific version (e.g. a scheduler made the decision).
+  void invokeVersion(std::size_t index);
+
+  const mv::VersionTable& table() const { return table_; }
+
+  /// Invocation count per version index, in table order.
+  const std::vector<std::uint64_t>& invocationCounts() const {
+    return counts_;
+  }
+  std::uint64_t totalInvocations() const;
+
+private:
+  mv::VersionTable table_;
+  std::vector<std::uint64_t> counts_;
+};
+
+} // namespace motune::runtime

@@ -1,0 +1,120 @@
+#include "runtime/scheduler.h"
+
+#include "support/check.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace motune::runtime {
+
+namespace {
+
+/// Index of the region's version with minimal resource usage whose thread
+/// count is minimal among ties (the cheapest admission).
+std::size_t cheapestVersion(const mv::VersionTable& table) {
+  std::size_t best = 0;
+  for (std::size_t v = 1; v < table.size(); ++v) {
+    const auto& cand = table[v].meta;
+    const auto& cur = table[best].meta;
+    if (cand.resources < cur.resources ||
+        (cand.resources == cur.resources && cand.threads < cur.threads))
+      best = v;
+  }
+  return best;
+}
+
+} // namespace
+
+MultiRegionScheduler::MultiRegionScheduler(
+    std::vector<const mv::VersionTable*> regions, int coreBudget,
+    SchedulingGoal goal)
+    : regions_(std::move(regions)), coreBudget_(coreBudget), goal_(goal) {
+  MOTUNE_CHECK(coreBudget_ >= 1);
+  for (const auto* r : regions_) {
+    MOTUNE_CHECK(r != nullptr);
+    MOTUNE_CHECK(!r->empty());
+  }
+}
+
+std::vector<Placement> MultiRegionScheduler::schedule() const {
+  std::vector<Placement> placements;
+  placements.reserve(regions_.size());
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    const std::size_t v = cheapestVersion(*regions_[r]);
+    const auto& meta = (*regions_[r])[v].meta;
+    placements.push_back({r, v, meta.threads, meta.timeSeconds});
+  }
+  if (regions_.empty()) return placements;
+
+  // Greedy upgrades while the budget allows.
+  for (;;) {
+    const int used = totalThreads(placements);
+    const int slack = coreBudget_ - used;
+    if (slack <= 0) break;
+
+    // Candidate upgrade per region: the next version (by ascending time)
+    // that is strictly faster and fits the slack.
+    double bestGain = 0.0;
+    std::size_t bestRegion = regions_.size();
+    std::size_t bestVersion = 0;
+    const double msBefore = makespan(placements);
+    for (std::size_t r = 0; r < regions_.size(); ++r) {
+      const mv::VersionTable& table = *regions_[r];
+      const Placement& cur = placements[r];
+      for (std::size_t v = 0; v < table.size(); ++v) {
+        const auto& meta = table[v].meta;
+        if (meta.timeSeconds >= cur.estSeconds) continue; // not an upgrade
+        const int extra = meta.threads - cur.threads;
+        if (extra > slack) continue;
+
+        double gain = 0.0;
+        if (goal_ == SchedulingGoal::MinimizeMakespan) {
+          // Improvement of the global makespan (only upgrades of the
+          // currently slowest regions move it, which the max reflects).
+          std::vector<Placement> trial = placements;
+          trial[r] = {r, v, meta.threads, meta.timeSeconds};
+          gain = msBefore - makespan(trial);
+        } else {
+          gain = cur.estSeconds * cur.threads -
+                 meta.timeSeconds * meta.threads;
+        }
+        const double perCore = extra > 0 ? gain / extra : gain * 2.0;
+        if (perCore > bestGain + 1e-15) {
+          bestGain = perCore;
+          bestRegion = r;
+          bestVersion = v;
+        }
+      }
+    }
+    if (bestRegion == regions_.size()) break; // no profitable upgrade
+
+    const auto& meta = (*regions_[bestRegion])[bestVersion].meta;
+    placements[bestRegion] = {bestRegion, bestVersion, meta.threads,
+                              meta.timeSeconds};
+  }
+  return placements;
+}
+
+int MultiRegionScheduler::totalThreads(
+    const std::vector<Placement>& placements) {
+  int total = 0;
+  for (const auto& p : placements) total += p.threads;
+  return total;
+}
+
+double MultiRegionScheduler::makespan(
+    const std::vector<Placement>& placements) {
+  double ms = 0.0;
+  for (const auto& p : placements) ms = std::max(ms, p.estSeconds);
+  return ms;
+}
+
+double MultiRegionScheduler::totalResources(
+    const std::vector<Placement>& placements) {
+  double total = 0.0;
+  for (const auto& p : placements)
+    total += p.estSeconds * static_cast<double>(p.threads);
+  return total;
+}
+
+} // namespace motune::runtime

@@ -1,0 +1,67 @@
+// Multi-region scheduler: the paper's outlook made concrete.
+//
+// "In more sophisticated scenarios, dynamic or static task schedulers
+// could be extended to exploit this additional flexibility to improve
+// their own (potentially multi-objective) quality of service" (§III.A).
+// This scheduler manages several multi-versioned regions competing for one
+// machine's cores: given the set of regions that want to run, it assigns
+// each a version such that the total thread demand fits the core budget,
+// trading per-region speed against overall throughput.
+#pragma once
+
+#include "multiversion/version_table.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace motune::runtime {
+
+/// One admitted region with the version the scheduler chose for it.
+struct Placement {
+  std::size_t regionIndex = 0;
+  std::size_t versionIndex = 0;
+  int threads = 0;
+  double estSeconds = 0.0;
+};
+
+/// How the scheduler values an assignment.
+enum class SchedulingGoal {
+  MinimizeMakespan, ///< minimize the slowest region's estimated time
+  MinimizeTotalResources, ///< minimize sum of threads x time
+};
+
+/// Assigns one version per region so total threads <= coreBudget.
+///
+/// Strategy: start every region at its most resource-efficient version;
+/// while budget remains, greedily upgrade the region whose upgrade yields
+/// the best improvement of the goal per extra core (a classic marginal-
+/// utility heuristic — optimal for the convex per-region trade-off curves
+/// Pareto fronts provide). Regions that cannot fit even at one thread are
+/// still admitted serially (budget is a soft cap for the last region).
+class MultiRegionScheduler {
+public:
+  MultiRegionScheduler(std::vector<const mv::VersionTable*> regions,
+                       int coreBudget,
+                       SchedulingGoal goal = SchedulingGoal::MinimizeMakespan);
+
+  /// Computes the assignment (deterministic).
+  std::vector<Placement> schedule() const;
+
+  /// Sum of assigned threads for a given assignment.
+  static int totalThreads(const std::vector<Placement>& placements);
+
+  /// Estimated makespan (max region time) of an assignment, assuming the
+  /// regions run concurrently on disjoint cores.
+  static double makespan(const std::vector<Placement>& placements);
+
+  /// Total resource usage (sum of threads x time).
+  static double totalResources(const std::vector<Placement>& placements);
+
+private:
+  std::vector<const mv::VersionTable*> regions_;
+  int coreBudget_;
+  SchedulingGoal goal_;
+};
+
+} // namespace motune::runtime

@@ -1,0 +1,78 @@
+#include "runtime/thread_pool.h"
+
+#include "support/check.h"
+
+namespace motune::runtime {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wakeWorkers_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MOTUNE_CHECK(task != nullptr);
+  {
+    std::lock_guard lock(mutex_);
+    MOTUNE_CHECK_MSG(!stopping_, "submit() on a stopping pool");
+    queue_.push_back(std::move(task));
+    ++inFlight_;
+  }
+  wakeWorkers_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+bool ThreadPool::tryRunOne() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  {
+    std::lock_guard lock(mutex_);
+    if (--inFlight_ == 0) idle_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      wakeWorkers_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return; // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      if (--inFlight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+} // namespace motune::runtime

@@ -1,0 +1,58 @@
+// Persistent worker pool: the execution substrate standing in for the
+// Insieme Runtime System's task processing (DESIGN.md §1).
+//
+// Kernels execute through parallel_for (see parallel_for.h) on this pool;
+// the batch evaluator of the static optimizer also uses it to evaluate
+// configurations concurrently, mirroring the paper's parallel evaluation
+// of configuration sets (§III.A label 3).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace motune::runtime {
+
+class ThreadPool {
+public:
+  /// Spawns `workers` threads (0 = hardware concurrency).
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait();
+
+  /// Runs one queued task on the calling thread if any is pending; returns
+  /// false when the queue is empty. Blocked joiners (parallel_for) use this
+  /// to help drain the queue, which makes nested parallelism deadlock-free
+  /// even on a single-worker pool.
+  bool tryRunOne();
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Process-wide default pool, sized to the hardware.
+  static ThreadPool& global();
+
+private:
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wakeWorkers_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t inFlight_ = 0;
+  bool stopping_ = false;
+};
+
+} // namespace motune::runtime

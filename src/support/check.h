@@ -1,0 +1,46 @@
+// Lightweight precondition / invariant checking.
+//
+// MOTUNE_CHECK is always on (these guard API contracts, not hot loops);
+// MOTUNE_DCHECK compiles away in release builds and may be used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace motune::support {
+
+/// Thrown when a MOTUNE_CHECK fails; carries the failing expression and
+/// source location so test and tool output is actionable.
+class CheckError : public std::logic_error {
+public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+} // namespace motune::support
+
+#define MOTUNE_CHECK(expr)                                                     \
+  do {                                                                         \
+    if (!(expr))                                                               \
+      ::motune::support::checkFailed(#expr, __FILE__, __LINE__, "");           \
+  } while (false)
+
+#define MOTUNE_CHECK_MSG(expr, msg)                                            \
+  do {                                                                         \
+    if (!(expr))                                                               \
+      ::motune::support::checkFailed(#expr, __FILE__, __LINE__, (msg));        \
+  } while (false)
+
+#ifdef NDEBUG
+#define MOTUNE_DCHECK(expr) ((void)0)
+#else
+#define MOTUNE_DCHECK(expr) MOTUNE_CHECK(expr)
+#endif

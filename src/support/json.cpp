@@ -1,0 +1,327 @@
+#include "support/json.h"
+
+#include "support/check.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace motune::support {
+
+Json::Json(JsonArray a)
+    : kind_(Kind::Array), array_(std::make_shared<JsonArray>(std::move(a))) {}
+
+Json::Json(JsonObject o)
+    : kind_(Kind::Object),
+      object_(std::make_shared<JsonObject>(std::move(o))) {}
+
+bool Json::asBool() const {
+  MOTUNE_CHECK_MSG(kind_ == Kind::Bool, "JSON value is not a bool");
+  return bool_;
+}
+
+double Json::asNumber() const {
+  MOTUNE_CHECK_MSG(kind_ == Kind::Number, "JSON value is not a number");
+  return number_;
+}
+
+std::int64_t Json::asInt() const {
+  return static_cast<std::int64_t>(std::llround(asNumber()));
+}
+
+const std::string& Json::asString() const {
+  MOTUNE_CHECK_MSG(kind_ == Kind::String, "JSON value is not a string");
+  return string_;
+}
+
+const JsonArray& Json::asArray() const {
+  MOTUNE_CHECK_MSG(kind_ == Kind::Array, "JSON value is not an array");
+  return *array_;
+}
+
+const JsonObject& Json::asObject() const {
+  MOTUNE_CHECK_MSG(kind_ == Kind::Object, "JSON value is not an object");
+  return *object_;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const JsonObject& obj = asObject();
+  auto it = obj.find(key);
+  MOTUNE_CHECK_MSG(it != obj.end(), "missing JSON key: " + key);
+  return it->second;
+}
+
+bool Json::has(const std::string& key) const {
+  return kind_ == Kind::Object && object_->count(key) > 0;
+}
+
+const Json& Json::operator[](std::size_t i) const {
+  const JsonArray& arr = asArray();
+  MOTUNE_CHECK_MSG(i < arr.size(), "JSON array index out of range");
+  return arr[i];
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::Array) return array_->size();
+  if (kind_ == Kind::Object) return object_->size();
+  MOTUNE_CHECK_MSG(false, "size() on a scalar JSON value");
+  return 0;
+}
+
+namespace {
+
+void escapeTo(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\n': out += "\\n"; break;
+    case '\t': out += "\\t"; break;
+    case '\r': out += "\\r"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+  }
+  out += '"';
+}
+
+void numberTo(double v, std::string& out) {
+  if (v == std::llround(v) && std::abs(v) < 1e15) {
+    out += std::to_string(std::llround(v));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+} // namespace
+
+void Json::dumpTo(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent >= 0 ? "\n" + std::string(static_cast<std::size_t>(indent) *
+                                           (depth + 1),
+                                       ' ')
+                  : "";
+  const std::string padEnd =
+      indent >= 0
+          ? "\n" + std::string(static_cast<std::size_t>(indent) * depth, ' ')
+          : "";
+  switch (kind_) {
+  case Kind::Null: out += "null"; return;
+  case Kind::Bool: out += bool_ ? "true" : "false"; return;
+  case Kind::Number: numberTo(number_, out); return;
+  case Kind::String: escapeTo(string_, out); return;
+  case Kind::Array: {
+    if (array_->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    bool first = true;
+    for (const Json& v : *array_) {
+      if (!first) out += ',';
+      out += pad;
+      v.dumpTo(out, indent, depth + 1);
+      first = false;
+    }
+    out += padEnd;
+    out += ']';
+    return;
+  }
+  case Kind::Object: {
+    if (object_->empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : *object_) {
+      if (!first) out += ',';
+      out += pad;
+      escapeTo(key, out);
+      out += indent >= 0 ? ": " : ":";
+      value.dumpTo(out, indent, depth + 1);
+      first = false;
+    }
+    out += padEnd;
+    out += '}';
+    return;
+  }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    const Json v = value();
+    skipWs();
+    MOTUNE_CHECK_MSG(pos_ == text_.size(),
+                     "trailing characters after JSON value at " + where());
+    return v;
+  }
+
+private:
+  std::string where() const { return "offset " + std::to_string(pos_); }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    MOTUNE_CHECK_MSG(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    MOTUNE_CHECK_MSG(peek() == c, std::string("expected '") + c + "' at " +
+                                      where());
+    ++pos_;
+  }
+
+  bool consume(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    skipWs();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return Json(string());
+    if (consume("true")) return Json(true);
+    if (consume("false")) return Json(false);
+    if (consume("null")) return Json(nullptr);
+    return number();
+  }
+
+  Json object() {
+    expect('{');
+    JsonObject obj;
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      skipWs();
+      std::string key = string();
+      skipWs();
+      expect(':');
+      obj.emplace(std::move(key), value());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(obj));
+    }
+  }
+
+  Json array() {
+    expect('[');
+    JsonArray arr;
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(value());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(arr));
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      MOTUNE_CHECK_MSG(pos_ < text_.size(), "unterminated JSON string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      MOTUNE_CHECK_MSG(pos_ < text_.size(), "dangling escape in JSON string");
+      const char esc = text_[pos_++];
+      switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        MOTUNE_CHECK_MSG(pos_ + 4 <= text_.size(), "bad \\u escape");
+        const std::string hex = text_.substr(pos_, 4);
+        pos_ += 4;
+        const auto code = static_cast<unsigned>(std::stoul(hex, nullptr, 16));
+        MOTUNE_CHECK_MSG(code < 0x80, "non-ASCII \\u escapes unsupported");
+        out += static_cast<char>(code);
+        break;
+      }
+      default:
+        MOTUNE_CHECK_MSG(false, "invalid escape in JSON string");
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    MOTUNE_CHECK_MSG(pos_ > start, "invalid JSON number at " + where());
+    try {
+      return Json(std::stod(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      MOTUNE_CHECK_MSG(false, "invalid JSON number at " + where());
+    }
+    return Json(nullptr);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parse(); }
+
+} // namespace motune::support

@@ -1,0 +1,78 @@
+// Minimal JSON reader/writer (no external dependencies).
+//
+// Used to persist tuning artifacts (autotune/artifact.h): the static
+// optimizer runs once at "compile time", its Pareto set is saved next to
+// the binary, and the runtime loads it on startup — the deployment story
+// of the paper's multi-versioned executables, without recompiling.
+//
+// Supports the full JSON grammar except \uXXXX escapes beyond ASCII.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace motune::support {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+/// An immutable-ish JSON value (null, bool, number, string, array, object).
+class Json {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() : kind_(Kind::Null) {}
+  Json(std::nullptr_t) : kind_(Kind::Null) {} // NOLINT(google-explicit-*)
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {} // NOLINT
+  Json(double v) : kind_(Kind::Number), number_(v) {} // NOLINT
+  Json(int v) : kind_(Kind::Number), number_(v) {} // NOLINT
+  Json(std::int64_t v) // NOLINT
+      : kind_(Kind::Number), number_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) // NOLINT
+      : kind_(Kind::Number), number_(static_cast<double>(v)) {}
+  Json(const char* s) : kind_(Kind::String), string_(s) {} // NOLINT
+  Json(std::string s) : kind_(Kind::String), string_(std::move(s)) {} // NOLINT
+  Json(JsonArray a); // NOLINT
+  Json(JsonObject o); // NOLINT
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+
+  /// Typed accessors; MOTUNE_CHECK on kind mismatch.
+  bool asBool() const;
+  double asNumber() const;
+  std::int64_t asInt() const;
+  const std::string& asString() const;
+  const JsonArray& asArray() const;
+  const JsonObject& asObject() const;
+
+  /// Object field access; throws if not an object or key missing.
+  const Json& at(const std::string& key) const;
+  bool has(const std::string& key) const;
+
+  /// Array element access.
+  const Json& operator[](std::size_t i) const;
+  std::size_t size() const;
+
+  /// Serialization. `indent` < 0 emits compact single-line JSON.
+  std::string dump(int indent = 2) const;
+
+  /// Parsing; throws support::CheckError with position info on bad input.
+  static Json parse(const std::string& text);
+
+private:
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+} // namespace motune::support

@@ -1,0 +1,39 @@
+#include "support/rng.h"
+
+#include "support/check.h"
+
+#include <cmath>
+
+namespace motune::support {
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  MOTUNE_CHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)()); // full range
+  // Lemire-style rejection-free-ish: unbiased via rejection on the tail.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::gaussian() {
+  if (hasCachedGaussian_) {
+    hasCachedGaussian_ = false;
+    return cachedGaussian_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cachedGaussian_ = v * factor;
+  hasCachedGaussian_ = true;
+  return u * factor;
+}
+
+} // namespace motune::support

@@ -1,0 +1,74 @@
+#include "support/stats.h"
+
+#include "support/check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace motune::support {
+
+namespace {
+std::vector<double> sortedCopy(std::span<const double> xs) {
+  std::vector<double> s(xs.begin(), xs.end());
+  std::sort(s.begin(), s.end());
+  return s;
+}
+} // namespace
+
+double mean(std::span<const double> xs) {
+  MOTUNE_CHECK(!xs.empty());
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double median(std::span<const double> xs) {
+  MOTUNE_CHECK(!xs.empty());
+  auto s = sortedCopy(xs);
+  const std::size_t n = s.size();
+  return n % 2 == 1 ? s[n / 2] : 0.5 * (s[n / 2 - 1] + s[n / 2]);
+}
+
+double stddev(std::span<const double> xs) {
+  MOTUNE_CHECK(xs.size() >= 2);
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double minOf(std::span<const double> xs) {
+  MOTUNE_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double maxOf(std::span<const double> xs) {
+  MOTUNE_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double q) {
+  MOTUNE_CHECK(!xs.empty());
+  MOTUNE_CHECK(q >= 0.0 && q <= 100.0);
+  auto s = sortedCopy(xs);
+  if (s.size() == 1) return s.front();
+  const double pos = q / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= s.size()) return s.back();
+  return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary out;
+  out.n = xs.size();
+  if (xs.empty()) return out;
+  out.mean = mean(xs);
+  out.median = median(xs);
+  out.min = minOf(xs);
+  out.max = maxOf(xs);
+  out.stddev = xs.size() >= 2 ? stddev(xs) : 0.0;
+  return out;
+}
+
+} // namespace motune::support

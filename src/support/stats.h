@@ -1,0 +1,33 @@
+// Small statistics helpers used by evaluators (median-of-repeats, as in the
+// paper's measurement protocol) and by the experiment harness (means over
+// repeated optimizer runs, Table VI).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace motune::support {
+
+double mean(std::span<const double> xs);
+double median(std::span<const double> xs);          ///< copies, O(n log n)
+double stddev(std::span<const double> xs);           ///< sample std deviation
+double minOf(std::span<const double> xs);
+double maxOf(std::span<const double> xs);
+
+/// Linear-interpolated percentile, q in [0, 100].
+double percentile(std::span<const double> xs, double q);
+
+/// Summary of a sample; computed in one pass over a sorted copy.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+} // namespace motune::support

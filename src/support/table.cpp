@@ -1,0 +1,85 @@
+#include "support/table.h"
+
+#include "support/check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace motune::support {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string fmtPercent(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+std::string fmtSeconds(double seconds) {
+  if (!std::isfinite(seconds)) return "inf";
+  if (seconds >= 1.0) return fmt(seconds, 3) + " s";
+  if (seconds >= 1e-3) return fmt(seconds * 1e3, 3) + " ms";
+  return fmt(seconds * 1e6, 3) + " us";
+}
+
+void TextTable::setHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  if (!header_.empty())
+    MOTUNE_CHECK_MSG(row.size() == header_.size(),
+                     "row width must match header width");
+  rows_.push_back({std::move(row), false});
+}
+
+void TextTable::addSeparator() { rows_.push_back({{}, true}); }
+
+std::string TextTable::render() const {
+  // Compute column widths across header and all rows.
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_)
+    cols = std::max(cols, r.cells.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto account = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      width[c] = std::max(width[c], cells[c].size());
+  };
+  account(header_);
+  for (const auto& r : rows_)
+    if (!r.separator) account(r.cells);
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t c = 0; c < cols; ++c)
+      s += std::string(width[c] + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      s += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  if (!header_.empty()) {
+    out += line(header_);
+    out += rule();
+  }
+  for (const auto& r : rows_)
+    out += r.separator ? rule() : line(r.cells);
+  out += rule();
+  return out;
+}
+
+} // namespace motune::support

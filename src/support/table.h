@@ -1,0 +1,44 @@
+// Plain-text table rendering for the experiment harness.
+//
+// Every bench binary reproduces one of the paper's tables/figures; this
+// renderer keeps their output uniform and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace motune::support {
+
+/// Number formatting helpers (fixed precision, percentages, compact ints).
+std::string fmt(double v, int precision = 3);
+std::string fmtPercent(double fraction, int precision = 1); ///< 0.151 -> "15.1%"
+std::string fmtSeconds(double seconds);                     ///< scales to ms/us
+
+/// Column-aligned ASCII table with an optional title and column headers.
+class TextTable {
+public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row; defines the number of columns.
+  void setHeader(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width if one was set.
+  void addRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator between row groups.
+  void addSeparator();
+
+  /// Renders the table with box-drawing borders.
+  std::string render() const;
+
+private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+} // namespace motune::support

@@ -1,0 +1,193 @@
+#include "transform/fusion.h"
+
+#include "support/check.h"
+
+#include <optional>
+
+namespace motune::transform {
+
+namespace {
+
+struct FlatAccess {
+  std::string array;
+  std::vector<ir::AffineExpr> subscripts;
+  bool isWrite;
+};
+
+void collectExprAccesses(const ir::Expr& e, std::vector<FlatAccess>& out) {
+  switch (e.kind) {
+  case ir::Expr::Kind::Read:
+    out.push_back({e.array, e.subscripts, false});
+    return;
+  case ir::Expr::Kind::Binary:
+    collectExprAccesses(*e.lhs, out);
+    collectExprAccesses(*e.rhs, out);
+    return;
+  case ir::Expr::Kind::Unary:
+    collectExprAccesses(*e.lhs, out);
+    return;
+  default:
+    return;
+  }
+}
+
+void collectStmtAccesses(const ir::Stmt& s, std::vector<FlatAccess>& out) {
+  if (s.kind == ir::Stmt::Kind::Assign) {
+    collectExprAccesses(*s.assign.rhs, out);
+    if (s.assign.accumulate)
+      out.push_back({s.assign.array, s.assign.subscripts, false});
+    out.push_back({s.assign.array, s.assign.subscripts, true});
+    return;
+  }
+  for (const auto& child : s.loop.body) collectStmtAccesses(*child, out);
+}
+
+enum class Cross { None, Zero, Positive, NegativeOnly, Unknown };
+
+/// Dependence between access A (iteration j of loop `iv`) and access B
+/// (iteration i): solves A(j) == B(i) for delta = j - i.
+///  None: no common element. Zero/Positive/NegativeOnly: sign of delta.
+///  Unknown: outside the solvable affine subset (treat as conflicting).
+Cross crossDistance(const FlatAccess& a, const FlatAccess& b,
+                    const std::string& iv) {
+  if (a.array != b.array) return Cross::None;
+  if (a.subscripts.size() != b.subscripts.size()) return Cross::Unknown;
+
+  std::optional<std::int64_t> delta;
+  for (std::size_t d = 0; d < a.subscripts.size(); ++d) {
+    const ir::AffineExpr& fa = a.subscripts[d];
+    const ir::AffineExpr& fb = b.subscripts[d];
+    // Identical linear parts required for the uniform solve.
+    const ir::AffineExpr diff = fa - fb;
+    if (!diff.isConstant() && !(diff.variables() ==
+                                std::vector<std::string>{iv}))
+      return Cross::Unknown;
+
+    const std::int64_t c = fa.coeffOf(iv);
+    if (fa.coeffOf(iv) != fb.coeffOf(iv)) return Cross::Unknown;
+    const std::int64_t residual =
+        fb.constantTerm() - fa.constantTerm(); // c*delta = residual
+    const bool hasOtherIvs = fa.terms().size() > (c != 0 ? 1u : 0u);
+    if (c == 0) {
+      // A dimension driven only by inner loop variables is satisfiable by
+      // SOME pair of inner iterations whatever the constant shift (both
+      // sides sweep the same range), so it constrains nothing; only a
+      // pure-constant mismatch proves independence.
+      if (hasOtherIvs) continue;
+      if (residual != 0) return Cross::None; // provably disjoint
+      continue;
+    }
+    if (residual % c != 0) return Cross::None;
+    const std::int64_t v = residual / c;
+    if (delta.has_value() && *delta != v) return Cross::None;
+    delta = v;
+  }
+  if (!delta.has_value()) return Cross::Zero; // same element every iteration
+  if (*delta == 0) return Cross::Zero;
+  return *delta > 0 ? Cross::Positive : Cross::NegativeOnly;
+}
+
+/// True if a dependence with positive iteration distance from the FIRST
+/// statement group to the SECOND exists (the pattern both fusion and
+/// distribution must reject, see header).
+bool hasForbiddenCross(const std::vector<FlatAccess>& first,
+                       const std::vector<FlatAccess>& second,
+                       const std::string& iv) {
+  for (const auto& a : first) {
+    for (const auto& b : second) {
+      if (!a.isWrite && !b.isWrite) continue;
+      const Cross c = crossDistance(a, b, iv);
+      if (c == Cross::Positive || c == Cross::Unknown) return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+bool fusionCandidate(const ir::Program& p) {
+  if (p.body.size() < 2) return false;
+  if (p.body[0]->kind != ir::Stmt::Kind::Loop ||
+      p.body[1]->kind != ir::Stmt::Kind::Loop)
+    return false;
+  const ir::Loop& a = p.body[0]->loop;
+  const ir::Loop& b = p.body[1]->loop;
+  return a.lower == b.lower && a.upper == b.upper && a.step == b.step;
+}
+
+ir::Program fuse(const ir::Program& p) {
+  MOTUNE_CHECK_MSG(fusionCandidate(p),
+                   "program is not a fusion candidate (need two adjacent "
+                   "loops with identical headers)");
+  ir::Program out = p.clone();
+  ir::Loop& first = out.body[0]->loop;
+  ir::Loop& second = out.body[1]->loop;
+
+  // Rename the second loop's induction variable to the first's.
+  const ir::AffineExpr repl = ir::AffineExpr::var(first.iv);
+  std::vector<ir::StmtPtr> renamed;
+  for (auto& child : second.body) {
+    MOTUNE_CHECK_MSG(child->kind == ir::Stmt::Kind::Assign,
+                     "fusion supports flat loop bodies");
+    ir::Assign a = child->assign;
+    for (auto& sub : a.subscripts) sub = sub.substitute(second.iv, repl);
+    a.rhs = a.rhs->substitute(second.iv, repl);
+    renamed.push_back(ir::Stmt::makeAssign(std::move(a)));
+  }
+  for (const auto& child : first.body)
+    MOTUNE_CHECK_MSG(child->kind == ir::Stmt::Kind::Assign,
+                     "fusion supports flat loop bodies");
+
+  // Legality: the second body at iteration i must not touch data the first
+  // body writes at a LATER iteration (fusion would move it ahead of that
+  // write), and vice versa for writes in the second body.
+  std::vector<FlatAccess> accA, accB;
+  for (const auto& child : first.body) collectStmtAccesses(*child, accA);
+  for (const auto& child : renamed) collectStmtAccesses(*child, accB);
+  MOTUNE_CHECK_MSG(!hasForbiddenCross(accA, accB, first.iv),
+                   "fusion is illegal: a dependence would be reversed");
+
+  for (auto& stmt : renamed) first.body.push_back(std::move(stmt));
+  out.body.erase(out.body.begin() + 1);
+  return out;
+}
+
+ir::Program distribute(const ir::Program& p) {
+  MOTUNE_CHECK_MSG(p.body.size() == 1 &&
+                       p.body[0]->kind == ir::Stmt::Kind::Loop,
+                   "distribution expects a single root loop");
+  const ir::Loop& root = p.body[0]->loop;
+  MOTUNE_CHECK_MSG(root.body.size() >= 2,
+                   "distribution needs at least two statements");
+
+  // Pairwise legality: no dependence may run from a LATER iteration of an
+  // earlier statement to an earlier iteration of a later one.
+  std::vector<std::vector<FlatAccess>> accesses(root.body.size());
+  for (std::size_t s = 0; s < root.body.size(); ++s)
+    collectStmtAccesses(*root.body[s], accesses[s]);
+  for (std::size_t s1 = 0; s1 < accesses.size(); ++s1) {
+    for (std::size_t s2 = s1 + 1; s2 < accesses.size(); ++s2) {
+      MOTUNE_CHECK_MSG(
+          !hasForbiddenCross(accesses[s1], accesses[s2], root.iv),
+          "distribution is illegal: a backward dependence exists");
+    }
+  }
+
+  ir::Program out;
+  out.name = p.name;
+  out.arrays = p.arrays;
+  for (const auto& stmt : root.body) {
+    ir::Loop loop;
+    loop.iv = root.iv;
+    loop.lower = root.lower;
+    loop.upper = root.upper;
+    loop.step = root.step;
+    loop.parallel = root.parallel;
+    loop.collapse = root.collapse;
+    loop.body.push_back(stmt->clone());
+    out.body.push_back(ir::Stmt::makeLoop(std::move(loop)));
+  }
+  return out;
+}
+
+} // namespace motune::transform

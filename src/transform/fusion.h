@@ -1,0 +1,38 @@
+// Loop fusion and fission (distribution).
+//
+// The paper names fusion and fission among the transformations that force
+// multi-versioning over parameterized code ("there are some
+// transformations such as loop unrolling, fission and fusion which can not
+// be realized using parameterized code", §IV) — so a faithful framework
+// must actually have them. Legality is checked with the dependence
+// machinery from analyzer/ at the call site (see analyzer::canFuse /
+// canDistribute); the functions here are the mechanics plus a built-in
+// conservative check.
+#pragma once
+
+#include "ir/program.h"
+
+namespace motune::transform {
+
+/// True if the program body consists of (at least) two adjacent top-level
+/// loops with identical headers (same bounds and step) — the structural
+/// precondition for fusion.
+bool fusionCandidate(const ir::Program& p);
+
+/// Fuses the first two top-level loops into one (bodies concatenated,
+/// second loop's induction variable renamed to the first's). Checks
+/// structural preconditions and the conservative dependence condition:
+/// every dependence between the two bodies must be non-negative at the
+/// fused level (no statement of the first loop may consume values the
+/// second loop produces in a *later* iteration). Throws on violation.
+ir::Program fuse(const ir::Program& p);
+
+/// Distributes (fissions) the root loop of a single-loop program whose
+/// body holds multiple statements into one loop per statement. Legal when
+/// no loop-carried dependence runs *backward* between two statements
+/// (forward dependences are preserved by the resulting loop order);
+/// conservative: any loop-carried dependence between distinct statements
+/// blocks distribution. Throws on violation.
+ir::Program distribute(const ir::Program& p);
+
+} // namespace motune::transform

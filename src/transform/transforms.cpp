@@ -1,0 +1,214 @@
+#include "transform/transforms.h"
+
+#include "support/check.h"
+
+#include <algorithm>
+
+namespace motune::transform {
+
+namespace {
+
+/// Mutable view of the outermost perfect nest of a (cloned) program.
+std::vector<ir::Loop*> mutablePerfectNest(ir::Program& p) {
+  std::vector<ir::Loop*> nest;
+  if (p.body.size() != 1 || p.body.front()->kind != ir::Stmt::Kind::Loop)
+    return nest;
+  ir::Loop* loop = &p.body.front()->loop;
+  nest.push_back(loop);
+  while (loop->body.size() == 1 &&
+         loop->body.front()->kind == ir::Stmt::Kind::Loop) {
+    loop = &loop->body.front()->loop;
+    nest.push_back(loop);
+  }
+  return nest;
+}
+
+} // namespace
+
+std::size_t perfectNestDepth(const ir::Program& p) {
+  return perfectNest(p).size();
+}
+
+std::vector<const ir::Loop*> perfectNest(const ir::Program& p) {
+  std::vector<const ir::Loop*> nest;
+  if (p.body.size() != 1 || p.body.front()->kind != ir::Stmt::Kind::Loop)
+    return nest;
+  const ir::Loop* loop = &p.body.front()->loop;
+  nest.push_back(loop);
+  while (loop->body.size() == 1 &&
+         loop->body.front()->kind == ir::Stmt::Kind::Loop) {
+    loop = &loop->body.front()->loop;
+    nest.push_back(loop);
+  }
+  return nest;
+}
+
+ir::Program tile(const ir::Program& p, std::span<const std::int64_t> sizes) {
+  const std::size_t depth = sizes.size();
+  MOTUNE_CHECK(depth >= 1);
+
+  ir::Program out = p.clone();
+  std::vector<ir::Loop*> nest = mutablePerfectNest(out);
+  MOTUNE_CHECK_MSG(nest.size() >= depth,
+                   "tile band exceeds the perfect nest depth");
+
+  // Validate the band is rectangular with unit steps.
+  for (std::size_t l = 0; l < depth; ++l) {
+    MOTUNE_CHECK_MSG(nest[l]->step == 1, "tiling requires unit-step loops");
+    MOTUNE_CHECK_MSG(!nest[l]->upper.cap.has_value(),
+                     "band loop already carries a min() cap (already tiled?)");
+    for (std::size_t m = 0; m < depth; ++m) {
+      MOTUNE_CHECK_MSG(!nest[l]->lower.dependsOn(nest[m]->iv) &&
+                           !nest[l]->upper.base.dependsOn(nest[m]->iv),
+                       "tiling requires a rectangular band");
+    }
+    MOTUNE_CHECK_MSG(sizes[l] >= 1, "tile sizes must be positive");
+  }
+
+  // Build point loops (innermost part), reusing the original iv names so the
+  // loop body is unchanged. Work inside-out: the innermost point loop
+  // adopts the body below the band.
+  std::vector<ir::StmtPtr> innerBody = std::move(nest[depth - 1]->body);
+  for (std::size_t l = depth; l-- > 0;) {
+    const ir::Loop& orig = *nest[l];
+    ir::Loop point;
+    point.iv = orig.iv;
+    point.lower = ir::AffineExpr::var(orig.iv + "_t");
+    point.upper =
+        ir::Bound(ir::AffineExpr::var(orig.iv + "_t") + sizes[l],
+                  orig.upper.base);
+    point.step = 1;
+    point.body = std::move(innerBody);
+    innerBody.clear();
+    innerBody.push_back(ir::Stmt::makeLoop(std::move(point)));
+  }
+
+  // Build tile loops outside-in around the point loops.
+  for (std::size_t l = depth; l-- > 0;) {
+    const ir::Loop& orig = *nest[l];
+    ir::Loop tileLoop;
+    tileLoop.iv = orig.iv + "_t";
+    tileLoop.lower = orig.lower;
+    tileLoop.upper = orig.upper;
+    tileLoop.step = sizes[l];
+    tileLoop.body = std::move(innerBody);
+    innerBody.clear();
+    innerBody.push_back(ir::Stmt::makeLoop(std::move(tileLoop)));
+  }
+
+  out.body = std::move(innerBody);
+  out.name = p.name;
+  return out;
+}
+
+ir::Program parallelizeOuter(const ir::Program& p, int collapse) {
+  MOTUNE_CHECK(collapse >= 1);
+  ir::Program out = p.clone();
+  std::vector<ir::Loop*> nest = mutablePerfectNest(out);
+  MOTUNE_CHECK_MSG(static_cast<std::size_t>(collapse) <= nest.size(),
+                   "collapse depth exceeds the perfect nest depth");
+  nest.front()->parallel = true;
+  nest.front()->collapse = collapse;
+  return out;
+}
+
+ir::Program interchange(const ir::Program& p, std::span<const int> perm) {
+  const std::size_t depth = perm.size();
+  ir::Program out = p.clone();
+  std::vector<ir::Loop*> nest = mutablePerfectNest(out);
+  MOTUNE_CHECK(nest.size() >= depth);
+
+  // Validate the permutation.
+  std::vector<bool> seen(depth, false);
+  for (int j : perm) {
+    MOTUNE_CHECK(j >= 0 && static_cast<std::size_t>(j) < depth);
+    MOTUNE_CHECK_MSG(!seen[static_cast<std::size_t>(j)],
+                     "invalid permutation");
+    seen[static_cast<std::size_t>(j)] = true;
+  }
+
+  // Snapshot headers, then rewrite in permuted order; bodies stay in place.
+  struct Header {
+    std::string iv;
+    ir::AffineExpr lower;
+    ir::Bound upper;
+    std::int64_t step;
+  };
+  std::vector<Header> headers;
+  headers.reserve(depth);
+  for (std::size_t l = 0; l < depth; ++l)
+    headers.push_back({nest[l]->iv, nest[l]->lower, nest[l]->upper,
+                       nest[l]->step});
+  for (std::size_t l = 0; l < depth; ++l) {
+    const Header& h = headers[static_cast<std::size_t>(perm[l])];
+    nest[l]->iv = h.iv;
+    nest[l]->lower = h.lower;
+    nest[l]->upper = h.upper;
+    nest[l]->step = h.step;
+  }
+  return out;
+}
+
+ir::Program unrollInnermost(const ir::Program& p, int factor) {
+  MOTUNE_CHECK(factor >= 1);
+  ir::Program out = p.clone();
+  if (factor == 1) return out;
+  std::vector<ir::Loop*> nest = mutablePerfectNest(out);
+  MOTUNE_CHECK_MSG(!nest.empty(), "no loop to unroll");
+  ir::Loop* inner = nest.back();
+  MOTUNE_CHECK_MSG(inner->step == 1, "unroll requires a unit-step loop");
+  for (const auto& s : inner->body)
+    MOTUNE_CHECK_MSG(s->kind == ir::Stmt::Kind::Assign,
+                     "unroll target must be the innermost loop");
+
+  // Substituting iv -> iv + offset into each replica.
+  std::vector<ir::StmtPtr> unrolledBody;
+  for (int u = 0; u < factor; ++u) {
+    const ir::AffineExpr repl = ir::AffineExpr::var(inner->iv) + u;
+    for (const auto& s : inner->body) {
+      ir::Assign a = s->assign;
+      for (auto& sub : a.subscripts) sub = sub.substitute(inner->iv, repl);
+      a.rhs = a.rhs->substitute(inner->iv, repl);
+      unrolledBody.push_back(ir::Stmt::makeAssign(std::move(a)));
+    }
+  }
+
+  // The split point between the unrolled main loop and the remainder loop
+  // must be exact, which requires compile-time-constant bounds (the IR has
+  // no integer division). The main loop runs while iv + factor <= hi.
+  MOTUNE_CHECK_MSG(inner->lower.isConstant() &&
+                       inner->upper.base.isConstant() &&
+                       !inner->upper.cap.has_value(),
+                   "unrolling requires constant loop bounds");
+  const std::int64_t lo = inner->lower.constantTerm();
+  const std::int64_t hi = inner->upper.base.constantTerm();
+  const std::int64_t trips = hi > lo ? hi - lo : 0;
+  const std::int64_t covered = trips / factor * factor;
+
+  ir::Loop remainder;
+  remainder.iv = inner->iv;
+  remainder.lower = ir::AffineExpr::constant(lo + covered);
+  remainder.upper = inner->upper;
+  remainder.step = 1;
+  remainder.body = std::move(inner->body);
+
+  ir::Loop main;
+  main.iv = inner->iv;
+  main.lower = inner->lower;
+  main.upper = ir::AffineExpr::constant(lo + covered);
+  main.step = factor;
+  main.body = std::move(unrolledBody);
+
+  ir::Loop* parent = nest.size() >= 2 ? nest[nest.size() - 2] : nullptr;
+  std::vector<ir::StmtPtr> replacement;
+  replacement.push_back(ir::Stmt::makeLoop(std::move(main)));
+  replacement.push_back(ir::Stmt::makeLoop(std::move(remainder)));
+  if (parent != nullptr) {
+    parent->body = std::move(replacement);
+  } else {
+    out.body = std::move(replacement);
+  }
+  return out;
+}
+
+} // namespace motune::transform

@@ -1,0 +1,51 @@
+// Loop transformations: the mechanics behind the paper's transformation
+// skeletons (tiling + collapsing + parallelization, plus unrolling and
+// interchange as additional skeleton building blocks).
+//
+// These functions are pure mechanics: they assume legality has been
+// established by the analyzer (see analyzer/region.h, which combines the
+// dependence test with these transforms into checked skeletons). Each
+// returns a new program; inputs are never mutated.
+#pragma once
+
+#include "ir/program.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace motune::transform {
+
+/// Tiles the outermost `sizes.size()` perfectly nested loops with the given
+/// tile sizes. Loop `l` with header `for (iv = lo; iv < hi)` becomes a tile
+/// loop `for (iv_t = lo; iv_t < hi; iv_t += T)` and a point loop
+/// `for (iv = iv_t; iv < min(iv_t + T, hi))`; all tile loops are placed
+/// outside all point loops (classic strip-mine-and-interchange).
+///
+/// Tile sizes of 1 degenerate gracefully; a size >= the trip count yields a
+/// single tile. Requires the band loops to be perfectly nested, have step
+/// 1, and bounds not depending on band induction variables (rectangular
+/// iteration space).
+ir::Program tile(const ir::Program& p, std::span<const std::int64_t> sizes);
+
+/// Marks the outermost loop parallel with `collapse` merged loop levels
+/// (the paper collapses the two outermost tile loops before parallelizing
+/// to mitigate load imbalance from large tiles, §IV).
+ir::Program parallelizeOuter(const ir::Program& p, int collapse);
+
+/// Permutes the outermost `perm.size()` perfectly nested loops;
+/// perm[i] = j places original loop j at position i.
+ir::Program interchange(const ir::Program& p, std::span<const int> perm);
+
+/// Unrolls the innermost loop by `factor`, emitting a remainder loop when
+/// the trip count is not statically divisible.
+ir::Program unrollInnermost(const ir::Program& p, int factor);
+
+/// Number of perfectly nested loops starting at the root (a loop whose
+/// body is exactly one loop continues the perfect nest).
+std::size_t perfectNestDepth(const ir::Program& p);
+
+/// The headers of the outermost perfect nest, outermost first.
+std::vector<const ir::Loop*> perfectNest(const ir::Program& p);
+
+} // namespace motune::transform

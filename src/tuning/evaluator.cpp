@@ -1,0 +1,51 @@
+#include "tuning/evaluator.h"
+
+#include "runtime/parallel_for.h"
+#include "support/check.h"
+
+namespace motune::tuning {
+
+Objectives CountingEvaluator::evaluate(const Config& config) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = memo_.find(config);
+    if (it != memo_.end()) return it->second;
+  }
+  Objectives obj = inner_.evaluate(config);
+  {
+    std::lock_guard lock(mutex_);
+    auto [it, inserted] = memo_.emplace(config, std::move(obj));
+    if (inserted) ++evals_;
+    return it->second;
+  }
+}
+
+std::uint64_t CountingEvaluator::evaluations() const {
+  std::lock_guard lock(mutex_);
+  return evals_;
+}
+
+void CountingEvaluator::reset() {
+  std::lock_guard lock(mutex_);
+  memo_.clear();
+  evals_ = 0;
+}
+
+std::vector<Objectives>
+BatchEvaluator::evaluateAll(const std::vector<Config>& configs) {
+  std::vector<Objectives> out(configs.size());
+  if (!parallel_ || configs.size() <= 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i)
+      out[i] = fn_.evaluate(configs[i]);
+    return out;
+  }
+  runtime::parallelFor(pool_, 0, static_cast<std::int64_t>(configs.size()),
+                       static_cast<int>(pool_.workers()),
+                       [&](std::int64_t i) {
+                         out[static_cast<std::size_t>(i)] =
+                             fn_.evaluate(configs[static_cast<std::size_t>(i)]);
+                       });
+  return out;
+}
+
+} // namespace motune::tuning

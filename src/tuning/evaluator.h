@@ -1,0 +1,61 @@
+// Evaluation plumbing around ObjectiveFunction:
+//  * CountingEvaluator memoizes evaluated configurations and counts unique
+//    evaluations — the E metric of Table VI ("the number of points
+//    evaluated for obtaining a solution set");
+//  * BatchEvaluator evaluates configuration sets through the thread pool,
+//    mirroring the paper's parallel evaluation of independent
+//    configurations during compilation (§III.A, §IV).
+#pragma once
+
+#include "runtime/thread_pool.h"
+#include "tuning/kernel_problem.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace motune::tuning {
+
+class CountingEvaluator final : public ObjectiveFunction {
+public:
+  explicit CountingEvaluator(ObjectiveFunction& inner) : inner_(inner) {}
+
+  std::size_t numObjectives() const override {
+    return inner_.numObjectives();
+  }
+  const std::vector<ParamSpec>& space() const override {
+    return inner_.space();
+  }
+
+  Objectives evaluate(const Config& config) override;
+
+  /// Unique configurations evaluated so far (cache hits are free, exactly
+  /// as re-running an already-measured variant would be skipped).
+  std::uint64_t evaluations() const;
+
+  void reset();
+
+private:
+  ObjectiveFunction& inner_;
+  mutable std::mutex mutex_;
+  std::map<Config, Objectives> memo_;
+  std::uint64_t evals_ = 0;
+};
+
+class BatchEvaluator {
+public:
+  BatchEvaluator(ObjectiveFunction& fn, runtime::ThreadPool& pool,
+                 bool parallel = true)
+      : fn_(fn), pool_(pool), parallel_(parallel) {}
+
+  /// Evaluates all configurations (in parallel when enabled), preserving
+  /// order.
+  std::vector<Objectives> evaluateAll(const std::vector<Config>& configs);
+
+private:
+  ObjectiveFunction& fn_;
+  runtime::ThreadPool& pool_;
+  bool parallel_;
+};
+
+} // namespace motune::tuning

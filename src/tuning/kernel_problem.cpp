@@ -1,0 +1,89 @@
+#include "tuning/kernel_problem.h"
+
+#include "support/check.h"
+
+#include <sstream>
+
+namespace motune::tuning {
+
+namespace {
+constexpr std::size_t kMaxCachedVariants = 200000;
+
+std::string tileKey(const Config& config, std::size_t tileDims) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < tileDims; ++i) os << config[i] << ",";
+  return os.str();
+}
+} // namespace
+
+KernelTuningProblem::KernelTuningProblem(const kernels::KernelSpec& kernel,
+                                         machine::MachineModel machine,
+                                         std::int64_t n,
+                                         perf::CostParams params,
+                                         std::vector<Objective> objectives)
+    : kernel_(kernel),
+      n_(n > 0 ? n : kernel.paperN),
+      skeleton_(analyzer::TransformationSkeleton::build(kernel.buildIR(n_),
+                                                        machine.totalCores())),
+      model_(std::move(machine), params),
+      space_(skeleton_.params()),
+      objectives_(std::move(objectives)) {
+  MOTUNE_CHECK(skeleton_.tileDepth() == kernel_.tileDims);
+  MOTUNE_CHECK(!objectives_.empty());
+}
+
+const KernelTuningProblem::Variant&
+KernelTuningProblem::variantFor(const Config& config) {
+  const std::string key = tileKey(config, skeleton_.tileDepth());
+  {
+    std::lock_guard lock(cacheMutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return *it->second;
+  }
+  auto variant = std::make_unique<Variant>();
+  variant->program = skeleton_.instantiate(config);
+  variant->analysis = perf::analyzeNest(variant->program);
+  {
+    std::lock_guard lock(cacheMutex_);
+    if (cache_.size() >= kMaxCachedVariants) cache_.clear();
+    auto [it, inserted] = cache_.emplace(key, std::move(variant));
+    (void)inserted; // losing a race keeps the first entry; both are equal
+    return *it->second;
+  }
+}
+
+Objectives KernelTuningProblem::evaluate(const Config& config) {
+  const perf::Prediction p = predictFull(config);
+  Objectives out;
+  out.reserve(objectives_.size());
+  for (const Objective obj : objectives_) {
+    switch (obj) {
+    case Objective::Time: out.push_back(p.seconds); break;
+    case Objective::Resources: out.push_back(p.resources); break;
+    case Objective::Energy: out.push_back(p.joules); break;
+    }
+  }
+  return out;
+}
+
+perf::Prediction KernelTuningProblem::predictFull(const Config& config) {
+  MOTUNE_CHECK(config.size() == space_.size());
+  const auto threads = static_cast<int>(config.back());
+  const Variant& variant = variantFor(config);
+  return model_.predictAnalyzed(variant.analysis, threads);
+}
+
+double KernelTuningProblem::untiledSerialSeconds() const {
+  return untiledSerialPrediction().seconds;
+}
+
+perf::Prediction KernelTuningProblem::untiledSerialPrediction() const {
+  const ir::Program base = kernel_.buildIR(n_);
+  return model_.predict(base, 1);
+}
+
+ir::Program KernelTuningProblem::instantiate(const Config& config) const {
+  return skeleton_.instantiate(config);
+}
+
+} // namespace motune::tuning

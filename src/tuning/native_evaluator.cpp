@@ -1,0 +1,99 @@
+#include "tuning/native_evaluator.h"
+
+#include "support/check.h"
+#include "support/stats.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace motune::tuning {
+
+namespace {
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+} // namespace
+
+NativeKernelEvaluator::NativeKernelEvaluator(const kernels::KernelSpec& kernel,
+                                             std::int64_t n, int maxThreads,
+                                             runtime::ThreadPool& pool,
+                                             int repetitions)
+    : kernel_(kernel), n_(n), repetitions_(repetitions), pool_(pool) {
+  MOTUNE_CHECK(n >= 2);
+  MOTUNE_CHECK(repetitions >= 1);
+
+  const char* tileNames[] = {"t_i", "t_j", "t_k"};
+  for (std::size_t d = 0; d < kernel_.tileDims; ++d)
+    space_.push_back({tileNames[d], 1, std::max<std::int64_t>(1, n_ / 2)});
+  space_.push_back({"threads", 1, maxThreads});
+
+  const auto sz = static_cast<std::size_t>(n_ * n_);
+  if (kernel_.name == "mm") {
+    a_.resize(sz);
+    b_.resize(sz);
+    c_.resize(sz);
+    kernels::fillDeterministic(a_, 1);
+    kernels::fillDeterministic(b_, 2);
+  } else if (kernel_.name == "dsyrk") {
+    a_.resize(sz);
+    c_.resize(sz);
+    kernels::fillDeterministic(a_, 1);
+  } else if (kernel_.name == "jacobi-2d") {
+    a_.resize(sz);
+    b_.resize(sz);
+    kernels::fillDeterministic(a_, 1);
+  } else if (kernel_.name == "3d-stencil") {
+    const auto sz3 = static_cast<std::size_t>(n_ * n_ * n_);
+    a_.resize(sz3);
+    b_.resize(sz3);
+    kernels::fillDeterministic(a_, 1);
+  } else if (kernel_.name == "n-body") {
+    bodies_ = std::make_unique<kernels::Bodies>(static_cast<std::size_t>(n_));
+    kernels::fillDeterministic(bodies_->x, 1);
+    kernels::fillDeterministic(bodies_->y, 2);
+    kernels::fillDeterministic(bodies_->z, 3);
+  } else {
+    MOTUNE_CHECK_MSG(false, "unknown kernel: " + kernel_.name);
+  }
+}
+
+double NativeKernelEvaluator::runOnce(const Config& config) {
+  const auto threads = static_cast<int>(config.back());
+  const double start = nowSeconds();
+  if (kernel_.name == "mm") {
+    std::fill(c_.begin(), c_.end(), 0.0);
+    kernels::mmTiled(a_.data(), b_.data(), c_.data(), n_,
+                     {config[0], config[1], config[2]}, threads, pool_);
+  } else if (kernel_.name == "dsyrk") {
+    std::fill(c_.begin(), c_.end(), 0.0);
+    kernels::dsyrkTiled(a_.data(), c_.data(), n_,
+                        {config[0], config[1], config[2]}, threads, pool_);
+  } else if (kernel_.name == "jacobi-2d") {
+    kernels::jacobi2dTiled(a_.data(), b_.data(), n_, {config[0], config[1]},
+                           threads, pool_);
+  } else if (kernel_.name == "3d-stencil") {
+    kernels::stencil3dTiled(a_.data(), b_.data(), n_,
+                            {config[0], config[1], config[2]}, threads,
+                            pool_);
+  } else { // n-body
+    std::fill(bodies_->fx.begin(), bodies_->fx.end(), 0.0);
+    std::fill(bodies_->fy.begin(), bodies_->fy.end(), 0.0);
+    std::fill(bodies_->fz.begin(), bodies_->fz.end(), 0.0);
+    kernels::nbodyTiled(*bodies_, {config[0], config[1]}, threads, pool_);
+  }
+  return nowSeconds() - start;
+}
+
+Objectives NativeKernelEvaluator::evaluate(const Config& config) {
+  MOTUNE_CHECK(config.size() == space_.size());
+  std::lock_guard lock(runMutex_);
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(repetitions_));
+  for (int r = 0; r < repetitions_; ++r) times.push_back(runOnce(config));
+  const double med = support::median(times);
+  return {med, static_cast<double>(config.back()) * med};
+}
+
+} // namespace motune::tuning

@@ -1,0 +1,49 @@
+// Native evaluator: scores configurations by actually running the tiled
+// kernels on the host through the framework's thread pool, taking the
+// median over repetitions (the paper's measurement protocol, §V.B.1).
+//
+// This is the evaluator a deployment on real hardware would use; the
+// experiment harness uses the analytical model instead because this
+// reproduction runs on a single-core container (DESIGN.md §1).
+#pragma once
+
+#include "kernels/kernel.h"
+#include "kernels/native.h"
+#include "runtime/thread_pool.h"
+#include "tuning/kernel_problem.h"
+
+#include <memory>
+#include <mutex>
+
+namespace motune::tuning {
+
+class NativeKernelEvaluator final : public ObjectiveFunction {
+public:
+  NativeKernelEvaluator(const kernels::KernelSpec& kernel, std::int64_t n,
+                        int maxThreads, runtime::ThreadPool& pool,
+                        int repetitions = 3);
+
+  std::size_t numObjectives() const override { return 2; }
+  const std::vector<ParamSpec>& space() const override { return space_; }
+
+  /// Runs the kernel with the configuration's tile sizes and thread count;
+  /// returns [median seconds, threads x median seconds]. Serialized: wall
+  /// clock measurements must not overlap.
+  Objectives evaluate(const Config& config) override;
+
+private:
+  double runOnce(const Config& config);
+
+  kernels::KernelSpec kernel_;
+  std::int64_t n_;
+  int repetitions_;
+  runtime::ThreadPool& pool_;
+  std::vector<ParamSpec> space_;
+  std::mutex runMutex_;
+
+  // Pre-allocated working data, reused across evaluations.
+  std::vector<double> a_, b_, c_;
+  std::unique_ptr<kernels::Bodies> bodies_;
+};
+
+} // namespace motune::tuning

@@ -1,0 +1,75 @@
+#include "tuning/search_space.h"
+
+#include "support/check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace motune::tuning {
+
+Boundary Boundary::fromSpace(const std::vector<ParamSpec>& space) {
+  Boundary b;
+  for (const auto& p : space) {
+    MOTUNE_CHECK(p.lo <= p.hi);
+    b.lo.push_back(static_cast<double>(p.lo));
+    b.hi.push_back(static_cast<double>(p.hi));
+  }
+  return b;
+}
+
+Config Boundary::closestTo(const std::vector<double>& x) const {
+  MOTUNE_CHECK(x.size() == lo.size());
+  Config c(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double clamped = std::clamp(x[i], lo[i], hi[i]);
+    c[i] = static_cast<std::int64_t>(std::llround(clamped));
+    // Rounding can escape a fractional boundary by one unit; re-clamp.
+    c[i] = std::max<std::int64_t>(
+        c[i], static_cast<std::int64_t>(std::ceil(lo[i])));
+    c[i] = std::min<std::int64_t>(
+        c[i], static_cast<std::int64_t>(std::floor(hi[i])));
+  }
+  return c;
+}
+
+bool Boundary::contains(const Config& c) const {
+  MOTUNE_CHECK(c.size() == lo.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const auto v = static_cast<double>(c[i]);
+    if (v < lo[i] || v > hi[i]) return false;
+  }
+  return true;
+}
+
+Boundary Boundary::intersect(const Boundary& other) const {
+  MOTUNE_CHECK(other.lo.size() == lo.size());
+  Boundary out = *this;
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    out.lo[i] = std::max(lo[i], other.lo[i]);
+    out.hi[i] = std::min(hi[i], other.hi[i]);
+    if (out.lo[i] > out.hi[i]) {
+      const double mid = 0.5 * (lo[i] + hi[i]);
+      out.lo[i] = out.hi[i] = mid;
+    }
+  }
+  return out;
+}
+
+std::string Boundary::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    if (i > 0) os << " x ";
+    os << "[" << lo[i] << ", " << hi[i] << "]";
+  }
+  return os.str();
+}
+
+double spaceCardinality(const std::vector<ParamSpec>& space) {
+  double card = 1.0;
+  for (const auto& p : space)
+    card *= static_cast<double>(p.hi - p.lo + 1);
+  return card;
+}
+
+} // namespace motune::tuning

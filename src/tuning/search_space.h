@@ -1,0 +1,53 @@
+// Search-space abstractions shared by the optimizers.
+//
+// A configuration is an integer vector instantiating a transformation
+// skeleton's unbound parameters ("all tuning options, including ... tile
+// sizes and thread count specifications are modeled uniformly", paper
+// §III.B.1). The Boundary type is the rough-set-reduced hyper-rectangle the
+// GDE3 variation operator projects trial vectors into (Algorithm 1,
+// line 11: B.getClosestTo(r)).
+#pragma once
+
+#include "analyzer/region.h" // ParamSpec
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace motune::tuning {
+
+using analyzer::ParamSpec;
+
+/// A point of the search space: one integer value per parameter.
+using Config = std::vector<std::int64_t>;
+
+/// Objective values of an evaluated configuration (all minimized).
+using Objectives = std::vector<double>;
+
+/// Axis-aligned hyper-rectangle over the parameters, in continuous space.
+struct Boundary {
+  std::vector<double> lo; ///< inclusive
+  std::vector<double> hi; ///< inclusive
+
+  static Boundary fromSpace(const std::vector<ParamSpec>& space);
+
+  std::size_t dims() const { return lo.size(); }
+
+  /// Projects a continuous trial vector to the closest valid configuration
+  /// inside the boundary (clamp each coordinate, then round to integer).
+  Config closestTo(const std::vector<double>& x) const;
+
+  /// True if the (integer) configuration lies inside the boundary.
+  bool contains(const Config& c) const;
+
+  /// Intersects with another boundary; empty dimensions collapse to the
+  /// midpoint of this boundary (defensive, should not happen in practice).
+  Boundary intersect(const Boundary& other) const;
+
+  std::string str() const;
+};
+
+/// The full search-space volume (number of integer points), saturating.
+double spaceCardinality(const std::vector<ParamSpec>& space);
+
+} // namespace motune::tuning

@@ -1,0 +1,170 @@
+#include "analyzer/access.h"
+#include "analyzer/dependence.h"
+#include "analyzer/region.h"
+#include "kernels/kernel.h"
+#include "support/check.h"
+
+#include <gtest/gtest.h>
+
+namespace motune::analyzer {
+namespace {
+
+TEST(Access, CollectsReadsAndWrites) {
+  const ir::Program mm = kernels::buildMM(4);
+  const auto accesses = collectAccesses(mm);
+  // A read, B read, C read (accumulate), C write.
+  ASSERT_EQ(accesses.size(), 4u);
+  int writes = 0;
+  for (const auto& a : accesses) {
+    EXPECT_EQ(a.loops.size(), 3u);
+    if (a.isWrite) {
+      ++writes;
+      EXPECT_EQ(a.array, "C");
+    }
+  }
+  EXPECT_EQ(writes, 1);
+}
+
+TEST(Dependence, MmReductionCarriedByK) {
+  const ir::Program mm = kernels::buildMM(8);
+  const auto deps = computeDependences(mm);
+  ASSERT_TRUE(deps.has_value());
+  ASSERT_FALSE(deps->empty());
+  for (const auto& d : *deps) EXPECT_EQ(d.array, "C");
+
+  EXPECT_TRUE(isParallelizable(*deps, 0));  // i
+  EXPECT_TRUE(isParallelizable(*deps, 1));  // j
+  EXPECT_FALSE(isParallelizable(*deps, 2)); // k carries the reduction
+  EXPECT_EQ(tileableBandDepth(*deps, 3), 3u);
+}
+
+TEST(Dependence, PingPongStencilFullyParallel) {
+  const ir::Program j2 = kernels::buildJacobi2d(8);
+  const auto deps = computeDependences(j2);
+  ASSERT_TRUE(deps.has_value());
+  EXPECT_TRUE(deps->empty()); // reads A, writes B: independent
+  EXPECT_TRUE(isParallelizable(*deps, 0));
+  EXPECT_TRUE(isParallelizable(*deps, 1));
+  EXPECT_EQ(tileableBandDepth(*deps, 2), 2u);
+}
+
+TEST(Dependence, NBodyReductionOnlyOuterParallel) {
+  const ir::Program nb = kernels::buildNBody(8);
+  const auto deps = computeDependences(nb);
+  ASSERT_TRUE(deps.has_value());
+  EXPECT_TRUE(isParallelizable(*deps, 0));  // i
+  EXPECT_FALSE(isParallelizable(*deps, 1)); // j accumulates forces
+  EXPECT_EQ(tileableBandDepth(*deps, 2), 2u);
+}
+
+// A loop with a genuine negative-direction dependence must not be fully
+// tiled: for i: for j: A[i][j] = A[i-1][j+1] has distance (1, -1).
+TEST(Dependence, AntiDiagonalDependenceLimitsBand) {
+  ir::Program p;
+  p.name = "skew";
+  p.arrays = {{"A", {8, 8}, 8}};
+  ir::Assign st;
+  st.array = "A";
+  st.subscripts = {ir::AffineExpr::var("i"), ir::AffineExpr::var("j")};
+  st.rhs = ir::read("A", {ir::AffineExpr::var("i") - 1,
+                          ir::AffineExpr::var("j") + 1});
+  ir::Loop jLoop;
+  jLoop.iv = "j";
+  jLoop.lower = ir::AffineExpr::constant(1);
+  jLoop.upper = ir::Bound(ir::AffineExpr::constant(7));
+  jLoop.body.push_back(ir::Stmt::makeAssign(std::move(st)));
+  ir::Loop iLoop;
+  iLoop.iv = "i";
+  iLoop.lower = ir::AffineExpr::constant(1);
+  iLoop.upper = ir::Bound(ir::AffineExpr::constant(8));
+  iLoop.body.push_back(ir::Stmt::makeLoop(std::move(jLoop)));
+  p.body.push_back(ir::Stmt::makeLoop(std::move(iLoop)));
+
+  const auto deps = computeDependences(p);
+  ASSERT_TRUE(deps.has_value());
+  ASSERT_FALSE(deps->empty());
+  EXPECT_FALSE(isParallelizable(*deps, 0));
+  EXPECT_EQ(tileableBandDepth(*deps, 2), 1u); // (1,-1) blocks 2-D tiling
+}
+
+// Same-array accesses with distinct constant offsets in a dimension with no
+// loop variable are independent (GCD / constant test).
+TEST(Dependence, ConstantOffsetIndependence) {
+  ir::Program p;
+  p.name = "rows";
+  p.arrays = {{"A", {4, 8}, 8}};
+  ir::Assign st;
+  st.array = "A";
+  st.subscripts = {ir::AffineExpr::constant(0), ir::AffineExpr::var("i")};
+  st.rhs = ir::read("A", {ir::AffineExpr::constant(1), ir::AffineExpr::var("i")});
+  ir::Loop loop;
+  loop.iv = "i";
+  loop.lower = ir::AffineExpr::constant(0);
+  loop.upper = ir::Bound(ir::AffineExpr::constant(8));
+  loop.body.push_back(ir::Stmt::makeAssign(std::move(st)));
+  p.body.push_back(ir::Stmt::makeLoop(std::move(loop)));
+
+  const auto deps = computeDependences(p);
+  ASSERT_TRUE(deps.has_value());
+  EXPECT_TRUE(deps->empty());
+  EXPECT_TRUE(isParallelizable(*deps, 0));
+}
+
+TEST(Region, MmRegionInfo) {
+  const RegionInfo info = analyzeRegion(kernels::buildMM(16));
+  EXPECT_EQ(info.nestDepth, 3u);
+  EXPECT_EQ(info.tileableDepth, 3u);
+  EXPECT_TRUE(info.outerParallelizable);
+  ASSERT_EQ(info.bandTrips.size(), 3u);
+  EXPECT_EQ(info.bandTrips[0], 16);
+  ASSERT_EQ(info.parallelizable.size(), 3u);
+  EXPECT_TRUE(info.parallelizable[1]);
+  EXPECT_FALSE(info.parallelizable[2]);
+}
+
+TEST(Region, SkeletonParamsMatchPaperSetup) {
+  // Upper tile bound N/2, plus the thread-count parameter (paper §V.B.3).
+  const auto sk =
+      analyzer::TransformationSkeleton::build(kernels::buildMM(100), 40);
+  ASSERT_EQ(sk.params().size(), 4u);
+  EXPECT_EQ(sk.params()[0].name, "t_i");
+  EXPECT_EQ(sk.params()[0].lo, 1);
+  EXPECT_EQ(sk.params()[0].hi, 50);
+  EXPECT_EQ(sk.params()[3].name, "threads");
+  EXPECT_EQ(sk.params()[3].hi, 40);
+}
+
+TEST(Region, SkeletonInstantiationValidatesRange) {
+  const auto sk =
+      analyzer::TransformationSkeleton::build(kernels::buildMM(100), 4);
+  EXPECT_NO_THROW(sk.instantiate(std::vector<std::int64_t>{8, 8, 8, 2}));
+  EXPECT_THROW(sk.instantiate(std::vector<std::int64_t>{0, 8, 8, 2}),
+               support::CheckError);
+  EXPECT_THROW(sk.instantiate(std::vector<std::int64_t>{8, 8, 8, 9}),
+               support::CheckError);
+  EXPECT_THROW(sk.instantiate(std::vector<std::int64_t>{8, 8, 8}),
+               support::CheckError);
+}
+
+TEST(Region, MmSkeletonCollapsesTwoLoops) {
+  const auto sk =
+      analyzer::TransformationSkeleton::build(kernels::buildMM(32), 4);
+  const ir::Program tiled =
+      sk.instantiate(std::vector<std::int64_t>{4, 4, 4, 2});
+  const ir::Loop& root = tiled.rootLoop();
+  EXPECT_TRUE(root.parallel);
+  EXPECT_EQ(root.collapse, 2);
+}
+
+TEST(Region, NBodySkeletonCollapsesOnlyOne) {
+  // j carries the force reduction; collapsing (it, jt) would parallelize it.
+  const auto sk =
+      analyzer::TransformationSkeleton::build(kernels::buildNBody(64), 4);
+  const ir::Program tiled = sk.instantiate(std::vector<std::int64_t>{8, 8, 2});
+  const ir::Loop& root = tiled.rootLoop();
+  EXPECT_TRUE(root.parallel);
+  EXPECT_EQ(root.collapse, 1);
+}
+
+} // namespace
+} // namespace motune::analyzer

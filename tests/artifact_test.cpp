@@ -1,0 +1,148 @@
+#include "autotune/artifact.h"
+#include "autotune/backend.h"
+#include "kernels/kernel.h"
+#include "machine/machine.h"
+#include "runtime/region.h"
+#include "support/check.h"
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace motune {
+namespace {
+
+using support::Json;
+using support::JsonArray;
+using support::JsonObject;
+
+// --- JSON ---------------------------------------------------------------
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").isNull());
+  EXPECT_EQ(Json::parse("true").asBool(), true);
+  EXPECT_EQ(Json::parse("-17").asInt(), -17);
+  EXPECT_DOUBLE_EQ(Json::parse("6.25e2").asNumber(), 625.0);
+  EXPECT_EQ(Json::parse("\"a b\"").asString(), "a b");
+}
+
+TEST(Json, StringEscapes) {
+  const std::string raw = "line1\nline2\t\"quoted\" back\\slash";
+  const Json j(raw);
+  EXPECT_EQ(Json::parse(j.dump()).asString(), raw);
+}
+
+TEST(Json, NestedStructuresRoundTrip) {
+  const Json j(JsonObject{
+      {"name", "mm"},
+      {"sizes", JsonArray{Json(1), Json(2), Json(3)}},
+      {"nested", JsonObject{{"flag", true}, {"x", 1.5}}},
+  });
+  for (int indent : {-1, 0, 2, 4}) {
+    const Json back = Json::parse(j.dump(indent));
+    EXPECT_EQ(back.at("name").asString(), "mm");
+    ASSERT_EQ(back.at("sizes").size(), 3u);
+    EXPECT_EQ(back.at("sizes")[2].asInt(), 3);
+    EXPECT_TRUE(back.at("nested").at("flag").asBool());
+    EXPECT_DOUBLE_EQ(back.at("nested").at("x").asNumber(), 1.5);
+  }
+}
+
+TEST(Json, WhitespaceTolerant) {
+  const Json j = Json::parse("  {\n \"a\" : [ 1 , 2 ] \t}\n");
+  EXPECT_EQ(j.at("a").size(), 2u);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), support::CheckError);
+  EXPECT_THROW(Json::parse("{"), support::CheckError);
+  EXPECT_THROW(Json::parse("[1,]2"), support::CheckError);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), support::CheckError);
+  EXPECT_THROW(Json::parse("\"unterminated"), support::CheckError);
+  EXPECT_THROW(Json::parse("nul"), support::CheckError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json j = Json::parse("{\"a\": 1}");
+  EXPECT_THROW(j.at("a").asString(), support::CheckError);
+  EXPECT_THROW(j.at("missing"), support::CheckError);
+  EXPECT_THROW(j[0], support::CheckError);
+}
+
+// --- tuning artifacts -----------------------------------------------------
+
+autotune::TuningResult smallTuning(tuning::KernelTuningProblem& problem) {
+  autotune::TunerOptions options;
+  options.gde3.population = 12;
+  options.gde3.maxGenerations = 8;
+  options.gde3.seed = 3;
+  options.evaluationWorkers = 2;
+  autotune::AutoTuner tuner(options);
+  return tuner.tune(problem);
+}
+
+TEST(Artifact, RoundTripPreservesEverything) {
+  tuning::KernelTuningProblem problem(kernels::kernelByName("mm"),
+                                      machine::westmere(), 128);
+  const autotune::TuningResult result = smallTuning(problem);
+  const autotune::TunedArtifact a = autotune::makeArtifact(result, problem);
+
+  const autotune::TunedArtifact b =
+      autotune::deserializeArtifact(autotune::serializeArtifact(a));
+  EXPECT_EQ(b.kernel, "mm");
+  EXPECT_EQ(b.machineName, "Westmere");
+  EXPECT_EQ(b.problemSize, 128);
+  EXPECT_EQ(b.evaluations, a.evaluations);
+  EXPECT_DOUBLE_EQ(b.hypervolume, a.hypervolume);
+  ASSERT_EQ(b.front.size(), a.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(b.front[i].configuration, a.front[i].configuration);
+    EXPECT_EQ(b.front[i].tileSizes, a.front[i].tileSizes);
+    EXPECT_EQ(b.front[i].threads, a.front[i].threads);
+    EXPECT_DOUBLE_EQ(b.front[i].timeSeconds, a.front[i].timeSeconds);
+    EXPECT_DOUBLE_EQ(b.front[i].resources, a.front[i].resources);
+  }
+}
+
+TEST(Artifact, FileRoundTripAndTableReconstruction) {
+  tuning::KernelTuningProblem problem(kernels::kernelByName("jacobi-2d"),
+                                      machine::barcelona(), 128);
+  const autotune::TuningResult result = smallTuning(problem);
+  const autotune::TunedArtifact a = autotune::makeArtifact(result, problem);
+
+  const std::string path = ::testing::TempDir() + "/motune_artifact.json";
+  autotune::saveArtifact(a, path);
+  const autotune::TunedArtifact b = autotune::loadArtifact(path);
+  ASSERT_EQ(b.front.size(), a.front.size());
+
+  // A runnable version table can be rebuilt purely from the artifact.
+  runtime::ThreadPool pool(2);
+  mv::VersionTable table =
+      autotune::buildVersionTableFromMetas(b.kernel, 64, b.front, pool);
+  ASSERT_EQ(table.size(), b.front.size());
+  runtime::Region region(std::move(table));
+  region.invoke(runtime::WeightedSumPolicy(1.0, 0.0));
+  EXPECT_EQ(region.totalInvocations(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, RejectsForeignJson) {
+  EXPECT_THROW(autotune::deserializeArtifact("{\"format\": \"other\"}"),
+               support::CheckError);
+  EXPECT_THROW(autotune::deserializeArtifact("[1,2,3]"),
+               support::CheckError);
+  EXPECT_THROW(autotune::loadArtifact("/nonexistent/path.json"),
+               support::CheckError);
+}
+
+} // namespace
+} // namespace motune

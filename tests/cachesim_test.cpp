@@ -1,0 +1,112 @@
+#include "cachesim/cache.h"
+#include "cachesim/hierarchy.h"
+#include "machine/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace motune::cachesim {
+namespace {
+
+TEST(Cache, GeometryDerivedFromCapacity) {
+  SetAssocCache c(32 * 1024, 64, 8);
+  EXPECT_EQ(c.numSets(), 64);
+  EXPECT_EQ(c.associativity(), 8);
+}
+
+TEST(Cache, FullyAssociativeOption) {
+  SetAssocCache c(1024, 64, 0);
+  EXPECT_EQ(c.numSets(), 1);
+  EXPECT_EQ(c.associativity(), 16);
+}
+
+TEST(Cache, HitAfterMiss) {
+  SetAssocCache c(1024, 64, 2);
+  EXPECT_FALSE(c.access(5, false));
+  EXPECT_TRUE(c.access(5, false));
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_EQ(c.stats().hits, 1u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  // 2-way, map lines 0, 16, 32 to the same set (16 sets).
+  SetAssocCache c(2048, 64, 2);
+  ASSERT_EQ(c.numSets(), 16);
+  c.access(0, false);
+  c.access(16, false);
+  c.access(0, false);  // refresh 0; LRU is now 16
+  c.access(32, false); // evicts 16
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(16));
+  EXPECT_TRUE(c.contains(32));
+}
+
+TEST(Cache, WritebackOnDirtyEviction) {
+  SetAssocCache c(2048, 64, 2);
+  bool dirty = false;
+  c.access(0, true);
+  c.access(16, false);
+  c.access(32, false, &dirty); // evicts dirty line 0
+  EXPECT_TRUE(dirty);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, CapacitySweepShowsCliff) {
+  // Working set of 64 lines: a 32-line cache misses every access on a
+  // cyclic sweep (LRU pathological), a 64-line cache hits after warmup.
+  SetAssocCache small(32 * 64, 64, 0);
+  SetAssocCache big(64 * 64, 64, 0);
+  for (int rep = 0; rep < 10; ++rep)
+    for (Addr line = 0; line < 64; ++line) {
+      small.access(line, false);
+      big.access(line, false);
+    }
+  EXPECT_EQ(small.stats().hits, 0u);
+  EXPECT_EQ(big.stats().misses, 64u); // compulsory only
+}
+
+TEST(Cache, ResetClearsState) {
+  SetAssocCache c(1024, 64, 2);
+  c.access(1, true);
+  c.reset();
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_EQ(c.stats().accesses, 0u);
+}
+
+TEST(Hierarchy, ForwardsMissesDownTheLevels) {
+  Hierarchy h(machine::westmere(), 1);
+  ASSERT_EQ(h.levels(), 3u);
+  h.access(0, 8, false); // cold: misses L1, L2, L3
+  EXPECT_EQ(h.level(0).stats().misses, 1u);
+  EXPECT_EQ(h.level(1).stats().misses, 1u);
+  EXPECT_EQ(h.level(2).stats().misses, 1u);
+  EXPECT_EQ(h.dramLines(), 1u);
+
+  h.access(0, 8, false); // L1 hit: lower levels untouched
+  EXPECT_EQ(h.level(0).stats().hits, 1u);
+  EXPECT_EQ(h.level(1).stats().accesses, 1u);
+}
+
+TEST(Hierarchy, MultiLineAccessSplit) {
+  Hierarchy h(machine::westmere(), 1);
+  h.access(60, 8, false); // straddles two 64B lines
+  EXPECT_EQ(h.level(0).stats().accesses, 2u);
+}
+
+TEST(Hierarchy, SharedL3SliceShrinksWithThreads) {
+  Hierarchy one(machine::westmere(), 1);
+  Hierarchy ten(machine::westmere(), 10);
+  EXPECT_GT(one.level(2).capacityBytes(), ten.level(2).capacityBytes());
+  EXPECT_LE(ten.level(2).capacityBytes(), 3 * 1024 * 1024);
+}
+
+TEST(Hierarchy, TotalCyclesGrowWithMisses) {
+  Hierarchy h(machine::westmere(), 1);
+  h.access(0, 8, false);
+  const double cold = h.totalCycles();
+  h.access(0, 8, false);
+  const double warm = h.totalCycles() - cold;
+  EXPECT_GT(cold, warm); // a hit costs far less than the cold miss
+}
+
+} // namespace
+} // namespace motune::cachesim

@@ -1,0 +1,102 @@
+#include "codegen/cemit.h"
+#include "kernels/kernel.h"
+#include "transform/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace motune::codegen {
+namespace {
+
+TEST(Emit, FunctionSignatureAndCasts) {
+  const std::string c = emitFunction(kernels::buildMM(16), "mm_kernel");
+  EXPECT_NE(c.find("void mm_kernel(double* restrict A_arg, "
+                   "double* restrict B_arg, double* restrict C_arg)"),
+            std::string::npos);
+  EXPECT_NE(c.find("double (*A)[16] = (double (*)[16])A_arg;"),
+            std::string::npos);
+  EXPECT_NE(c.find("C[i][j] += (A[i][k] * B[k][j]);"), std::string::npos);
+}
+
+TEST(Emit, OneDimensionalArraysStayFlat) {
+  const std::string c = emitFunction(kernels::buildNBody(8), "nbody_kernel");
+  EXPECT_NE(c.find("double* X = X_arg;"), std::string::npos);
+  EXPECT_EQ(c.find("double (*X)"), std::string::npos);
+}
+
+TEST(Emit, TiledLoopUsesTernaryMin) {
+  const ir::Program mm = kernels::buildMM(10);
+  const std::int64_t sizes[] = {4, 4, 4};
+  const std::string c = emitFunction(transform::tile(mm, sizes), "mm_tiled");
+  EXPECT_NE(c.find("i_t + 4"), std::string::npos);
+  EXPECT_NE(c.find("?"), std::string::npos); // the min() cap
+}
+
+TEST(Emit, ParallelLoopGetsOmpPragma) {
+  const ir::Program mm = kernels::buildMM(10);
+  const std::int64_t sizes[] = {4, 4, 4};
+  const ir::Program par =
+      transform::parallelizeOuter(transform::tile(mm, sizes), 2);
+  const std::string c = emitFunction(par, "mm_par");
+  EXPECT_NE(c.find("#pragma omp parallel for collapse(2) schedule(static)"),
+            std::string::npos);
+}
+
+TEST(MultiVersion, ModuleContainsTableAndMetadata) {
+  std::vector<VersionDescriptor> versions;
+  for (int v = 0; v < 3; ++v) {
+    VersionDescriptor d;
+    d.program = kernels::buildMM(8);
+    d.tileSizes = {2 + v, 4, 8};
+    d.threads = 1 << v;
+    d.estTimeSeconds = 1.0 / (v + 1);
+    d.estResources = 1.0;
+    versions.push_back(std::move(d));
+  }
+  const std::string c = emitMultiVersionModule("mm", versions);
+  EXPECT_NE(c.find("static void mm_v0"), std::string::npos);
+  EXPECT_NE(c.find("static void mm_v2"), std::string::npos);
+  EXPECT_NE(c.find("mm_version_t mm_versions[]"), std::string::npos);
+  EXPECT_NE(c.find("const int mm_version_count = 3;"), std::string::npos);
+  EXPECT_NE(c.find("{2, 4, 8}, 1,"), std::string::npos);
+  EXPECT_NE(c.find("num_threads"), std::string::npos);
+}
+
+/// End-to-end: the emitted C must be accepted by the system C compiler.
+/// (The driver that exercises the compiled code lives in integration_test.)
+TEST(Emit, GeneratedCodeCompilesWithSystemCompiler) {
+  if (std::system("command -v cc >/dev/null 2>&1") != 0)
+    GTEST_SKIP() << "no system C compiler available";
+
+  const ir::Program mm = kernels::buildMM(12);
+  const std::int64_t sizes[] = {4, 5, 6};
+  const ir::Program par =
+      transform::parallelizeOuter(transform::tile(mm, sizes), 2);
+
+  std::vector<VersionDescriptor> versions;
+  VersionDescriptor d;
+  d.program = par.clone();
+  d.tileSizes = {4, 5, 6};
+  d.threads = 2;
+  d.estTimeSeconds = 0.5;
+  d.estResources = 1.0;
+  versions.push_back(std::move(d));
+
+  const std::string module = emitMultiVersionModule("mm", versions);
+  const std::string dir = ::testing::TempDir();
+  const std::string srcPath = dir + "/motune_emit_test.c";
+  {
+    std::ofstream out(srcPath);
+    out << module;
+  }
+  const std::string cmd = "cc -std=c99 -O1 -fopenmp -c '" + srcPath +
+                          "' -o '" + dir + "/motune_emit_test.o' 2>&1";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << "emitted module:\n" << module;
+}
+
+} // namespace
+} // namespace motune::codegen

@@ -1,0 +1,202 @@
+#include "ir/interp.h"
+#include "ir/parse.h"
+#include "kernels/native.h"
+#include "support/check.h"
+#include "transform/fusion.h"
+#include "transform/transforms.h"
+
+#include <gtest/gtest.h>
+
+namespace motune::transform {
+namespace {
+
+std::vector<double> runAndGet(const ir::Program& p,
+                              const std::string& output,
+                              std::uint64_t seed = 3) {
+  ir::Interpreter interp(p);
+  for (const auto& decl : p.arrays) {
+    std::vector<double> data(static_cast<std::size_t>(decl.elements()));
+    kernels::fillDeterministic(data, seed++);
+    interp.array(decl.name) = data;
+  }
+  interp.run();
+  return interp.array(output);
+}
+
+TEST(Fusion, CandidateDetection) {
+  const ir::Program two = ir::parseProgram(R"(
+    array A[8]
+    array B[8]
+    for i = 0 .. 8 { A[i] = 1.0; }
+    for j = 0 .. 8 { B[j] = 2.0; }
+  )");
+  EXPECT_TRUE(fusionCandidate(two));
+
+  const ir::Program mismatched = ir::parseProgram(R"(
+    array A[8]
+    array B[8]
+    for i = 0 .. 8 { A[i] = 1.0; }
+    for j = 0 .. 7 { B[j] = 2.0; }
+  )");
+  EXPECT_FALSE(fusionCandidate(mismatched));
+}
+
+TEST(Fusion, IndependentLoopsFuseAndPreserveSemantics) {
+  const ir::Program p = ir::parseProgram(R"(
+    array X[32]
+    array Y[32]
+    array S[32]
+    array D[32]
+    for i = 0 .. 32 { S[i] = X[i] + Y[i]; }
+    for j = 0 .. 32 { D[j] = X[j] - Y[j]; }
+  )");
+  const ir::Program fused = fuse(p);
+  EXPECT_EQ(fused.body.size(), 1u);
+  EXPECT_EQ(fused.rootLoop().body.size(), 2u);
+  EXPECT_EQ(runAndGet(p, "S"), runAndGet(fused, "S"));
+  EXPECT_EQ(runAndGet(p, "D"), runAndGet(fused, "D"));
+}
+
+TEST(Fusion, ProducerConsumerSameIterationIsLegal) {
+  // Second loop reads what the first wrote at the SAME iteration: legal.
+  const ir::Program p = ir::parseProgram(R"(
+    array A[16]
+    array B[16]
+    array C[16]
+    for i = 0 .. 16 { B[i] = A[i] * 2.0; }
+    for j = 0 .. 16 { C[j] = B[j] + 1.0; }
+  )");
+  const ir::Program fused = fuse(p);
+  EXPECT_EQ(runAndGet(p, "C"), runAndGet(fused, "C"));
+}
+
+TEST(Fusion, ForwardShiftedConsumerIsLegal) {
+  // Second loop reads B[j-1], produced by an EARLIER iteration of the
+  // first loop: still legal after fusion (delta < 0).
+  const ir::Program p = ir::parseProgram(R"(
+    array A[16]
+    array B[16]
+    array C[16]
+    for i = 0 .. 16 { B[i] = A[i]; }
+    for j = 1 .. 16 { C[j] = B[j-1]; }
+  )");
+  // Headers differ (1..16 vs 0..16) -> not a candidate; align them first.
+  const ir::Program aligned = ir::parseProgram(R"(
+    array A[16]
+    array B[16]
+    array C[16]
+    for i = 1 .. 16 { B[i] = A[i]; }
+    for j = 1 .. 16 { C[j] = B[j-1]; }
+  )");
+  const ir::Program fused = fuse(aligned);
+  EXPECT_EQ(runAndGet(aligned, "C"), runAndGet(fused, "C"));
+  (void)p;
+}
+
+TEST(Fusion, BackwardDependenceRejected) {
+  // Second loop reads B[j+1], which the first loop writes at a LATER
+  // iteration: fusion would read the value too early.
+  const ir::Program p = ir::parseProgram(R"(
+    array A[16]
+    array B[16]
+    array C[16]
+    for i = 0 .. 15 { B[i] = A[i]; }
+    for j = 0 .. 15 { C[j] = B[j+1]; }
+  )");
+  EXPECT_THROW(fuse(p), support::CheckError);
+}
+
+TEST(Fusion, WriteWriteConflictRejected) {
+  // Both loops write B with a shift: fusing reorders the final values.
+  const ir::Program p = ir::parseProgram(R"(
+    array A[16]
+    array B[16]
+    for i = 0 .. 15 { B[i] = A[i]; }
+    for j = 0 .. 15 { B[j+1] = A[j] * 2.0; }
+  )");
+  EXPECT_THROW(fuse(p), support::CheckError);
+}
+
+TEST(Distribute, SplitsIndependentStatements) {
+  const ir::Program p = ir::parseProgram(R"(
+    array A[32]
+    array S[32]
+    array D[32]
+    for i = 0 .. 32 {
+      S[i] = A[i] + 1.0;
+      D[i] = A[i] - 1.0;
+    }
+  )");
+  const ir::Program dist = distribute(p);
+  ASSERT_EQ(dist.body.size(), 2u);
+  EXPECT_EQ(runAndGet(p, "S"), runAndGet(dist, "S"));
+  EXPECT_EQ(runAndGet(p, "D"), runAndGet(dist, "D"));
+}
+
+TEST(Distribute, SameIterationChainIsLegal) {
+  // S2 consumes S1's value of the same iteration; distribution preserves
+  // that (all S1 complete before S2 starts).
+  const ir::Program p = ir::parseProgram(R"(
+    array A[16]
+    array B[16]
+    array C[16]
+    for i = 0 .. 16 {
+      B[i] = A[i] * 2.0;
+      C[i] = B[i] + 1.0;
+    }
+  )");
+  const ir::Program dist = distribute(p);
+  EXPECT_EQ(runAndGet(p, "C"), runAndGet(dist, "C"));
+}
+
+TEST(Distribute, BackwardCarriedDependenceRejected) {
+  // S1 reads B[i] which S2 wrote at iteration i-1 (B[j+1] at j = i-1):
+  // after distribution S1 would run before ANY S2 write.
+  const ir::Program p = ir::parseProgram(R"(
+    array A[16]
+    array B[16]
+    array C[16]
+    for i = 1 .. 15 {
+      C[i] = B[i];
+      B[i+1] = A[i];
+    }
+  )");
+  EXPECT_THROW(distribute(p), support::CheckError);
+}
+
+TEST(Distribute, ThenFuseRoundTrips) {
+  // distribute and fuse are inverses on an independent 2-statement loop.
+  const ir::Program p = ir::parseProgram(R"(
+    array A[24]
+    array S[24]
+    array D[24]
+    for i = 0 .. 24 {
+      S[i] = A[i] * 3.0;
+      D[i] = A[i] * 7.0;
+    }
+  )");
+  const ir::Program roundTrip = fuse(distribute(p));
+  EXPECT_EQ(runAndGet(p, "S"), runAndGet(roundTrip, "S"));
+  EXPECT_EQ(runAndGet(p, "D"), runAndGet(roundTrip, "D"));
+  EXPECT_EQ(perfectNestDepth(roundTrip), 1u);
+}
+
+TEST(Distribute, NBodyBodySplits) {
+  // The three force accumulations of n-body touch disjoint F arrays:
+  // distribution of the inner statements at the j level must be legal.
+  const ir::Program p = ir::parseProgram(R"(
+    array X[32]
+    array FX[32]
+    array FY[32]
+    for j = 0 .. 32 {
+      FX[0] += X[j];
+      FY[0] += X[j] * 2.0;
+    }
+  )");
+  const ir::Program dist = distribute(p);
+  EXPECT_EQ(runAndGet(p, "FX"), runAndGet(dist, "FX"));
+  EXPECT_EQ(runAndGet(p, "FY"), runAndGet(dist, "FY"));
+}
+
+} // namespace
+} // namespace motune::transform

@@ -1,0 +1,183 @@
+#include "ir/affine.h"
+#include "ir/interp.h"
+#include "ir/print.h"
+#include "ir/program.h"
+#include "kernels/kernel.h"
+#include "support/check.h"
+
+#include <gtest/gtest.h>
+
+namespace motune::ir {
+namespace {
+
+TEST(Affine, ArithmeticAndEval) {
+  const AffineExpr e = AffineExpr::var("i", 2) + AffineExpr::var("j") - 3;
+  Env env;
+  env.set("i", 5);
+  env.set("j", 7);
+  EXPECT_EQ(e.eval(env), 2 * 5 + 7 - 3);
+  EXPECT_EQ(e.coeffOf("i"), 2);
+  EXPECT_EQ(e.coeffOf("k"), 0);
+  EXPECT_TRUE(e.dependsOn("j"));
+  EXPECT_FALSE(e.dependsOn("k"));
+}
+
+TEST(Affine, TermsCancel) {
+  const AffineExpr e = AffineExpr::var("i") - AffineExpr::var("i");
+  EXPECT_TRUE(e.isConstant());
+  EXPECT_EQ(e.constantTerm(), 0);
+}
+
+TEST(Affine, Substitute) {
+  const AffineExpr e = AffineExpr::var("i", 3) + 1;
+  const AffineExpr r = e.substitute("i", AffineExpr::var("i_t") + 4);
+  Env env;
+  env.set("i_t", 2);
+  EXPECT_EQ(r.eval(env), 3 * (2 + 4) + 1);
+  EXPECT_FALSE(r.dependsOn("i"));
+}
+
+TEST(Affine, ScalarMultiply) {
+  const AffineExpr e = (AffineExpr::var("i") + 2) * -3;
+  EXPECT_EQ(e.coeffOf("i"), -3);
+  EXPECT_EQ(e.constantTerm(), -6);
+}
+
+TEST(Affine, StrReadable) {
+  EXPECT_EQ(AffineExpr::constant(5).str(), "5");
+  EXPECT_EQ(AffineExpr::var("i").str(), "i");
+  EXPECT_EQ((AffineExpr::var("i", 2) + 1).str(), "2*i + 1");
+}
+
+TEST(Bound, MinCapEvaluation) {
+  const Bound b(AffineExpr::var("it") + 8, AffineExpr::constant(10));
+  Env env;
+  env.set("it", 0);
+  EXPECT_EQ(b.eval(env), 8);
+  env.set("it", 5);
+  EXPECT_EQ(b.eval(env), 10);
+}
+
+TEST(Env, UnboundThrows) {
+  Env env;
+  EXPECT_THROW(env.get("nope"), support::CheckError);
+  env.set("x", 1);
+  env.set("x", 2);
+  EXPECT_EQ(env.get("x"), 2);
+}
+
+TEST(Program, CloneIsDeep) {
+  Program mm = kernels::buildMM(4);
+  Program copy = mm.clone();
+  // Mutating the copy's loop bound must not affect the original.
+  copy.rootLoop().upper = Bound(AffineExpr::constant(2));
+  Env env;
+  EXPECT_EQ(mm.rootLoop().upper.eval(env), 4);
+  EXPECT_EQ(copy.rootLoop().upper.eval(env), 2);
+}
+
+TEST(Program, FindArray) {
+  const Program mm = kernels::buildMM(4);
+  ASSERT_NE(mm.findArray("A"), nullptr);
+  EXPECT_EQ(mm.findArray("A")->bytes(), 4 * 4 * 8);
+  EXPECT_EQ(mm.findArray("nope"), nullptr);
+}
+
+TEST(Program, WalkVisitsEverything) {
+  const Program mm = kernels::buildMM(4);
+  int loops = 0, assigns = 0;
+  std::size_t maxDepth = 0;
+  walk(mm, [&](const Stmt& s, const std::vector<const Loop*>& stack) {
+    maxDepth = std::max(maxDepth, stack.size());
+    (s.kind == Stmt::Kind::Loop ? loops : assigns)++;
+  });
+  EXPECT_EQ(loops, 3);
+  EXPECT_EQ(assigns, 1);
+  EXPECT_EQ(maxDepth, 3u); // assignment sits under 3 loops
+}
+
+TEST(Interp, MatrixMultiplyMatchesManual) {
+  const std::int64_t n = 5;
+  const Program mm = kernels::buildMM(n);
+  Interpreter interp(mm);
+  auto& a = interp.array("A");
+  auto& b = interp.array("B");
+  for (std::int64_t i = 0; i < n * n; ++i) {
+    a[static_cast<std::size_t>(i)] = static_cast<double>(i % 7) - 3.0;
+    b[static_cast<std::size_t>(i)] = static_cast<double>(i % 5) + 1.0;
+  }
+  interp.run();
+  const auto& c = interp.array("C");
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < n; ++k)
+        acc += a[static_cast<std::size_t>(i * n + k)] *
+               b[static_cast<std::size_t>(k * n + j)];
+      EXPECT_DOUBLE_EQ(c[static_cast<std::size_t>(i * n + j)], acc);
+    }
+  EXPECT_EQ(interp.statementsExecuted(), static_cast<std::uint64_t>(n * n * n));
+}
+
+TEST(Interp, OutOfBoundsAccessRejected) {
+  Program p;
+  p.name = "oob";
+  p.arrays = {{"A", {4}, 8}};
+  Loop l;
+  l.iv = "i";
+  l.lower = AffineExpr::constant(0);
+  l.upper = Bound(AffineExpr::constant(5)); // one past the end
+  Assign st;
+  st.array = "A";
+  st.subscripts = {AffineExpr::var("i")};
+  st.rhs = constant(1.0);
+  l.body.push_back(Stmt::makeAssign(std::move(st)));
+  p.body.push_back(Stmt::makeLoop(std::move(l)));
+
+  Interpreter interp(p);
+  EXPECT_THROW(interp.run(), support::CheckError);
+}
+
+TEST(Interp, TraceSeesEveryAccess) {
+  const Program mm = kernels::buildMM(3);
+  Interpreter interp(mm);
+  std::uint64_t reads = 0, writes = 0;
+  interp.setTrace([&](std::uint64_t, int bytes, bool isWrite) {
+    EXPECT_EQ(bytes, 8);
+    (isWrite ? writes : reads)++;
+  });
+  interp.run();
+  // Per iteration: reads of A, B and the accumulated C, one write of C.
+  EXPECT_EQ(reads, 27u * 3u);
+  EXPECT_EQ(writes, 27u);
+}
+
+TEST(Interp, TraceAddressesDisjointAcrossArrays) {
+  const Program mm = kernels::buildMM(3);
+  Interpreter interp(mm);
+  std::uint64_t lo = ~0ull, hi = 0;
+  interp.setTrace([&](std::uint64_t addr, int, bool) {
+    lo = std::min(lo, addr);
+    hi = std::max(hi, addr);
+  });
+  interp.run();
+  EXPECT_GE(lo, 4096u);              // arrays start above the null page
+  EXPECT_GT(hi, lo + 2 * 4096);      // three arrays on separate pages
+}
+
+TEST(Print, EmitsCompilableLookingC) {
+  const Program mm = kernels::buildMM(8);
+  const std::string c = toC(mm);
+  EXPECT_NE(c.find("for (long i = 0; i < 8; i += 1)"), std::string::npos);
+  EXPECT_NE(c.find("C[i][j] += (A[i][k] * B[k][j]);"), std::string::npos);
+}
+
+TEST(Print, StencilUsesNegativeOffsets) {
+  const Program j2 = kernels::buildJacobi2d(8);
+  const std::string c = toC(j2);
+  EXPECT_NE(c.find("A[i - 1][j]"), std::string::npos);
+  EXPECT_NE(c.find("A[i + 1][j]"), std::string::npos);
+}
+
+} // namespace
+} // namespace motune::ir

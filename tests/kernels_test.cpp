@@ -1,0 +1,216 @@
+#include "ir/interp.h"
+#include "kernels/kernel.h"
+#include "kernels/native.h"
+#include "runtime/thread_pool.h"
+#include "support/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace motune::kernels {
+namespace {
+
+runtime::ThreadPool& pool() {
+  static runtime::ThreadPool p(4);
+  return p;
+}
+
+struct NativeCase {
+  std::int64_t ti, tj, tk;
+  int threads;
+};
+
+class MmNative : public ::testing::TestWithParam<NativeCase> {};
+
+TEST_P(MmNative, TiledMatchesReferenceBitExact) {
+  const auto [ti, tj, tk, threads] = GetParam();
+  const std::int64_t n = 33;
+  std::vector<double> a(n * n), b(n * n), cRef(n * n, 0.0), cTiled(n * n, 0.0);
+  fillDeterministic(a, 1);
+  fillDeterministic(b, 2);
+  mmReference(a.data(), b.data(), cRef.data(), n);
+  mmTiled(a.data(), b.data(), cTiled.data(), n, {ti, tj, tk}, threads, pool());
+  for (std::size_t i = 0; i < cRef.size(); ++i)
+    ASSERT_EQ(cRef[i], cTiled[i]) << "element " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TileAndThreadSweep, MmNative,
+    ::testing::Values(NativeCase{1, 1, 1, 1}, NativeCase{8, 8, 8, 1},
+                      NativeCase{33, 33, 33, 1}, NativeCase{40, 40, 40, 2},
+                      NativeCase{5, 7, 11, 3}, NativeCase{16, 4, 32, 4},
+                      NativeCase{2, 33, 3, 8}));
+
+class DsyrkNative : public ::testing::TestWithParam<NativeCase> {};
+
+TEST_P(DsyrkNative, TiledMatchesReferenceBitExact) {
+  const auto [ti, tj, tk, threads] = GetParam();
+  const std::int64_t n = 29;
+  std::vector<double> a(n * n), cRef(n * n, 0.0), cTiled(n * n, 0.0);
+  fillDeterministic(a, 3);
+  dsyrkReference(a.data(), cRef.data(), n);
+  dsyrkTiled(a.data(), cTiled.data(), n, {ti, tj, tk}, threads, pool());
+  for (std::size_t i = 0; i < cRef.size(); ++i)
+    ASSERT_EQ(cRef[i], cTiled[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileAndThreadSweep, DsyrkNative,
+                         ::testing::Values(NativeCase{4, 4, 4, 1},
+                                           NativeCase{29, 29, 29, 2},
+                                           NativeCase{3, 10, 7, 4}));
+
+class Jacobi2dNative
+    : public ::testing::TestWithParam<std::pair<Tile2, int>> {};
+
+TEST_P(Jacobi2dNative, TiledMatchesReferenceBitExact) {
+  const auto [tile, threads] = GetParam();
+  const std::int64_t n = 41;
+  std::vector<double> a(n * n), bRef(n * n, 0.0), bTiled(n * n, 0.0);
+  fillDeterministic(a, 4);
+  jacobi2dReference(a.data(), bRef.data(), n);
+  jacobi2dTiled(a.data(), bTiled.data(), n, tile, threads, pool());
+  for (std::size_t i = 0; i < bRef.size(); ++i)
+    ASSERT_EQ(bRef[i], bTiled[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TileAndThreadSweep, Jacobi2dNative,
+    ::testing::Values(std::make_pair(Tile2{1, 1}, 1),
+                      std::make_pair(Tile2{8, 8}, 2),
+                      std::make_pair(Tile2{39, 39}, 1),
+                      std::make_pair(Tile2{5, 13}, 4),
+                      std::make_pair(Tile2{64, 3}, 3)));
+
+TEST(Stencil3dNative, TiledMatchesReferenceBitExact) {
+  const std::int64_t n = 17;
+  std::vector<double> a(n * n * n), bRef(n * n * n, 0.0),
+      bTiled(n * n * n, 0.0);
+  fillDeterministic(a, 5);
+  stencil3dReference(a.data(), bRef.data(), n);
+  for (const Tile3 t : {Tile3{1, 1, 1}, Tile3{4, 4, 4}, Tile3{15, 2, 7}}) {
+    std::fill(bTiled.begin(), bTiled.end(), 0.0);
+    stencil3dTiled(a.data(), bTiled.data(), n, t, 3, pool());
+    for (std::size_t i = 0; i < bRef.size(); ++i)
+      ASSERT_EQ(bRef[i], bTiled[i]);
+  }
+}
+
+TEST(NBodyNative, TiledMatchesReferenceBitExact) {
+  const std::size_t n = 150;
+  Bodies ref(n), tiled(n);
+  fillDeterministic(ref.x, 1);
+  fillDeterministic(ref.y, 2);
+  fillDeterministic(ref.z, 3);
+  tiled.x = ref.x;
+  tiled.y = ref.y;
+  tiled.z = ref.z;
+  nbodyReference(ref);
+  for (const Tile2 t : {Tile2{1, 1}, Tile2{16, 16}, Tile2{150, 7}}) {
+    std::fill(tiled.fx.begin(), tiled.fx.end(), 0.0);
+    std::fill(tiled.fy.begin(), tiled.fy.end(), 0.0);
+    std::fill(tiled.fz.begin(), tiled.fz.end(), 0.0);
+    nbodyTiled(tiled, t, 4, pool());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(ref.fx[i], tiled.fx[i]);
+      ASSERT_EQ(ref.fy[i], tiled.fy[i]);
+      ASSERT_EQ(ref.fz[i], tiled.fz[i]);
+    }
+  }
+}
+
+TEST(NBodyNative, ForcesAreFinite) {
+  const std::size_t n = 32;
+  Bodies bodies(n);
+  fillDeterministic(bodies.x, 7);
+  fillDeterministic(bodies.y, 8);
+  fillDeterministic(bodies.z, 9);
+  nbodyReference(bodies);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(std::isfinite(bodies.fx[i]));
+    EXPECT_TRUE(std::isfinite(bodies.fy[i]));
+    EXPECT_TRUE(std::isfinite(bodies.fz[i]));
+  }
+}
+
+/// The IR builders and the native references describe the same computation.
+TEST(IrVsNative, MmAgree) {
+  const std::int64_t n = 9;
+  ir::Interpreter interp(buildMM(n));
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+  fillDeterministic(a, 1);
+  fillDeterministic(b, 2);
+  interp.array("A") = a;
+  interp.array("B") = b;
+  interp.run();
+  mmReference(a.data(), b.data(), c.data(), n);
+  const auto& cIr = interp.array("C");
+  for (std::size_t i = 0; i < c.size(); ++i) ASSERT_EQ(c[i], cIr[i]);
+}
+
+TEST(IrVsNative, Jacobi2dAgree) {
+  const std::int64_t n = 12;
+  ir::Interpreter interp(buildJacobi2d(n));
+  std::vector<double> a(n * n), b(n * n, 0.0);
+  fillDeterministic(a, 6);
+  interp.array("A") = a;
+  interp.run();
+  jacobi2dReference(a.data(), b.data(), n);
+  const auto& bIr = interp.array("B");
+  for (std::size_t i = 0; i < b.size(); ++i) ASSERT_EQ(b[i], bIr[i]);
+}
+
+TEST(IrVsNative, Stencil3dAgree) {
+  const std::int64_t n = 8;
+  ir::Interpreter interp(buildStencil3d(n));
+  std::vector<double> a(n * n * n), b(n * n * n, 0.0);
+  fillDeterministic(a, 7);
+  interp.array("A") = a;
+  interp.run();
+  stencil3dReference(a.data(), b.data(), n);
+  const auto& bIr = interp.array("B");
+  for (std::size_t i = 0; i < b.size(); ++i)
+    ASSERT_NEAR(b[i], bIr[i], 1e-12); // summation order differs slightly
+}
+
+TEST(IrVsNative, NBodyAgree) {
+  const std::size_t n = 40;
+  ir::Interpreter interp(buildNBody(static_cast<std::int64_t>(n)));
+  Bodies bodies(n);
+  fillDeterministic(bodies.x, 1);
+  fillDeterministic(bodies.y, 2);
+  fillDeterministic(bodies.z, 3);
+  interp.array("X") = bodies.x;
+  interp.array("Y") = bodies.y;
+  interp.array("Z") = bodies.z;
+  interp.run();
+  nbodyReference(bodies);
+  const auto& fx = interp.array("FX");
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_NEAR(bodies.fx[i], fx[i], 1e-9 * std::abs(bodies.fx[i]) + 1e-15);
+}
+
+TEST(Registry, FiveKernelsWithTableIVComplexities) {
+  const auto& all = allKernels();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].name, "mm");
+  EXPECT_EQ(all[0].computeComplexity, "O(N^3)");
+  EXPECT_EQ(all[0].memoryComplexity, "O(N^2)");
+  EXPECT_EQ(kernelByName("n-body").memoryComplexity, "O(N)");
+  EXPECT_EQ(kernelByName("3d-stencil").tileDims, 3u);
+  EXPECT_EQ(kernelByName("jacobi-2d").tileDims, 2u);
+  EXPECT_THROW(kernelByName("does-not-exist"), support::CheckError);
+}
+
+TEST(Registry, PaperProblemSizes) {
+  EXPECT_EQ(kernelByName("mm").paperN, 1400);
+  EXPECT_EQ(kernelByName("dsyrk").paperN, 1400);
+  // n-body working set must straddle the two machines' L3 sizes
+  // (fits 30 MB Westmere, exceeds 2 MB Barcelona — paper §V.C).
+  const std::int64_t bytes = 6 * 8 * kernelByName("n-body").paperN;
+  EXPECT_LT(bytes, 30 * 1024 * 1024);
+  EXPECT_GT(bytes, 2 * 1024 * 1024);
+}
+
+} // namespace
+} // namespace motune::kernels

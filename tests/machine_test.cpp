@@ -1,0 +1,86 @@
+#include "machine/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace motune::machine {
+namespace {
+
+TEST(Machine, WestmereMatchesPaperTableI) {
+  const MachineModel m = westmere();
+  EXPECT_EQ(m.sockets, 4);
+  EXPECT_EQ(m.coresPerSocket, 10);
+  EXPECT_EQ(m.totalCores(), 40);
+  ASSERT_EQ(m.caches.size(), 3u);
+  EXPECT_EQ(m.caches[0].capacityBytes, 32 * 1024);
+  EXPECT_EQ(m.caches[1].capacityBytes, 256 * 1024);
+  EXPECT_EQ(m.caches[2].capacityBytes, 30 * 1024 * 1024);
+  EXPECT_FALSE(m.caches[0].sharedPerSocket);
+  EXPECT_FALSE(m.caches[1].sharedPerSocket);
+  EXPECT_TRUE(m.caches[2].sharedPerSocket);
+}
+
+TEST(Machine, BarcelonaMatchesPaperTableI) {
+  const MachineModel m = barcelona();
+  EXPECT_EQ(m.sockets, 8);
+  EXPECT_EQ(m.coresPerSocket, 4);
+  EXPECT_EQ(m.totalCores(), 32);
+  EXPECT_EQ(m.caches[0].capacityBytes, 64 * 1024);
+  EXPECT_EQ(m.caches[1].capacityBytes, 512 * 1024);
+  EXPECT_EQ(m.caches[2].capacityBytes, 2 * 1024 * 1024);
+}
+
+TEST(Machine, FillFirstPlacement) {
+  const MachineModel m = westmere();
+  EXPECT_EQ(m.socketsUsed(1), 1);
+  EXPECT_EQ(m.socketsUsed(10), 1);
+  EXPECT_EQ(m.socketsUsed(11), 2);
+  EXPECT_EQ(m.socketsUsed(40), 4);
+  EXPECT_EQ(m.maxThreadsOnOneSocket(1), 1);
+  EXPECT_EQ(m.maxThreadsOnOneSocket(7), 7);
+  EXPECT_EQ(m.maxThreadsOnOneSocket(25), 10);
+}
+
+TEST(Machine, SharedL3DividedAmongCoLocatedThreads) {
+  const MachineModel m = westmere();
+  const double full = m.effectiveCapacityPerThread(2, 1);
+  EXPECT_DOUBLE_EQ(full, 30.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(m.effectiveCapacityPerThread(2, 10), full / 10);
+  // Beyond one socket the per-thread share stays at the full-socket split.
+  EXPECT_DOUBLE_EQ(m.effectiveCapacityPerThread(2, 40), full / 10);
+}
+
+TEST(Machine, PrivateCachesNotDivided) {
+  const MachineModel m = westmere();
+  EXPECT_DOUBLE_EQ(m.effectiveCapacityPerThread(0, 40), 32.0 * 1024);
+  EXPECT_DOUBLE_EQ(m.effectiveCapacityPerThread(1, 40), 256.0 * 1024);
+}
+
+TEST(Machine, BandwidthScalesWithOccupiedSockets) {
+  const MachineModel m = barcelona();
+  EXPECT_DOUBLE_EQ(m.aggregateDramBandwidthGBs(4), m.dramBandwidthGBs);
+  EXPECT_DOUBLE_EQ(m.aggregateDramBandwidthGBs(32),
+                   8 * m.dramBandwidthGBs);
+}
+
+TEST(Machine, ContentionFactorMonotone) {
+  for (const MachineModel& m : {westmere(), barcelona()}) {
+    EXPECT_DOUBLE_EQ(m.memContentionFactor(1), 1.0);
+    double prev = 1.0;
+    for (int p = 2; p <= m.totalCores(); ++p) {
+      const double f = m.memContentionFactor(p);
+      EXPECT_GE(f, prev) << "p=" << p << " on " << m.name;
+      prev = f;
+    }
+    EXPECT_GT(prev, 1.3); // full machine pays substantial friction
+  }
+}
+
+TEST(Machine, EvaluatedThreadCountsMatchPaper) {
+  EXPECT_EQ(evaluatedThreadCounts(westmere()),
+            (std::vector<int>{1, 5, 10, 20, 40}));
+  EXPECT_EQ(evaluatedThreadCounts(barcelona()),
+            (std::vector<int>{1, 2, 4, 8, 16, 32}));
+}
+
+} // namespace
+} // namespace motune::machine

@@ -1,0 +1,436 @@
+#include "core/gde3.h"
+#include "core/grid_search.h"
+#include "core/hypervolume.h"
+#include "core/nsga2.h"
+#include "core/pareto.h"
+#include "core/random_search.h"
+#include "core/roughset.h"
+#include "core/rsgde3.h"
+#include "core/testproblems.h"
+#include "support/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace motune::opt {
+namespace {
+
+runtime::ThreadPool& pool() {
+  static runtime::ThreadPool p(4);
+  return p;
+}
+
+// --- dominance / sorting -----------------------------------------------------
+
+TEST(Pareto, DominanceDefinition) {
+  EXPECT_TRUE(dominates({1, 1}, {2, 2}));
+  EXPECT_TRUE(dominates({1, 2}, {2, 2}));
+  EXPECT_FALSE(dominates({2, 2}, {2, 2})); // equal: not strictly better
+  EXPECT_FALSE(dominates({1, 3}, {2, 2})); // trade-off
+  EXPECT_FALSE(dominates({2, 2}, {1, 3}));
+}
+
+TEST(Pareto, DominanceIsAntisymmetricAndTransitive) {
+  support::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Objectives a{rng.uniform(), rng.uniform()};
+    const Objectives b{rng.uniform(), rng.uniform()};
+    const Objectives c{rng.uniform(), rng.uniform()};
+    EXPECT_FALSE(dominates(a, b) && dominates(b, a));
+    if (dominates(a, b) && dominates(b, c)) {
+      EXPECT_TRUE(dominates(a, c));
+    }
+  }
+}
+
+std::vector<Individual> makePop(std::initializer_list<Objectives> objs) {
+  std::vector<Individual> pop;
+  std::int64_t id = 0;
+  for (const auto& o : objs) pop.push_back({{}, {id++}, o});
+  return pop;
+}
+
+TEST(Pareto, FrontExtraction) {
+  const auto pop = makePop({{1, 4}, {2, 3}, {3, 3}, {4, 1}, {2, 5}});
+  const auto front = paretoFront(pop);
+  ASSERT_EQ(front.size(), 3u);
+  std::set<std::int64_t> ids;
+  for (const auto& ind : front) ids.insert(ind.config[0]);
+  EXPECT_EQ(ids, (std::set<std::int64_t>{0, 1, 3}));
+}
+
+TEST(Pareto, FrontDeduplicatesConfigs) {
+  std::vector<Individual> pop;
+  pop.push_back({{}, {7}, {1, 2}});
+  pop.push_back({{}, {7}, {1, 2}});
+  EXPECT_EQ(paretoFront(pop).size(), 1u);
+}
+
+TEST(Pareto, NonDominatedSortRanks) {
+  const auto pop = makePop({{1, 4}, {4, 1}, {2, 5}, {5, 2}, {3, 6}});
+  const auto fronts = nonDominatedSort(pop);
+  ASSERT_GE(fronts.size(), 2u);
+  EXPECT_EQ(fronts[0].size(), 2u); // (1,4) and (4,1)
+  // Every member of front k+1 is dominated by someone in front <= k.
+  for (std::size_t f = 1; f < fronts.size(); ++f)
+    for (std::size_t i : fronts[f]) {
+      bool dominated = false;
+      for (std::size_t g = 0; g < f && !dominated; ++g)
+        for (std::size_t j : fronts[g])
+          if (dominates(pop[j].objectives, pop[i].objectives)) {
+            dominated = true;
+            break;
+          }
+      EXPECT_TRUE(dominated);
+    }
+}
+
+TEST(Pareto, CrowdingBoundariesInfinite) {
+  const auto pop = makePop({{1, 5}, {2, 3}, {3, 2}, {5, 1}});
+  const std::vector<std::size_t> front{0, 1, 2, 3};
+  const auto d = crowdingDistance(pop, front);
+  EXPECT_TRUE(std::isinf(d[0]));
+  EXPECT_TRUE(std::isinf(d[3]));
+  EXPECT_FALSE(std::isinf(d[1]));
+  EXPECT_FALSE(std::isinf(d[2]));
+}
+
+TEST(Pareto, TruncationKeepsBestRanks) {
+  auto pop = makePop({{1, 4}, {4, 1}, {2, 5}, {5, 2}, {3, 6}, {6, 3}});
+  truncateByRankAndCrowding(pop, 2);
+  ASSERT_EQ(pop.size(), 2u);
+  std::set<std::int64_t> ids;
+  for (const auto& ind : pop) ids.insert(ind.config[0]);
+  EXPECT_EQ(ids, (std::set<std::int64_t>{0, 1}));
+}
+
+TEST(Pareto, TruncationPrefersSpreadWithinFront) {
+  // One big front on a line; truncation must keep the two extremes.
+  auto pop = makePop({{1, 9}, {2, 8}, {3, 7}, {5, 5}, {9, 1}});
+  truncateByRankAndCrowding(pop, 3);
+  std::set<std::int64_t> ids;
+  for (const auto& ind : pop) ids.insert(ind.config[0]);
+  EXPECT_TRUE(ids.count(0));
+  EXPECT_TRUE(ids.count(4));
+}
+
+// --- hypervolume --------------------------------------------------------------
+
+TEST(Hypervolume, SinglePointRectangle) {
+  EXPECT_DOUBLE_EQ(hypervolume2d({{0.25, 0.5}}, {1.0, 1.0}), 0.75 * 0.5);
+}
+
+TEST(Hypervolume, DominatedPointAddsNothing) {
+  const double v1 = hypervolume2d({{0.2, 0.2}}, {1.0, 1.0});
+  const double v2 = hypervolume2d({{0.2, 0.2}, {0.5, 0.5}}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v1, v2);
+}
+
+TEST(Hypervolume, TwoPointStaircase) {
+  // (0.2, 0.6) and (0.6, 0.2): union of two rectangles minus overlap.
+  const double v =
+      hypervolume2d({{0.2, 0.6}, {0.6, 0.2}}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v, 0.8 * 0.4 + 0.4 * (0.8 - 0.4));
+}
+
+TEST(Hypervolume, PointsOutsideReferenceClipped) {
+  EXPECT_DOUBLE_EQ(hypervolume2d({{2.0, 0.1}}, {1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume2d({{-1.0, 0.5}}, {1.0, 1.0}), 0.5);
+}
+
+TEST(Hypervolume, NdMatches2dOnDegenerateThird) {
+  // Lift the 2-D staircase into 3-D with z = 0: volume is identical.
+  const double v2 =
+      hypervolume2d({{0.2, 0.6}, {0.6, 0.2}}, {1.0, 1.0});
+  const double v3 = hypervolumeNd({{0.2, 0.6, 0.0}, {0.6, 0.2, 0.0}},
+                                  {1.0, 1.0, 1.0});
+  EXPECT_NEAR(v2, v3, 1e-12);
+}
+
+TEST(Hypervolume, NdCube) {
+  EXPECT_NEAR(hypervolumeNd({{0.5, 0.5, 0.5}}, {1.0, 1.0, 1.0}), 0.125,
+              1e-12);
+}
+
+TEST(Hypervolume, MetricNormalizes) {
+  const HypervolumeMetric metric({2.0, 4.0});
+  EXPECT_DOUBLE_EQ(metric({{1.0, 2.0}}), 0.25); // (0.5, 0.5) in unit box
+}
+
+TEST(Hypervolume, IdealFrontValuesMatchClosedForms) {
+  EXPECT_NEAR(idealHypervolume("schaffer"), 5.0 / 6.0, 1e-4);
+  EXPECT_NEAR(idealHypervolume("zdt1"), 2.0 / 3.0, 1e-4);
+  EXPECT_NEAR(idealHypervolume("zdt2"), 1.0 / 3.0, 1e-4);
+  EXPECT_GT(idealHypervolume("fonseca"), 0.2);
+  EXPECT_GT(idealHypervolume("zdt6"), 0.2);
+}
+
+// --- rough-set reduction -------------------------------------------------------
+
+TEST(RoughSet, BoundsFromDominatedWitnesses) {
+  // 1-D: non-dominated at x=5; dominated at 2 and 8 -> boundary [2, 8].
+  std::vector<Individual> pop;
+  pop.push_back({{}, {5}, {1.0, 1.0}});  // non-dominated
+  pop.push_back({{}, {2}, {2.0, 2.0}});  // dominated, below
+  pop.push_back({{}, {8}, {3.0, 3.0}});  // dominated, above
+  tuning::Boundary full;
+  full.lo = {0.0};
+  full.hi = {10.0};
+  const tuning::Boundary reduced = roughSetReduce(pop, full);
+  EXPECT_DOUBLE_EQ(reduced.lo[0], 2.0);
+  EXPECT_DOUBLE_EQ(reduced.hi[0], 8.0);
+}
+
+TEST(RoughSet, EnclosesAllNonDominated) {
+  support::Rng rng(3);
+  tuning::Boundary full;
+  full.lo = {0.0, 0.0};
+  full.hi = {100.0, 100.0};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Individual> pop;
+    for (int i = 0; i < 30; ++i) {
+      const Config c{rng.uniformInt(0, 100), rng.uniformInt(0, 100)};
+      pop.push_back({{}, c,
+                     {rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)}});
+    }
+    const tuning::Boundary reduced = roughSetReduce(pop, full);
+    for (std::size_t i : nonDominatedIndices(pop))
+      EXPECT_TRUE(reduced.contains(pop[i].config));
+    for (std::size_t d = 0; d < 2; ++d) {
+      EXPECT_GE(reduced.lo[d], full.lo[d]);
+      EXPECT_LE(reduced.hi[d], full.hi[d]);
+    }
+  }
+}
+
+TEST(RoughSet, AllNonDominatedKeepsFullSpace) {
+  std::vector<Individual> pop;
+  pop.push_back({{}, {1}, {1.0, 2.0}});
+  pop.push_back({{}, {9}, {2.0, 1.0}});
+  tuning::Boundary full;
+  full.lo = {0.0};
+  full.hi = {10.0};
+  const tuning::Boundary reduced = roughSetReduce(pop, full);
+  EXPECT_DOUBLE_EQ(reduced.lo[0], 0.0);
+  EXPECT_DOUBLE_EQ(reduced.hi[0], 10.0);
+}
+
+// --- search algorithms on known-front problems ---------------------------------
+
+void expectConverges(SyntheticProblem problem, double hvTarget,
+                     double fraction) {
+  GDE3Options opt;
+  opt.population = 40;
+  opt.maxGenerations = 120;
+  opt.noImproveLimit = 10;
+  opt.seed = 17;
+  RSGDE3 engine(problem, pool(), {opt, true});
+  const OptResult res = engine.run();
+  ASSERT_FALSE(res.front.empty());
+
+  std::vector<Objectives> pts;
+  for (const auto& ind : res.front) pts.push_back(ind.objectives);
+  double hv;
+  if (problem.name() == "schaffer") {
+    for (auto& p : pts) {
+      p[0] /= 4.0;
+      p[1] /= 4.0;
+    }
+    hv = hypervolume2d(pts, {1.0, 1.0});
+  } else {
+    hv = hypervolume2d(pts, {1.0, 1.0});
+  }
+  EXPECT_GE(hv, fraction * hvTarget)
+      << problem.name() << ": hv=" << hv << " target=" << hvTarget;
+}
+
+TEST(RSGDE3, ConvergesOnSchaffer) {
+  expectConverges(makeSchaffer(), idealHypervolume("schaffer"), 0.98);
+}
+
+TEST(RSGDE3, ConvergesOnFonseca) {
+  expectConverges(makeFonseca(), idealHypervolume("fonseca"), 0.92);
+}
+
+TEST(RSGDE3, ConvergesOnZDT1) {
+  expectConverges(makeZDT1(), idealHypervolume("zdt1"), 0.80);
+}
+
+TEST(RSGDE3, ConvergesOnZDT2) {
+  expectConverges(makeZDT2(), idealHypervolume("zdt2"), 0.60);
+}
+
+TEST(GDE3, FrontIsMutuallyNonDominated) {
+  SyntheticProblem problem = makeZDT1();
+  GDE3Options opt;
+  opt.maxGenerations = 20;
+  opt.seed = 5;
+  GDE3 engine(problem, pool(), opt);
+  const OptResult res = engine.run();
+  for (std::size_t i = 0; i < res.front.size(); ++i)
+    for (std::size_t j = 0; j < res.front.size(); ++j)
+      EXPECT_FALSE(i != j && dominates(res.front[i].objectives,
+                                       res.front[j].objectives));
+}
+
+TEST(GDE3, PopulationSizeInvariant) {
+  SyntheticProblem problem = makeKursawe();
+  GDE3Options opt;
+  opt.population = 24;
+  opt.maxGenerations = 15;
+  opt.noImproveLimit = 100; // force full generations
+  GDE3 engine(problem, pool(), opt);
+  engine.initialize();
+  for (int g = 0; g < 15; ++g) {
+    engine.step();
+    EXPECT_EQ(engine.population().size(), 24u);
+  }
+}
+
+TEST(GDE3, DeterministicGivenSeed) {
+  auto runOnce = [] {
+    SyntheticProblem problem = makeFonseca();
+    GDE3Options opt;
+    opt.maxGenerations = 10;
+    opt.noImproveLimit = 100;
+    opt.seed = 99;
+    opt.parallelEvaluation = false;
+    GDE3 engine(problem, pool(), opt);
+    return engine.run();
+  };
+  const OptResult a = runOnce();
+  const OptResult b = runOnce();
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i)
+    EXPECT_EQ(a.front[i].config, b.front[i].config);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(GDE3, TerminatesOnNoImprovement) {
+  SyntheticProblem problem = makeSchaffer(); // easy: converges quickly
+  GDE3Options opt;
+  opt.maxGenerations = 1000;
+  opt.noImproveLimit = 3;
+  opt.seed = 2;
+  GDE3 engine(problem, pool(), opt);
+  const OptResult res = engine.run();
+  EXPECT_LT(res.generations, 200); // must stop well before the cap
+}
+
+TEST(GDE3, RespectsExternalBoundary) {
+  SyntheticProblem problem = makeSchaffer();
+  GDE3Options opt;
+  opt.maxGenerations = 5;
+  opt.noImproveLimit = 100;
+  GDE3 engine(problem, pool(), opt);
+  engine.initialize();
+  tuning::Boundary tight;
+  tight.lo = {4000.0}; // decodes to x in [~-2, ...] on the integer grid
+  tight.hi = {6000.0};
+  engine.setBoundary(tight);
+  for (int g = 0; g < 5; ++g) engine.step();
+  // All *new* members come from the boundary; the invariant we can check
+  // cheaply is that the final population is valid and non-empty.
+  EXPECT_EQ(engine.population().size(), opt.population);
+}
+
+TEST(RSGDE3, ReductionUsesFewerOrEqualEvaluations) {
+  // Not a strict theorem, but on the smooth ZDT1 the reduced search should
+  // not be wildly more expensive; mainly this exercises the reduction path.
+  SyntheticProblem p1 = makeZDT1();
+  SyntheticProblem p2 = makeZDT1();
+  GDE3Options opt;
+  opt.maxGenerations = 30;
+  opt.seed = 7;
+  RSGDE3 with(p1, pool(), {opt, true});
+  RSGDE3 without(p2, pool(), {opt, false});
+  const OptResult a = with.run();
+  const OptResult b = without.run();
+  EXPECT_GT(a.evaluations, 0u);
+  EXPECT_GT(b.evaluations, 0u);
+  EXPECT_LT(a.evaluations, 10000u);
+}
+
+TEST(RandomSearch, RespectsBudgetAndReturnsFront) {
+  SyntheticProblem problem = makeZDT1();
+  RandomSearch rs(problem, pool(), {500, 3, true});
+  const OptResult res = rs.run();
+  EXPECT_EQ(res.evaluations, 500u);
+  ASSERT_FALSE(res.front.empty());
+  for (std::size_t i = 0; i < res.front.size(); ++i)
+    for (std::size_t j = 0; j < res.front.size(); ++j)
+      EXPECT_FALSE(i != j && dominates(res.front[i].objectives,
+                                       res.front[j].objectives));
+}
+
+TEST(RandomSearch, MuchWorseThanRSGDE3AtEqualBudget) {
+  // The paper's qualitative claim (Fig. 9 / Table VI): random search "is
+  // very far off the quality achieved by the other techniques".
+  SyntheticProblem p1 = makeZDT1();
+  GDE3Options opt;
+  opt.maxGenerations = 60;
+  opt.noImproveLimit = 8;
+  opt.seed = 21;
+  RSGDE3 engine(p1, pool(), {opt, true});
+  const OptResult rsRes = engine.run();
+
+  SyntheticProblem p2 = makeZDT1();
+  RandomSearch rand(p2, pool(), {rsRes.evaluations, 21, true});
+  const OptResult randRes = rand.run();
+
+  auto hv = [](const OptResult& r) {
+    std::vector<Objectives> pts;
+    for (const auto& ind : r.front) pts.push_back(ind.objectives);
+    return hypervolume2d(pts, {1.0, 1.0});
+  };
+  EXPECT_GT(hv(rsRes), 1.5 * hv(randRes));
+}
+
+TEST(GridSearch, EnumeratesFullCartesianProduct) {
+  SyntheticProblem problem = makeSchaffer();
+  GridSpec spec;
+  spec.values = {{0, 2500, 5000, 7500, 10000}};
+  GridSearch grid(problem, pool(), spec);
+  const OptResult res = grid.run();
+  EXPECT_EQ(res.evaluations, 5u);
+  EXPECT_EQ(res.population.size(), 5u);
+  ASSERT_FALSE(res.front.empty());
+}
+
+TEST(GridSearch, GeometricValuesCoverRange) {
+  const auto vals = geometricValues(1, 700, 24);
+  EXPECT_EQ(vals.front(), 1);
+  EXPECT_EQ(vals.back(), 700);
+  EXPECT_GE(vals.size(), 20u);
+  for (std::size_t i = 1; i < vals.size(); ++i)
+    EXPECT_GT(vals[i], vals[i - 1]);
+}
+
+TEST(NSGA2, ConvergesOnSchaffer) {
+  SyntheticProblem problem = makeSchaffer();
+  NSGA2Options opt;
+  opt.population = 40;
+  opt.maxGenerations = 80;
+  opt.noImproveLimit = 10;
+  opt.seed = 4;
+  NSGA2 engine(problem, pool(), opt);
+  const OptResult res = engine.run();
+  std::vector<Objectives> pts;
+  for (const auto& ind : res.front)
+    pts.push_back({ind.objectives[0] / 4.0, ind.objectives[1] / 4.0});
+  EXPECT_GE(hypervolume2d(pts, {1.0, 1.0}),
+            0.95 * idealHypervolume("schaffer"));
+}
+
+TEST(SyntheticProblems, DecodeRoundTrip) {
+  SyntheticProblem p = makeFonseca();
+  const auto x = p.decode({0, 5000, 10000});
+  EXPECT_DOUBLE_EQ(x[0], -4.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+  EXPECT_DOUBLE_EQ(x[2], 4.0);
+}
+
+} // namespace
+} // namespace motune::opt

@@ -1,0 +1,232 @@
+#include "cachesim/hierarchy.h"
+#include "ir/interp.h"
+#include "kernels/kernel.h"
+#include "machine/machine.h"
+#include "perfmodel/costmodel.h"
+#include "perfmodel/footprint.h"
+#include "transform/transforms.h"
+
+#include <gtest/gtest.h>
+
+namespace motune::perf {
+namespace {
+
+using machine::barcelona;
+using machine::westmere;
+
+ir::Program tiledMM(std::int64_t n, std::int64_t ti, std::int64_t tj,
+                    std::int64_t tk) {
+  const std::int64_t sizes[] = {ti, tj, tk};
+  return transform::parallelizeOuter(
+      transform::tile(kernels::buildMM(n), sizes), 2);
+}
+
+TEST(NestAnalysis, TripCountsExactForTiledLoops) {
+  // N = 10, tiles (4, 3, 5): tile trips = (3, 4, 2); avg point trips =
+  // 10/3, 10/4, 5.
+  const ir::Program prog = tiledMM(10, 4, 3, 5);
+  const NestAnalysis na = analyzeNest(prog);
+  ASSERT_EQ(na.loops.size(), 6u);
+  EXPECT_DOUBLE_EQ(na.loops[0].avgTrip, 3.0);
+  EXPECT_DOUBLE_EQ(na.loops[1].avgTrip, 4.0);
+  EXPECT_DOUBLE_EQ(na.loops[2].avgTrip, 2.0);
+  EXPECT_DOUBLE_EQ(na.loops[3].avgTrip, 10.0 / 3.0);
+  EXPECT_DOUBLE_EQ(na.loops[4].avgTrip, 10.0 / 4.0);
+  EXPECT_DOUBLE_EQ(na.loops[5].avgTrip, 5.0);
+  // Product of avgTrips = exact iteration count.
+  EXPECT_NEAR(na.leafIterations(), 1000.0, 1e-9);
+}
+
+TEST(NestAnalysis, OperationCounts) {
+  const NestAnalysis na = analyzeNest(kernels::buildMM(8));
+  EXPECT_DOUBLE_EQ(na.flopsPerIter, 2.0);      // multiply + accumulate
+  EXPECT_DOUBLE_EQ(na.heavyOpsPerIter, 0.0);
+  EXPECT_DOUBLE_EQ(na.memAccessesPerIter, 4.0); // A, B, C read, C write
+
+  const NestAnalysis nb = analyzeNest(kernels::buildNBody(8));
+  EXPECT_GT(nb.heavyOpsPerIter, 0.0); // sqrt + divide
+}
+
+TEST(NestAnalysis, VectorizabilityDetection) {
+  // mm IJK: B[k][j] is strided in the innermost k loop -> not unit-stride.
+  EXPECT_FALSE(analyzeNest(kernels::buildMM(8)).innermostUnitStride);
+  // jacobi-2d: innermost j accesses are all stride 0/1 -> vectorizable.
+  EXPECT_TRUE(analyzeNest(kernels::buildJacobi2d(8)).innermostUnitStride);
+}
+
+TEST(Footprint, UntiledMmExactValues) {
+  const ir::Program mm = kernels::buildMM(100);
+  const NestAnalysis na = analyzeNest(mm);
+  // Leaf (level 3): one line each of A, B, C.
+  EXPECT_DOUBLE_EQ(totalFootprintBytes(na, 3, 64), 3 * 64.0);
+  // Level 2 (k varies): A row (100*8 = 800B), B column (100 lines), C line.
+  EXPECT_DOUBLE_EQ(footprintBytes(na, 0, 2, 64), 832.0); // A: ceil(800/64)*64
+  EXPECT_DOUBLE_EQ(footprintBytes(na, 1, 2, 64), 6400.0); // B: 100 * 64
+  EXPECT_DOUBLE_EQ(footprintBytes(na, 2, 2, 64), 64.0);   // C: one line
+  // Level 0: everything = all three arrays.
+  EXPECT_NEAR(totalFootprintBytes(na, 0, 64), 3 * 100 * 100 * 8.0, 3 * 6400.0);
+}
+
+TEST(Footprint, TiledMmTileTriple) {
+  // Tiles (8, 8, 8) on N=64: at the first point-loop level (i, j, k vary),
+  // footprint = A tile 8x8 + B tile 8x8 + C tile 8x8, line-granular.
+  const ir::Program prog = tiledMM(64, 8, 8, 8);
+  const NestAnalysis na = analyzeNest(prog);
+  const double fp = totalFootprintBytes(na, 3, 64);
+  EXPECT_DOUBLE_EQ(fp, 3 * 8 * 64.0); // 3 tiles of 8 rows x one 64B line
+}
+
+TEST(Footprint, StencilHaloCounted) {
+  const ir::Program j2 = kernels::buildJacobi2d(66);
+  const std::int64_t sizes[] = {8, 8};
+  const ir::Program tiled = transform::tile(j2, sizes);
+  const NestAnalysis na = analyzeNest(tiled);
+  // At the point level, A's footprint covers (8+2) rows of the halo'd tile.
+  const double a = footprintBytes(na, 0, 2, 64);
+  const double b = footprintBytes(na, 1, 2, 64);
+  EXPECT_DOUBLE_EQ(a, 10 * 128.0); // 10 rows x (10*8B -> 2 lines)
+  EXPECT_DOUBLE_EQ(b, 8 * 64.0);   // 8 rows x (8*8B -> 1 line)
+}
+
+TEST(Footprint, ClampedToArraySize) {
+  const ir::Program nb = kernels::buildNBody(128);
+  const NestAnalysis na = analyzeNest(nb);
+  // X is read as X[i] and X[j]; the union never exceeds the array itself.
+  EXPECT_LE(footprintBytes(na, 0, 0, 64), 128 * 8.0 + 64.0);
+}
+
+TEST(CostModel, TilingBeatsUntiledSerial) {
+  const CostModel model(westmere());
+  const double untiled = model.predict(kernels::buildMM(1400), 1).seconds;
+  const double tiled = model.predict(tiledMM(1400, 64, 48, 32), 1).seconds;
+  EXPECT_GT(untiled, 3.0 * tiled); // the paper's "enormous potential"
+}
+
+TEST(CostModel, SpeedupSaturatesAndEfficiencyDrops) {
+  const CostModel model(westmere());
+  const ir::Program prog = tiledMM(1400, 96, 48, 32);
+  const NestAnalysis na = analyzeNest(prog);
+  double prevTime = 1e30;
+  double prevEff = 2.0;
+  const double t1 = model.predictAnalyzed(na, 1).seconds;
+  for (int p : {1, 5, 10, 20, 40}) {
+    const Prediction pred = model.predictAnalyzed(na, p);
+    EXPECT_LT(pred.seconds, prevTime); // more threads still help...
+    const double eff = t1 / (p * pred.seconds);
+    EXPECT_LT(eff, prevEff + 1e-12); // ...but efficiency never improves
+    prevTime = pred.seconds;
+    prevEff = eff;
+  }
+  // At full machine scale the efficiency loss is substantial (Table III).
+  EXPECT_LT(prevEff, 0.85);
+  EXPECT_GT(prevEff, 0.35);
+}
+
+TEST(CostModel, OptimalTileDependsOnThreadCount) {
+  // The paper's central observation (Fig. 2): sweep a small tile grid at
+  // p=1 and p=32 on Barcelona and require distinct optima.
+  const CostModel model(barcelona());
+  auto bestTile = [&](int threads) {
+    double best = 1e300;
+    std::vector<std::int64_t> arg;
+    for (std::int64_t ti : {16, 32, 64, 128, 256, 512})
+      for (std::int64_t tj : {16, 32, 64, 128, 256, 512})
+        for (std::int64_t tk : {16, 32, 64}) {
+          const double t =
+              model.predict(tiledMM(1400, ti, tj, tk), threads).seconds;
+          if (t < best) {
+            best = t;
+            arg = {ti, tj, tk};
+          }
+        }
+    return arg;
+  };
+  EXPECT_NE(bestTile(1), bestTile(32));
+}
+
+TEST(CostModel, SharedCacheShrinksWithThreadsRaisesDramTraffic) {
+  const CostModel model(barcelona());
+  const ir::Program prog = tiledMM(1400, 256, 256, 32);
+  const NestAnalysis na = analyzeNest(prog);
+  const auto t1 = model.predictAnalyzed(na, 1);
+  const auto t4 = model.predictAnalyzed(na, 4);
+  // Machine-wide DRAM traffic grows when four threads split the 2MB L3.
+  EXPECT_GT(t4.trafficBytes.back(), t1.trafficBytes.back() * 1.2);
+}
+
+TEST(CostModel, ImbalancePenalizesHugeTiles) {
+  const CostModel model(westmere());
+  // Tiles of 700 on N=1400 leave a 2x2 chunk grid for 40 threads.
+  const Prediction pred = model.predict(tiledMM(1400, 700, 700, 64), 40);
+  EXPECT_DOUBLE_EQ(pred.imbalance, 1.0); // 4 chunks on 4 effective threads
+  const Prediction pred2 = model.predict(tiledMM(1400, 200, 200, 64), 40);
+  EXPECT_GE(pred2.imbalance, 1.0);
+  // But the huge-tile version must be much slower overall at p=40.
+  EXPECT_GT(pred.seconds, pred2.seconds);
+}
+
+TEST(CostModel, ResourcesEqualThreadsTimesSeconds) {
+  const CostModel model(westmere());
+  const Prediction pred = model.predict(tiledMM(256, 16, 16, 16), 8);
+  EXPECT_DOUBLE_EQ(pred.resources, 8.0 * pred.seconds);
+}
+
+TEST(CostModel, DeterministicNoiseIsBounded) {
+  CostParams params;
+  params.noiseAmplitude = 0.05;
+  const CostModel noisy(westmere(), params);
+  const CostModel clean(westmere());
+  const ir::Program prog = tiledMM(256, 16, 16, 16);
+  const double a = noisy.predict(prog, 4).seconds;
+  const double b = noisy.predict(prog, 4).seconds;
+  const double ref = clean.predict(prog, 4).seconds;
+  EXPECT_DOUBLE_EQ(a, b); // deterministic
+  EXPECT_NEAR(a, ref, 0.05 * ref + 1e-12);
+}
+
+/// Cross-validation against the trace-driven simulator: the analytical
+/// model's DRAM-traffic ordering between a good and a bad tiling must match
+/// the simulated miss counts on a miniature machine/problem.
+TEST(CostModel, AgreesWithCacheSimulatorOnTileOrdering) {
+  // The mini machine's last level must be smaller than one array of the
+  // mini problem (48x48x8B = 18K), so the bad tiling genuinely thrashes.
+  machine::MachineModel mini = westmere();
+  mini.caches[0].capacityBytes = 1 * 1024;
+  mini.caches[1].capacityBytes = 4 * 1024;
+  mini.caches[2].capacityBytes = 8 * 1024;
+  mini.caches[2].associativity = 16; // keep lines divisible by ways
+
+  const std::int64_t n = 48;
+  auto simulatedDram = [&](std::int64_t t) {
+    const std::int64_t sizes[] = {t, t, t};
+    const ir::Program prog = transform::tile(kernels::buildMM(n), sizes);
+    ir::Interpreter interp(prog);
+    cachesim::Hierarchy hierarchy(mini, 1);
+    interp.setTrace([&](std::uint64_t addr, int bytes, bool w) {
+      hierarchy.access(addr, bytes, w);
+    });
+    interp.run();
+    return hierarchy.dramBytes();
+  };
+  auto modeledDram = [&](std::int64_t t) {
+    const CostModel model(mini);
+    const std::int64_t sizes[] = {t, t, t};
+    const ir::Program prog = transform::tile(kernels::buildMM(n), sizes);
+    return model.predict(prog, 1).trafficBytes.back();
+  };
+
+  // A well-chosen tile (fits the mini L3) vs. a terrible one.
+  const double simGood = static_cast<double>(simulatedDram(8));
+  const double simBad = static_cast<double>(simulatedDram(48));
+  const double modGood = modeledDram(8);
+  const double modBad = modeledDram(48);
+  EXPECT_LT(simGood, simBad);
+  EXPECT_LT(modGood, modBad);
+  // Magnitudes agree within an order of magnitude (the model is
+  // conservative about the usable cache fraction).
+  EXPECT_LT(modGood / simGood, 8.0);
+  EXPECT_GT(modGood / simGood, 0.125);
+}
+
+} // namespace
+} // namespace motune::perf

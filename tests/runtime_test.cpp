@@ -1,0 +1,204 @@
+#include "multiversion/version_table.h"
+#include "runtime/parallel_for.h"
+#include "runtime/policy.h"
+#include "runtime/region.h"
+#include "runtime/thread_pool.h"
+#include "support/check.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace motune::runtime {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const std::int64_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallelFor(pool, 0, n, 7, [&](std::int64_t i) { ++hits[i]; });
+  for (std::int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingletonRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallelFor(pool, 5, 5, 4, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallelFor(pool, 5, 6, 4, [&](std::int64_t i) {
+    EXPECT_EQ(i, 5);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, BlockedChunksAreContiguousAndDisjoint) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  parallelForBlocked(pool, 0, 100, 7,
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       std::lock_guard lock(m);
+                       chunks.emplace_back(lo, hi);
+                     });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), 7u);
+  EXPECT_EQ(chunks.front().first, 0);
+  EXPECT_EQ(chunks.back().second, 100);
+  for (std::size_t i = 1; i < chunks.size(); ++i)
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+}
+
+TEST(ParallelFor, MoreThreadsThanIterations) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallelFor(pool, 0, 3, 16, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ParallelFor, NestedParallelismDoesNotDeadlock) {
+  ThreadPool pool(1); // worst case: a single worker
+  std::atomic<int> total{0};
+  parallelFor(pool, 0, 4, 4, [&](std::int64_t) {
+    parallelFor(pool, 0, 8, 4, [&](std::int64_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+mv::VersionTable makeTable() {
+  // Mimics a Pareto front: faster versions use more threads/resources.
+  mv::VersionTable table("region");
+  struct Row {
+    double time;
+    int threads;
+  };
+  for (const Row r : {Row{0.10, 40}, Row{0.20, 20}, Row{0.55, 10},
+                      Row{1.00, 1}}) {
+    mv::CodeVersion v;
+    v.meta.threads = r.threads;
+    v.meta.timeSeconds = r.time;
+    v.meta.resources = r.time * r.threads;
+    v.meta.tileSizes = {8, 8, 8};
+    v.run = [](int) {};
+    table.add(std::move(v));
+  }
+  return table;
+}
+
+TEST(VersionTable, SortedByTimeAndRanges) {
+  const mv::VersionTable t = makeTable();
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_DOUBLE_EQ(t[0].meta.timeSeconds, 0.10);
+  EXPECT_DOUBLE_EQ(t[3].meta.timeSeconds, 1.00);
+  EXPECT_EQ(t.fastest(), 0u);
+  EXPECT_EQ(t.mostEfficient(), 3u); // serial: resources == 1.0 < others
+  EXPECT_DOUBLE_EQ(t.timeRange().first, 0.10);
+  EXPECT_DOUBLE_EQ(t.resourceRange().second, 5.5);
+}
+
+TEST(Policy, WeightedSumExtremes) {
+  const mv::VersionTable t = makeTable();
+  EXPECT_EQ(WeightedSumPolicy(1.0, 0.0).select(t), t.fastest());
+  EXPECT_EQ(WeightedSumPolicy(0.0, 1.0).select(t), t.mostEfficient());
+}
+
+TEST(Policy, WeightedSumMinimizesNormalizedScore) {
+  const mv::VersionTable t = makeTable();
+  const double wT = 0.5, wR = 0.5;
+  const std::size_t pick = WeightedSumPolicy(wT, wR).select(t);
+  // Recompute the normalized weighted score and verify minimality.
+  const auto [tLo, tHi] = t.timeRange();
+  const auto [rLo, rHi] = t.resourceRange();
+  auto score = [&](std::size_t i) {
+    return wT * (t[i].meta.timeSeconds - tLo) / (tHi - tLo) +
+           wR * (t[i].meta.resources - rLo) / (rHi - rLo);
+  };
+  for (std::size_t i = 0; i < t.size(); ++i)
+    EXPECT_LE(score(pick), score(i) + 1e-12);
+}
+
+TEST(Policy, TimeBudgetPicksMostEfficientWithinBudget) {
+  const mv::VersionTable t = makeTable();
+  // Budget 0.6 s: versions 0.10/0.20/0.55 qualify; 0.55s@10t has the
+  // lowest resource usage (5.5 < 4.0? no: 0.2*20=4.0, 0.1*40=4.0, 0.55*10=5.5)
+  // -> 0.20s@20t and 0.10s@40t tie at 4.0; the scan keeps the first found.
+  const std::size_t pick = TimeBudgetPolicy(0.6).select(t);
+  EXPECT_LE(t[pick].meta.timeSeconds, 0.6);
+  EXPECT_LE(t[pick].meta.resources, 4.0);
+}
+
+TEST(Policy, TimeBudgetFallsBackToFastest) {
+  const mv::VersionTable t = makeTable();
+  EXPECT_EQ(TimeBudgetPolicy(0.01).select(t), t.fastest());
+}
+
+TEST(Policy, EfficiencyFloorSelectsFastestEfficientVersion) {
+  const mv::VersionTable t = makeTable();
+  // serial reference = 1.0 s. Efficiencies: 1.0/4.0=0.25 (40t),
+  // 1.0/4.0=0.25 (20t), 1.0/5.5=0.18 (10t), 1.0 (1t).
+  EXPECT_EQ(EfficiencyFloorPolicy(0.9).select(t), 3u);
+  const std::size_t pick = EfficiencyFloorPolicy(0.2).select(t);
+  EXPECT_LE(t[pick].meta.timeSeconds, 0.2 + 1e-12);
+}
+
+TEST(Policy, ThreadCapRespectsAvailableCores) {
+  const mv::VersionTable t = makeTable();
+  EXPECT_EQ(t[ThreadCapPolicy(10).select(t)].meta.threads, 10);
+  EXPECT_EQ(t[ThreadCapPolicy(1).select(t)].meta.threads, 1);
+  EXPECT_EQ(t[ThreadCapPolicy(100).select(t)].meta.threads, 40);
+}
+
+TEST(Region, InvokeRunsSelectedVersionAndCounts) {
+  mv::VersionTable table("r");
+  std::vector<int> runs(2, 0);
+  // A genuine trade-off: the fast version costs more resources.
+  for (int v = 0; v < 2; ++v) {
+    mv::CodeVersion cv;
+    cv.meta.threads = v == 0 ? 4 : 1;
+    cv.meta.timeSeconds = v == 0 ? 0.1 : 1.0;
+    cv.meta.resources = v == 0 ? 0.4 : 0.2;
+    cv.run = [&runs, v](int threads) {
+      EXPECT_EQ(threads, v == 0 ? 4 : 1);
+      ++runs[v];
+    };
+    table.add(std::move(cv));
+  }
+  Region region(std::move(table));
+  const std::size_t fast = region.invoke(WeightedSumPolicy(1.0, 0.0));
+  EXPECT_EQ(fast, 0u);
+  region.invoke(WeightedSumPolicy(0.0, 1.0));
+  EXPECT_EQ(runs[0], 1);
+  EXPECT_EQ(runs[1], 1);
+  EXPECT_EQ(region.totalInvocations(), 2u);
+  EXPECT_EQ(region.invocationCounts()[0], 1u);
+}
+
+TEST(VersionTable, RejectsNonPositiveTime) {
+  mv::VersionTable table("r");
+  mv::CodeVersion v;
+  v.meta.timeSeconds = 0.0;
+  EXPECT_THROW(table.add(std::move(v)), support::CheckError);
+}
+
+} // namespace
+} // namespace motune::runtime

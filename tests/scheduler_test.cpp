@@ -1,0 +1,112 @@
+#include "runtime/scheduler.h"
+#include "support/check.h"
+
+#include <gtest/gtest.h>
+
+namespace motune::runtime {
+namespace {
+
+/// A synthetic Pareto front with the canonical shape: time ~ serial/p * f,
+/// resources grow with p (efficiency decays).
+mv::VersionTable makeFront(double serialSeconds, std::vector<int> threads) {
+  mv::VersionTable table("r");
+  for (int p : threads) {
+    mv::CodeVersion v;
+    v.meta.threads = p;
+    const double eff = 1.0 / (1.0 + 0.02 * (p - 1)); // mild decay
+    v.meta.timeSeconds = serialSeconds / (p * eff);
+    v.meta.resources = v.meta.timeSeconds * p;
+    v.run = [](int) {};
+    table.add(std::move(v));
+  }
+  return table;
+}
+
+TEST(Scheduler, SingleRegionGetsAllCoresUnderMakespanGoal) {
+  const mv::VersionTable t = makeFront(10.0, {1, 2, 4, 8, 16});
+  MultiRegionScheduler sched({&t}, 16, SchedulingGoal::MinimizeMakespan);
+  const auto placements = sched.schedule();
+  ASSERT_EQ(placements.size(), 1u);
+  EXPECT_EQ(placements[0].threads, 16);
+}
+
+TEST(Scheduler, RespectsCoreBudget) {
+  const mv::VersionTable a = makeFront(10.0, {1, 2, 4, 8, 16});
+  const mv::VersionTable b = makeFront(6.0, {1, 2, 4, 8, 16});
+  const mv::VersionTable c = makeFront(3.0, {1, 2, 4, 8, 16});
+  MultiRegionScheduler sched({&a, &b, &c}, 16);
+  const auto placements = sched.schedule();
+  ASSERT_EQ(placements.size(), 3u);
+  EXPECT_LE(MultiRegionScheduler::totalThreads(placements), 16);
+  for (const auto& p : placements) EXPECT_GE(p.threads, 1);
+}
+
+TEST(Scheduler, MakespanGoalFavorsTheLongestRegion) {
+  // Region a is 5x the work of region b: with a tight budget, a should
+  // receive (at least) as many cores as b.
+  const mv::VersionTable a = makeFront(50.0, {1, 2, 4, 8});
+  const mv::VersionTable b = makeFront(10.0, {1, 2, 4, 8});
+  MultiRegionScheduler sched({&a, &b}, 8,
+                             SchedulingGoal::MinimizeMakespan);
+  const auto placements = sched.schedule();
+  EXPECT_GE(placements[0].threads, placements[1].threads);
+  // And the resulting makespan beats the all-serial assignment.
+  EXPECT_LT(MultiRegionScheduler::makespan(placements), 50.0);
+}
+
+TEST(Scheduler, ResourceGoalStaysThrifty) {
+  // With efficiency-decaying fronts, upgrades always cost resources, so
+  // the resource-minimizing goal keeps every region at its cheapest point.
+  const mv::VersionTable a = makeFront(10.0, {1, 2, 4, 8});
+  const mv::VersionTable b = makeFront(10.0, {1, 2, 4, 8});
+  MultiRegionScheduler sched({&a, &b}, 16,
+                             SchedulingGoal::MinimizeTotalResources);
+  const auto placements = sched.schedule();
+  for (const auto& p : placements) EXPECT_EQ(p.threads, 1);
+}
+
+TEST(Scheduler, TightBudgetAdmitsEveryRegionSerially) {
+  const mv::VersionTable a = makeFront(10.0, {1, 4, 16});
+  const mv::VersionTable b = makeFront(10.0, {1, 4, 16});
+  const mv::VersionTable c = makeFront(10.0, {1, 4, 16});
+  MultiRegionScheduler sched({&a, &b, &c}, 3);
+  const auto placements = sched.schedule();
+  ASSERT_EQ(placements.size(), 3u);
+  for (const auto& p : placements) EXPECT_EQ(p.threads, 1);
+}
+
+TEST(Scheduler, MoreBudgetNeverHurtsMakespan) {
+  const mv::VersionTable a = makeFront(20.0, {1, 2, 4, 8, 16});
+  const mv::VersionTable b = makeFront(12.0, {1, 2, 4, 8, 16});
+  double prev = 1e300;
+  for (int budget : {2, 4, 8, 16, 32}) {
+    MultiRegionScheduler sched({&a, &b}, budget);
+    const double ms = MultiRegionScheduler::makespan(sched.schedule());
+    EXPECT_LE(ms, prev + 1e-12) << "budget " << budget;
+    prev = ms;
+  }
+}
+
+TEST(Scheduler, DeterministicAssignment) {
+  const mv::VersionTable a = makeFront(10.0, {1, 2, 4, 8});
+  const mv::VersionTable b = makeFront(7.0, {1, 2, 4, 8});
+  MultiRegionScheduler sched({&a, &b}, 10);
+  const auto p1 = sched.schedule();
+  const auto p2 = sched.schedule();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i].versionIndex, p2[i].versionIndex);
+    EXPECT_EQ(p1[i].threads, p2[i].threads);
+  }
+}
+
+TEST(Scheduler, RejectsEmptyTablesAndBadBudget) {
+  const mv::VersionTable a = makeFront(1.0, {1});
+  mv::VersionTable empty("e");
+  EXPECT_THROW(MultiRegionScheduler({&a, &empty}, 4),
+               support::CheckError);
+  EXPECT_THROW(MultiRegionScheduler({&a}, 0), support::CheckError);
+}
+
+} // namespace
+} // namespace motune::runtime

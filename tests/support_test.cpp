@@ -1,0 +1,146 @@
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace motune::support {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_NO_THROW(MOTUNE_CHECK(1 + 1 == 2));
+  try {
+    MOTUNE_CHECK_MSG(false, "context here");
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("context here"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniformInt(-2, 3);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformIntMeanUnbiased) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    sum += static_cast<double>(rng.uniformInt(0, 9));
+  EXPECT_NEAR(sum / n, 4.5, 0.05);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(5);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.gaussian();
+  EXPECT_NEAR(mean(xs), 0.0, 0.05);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsIndependentish) {
+  Rng a(9);
+  Rng b = a.split();
+  EXPECT_NE(a(), b());
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{7}), 7.0);
+}
+
+TEST(Stats, MeanStddev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);
+}
+
+TEST(Stats, Percentile) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(Stats, SummaryMatchesPieces) {
+  const std::vector<double> xs{1, 5, 3};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Stats, EmptyInputRejected) {
+  EXPECT_THROW(mean(std::vector<double>{}), CheckError);
+  EXPECT_THROW(median(std::vector<double>{}), CheckError);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t("Title");
+  t.setHeader({"name", "value"});
+  t.addRow({"a", "1"});
+  t.addRow({"long-name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| a         | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 22    |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchRejected) {
+  TextTable t;
+  t.setHeader({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), CheckError);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmtPercent(0.151, 1), "15.1%");
+  EXPECT_EQ(fmtSeconds(1.5), "1.500 s");
+  EXPECT_EQ(fmtSeconds(0.0015), "1.500 ms");
+  EXPECT_EQ(fmtSeconds(0.0000015), "1.500 us");
+}
+
+} // namespace
+} // namespace motune::support

@@ -1,0 +1,177 @@
+#include "kernels/kernel.h"
+#include "machine/machine.h"
+#include "support/check.h"
+#include "tuning/evaluator.h"
+#include "tuning/kernel_problem.h"
+#include "tuning/native_evaluator.h"
+#include "tuning/search_space.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace motune::tuning {
+namespace {
+
+TEST(Boundary, ClosestToClampsAndRounds) {
+  Boundary b;
+  b.lo = {1.0, 1.0};
+  b.hi = {10.0, 5.0};
+  EXPECT_EQ(b.closestTo({3.4, 2.6}), (Config{3, 3}));
+  EXPECT_EQ(b.closestTo({-4.0, 99.0}), (Config{1, 5}));
+  EXPECT_EQ(b.closestTo({10.49, 0.51}), (Config{10, 1}));
+}
+
+TEST(Boundary, FractionalBoundsNeverEscape) {
+  Boundary b;
+  b.lo = {2.6};
+  b.hi = {2.8};
+  // Rounding 2.7 would give 3, outside [2.6, 2.8]; re-clamp to floor(hi)...
+  // which is below lo — the integer projection picks the nearest valid int.
+  const Config c = b.closestTo({2.7});
+  EXPECT_GE(static_cast<double>(c[0]), 2.0);
+  EXPECT_LE(static_cast<double>(c[0]), 3.0);
+}
+
+TEST(Boundary, ContainsAndIntersect) {
+  Boundary a;
+  a.lo = {0.0, 0.0};
+  a.hi = {10.0, 10.0};
+  Boundary b;
+  b.lo = {5.0, -5.0};
+  b.hi = {15.0, 5.0};
+  const Boundary c = a.intersect(b);
+  EXPECT_DOUBLE_EQ(c.lo[0], 5.0);
+  EXPECT_DOUBLE_EQ(c.hi[0], 10.0);
+  EXPECT_DOUBLE_EQ(c.lo[1], 0.0);
+  EXPECT_DOUBLE_EQ(c.hi[1], 5.0);
+  EXPECT_TRUE(c.contains({7, 3}));
+  EXPECT_FALSE(c.contains({4, 3}));
+}
+
+TEST(Boundary, FromSpaceAndCardinality) {
+  const std::vector<ParamSpec> space{{"a", 1, 4}, {"b", 0, 9}};
+  const Boundary b = Boundary::fromSpace(space);
+  EXPECT_DOUBLE_EQ(b.lo[0], 1.0);
+  EXPECT_DOUBLE_EQ(b.hi[1], 9.0);
+  EXPECT_DOUBLE_EQ(spaceCardinality(space), 40.0);
+}
+
+/// Toy objective function used by evaluator tests: f = (x, 10 - x).
+class ToyFn final : public ObjectiveFunction {
+public:
+  std::size_t numObjectives() const override { return 2; }
+  const std::vector<ParamSpec>& space() const override { return space_; }
+  Objectives evaluate(const Config& c) override {
+    ++calls;
+    return {static_cast<double>(c[0]), 10.0 - static_cast<double>(c[0])};
+  }
+  std::atomic<int> calls{0};
+
+private:
+  std::vector<ParamSpec> space_{{"x", 0, 10}};
+};
+
+TEST(CountingEvaluator, CountsUniqueOnly) {
+  ToyFn fn;
+  CountingEvaluator counter(fn);
+  counter.evaluate({3});
+  counter.evaluate({3});
+  counter.evaluate({4});
+  EXPECT_EQ(counter.evaluations(), 2u);
+  EXPECT_EQ(fn.calls.load(), 2);
+  counter.reset();
+  EXPECT_EQ(counter.evaluations(), 0u);
+  counter.evaluate({3});
+  EXPECT_EQ(fn.calls.load(), 3);
+}
+
+TEST(BatchEvaluator, PreservesOrderParallel) {
+  ToyFn fn;
+  runtime::ThreadPool pool(4);
+  BatchEvaluator batch(fn, pool, /*parallel=*/true);
+  std::vector<Config> configs;
+  for (std::int64_t i = 0; i <= 10; ++i) configs.push_back({i});
+  const auto out = batch.evaluateAll(configs);
+  ASSERT_EQ(out.size(), 11u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_DOUBLE_EQ(out[i][0], static_cast<double>(i));
+}
+
+TEST(KernelProblem, SpaceMatchesPaperSetup) {
+  KernelTuningProblem prob(kernels::kernelByName("mm"),
+                           machine::westmere());
+  const auto& space = prob.space();
+  ASSERT_EQ(space.size(), 4u);
+  EXPECT_EQ(space[0].hi, 700); // N/2
+  EXPECT_EQ(space[3].name, "threads");
+  EXPECT_EQ(space[3].hi, 40);
+  EXPECT_EQ(prob.numObjectives(), 2u);
+}
+
+TEST(KernelProblem, ObjectivesConsistent) {
+  KernelTuningProblem prob(kernels::kernelByName("mm"),
+                           machine::westmere());
+  const Objectives o = prob.evaluate({64, 64, 32, 10});
+  ASSERT_EQ(o.size(), 2u);
+  EXPECT_GT(o[0], 0.0);
+  EXPECT_DOUBLE_EQ(o[1], 10.0 * o[0]);
+  // Deterministic.
+  EXPECT_EQ(prob.evaluate({64, 64, 32, 10}), o);
+}
+
+TEST(KernelProblem, MoreThreadsFasterButCostlier) {
+  KernelTuningProblem prob(kernels::kernelByName("mm"),
+                           machine::westmere());
+  const Objectives serial = prob.evaluate({96, 48, 32, 1});
+  const Objectives parallel = prob.evaluate({96, 48, 32, 40});
+  EXPECT_LT(parallel[0], serial[0]);
+  EXPECT_GT(parallel[1], serial[1]);
+}
+
+TEST(KernelProblem, UntiledSerialIsTheWorstReasonableTime) {
+  KernelTuningProblem prob(kernels::kernelByName("mm"),
+                           machine::westmere(), 512);
+  const double untiled = prob.untiledSerialSeconds();
+  EXPECT_GT(untiled, prob.evaluate({64, 32, 32, 1})[0]);
+}
+
+TEST(KernelProblem, SmallProblemOverride) {
+  KernelTuningProblem prob(kernels::kernelByName("jacobi-2d"),
+                           machine::barcelona(), 128);
+  EXPECT_EQ(prob.problemSize(), 128);
+  EXPECT_EQ(prob.space()[0].hi, 63); // (N-2)/2 interior trip halved
+  const Objectives o = prob.evaluate({8, 8, 4});
+  EXPECT_GT(o[0], 0.0);
+}
+
+TEST(KernelProblem, InstantiateProducesParallelTiledProgram) {
+  KernelTuningProblem prob(kernels::kernelByName("mm"),
+                           machine::westmere(), 64);
+  const ir::Program p = prob.instantiate({8, 8, 8, 4});
+  EXPECT_TRUE(p.rootLoop().parallel);
+  EXPECT_EQ(p.rootLoop().iv, "i_t");
+}
+
+TEST(KernelProblem, RejectsMalformedConfigs) {
+  KernelTuningProblem prob(kernels::kernelByName("mm"),
+                           machine::westmere(), 64);
+  EXPECT_THROW(prob.evaluate({8, 8, 8}), support::CheckError);
+  EXPECT_THROW(prob.evaluate({0, 8, 8, 4}), support::CheckError);
+}
+
+TEST(NativeEvaluator, MeasuresRealExecution) {
+  runtime::ThreadPool pool(2);
+  NativeKernelEvaluator eval(kernels::kernelByName("mm"), 64, 2, pool,
+                             /*repetitions=*/3);
+  const Objectives o = eval.evaluate({16, 16, 16, 1});
+  ASSERT_EQ(o.size(), 2u);
+  EXPECT_GT(o[0], 0.0);
+  EXPECT_LT(o[0], 5.0); // a 64^3 mm takes far less than 5 s
+  EXPECT_DOUBLE_EQ(o[1], o[0]);
+  const Objectives o2 = eval.evaluate({16, 16, 16, 2});
+  EXPECT_DOUBLE_EQ(o2[1], 2.0 * o2[0]);
+}
+
+} // namespace
+} // namespace motune::tuning

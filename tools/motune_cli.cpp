@@ -1,0 +1,324 @@
+// motune — command-line front end to the auto-tuning framework.
+//
+//   motune list
+//       Built-in kernels and machine models.
+//   motune tune (--kernel mm | --source FILE) --machine westmere [--n 1400]
+//               [--algorithm rsgde3|gde3|nsga2|random] [--seed 1]
+//               [--objectives time,resources[,energy]] [--out FILE]
+//       Run the static optimizer on a built-in kernel or a textual kernel
+//       (see ir/parse.h for the language); print the Pareto set;
+//       optionally save a tuning artifact (JSON).
+//   motune analyze --source FILE
+//       Parse a textual kernel, print its dependences, tileable band and
+//       normalized form.
+//   motune show FILE
+//       Print a saved tuning artifact.
+//   motune codegen FILE [--out FILE.c]
+//       Emit the multi-versioned C module for a saved artifact.
+//   motune predict --kernel mm --machine westmere --tiles 64,64,32
+//                  --threads 8 [--n 1400]
+//       Cost-model breakdown for one configuration.
+#include "analyzer/dependence.h"
+#include "analyzer/region.h"
+#include "autotune/artifact.h"
+#include "autotune/autotuner.h"
+#include "autotune/backend.h"
+#include "ir/parse.h"
+#include "ir/print.h"
+#include "kernels/kernel.h"
+#include "machine/machine.h"
+#include "support/check.h"
+#include "support/table.h"
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace motune;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+Args parseArgs(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      MOTUNE_CHECK_MSG(i + 1 < argc, "missing value for --" + key);
+      args.options[key] = argv[++i];
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+machine::MachineModel machineByName(const std::string& name) {
+  if (name == "westmere") return machine::westmere();
+  if (name == "barcelona") return machine::barcelona();
+  MOTUNE_CHECK_MSG(false, "unknown machine: " + name +
+                              " (available: westmere, barcelona)");
+  return machine::westmere();
+}
+
+std::vector<std::int64_t> parseIntList(const std::string& csv) {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoll(item));
+  return out;
+}
+
+std::vector<tuning::Objective> parseObjectives(const std::string& csv) {
+  std::vector<tuning::Objective> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item == "time") out.push_back(tuning::Objective::Time);
+    else if (item == "resources") out.push_back(tuning::Objective::Resources);
+    else if (item == "energy") out.push_back(tuning::Objective::Energy);
+    else MOTUNE_CHECK_MSG(false, "unknown objective: " + item);
+  }
+  return out;
+}
+
+void printFront(const std::vector<mv::VersionMeta>& front) {
+  support::TextTable table;
+  table.setHeader({"version", "tiles", "threads", "est. time", "resources",
+                   "energy"});
+  for (std::size_t v = 0; v < front.size(); ++v) {
+    const auto& m = front[v];
+    std::string tiles = "(";
+    for (std::size_t t = 0; t < m.tileSizes.size(); ++t)
+      tiles += (t ? "," : "") + std::to_string(m.tileSizes[t]);
+    tiles += ")";
+    table.addRow({"v" + std::to_string(v), tiles, std::to_string(m.threads),
+                  support::fmtSeconds(m.timeSeconds),
+                  support::fmt(m.resources, 3) + " core-s",
+                  m.joules > 0 ? support::fmt(m.joules, 1) + " J" : "-"});
+  }
+  std::cout << table.render();
+}
+
+int cmdList() {
+  std::cout << "kernels:\n";
+  support::TextTable kt;
+  kt.setHeader({"name", "compute", "memory", "tile dims", "default N"});
+  for (const auto& k : kernels::allKernels())
+    kt.addRow({k.name, k.computeComplexity, k.memoryComplexity,
+               std::to_string(k.tileDims), std::to_string(k.paperN)});
+  std::cout << kt.render() << "\nmachines:\n";
+  support::TextTable mt;
+  mt.setHeader({"name", "cores", "L3/socket", "GHz"});
+  for (const auto& m : {machine::westmere(), machine::barcelona()})
+    mt.addRow({m.name, std::to_string(m.totalCores()),
+               std::to_string(m.caches.back().capacityBytes / 1024 / 1024) +
+                   "M",
+               support::fmt(m.freqGHz, 1)});
+  std::cout << mt.render();
+  return 0;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  MOTUNE_CHECK_MSG(in.good(), "cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Builds a KernelSpec from a textual kernel (see ir/parse.h); the problem
+/// size is baked into the source, so buildIR ignores its argument.
+kernels::KernelSpec specFromSource(const std::string& path) {
+  const std::string source = readFile(path);
+  const ir::Program probe = ir::parseProgram(source, path);
+  const analyzer::RegionInfo info = analyzer::analyzeRegion(probe);
+  MOTUNE_CHECK_MSG(info.tileableDepth >= 1 && info.outerParallelizable,
+                   "kernel in " + path + " is not tunable (no parallel "
+                   "tileable band)");
+  kernels::KernelSpec spec;
+  spec.name = path;
+  spec.tileDims = info.tileableDepth;
+  spec.computeComplexity = "user";
+  spec.memoryComplexity = "user";
+  spec.paperN = info.bandTrips.front();
+  spec.testN = info.bandTrips.front();
+  spec.buildIR = [source, path](std::int64_t) {
+    return ir::parseProgram(source, path);
+  };
+  return spec;
+}
+
+int cmdAnalyze(const Args& args) {
+  MOTUNE_CHECK_MSG(args.has("source"),
+                   "usage: motune analyze --source FILE");
+  const ir::Program p =
+      ir::parseProgram(readFile(args.options.at("source")));
+  const auto deps = analyzer::computeDependences(p);
+  std::cout << "dependences:\n";
+  if (deps->empty()) std::cout << "  (none)\n";
+  for (const auto& d : *deps) {
+    std::cout << "  " << d.array << ": (";
+    for (std::size_t i = 0; i < d.distance.size(); ++i) {
+      if (i) std::cout << ", ";
+      if (d.distance[i].isExact())
+        std::cout << d.distance[i].value;
+      else
+        std::cout << "*";
+    }
+    std::cout << ")\n";
+  }
+  const analyzer::RegionInfo info = analyzer::analyzeRegion(p);
+  std::cout << "nest depth " << info.nestDepth << ", tileable band "
+            << info.tileableDepth << ", outer parallelizable: "
+            << (info.outerParallelizable ? "yes" : "no") << "\n\n"
+            << "normalized region:\n"
+            << ir::toC(p, /*emitPragmas=*/false);
+  return 0;
+}
+
+int cmdTune(const Args& args) {
+  const kernels::KernelSpec spec =
+      args.has("source") ? specFromSource(args.options.at("source"))
+                         : kernels::kernelByName(args.get("kernel", "mm"));
+  const machine::MachineModel machine =
+      machineByName(args.get("machine", "westmere"));
+  const std::int64_t n = std::stoll(args.get("n", "0"));
+  const auto objectives =
+      parseObjectives(args.get("objectives", "time,resources"));
+
+  tuning::KernelTuningProblem problem(spec, machine, n, {}, objectives);
+
+  autotune::TunerOptions options;
+  const std::string algo = args.get("algorithm", "rsgde3");
+  if (algo == "rsgde3") options.algorithm = autotune::Algorithm::RSGDE3;
+  else if (algo == "gde3") options.algorithm = autotune::Algorithm::PlainGDE3;
+  else if (algo == "nsga2") options.algorithm = autotune::Algorithm::NSGA2;
+  else if (algo == "random") options.algorithm = autotune::Algorithm::Random;
+  else MOTUNE_CHECK_MSG(false, "unknown algorithm: " + algo);
+  options.gde3.seed = std::stoull(args.get("seed", "1"));
+  options.nsga2.seed = options.gde3.seed;
+  options.randomBudget = std::stoull(args.get("budget", "1000"));
+
+  std::cout << "tuning " << spec.name << " (N=" << problem.problemSize()
+            << ") on " << machine.name << " with " << algo << " ...\n";
+  autotune::AutoTuner tuner(options);
+  const autotune::TuningResult result = tuner.tune(problem);
+
+  std::cout << result.evaluations << " evaluations, V(S) = "
+            << support::fmt(result.hypervolume, 3) << ", "
+            << result.front.size() << " Pareto-optimal versions:\n";
+  printFront(result.front);
+
+  if (args.has("out")) {
+    autotune::saveArtifact(autotune::makeArtifact(result, problem),
+                           args.options.at("out"));
+    std::cout << "artifact written to " << args.options.at("out") << "\n";
+  }
+  return 0;
+}
+
+int cmdShow(const Args& args) {
+  MOTUNE_CHECK_MSG(!args.positional.empty(), "usage: motune show FILE");
+  const autotune::TunedArtifact a =
+      autotune::loadArtifact(args.positional.front());
+  std::cout << "kernel " << a.kernel << ", machine " << a.machineName
+            << ", N = " << a.problemSize << "\n"
+            << a.evaluations << " evaluations, V(S) = "
+            << support::fmt(a.hypervolume, 3)
+            << ", untiled serial baseline "
+            << support::fmtSeconds(a.untiledSerialSeconds) << "\n";
+  printFront(a.front);
+  return 0;
+}
+
+int cmdCodegen(const Args& args) {
+  MOTUNE_CHECK_MSG(!args.positional.empty(),
+                   "usage: motune codegen FILE [--out FILE.c]");
+  const autotune::TunedArtifact a =
+      autotune::loadArtifact(args.positional.front());
+  tuning::KernelTuningProblem problem(kernels::kernelByName(a.kernel),
+                                      machineByName(a.machineName == "Westmere"
+                                                        ? "westmere"
+                                                        : "barcelona"),
+                                      a.problemSize);
+  autotune::TuningResult result;
+  result.front = a.front;
+  const std::string module = autotune::emitMultiVersionedC(result, problem);
+  if (args.has("out")) {
+    std::ofstream out(args.options.at("out"));
+    MOTUNE_CHECK_MSG(out.good(), "cannot write " + args.options.at("out"));
+    out << module;
+    std::cout << module.size() << " bytes written to "
+              << args.options.at("out") << "\n";
+  } else {
+    std::cout << module;
+  }
+  return 0;
+}
+
+int cmdPredict(const Args& args) {
+  const auto& spec = kernels::kernelByName(args.get("kernel", "mm"));
+  const machine::MachineModel machine =
+      machineByName(args.get("machine", "westmere"));
+  const std::int64_t n = std::stoll(args.get("n", "0"));
+  tuning::KernelTuningProblem problem(spec, machine, n);
+
+  MOTUNE_CHECK_MSG(args.has("tiles") && args.has("threads"),
+                   "predict needs --tiles t1,t2[,t3] and --threads P");
+  tuning::Config config = parseIntList(args.options.at("tiles"));
+  config.push_back(std::stoll(args.options.at("threads")));
+
+  const perf::Prediction p = problem.predictFull(config);
+  support::TextTable table("prediction for " + spec.name + " on " +
+                           machine.name);
+  table.setHeader({"metric", "value"});
+  table.addRow({"wall time", support::fmtSeconds(p.seconds)});
+  table.addRow({"resources", support::fmt(p.resources, 3) + " core-s"});
+  table.addRow({"energy", support::fmt(p.joules, 1) + " J"});
+  table.addRow({"compute", support::fmtSeconds(p.computeSeconds)});
+  table.addRow({"memory", support::fmtSeconds(p.memorySeconds)});
+  table.addRow({"bandwidth bound", support::fmtSeconds(p.bandwidthSeconds)});
+  table.addRow({"imbalance", support::fmt(p.imbalance, 3)});
+  table.addRow({"DRAM traffic",
+                support::fmt(p.trafficBytes.back() / 1e6, 1) + " MB"});
+  std::cout << table.render();
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parseArgs(argc, argv);
+    if (args.command == "list") return cmdList();
+    if (args.command == "tune") return cmdTune(args);
+    if (args.command == "analyze") return cmdAnalyze(args);
+    if (args.command == "show") return cmdShow(args);
+    if (args.command == "codegen") return cmdCodegen(args);
+    if (args.command == "predict") return cmdPredict(args);
+    std::cerr << "usage: motune {list|tune|analyze|show|codegen|predict} "
+                 "[options]\n"
+                 "see the header of tools/motune_cli.cpp for details\n";
+    return args.command.empty() ? 1 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
