@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6.cpp" "CMakeFiles/bench_table6.dir/bench/bench_table6.cpp.o" "gcc" "CMakeFiles/bench_table6.dir/bench/bench_table6.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/motune_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/motune_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/autotune/CMakeFiles/motune_autotune.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/motune_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/motune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/motune_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/motune_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/motune_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/motune_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/motune_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/motune_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/motune_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/motune_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiversion/CMakeFiles/motune_multiversion.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/motune_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

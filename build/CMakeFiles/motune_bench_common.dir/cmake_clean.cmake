@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_bench_common.dir/bench/common.cpp.o"
+  "CMakeFiles/motune_bench_common.dir/bench/common.cpp.o.d"
+  "libmotune_bench_common.a"
+  "libmotune_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coscheduling.dir/coscheduling.cpp.o"
+  "CMakeFiles/coscheduling.dir/coscheduling.cpp.o.d"
+  "coscheduling"
+  "coscheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coscheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

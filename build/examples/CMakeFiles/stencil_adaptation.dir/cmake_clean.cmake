@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_adaptation.dir/stencil_adaptation.cpp.o"
+  "CMakeFiles/stencil_adaptation.dir/stencil_adaptation.cpp.o.d"
+  "stencil_adaptation"
+  "stencil_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("machine")
+subdirs("cachesim")
+subdirs("ir")
+subdirs("transform")
+subdirs("analyzer")
+subdirs("codegen")
+subdirs("multiversion")
+subdirs("runtime")
+subdirs("kernels")
+subdirs("perfmodel")
+subdirs("tuning")
+subdirs("core")
+subdirs("autotune")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzer/access.cpp" "src/analyzer/CMakeFiles/motune_analyzer.dir/access.cpp.o" "gcc" "src/analyzer/CMakeFiles/motune_analyzer.dir/access.cpp.o.d"
+  "/root/repo/src/analyzer/dependence.cpp" "src/analyzer/CMakeFiles/motune_analyzer.dir/dependence.cpp.o" "gcc" "src/analyzer/CMakeFiles/motune_analyzer.dir/dependence.cpp.o.d"
+  "/root/repo/src/analyzer/region.cpp" "src/analyzer/CMakeFiles/motune_analyzer.dir/region.cpp.o" "gcc" "src/analyzer/CMakeFiles/motune_analyzer.dir/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/motune_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/motune_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/motune_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

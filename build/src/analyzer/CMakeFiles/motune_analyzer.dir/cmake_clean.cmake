@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_analyzer.dir/access.cpp.o"
+  "CMakeFiles/motune_analyzer.dir/access.cpp.o.d"
+  "CMakeFiles/motune_analyzer.dir/dependence.cpp.o"
+  "CMakeFiles/motune_analyzer.dir/dependence.cpp.o.d"
+  "CMakeFiles/motune_analyzer.dir/region.cpp.o"
+  "CMakeFiles/motune_analyzer.dir/region.cpp.o.d"
+  "libmotune_analyzer.a"
+  "libmotune_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_autotune.dir/artifact.cpp.o"
+  "CMakeFiles/motune_autotune.dir/artifact.cpp.o.d"
+  "CMakeFiles/motune_autotune.dir/autotuner.cpp.o"
+  "CMakeFiles/motune_autotune.dir/autotuner.cpp.o.d"
+  "CMakeFiles/motune_autotune.dir/backend.cpp.o"
+  "CMakeFiles/motune_autotune.dir/backend.cpp.o.d"
+  "libmotune_autotune.a"
+  "libmotune_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/motune_cachesim.dir/cache.cpp.o.d"
+  "CMakeFiles/motune_cachesim.dir/hierarchy.cpp.o"
+  "CMakeFiles/motune_cachesim.dir/hierarchy.cpp.o.d"
+  "libmotune_cachesim.a"
+  "libmotune_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

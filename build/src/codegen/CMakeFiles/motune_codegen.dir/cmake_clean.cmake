@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_codegen.dir/cemit.cpp.o"
+  "CMakeFiles/motune_codegen.dir/cemit.cpp.o.d"
+  "libmotune_codegen.a"
+  "libmotune_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

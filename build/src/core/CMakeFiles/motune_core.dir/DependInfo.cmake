@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gde3.cpp" "src/core/CMakeFiles/motune_core.dir/gde3.cpp.o" "gcc" "src/core/CMakeFiles/motune_core.dir/gde3.cpp.o.d"
+  "/root/repo/src/core/grid_search.cpp" "src/core/CMakeFiles/motune_core.dir/grid_search.cpp.o" "gcc" "src/core/CMakeFiles/motune_core.dir/grid_search.cpp.o.d"
+  "/root/repo/src/core/hypervolume.cpp" "src/core/CMakeFiles/motune_core.dir/hypervolume.cpp.o" "gcc" "src/core/CMakeFiles/motune_core.dir/hypervolume.cpp.o.d"
+  "/root/repo/src/core/nsga2.cpp" "src/core/CMakeFiles/motune_core.dir/nsga2.cpp.o" "gcc" "src/core/CMakeFiles/motune_core.dir/nsga2.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/motune_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/motune_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/random_search.cpp" "src/core/CMakeFiles/motune_core.dir/random_search.cpp.o" "gcc" "src/core/CMakeFiles/motune_core.dir/random_search.cpp.o.d"
+  "/root/repo/src/core/roughset.cpp" "src/core/CMakeFiles/motune_core.dir/roughset.cpp.o" "gcc" "src/core/CMakeFiles/motune_core.dir/roughset.cpp.o.d"
+  "/root/repo/src/core/rsgde3.cpp" "src/core/CMakeFiles/motune_core.dir/rsgde3.cpp.o" "gcc" "src/core/CMakeFiles/motune_core.dir/rsgde3.cpp.o.d"
+  "/root/repo/src/core/testproblems.cpp" "src/core/CMakeFiles/motune_core.dir/testproblems.cpp.o" "gcc" "src/core/CMakeFiles/motune_core.dir/testproblems.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuning/CMakeFiles/motune_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/motune_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/motune_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/motune_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/motune_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/motune_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/motune_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/motune_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiversion/CMakeFiles/motune_multiversion.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/motune_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

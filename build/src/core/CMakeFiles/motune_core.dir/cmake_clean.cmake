@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_core.dir/gde3.cpp.o"
+  "CMakeFiles/motune_core.dir/gde3.cpp.o.d"
+  "CMakeFiles/motune_core.dir/grid_search.cpp.o"
+  "CMakeFiles/motune_core.dir/grid_search.cpp.o.d"
+  "CMakeFiles/motune_core.dir/hypervolume.cpp.o"
+  "CMakeFiles/motune_core.dir/hypervolume.cpp.o.d"
+  "CMakeFiles/motune_core.dir/nsga2.cpp.o"
+  "CMakeFiles/motune_core.dir/nsga2.cpp.o.d"
+  "CMakeFiles/motune_core.dir/pareto.cpp.o"
+  "CMakeFiles/motune_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/motune_core.dir/random_search.cpp.o"
+  "CMakeFiles/motune_core.dir/random_search.cpp.o.d"
+  "CMakeFiles/motune_core.dir/roughset.cpp.o"
+  "CMakeFiles/motune_core.dir/roughset.cpp.o.d"
+  "CMakeFiles/motune_core.dir/rsgde3.cpp.o"
+  "CMakeFiles/motune_core.dir/rsgde3.cpp.o.d"
+  "CMakeFiles/motune_core.dir/testproblems.cpp.o"
+  "CMakeFiles/motune_core.dir/testproblems.cpp.o.d"
+  "libmotune_core.a"
+  "libmotune_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/affine.cpp" "src/ir/CMakeFiles/motune_ir.dir/affine.cpp.o" "gcc" "src/ir/CMakeFiles/motune_ir.dir/affine.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/ir/CMakeFiles/motune_ir.dir/expr.cpp.o" "gcc" "src/ir/CMakeFiles/motune_ir.dir/expr.cpp.o.d"
+  "/root/repo/src/ir/interp.cpp" "src/ir/CMakeFiles/motune_ir.dir/interp.cpp.o" "gcc" "src/ir/CMakeFiles/motune_ir.dir/interp.cpp.o.d"
+  "/root/repo/src/ir/parse.cpp" "src/ir/CMakeFiles/motune_ir.dir/parse.cpp.o" "gcc" "src/ir/CMakeFiles/motune_ir.dir/parse.cpp.o.d"
+  "/root/repo/src/ir/print.cpp" "src/ir/CMakeFiles/motune_ir.dir/print.cpp.o" "gcc" "src/ir/CMakeFiles/motune_ir.dir/print.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/ir/CMakeFiles/motune_ir.dir/program.cpp.o" "gcc" "src/ir/CMakeFiles/motune_ir.dir/program.cpp.o.d"
+  "/root/repo/src/ir/simplify.cpp" "src/ir/CMakeFiles/motune_ir.dir/simplify.cpp.o" "gcc" "src/ir/CMakeFiles/motune_ir.dir/simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/motune_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

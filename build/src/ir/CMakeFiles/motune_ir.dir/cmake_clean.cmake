@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_ir.dir/affine.cpp.o"
+  "CMakeFiles/motune_ir.dir/affine.cpp.o.d"
+  "CMakeFiles/motune_ir.dir/expr.cpp.o"
+  "CMakeFiles/motune_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/motune_ir.dir/interp.cpp.o"
+  "CMakeFiles/motune_ir.dir/interp.cpp.o.d"
+  "CMakeFiles/motune_ir.dir/parse.cpp.o"
+  "CMakeFiles/motune_ir.dir/parse.cpp.o.d"
+  "CMakeFiles/motune_ir.dir/print.cpp.o"
+  "CMakeFiles/motune_ir.dir/print.cpp.o.d"
+  "CMakeFiles/motune_ir.dir/program.cpp.o"
+  "CMakeFiles/motune_ir.dir/program.cpp.o.d"
+  "CMakeFiles/motune_ir.dir/simplify.cpp.o"
+  "CMakeFiles/motune_ir.dir/simplify.cpp.o.d"
+  "libmotune_ir.a"
+  "libmotune_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/irbuilders.cpp" "src/kernels/CMakeFiles/motune_kernels.dir/irbuilders.cpp.o" "gcc" "src/kernels/CMakeFiles/motune_kernels.dir/irbuilders.cpp.o.d"
+  "/root/repo/src/kernels/kernel.cpp" "src/kernels/CMakeFiles/motune_kernels.dir/kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/motune_kernels.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernels/native.cpp" "src/kernels/CMakeFiles/motune_kernels.dir/native.cpp.o" "gcc" "src/kernels/CMakeFiles/motune_kernels.dir/native.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/motune_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/motune_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/motune_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiversion/CMakeFiles/motune_multiversion.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

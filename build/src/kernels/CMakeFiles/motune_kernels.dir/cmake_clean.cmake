@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_kernels.dir/irbuilders.cpp.o"
+  "CMakeFiles/motune_kernels.dir/irbuilders.cpp.o.d"
+  "CMakeFiles/motune_kernels.dir/kernel.cpp.o"
+  "CMakeFiles/motune_kernels.dir/kernel.cpp.o.d"
+  "CMakeFiles/motune_kernels.dir/native.cpp.o"
+  "CMakeFiles/motune_kernels.dir/native.cpp.o.d"
+  "libmotune_kernels.a"
+  "libmotune_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

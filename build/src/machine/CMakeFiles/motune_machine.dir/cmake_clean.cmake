@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_machine.dir/machine.cpp.o"
+  "CMakeFiles/motune_machine.dir/machine.cpp.o.d"
+  "libmotune_machine.a"
+  "libmotune_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

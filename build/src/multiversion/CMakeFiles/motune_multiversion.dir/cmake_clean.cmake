@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_multiversion.dir/version_table.cpp.o"
+  "CMakeFiles/motune_multiversion.dir/version_table.cpp.o.d"
+  "libmotune_multiversion.a"
+  "libmotune_multiversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_multiversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

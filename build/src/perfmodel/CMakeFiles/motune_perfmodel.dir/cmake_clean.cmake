@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_perfmodel.dir/costmodel.cpp.o"
+  "CMakeFiles/motune_perfmodel.dir/costmodel.cpp.o.d"
+  "CMakeFiles/motune_perfmodel.dir/footprint.cpp.o"
+  "CMakeFiles/motune_perfmodel.dir/footprint.cpp.o.d"
+  "libmotune_perfmodel.a"
+  "libmotune_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

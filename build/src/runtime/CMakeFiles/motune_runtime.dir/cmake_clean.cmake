@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_runtime.dir/parallel_for.cpp.o"
+  "CMakeFiles/motune_runtime.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/motune_runtime.dir/policy.cpp.o"
+  "CMakeFiles/motune_runtime.dir/policy.cpp.o.d"
+  "CMakeFiles/motune_runtime.dir/region.cpp.o"
+  "CMakeFiles/motune_runtime.dir/region.cpp.o.d"
+  "CMakeFiles/motune_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/motune_runtime.dir/scheduler.cpp.o.d"
+  "CMakeFiles/motune_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/motune_runtime.dir/thread_pool.cpp.o.d"
+  "libmotune_runtime.a"
+  "libmotune_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_support.dir/json.cpp.o"
+  "CMakeFiles/motune_support.dir/json.cpp.o.d"
+  "CMakeFiles/motune_support.dir/rng.cpp.o"
+  "CMakeFiles/motune_support.dir/rng.cpp.o.d"
+  "CMakeFiles/motune_support.dir/stats.cpp.o"
+  "CMakeFiles/motune_support.dir/stats.cpp.o.d"
+  "CMakeFiles/motune_support.dir/table.cpp.o"
+  "CMakeFiles/motune_support.dir/table.cpp.o.d"
+  "libmotune_support.a"
+  "libmotune_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

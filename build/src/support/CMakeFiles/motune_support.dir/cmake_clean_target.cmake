@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmotune_support.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_transform.dir/fusion.cpp.o"
+  "CMakeFiles/motune_transform.dir/fusion.cpp.o.d"
+  "CMakeFiles/motune_transform.dir/transforms.cpp.o"
+  "CMakeFiles/motune_transform.dir/transforms.cpp.o.d"
+  "libmotune_transform.a"
+  "libmotune_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

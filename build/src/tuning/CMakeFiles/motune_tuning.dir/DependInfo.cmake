@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuning/evaluator.cpp" "src/tuning/CMakeFiles/motune_tuning.dir/evaluator.cpp.o" "gcc" "src/tuning/CMakeFiles/motune_tuning.dir/evaluator.cpp.o.d"
+  "/root/repo/src/tuning/kernel_problem.cpp" "src/tuning/CMakeFiles/motune_tuning.dir/kernel_problem.cpp.o" "gcc" "src/tuning/CMakeFiles/motune_tuning.dir/kernel_problem.cpp.o.d"
+  "/root/repo/src/tuning/native_evaluator.cpp" "src/tuning/CMakeFiles/motune_tuning.dir/native_evaluator.cpp.o" "gcc" "src/tuning/CMakeFiles/motune_tuning.dir/native_evaluator.cpp.o.d"
+  "/root/repo/src/tuning/search_space.cpp" "src/tuning/CMakeFiles/motune_tuning.dir/search_space.cpp.o" "gcc" "src/tuning/CMakeFiles/motune_tuning.dir/search_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analyzer/CMakeFiles/motune_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/motune_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/motune_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/motune_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/motune_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/motune_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/motune_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiversion/CMakeFiles/motune_multiversion.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/motune_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

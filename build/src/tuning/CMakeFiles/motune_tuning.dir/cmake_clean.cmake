@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_tuning.dir/evaluator.cpp.o"
+  "CMakeFiles/motune_tuning.dir/evaluator.cpp.o.d"
+  "CMakeFiles/motune_tuning.dir/kernel_problem.cpp.o"
+  "CMakeFiles/motune_tuning.dir/kernel_problem.cpp.o.d"
+  "CMakeFiles/motune_tuning.dir/native_evaluator.cpp.o"
+  "CMakeFiles/motune_tuning.dir/native_evaluator.cpp.o.d"
+  "CMakeFiles/motune_tuning.dir/search_space.cpp.o"
+  "CMakeFiles/motune_tuning.dir/search_space.cpp.o.d"
+  "libmotune_tuning.a"
+  "libmotune_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motune_cli.dir/motune_cli.cpp.o"
+  "CMakeFiles/motune_cli.dir/motune_cli.cpp.o.d"
+  "motune"
+  "motune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
