@@ -24,6 +24,9 @@ motune_bench(bench_table4)
 motune_bench(bench_table5)
 motune_bench(bench_table6)
 motune_bench(bench_ablation)
+# CI smoke gate: emits metrics.json and diffs it against
+# bench/baselines/smoke_baseline.json (see .github/workflows/ci.yml).
+motune_bench(bench_smoke)
 
 # google-benchmark microbenchmarks of the framework's building blocks.
 add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cpp)

@@ -1,6 +1,8 @@
 #include "autotune/autotuner.h"
 
 #include "core/hypervolume.h"
+#include "observe/metrics.h"
+#include "observe/trace.h"
 #include "support/check.h"
 
 #include <algorithm>
@@ -8,12 +10,30 @@
 
 namespace motune::autotune {
 
+namespace {
+
+const char* algorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+  case Algorithm::RSGDE3: return "rsgde3";
+  case Algorithm::PlainGDE3: return "gde3";
+  case Algorithm::NSGA2: return "nsga2";
+  case Algorithm::Random: return "random";
+  case Algorithm::BruteForce: return "brute-force";
+  }
+  return "unknown";
+}
+
+} // namespace
+
 AutoTuner::AutoTuner(TunerOptions options)
     : options_(std::move(options)),
       pool_(std::make_unique<runtime::ThreadPool>(
           options_.evaluationWorkers)) {}
 
 opt::OptResult AutoTuner::optimize(tuning::ObjectiveFunction& fn) {
+  observe::Span span = observe::Tracer::global().span(
+      "autotune.optimize",
+      {{"algorithm", support::Json(algorithmName(options_.algorithm))}});
   switch (options_.algorithm) {
   case Algorithm::RSGDE3: {
     opt::RSGDE3 engine(fn, *pool_, {options_.gde3, true});
@@ -51,6 +71,8 @@ double scoreHypervolume(const std::vector<opt::Individual>& front,
 
 std::uint64_t threadSweepRefinement(tuning::KernelTuningProblem& problem,
                                     opt::OptResult& result) {
+  observe::Span span =
+      observe::Tracer::global().span("autotune.thread_sweep");
   const auto& space = problem.space();
   const std::size_t tileDims = problem.skeleton().tileDepth();
   const auto maxThreads = space.back().hi;
@@ -82,10 +104,25 @@ std::uint64_t threadSweepRefinement(tuning::KernelTuningProblem& problem,
   }
   result.front = opt::paretoFront(pool);
   result.evaluations += extra;
+  span.setAttr("tiles", support::Json(tiles.size()));
+  span.setAttr("extra_evaluations", support::Json(extra));
+  span.setAttr("front_size", support::Json(result.front.size()));
+  observe::MetricsRegistry::global()
+      .counter("tuning.sweep.evaluations")
+      .add(extra);
   return extra;
 }
 
 TuningResult AutoTuner::tune(tuning::KernelTuningProblem& problem) {
+  // The run-level span stitching the whole pipeline together: search,
+  // thread-sweep refinement, scoring. Sub-spans (rsgde3.run,
+  // gde3.generation, autotune.thread_sweep) nest beneath it.
+  observe::Span span = observe::Tracer::global().span(
+      "autotune.tune",
+      {{"kernel", support::Json(problem.kernel().name)},
+       {"machine", support::Json(problem.machine().name)},
+       {"n", support::Json(problem.problemSize())},
+       {"algorithm", support::Json(algorithmName(options_.algorithm))}});
   TuningResult out;
   out.raw = optimize(problem);
   if (options_.algorithm == Algorithm::RSGDE3 ||
@@ -138,6 +175,17 @@ TuningResult AutoTuner::tune(tuning::KernelTuningProblem& problem) {
             [](const mv::VersionMeta& a, const mv::VersionMeta& b) {
               return a.timeSeconds < b.timeSeconds;
             });
+
+  span.setAttr("evaluations", support::Json(out.evaluations));
+  span.setAttr("front_size", support::Json(out.front.size()));
+  span.setAttr("hypervolume", support::Json(out.hypervolume));
+  span.setAttr("generations", support::Json(out.raw.generations));
+  auto& metrics = observe::MetricsRegistry::global();
+  metrics.gauge("autotune.hypervolume").set(out.hypervolume);
+  metrics.gauge("autotune.evaluations")
+      .set(static_cast<double>(out.evaluations));
+  metrics.gauge("autotune.front_size")
+      .set(static_cast<double>(out.front.size()));
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "core/gde3.h"
 
+#include "observe/metrics.h"
+#include "observe/trace.h"
 #include "support/check.h"
 
 #include <algorithm>
@@ -43,6 +45,10 @@ GDE3::evaluateAll(std::vector<std::vector<double>> genomes,
 }
 
 void GDE3::initialize() {
+  observe::Span span = observe::Tracer::global().span(
+      "gde3.initialize",
+      {{"population", support::Json(options_.population)},
+       {"dims", support::Json(fullBoundary_.dims())}});
   const std::size_t dims = fullBoundary_.dims();
   std::vector<std::vector<double>> genomes;
   genomes.reserve(options_.population);
@@ -68,6 +74,8 @@ void GDE3::initialize() {
   bestHv_ = frontHypervolume();
   hvHistory_.assign(1, bestHv_);
   generations_ = 0;
+  span.setAttr("initial_hv", support::Json(bestHv_));
+  observe::MetricsRegistry::global().gauge("gde3.best_hv").set(bestHv_);
 }
 
 void GDE3::setBoundary(tuning::Boundary boundary) {
@@ -82,6 +90,7 @@ double GDE3::frontHypervolume() const {
 
 bool GDE3::step() {
   MOTUNE_CHECK_MSG(!population_.empty(), "initialize() must run first");
+  observe::Span span = observe::Tracer::global().span("gde3.generation");
   const std::size_t n = population_.size();
   const std::size_t dims = fullBoundary_.dims();
 
@@ -152,19 +161,38 @@ bool GDE3::step() {
   lastFrontConfigs_ = std::move(frontConfigs);
   const bool improved = hvImproved || frontGrew;
 
+  std::size_t immigrants = 0;
   if (!improved && options_.immigrantsOnStagnation > 0)
-    injectImmigrants(options_.immigrantsOnStagnation);
+    immigrants = injectImmigrants(options_.immigrantsOnStagnation);
+
+  // Per-generation telemetry (paper-trajectory attributes): `hv` is the
+  // best hypervolume so far (monotone non-decreasing by construction),
+  // `gen_hv` the raw population-front value of this generation.
+  span.setAttr("gen", support::Json(generations_));
+  span.setAttr("hv", support::Json(bestHv_));
+  span.setAttr("gen_hv", support::Json(hv));
+  span.setAttr("front_size", support::Json(lastFrontConfigs_.size()));
+  span.setAttr("immigrants", support::Json(immigrants));
+  span.setAttr("boundary_volume", support::Json(boundary_.volume()));
+  span.setAttr("improved", support::Json(improved));
+  auto& metrics = observe::MetricsRegistry::global();
+  metrics.counter("gde3.generations").add();
+  metrics.gauge("gde3.best_hv").set(bestHv_);
+  metrics.gauge("gde3.front_size")
+      .set(static_cast<double>(lastFrontConfigs_.size()));
+  metrics.gauge("gde3.boundary_volume").set(boundary_.volume());
+  if (immigrants > 0) metrics.counter("gde3.immigrants").add(immigrants);
   return improved;
 }
 
-void GDE3::injectImmigrants(std::size_t count) {
+std::size_t GDE3::injectImmigrants(std::size_t count) {
   // Replace dominated members (never the first front) with random samples
   // from the current boundary.
   const auto fronts = nonDominatedSort(population_);
   std::vector<std::size_t> replaceable;
   for (std::size_t f = 1; f < fronts.size(); ++f)
     for (std::size_t i : fronts[f]) replaceable.push_back(i);
-  if (replaceable.empty()) return;
+  if (replaceable.empty()) return 0;
 
   count = std::min(count, replaceable.size());
   const std::size_t dims = fullBoundary_.dims();
@@ -199,14 +227,19 @@ void GDE3::injectImmigrants(std::size_t count) {
       evaluateAll(std::move(genomes), fullBoundary_);
   for (std::size_t k = 0; k < immigrants.size(); ++k)
     population_[targets[k]] = std::move(immigrants[k]);
+  return immigrants.size();
 }
 
 OptResult GDE3::run() {
+  observe::Span span = observe::Tracer::global().span("gde3.run");
   initialize();
   int flat = 0;
   while (generations_ < options_.maxGenerations && flat < options_.noImproveLimit) {
     flat = step() ? 0 : flat + 1;
   }
+  span.setAttr("generations", support::Json(generations_));
+  span.setAttr("evaluations", support::Json(evaluations()));
+  span.setAttr("hv", support::Json(bestHv_));
   return snapshot();
 }
 

@@ -79,7 +79,8 @@ private:
   std::vector<Individual>
   evaluateAll(std::vector<std::vector<double>> genomes,
               const tuning::Boundary& projection);
-  void injectImmigrants(std::size_t count);
+  /// Returns the number of immigrants actually injected (telemetry).
+  std::size_t injectImmigrants(std::size_t count);
   double frontHypervolume() const;
 
   tuning::CountingEvaluator counter_;

@@ -1,8 +1,27 @@
 #include "core/rsgde3.h"
 
 #include "core/roughset.h"
+#include "observe/trace.h"
 
 namespace motune::opt {
+
+namespace {
+
+/// Rebuilds the reduced boundary and reports the reduction to the trace.
+void reduceAndRecord(GDE3& engine, const tuning::Boundary& full) {
+  engine.setBoundary(roughSetReduce(engine.population(), full));
+  observe::Tracer& tracer = observe::Tracer::global();
+  if (!tracer.enabled()) return;
+  const double volume = engine.boundary().volume();
+  const double fullVolume = full.volume();
+  tracer.event("roughset.reduce",
+               {{"gen", support::Json(engine.generationsDone())},
+                {"boundary_volume", support::Json(volume)},
+                {"volume_fraction",
+                 support::Json(fullVolume > 0 ? volume / fullVolume : 0.0)}});
+}
+
+} // namespace
 
 RSGDE3::RSGDE3(tuning::ObjectiveFunction& fn, runtime::ThreadPool& pool,
                RSGDE3Options options)
@@ -17,9 +36,13 @@ OptResult RSGDE3::run() {
   GDE3 engine(fn_, pool_, inner);
   const tuning::Boundary full = tuning::Boundary::fromSpace(fn_.space());
 
+  observe::Span span = observe::Tracer::global().span(
+      "rsgde3.run",
+      {{"reduction", support::Json(options_.reductionEnabled)},
+       {"max_generations", support::Json(maxGens)}});
+
   engine.initialize();
-  if (options_.reductionEnabled)
-    engine.setBoundary(roughSetReduce(engine.population(), full));
+  if (options_.reductionEnabled) reduceAndRecord(engine, full);
 
   // Loop of Fig. 4: one GDE3 generation, then rebuild the reduced search
   // space from the new population; terminate when generations stop
@@ -28,10 +51,13 @@ OptResult RSGDE3::run() {
   while (flat < options_.gde3.noImproveLimit &&
          engine.generationsDone() < maxGens) {
     flat = engine.step() ? 0 : flat + 1;
-    if (options_.reductionEnabled)
-      engine.setBoundary(roughSetReduce(engine.population(), full));
+    if (options_.reductionEnabled) reduceAndRecord(engine, full);
   }
-  return engine.snapshot();
+  OptResult result = engine.snapshot();
+  span.setAttr("generations", support::Json(result.generations));
+  span.setAttr("evaluations", support::Json(result.evaluations));
+  span.setAttr("front_size", support::Json(result.front.size()));
+  return result;
 }
 
 } // namespace motune::opt

@@ -1,0 +1,112 @@
+#include "observe/metrics.h"
+
+#include "support/table.h"
+
+namespace motune::observe {
+
+void Histogram::observe(double v) {
+  std::lock_guard lock(mutex_);
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  if (count_ > 0) {
+    s.min = min_;
+    s.max = max_;
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard lock(mutex_);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+support::Json MetricsRegistry::toJson() const {
+  support::JsonObject counters, gauges, histograms;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& [name, c] : counters_)
+      counters[name] = support::Json(c->value());
+    for (const auto& [name, g] : gauges_)
+      gauges[name] = support::Json(g->value());
+    for (const auto& [name, h] : histograms_) {
+      const Histogram::Snapshot s = h->snapshot();
+      support::JsonObject obj{{"count", support::Json(s.count)},
+                              {"sum", support::Json(s.sum)}};
+      if (s.count > 0) {
+        obj["min"] = support::Json(s.min);
+        obj["max"] = support::Json(s.max);
+        obj["mean"] = support::Json(s.mean());
+      }
+      histograms[name] = support::Json(std::move(obj));
+    }
+  }
+  return support::Json(support::JsonObject{
+      {"counters", support::Json(std::move(counters))},
+      {"gauges", support::Json(std::move(gauges))},
+      {"histograms", support::Json(std::move(histograms))}});
+}
+
+std::string MetricsRegistry::renderTable() const {
+  support::TextTable table("metrics");
+  table.setHeader({"kind", "name", "value"});
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, c] : counters_)
+    table.addRow({"counter", name, std::to_string(c->value())});
+  for (const auto& [name, g] : gauges_)
+    table.addRow({"gauge", name, support::fmt(g->value(), 6)});
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    table.addRow({"histogram", name,
+                  "n=" + std::to_string(s.count) +
+                      " mean=" + support::fmt(s.mean(), 6) +
+                      " max=" + support::fmt(s.count ? s.max : 0.0, 6)});
+  }
+  return table.render();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& entry : counters_) entry.second->reset();
+  for (auto& entry : gauges_) entry.second->reset();
+  for (auto& entry : histograms_) entry.second->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+} // namespace motune::observe

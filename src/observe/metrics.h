@@ -1,0 +1,119 @@
+// Low-overhead metric instruments for the tuning pipeline.
+//
+// Counters are monotone (unique evaluations, memo hits, region
+// invocations), gauges hold the latest value of a quantity (best
+// hypervolume, reduced-boundary volume), histograms summarize a
+// distribution (evaluation latency, region execution time). Instruments
+// are always on: recording is a relaxed atomic op (counters/gauges) or a
+// short critical section (histograms), cheap next to the work being
+// measured. A MetricsRegistry names and owns instruments; handles returned
+// by it stay valid for the registry's lifetime, so hot paths look the
+// instrument up once and keep the reference.
+#pragma once
+
+#include "support/json.h"
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace motune::observe {
+
+/// Monotone counter (reset() excepted).
+class Counter {
+public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value-wins gauge.
+class Gauge {
+public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Streaming summary of an observed distribution (count/sum/min/max).
+class Histogram {
+public:
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+
+  void observe(double v);
+  Snapshot snapshot() const;
+  void reset();
+
+private:
+  mutable std::mutex mutex_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Named instrument store. counter()/gauge()/histogram() create on first
+/// use and always return the same instrument for a name afterwards.
+class MetricsRegistry {
+public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// {"counters":{..},"gauges":{..},"histograms":{name:{count,sum,..}}}.
+  support::Json toJson() const;
+
+  /// Human-readable dump via support::TextTable.
+  std::string renderTable() const;
+
+  /// Zeroes every instrument; existing handles remain valid.
+  void reset();
+
+  /// Process-wide registry the pipeline instrumentation reports to.
+  static MetricsRegistry& global();
+
+  /// Calls `fn(name, instrument)` for each instrument of one kind, in name
+  /// order (used by Tracer::snapshotMetrics).
+  template <typename Fn> void eachCounter(Fn&& fn) const {
+    std::lock_guard lock(mutex_);
+    for (const auto& [name, c] : counters_) fn(name, *c);
+  }
+  template <typename Fn> void eachGauge(Fn&& fn) const {
+    std::lock_guard lock(mutex_);
+    for (const auto& [name, g] : gauges_) fn(name, *g);
+  }
+  template <typename Fn> void eachHistogram(Fn&& fn) const {
+    std::lock_guard lock(mutex_);
+    for (const auto& [name, h] : histograms_) fn(name, *h);
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace motune::observe

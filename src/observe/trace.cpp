@@ -1,0 +1,256 @@
+#include "observe/trace.h"
+
+#include "observe/metrics.h"
+#include "support/check.h"
+#include "support/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+namespace motune::observe {
+
+namespace {
+
+/// Per-thread stack of open spans: (tracer, span id). Nesting is resolved
+/// against the nearest open span of the SAME tracer, so independent tracers
+/// (tests) sharing a thread do not adopt each other's spans.
+struct OpenSpan {
+  const Tracer* tracer;
+  std::uint64_t id;
+};
+thread_local std::vector<OpenSpan> tlsSpanStack;
+
+} // namespace
+
+// ---------------------------------------------------------------- records
+
+const char* TraceRecord::kindName(Kind kind) {
+  switch (kind) {
+  case Kind::Span: return "span";
+  case Kind::Event: return "event";
+  case Kind::Counter: return "counter";
+  case Kind::Gauge: return "gauge";
+  case Kind::Histogram: return "histogram";
+  }
+  return "unknown";
+}
+
+support::Json TraceRecord::toJson() const {
+  support::JsonObject obj;
+  obj["type"] = kindName(kind);
+  obj["name"] = name;
+  obj["t"] = start;
+  if (kind == Kind::Span) {
+    obj["id"] = id;
+    obj["parent"] = parent;
+    obj["dur"] = duration;
+  }
+  if (!attrs.empty()) obj["attrs"] = support::Json(attrs);
+  return support::Json(std::move(obj));
+}
+
+// ------------------------------------------------------------------ sinks
+
+JsonLinesSink::JsonLinesSink(std::ostream& out) : out_(&out) {}
+
+JsonLinesSink::JsonLinesSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get()) {
+  MOTUNE_CHECK_MSG(owned_->good(), "cannot open trace file: " + path);
+}
+
+void JsonLinesSink::write(const TraceRecord& record) {
+  *out_ << record.toJson().dump(-1) << '\n';
+}
+
+void JsonLinesSink::flush() { out_->flush(); }
+
+void TableSink::write(const TraceRecord& record) {
+  records_.push_back(record);
+}
+
+void TableSink::flush() {
+  if (records_.empty()) return;
+  support::TextTable table("trace summary");
+  table.setHeader({"type", "name", "t", "dur", "attrs"});
+  for (const auto& r : records_) {
+    std::string attrs;
+    for (const auto& [key, value] : r.attrs) {
+      if (!attrs.empty()) attrs += " ";
+      attrs += key + "=" + value.dump(-1);
+    }
+    table.addRow({TraceRecord::kindName(r.kind), r.name,
+                  support::fmtSeconds(r.start),
+                  r.kind == TraceRecord::Kind::Span
+                      ? support::fmtSeconds(r.duration)
+                      : "-",
+                  attrs});
+  }
+  *out_ << table.render();
+  records_.clear();
+}
+
+void MemorySink::write(const TraceRecord& record) {
+  std::lock_guard lock(mutex_);
+  records_.push_back(record);
+}
+
+std::vector<TraceRecord> MemorySink::records() const {
+  std::lock_guard lock(mutex_);
+  return records_;
+}
+
+void MemorySink::clear() {
+  std::lock_guard lock(mutex_);
+  records_.clear();
+}
+
+// ------------------------------------------------------------------- span
+
+Span::Span(Tracer* tracer, std::string name, support::JsonObject attrs)
+    : tracer_(tracer) {
+  record_.kind = TraceRecord::Kind::Span;
+  record_.name = std::move(name);
+  record_.attrs = std::move(attrs);
+  record_.id = tracer_->nextId_.fetch_add(1, std::memory_order_relaxed);
+  record_.parent = tracer_->currentParent();
+  record_.start = tracer_->now();
+  tlsSpanStack.push_back({tracer_, record_.id});
+}
+
+Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_), record_(std::move(other.record_)) {
+  other.tracer_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    record_ = std::move(other.record_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+Span::~Span() { end(); }
+
+void Span::setAttr(const std::string& key, support::Json value) {
+  if (!tracer_) return;
+  record_.attrs[key] = std::move(value);
+}
+
+void Span::end() {
+  if (!tracer_) return;
+  tracer_->endSpan(*this);
+  tracer_ = nullptr;
+}
+
+// ----------------------------------------------------------------- tracer
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Tracer::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void Tracer::addSink(std::shared_ptr<Sink> sink) {
+  MOTUNE_CHECK(sink != nullptr);
+  std::lock_guard lock(mutex_);
+  sinks_.push_back(std::move(sink));
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::clearSinks() {
+  std::lock_guard lock(mutex_);
+  for (const auto& sink : sinks_) sink->flush();
+  sinks_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::currentParent() const {
+  for (auto it = tlsSpanStack.rbegin(); it != tlsSpanStack.rend(); ++it)
+    if (it->tracer == this) return it->id;
+  return 0;
+}
+
+Span Tracer::span(std::string name, support::JsonObject attrs) {
+  if (!enabled()) return {};
+  return Span(this, std::move(name), std::move(attrs));
+}
+
+void Tracer::event(std::string name, support::JsonObject attrs) {
+  if (!enabled()) return;
+  TraceRecord record;
+  record.kind = TraceRecord::Kind::Event;
+  record.name = std::move(name);
+  record.parent = currentParent();
+  record.start = now();
+  record.attrs = std::move(attrs);
+  emit(record);
+}
+
+void Tracer::endSpan(Span& span) {
+  span.record_.duration = now() - span.record_.start;
+  // Pop this span from the thread's stack (it is the top in disciplined
+  // RAII use; search defensively otherwise).
+  for (auto it = tlsSpanStack.rbegin(); it != tlsSpanStack.rend(); ++it) {
+    if (it->tracer == this && it->id == span.record_.id) {
+      tlsSpanStack.erase(std::next(it).base());
+      break;
+    }
+  }
+  emit(span.record_);
+}
+
+void Tracer::emit(const TraceRecord& record) {
+  std::lock_guard lock(mutex_);
+  for (const auto& sink : sinks_) sink->write(record);
+}
+
+void Tracer::snapshotMetrics(const MetricsRegistry& registry) {
+  if (!enabled()) return;
+  const double t = now();
+  auto emitKind = [&](TraceRecord::Kind kind, const std::string& name,
+                      support::JsonObject attrs) {
+    TraceRecord record;
+    record.kind = kind;
+    record.name = name;
+    record.start = t;
+    record.attrs = std::move(attrs);
+    emit(record);
+  };
+  registry.eachCounter([&](const std::string& name, const Counter& c) {
+    emitKind(TraceRecord::Kind::Counter, name,
+             {{"value", support::Json(c.value())}});
+  });
+  registry.eachGauge([&](const std::string& name, const Gauge& g) {
+    emitKind(TraceRecord::Kind::Gauge, name,
+             {{"value", support::Json(g.value())}});
+  });
+  registry.eachHistogram([&](const std::string& name, const Histogram& h) {
+    const Histogram::Snapshot s = h.snapshot();
+    support::JsonObject attrs{{"count", support::Json(s.count)},
+                              {"sum", support::Json(s.sum)}};
+    if (s.count > 0) {
+      attrs["min"] = support::Json(s.min);
+      attrs["max"] = support::Json(s.max);
+      attrs["mean"] = support::Json(s.mean());
+    }
+    emitKind(TraceRecord::Kind::Histogram, name, std::move(attrs));
+  });
+}
+
+void Tracer::flush() {
+  std::lock_guard lock(mutex_);
+  for (const auto& sink : sinks_) sink->flush();
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+} // namespace motune::observe

@@ -1,0 +1,173 @@
+// Structured tracing for the tuning pipeline.
+//
+// The paper's headline results are trajectories — hypervolume per
+// generation, evaluation counts (Table VI), runtime version-selection
+// decisions — so the pipeline emits them as structured records instead of
+// computing them internally and throwing them away. A Tracer produces
+// spans (named, timed, nested, attributed) and events (instantaneous);
+// pluggable Sinks consume the records: JSON-lines for machines (CI
+// regression gates, dashboards), a summary table for humans, an in-memory
+// buffer for tests.
+//
+// Overhead discipline: a Tracer with no sinks is disabled; span()/event()
+// then cost one relaxed atomic load and produce nothing. Instrumented code
+// therefore calls the process-wide Tracer::global() unconditionally.
+#pragma once
+
+#include "support/json.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace motune::observe {
+
+class MetricsRegistry;
+
+/// One trace record. Spans carry a duration and an id/parent pair encoding
+/// nesting; events are instantaneous; metric kinds are registry snapshots
+/// stitched into the trace at flush time.
+struct TraceRecord {
+  enum class Kind { Span, Event, Counter, Gauge, Histogram };
+
+  Kind kind = Kind::Event;
+  std::string name;
+  std::uint64_t id = 0;     ///< span id (0 for non-spans)
+  std::uint64_t parent = 0; ///< enclosing span id (0 = root)
+  double start = 0.0;       ///< seconds since the tracer's epoch
+  double duration = 0.0;    ///< span duration in seconds (0 otherwise)
+  support::JsonObject attrs;
+
+  /// JSONL line payload: {"type":..,"name":..,"t":..,...,"attrs":{..}}.
+  support::Json toJson() const;
+  static const char* kindName(Kind kind);
+};
+
+/// Consumer of trace records. Implementations must tolerate concurrent
+/// write() calls being serialized by the Tracer (the Tracer holds its sink
+/// lock around write), i.e. they need no locking of their own for that.
+class Sink {
+public:
+  virtual ~Sink() = default;
+  virtual void write(const TraceRecord& record) = 0;
+  virtual void flush() {}
+};
+
+/// Machine-readable backend: one compact JSON object per line.
+class JsonLinesSink final : public Sink {
+public:
+  explicit JsonLinesSink(std::ostream& out); ///< not owned
+  explicit JsonLinesSink(const std::string& path);
+  void write(const TraceRecord& record) override;
+  void flush() override;
+
+private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_;
+};
+
+/// Human-readable backend: buffers records and renders a support::TextTable
+/// on flush (spans with timing, then metric snapshots).
+class TableSink final : public Sink {
+public:
+  explicit TableSink(std::ostream& out) : out_(&out) {}
+  void write(const TraceRecord& record) override;
+  void flush() override;
+
+private:
+  std::ostream* out_;
+  std::vector<TraceRecord> records_;
+};
+
+/// Test/introspection backend: keeps every record.
+class MemorySink final : public Sink {
+public:
+  void write(const TraceRecord& record) override;
+  std::vector<TraceRecord> records() const;
+  void clear();
+
+private:
+  mutable std::mutex mutex_;
+  std::vector<TraceRecord> records_;
+};
+
+class Tracer;
+
+/// RAII handle for an in-flight span. Inactive (default-constructed or
+/// produced by a disabled tracer) handles no-op. End on the thread that
+/// started the span — nesting is tracked per thread.
+class Span {
+public:
+  Span() = default;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  bool active() const { return tracer_ != nullptr; }
+  std::uint64_t id() const { return record_.id; }
+
+  /// Attaches/overwrites an attribute; recorded when the span ends.
+  void setAttr(const std::string& key, support::Json value);
+
+  /// Ends the span now (destructor otherwise ends it).
+  void end();
+
+private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::string name, support::JsonObject attrs);
+
+  Tracer* tracer_ = nullptr;
+  TraceRecord record_;
+};
+
+/// Thread-safe span/event producer. Disabled until a sink is attached.
+class Tracer {
+public:
+  Tracer();
+
+  void addSink(std::shared_ptr<Sink> sink);
+  /// Flushes and detaches all sinks (tracer becomes disabled again).
+  void clearSinks();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Opens a span; the returned handle records nesting for this thread.
+  Span span(std::string name, support::JsonObject attrs = {});
+
+  /// Emits an instantaneous event under the current thread's span.
+  void event(std::string name, support::JsonObject attrs = {});
+
+  /// Stitches a snapshot of every registry instrument into the trace as
+  /// Counter/Gauge/Histogram records (run-level totals at end of run).
+  void snapshotMetrics(const MetricsRegistry& registry);
+
+  void flush();
+
+  /// Seconds since this tracer's epoch (construction time).
+  double now() const;
+
+  /// Process-wide tracer the pipeline instrumentation reports to.
+  static Tracer& global();
+
+private:
+  friend class Span;
+  void endSpan(Span& span);
+  void emit(const TraceRecord& record);
+  std::uint64_t currentParent() const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> nextId_{1};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Sink>> sinks_;
+};
+
+} // namespace motune::observe

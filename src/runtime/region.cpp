@@ -1,7 +1,10 @@
 #include "runtime/region.h"
 
+#include "observe/metrics.h"
+#include "observe/trace.h"
 #include "support/check.h"
 
+#include <chrono>
 #include <numeric>
 
 namespace motune::runtime {
@@ -13,6 +16,16 @@ Region::Region(mv::VersionTable table)
 
 std::size_t Region::invoke(const SelectionPolicy& policy) {
   const std::size_t index = policy.select(table_);
+  // Record the version-selection decision itself (which policy picked
+  // which version), not just the execution below.
+  observe::Tracer& tracer = observe::Tracer::global();
+  if (tracer.enabled())
+    tracer.event(
+        "region.select",
+        {{"policy", support::Json(policy.name())},
+         {"version", support::Json(index)},
+         {"threads", support::Json(table_[index].meta.threads)},
+         {"est_seconds", support::Json(table_[index].meta.timeSeconds)}});
   invokeVersion(index);
   return index;
 }
@@ -21,8 +34,25 @@ void Region::invokeVersion(std::size_t index) {
   MOTUNE_CHECK(index < table_.size());
   const mv::CodeVersion& version = table_[index];
   MOTUNE_CHECK_MSG(version.run != nullptr, "version has no executable body");
+  const auto begin = std::chrono::steady_clock::now();
   version.run(version.meta.threads);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
   ++counts_[index];
+  // Handles are stable; look them up once instead of per invocation.
+  static observe::Counter& invocations =
+      observe::MetricsRegistry::global().counter("runtime.region.invocations");
+  static observe::Histogram& timing =
+      observe::MetricsRegistry::global().histogram("runtime.region.seconds");
+  invocations.add();
+  timing.observe(seconds);
+  observe::Tracer& tracer = observe::Tracer::global();
+  if (tracer.enabled())
+    tracer.event("region.invoke",
+                 {{"version", support::Json(index)},
+                  {"threads", support::Json(version.meta.threads)},
+                  {"seconds", support::Json(seconds)}});
 }
 
 std::uint64_t Region::totalInvocations() const {

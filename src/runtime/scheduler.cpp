@@ -1,5 +1,7 @@
 #include "runtime/scheduler.h"
 
+#include "observe/metrics.h"
+#include "observe/trace.h"
 #include "support/check.h"
 
 #include <algorithm>
@@ -37,6 +39,13 @@ MultiRegionScheduler::MultiRegionScheduler(
 }
 
 std::vector<Placement> MultiRegionScheduler::schedule() const {
+  observe::Span span = observe::Tracer::global().span(
+      "scheduler.schedule",
+      {{"regions", support::Json(regions_.size())},
+       {"core_budget", support::Json(coreBudget_)},
+       {"goal", support::Json(goal_ == SchedulingGoal::MinimizeMakespan
+                                  ? "makespan"
+                                  : "resources")}});
   std::vector<Placement> placements;
   placements.reserve(regions_.size());
   for (std::size_t r = 0; r < regions_.size(); ++r) {
@@ -91,6 +100,22 @@ std::vector<Placement> MultiRegionScheduler::schedule() const {
     const auto& meta = (*regions_[bestRegion])[bestVersion].meta;
     placements[bestRegion] = {bestRegion, bestVersion, meta.threads,
                               meta.timeSeconds};
+  }
+
+  observe::MetricsRegistry::global().counter("scheduler.schedules").add();
+  if (span.active()) {
+    support::JsonArray chosen;
+    for (const auto& p : placements)
+      chosen.push_back(support::Json(support::JsonObject{
+          {"region", support::Json(p.regionIndex)},
+          {"version", support::Json(p.versionIndex)},
+          {"threads", support::Json(p.threads)},
+          {"est_seconds", support::Json(p.estSeconds)}}));
+    span.setAttr("placements", support::Json(std::move(chosen)));
+    span.setAttr("total_threads", support::Json(totalThreads(placements)));
+    span.setAttr("makespan", support::Json(makespan(placements)));
+    span.setAttr("total_resources",
+                 support::Json(totalResources(placements)));
   }
   return placements;
 }

@@ -3,19 +3,41 @@
 #include "runtime/parallel_for.h"
 #include "support/check.h"
 
+#include <chrono>
+
 namespace motune::tuning {
+
+CountingEvaluator::CountingEvaluator(ObjectiveFunction& inner)
+    : inner_(inner),
+      uniqueCounter_(observe::MetricsRegistry::global().counter(
+          "tuning.evaluations.unique")),
+      memoHitCounter_(observe::MetricsRegistry::global().counter(
+          "tuning.evaluations.memo_hits")),
+      latency_(observe::MetricsRegistry::global().histogram(
+          "tuning.evaluation.seconds")) {}
 
 Objectives CountingEvaluator::evaluate(const Config& config) {
   {
     std::lock_guard lock(mutex_);
     auto it = memo_.find(config);
-    if (it != memo_.end()) return it->second;
+    if (it != memo_.end()) {
+      ++memoHits_;
+      memoHitCounter_.add();
+      return it->second;
+    }
   }
+  const auto begin = std::chrono::steady_clock::now();
   Objectives obj = inner_.evaluate(config);
+  latency_.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count());
   {
     std::lock_guard lock(mutex_);
     auto [it, inserted] = memo_.emplace(config, std::move(obj));
-    if (inserted) ++evals_;
+    if (inserted) {
+      ++evals_;
+      uniqueCounter_.add();
+    }
     return it->second;
   }
 }
@@ -25,10 +47,16 @@ std::uint64_t CountingEvaluator::evaluations() const {
   return evals_;
 }
 
+std::uint64_t CountingEvaluator::memoHits() const {
+  std::lock_guard lock(mutex_);
+  return memoHits_;
+}
+
 void CountingEvaluator::reset() {
   std::lock_guard lock(mutex_);
   memo_.clear();
   evals_ = 0;
+  memoHits_ = 0;
 }
 
 std::vector<Objectives>

@@ -7,18 +7,19 @@
 //    configurations during compilation (§III.A, §IV).
 #pragma once
 
+#include "observe/metrics.h"
 #include "runtime/thread_pool.h"
 #include "tuning/kernel_problem.h"
 
 #include <cstdint>
-#include <map>
 #include <mutex>
+#include <unordered_map>
 
 namespace motune::tuning {
 
 class CountingEvaluator final : public ObjectiveFunction {
 public:
-  explicit CountingEvaluator(ObjectiveFunction& inner) : inner_(inner) {}
+  explicit CountingEvaluator(ObjectiveFunction& inner);
 
   std::size_t numObjectives() const override {
     return inner_.numObjectives();
@@ -33,13 +34,24 @@ public:
   /// as re-running an already-measured variant would be skipped).
   std::uint64_t evaluations() const;
 
+  /// Memoized lookups served without re-evaluation, since construction or
+  /// the last reset().
+  std::uint64_t memoHits() const;
+
   void reset();
 
 private:
   ObjectiveFunction& inner_;
   mutable std::mutex mutex_;
-  std::map<Config, Objectives> memo_;
+  // Hash-indexed memo: ordered-map lookups (O(log n) Config comparisons)
+  // dominate memo-heavy sweeps such as the brute-force grids.
+  std::unordered_map<Config, Objectives, ConfigHash> memo_;
   std::uint64_t evals_ = 0;
+  std::uint64_t memoHits_ = 0;
+  // Process-wide mirrors exported through the observability layer.
+  observe::Counter& uniqueCounter_;
+  observe::Counter& memoHitCounter_;
+  observe::Histogram& latency_;
 };
 
 class BatchEvaluator {

@@ -56,6 +56,13 @@ Boundary Boundary::intersect(const Boundary& other) const {
   return out;
 }
 
+double Boundary::volume() const {
+  double v = 1.0;
+  for (std::size_t i = 0; i < lo.size(); ++i)
+    v *= std::max(0.0, std::floor(hi[i]) - std::ceil(lo[i]) + 1.0);
+  return v;
+}
+
 std::string Boundary::str() const {
   std::ostringstream os;
   for (std::size_t i = 0; i < lo.size(); ++i) {

@@ -44,7 +44,25 @@ struct Boundary {
   /// midpoint of this boundary (defensive, should not happen in practice).
   Boundary intersect(const Boundary& other) const;
 
+  /// Number of integer configurations inside the boundary (saturating
+  /// double) — the observability layer reports it per generation to show
+  /// how far the rough-set reduction shrank the search space.
+  double volume() const;
+
   std::string str() const;
+};
+
+/// Hash for Config, usable with std::unordered_map (FNV-style combine).
+struct ConfigHash {
+  std::size_t operator()(const Config& c) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (std::int64_t v : c) {
+      h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
 };
 
 /// The full search-space volume (number of integer points), saturating.

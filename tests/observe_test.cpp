@@ -1,0 +1,271 @@
+#include "observe/metrics.h"
+#include "observe/trace.h"
+
+#include "core/gde3.h"
+#include "core/testproblems.h"
+#include "runtime/thread_pool.h"
+#include "support/json.h"
+#include "tuning/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace motune {
+namespace {
+
+using observe::MemorySink;
+using observe::MetricsRegistry;
+using observe::TraceRecord;
+using observe::Tracer;
+
+std::vector<TraceRecord> byName(const std::vector<TraceRecord>& records,
+                                const std::string& name) {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records)
+    if (r.name == name) out.push_back(r);
+  return out;
+}
+
+TEST(Tracer, DisabledWithoutSinks) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  observe::Span span = tracer.span("noop");
+  EXPECT_FALSE(span.active());
+  span.end(); // harmless on an inactive span
+  tracer.event("also-noop");
+}
+
+TEST(Tracer, SpanNesting) {
+  Tracer tracer;
+  auto sink = std::make_shared<MemorySink>();
+  tracer.addSink(sink);
+
+  {
+    observe::Span root = tracer.span("root");
+    ASSERT_TRUE(root.active());
+    {
+      observe::Span child = tracer.span("child");
+      observe::Span grandchild = tracer.span("grandchild");
+      EXPECT_EQ(grandchild.id(), child.id() + 1);
+      grandchild.end();
+      tracer.event("note"); // after grandchild ended -> parent is child
+    }
+    root.setAttr("k", support::Json("v"));
+  }
+
+  const auto records = sink->records();
+  ASSERT_EQ(records.size(), 4u); // grandchild, note, child, root (end order)
+
+  const auto root = byName(records, "root");
+  const auto child = byName(records, "child");
+  const auto grandchild = byName(records, "grandchild");
+  const auto note = byName(records, "note");
+  ASSERT_EQ(root.size(), 1u);
+  ASSERT_EQ(child.size(), 1u);
+  ASSERT_EQ(grandchild.size(), 1u);
+  ASSERT_EQ(note.size(), 1u);
+
+  EXPECT_EQ(root[0].parent, 0u);
+  EXPECT_EQ(child[0].parent, root[0].id);
+  EXPECT_EQ(grandchild[0].parent, child[0].id);
+  EXPECT_EQ(note[0].parent, child[0].id);
+  EXPECT_GE(child[0].duration, grandchild[0].duration);
+  EXPECT_EQ(root[0].attrs.at("k").asString(), "v");
+}
+
+TEST(Tracer, IndependentTracersDoNotAdoptEachOthersSpans) {
+  Tracer a, b;
+  auto sinkA = std::make_shared<MemorySink>();
+  auto sinkB = std::make_shared<MemorySink>();
+  a.addSink(sinkA);
+  b.addSink(sinkB);
+
+  observe::Span outer = a.span("outer-a");
+  observe::Span inner = b.span("inner-b"); // different tracer -> root span
+  inner.end();
+  outer.end();
+
+  ASSERT_EQ(sinkB->records().size(), 1u);
+  EXPECT_EQ(sinkB->records()[0].parent, 0u);
+  ASSERT_EQ(sinkA->records().size(), 1u);
+  EXPECT_EQ(sinkA->records()[0].parent, 0u);
+}
+
+TEST(Tracer, JsonLinesRoundTrip) {
+  Tracer tracer;
+  std::ostringstream out;
+  tracer.addSink(std::make_shared<observe::JsonLinesSink>(out));
+
+  {
+    observe::Span span = tracer.span(
+        "work", {{"answer", support::Json(42)}, {"ok", support::Json(true)}});
+    tracer.event("ping", {{"x", support::Json(1.5)}});
+  }
+  MetricsRegistry registry;
+  registry.counter("c").add(7);
+  registry.gauge("g").set(2.5);
+  registry.histogram("h").observe(3.0);
+  tracer.snapshotMetrics(registry);
+  tracer.flush();
+
+  std::vector<support::Json> lines;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(support::Json::parse(line));
+  ASSERT_EQ(lines.size(), 5u); // ping, work, c, g, h
+
+  EXPECT_EQ(lines[0].at("type").asString(), "event");
+  EXPECT_EQ(lines[0].at("name").asString(), "ping");
+  EXPECT_DOUBLE_EQ(lines[0].at("attrs").at("x").asNumber(), 1.5);
+
+  EXPECT_EQ(lines[1].at("type").asString(), "span");
+  EXPECT_EQ(lines[1].at("name").asString(), "work");
+  EXPECT_EQ(lines[1].at("attrs").at("answer").asInt(), 42);
+  EXPECT_TRUE(lines[1].at("attrs").at("ok").asBool());
+  EXPECT_GE(lines[1].at("dur").asNumber(), 0.0);
+
+  EXPECT_EQ(lines[2].at("type").asString(), "counter");
+  EXPECT_EQ(lines[2].at("attrs").at("value").asInt(), 7);
+  EXPECT_EQ(lines[3].at("type").asString(), "gauge");
+  EXPECT_DOUBLE_EQ(lines[3].at("attrs").at("value").asNumber(), 2.5);
+  EXPECT_EQ(lines[4].at("type").asString(), "histogram");
+  EXPECT_EQ(lines[4].at("attrs").at("count").asInt(), 1);
+  EXPECT_DOUBLE_EQ(lines[4].at("attrs").at("mean").asNumber(), 3.0);
+}
+
+TEST(Tracer, TableSinkRendersRecords) {
+  Tracer tracer;
+  std::ostringstream out;
+  tracer.addSink(std::make_shared<observe::TableSink>(out));
+  { observe::Span span = tracer.span("phase", {{"k", support::Json(1)}}); }
+  tracer.event("tick");
+  tracer.clearSinks(); // flush renders the table
+  const std::string text = out.str();
+  EXPECT_NE(text.find("phase"), std::string::npos);
+  EXPECT_NE(text.find("tick"), std::string::npos);
+  EXPECT_NE(text.find("k=1"), std::string::npos);
+}
+
+TEST(Metrics, CounterAtomicityUnderThreadPool) {
+  MetricsRegistry registry;
+  observe::Counter& counter = registry.counter("hits");
+  observe::Histogram& histogram = registry.histogram("lat");
+
+  runtime::ThreadPool pool(4);
+  constexpr int kTasks = 64;
+  constexpr int kIncrementsPerTask = 10000;
+  for (int t = 0; t < kTasks; ++t) {
+    pool.submit([&] {
+      for (int i = 0; i < kIncrementsPerTask; ++i) counter.add();
+      histogram.observe(1.0);
+    });
+  }
+  pool.wait();
+
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kTasks) * kIncrementsPerTask);
+  const observe::Histogram::Snapshot s = histogram.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kTasks));
+  EXPECT_DOUBLE_EQ(s.sum, static_cast<double>(kTasks));
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+}
+
+TEST(Metrics, RegistryJsonAndTable) {
+  MetricsRegistry registry;
+  registry.counter("a.count").add(3);
+  registry.gauge("b.gauge").set(0.5);
+  registry.histogram("c.hist").observe(2.0);
+  registry.histogram("c.hist").observe(4.0);
+
+  const support::Json json = registry.toJson();
+  EXPECT_EQ(json.at("counters").at("a.count").asInt(), 3);
+  EXPECT_DOUBLE_EQ(json.at("gauges").at("b.gauge").asNumber(), 0.5);
+  EXPECT_EQ(json.at("histograms").at("c.hist").at("count").asInt(), 2);
+  EXPECT_DOUBLE_EQ(json.at("histograms").at("c.hist").at("mean").asNumber(),
+                   3.0);
+
+  const std::string table = registry.renderTable();
+  EXPECT_NE(table.find("a.count"), std::string::npos);
+  EXPECT_NE(table.find("c.hist"), std::string::npos);
+
+  registry.reset();
+  EXPECT_EQ(registry.counter("a.count").value(), 0u);
+  EXPECT_EQ(registry.histogram("c.hist").snapshot().count, 0u);
+}
+
+TEST(Metrics, CountingEvaluatorMemoHitRate) {
+  MetricsRegistry::global().reset();
+  opt::SyntheticProblem problem = opt::makeSchaffer();
+  tuning::CountingEvaluator counting(problem);
+
+  const tuning::Config config{1234};
+  const tuning::Objectives first = counting.evaluate(config);
+  for (int i = 0; i < 9; ++i)
+    EXPECT_EQ(counting.evaluate(config), first); // memoized, bit-identical
+  counting.evaluate({777});
+
+  EXPECT_EQ(counting.evaluations(), 2u);
+  EXPECT_EQ(counting.memoHits(), 9u);
+  EXPECT_EQ(MetricsRegistry::global()
+                .counter("tuning.evaluations.unique")
+                .value(),
+            2u);
+  EXPECT_EQ(MetricsRegistry::global()
+                .counter("tuning.evaluations.memo_hits")
+                .value(),
+            9u);
+
+  counting.reset();
+  EXPECT_EQ(counting.evaluations(), 0u);
+  EXPECT_EQ(counting.memoHits(), 0u);
+}
+
+// The acceptance invariant of the observability layer, pinned as a test:
+// a traced optimizer run emits per-generation spans whose `hv` sequence is
+// monotone non-decreasing, and the final unique-evaluation counter matches
+// CountingEvaluator::evaluations() (i.e. GDE3::evaluations()) exactly.
+TEST(Observability, TracedOptimizerRunInvariants) {
+  MetricsRegistry::global().reset();
+  auto sink = std::make_shared<MemorySink>();
+  Tracer::global().addSink(sink);
+
+  opt::SyntheticProblem problem = opt::makeSchaffer();
+  runtime::ThreadPool pool(2);
+  opt::GDE3Options options;
+  options.maxGenerations = 12;
+  options.seed = 3;
+  opt::GDE3 engine(problem, pool, options);
+  const opt::OptResult result = engine.run();
+
+  Tracer::global().snapshotMetrics(MetricsRegistry::global());
+  Tracer::global().clearSinks();
+
+  const auto records = sink->records();
+  const auto generations = byName(records, "gde3.generation");
+  ASSERT_GT(generations.size(), 0u);
+  double lastHv = 0.0;
+  for (const auto& g : generations) {
+    const double hv = g.attrs.at("hv").asNumber();
+    EXPECT_GE(hv, lastHv) << "per-generation hv must be monotone";
+    lastHv = hv;
+    EXPECT_GE(g.attrs.at("boundary_volume").asNumber(), 1.0);
+    EXPECT_GE(g.attrs.at("front_size").asInt(), 1);
+  }
+
+  const auto runSpans = byName(records, "gde3.run");
+  ASSERT_EQ(runSpans.size(), 1u);
+  EXPECT_EQ(runSpans[0].attrs.at("generations").asInt(), result.generations);
+
+  const auto counters = byName(records, "tuning.evaluations.unique");
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                counters[0].attrs.at("value").asInt()),
+            engine.evaluations())
+      << "trace counter must match CountingEvaluator::evaluations()";
+  EXPECT_EQ(engine.evaluations(), result.evaluations);
+}
+
+} // namespace
+} // namespace motune

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Validate a motune JSONL trace (CI invariant gate).
+
+Checks, over the output of `motune tune --trace FILE`:
+  1. every line is a well-formed JSON object with a `type` and `name`;
+  2. the per-generation hypervolume sequence (gde3.generation spans,
+     attr `hv`) is monotone non-decreasing;
+  3. the final `tuning.evaluations.unique` counter equals the number of
+     unique configurations the search evaluated — cross-checked against
+     the sum of unique evaluations implied by the generation spans'
+     parent run span when present (`rsgde3.run` / `gde3.run` attr
+     `evaluations`).
+
+Usage: check_trace.py TRACE.jsonl
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    records = []
+    with open(sys.argv[1], encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                print(f"line {lineno}: invalid JSON: {err}", file=sys.stderr)
+                return 1
+            if "type" not in record or "name" not in record:
+                print(f"line {lineno}: missing type/name", file=sys.stderr)
+                return 1
+            records.append(record)
+    if not records:
+        print("empty trace", file=sys.stderr)
+        return 1
+
+    generations = [r for r in records
+                   if r["type"] == "span" and r["name"] == "gde3.generation"]
+    if not generations:
+        print("no gde3.generation spans in trace", file=sys.stderr)
+        return 1
+    hvs = [g["attrs"]["hv"] for g in generations]
+    for a, b in zip(hvs, hvs[1:]):
+        if b < a:
+            print(f"hypervolume not monotone: {a} -> {b}", file=sys.stderr)
+            return 1
+
+    counters = {r["name"]: r["attrs"]["value"] for r in records
+                if r["type"] == "counter"}
+    if "tuning.evaluations.unique" not in counters:
+        print("missing tuning.evaluations.unique counter", file=sys.stderr)
+        return 1
+    unique = counters["tuning.evaluations.unique"]
+
+    run_spans = [r for r in records if r["type"] == "span"
+                 and r["name"] in ("rsgde3.run", "gde3.run")]
+    for span in run_spans:
+        declared = span["attrs"].get("evaluations")
+        if declared is not None and declared != unique:
+            print(f"{span['name']} declares {declared} evaluations but the "
+                  f"unique counter is {unique}", file=sys.stderr)
+            return 1
+
+    print(f"trace ok: {len(records)} records, {len(generations)} generations, "
+          f"hv {hvs[0]:.4f} -> {hvs[-1]:.4f}, {unique} unique evaluations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

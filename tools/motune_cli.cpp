@@ -5,9 +5,14 @@
 //   motune tune (--kernel mm | --source FILE) --machine westmere [--n 1400]
 //               [--algorithm rsgde3|gde3|nsga2|random] [--seed 1]
 //               [--objectives time,resources[,energy]] [--out FILE]
+//               [--trace FILE.jsonl] [--metrics FILE.json]
 //       Run the static optimizer on a built-in kernel or a textual kernel
 //       (see ir/parse.h for the language); print the Pareto set;
 //       optionally save a tuning artifact (JSON).
+//       --trace streams the structured run trace (spans, events, final
+//       metric snapshot) as JSON lines ("-" = stdout); --metrics writes the
+//       run's metric registry (counters/gauges/histograms) as JSON.
+//       See README "Observability & CI" for the schema.
 //   motune analyze --source FILE
 //       Parse a textual kernel, print its dependences, tileable band and
 //       normalized form.
@@ -27,6 +32,8 @@
 #include "ir/print.h"
 #include "kernels/kernel.h"
 #include "machine/machine.h"
+#include "observe/metrics.h"
+#include "observe/trace.h"
 #include "support/check.h"
 #include "support/table.h"
 
@@ -216,10 +223,37 @@ int cmdTune(const Args& args) {
   options.nsga2.seed = options.gde3.seed;
   options.randomBudget = std::stoull(args.get("budget", "1000"));
 
+  // Observability: fresh per-run metrics, optional JSONL trace. The final
+  // metric snapshot is stitched into the trace so one file carries the
+  // full run record (per-generation spans + end-of-run counters).
+  observe::Tracer& tracer = observe::Tracer::global();
+  observe::MetricsRegistry& metrics = observe::MetricsRegistry::global();
+  metrics.reset();
+  if (args.has("trace")) {
+    const std::string path = args.options.at("trace");
+    tracer.addSink(path == "-"
+                       ? std::make_shared<observe::JsonLinesSink>(std::cout)
+                       : std::make_shared<observe::JsonLinesSink>(path));
+  }
+
   std::cout << "tuning " << spec.name << " (N=" << problem.problemSize()
             << ") on " << machine.name << " with " << algo << " ...\n";
   autotune::AutoTuner tuner(options);
   const autotune::TuningResult result = tuner.tune(problem);
+
+  if (args.has("trace")) {
+    tracer.snapshotMetrics(metrics);
+    tracer.clearSinks();
+    if (args.options.at("trace") != "-")
+      std::cout << "trace written to " << args.options.at("trace") << "\n";
+  }
+  if (args.has("metrics")) {
+    const std::string path = args.options.at("metrics");
+    std::ofstream out(path);
+    MOTUNE_CHECK_MSG(out.good(), "cannot write " + path);
+    out << metrics.toJson().dump(2) << "\n";
+    std::cout << "metrics written to " << path << "\n";
+  }
 
   std::cout << result.evaluations << " evaluations, V(S) = "
             << support::fmt(result.hypervolume, 3) << ", "
