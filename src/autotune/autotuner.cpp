@@ -4,6 +4,7 @@
 #include "observe/metrics.h"
 #include "observe/trace.h"
 #include "support/check.h"
+#include "tuning/validation.h"
 
 #include <algorithm>
 #include <set>
@@ -175,6 +176,50 @@ TuningResult AutoTuner::tune(tuning::KernelTuningProblem& problem) {
             [](const mv::VersionMeta& a, const mv::VersionMeta& b) {
               return a.timeSeconds < b.timeSeconds;
             });
+
+  // One event per front member so a trace alone can rebuild the Pareto
+  // table (report's "Final Pareto front" section).
+  observe::Tracer& tracer = observe::Tracer::global();
+  if (tracer.enabled()) {
+    for (const mv::VersionMeta& meta : out.front) {
+      std::string tiles;
+      for (std::int64_t t : meta.tileSizes)
+        tiles += (tiles.empty() ? "" : "x") + std::to_string(t);
+      tracer.event("autotune.front_version",
+                   {{"tiles", support::Json(tiles)},
+                    {"threads", support::Json(meta.threads)},
+                    {"time_s", support::Json(meta.timeSeconds)},
+                    {"resources", support::Json(meta.resources)},
+                    {"joules", support::Json(meta.joules)}});
+    }
+  }
+
+  if (options_.validateFront) {
+    std::vector<tuning::Config> configs;
+    for (const opt::Individual& ind : out.raw.front)
+      configs.push_back(ind.config);
+    const auto samples = tuning::validateAgainstCachesim(
+        problem.kernel(), problem.machine(), configs,
+        {options_.validateMax, 0});
+    auto& metrics = observe::MetricsRegistry::global();
+    for (const tuning::ValidationSample& s : samples) {
+      std::string configStr;
+      for (std::int64_t v : s.config)
+        configStr += (configStr.empty() ? "" : "x") + std::to_string(v);
+      metrics.histogram("tuning.validation.dram_ratio").observe(s.dramRatio);
+      if (tracer.enabled())
+        tracer.event(
+            "eval.validate",
+            {{"config", support::Json(configStr)},
+             {"n", support::Json(s.n)},
+             {"model_dram_mb", support::Json(s.modelDramBytes / 1e6)},
+             {"sim_dram_mb", support::Json(s.simDramBytes / 1e6)},
+             {"dram_ratio", support::Json(s.dramRatio)},
+             {"model_seconds", support::Json(s.modelSeconds)},
+             {"sim_seconds", support::Json(s.simSeconds)}});
+    }
+    metrics.counter("tuning.validation.samples").add(samples.size());
+  }
 
   span.setAttr("evaluations", support::Json(out.evaluations));
   span.setAttr("front_size", support::Json(out.front.size()));

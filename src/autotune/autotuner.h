@@ -38,6 +38,12 @@ struct TunerOptions {
   std::uint64_t randomBudget = 1000;
   std::optional<opt::GridSpec> grid; ///< required for BruteForce
   unsigned evaluationWorkers = 0;    ///< 0 = hardware concurrency
+  /// Replay the final front at the kernel's miniature size and compare the
+  /// analytical prediction against the cache simulator; the comparisons are
+  /// emitted as `eval.validate` trace events (`motune report` renders
+  /// them). Off by default: the simulation is trace-granular.
+  bool validateFront = false;
+  std::size_t validateMax = 8; ///< cap on simulated configurations
 };
 
 /// Tuning outcome: the Pareto set with metadata plus the comparison metrics

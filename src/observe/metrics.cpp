@@ -2,7 +2,27 @@
 
 #include "support/table.h"
 
+#include <cmath>
+
 namespace motune::observe {
+
+namespace {
+
+// DDSketch-style relative-accuracy buckets: gamma = 1.04 bounds the
+// per-bucket relative error by (gamma-1)/(gamma+1) ~ 2%.
+constexpr double kGamma = 1.04;
+const double kLogGamma = std::log(kGamma);
+
+int bucketIndex(double v) {
+  return static_cast<int>(std::ceil(std::log(v) / kLogGamma));
+}
+
+double bucketValue(int index) {
+  // Midpoint of (gamma^(i-1), gamma^i] in the relative sense.
+  return 2.0 * std::pow(kGamma, index) / (1.0 + kGamma);
+}
+
+} // namespace
 
 void Histogram::observe(double v) {
   std::lock_guard lock(mutex_);
@@ -10,6 +30,10 @@ void Histogram::observe(double v) {
   sum_ += v;
   min_ = std::min(min_, v);
   max_ = std::max(max_, v);
+  if (v > 0.0)
+    ++buckets_[bucketIndex(v)];
+  else
+    ++nonPositive_;
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -21,7 +45,27 @@ Histogram::Snapshot Histogram::snapshot() const {
     s.min = min_;
     s.max = max_;
   }
+  s.nonPositive = nonPositive_;
+  s.buckets = buckets_;
   return s;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-quantile among `count` sorted observations; the
+  // non-positive observations (all <= 0, summarized only by min) sort
+  // before every bucket.
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count - 1));
+  if (rank < nonPositive) return min;
+  std::uint64_t seen = nonPositive;
+  for (const auto& [index, n] : buckets) {
+    seen += n;
+    if (rank < seen)
+      return std::min(max, std::max(min, bucketValue(index)));
+  }
+  return max;
 }
 
 void Histogram::reset() {
@@ -30,6 +74,8 @@ void Histogram::reset() {
   sum_ = 0.0;
   min_ = std::numeric_limits<double>::infinity();
   max_ = -std::numeric_limits<double>::infinity();
+  nonPositive_ = 0;
+  buckets_.clear();
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -69,6 +115,9 @@ support::Json MetricsRegistry::toJson() const {
         obj["min"] = support::Json(s.min);
         obj["max"] = support::Json(s.max);
         obj["mean"] = support::Json(s.mean());
+        obj["p50"] = support::Json(s.p50());
+        obj["p90"] = support::Json(s.p90());
+        obj["p99"] = support::Json(s.p99());
       }
       histograms[name] = support::Json(std::move(obj));
     }

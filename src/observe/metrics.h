@@ -49,7 +49,11 @@ private:
   std::atomic<double> value_{0.0};
 };
 
-/// Streaming summary of an observed distribution (count/sum/min/max).
+/// Streaming summary of an observed distribution. Besides count/sum/min/
+/// max it keeps a log-bucketed sketch (DDSketch-style, ~2% relative error)
+/// of the positive values, so snapshots can answer quantile queries with
+/// bounded memory — evaluation latencies span orders of magnitude, which
+/// is exactly what relative-error buckets handle well.
 class Histogram {
 public:
   struct Snapshot {
@@ -57,9 +61,19 @@ public:
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+    std::uint64_t nonPositive = 0;         ///< observations <= 0
+    std::map<int, std::uint64_t> buckets;  ///< log-bucket index -> count
+
     double mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
+
+    /// Value at quantile q in [0, 1], within ~2% relative error for
+    /// positive observations (exact at the min/max ends). 0 when empty.
+    double quantile(double q) const;
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p99() const { return quantile(0.99); }
   };
 
   void observe(double v);
@@ -72,6 +86,8 @@ private:
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  std::uint64_t nonPositive_ = 0;
+  std::map<int, std::uint64_t> buckets_;
 };
 
 /// Named instrument store. counter()/gauge()/histogram() create on first

@@ -1,0 +1,130 @@
+#include "observe/ring.h"
+
+#include "observe/trace.h"
+#include "support/check.h"
+
+#include <algorithm>
+
+namespace motune::observe {
+
+const char* RuntimeEvent::kindName(Kind kind) {
+  switch (kind) {
+  case Kind::Task: return "rt.task";
+  case Kind::Idle: return "rt.idle";
+  case Kind::Chunk: return "rt.chunk";
+  case Kind::RegionInvoke: return "rt.region";
+  }
+  return "rt.unknown";
+}
+
+namespace {
+
+std::size_t roundUpPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+} // namespace
+
+EventRing::EventRing(std::uint32_t tid, std::size_t capacity)
+    : tid_(tid),
+      slots_(roundUpPow2(std::max<std::size_t>(capacity, 2))),
+      mask_(slots_.size() - 1) {}
+
+bool EventRing::tryPush(const RuntimeEvent& event) {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head - tail >= slots_.size()) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slots_[head & mask_] = event;
+  head_.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+void EventRing::drain(std::vector<RuntimeEvent>& out) {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  for (; tail != head; ++tail) out.push_back(slots_[tail & mask_]);
+  tail_.store(tail, std::memory_order_release);
+}
+
+EventRing& RuntimeLog::ring() {
+  thread_local EventRing* tlsRing = nullptr;
+  if (tlsRing == nullptr) {
+    auto fresh = std::make_shared<EventRing>(currentThreadId());
+    tlsRing = fresh.get();
+    std::lock_guard lock(mutex_);
+    rings_.push_back(std::move(fresh)); // registry keeps rings alive forever
+  }
+  return *tlsRing;
+}
+
+void RuntimeLog::drainInto(Tracer& tracer) {
+  std::vector<std::shared_ptr<EventRing>> rings;
+  {
+    std::lock_guard lock(mutex_);
+    rings = rings_;
+  }
+  std::vector<RuntimeEvent> events;
+  std::uint64_t drops = 0;
+  for (const auto& ring : rings) {
+    events.clear();
+    ring->drain(events);
+    drops += ring->drops();
+    for (const RuntimeEvent& e : events) {
+      TraceRecord record;
+      record.kind = TraceRecord::Kind::Span; // timed, but flat (parent 0)
+      record.name = RuntimeEvent::kindName(e.kind);
+      record.id = tracer.allocateId();
+      record.tid = ring->tid();
+      record.start = e.start;
+      record.duration = e.duration;
+      switch (e.kind) {
+      case RuntimeEvent::Kind::Task:
+        if (e.arg0 != 0) record.attrs["helper"] = support::Json(true);
+        break;
+      case RuntimeEvent::Kind::Idle:
+        break;
+      case RuntimeEvent::Kind::Chunk:
+        record.attrs["lo"] = support::Json(e.arg0);
+        record.attrs["hi"] = support::Json(e.arg1);
+        break;
+      case RuntimeEvent::Kind::RegionInvoke:
+        record.attrs["version"] = support::Json(e.arg0);
+        record.attrs["threads"] = support::Json(e.arg1);
+        break;
+      }
+      tracer.emitRecord(record);
+    }
+  }
+  // Always reported (even at zero): consumers assert "no silent loss".
+  TraceRecord counter;
+  counter.kind = TraceRecord::Kind::Counter;
+  counter.name = "rt.ring.dropped";
+  counter.tid = currentThreadId();
+  counter.start = tracer.now();
+  counter.attrs["value"] = support::Json(drops);
+  tracer.emitRecord(counter);
+}
+
+std::uint64_t RuntimeLog::totalDrops() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->drops();
+  return total;
+}
+
+std::size_t RuntimeLog::ringCount() const {
+  std::lock_guard lock(mutex_);
+  return rings_.size();
+}
+
+RuntimeLog& RuntimeLog::global() {
+  static RuntimeLog* log = new RuntimeLog; // leaky: workers may outlive exit
+  return *log;
+}
+
+} // namespace motune::observe

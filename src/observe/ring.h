@@ -1,0 +1,110 @@
+// Per-thread lock-free event rings for the runtime hot path.
+//
+// parallel_for chunks, pool task executions, worker idle gaps and region
+// invocations happen far too often to take the Tracer's sink mutex per
+// record. Instead every OS thread owns a fixed-size single-producer ring:
+// the hot path does two relaxed atomic loads plus a slot write, and the
+// Tracer drains all rings into its sinks at flush points (Tracer::flush /
+// clearSinks), converting each entry into a TraceRecord that carries the
+// producing thread's id. When a ring is full, records are dropped and
+// counted — the drop counter is reported into the trace on every drain, so
+// loss is never silent.
+//
+// Overhead discipline: producers only run when Tracer::global() is enabled
+// (call sites gate on that one relaxed atomic load), so the disabled-path
+// cost of the runtime instrumentation stays a single load per call site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace motune::observe {
+
+class Tracer;
+
+/// One compact runtime event. Meaning of arg0/arg1 depends on the kind.
+struct RuntimeEvent {
+  enum class Kind : std::uint8_t {
+    Task,         ///< pool task execution (arg0: 1 = run by a helping joiner)
+    Idle,         ///< worker wait between tasks
+    Chunk,        ///< parallel_for chunk (arg0 = lo, arg1 = hi)
+    RegionInvoke, ///< region version execution (arg0 = version, arg1 = threads)
+  };
+
+  Kind kind = Kind::Task;
+  double start = 0.0;    ///< Tracer::global().now() seconds
+  double duration = 0.0;
+  std::int64_t arg0 = 0;
+  std::int64_t arg1 = 0;
+
+  /// Trace record name for a kind ("rt.task", "rt.idle", ...).
+  static const char* kindName(Kind kind);
+};
+
+/// Fixed-capacity single-producer / single-consumer ring. The owning
+/// thread pushes; the drain (serialized by RuntimeLog's mutex) pops.
+/// Overflow increments a drop counter instead of blocking or tearing.
+class EventRing {
+public:
+  explicit EventRing(std::uint32_t tid, std::size_t capacity = kDefaultCapacity);
+
+  std::uint32_t tid() const { return tid_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side (owning thread only). Returns false when full (the
+  /// event is dropped and counted).
+  bool tryPush(const RuntimeEvent& event);
+
+  /// Events dropped since construction (monotone).
+  std::uint64_t drops() const {
+    return drops_.load(std::memory_order_relaxed);
+  }
+
+  /// Consumer side: pops every currently-visible event into `out` (appends;
+  /// events stay in production order). Safe to run concurrently with
+  /// tryPush, but only from one consumer at a time.
+  void drain(std::vector<RuntimeEvent>& out);
+
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+private:
+  const std::uint32_t tid_;
+  std::vector<RuntimeEvent> slots_;
+  const std::size_t mask_;
+  // head_ is written by the producer only, tail_ by the consumer only.
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> drops_{0};
+};
+
+/// Process-wide registry of per-thread rings. Leaky singleton: worker
+/// threads of static pools may outlive ordinary static destruction order.
+class RuntimeLog {
+public:
+  /// The calling thread's ring (created and registered on first use).
+  EventRing& ring();
+
+  /// Pops every ring's pending events, converts them to span records (with
+  /// thread ids) and emits them through `tracer`, followed by one
+  /// `rt.ring.dropped` counter record carrying the total drop count — the
+  /// counter is emitted even when zero, so consumers can assert that no
+  /// loss occurred.
+  void drainInto(Tracer& tracer);
+
+  /// Sum of drop counters over all rings.
+  std::uint64_t totalDrops() const;
+
+  /// Number of registered rings (threads that ever pushed).
+  std::size_t ringCount() const;
+
+  static RuntimeLog& global();
+
+private:
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<EventRing>> rings_;
+};
+
+} // namespace motune::observe

@@ -1,6 +1,7 @@
 #include "observe/trace.h"
 
 #include "observe/metrics.h"
+#include "observe/ring.h"
 #include "support/check.h"
 #include "support/table.h"
 
@@ -21,7 +22,15 @@ struct OpenSpan {
 };
 thread_local std::vector<OpenSpan> tlsSpanStack;
 
+std::atomic<std::uint32_t> nextThreadId{1};
+
 } // namespace
+
+std::uint32_t currentThreadId() {
+  thread_local const std::uint32_t tid =
+      nextThreadId.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
 
 // ---------------------------------------------------------------- records
 
@@ -41,6 +50,7 @@ support::Json TraceRecord::toJson() const {
   obj["type"] = kindName(kind);
   obj["name"] = name;
   obj["t"] = start;
+  if (tid != 0) obj["tid"] = static_cast<std::uint64_t>(tid);
   if (kind == Kind::Span) {
     obj["id"] = id;
     obj["parent"] = parent;
@@ -64,6 +74,65 @@ void JsonLinesSink::write(const TraceRecord& record) {
 }
 
 void JsonLinesSink::flush() { out_->flush(); }
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& out) : out_(&out) {
+  *out_ << "[\n";
+}
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get()) {
+  MOTUNE_CHECK_MSG(owned_->good(), "cannot open trace file: " + path);
+  *out_ << "[\n";
+}
+
+ChromeTraceSink::~ChromeTraceSink() {
+  *out_ << "\n]\n";
+  out_->flush();
+}
+
+void ChromeTraceSink::write(const TraceRecord& record) {
+  // Chrome trace events use microsecond timestamps; tid 0 (records emitted
+  // before any thread id was assigned, e.g. metric snapshots) maps to the
+  // emitting thread being unknown — displayed on tid 0's track.
+  support::JsonObject ev;
+  ev["name"] = record.name;
+  ev["pid"] = 1;
+  ev["tid"] = static_cast<std::uint64_t>(record.tid);
+  ev["ts"] = record.start * 1e6;
+  switch (record.kind) {
+  case TraceRecord::Kind::Span:
+    ev["ph"] = "X";
+    ev["dur"] = record.duration * 1e6;
+    if (!record.attrs.empty()) ev["args"] = support::Json(record.attrs);
+    break;
+  case TraceRecord::Kind::Event:
+    ev["ph"] = "i";
+    ev["s"] = "t"; // thread-scoped instant
+    if (!record.attrs.empty()) ev["args"] = support::Json(record.attrs);
+    break;
+  case TraceRecord::Kind::Counter:
+  case TraceRecord::Kind::Gauge: {
+    ev["ph"] = "C";
+    support::JsonObject args;
+    const auto it = record.attrs.find("value");
+    args["value"] = it == record.attrs.end() ? support::Json(0.0) : it->second;
+    ev["args"] = support::Json(std::move(args));
+    break;
+  }
+  case TraceRecord::Kind::Histogram:
+    // No native histogram phase; an instant with the summary as args keeps
+    // the data visible in the viewer's event pane.
+    ev["ph"] = "i";
+    ev["s"] = "g"; // global instant
+    if (!record.attrs.empty()) ev["args"] = support::Json(record.attrs);
+    break;
+  }
+  if (!first_) *out_ << ",\n";
+  first_ = false;
+  *out_ << support::Json(std::move(ev)).dump(-1);
+}
+
+void ChromeTraceSink::flush() { out_->flush(); }
 
 void TableSink::write(const TraceRecord& record) {
   records_.push_back(record);
@@ -114,6 +183,7 @@ Span::Span(Tracer* tracer, std::string name, support::JsonObject attrs)
   record_.attrs = std::move(attrs);
   record_.id = tracer_->nextId_.fetch_add(1, std::memory_order_relaxed);
   record_.parent = tracer_->currentParent();
+  record_.tid = currentThreadId();
   record_.start = tracer_->now();
   tlsSpanStack.push_back({tracer_, record_.id});
 }
@@ -148,7 +218,13 @@ void Span::end() {
 
 // ----------------------------------------------------------------- tracer
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  // The single deliberate system_clock read: every timestamp in the trace
+  // is steady (monotone); this anchor lets consumers print absolute times.
+  wallEpochUnix_ = std::chrono::duration<double>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+}
 
 double Tracer::now() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -158,12 +234,24 @@ double Tracer::now() const {
 
 void Tracer::addSink(std::shared_ptr<Sink> sink) {
   MOTUNE_CHECK(sink != nullptr);
+  // Each sink opens with the trace header, so any single output file is
+  // self-describing: the wall-clock anchor of t=0 and the clock domain.
+  TraceRecord header;
+  header.kind = TraceRecord::Kind::Event;
+  header.name = "trace.header";
+  header.tid = currentThreadId();
+  header.start = now();
+  header.attrs = {{"wall_epoch_unix", support::Json(wallEpochUnix_)},
+                  {"clock", support::Json("steady")},
+                  {"time_unit", support::Json("s")}};
   std::lock_guard lock(mutex_);
+  sink->write(header);
   sinks_.push_back(std::move(sink));
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void Tracer::clearSinks() {
+  drainRuntimeEvents();
   std::lock_guard lock(mutex_);
   for (const auto& sink : sinks_) sink->flush();
   sinks_.clear();
@@ -187,8 +275,14 @@ void Tracer::event(std::string name, support::JsonObject attrs) {
   record.kind = TraceRecord::Kind::Event;
   record.name = std::move(name);
   record.parent = currentParent();
+  record.tid = currentThreadId();
   record.start = now();
   record.attrs = std::move(attrs);
+  emit(record);
+}
+
+void Tracer::emitRecord(const TraceRecord& record) {
+  if (!enabled()) return;
   emit(record);
 }
 
@@ -218,6 +312,7 @@ void Tracer::snapshotMetrics(const MetricsRegistry& registry) {
     TraceRecord record;
     record.kind = kind;
     record.name = name;
+    record.tid = currentThreadId();
     record.start = t;
     record.attrs = std::move(attrs);
     emit(record);
@@ -238,12 +333,24 @@ void Tracer::snapshotMetrics(const MetricsRegistry& registry) {
       attrs["min"] = support::Json(s.min);
       attrs["max"] = support::Json(s.max);
       attrs["mean"] = support::Json(s.mean());
+      attrs["p50"] = support::Json(s.p50());
+      attrs["p90"] = support::Json(s.p90());
+      attrs["p99"] = support::Json(s.p99());
     }
     emitKind(TraceRecord::Kind::Histogram, name, std::move(attrs));
   });
 }
 
+void Tracer::drainRuntimeEvents() {
+  // Only the process-wide tracer owns the runtime rings: instrumented
+  // runtime code reports to Tracer::global(), so draining into a private
+  // (test) tracer would misattribute records.
+  if (this == &Tracer::global() && enabled())
+    RuntimeLog::global().drainInto(*this);
+}
+
 void Tracer::flush() {
+  drainRuntimeEvents();
   std::lock_guard lock(mutex_);
   for (const auto& sink : sinks_) sink->flush();
 }

@@ -29,6 +29,11 @@ namespace motune::observe {
 
 class MetricsRegistry;
 
+/// Small sequential id of the calling OS thread (1 = first thread that
+/// asked). Shared by spans, events and the runtime ring buffers so every
+/// trace record can be attributed to a worker.
+std::uint32_t currentThreadId();
+
 /// One trace record. Spans carry a duration and an id/parent pair encoding
 /// nesting; events are instantaneous; metric kinds are registry snapshots
 /// stitched into the trace at flush time.
@@ -39,6 +44,7 @@ struct TraceRecord {
   std::string name;
   std::uint64_t id = 0;     ///< span id (0 for non-spans)
   std::uint64_t parent = 0; ///< enclosing span id (0 = root)
+  std::uint32_t tid = 0;    ///< emitting thread (currentThreadId())
   double start = 0.0;       ///< seconds since the tracer's epoch
   double duration = 0.0;    ///< span duration in seconds (0 otherwise)
   support::JsonObject attrs;
@@ -82,6 +88,27 @@ public:
 private:
   std::ostream* out_;
   std::vector<TraceRecord> records_;
+};
+
+/// Chrome trace-event sink: emits the JSON array format understood by
+/// Perfetto / chrome://tracing. Spans become complete events (`ph:"X"`,
+/// microsecond timestamps), events become instants (`ph:"i"`), counters
+/// and gauges become counter samples (`ph:"C"`); every event carries
+/// pid/tid. The closing `]` is written on destruction (Tracer::clearSinks
+/// drops the sink); the array format tolerates a truncated tail, so a
+/// crashed run still loads.
+class ChromeTraceSink final : public Sink {
+public:
+  explicit ChromeTraceSink(std::ostream& out); ///< not owned
+  explicit ChromeTraceSink(const std::string& path);
+  ~ChromeTraceSink() override;
+  void write(const TraceRecord& record) override;
+  void flush() override;
+
+private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_;
+  bool first_ = true;
 };
 
 /// Test/introspection backend: keeps every record.
@@ -128,6 +155,11 @@ private:
 };
 
 /// Thread-safe span/event producer. Disabled until a sink is attached.
+///
+/// Clock discipline: all timestamps are steady_clock seconds since the
+/// tracer's epoch (construction time), so spans never go backwards. The
+/// wall-clock anchor is recorded exactly once per sink as a `trace.header`
+/// event (attr `wall_epoch_unix`), letting consumers print absolute times.
 class Tracer {
 public:
   Tracer();
@@ -145,10 +177,19 @@ public:
   /// Emits an instantaneous event under the current thread's span.
   void event(std::string name, support::JsonObject attrs = {});
 
+  /// Emits a pre-built record verbatim (ring-buffer drains, adapters).
+  void emitRecord(const TraceRecord& record);
+
+  /// Hands the tracer a fresh span id (ring drains synthesize spans).
+  std::uint64_t allocateId() {
+    return nextId_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Stitches a snapshot of every registry instrument into the trace as
   /// Counter/Gauge/Histogram records (run-level totals at end of run).
   void snapshotMetrics(const MetricsRegistry& registry);
 
+  /// Drains the runtime ring buffers into the sinks, then flushes them.
   void flush();
 
   /// Seconds since this tracer's epoch (construction time).
@@ -161,11 +202,13 @@ private:
   friend class Span;
   void endSpan(Span& span);
   void emit(const TraceRecord& record);
+  void drainRuntimeEvents();
   std::uint64_t currentParent() const;
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> nextId_{1};
   std::chrono::steady_clock::time_point epoch_;
+  double wallEpochUnix_ = 0.0; ///< system_clock anchor, captured once
   mutable std::mutex mutex_;
   std::vector<std::shared_ptr<Sink>> sinks_;
 };

@@ -1,5 +1,7 @@
 #include "runtime/parallel_for.h"
 
+#include "observe/ring.h"
+#include "observe/trace.h"
 #include "support/check.h"
 
 #include <atomic>
@@ -18,7 +20,21 @@ void parallelForBlocked(
   const auto nChunks = static_cast<std::int64_t>(
       std::min<std::int64_t>(threads, total));
   if (nChunks == 1) {
-    fn(begin, end);
+    // Single-chunk runs (one worker, or total == 1) execute inline on the
+    // caller; still record the chunk so single-core machines trace too.
+    observe::Tracer& tracer = observe::Tracer::global();
+    if (tracer.enabled()) {
+      observe::RuntimeEvent event;
+      event.kind = observe::RuntimeEvent::Kind::Chunk;
+      event.arg0 = begin;
+      event.arg1 = end;
+      event.start = tracer.now();
+      fn(begin, end);
+      event.duration = tracer.now() - event.start;
+      observe::RuntimeLog::global().ring().tryPush(event);
+    } else {
+      fn(begin, end);
+    }
     return;
   }
 
@@ -33,7 +49,23 @@ void parallelForBlocked(
     const std::int64_t lo = begin + c * chunk;
     const std::int64_t hi = std::min(end, lo + chunk);
     pool.submit([&, lo, hi] {
-      if (lo < hi) fn(lo, hi);
+      if (lo < hi) {
+        // One relaxed load when tracing is off; when on, each chunk's
+        // execution window lands in the executing worker's ring.
+        observe::Tracer& tracer = observe::Tracer::global();
+        if (tracer.enabled()) {
+          observe::RuntimeEvent event;
+          event.kind = observe::RuntimeEvent::Kind::Chunk;
+          event.arg0 = lo;
+          event.arg1 = hi;
+          event.start = tracer.now();
+          fn(lo, hi);
+          event.duration = tracer.now() - event.start;
+          observe::RuntimeLog::global().ring().tryPush(event);
+        } else {
+          fn(lo, hi);
+        }
+      }
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard lock(doneMutex);
         doneCv.notify_all();

@@ -1,6 +1,7 @@
 #include "runtime/region.h"
 
 #include "observe/metrics.h"
+#include "observe/ring.h"
 #include "observe/trace.h"
 #include "support/check.h"
 
@@ -34,6 +35,9 @@ void Region::invokeVersion(std::size_t index) {
   MOTUNE_CHECK(index < table_.size());
   const mv::CodeVersion& version = table_[index];
   MOTUNE_CHECK_MSG(version.run != nullptr, "version has no executable body");
+  observe::Tracer& tracer = observe::Tracer::global();
+  const bool traced = tracer.enabled(); // one relaxed load when disabled
+  const double traceStart = traced ? tracer.now() : 0.0;
   const auto begin = std::chrono::steady_clock::now();
   version.run(version.meta.threads);
   const double seconds =
@@ -47,12 +51,17 @@ void Region::invokeVersion(std::size_t index) {
       observe::MetricsRegistry::global().histogram("runtime.region.seconds");
   invocations.add();
   timing.observe(seconds);
-  observe::Tracer& tracer = observe::Tracer::global();
-  if (tracer.enabled())
-    tracer.event("region.invoke",
-                 {{"version", support::Json(index)},
-                  {"threads", support::Json(version.meta.threads)},
-                  {"seconds", support::Json(seconds)}});
+  if (traced) {
+    // Region executions ride the per-thread ring (drained at trace flush
+    // as "rt.region" spans with tid), not the locked sink path.
+    observe::RuntimeEvent event;
+    event.kind = observe::RuntimeEvent::Kind::RegionInvoke;
+    event.start = traceStart;
+    event.duration = seconds;
+    event.arg0 = static_cast<std::int64_t>(index);
+    event.arg1 = version.meta.threads;
+    observe::RuntimeLog::global().ring().tryPush(event);
+  }
 }
 
 std::uint64_t Region::totalInvocations() const {

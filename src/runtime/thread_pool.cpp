@@ -1,8 +1,27 @@
 #include "runtime/thread_pool.h"
 
+#include "observe/ring.h"
+#include "observe/trace.h"
 #include "support/check.h"
 
 namespace motune::runtime {
+
+namespace {
+
+/// Pushes one runtime event into the calling thread's ring. Callers gate
+/// on Tracer::global().enabled(), so the disabled path never reaches here.
+void recordEvent(observe::RuntimeEvent::Kind kind, double start, double end,
+                 std::int64_t arg0 = 0, std::int64_t arg1 = 0) {
+  observe::RuntimeEvent event;
+  event.kind = kind;
+  event.start = start;
+  event.duration = end - start;
+  event.arg0 = arg0;
+  event.arg1 = arg1;
+  observe::RuntimeLog::global().ring().tryPush(event);
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(unsigned workers) {
   if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
@@ -44,7 +63,18 @@ bool ThreadPool::tryRunOne() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  task();
+  // One relaxed atomic load when tracing is off (the acceptance budget for
+  // the runtime path); when on, the task execution lands in this thread's
+  // ring with arg0 = 1 marking a helping joiner rather than a pool worker.
+  observe::Tracer& tracer = observe::Tracer::global();
+  if (tracer.enabled()) {
+    const double start = tracer.now();
+    task();
+    recordEvent(observe::RuntimeEvent::Kind::Task, start, tracer.now(),
+                /*arg0=*/1);
+  } else {
+    task();
+  }
   {
     std::lock_guard lock(mutex_);
     if (--inFlight_ == 0) idle_.notify_all();
@@ -54,6 +84,9 @@ bool ThreadPool::tryRunOne() {
 
 void ThreadPool::workerLoop() {
   for (;;) {
+    observe::Tracer& tracer = observe::Tracer::global();
+    const bool traced = tracer.enabled();
+    const double waitStart = traced ? tracer.now() : 0.0;
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
@@ -62,7 +95,18 @@ void ThreadPool::workerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (traced) {
+      const double taskStart = tracer.now();
+      // The wait gap becomes an idle event only when it is long enough to
+      // matter on a timeline (>= 1us), keeping ring pressure proportional
+      // to actual idleness rather than queue throughput.
+      if (taskStart - waitStart >= 1e-6)
+        recordEvent(observe::RuntimeEvent::Kind::Idle, waitStart, taskStart);
+      task();
+      recordEvent(observe::RuntimeEvent::Kind::Task, taskStart, tracer.now());
+    } else {
+      task();
+    }
     {
       std::lock_guard lock(mutex_);
       if (--inFlight_ == 0) idle_.notify_all();

@@ -1,0 +1,66 @@
+#include "tuning/validation.h"
+
+#include "cachesim/hierarchy.h"
+#include "ir/interp.h"
+#include "observe/trace.h"
+#include "support/check.h"
+#include "tuning/kernel_problem.h"
+
+#include <algorithm>
+#include <set>
+
+namespace motune::tuning {
+
+std::vector<ValidationSample> validateAgainstCachesim(
+    const kernels::KernelSpec& kernel, const machine::MachineModel& machine,
+    const std::vector<Config>& configs, const ValidationOptions& options) {
+  const std::int64_t n = options.n > 0 ? options.n : kernel.testN;
+  MOTUNE_CHECK_MSG(n > 0, "kernel has no miniature problem size");
+  observe::Span span = observe::Tracer::global().span(
+      "tuning.validation",
+      {{"kernel", support::Json(kernel.name)}, {"n", support::Json(n)}});
+
+  // The miniature problem defines the clamped space and the model path.
+  KernelTuningProblem problem(kernel, machine, n);
+  const auto& space = problem.space();
+
+  std::vector<ValidationSample> samples;
+  std::set<Config> seen;
+  for (const Config& original : configs) {
+    if (samples.size() >= options.maxSamples) break;
+    MOTUNE_CHECK(original.size() == space.size());
+    // Clamp tiles into the miniature space; pin threads to 1 so the
+    // single-threaded simulator slice and the prediction line up.
+    Config config(space.size());
+    for (std::size_t d = 0; d < space.size(); ++d)
+      config[d] = std::clamp(original[d], space[d].lo, space[d].hi);
+    config.back() = 1;
+    if (!seen.insert(config).second) continue;
+
+    ValidationSample sample;
+    sample.config = config;
+    sample.n = n;
+
+    const perf::Prediction pred = problem.predictFull(config);
+    sample.modelSeconds = pred.seconds;
+    sample.modelDramBytes =
+        pred.trafficBytes.empty() ? 0.0 : pred.trafficBytes.back();
+
+    ir::Interpreter interp(problem.instantiate(config));
+    cachesim::Hierarchy hierarchy(machine, 1);
+    interp.setTrace([&](std::uint64_t addr, int bytes, bool isWrite) {
+      hierarchy.access(addr, bytes, isWrite);
+    });
+    interp.run();
+    sample.simDramBytes = static_cast<double>(hierarchy.dramBytes());
+    sample.simSeconds = hierarchy.totalCycles() / (machine.freqGHz * 1e9);
+    sample.dramRatio = sample.simDramBytes > 0.0
+                           ? sample.modelDramBytes / sample.simDramBytes
+                           : 0.0;
+    samples.push_back(std::move(sample));
+  }
+  span.setAttr("samples", support::Json(samples.size()));
+  return samples;
+}
+
+} // namespace motune::tuning

@@ -1,0 +1,46 @@
+// Cross-validation of the analytical cost model against the trace-driven
+// cache simulator, per sampled configuration.
+//
+// The analytical model (perfmodel/) is the reproduction's stand-in for
+// running variants on real hardware; the cache simulator (cachesim/) is the
+// independent ground truth for memory behavior. This module replays tuned
+// configurations at the kernel's miniature size (interpreter-tractable),
+// simulates their memory trace, and reports predicted-vs-simulated DRAM
+// traffic and time — the data behind `motune report`'s "cost model vs.
+// cache simulator" section and the `--validate` tuning flag.
+#pragma once
+
+#include "kernels/kernel.h"
+#include "machine/machine.h"
+#include "tuning/search_space.h"
+
+#include <vector>
+
+namespace motune::tuning {
+
+struct ValidationOptions {
+  std::size_t maxSamples = 8; ///< cap: simulation is trace-granular (slow)
+  std::int64_t n = 0;         ///< validation problem size; 0 = kernel testN
+};
+
+/// One configuration's model-vs-simulator comparison (threads fixed at 1:
+/// the simulator models one thread's private hierarchy slice).
+struct ValidationSample {
+  Config config;        ///< clamped to the validation-size search space
+  std::int64_t n = 0;   ///< problem size the comparison ran at
+  double modelDramBytes = 0.0;
+  double simDramBytes = 0.0;
+  double dramRatio = 0.0; ///< model / simulated (1.0 = perfect agreement)
+  double modelSeconds = 0.0;
+  double simSeconds = 0.0; ///< simulated access cycles / core frequency
+};
+
+/// Replays `configs` (typically a Pareto front) at the miniature problem
+/// size and compares the analytical prediction with the cache simulator.
+/// Tile sizes are clamped into the miniature space; duplicate clamped
+/// configurations are validated once. Deterministic.
+std::vector<ValidationSample> validateAgainstCachesim(
+    const kernels::KernelSpec& kernel, const machine::MachineModel& machine,
+    const std::vector<Config>& configs, const ValidationOptions& options = {});
+
+} // namespace motune::tuning

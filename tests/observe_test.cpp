@@ -1,4 +1,5 @@
 #include "observe/metrics.h"
+#include "observe/ring.h"
 #include "observe/trace.h"
 
 #include "core/gde3.h"
@@ -10,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
 
 namespace motune {
 namespace {
@@ -55,7 +57,10 @@ TEST(Tracer, SpanNesting) {
   }
 
   const auto records = sink->records();
-  ASSERT_EQ(records.size(), 4u); // grandchild, note, child, root (end order)
+  // header, then grandchild, note, child, root (span end order).
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(records[0].name, "trace.header");
+  EXPECT_GT(records[0].attrs.at("wall_epoch_unix").asNumber(), 0.0);
 
   const auto root = byName(records, "root");
   const auto child = byName(records, "child");
@@ -86,10 +91,12 @@ TEST(Tracer, IndependentTracersDoNotAdoptEachOthersSpans) {
   inner.end();
   outer.end();
 
-  ASSERT_EQ(sinkB->records().size(), 1u);
-  EXPECT_EQ(sinkB->records()[0].parent, 0u);
-  ASSERT_EQ(sinkA->records().size(), 1u);
-  EXPECT_EQ(sinkA->records()[0].parent, 0u);
+  const auto spansA = byName(sinkA->records(), "outer-a");
+  const auto spansB = byName(sinkB->records(), "inner-b");
+  ASSERT_EQ(spansB.size(), 1u);
+  EXPECT_EQ(spansB[0].parent, 0u);
+  ASSERT_EQ(spansA.size(), 1u);
+  EXPECT_EQ(spansA[0].parent, 0u);
 }
 
 TEST(Tracer, JsonLinesRoundTrip) {
@@ -113,25 +120,32 @@ TEST(Tracer, JsonLinesRoundTrip) {
   std::istringstream in(out.str());
   std::string line;
   while (std::getline(in, line)) lines.push_back(support::Json::parse(line));
-  ASSERT_EQ(lines.size(), 5u); // ping, work, c, g, h
+  ASSERT_EQ(lines.size(), 6u); // header, ping, work, c, g, h
 
   EXPECT_EQ(lines[0].at("type").asString(), "event");
-  EXPECT_EQ(lines[0].at("name").asString(), "ping");
-  EXPECT_DOUBLE_EQ(lines[0].at("attrs").at("x").asNumber(), 1.5);
+  EXPECT_EQ(lines[0].at("name").asString(), "trace.header");
+  EXPECT_EQ(lines[0].at("attrs").at("clock").asString(), "steady");
+  EXPECT_GT(lines[0].at("attrs").at("wall_epoch_unix").asNumber(), 0.0);
 
-  EXPECT_EQ(lines[1].at("type").asString(), "span");
-  EXPECT_EQ(lines[1].at("name").asString(), "work");
-  EXPECT_EQ(lines[1].at("attrs").at("answer").asInt(), 42);
-  EXPECT_TRUE(lines[1].at("attrs").at("ok").asBool());
-  EXPECT_GE(lines[1].at("dur").asNumber(), 0.0);
+  EXPECT_EQ(lines[1].at("type").asString(), "event");
+  EXPECT_EQ(lines[1].at("name").asString(), "ping");
+  EXPECT_DOUBLE_EQ(lines[1].at("attrs").at("x").asNumber(), 1.5);
+  EXPECT_GT(lines[1].at("tid").asInt(), 0);
 
-  EXPECT_EQ(lines[2].at("type").asString(), "counter");
-  EXPECT_EQ(lines[2].at("attrs").at("value").asInt(), 7);
-  EXPECT_EQ(lines[3].at("type").asString(), "gauge");
-  EXPECT_DOUBLE_EQ(lines[3].at("attrs").at("value").asNumber(), 2.5);
-  EXPECT_EQ(lines[4].at("type").asString(), "histogram");
-  EXPECT_EQ(lines[4].at("attrs").at("count").asInt(), 1);
-  EXPECT_DOUBLE_EQ(lines[4].at("attrs").at("mean").asNumber(), 3.0);
+  EXPECT_EQ(lines[2].at("type").asString(), "span");
+  EXPECT_EQ(lines[2].at("name").asString(), "work");
+  EXPECT_EQ(lines[2].at("attrs").at("answer").asInt(), 42);
+  EXPECT_TRUE(lines[2].at("attrs").at("ok").asBool());
+  EXPECT_GE(lines[2].at("dur").asNumber(), 0.0);
+
+  EXPECT_EQ(lines[3].at("type").asString(), "counter");
+  EXPECT_EQ(lines[3].at("attrs").at("value").asInt(), 7);
+  EXPECT_EQ(lines[4].at("type").asString(), "gauge");
+  EXPECT_DOUBLE_EQ(lines[4].at("attrs").at("value").asNumber(), 2.5);
+  EXPECT_EQ(lines[5].at("type").asString(), "histogram");
+  EXPECT_EQ(lines[5].at("attrs").at("count").asInt(), 1);
+  EXPECT_DOUBLE_EQ(lines[5].at("attrs").at("mean").asNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(lines[5].at("attrs").at("p50").asNumber(), 3.0);
 }
 
 TEST(Tracer, TableSinkRendersRecords) {
@@ -145,6 +159,140 @@ TEST(Tracer, TableSinkRendersRecords) {
   EXPECT_NE(text.find("phase"), std::string::npos);
   EXPECT_NE(text.find("tick"), std::string::npos);
   EXPECT_NE(text.find("k=1"), std::string::npos);
+}
+
+TEST(EventRing, KeepsEveryRecordBelowCapacityUnderContention) {
+  // Producer pushes fewer events than the ring holds while the consumer
+  // drains concurrently: nothing may be lost, torn, or reordered.
+  constexpr std::uint64_t kEvents = 2000;
+  observe::EventRing ring(/*tid=*/7, /*capacity=*/2048);
+  ASSERT_GE(ring.capacity(), kEvents);
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      observe::RuntimeEvent e;
+      e.kind = observe::RuntimeEvent::Kind::Chunk;
+      e.start = static_cast<double>(i);
+      e.duration = 0.5;
+      e.arg0 = static_cast<std::int64_t>(i);
+      e.arg1 = -static_cast<std::int64_t>(i);
+      ASSERT_TRUE(ring.tryPush(e));
+    }
+  });
+
+  std::vector<observe::RuntimeEvent> received;
+  while (received.size() < kEvents) ring.drain(received);
+  producer.join();
+  ring.drain(received);
+
+  ASSERT_EQ(received.size(), kEvents);
+  EXPECT_EQ(ring.drops(), 0u);
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    // Torn records would break the arg0 == -arg1 pairing or the order.
+    EXPECT_EQ(received[i].arg0, static_cast<std::int64_t>(i));
+    EXPECT_EQ(received[i].arg1, -static_cast<std::int64_t>(i));
+    EXPECT_DOUBLE_EQ(received[i].start, static_cast<double>(i));
+    EXPECT_EQ(received[i].kind, observe::RuntimeEvent::Kind::Chunk);
+  }
+}
+
+TEST(EventRing, CountsDropsAboveCapacityExactly) {
+  observe::EventRing ring(/*tid=*/1, /*capacity=*/8);
+  observe::RuntimeEvent e;
+  for (int i = 0; i < 20; ++i) ring.tryPush(e);
+  EXPECT_EQ(ring.drops(), 12u); // 8 kept, the rest counted, none blocked
+
+  std::vector<observe::RuntimeEvent> out;
+  ring.drain(out);
+  EXPECT_EQ(out.size(), 8u);
+  // Space reclaimed: pushes succeed again and the counter stays put.
+  EXPECT_TRUE(ring.tryPush(e));
+  EXPECT_EQ(ring.drops(), 12u);
+}
+
+TEST(ChromeTraceSink, EmitsParsableTraceEventArray) {
+  Tracer tracer;
+  std::ostringstream out;
+  tracer.addSink(std::make_shared<observe::ChromeTraceSink>(out));
+  {
+    observe::Span span = tracer.span("work", {{"k", support::Json(1)}});
+    tracer.event("tick");
+  }
+  MetricsRegistry registry;
+  registry.counter("evals").add(3);
+  tracer.snapshotMetrics(registry);
+  tracer.clearSinks(); // drops the sink -> the closing "]" is written
+
+  const support::Json doc = support::Json::parse(out.str());
+  ASSERT_EQ(doc.kind(), support::Json::Kind::Array);
+  ASSERT_EQ(doc.size(), 4u); // header, tick, work, evals
+
+  EXPECT_EQ(doc[0].at("name").asString(), "trace.header");
+  EXPECT_EQ(doc[0].at("ph").asString(), "i");
+
+  EXPECT_EQ(doc[1].at("name").asString(), "tick");
+  EXPECT_EQ(doc[1].at("ph").asString(), "i");
+  EXPECT_GT(doc[1].at("tid").asInt(), 0);
+
+  EXPECT_EQ(doc[2].at("name").asString(), "work");
+  EXPECT_EQ(doc[2].at("ph").asString(), "X"); // complete event
+  EXPECT_EQ(doc[2].at("pid").asInt(), 1);
+  EXPECT_GE(doc[2].at("dur").asNumber(), 0.0); // microseconds
+  EXPECT_EQ(doc[2].at("args").at("k").asInt(), 1);
+
+  EXPECT_EQ(doc[3].at("name").asString(), "evals");
+  EXPECT_EQ(doc[3].at("ph").asString(), "C"); // counter track
+  EXPECT_EQ(doc[3].at("args").at("value").asInt(), 3);
+}
+
+TEST(Metrics, HistogramQuantilesPinnedOnKnownDistribution) {
+  MetricsRegistry registry;
+  observe::Histogram& h = registry.histogram("lat");
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+
+  const observe::Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.count, 1000u);
+  // The log-bucketed sketch guarantees ~2% relative error (gamma = 1.04).
+  EXPECT_NEAR(s.quantile(0.50), 500.0, 0.025 * 500.0);
+  EXPECT_NEAR(s.p50(), s.quantile(0.50), 1e-12);
+  EXPECT_NEAR(s.p90(), 900.0, 0.025 * 900.0);
+  EXPECT_NEAR(s.p99(), 990.0, 0.025 * 990.0);
+  // Extremes clamp to the exactly-tracked min/max.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1000.0);
+}
+
+TEST(Metrics, HistogramQuantileHandlesNonPositiveValues) {
+  MetricsRegistry registry;
+  observe::Histogram& h = registry.histogram("mixed");
+  h.observe(0.0);
+  h.observe(0.0);
+  h.observe(10.0);
+  h.observe(10.0);
+  const observe::Histogram::Snapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);  // non-positive ranks -> min
+  EXPECT_NEAR(s.quantile(0.9), 10.0, 0.25);
+}
+
+TEST(RuntimeLog, DrainsRingEventsWithThreadIdsAndDropCounter) {
+  auto sink = std::make_shared<MemorySink>();
+  Tracer::global().addSink(sink);
+
+  runtime::ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) pool.submit([] {});
+  pool.wait();
+  Tracer::global().clearSinks(); // drains the rings into the sink
+
+  const auto records = sink->records();
+  const auto tasks = byName(records, "rt.task");
+  ASSERT_GE(tasks.size(), 8u);
+  for (const auto& t : tasks) {
+    EXPECT_GT(t.tid, 0u) << "ring records must carry the producing thread";
+    EXPECT_GE(t.duration, 0.0);
+  }
+  const auto drops = byName(records, "rt.ring.dropped");
+  ASSERT_EQ(drops.size(), 1u) << "drop counter must be reported every drain";
+  EXPECT_EQ(drops[0].attrs.at("value").asInt(), 0);
 }
 
 TEST(Metrics, CounterAtomicityUnderThreadPool) {

@@ -1,0 +1,155 @@
+#include "observe/report.h"
+
+#include "support/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace motune::observe {
+namespace {
+
+std::string dataPath(const std::string& name) {
+  return std::string(MOTUNE_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Report, BuildsEverySectionFromMiniTrace) {
+  const auto records = parseTraceFile(dataPath("mini_trace.jsonl"));
+  ASSERT_EQ(records.size(), 20u);
+  const Report report = buildReport(records);
+
+  EXPECT_DOUBLE_EQ(report.wallEpochUnix, 1754000000.0);
+
+  // Self-time attribution: autotune.tune (0.1) minus rsgde3.run (0.08)
+  // leaves 0.02 self; rsgde3.run minus its three generations likewise.
+  double tuneSelf = -1.0, runSelf = -1.0, genSelf = -1.0;
+  for (const auto& s : report.hotSpans) {
+    if (s.name == "autotune.tune") tuneSelf = s.selfSeconds;
+    if (s.name == "rsgde3.run") runSelf = s.selfSeconds;
+    if (s.name == "gde3.generation") genSelf = s.selfSeconds;
+  }
+  EXPECT_NEAR(tuneSelf, 0.02, 1e-12);
+  EXPECT_NEAR(runSelf, 0.02, 1e-12);
+  EXPECT_NEAR(genSelf, 0.06, 1e-12); // 3 generations x 0.02, all leaf time
+
+  // Collapsed stacks carry full root-to-leaf paths in microseconds.
+  EXPECT_NE(report.collapsedStacks.find(
+                "autotune.tune;rsgde3.run;gde3.generation 60000"),
+            std::string::npos);
+  EXPECT_NE(report.collapsedStacks.find("rt.region 24000"),
+            std::string::npos);
+
+  // Convergence: hv 0.5 -> 0.6 is an 20% gain, far above the 0.2% stall
+  // threshold.
+  ASSERT_EQ(report.convergence.size(), 3u);
+  EXPECT_EQ(report.convergence.front().gen, 0);
+  EXPECT_DOUBLE_EQ(report.convergence.back().bestHv, 0.6);
+  EXPECT_EQ(report.convergence.back().immigrants, 5);
+  EXPECT_FALSE(report.stall.stalled);
+  EXPECT_NEAR(report.stall.totalImprovement, 0.2, 1e-12);
+  EXPECT_EQ(report.stall.flatTail, 0);
+
+  // Front, evaluator, selection, validation, thread sections.
+  ASSERT_EQ(report.front.size(), 2u);
+  EXPECT_EQ(report.front[0].at("tiles").asString(), "16x16x8");
+  EXPECT_EQ(report.uniqueEvaluations, 100u);
+  EXPECT_EQ(report.memoHits, 50u);
+  EXPECT_NEAR(report.memoHitRate, 50.0 / 150.0, 1e-12);
+  EXPECT_DOUBLE_EQ(report.evalLatency.at("p90").asNumber(), 0.002);
+  ASSERT_EQ(report.selectionsByPolicy.size(), 1u);
+  EXPECT_EQ(report.selectionsByPolicy.at("weighted(0.7,0.3)").at(0), 2u);
+  EXPECT_EQ(report.invocations.at(0), 2u);
+  ASSERT_EQ(report.validations.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.validations[0].at("dram_ratio").asNumber(), 1.25);
+  ASSERT_EQ(report.threads.size(), 2u); // tids 2 and 3
+  EXPECT_EQ(report.threads[0].tid, 2u);
+  EXPECT_EQ(report.threads[0].regions, 2u);
+  EXPECT_NEAR(report.threads[0].busySeconds, 0.024, 1e-12);
+  EXPECT_EQ(report.threads[1].tasks, 1u);
+  EXPECT_EQ(report.threads[1].chunks, 1u);
+  EXPECT_NEAR(report.threads[1].idleSeconds, 0.002, 1e-12);
+  EXPECT_TRUE(report.sawRingDropCounter);
+  EXPECT_EQ(report.ringDrops, 0u);
+}
+
+TEST(Report, StallDetectorFiresOnFlatTrajectoryOnly) {
+  auto generation = [](std::int64_t gen, double hv) {
+    TraceRecord r;
+    r.kind = TraceRecord::Kind::Span;
+    r.name = "gde3.generation";
+    r.id = static_cast<std::uint64_t>(gen) + 1;
+    r.attrs = {{"gen", support::Json(gen)}, {"hv", support::Json(hv)}};
+    return r;
+  };
+
+  // Flat run: 0.1% total gain over 8 generations -> stalled.
+  std::vector<TraceRecord> flat;
+  for (int g = 0; g < 8; ++g)
+    flat.push_back(generation(g, 0.5 + 0.0000625 * g));
+  const Report stalled = buildReport(flat);
+  EXPECT_TRUE(stalled.stall.stalled);
+  EXPECT_NE(stalled.stall.verdict.find("STALLED"), std::string::npos);
+
+  // Healthy run ending in a flat tail (GDE3's no-improvement termination
+  // means every good run ends flat) must NOT trip the detector.
+  std::vector<TraceRecord> healthy;
+  for (int g = 0; g < 8; ++g)
+    healthy.push_back(generation(g, g < 3 ? 0.4 + 0.1 * g : 0.6));
+  const Report converged = buildReport(healthy);
+  EXPECT_FALSE(converged.stall.stalled);
+  EXPECT_EQ(converged.stall.flatTail, 5);
+}
+
+TEST(Report, JsonRenderingRoundTrips) {
+  const auto records = parseTraceFile(dataPath("mini_trace.jsonl"));
+  const Report report = buildReport(records);
+  const support::Json json = reportToJson(report);
+  // dump + parse round trip, then spot-check the sections.
+  const support::Json parsed = support::Json::parse(json.dump(2));
+  EXPECT_EQ(parsed.at("records").asInt(), 20);
+  EXPECT_FALSE(parsed.at("stall").at("stalled").asBool());
+  EXPECT_EQ(parsed.at("evaluator").at("unique").asInt(), 100);
+  EXPECT_EQ(parsed.at("front").size(), 2u);
+  EXPECT_EQ(parsed.at("selections").at("weighted(0.7,0.3)").at("v0").asInt(),
+            2);
+  EXPECT_EQ(parsed.at("ring_drops").asInt(), 0);
+}
+
+// Golden-output test: the markdown for the checked-in miniature trace is
+// pinned byte-for-byte. Regenerate deliberately after format changes with
+//   MOTUNE_REGEN_GOLDEN=1 ./report_test
+TEST(Report, MarkdownMatchesGolden) {
+  const auto records = parseTraceFile(dataPath("mini_trace.jsonl"));
+  const std::string markdown = renderMarkdown(buildReport(records));
+  const std::string goldenPath = dataPath("mini_trace_report.md");
+  if (std::getenv("MOTUNE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(goldenPath);
+    out << markdown;
+    GTEST_SKIP() << "golden regenerated at " << goldenPath;
+  }
+  EXPECT_EQ(markdown, readFile(goldenPath));
+}
+
+TEST(Report, RejectsMalformedTraceWithLineNumber) {
+  std::istringstream in("{\"type\":\"event\",\"name\":\"ok\",\"t\":0}\n"
+                        "this is not json\n");
+  try {
+    parseTraceJsonl(in);
+    FAIL() << "expected CheckError";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+} // namespace
+} // namespace motune::observe

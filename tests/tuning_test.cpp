@@ -5,6 +5,7 @@
 #include "tuning/kernel_problem.h"
 #include "tuning/native_evaluator.h"
 #include "tuning/search_space.h"
+#include "tuning/validation.h"
 
 #include <gtest/gtest.h>
 
@@ -171,6 +172,42 @@ TEST(NativeEvaluator, MeasuresRealExecution) {
   EXPECT_DOUBLE_EQ(o[1], o[0]);
   const Objectives o2 = eval.evaluate({16, 16, 16, 2});
   EXPECT_DOUBLE_EQ(o2[1], 2.0 * o2[0]);
+}
+
+TEST(Validation, ModelAgreesWithSimulatorWithinOrderOfMagnitude) {
+  const auto& mm = kernels::kernelByName("mm");
+  // Paper-size configs: tiles are clamped into the miniature space and
+  // threads pinned to 1.
+  const std::vector<Config> configs{{4, 12, 6, 2}, {8, 8, 8, 1},
+                                    {512, 512, 512, 40}};
+  const auto samples = validateAgainstCachesim(mm, machine::westmere(),
+                                               configs, {8, 0});
+  ASSERT_EQ(samples.size(), 3u);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.n, mm.testN);
+    EXPECT_EQ(s.config.back(), 1);
+    EXPECT_GT(s.simDramBytes, 0.0);
+    EXPECT_GT(s.modelDramBytes, 0.0);
+    EXPECT_GT(s.modelSeconds, 0.0);
+    EXPECT_GT(s.simSeconds, 0.0);
+    // The analytical model and the simulator must agree on DRAM traffic
+    // within an order of magnitude at the miniature size.
+    EXPECT_LT(s.dramRatio, 10.0);
+    EXPECT_GT(s.dramRatio, 0.1);
+  }
+}
+
+TEST(Validation, DeduplicatesClampedConfigsAndHonorsCap) {
+  const auto& mm = kernels::kernelByName("mm");
+  // Both clamp to the miniature space maximum -> one sample.
+  const std::vector<Config> same{{512, 512, 512, 40}, {600, 600, 600, 8}};
+  EXPECT_EQ(validateAgainstCachesim(mm, machine::westmere(), same, {8, 0})
+                .size(),
+            1u);
+  const std::vector<Config> many{{4, 4, 4, 1}, {6, 6, 6, 1}, {8, 8, 8, 1}};
+  EXPECT_EQ(validateAgainstCachesim(mm, machine::westmere(), many, {2, 0})
+                .size(),
+            2u);
 }
 
 } // namespace

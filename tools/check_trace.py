@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a motune JSONL trace (CI invariant gate).
+"""Validate a motune trace (CI invariant gate).
 
 Checks, over the output of `motune tune --trace FILE`:
   1. every line is a well-formed JSON object with a `type` and `name`;
@@ -9,20 +9,91 @@ Checks, over the output of `motune tune --trace FILE`:
      unique configurations the search evaluated — cross-checked against
      the sum of unique evaluations implied by the generation spans'
      parent run span when present (`rsgde3.run` / `gde3.run` attr
-     `evaluations`).
+     `evaluations`);
+  4. every runtime ring record (`rt.*`) and region event carries a
+     positive thread id;
+  5. when any `rt.*` record is present, the `rt.ring.dropped` counter is
+     present too (no silent loss) and its value is reported.
 
-Usage: check_trace.py TRACE.jsonl
+With --chrome FILE, additionally validates a Chrome trace-event JSON
+array structurally: tolerant of a truncated tail (per the format spec),
+every event needs name/ph/ts/pid/tid, `X` events need a non-negative
+`dur`, and `B`/`E` events must balance per (pid, tid).
+
+Usage: check_trace.py TRACE.jsonl [--chrome TRACE.json]
 """
 import json
 import sys
 
 
+def check_chrome(path: str) -> int:
+    """Structural validation of a Chrome trace-event array file."""
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read().strip()
+    if not text.startswith("["):
+        print(f"{path}: chrome trace must be a JSON array", file=sys.stderr)
+        return 1
+    try:
+        events = json.loads(text)
+    except json.JSONDecodeError:
+        # The format explicitly tolerates a missing tail: close the array
+        # after stripping a trailing comma and retry.
+        repaired = text.rstrip().rstrip(",") + "]"
+        try:
+            events = json.loads(repaired)
+        except json.JSONDecodeError as err:
+            print(f"{path}: unparsable even after closing the array: {err}",
+                  file=sys.stderr)
+            return 1
+    if not isinstance(events, list) or not events:
+        print(f"{path}: empty chrome trace", file=sys.stderr)
+        return 1
+
+    begin_depth = {}  # (pid, tid) -> open B count
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                print(f"{path}: event {i} missing {key}: {ev}",
+                      file=sys.stderr)
+                return 1
+        ph = ev["ph"]
+        if ph == "X" and ev.get("dur", -1) < 0:
+            print(f"{path}: event {i} ('{ev['name']}') has negative dur",
+                  file=sys.stderr)
+            return 1
+        track = (ev["pid"], ev["tid"])
+        if ph == "B":
+            begin_depth[track] = begin_depth.get(track, 0) + 1
+        elif ph == "E":
+            begin_depth[track] = begin_depth.get(track, 0) - 1
+            if begin_depth[track] < 0:
+                print(f"{path}: unbalanced E on track {track}",
+                      file=sys.stderr)
+                return 1
+    unbalanced = {t: d for t, d in begin_depth.items() if d != 0}
+    if unbalanced:
+        print(f"{path}: unbalanced B/E events: {unbalanced}", file=sys.stderr)
+        return 1
+    phases = sorted({ev["ph"] for ev in events})
+    print(f"chrome trace ok: {len(events)} events, phases {phases}")
+    return 0
+
+
 def main() -> int:
-    if len(sys.argv) != 2:
+    args = sys.argv[1:]
+    chrome_path = None
+    if "--chrome" in args:
+        i = args.index("--chrome")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        chrome_path = args[i + 1]
+        del args[i:i + 2]
+    if len(args) != 1:
         print(__doc__, file=sys.stderr)
         return 2
     records = []
-    with open(sys.argv[1], encoding="utf-8") as fh:
+    with open(args[0], encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, 1):
             line = line.strip()
             if not line:
@@ -67,8 +138,34 @@ def main() -> int:
                   f"unique counter is {unique}", file=sys.stderr)
             return 1
 
-    print(f"trace ok: {len(records)} records, {len(generations)} generations, "
-          f"hv {hvs[0]:.4f} -> {hvs[-1]:.4f}, {unique} unique evaluations")
+    # Runtime ring records: thread attribution and no silent loss.
+    runtime = [r for r in records if r["name"].startswith("rt.")
+               and r["type"] == "span"]
+    for r in runtime + [r for r in records if r["name"] == "region.select"]:
+        if r.get("tid", 0) <= 0:
+            print(f"runtime record without thread id: {r}", file=sys.stderr)
+            return 1
+    drops = None
+    if runtime:
+        if "rt.ring.dropped" not in counters:
+            print("rt.* records present but rt.ring.dropped counter missing "
+                  "(ring loss would be silent)", file=sys.stderr)
+            return 1
+        drops = counters["rt.ring.dropped"]
+        threads = len({r["tid"] for r in runtime})
+    else:
+        threads = 0
+
+    summary = (f"trace ok: {len(records)} records, {len(generations)} "
+               f"generations, hv {hvs[0]:.4f} -> {hvs[-1]:.4f}, "
+               f"{unique} unique evaluations")
+    if runtime:
+        summary += (f", {len(runtime)} runtime events on {threads} threads "
+                    f"({drops} dropped)")
+    print(summary)
+
+    if chrome_path is not None:
+        return check_chrome(chrome_path)
     return 0
 
 

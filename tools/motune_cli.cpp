@@ -5,14 +5,27 @@
 //   motune tune (--kernel mm | --source FILE) --machine westmere [--n 1400]
 //               [--algorithm rsgde3|gde3|nsga2|random] [--seed 1]
 //               [--objectives time,resources[,energy]] [--out FILE]
-//               [--trace FILE.jsonl] [--metrics FILE.json]
+//               [--trace FILE] [--trace-format jsonl|chrome]
+//               [--metrics FILE.json] [--validate 1]
 //       Run the static optimizer on a built-in kernel or a textual kernel
 //       (see ir/parse.h for the language); print the Pareto set;
 //       optionally save a tuning artifact (JSON).
-//       --trace streams the structured run trace (spans, events, final
-//       metric snapshot) as JSON lines ("-" = stdout); --metrics writes the
-//       run's metric registry (counters/gauges/histograms) as JSON.
+//       --trace streams the structured run trace (spans, runtime ring
+//       events, final metric snapshot); "-" = stdout. --trace-format
+//       selects JSON lines (default, the `motune report` input) or Chrome
+//       trace-event JSON (load in chrome://tracing or ui.perfetto.dev).
+//       --metrics writes the run's metric registry as JSON. --validate 1
+//       replays the front through the cache simulator and embeds the
+//       model-vs-simulator comparison in the trace.
 //       See README "Observability & CI" for the schema.
+//   motune report --trace FILE.jsonl [--out FILE.md] [--json FILE.json]
+//                 [--top 10] [--stall-epsilon 0.002] [--fail-on-stall 1]
+//       Analyze a JSONL trace: span self-time attribution, collapsed
+//       stacks, convergence trajectory with stall detection, final Pareto
+//       front, memoization hit rate, version-selection histogram, cost
+//       model vs. cache simulator deltas. Markdown to stdout (or --out);
+//       --json additionally writes the machine-readable report.
+//       --fail-on-stall 1 exits 3 when the stall detector fires (CI gate).
 //   motune analyze --source FILE
 //       Parse a textual kernel, print its dependences, tileable band and
 //       normalized form.
@@ -33,6 +46,7 @@
 #include "kernels/kernel.h"
 #include "machine/machine.h"
 #include "observe/metrics.h"
+#include "observe/report.h"
 #include "observe/trace.h"
 #include "support/check.h"
 #include "support/table.h"
@@ -222,6 +236,7 @@ int cmdTune(const Args& args) {
   options.gde3.seed = std::stoull(args.get("seed", "1"));
   options.nsga2.seed = options.gde3.seed;
   options.randomBudget = std::stoull(args.get("budget", "1000"));
+  options.validateFront = args.get("validate", "0") != "0";
 
   // Observability: fresh per-run metrics, optional JSONL trace. The final
   // metric snapshot is stitched into the trace so one file carries the
@@ -231,9 +246,18 @@ int cmdTune(const Args& args) {
   metrics.reset();
   if (args.has("trace")) {
     const std::string path = args.options.at("trace");
-    tracer.addSink(path == "-"
-                       ? std::make_shared<observe::JsonLinesSink>(std::cout)
-                       : std::make_shared<observe::JsonLinesSink>(path));
+    const std::string format = args.get("trace-format", "jsonl");
+    std::shared_ptr<observe::Sink> sink;
+    if (format == "chrome")
+      sink = path == "-" ? std::make_shared<observe::ChromeTraceSink>(std::cout)
+                         : std::make_shared<observe::ChromeTraceSink>(path);
+    else if (format == "jsonl")
+      sink = path == "-" ? std::make_shared<observe::JsonLinesSink>(std::cout)
+                         : std::make_shared<observe::JsonLinesSink>(path);
+    else
+      MOTUNE_CHECK_MSG(false, "unknown trace format: " + format +
+                                  " (available: jsonl, chrome)");
+    tracer.addSink(std::move(sink));
   }
 
   std::cout << "tuning " << spec.name << " (N=" << problem.problemSize()
@@ -264,6 +288,42 @@ int cmdTune(const Args& args) {
     autotune::saveArtifact(autotune::makeArtifact(result, problem),
                            args.options.at("out"));
     std::cout << "artifact written to " << args.options.at("out") << "\n";
+  }
+  return 0;
+}
+
+int cmdReport(const Args& args) {
+  MOTUNE_CHECK_MSG(args.has("trace"),
+                   "usage: motune report --trace FILE.jsonl [--out FILE.md] "
+                   "[--json FILE.json] [--top N] [--stall-epsilon X] "
+                   "[--fail-on-stall 1]");
+  observe::ReportOptions options;
+  options.topK = std::stoull(args.get("top", "10"));
+  options.stallEpsilon = std::stod(args.get("stall-epsilon", "0.002"));
+  const auto records =
+      observe::parseTraceFile(args.options.at("trace"));
+  const observe::Report report = observe::buildReport(records, options);
+
+  const std::string markdown = observe::renderMarkdown(report);
+  if (args.has("out")) {
+    const std::string path = args.options.at("out");
+    std::ofstream out(path);
+    MOTUNE_CHECK_MSG(out.good(), "cannot write " + path);
+    out << markdown;
+    std::cout << "report written to " << path << "\n";
+  } else {
+    std::cout << markdown;
+  }
+  if (args.has("json")) {
+    const std::string path = args.options.at("json");
+    std::ofstream out(path);
+    MOTUNE_CHECK_MSG(out.good(), "cannot write " + path);
+    out << observe::reportToJson(report).dump(2) << "\n";
+    std::cout << "json report written to " << path << "\n";
+  }
+  if (args.get("fail-on-stall", "0") != "0" && report.stall.stalled) {
+    std::cerr << "stall detector fired: " << report.stall.verdict << "\n";
+    return 3;
   }
   return 0;
 }
@@ -343,12 +403,13 @@ int main(int argc, char** argv) {
     const Args args = parseArgs(argc, argv);
     if (args.command == "list") return cmdList();
     if (args.command == "tune") return cmdTune(args);
+    if (args.command == "report") return cmdReport(args);
     if (args.command == "analyze") return cmdAnalyze(args);
     if (args.command == "show") return cmdShow(args);
     if (args.command == "codegen") return cmdCodegen(args);
     if (args.command == "predict") return cmdPredict(args);
-    std::cerr << "usage: motune {list|tune|analyze|show|codegen|predict} "
-                 "[options]\n"
+    std::cerr << "usage: motune {list|tune|report|analyze|show|codegen|"
+                 "predict} [options]\n"
                  "see the header of tools/motune_cli.cpp for details\n";
     return args.command.empty() ? 1 : 2;
   } catch (const std::exception& e) {
