@@ -381,6 +381,11 @@ private:
     const Token& t = lexer_.peek();
     if (t.kind == Tok::Minus) {
       lexer_.take();
+      // Fold `-NUMBER` into a negative constant (exact for doubles), so
+      // printSource's rendering of negative constants round-trips to the
+      // identical expression tree.
+      if (lexer_.peek().kind == Tok::Number)
+        return constant(-lexer_.take().number);
       return unary(UnOp::Neg, factor());
     }
     if (t.kind == Tok::Number) return constant(lexer_.take().number);

@@ -2,7 +2,9 @@
 
 #include "support/check.h"
 
+#include <cmath>
 #include <sstream>
+#include <string>
 
 namespace motune::ir {
 
@@ -34,10 +36,15 @@ const char* binOpToken(BinOp op) {
   return nullptr;
 }
 
+std::string sourceNumber(double v);
+
 void printExpr(const Expr& e, std::ostringstream& os) {
   switch (e.kind) {
   case Expr::Kind::Const: {
-    os << e.constant;
+    // Shortest round-trippable rendering: the default 6-digit precision
+    // would make the compiled code compute with a different constant than
+    // the IR (caught by the differential fuzzer, src/verify/).
+    os << sourceNumber(e.constant);
     return;
   }
   case Expr::Kind::IvRef:
@@ -100,7 +107,98 @@ void printStmt(const Stmt& s, int indent, bool emitPragmas,
   os << pad << "}\n";
 }
 
+// --- kernel-language (parse.h grammar) printing --------------------------
+
+/// Exact decimal rendering of a double: shortest of the round-trippable
+/// precisions, so `0.2` stays `0.2` while oddballs get all 17 digits.
+std::string sourceNumber(double v) {
+  for (int precision : {6, 9, 12, 15, 17}) {
+    std::ostringstream os;
+    os.precision(precision);
+    os << v;
+    if (std::stod(os.str()) == v) return os.str();
+  }
+  return "0";
+}
+
+void printSourceExpr(const Expr& e, std::ostringstream& os) {
+  switch (e.kind) {
+  case Expr::Kind::Const:
+    if (e.constant < 0 ||
+        (e.constant == 0.0 && std::signbit(e.constant) != 0)) {
+      // The grammar has no negative literals; `-c` lexes as unary minus,
+      // which the parser folds back into a negative constant.
+      os << "-" << sourceNumber(-e.constant);
+    } else {
+      os << sourceNumber(e.constant);
+    }
+    return;
+  case Expr::Kind::IvRef:
+    os << e.iv;
+    return;
+  case Expr::Kind::Read:
+    os << e.array << subscriptList(e.subscripts);
+    return;
+  case Expr::Kind::Binary: {
+    if (e.binOp == BinOp::Min || e.binOp == BinOp::Max) {
+      os << (e.binOp == BinOp::Min ? "min(" : "max(");
+      printSourceExpr(*e.lhs, os);
+      os << ", ";
+      printSourceExpr(*e.rhs, os);
+      os << ")";
+      return;
+    }
+    const char* tok = binOpToken(e.binOp);
+    os << "(";
+    printSourceExpr(*e.lhs, os);
+    os << tok;
+    printSourceExpr(*e.rhs, os);
+    os << ")";
+    return;
+  }
+  case Expr::Kind::Unary:
+    switch (e.unOp) {
+    case UnOp::Neg: os << "(-"; break;
+    case UnOp::Sqrt: os << "sqrt("; break;
+    case UnOp::Abs: os << "abs("; break;
+    }
+    printSourceExpr(*e.lhs, os);
+    os << ")";
+    return;
+  }
+}
+
+void printSourceStmt(const Stmt& s, int indent, std::ostringstream& os) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (s.kind == Stmt::Kind::Assign) {
+    const Assign& a = s.assign;
+    os << pad << a.array << subscriptList(a.subscripts)
+       << (a.accumulate ? " += " : " = ");
+    printSourceExpr(*a.rhs, os);
+    os << ";\n";
+    return;
+  }
+  const Loop& l = s.loop;
+  MOTUNE_CHECK_MSG(l.step == 1 && !l.upper.cap.has_value() && !l.parallel,
+                   "printSource requires an untransformed program");
+  os << pad << "for " << l.iv << " = " << l.lower.str() << " .. "
+     << l.upper.base.str() << " {\n";
+  for (const auto& child : l.body) printSourceStmt(*child, indent + 1, os);
+  os << pad << "}\n";
+}
+
 } // namespace
+
+std::string printSource(const Program& p) {
+  std::ostringstream os;
+  for (const auto& a : p.arrays) {
+    os << "array " << a.name;
+    for (std::int64_t d : a.dims) os << "[" << d << "]";
+    os << "\n";
+  }
+  for (const auto& s : p.body) printSourceStmt(*s, 0, os);
+  return os.str();
+}
 
 std::string toC(const Expr& e) {
   std::ostringstream os;

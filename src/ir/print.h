@@ -17,4 +17,14 @@ std::string toC(const Stmt& s, int indent = 0, bool emitPragmas = true);
 /// Renders the whole program body (no function wrapper; see codegen/).
 std::string toC(const Program& p, bool emitPragmas = true);
 
+/// Renders a program in the textual kernel language accepted by
+/// ir::parseProgram (parse.h), such that
+/// `structurallyEqual(parseProgram(printSource(p)), p)` holds — the
+/// round-trip the fuzzer's repro files rely on. Requires a source-language
+/// program: every loop must have step 1 and a cap-free upper bound
+/// (i.e. untransformed); parallel markers are not representable and are
+/// rejected. Floating-point constants are printed with enough digits to
+/// round-trip exactly.
+std::string printSource(const Program& p);
+
 } // namespace motune::ir

@@ -89,6 +89,78 @@ void walk(const Program& p,
   for (const auto& s : p.body) walkStmt(*s, stack, fn);
 }
 
+bool structurallyEqual(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+  case Expr::Kind::Const:
+    return a.constant == b.constant;
+  case Expr::Kind::IvRef:
+    return a.iv == b.iv;
+  case Expr::Kind::Read:
+    return a.array == b.array && a.subscripts == b.subscripts;
+  case Expr::Kind::Binary:
+    return a.binOp == b.binOp && structurallyEqual(*a.lhs, *b.lhs) &&
+           structurallyEqual(*a.rhs, *b.rhs);
+  case Expr::Kind::Unary:
+    return a.unOp == b.unOp && structurallyEqual(*a.lhs, *b.lhs);
+  }
+  return false;
+}
+
+bool structurallyEqual(const Stmt& a, const Stmt& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == Stmt::Kind::Assign) {
+    return a.assign.array == b.assign.array &&
+           a.assign.subscripts == b.assign.subscripts &&
+           a.assign.accumulate == b.assign.accumulate &&
+           structurallyEqual(*a.assign.rhs, *b.assign.rhs);
+  }
+  const Loop& la = a.loop;
+  const Loop& lb = b.loop;
+  if (la.iv != lb.iv || la.lower != lb.lower || la.upper != lb.upper ||
+      la.step != lb.step || la.parallel != lb.parallel ||
+      la.collapse != lb.collapse || la.body.size() != lb.body.size())
+    return false;
+  for (std::size_t i = 0; i < la.body.size(); ++i)
+    if (!structurallyEqual(*la.body[i], *lb.body[i])) return false;
+  return true;
+}
+
+bool structurallyEqual(const Program& a, const Program& b) {
+  if (a.arrays.size() != b.arrays.size() || a.body.size() != b.body.size())
+    return false;
+  for (std::size_t i = 0; i < a.arrays.size(); ++i) {
+    if (a.arrays[i].name != b.arrays[i].name ||
+        a.arrays[i].dims != b.arrays[i].dims ||
+        a.arrays[i].elemBytes != b.arrays[i].elemBytes)
+      return false;
+  }
+  for (std::size_t i = 0; i < a.body.size(); ++i)
+    if (!structurallyEqual(*a.body[i], *b.body[i])) return false;
+  return true;
+}
+
+StmtPtr substituteIv(const Stmt& s, const std::string& name,
+                     const AffineExpr& repl) {
+  if (s.kind == Stmt::Kind::Assign) {
+    Assign a = s.assign;
+    for (auto& sub : a.subscripts) sub = sub.substitute(name, repl);
+    a.rhs = a.rhs->substitute(name, repl);
+    return Stmt::makeAssign(std::move(a));
+  }
+  Loop l;
+  l.iv = s.loop.iv;
+  l.lower = s.loop.lower.substitute(name, repl);
+  l.upper = s.loop.upper.substitute(name, repl);
+  l.step = s.loop.step;
+  l.parallel = s.loop.parallel;
+  l.collapse = s.loop.collapse;
+  l.body.reserve(s.loop.body.size());
+  for (const auto& child : s.loop.body)
+    l.body.push_back(substituteIv(*child, name, repl));
+  return Stmt::makeLoop(std::move(l));
+}
+
 std::int64_t tripCount(const Loop& loop, const Env& env) {
   const std::int64_t lo = loop.lower.eval(env);
   const std::int64_t hi = loop.upper.eval(env);

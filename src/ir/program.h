@@ -86,4 +86,19 @@ void walk(const Program& p,
 /// Exact trip count of a loop whose bounds are constant in `env`.
 std::int64_t tripCount(const Loop& loop, const Env& env);
 
+// Deep structural equality (expression trees compared node by node, not by
+// pointer). Program names are ignored; array declarations, loop headers,
+// parallel metadata and statement order all participate. Used by the
+// parse/print round-trip property tests and the fuzzer's repro machinery.
+bool structurallyEqual(const Expr& a, const Expr& b);
+bool structurallyEqual(const Stmt& a, const Stmt& b);
+bool structurallyEqual(const Program& a, const Program& b);
+
+/// Clones `s` with every occurrence of induction variable `name` replaced
+/// by the affine expression `repl` (loop bounds, subscripts and value
+/// expressions alike). The fuzzer's shrinker uses this to collapse a loop
+/// into a single iteration at its lower bound.
+StmtPtr substituteIv(const Stmt& s, const std::string& name,
+                     const AffineExpr& repl);
+
 } // namespace motune::ir

@@ -1,0 +1,170 @@
+#include "verify/fuzz.h"
+
+#include "ir/parse.h"
+#include "ir/print.h"
+#include "observe/metrics.h"
+#include "observe/trace.h"
+#include "support/check.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace motune::verify {
+
+namespace {
+
+/// Independent rng for iteration `iter` of a run seeded with `seed`:
+/// repros name (seed, iter) and replay regardless of loop order.
+support::Rng iterationRng(std::uint64_t seed, std::uint64_t iter) {
+  return support::Rng(seed * 0x9e3779b97f4a7c15ull ^
+                      (iter + 1) * 0xbf58476d1ce4e5b9ull);
+}
+
+constexpr const char* kReproHeader = "#@ motune-fuzz-repro";
+constexpr const char* kTransformPrefix = "#@ transform ";
+
+} // namespace
+
+std::string serializeRepro(const FuzzCase& c, std::uint64_t seed,
+                           std::uint64_t iter) {
+  std::ostringstream os;
+  os << kReproHeader << " seed=" << seed << " iter=" << iter << "\n";
+  for (const auto& step : c.steps)
+    os << kTransformPrefix << step.str() << "\n";
+  os << ir::printSource(c.program);
+  return os.str();
+}
+
+FuzzCase parseRepro(const std::string& text) {
+  FuzzCase c;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind(kTransformPrefix, 0) != 0) continue;
+    const auto step = TransformStep::parse(line.substr(
+        std::string(kTransformPrefix).size()));
+    MOTUNE_CHECK_MSG(step.has_value(), "repro: bad transform line: " + line);
+    c.steps.push_back(*step);
+  }
+  // The parser treats every '#' line (including the #@ ones) as a comment,
+  // so the whole file is also a valid kernel source.
+  c.program = ir::parseProgram(text, "repro");
+  return c;
+}
+
+OracleVerdict replayRepro(const FuzzCase& c, const OracleOptions& opts) {
+  return checkEquivalence(c.program, applySequence(c.program, c.steps), opts);
+}
+
+FuzzReport runFuzz(const FuzzOptions& opts) {
+  namespace fs = std::filesystem;
+  auto& metrics = observe::MetricsRegistry::global();
+  auto& programsCtr = metrics.counter("verify.fuzz.programs");
+  auto& rejectedCtr = metrics.counter("verify.fuzz.sequences.rejected");
+  auto& comparisonsCtr = metrics.counter("verify.fuzz.oracle.comparisons");
+  auto& nativeCtr = metrics.counter("verify.fuzz.oracle.native_runs");
+  auto& mismatchCtr = metrics.counter("verify.fuzz.mismatches");
+  auto& shrinkAttemptsCtr = metrics.counter("verify.fuzz.shrink.attempts");
+  auto& shrinkAcceptedCtr = metrics.counter("verify.fuzz.shrink.accepted");
+
+  auto span = observe::Tracer::global().span(
+      "verify.fuzz",
+      {{"seed", support::Json(static_cast<double>(opts.seed))},
+       {"iters", support::Json(static_cast<double>(opts.iters))}});
+
+  FuzzReport report;
+  const auto start = std::chrono::steady_clock::now();
+  const auto overBudget = [&] {
+    if (opts.timeBudgetSeconds <= 0.0) return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count() >= opts.timeBudgetSeconds;
+  };
+
+  for (std::uint64_t iter = 0; iter < opts.iters; ++iter) {
+    if (overBudget()) break;
+    ++report.iterations;
+
+    support::Rng rng = iterationRng(opts.seed, iter);
+    FuzzCase c;
+    c.program = randomProgram(rng, opts.generator);
+    ++report.programs;
+    programsCtr.add();
+
+    std::uint64_t rejected = 0;
+    c.steps = sampleSequence(c.program, rng, opts.sampler, &rejected);
+    report.rejectedDraws += rejected;
+    rejectedCtr.add(rejected);
+    if (c.steps.empty()) continue; // nothing to check against
+
+    OracleVerdict verdict;
+    try {
+      verdict = replayRepro(c, opts.oracle);
+    } catch (const support::CheckError& e) {
+      // An execution trap (e.g. out-of-bounds after a transform) is a
+      // failure of the same severity as a value mismatch.
+      verdict.agree = false;
+      verdict.detail = e.what();
+    }
+    ++report.comparisons;
+    comparisonsCtr.add();
+    if (verdict.nativeRan) {
+      ++report.nativeRuns;
+      nativeCtr.add();
+    }
+    if (verdict.agree) continue;
+
+    // First failure: record, minimize, write the repro, stop.
+    mismatchCtr.add();
+    report.failed = true;
+    report.failingIteration = iter;
+    report.detail = verdict.describe();
+
+    FuzzCase minimized = c.clone();
+    if (opts.shrinkFailures) {
+      ShrinkStats stats;
+      const StillFails predicate = [&](const FuzzCase& cand) {
+        if (cand.steps.empty()) return false;
+        ir::Program transformed;
+        try {
+          transformed = applySequence(cand.program, cand.steps);
+        } catch (const support::CheckError&) {
+          return false; // steps no longer legal on the shrunk program
+        }
+        try {
+          return !checkEquivalence(cand.program, transformed, opts.oracle)
+                      .agree;
+        } catch (const support::CheckError&) {
+          return true; // still traps at execution — same failure class
+        }
+      };
+      minimized = shrink(c, predicate, opts.maxShrinkAttempts, &stats);
+      shrinkAttemptsCtr.add(stats.attempts);
+      shrinkAcceptedCtr.add(stats.accepted);
+    }
+
+    const fs::path dir = opts.outDir.empty() ? fs::path(".")
+                                             : fs::path(opts.outDir);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    const fs::path repro =
+        dir / ("fuzz-repro-seed" + std::to_string(opts.seed) + "-iter" +
+               std::to_string(iter) + ".kernel");
+    std::ofstream out(repro);
+    if (out) {
+      out << serializeRepro(minimized, opts.seed, iter);
+      report.reproPath = repro.string();
+    }
+    report.minimized = std::move(minimized);
+    break;
+  }
+
+  span.setAttr("iterations",
+               support::Json(static_cast<double>(report.iterations)));
+  span.setAttr("failed", support::Json(report.failed));
+  return report;
+}
+
+} // namespace motune::verify

@@ -1,0 +1,71 @@
+// Differential fuzzing driver: generate → transform → oracle → shrink.
+//
+// Each iteration draws a random program (generator.h) and a random legal
+// transform sequence (sampler.h), then runs the three-way oracle
+// (oracle.h). The first disagreement stops the run, is minimized by the
+// shrinker, and is written to a self-contained repro file that replays the
+// exact case:
+//
+//     #@ motune-fuzz-repro seed=7 iter=42
+//     #@ transform tile 4 2
+//     #@ transform parallelize 1
+//     array A[8][8]
+//     for i = 0 .. 8 { ... }
+//
+// The body is printSource() text (so `motune fuzz --repro FILE` and the
+// parser agree on it); the `#@ transform` lines ride in comments the parser
+// ignores. Iterations derive their rng from (seed, iteration index), so a
+// repro is independent of how many iterations preceded it.
+#pragma once
+
+#include "verify/generator.h"
+#include "verify/oracle.h"
+#include "verify/sampler.h"
+#include "verify/shrinker.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace motune::verify {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t iters = 1000;
+  double timeBudgetSeconds = 0.0; ///< stop after this long; 0 = no budget
+  bool shrinkFailures = true;
+  int maxShrinkAttempts = 2000;
+  std::string outDir; ///< where repro files land; "" = current directory
+  GeneratorOptions generator;
+  SamplerOptions sampler;
+  OracleOptions oracle;
+};
+
+struct FuzzReport {
+  std::uint64_t iterations = 0;    ///< iterations actually run
+  std::uint64_t programs = 0;      ///< programs generated
+  std::uint64_t comparisons = 0;   ///< oracle invocations
+  std::uint64_t nativeRuns = 0;    ///< comparisons that included native
+  std::uint64_t rejectedDraws = 0; ///< illegal transform draws discarded
+  bool failed = false;
+  std::uint64_t failingIteration = 0;
+  std::string reproPath; ///< written repro file ("" when in-memory only)
+  std::string detail;    ///< oracle verdict description of the failure
+  std::optional<FuzzCase> minimized;
+};
+
+/// Runs the fuzzing loop. Never throws for oracle disagreements (those are
+/// the product); feeds the verify.fuzz.* metrics and a verify.fuzz span.
+FuzzReport runFuzz(const FuzzOptions& opts = {});
+
+/// Repro file text for a case (optionally stamped with its origin).
+std::string serializeRepro(const FuzzCase& c, std::uint64_t seed = 0,
+                           std::uint64_t iter = 0);
+
+/// Parses a repro file; throws support::CheckError on malformed input.
+FuzzCase parseRepro(const std::string& text);
+
+/// Re-runs the oracle on a parsed repro (applies the recorded steps first).
+OracleVerdict replayRepro(const FuzzCase& c, const OracleOptions& opts = {});
+
+} // namespace motune::verify

@@ -1,0 +1,264 @@
+#include "verify/generator.h"
+
+#include "support/check.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace motune::verify {
+
+namespace {
+
+using ir::AffineExpr;
+
+/// Conservative value interval of an induction variable over the whole
+/// iteration domain (bounds may reference outer ivs, so intervals are
+/// propagated outside-in).
+struct IvRange {
+  std::string name;
+  std::int64_t min = 0;
+  std::int64_t max = 0; ///< inclusive
+};
+
+/// Interval of an affine expression given the enclosing iv ranges.
+std::pair<std::int64_t, std::int64_t>
+affineInterval(const AffineExpr& e, const std::vector<IvRange>& ivs) {
+  std::int64_t lo = e.constantTerm();
+  std::int64_t hi = e.constantTerm();
+  for (const auto& [name, coeff] : e.terms()) {
+    const auto it = std::find_if(ivs.begin(), ivs.end(),
+                                 [&](const IvRange& r) { return r.name == name; });
+    MOTUNE_CHECK_MSG(it != ivs.end(), "unbound iv in generated bound: " + name);
+    if (coeff >= 0) {
+      lo += coeff * it->min;
+      hi += coeff * it->max;
+    } else {
+      lo += coeff * it->max;
+      hi += coeff * it->min;
+    }
+  }
+  return {lo, hi};
+}
+
+class Generator {
+public:
+  Generator(support::Rng& rng, const GeneratorOptions& opts)
+      : rng_(rng), opts_(opts) {}
+
+  ir::Program run() {
+    chooseArrays();
+    ir::Program p;
+    p.name = "fuzz";
+    const int topLoops = static_cast<int>(
+        rng_.uniformInt(1, std::max(1, opts_.maxTopLoops)));
+    for (int t = 0; t < topLoops; ++t) {
+      // A sibling with an identical header makes the program a fusion
+      // candidate; clone the previous header with useful probability.
+      if (t > 0 && rng_.bernoulli(0.5) &&
+          p.body.back()->kind == ir::Stmt::Kind::Loop) {
+        const ir::Loop& prev = p.body.back()->loop;
+        p.body.push_back(makeLoop(prev.lower, prev.upper.base, 1));
+      } else {
+        p.body.push_back(randomLoop(1));
+      }
+    }
+    finalizeArrayDims(p);
+    return p;
+  }
+
+private:
+  struct ArrayInfo {
+    std::string name;
+    std::size_t rank;
+    std::vector<std::int64_t> requiredDims; ///< max index + 1 seen per dim
+    bool used = false;
+  };
+
+  void chooseArrays() {
+    const int count = static_cast<int>(
+        rng_.uniformInt(1, std::max(1, opts_.maxArrays)));
+    static const char* names[] = {"A", "B", "C", "D", "E", "F"};
+    for (int a = 0; a < count; ++a) {
+      ArrayInfo info;
+      info.name = names[a];
+      info.rank = static_cast<std::size_t>(
+          rng_.uniformInt(1, std::max(1, opts_.maxRank)));
+      info.requiredDims.assign(info.rank, 1);
+      arrays_.push_back(std::move(info));
+    }
+  }
+
+  std::string freshIv() {
+    static const char* ivNames[] = {"i", "j", "k", "l", "m", "p", "q", "r"};
+    const std::size_t n = ivCount_++;
+    if (n < std::size(ivNames)) return ivNames[n];
+    return "v" + std::to_string(n);
+  }
+
+  /// Builds a loop header with the given bounds and generates its body.
+  ir::StmtPtr makeLoop(const AffineExpr& lower, const AffineExpr& upper,
+                       int depth) {
+    ir::Loop loop;
+    loop.iv = freshIv();
+    loop.lower = lower;
+    loop.upper = ir::Bound(upper);
+    loop.step = 1;
+
+    const auto [lowLo, lowHi] = affineInterval(lower, ivs_);
+    const auto [upLo, upHi] = affineInterval(upper, ivs_);
+    (void)lowHi;
+    (void)upLo;
+    ivs_.push_back({loop.iv, lowLo, std::max(lowLo, upHi - 1)});
+    loop.body = randomBody(depth);
+    ivs_.pop_back();
+    return ir::Stmt::makeLoop(std::move(loop));
+  }
+
+  ir::StmtPtr randomLoop(int depth) {
+    // Lower bound: usually a small constant; sometimes an outer iv
+    // (parametric). Upper = lower + extent keeps every instance non-empty.
+    AffineExpr lower = AffineExpr::constant(rng_.uniformInt(0, 2));
+    if (opts_.allowParametricBounds && !ivs_.empty() && rng_.bernoulli(0.3)) {
+      const auto& outer = ivs_[static_cast<std::size_t>(
+          rng_.uniformInt(0, static_cast<std::int64_t>(ivs_.size()) - 1))];
+      lower = AffineExpr::var(outer.name) + rng_.uniformInt(0, 1);
+    }
+    const std::int64_t extent =
+        rng_.uniformInt(opts_.minExtent, opts_.maxExtent);
+    return makeLoop(lower, lower + extent, depth);
+  }
+
+  std::vector<ir::StmtPtr> randomBody(int depth) {
+    std::vector<ir::StmtPtr> body;
+    const bool nest = depth < opts_.maxDepth && rng_.bernoulli(0.75);
+    const int extraStmts = static_cast<int>(
+        rng_.uniformInt(nest ? 0 : 1, std::max(1, opts_.maxBodyStmts)));
+    // Imperfect nests: assignments may come before and/or after the child
+    // loop.
+    const int before = nest ? static_cast<int>(rng_.uniformInt(0, extraStmts))
+                            : extraStmts;
+    for (int s = 0; s < before; ++s) body.push_back(randomAssign());
+    if (nest) body.push_back(randomLoop(depth + 1));
+    for (int s = before; s < extraStmts; ++s) body.push_back(randomAssign());
+    MOTUNE_CHECK(!body.empty());
+    return body;
+  }
+
+  /// Random in-bounds affine subscript for dimension `dim` of `array`;
+  /// shifts the expression so its interval minimum is zero and records the
+  /// required extent.
+  AffineExpr randomSubscript(ArrayInfo& array, std::size_t dim,
+                             bool preferIv) {
+    AffineExpr sub;
+    const double roll = rng_.uniform();
+    if (ivs_.empty() || (!preferIv && roll < 0.15)) {
+      sub = AffineExpr::constant(rng_.uniformInt(0, 2));
+    } else {
+      const auto& iv = ivs_[static_cast<std::size_t>(
+          rng_.uniformInt(0, static_cast<std::int64_t>(ivs_.size()) - 1))];
+      const std::int64_t coeff = rng_.bernoulli(0.12) ? 2 : 1;
+      sub = AffineExpr::var(iv.name, coeff) + rng_.uniformInt(-2, 2);
+      if (ivs_.size() >= 2 && rng_.bernoulli(0.15)) {
+        const auto& other = ivs_[static_cast<std::size_t>(
+            rng_.uniformInt(0, static_cast<std::int64_t>(ivs_.size()) - 1))];
+        if (other.name != iv.name) sub = sub + AffineExpr::var(other.name);
+      }
+    }
+    auto [lo, hi] = affineInterval(sub, ivs_);
+    if (lo < 0) {
+      sub = sub + (-lo);
+      hi -= lo;
+    }
+    array.requiredDims[dim] = std::max(array.requiredDims[dim], hi + 1);
+    return sub;
+  }
+
+  std::vector<AffineExpr> randomSubscripts(ArrayInfo& array, bool preferIv) {
+    std::vector<AffineExpr> subs;
+    for (std::size_t d = 0; d < array.rank; ++d)
+      subs.push_back(randomSubscript(array, d, preferIv));
+    array.used = true;
+    return subs;
+  }
+
+  ArrayInfo& randomArray() {
+    return arrays_[static_cast<std::size_t>(
+        rng_.uniformInt(0, static_cast<std::int64_t>(arrays_.size()) - 1))];
+  }
+
+  ir::ExprPtr randomExpr(int depth) {
+    if (depth >= opts_.maxExprDepth || rng_.bernoulli(0.35)) {
+      const double roll = rng_.uniform();
+      if (roll < 0.55) {
+        ArrayInfo& a = randomArray();
+        return ir::read(a.name, randomSubscripts(a, /*preferIv=*/true));
+      }
+      if (roll < 0.75 && !ivs_.empty()) {
+        const auto& iv = ivs_[static_cast<std::size_t>(rng_.uniformInt(
+            0, static_cast<std::int64_t>(ivs_.size()) - 1))];
+        return ir::ivRef(iv.name);
+      }
+      // Constants bounded away from zero keep divisions well-defined.
+      return ir::constant(rng_.uniform(0.5, 2.0));
+    }
+    const double roll = rng_.uniform();
+    if (roll < 0.30)
+      return randomExpr(depth + 1) + randomExpr(depth + 1);
+    if (roll < 0.50)
+      return randomExpr(depth + 1) - randomExpr(depth + 1);
+    if (roll < 0.70)
+      return randomExpr(depth + 1) * randomExpr(depth + 1);
+    if (roll < 0.78) // division only by a positive constant
+      return randomExpr(depth + 1) / ir::constant(rng_.uniform(1.0, 2.0));
+    if (roll < 0.86)
+      return ir::binary(rng_.bernoulli(0.5) ? ir::BinOp::Min : ir::BinOp::Max,
+                        randomExpr(depth + 1), randomExpr(depth + 1));
+    if (roll < 0.93) {
+      ir::ExprPtr inner = randomExpr(depth + 1);
+      // "-c" and Neg(Const c) share one spelling; the parser resolves it
+      // to a negative constant, so generate that form directly and the
+      // printSource round-trip stays an identity.
+      if (inner->kind == ir::Expr::Kind::Const)
+        return ir::constant(-inner->constant);
+      return ir::unary(ir::UnOp::Neg, std::move(inner));
+    }
+    // sqrt over abs stays real for any argument sign.
+    return ir::sqrtOf(ir::unary(ir::UnOp::Abs, randomExpr(depth + 1)));
+  }
+
+  ir::StmtPtr randomAssign() {
+    ir::Assign a;
+    ArrayInfo& target = randomArray();
+    a.array = target.name;
+    a.subscripts = randomSubscripts(target, /*preferIv=*/true);
+    a.rhs = randomExpr(0);
+    a.accumulate = opts_.allowReductions && rng_.bernoulli(0.3);
+    return ir::Stmt::makeAssign(std::move(a));
+  }
+
+  void finalizeArrayDims(ir::Program& p) {
+    for (const auto& info : arrays_) {
+      if (!info.used) continue; // statements always write, so >= 1 is used
+      ir::ArrayDecl decl;
+      decl.name = info.name;
+      decl.dims = info.requiredDims;
+      p.arrays.push_back(std::move(decl));
+    }
+    MOTUNE_CHECK(!p.arrays.empty());
+  }
+
+  support::Rng& rng_;
+  const GeneratorOptions& opts_;
+  std::vector<ArrayInfo> arrays_;
+  std::vector<IvRange> ivs_;
+  std::size_t ivCount_ = 0;
+};
+
+} // namespace
+
+ir::Program randomProgram(support::Rng& rng, const GeneratorOptions& opts) {
+  return Generator(rng, opts).run();
+}
+
+} // namespace motune::verify

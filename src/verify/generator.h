@@ -1,0 +1,39 @@
+// Seeded random affine loop-nest generator.
+//
+// Produces valid ir::Programs spanning the structural space the paper's
+// kernels live in — perfect and imperfect nests, multiple statements per
+// body, reductions (+=), rectangular and parametric (outer-iv-dependent)
+// bounds — for the differential correctness harness (oracle.h). Every
+// generated program is:
+//   * in-bounds: array extents are derived from interval analysis of the
+//     subscripts over the iteration domain, so the interpreter never traps;
+//   * expressible in the textual kernel language (unit steps, cap-free
+//     bounds), so printSource/parseProgram round-trips and repro files work;
+//   * numerically tame: divisions only by constants bounded away from zero,
+//     sqrt only of abs(), so no NaN/Inf muddies output comparison.
+#pragma once
+
+#include "ir/program.h"
+#include "support/rng.h"
+
+namespace motune::verify {
+
+struct GeneratorOptions {
+  int maxTopLoops = 2;      ///< top-level loop nests (enables fusion shapes)
+  int maxDepth = 3;         ///< maximum loop nesting depth
+  int maxBodyStmts = 2;     ///< extra assignments per loop body
+  int maxArrays = 3;
+  int maxRank = 3;
+  std::int64_t minExtent = 3;
+  std::int64_t maxExtent = 8;
+  int maxExprDepth = 2;     ///< depth of random right-hand-side trees
+  bool allowReductions = true;
+  bool allowParametricBounds = true; ///< bounds referencing outer ivs
+};
+
+/// Draws one random program from `rng`. Deterministic: the same rng state
+/// and options always produce the same program.
+ir::Program randomProgram(support::Rng& rng,
+                          const GeneratorOptions& opts = {});
+
+} // namespace motune::verify

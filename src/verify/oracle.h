@@ -1,0 +1,66 @@
+// Three-way differential correctness oracle.
+//
+// For a (program, transformed-program) pair the oracle executes:
+//   1. the original IR through ir::Interpreter  (the reference),
+//   2. the transformed IR through ir::Interpreter,
+//   3. the C emitted for the transformed IR (codegen::emitFunction),
+//      compiled with the host compiler and run in a subprocess,
+// all from the same deterministic input filler, and compares every array
+// element. Legal transforms preserve each element's operation order, so
+// paths 1 and 2 must agree bit-for-bit; the native path is compiled with
+// -ffp-contract=off so the compiled arithmetic is the same IEEE operation
+// sequence and must match too (values are exchanged as %a hex floats, so
+// no decimal rounding enters the comparison).
+#pragma once
+
+#include "ir/program.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace motune::verify {
+
+/// Deterministic input value for element `elementIndex` of the
+/// `arrayIndex`-th array: a hash mapped into [1, 2), bounded away from
+/// zero so generated divisions and subtractions stay tame. The native
+/// harness embeds C code computing the identical value.
+double fillValue(std::size_t arrayIndex, std::size_t elementIndex);
+
+struct OracleOptions {
+  bool runNative = true;  ///< false = interpreter-only (sandboxed runs)
+  std::string compiler;   ///< "" = auto-detect via hostCompiler()
+  std::string workDir;    ///< "" = per-process temp dir; reused across calls
+  bool emitPragmas = true;
+};
+
+struct Mismatch {
+  std::string stage; ///< "interp", "native", "native-compile", "native-run"
+  std::string array;
+  std::size_t index = 0;
+  double expected = 0.0;
+  double got = 0.0;
+};
+
+struct OracleVerdict {
+  bool agree = true;
+  bool nativeRan = false;
+  std::optional<Mismatch> mismatch;
+  std::string detail; ///< compiler/runtime diagnostics on failure
+
+  std::string describe() const;
+};
+
+/// Best-effort host C compiler discovery (cc, gcc, clang — first that
+/// answers --version). Cached after the first call; empty when none found.
+const std::string& hostCompiler();
+
+/// Runs the three-way check. Throws support::CheckError only for invalid
+/// inputs (e.g. the programs declare different arrays or an execution traps
+/// out of bounds); a disagreement is reported in the verdict, not thrown.
+OracleVerdict checkEquivalence(const ir::Program& original,
+                               const ir::Program& transformed,
+                               const OracleOptions& opts = {});
+
+} // namespace motune::verify

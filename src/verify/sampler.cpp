@@ -1,0 +1,263 @@
+#include "verify/sampler.h"
+
+#include "analyzer/dependence.h"
+#include "analyzer/region.h"
+#include "support/check.h"
+#include "transform/fusion.h"
+#include "transform/transforms.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace motune::verify {
+
+namespace {
+
+const char* kindName(TransformStep::Kind kind) {
+  switch (kind) {
+  case TransformStep::Kind::Tile: return "tile";
+  case TransformStep::Kind::Interchange: return "interchange";
+  case TransformStep::Kind::Unroll: return "unroll";
+  case TransformStep::Kind::Parallelize: return "parallelize";
+  case TransformStep::Kind::Fuse: return "fuse";
+  case TransformStep::Kind::Distribute: return "distribute";
+  case TransformStep::Kind::Skeleton: return "skeleton";
+  }
+  return "?";
+}
+
+std::optional<TransformStep::Kind> kindFromName(const std::string& name) {
+  for (auto kind :
+       {TransformStep::Kind::Tile, TransformStep::Kind::Interchange,
+        TransformStep::Kind::Unroll, TransformStep::Kind::Parallelize,
+        TransformStep::Kind::Fuse, TransformStep::Kind::Distribute,
+        TransformStep::Kind::Skeleton})
+    if (name == kindName(kind)) return kind;
+  return std::nullopt;
+}
+
+/// What the analyzer can certify about the current program's outer band.
+struct BandFacts {
+  std::size_t nestDepth = 0;     ///< perfect-nest depth
+  std::size_t rectDepth = 0;     ///< structurally tileable prefix
+  std::size_t legalTileDepth = 0;///< min(rectDepth, dependence-legal band)
+  std::vector<std::int64_t> trips; ///< trip counts of the rect prefix
+  bool analyzable = false;
+  std::vector<bool> parallelizable; ///< per nest level, when analyzable
+};
+
+BandFacts bandFacts(const ir::Program& p) {
+  BandFacts facts;
+  const auto nest = transform::perfectNest(p);
+  facts.nestDepth = nest.size();
+
+  // Structurally tileable prefix: unit step, cap-free, constant bounds
+  // (the nest is at the program root, so any iv dependence would be on a
+  // band iv — exactly what tile() forbids).
+  ir::Env env;
+  for (const auto* loop : nest) {
+    if (loop->step != 1 || loop->upper.cap.has_value() ||
+        !loop->lower.isConstant() || !loop->upper.base.isConstant())
+      break;
+    ++facts.rectDepth;
+    facts.trips.push_back(ir::tripCount(*loop, env));
+  }
+
+  try {
+    const auto deps = analyzer::computeDependences(p);
+    if (deps.has_value()) {
+      facts.analyzable = true;
+      facts.legalTileDepth = std::min(
+          facts.rectDepth,
+          analyzer::tileableBandDepth(*deps, facts.nestDepth));
+      for (std::size_t l = 0; l < facts.nestDepth; ++l)
+        facts.parallelizable.push_back(analyzer::isParallelizable(*deps, l));
+    }
+  } catch (const support::CheckError&) {
+    facts.analyzable = false;
+  }
+  return facts;
+}
+
+} // namespace
+
+std::string TransformStep::str() const {
+  std::ostringstream os;
+  os << kindName(kind);
+  for (std::int64_t a : args) os << " " << a;
+  return os.str();
+}
+
+std::optional<TransformStep> TransformStep::parse(const std::string& line) {
+  std::istringstream is(line);
+  std::string name;
+  if (!(is >> name)) return std::nullopt;
+  const auto kind = kindFromName(name);
+  if (!kind) return std::nullopt;
+  TransformStep step;
+  step.kind = *kind;
+  std::int64_t v = 0;
+  while (is >> v) step.args.push_back(v);
+  if (!is.eof()) return std::nullopt; // trailing garbage
+  return step;
+}
+
+ir::Program applyStep(const ir::Program& p, const TransformStep& step) {
+  switch (step.kind) {
+  case TransformStep::Kind::Tile: {
+    const BandFacts facts = bandFacts(p);
+    MOTUNE_CHECK_MSG(facts.analyzable, "tile: region not analyzable");
+    MOTUNE_CHECK_MSG(!step.args.empty() &&
+                         step.args.size() <= facts.legalTileDepth,
+                     "tile: band exceeds the legal tileable depth");
+    return transform::tile(p, step.args);
+  }
+  case TransformStep::Kind::Interchange: {
+    const BandFacts facts = bandFacts(p);
+    MOTUNE_CHECK_MSG(facts.analyzable, "interchange: region not analyzable");
+    // A fully permutable band admits any permutation of its loops.
+    MOTUNE_CHECK_MSG(step.args.size() >= 2 &&
+                         step.args.size() <= facts.legalTileDepth,
+                     "interchange: permutation exceeds the permutable band");
+    std::vector<int> perm;
+    for (std::int64_t v : step.args) perm.push_back(static_cast<int>(v));
+    return transform::interchange(p, perm);
+  }
+  case TransformStep::Kind::Unroll: {
+    MOTUNE_CHECK_MSG(step.args.size() == 1, "unroll: needs one factor");
+    // Semantics-preserving for any loop; unrollInnermost enforces its own
+    // structural preconditions (unit step, constant bounds, assign body).
+    return transform::unrollInnermost(p, static_cast<int>(step.args[0]));
+  }
+  case TransformStep::Kind::Parallelize: {
+    MOTUNE_CHECK_MSG(step.args.size() == 1, "parallelize: needs a collapse");
+    const auto collapse = static_cast<std::size_t>(step.args[0]);
+    const BandFacts facts = bandFacts(p);
+    MOTUNE_CHECK_MSG(facts.analyzable, "parallelize: region not analyzable");
+    MOTUNE_CHECK_MSG(collapse >= 1 && collapse <= facts.nestDepth,
+                     "parallelize: collapse exceeds the nest depth");
+    for (std::size_t l = 0; l < collapse; ++l)
+      MOTUNE_CHECK_MSG(l < facts.parallelizable.size() &&
+                           facts.parallelizable[l],
+                       "parallelize: level carries a dependence");
+    return transform::parallelizeOuter(p, static_cast<int>(collapse));
+  }
+  case TransformStep::Kind::Fuse:
+    MOTUNE_CHECK_MSG(step.args.empty(), "fuse: takes no arguments");
+    return transform::fuse(p); // checks structure + dependences internally
+  case TransformStep::Kind::Distribute:
+    MOTUNE_CHECK_MSG(step.args.empty(), "distribute: takes no arguments");
+    return transform::distribute(p); // checks dependences internally
+  case TransformStep::Kind::Skeleton: {
+    MOTUNE_CHECK_MSG(step.args.size() >= 2, "skeleton: needs maxThreads + values");
+    const int maxThreads = static_cast<int>(step.args[0]);
+    const auto skeleton = analyzer::TransformationSkeleton::build(p, maxThreads);
+    const std::vector<std::int64_t> values(step.args.begin() + 1,
+                                           step.args.end());
+    return skeleton.instantiate(values);
+  }
+  }
+  MOTUNE_CHECK_MSG(false, "unreachable transform kind");
+  return p.clone();
+}
+
+ir::Program applySequence(const ir::Program& p,
+                          const std::vector<TransformStep>& steps) {
+  ir::Program current = p.clone();
+  for (const auto& step : steps) current = applyStep(current, step);
+  return current;
+}
+
+std::vector<TransformStep> sampleSequence(const ir::Program& p,
+                                          support::Rng& rng,
+                                          const SamplerOptions& opts,
+                                          std::uint64_t* rejectedDraws) {
+  std::vector<TransformStep> steps;
+  ir::Program current = p.clone();
+  const int target = static_cast<int>(
+      rng.uniformInt(1, std::max(1, opts.maxSteps)));
+
+  for (int slot = 0; slot < target; ++slot) {
+    bool placed = false;
+    for (int attempt = 0; attempt < opts.maxDrawsPerStep && !placed;
+         ++attempt) {
+      const BandFacts facts = bandFacts(current);
+      TransformStep step;
+      switch (rng.uniformInt(0, 6)) {
+      case 0: { // tile, sizes from per-loop ParamSpecs (lo=1, hi=trip)
+        if (facts.legalTileDepth == 0) break;
+        const auto band = static_cast<std::size_t>(
+            rng.uniformInt(1, static_cast<std::int64_t>(facts.legalTileDepth)));
+        step.kind = TransformStep::Kind::Tile;
+        for (std::size_t l = 0; l < band; ++l) {
+          const analyzer::ParamSpec spec{
+              "t" + std::to_string(l), 1,
+              std::max<std::int64_t>(1, facts.trips[l])};
+          step.args.push_back(rng.uniformInt(spec.lo, spec.hi));
+        }
+        break;
+      }
+      case 1: { // interchange a random permutation of the permutable band
+        if (facts.legalTileDepth < 2) break;
+        const auto band = static_cast<std::size_t>(
+            rng.uniformInt(2, static_cast<std::int64_t>(facts.legalTileDepth)));
+        std::vector<std::int64_t> perm(band);
+        std::iota(perm.begin(), perm.end(), 0);
+        for (std::size_t i = band - 1; i > 0; --i)
+          std::swap(perm[i], perm[static_cast<std::size_t>(
+                                rng.uniformInt(0, static_cast<std::int64_t>(i)))]);
+        step.kind = TransformStep::Kind::Interchange;
+        step.args = std::move(perm);
+        break;
+      }
+      case 2:
+        step.kind = TransformStep::Kind::Unroll;
+        step.args = {rng.uniformInt(2, std::max(2, opts.maxUnroll))};
+        break;
+      case 3:
+        step.kind = TransformStep::Kind::Parallelize;
+        step.args = {rng.uniformInt(
+            1, std::max<std::int64_t>(
+                   1, static_cast<std::int64_t>(facts.nestDepth)))};
+        break;
+      case 4:
+        step.kind = TransformStep::Kind::Fuse;
+        break;
+      case 5:
+        step.kind = TransformStep::Kind::Distribute;
+        break;
+      case 6: { // the tuner's actual pathway, params from its ParamSpecs
+        if (!steps.empty()) break; // skeletons start from untransformed code
+        try {
+          const auto skeleton =
+              analyzer::TransformationSkeleton::build(current, opts.maxThreads);
+          step.kind = TransformStep::Kind::Skeleton;
+          step.args = {opts.maxThreads};
+          for (const auto& spec : skeleton.params())
+            step.args.push_back(rng.uniformInt(spec.lo, spec.hi));
+        } catch (const support::CheckError&) {
+          step.args.clear(); // not skeletonizable; counts as a rejected draw
+        }
+        break;
+      }
+      }
+
+      if (step.args.empty() && step.kind != TransformStep::Kind::Fuse &&
+          step.kind != TransformStep::Kind::Distribute) {
+        if (rejectedDraws != nullptr) ++*rejectedDraws;
+        continue;
+      }
+      try {
+        current = applyStep(current, step);
+        steps.push_back(std::move(step));
+        placed = true;
+      } catch (const support::CheckError&) {
+        if (rejectedDraws != nullptr) ++*rejectedDraws;
+      }
+    }
+  }
+  return steps;
+}
+
+} // namespace motune::verify

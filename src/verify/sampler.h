@@ -1,0 +1,74 @@
+// Random legal transform sequences for the differential harness.
+//
+// A TransformStep names one transformation with concrete parameters; a
+// sequence is applied left to right, each step re-checked for legality on
+// the program it receives (the analyzer's dependence test for tile /
+// interchange / parallelize, the transforms' own structural and dependence
+// checks for unroll / fuse / distribute). Steps have a stable one-line
+// textual form so the fuzzer's repro files can carry them.
+//
+// Parameters are drawn from the same analyzer::ParamSpec machinery the
+// tuner uses: the Skeleton step literally runs
+// TransformationSkeleton::build(...).instantiate(...) — the exact pathway
+// KernelTuningProblem exercises — and granular tile steps draw sizes from
+// per-loop ParamSpecs built the same way (lo = 1, hi = trip count).
+#pragma once
+
+#include "ir/program.h"
+#include "support/rng.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace motune::verify {
+
+struct TransformStep {
+  enum class Kind {
+    Tile,        ///< args = tile sizes for the outer band
+    Interchange, ///< args = permutation of the outer band
+    Unroll,      ///< args = {factor}
+    Parallelize, ///< args = {collapse depth}
+    Fuse,        ///< args empty; fuses the first two top-level loops
+    Distribute,  ///< args empty; fissions the root loop
+    Skeleton,    ///< args = {maxThreads, tile sizes..., threads}
+  };
+  Kind kind = Kind::Tile;
+  std::vector<std::int64_t> args;
+
+  bool operator==(const TransformStep&) const = default;
+
+  /// One-line textual form, e.g. "tile 8 4" or "skeleton 8 16 4 2 3".
+  std::string str() const;
+
+  /// Inverse of str(); std::nullopt on malformed input.
+  static std::optional<TransformStep> parse(const std::string& line);
+};
+
+/// Applies one step, checking legality; throws support::CheckError when the
+/// step is illegal or structurally inapplicable to `p`.
+ir::Program applyStep(const ir::Program& p, const TransformStep& step);
+
+/// Applies a whole sequence left to right (throws on the first illegal
+/// step).
+ir::Program applySequence(const ir::Program& p,
+                          const std::vector<TransformStep>& steps);
+
+struct SamplerOptions {
+  int maxSteps = 3;
+  int maxThreads = 8;
+  int maxUnroll = 4;
+  int maxDrawsPerStep = 8; ///< rejected-draw retries before giving up a slot
+};
+
+/// Draws a random sequence that is legal on `p` (possibly empty when no
+/// transform applies). Every drawn-but-illegal candidate increments
+/// `*rejectedDraws` (and the verify.fuzz.sequences.rejected counter is the
+/// caller's to feed). Deterministic in the rng state.
+std::vector<TransformStep> sampleSequence(const ir::Program& p,
+                                          support::Rng& rng,
+                                          const SamplerOptions& opts = {},
+                                          std::uint64_t* rejectedDraws = nullptr);
+
+} // namespace motune::verify

@@ -1,0 +1,241 @@
+#include "verify/shrinker.h"
+
+#include "support/check.h"
+
+#include <algorithm>
+#include <exception>
+#include <set>
+#include <utility>
+
+namespace motune::verify {
+
+namespace {
+
+using Path = std::vector<std::size_t>; ///< body indices from the root
+
+void collectPaths(const std::vector<ir::StmtPtr>& body, Path& prefix,
+                  std::vector<Path>& stmts, std::vector<Path>& loops) {
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    prefix.push_back(i);
+    stmts.push_back(prefix);
+    if (body[i]->kind == ir::Stmt::Kind::Loop) {
+      loops.push_back(prefix);
+      collectPaths(body[i]->loop.body, prefix, stmts, loops);
+    }
+    prefix.pop_back();
+  }
+}
+
+/// Removes the statement at `path`; parent loops emptied by the removal are
+/// removed as well. Returns false for stale paths.
+bool removeAt(std::vector<ir::StmtPtr>& body, const Path& path,
+              std::size_t depth) {
+  const std::size_t idx = path[depth];
+  if (idx >= body.size()) return false;
+  if (depth + 1 == path.size()) {
+    body.erase(body.begin() + static_cast<std::ptrdiff_t>(idx));
+    return true;
+  }
+  if (body[idx]->kind != ir::Stmt::Kind::Loop) return false;
+  if (!removeAt(body[idx]->loop.body, path, depth + 1)) return false;
+  if (body[idx]->loop.body.empty())
+    body.erase(body.begin() + static_cast<std::ptrdiff_t>(idx));
+  return true;
+}
+
+/// Replaces the loop at `path` with its body, the induction variable
+/// substituted by the lower bound (a single-iteration specialization).
+bool collapseAt(std::vector<ir::StmtPtr>& body, const Path& path,
+                std::size_t depth) {
+  const std::size_t idx = path[depth];
+  if (idx >= body.size() || body[idx]->kind != ir::Stmt::Kind::Loop)
+    return false;
+  ir::Loop& loop = body[idx]->loop;
+  if (depth + 1 < path.size()) return collapseAt(loop.body, path, depth + 1);
+  std::vector<ir::StmtPtr> replacement;
+  for (const auto& s : loop.body)
+    replacement.push_back(ir::substituteIv(*s, loop.iv, loop.lower));
+  body.erase(body.begin() + static_cast<std::ptrdiff_t>(idx));
+  body.insert(body.begin() + static_cast<std::ptrdiff_t>(idx),
+              std::make_move_iterator(replacement.begin()),
+              std::make_move_iterator(replacement.end()));
+  return true;
+}
+
+/// Halves the constant extent of the loop at `path` (toward 1).
+bool halveExtentAt(std::vector<ir::StmtPtr>& body, const Path& path,
+                   std::size_t depth) {
+  const std::size_t idx = path[depth];
+  if (idx >= body.size() || body[idx]->kind != ir::Stmt::Kind::Loop)
+    return false;
+  ir::Loop& loop = body[idx]->loop;
+  if (depth + 1 < path.size()) return halveExtentAt(loop.body, path, depth + 1);
+  if (loop.upper.cap.has_value()) return false;
+  const ir::AffineExpr extentExpr = loop.upper.base - loop.lower;
+  if (!extentExpr.isConstant()) return false;
+  const std::int64_t extent = extentExpr.constantTerm();
+  const std::int64_t next = std::max<std::int64_t>(1, extent / 2);
+  if (next >= extent) return false;
+  loop.upper = ir::Bound(loop.lower + next);
+  return true;
+}
+
+void collectUsedArrays(const ir::Expr& e, std::set<std::string>& used) {
+  if (e.kind == ir::Expr::Kind::Read) used.insert(e.array);
+  if (e.lhs) collectUsedArrays(*e.lhs, used);
+  if (e.rhs) collectUsedArrays(*e.rhs, used);
+}
+
+void collectUsedArrays(const std::vector<ir::StmtPtr>& body,
+                       std::set<std::string>& used) {
+  for (const auto& s : body) {
+    if (s->kind == ir::Stmt::Kind::Loop) {
+      collectUsedArrays(s->loop.body, used);
+    } else {
+      used.insert(s->assign.array);
+      if (s->assign.rhs) collectUsedArrays(*s->assign.rhs, used);
+    }
+  }
+}
+
+} // namespace
+
+FuzzCase shrink(const FuzzCase& failing, const StillFails& stillFails,
+                int maxAttempts, ShrinkStats* stats) {
+  FuzzCase current = failing.clone();
+  int attempts = 0;
+
+  const auto tryCandidate = [&](FuzzCase cand) {
+    if (attempts >= maxAttempts) return false;
+    ++attempts;
+    if (stats != nullptr) ++stats->attempts;
+    bool keeps = false;
+    try {
+      keeps = stillFails(cand);
+    } catch (const std::exception&) {
+      keeps = false; // an un-evaluable candidate is simply not accepted
+    }
+    if (keeps) {
+      current = std::move(cand);
+      if (stats != nullptr) ++stats->accepted;
+    }
+    return keeps;
+  };
+
+  // Each pass re-enumerates candidates from the freshly shrunk case after
+  // every acceptance and runs to its own fixpoint.
+  const auto runPass = [&](const auto& makeCandidates) {
+    bool any = false;
+    bool again = true;
+    while (again && attempts < maxAttempts) {
+      again = false;
+      for (auto& cand : makeCandidates(current)) {
+        if (tryCandidate(std::move(cand))) {
+          any = true;
+          again = true;
+          break;
+        }
+        if (attempts >= maxAttempts) break;
+      }
+    }
+    return any;
+  };
+
+  const auto dropSteps = [](const FuzzCase& c) {
+    std::vector<FuzzCase> cands;
+    for (std::size_t s = 0; s < c.steps.size(); ++s) {
+      FuzzCase cand = c.clone();
+      cand.steps.erase(cand.steps.begin() + static_cast<std::ptrdiff_t>(s));
+      cands.push_back(std::move(cand));
+    }
+    return cands;
+  };
+
+  const auto dropStmts = [](const FuzzCase& c) {
+    std::vector<Path> stmts, loops;
+    Path prefix;
+    collectPaths(c.program.body, prefix, stmts, loops);
+    std::vector<FuzzCase> cands;
+    for (const auto& path : stmts) {
+      FuzzCase cand = c.clone();
+      if (removeAt(cand.program.body, path, 0) && !cand.program.body.empty())
+        cands.push_back(std::move(cand));
+    }
+    return cands;
+  };
+
+  const auto collapseLoops = [](const FuzzCase& c) {
+    std::vector<Path> stmts, loops;
+    Path prefix;
+    collectPaths(c.program.body, prefix, stmts, loops);
+    std::vector<FuzzCase> cands;
+    for (const auto& path : loops) {
+      FuzzCase cand = c.clone();
+      if (collapseAt(cand.program.body, path, 0))
+        cands.push_back(std::move(cand));
+    }
+    return cands;
+  };
+
+  const auto halveExtents = [](const FuzzCase& c) {
+    std::vector<Path> stmts, loops;
+    Path prefix;
+    collectPaths(c.program.body, prefix, stmts, loops);
+    std::vector<FuzzCase> cands;
+    for (const auto& path : loops) {
+      FuzzCase cand = c.clone();
+      if (halveExtentAt(cand.program.body, path, 0))
+        cands.push_back(std::move(cand));
+    }
+    return cands;
+  };
+
+  const auto shrinkStepArgs = [](const FuzzCase& c) {
+    std::vector<FuzzCase> cands;
+    for (std::size_t s = 0; s < c.steps.size(); ++s) {
+      // A shorter tile band is a strictly simpler step.
+      if (c.steps[s].kind == TransformStep::Kind::Tile &&
+          c.steps[s].args.size() > 1) {
+        FuzzCase cand = c.clone();
+        cand.steps[s].args.pop_back();
+        cands.push_back(std::move(cand));
+      }
+      for (std::size_t a = 0; a < c.steps[s].args.size(); ++a) {
+        const std::int64_t v = c.steps[s].args[a];
+        if (v <= 1) continue;
+        FuzzCase cand = c.clone();
+        cand.steps[s].args[a] = 1 + (v - 1) / 2;
+        cands.push_back(std::move(cand));
+      }
+    }
+    return cands;
+  };
+
+  const auto trimArrays = [](const FuzzCase& c) {
+    std::set<std::string> used;
+    collectUsedArrays(c.program.body, used);
+    std::vector<FuzzCase> cands;
+    if (used.size() < c.program.arrays.size()) {
+      FuzzCase cand = c.clone();
+      std::erase_if(cand.program.arrays, [&](const ir::ArrayDecl& d) {
+        return used.count(d.name) == 0;
+      });
+      cands.push_back(std::move(cand));
+    }
+    return cands;
+  };
+
+  bool progress = true;
+  while (progress && attempts < maxAttempts) {
+    progress = false;
+    progress |= runPass(dropSteps);
+    progress |= runPass(dropStmts);
+    progress |= runPass(collapseLoops);
+    progress |= runPass(halveExtents);
+    progress |= runPass(shrinkStepArgs);
+    progress |= runPass(trimArrays);
+  }
+  return current;
+}
+
+} // namespace motune::verify

@@ -1,0 +1,47 @@
+// Minimizer for failing (program, transform-sequence) pairs.
+//
+// Greedy fixpoint reduction: repeatedly tries structural simplifications —
+// dropping transform steps, deleting statements, collapsing loops to a
+// single iteration, halving loop extents and transform parameters — and
+// keeps any candidate for which the caller's predicate still reports the
+// failure. The result is typically a handful of loops and one or two
+// transform steps, small enough to read and file verbatim.
+#pragma once
+
+#include "ir/program.h"
+#include "verify/sampler.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace motune::verify {
+
+/// One fuzz case: a generated program plus the transform sequence under
+/// test.
+struct FuzzCase {
+  ir::Program program;
+  std::vector<TransformStep> steps;
+
+  FuzzCase clone() const {
+    return FuzzCase{program.clone(), steps};
+  }
+};
+
+/// Returns true when the candidate still exhibits the original failure.
+/// Must return false — not throw — for candidates it cannot evaluate;
+/// wrap oracle calls in try/catch.
+using StillFails = std::function<bool(const FuzzCase&)>;
+
+struct ShrinkStats {
+  std::uint64_t attempts = 0; ///< candidate evaluations
+  std::uint64_t accepted = 0; ///< candidates that kept the failure
+};
+
+/// Shrinks `failing` to a locally minimal case for which `stillFails` holds.
+/// `failing` itself must satisfy the predicate. Deterministic; bounded by
+/// `maxAttempts` predicate evaluations.
+FuzzCase shrink(const FuzzCase& failing, const StillFails& stillFails,
+                int maxAttempts = 2000, ShrinkStats* stats = nullptr);
+
+} // namespace motune::verify

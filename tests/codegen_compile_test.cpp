@@ -1,0 +1,113 @@
+// Codegen hygiene: the C the backend emits must compile warning-free under
+// -Wall -Wextra -Werror with the host compiler, for every built-in kernel,
+// for transformed (tiled + parallelized) variants, and for the
+// multi-versioned region module. Skips cleanly when no host C compiler is
+// available.
+#include "analyzer/region.h"
+#include "codegen/cemit.h"
+#include "kernels/kernel.h"
+#include "verify/oracle.h" // hostCompiler()
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+using namespace motune;
+namespace fs = std::filesystem;
+
+namespace {
+
+class CodegenCompile : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (verify::hostCompiler().empty())
+      GTEST_SKIP() << "no host C compiler found";
+    dir_ = fs::temp_directory_path() / "motune-codegen-compile-test";
+    fs::create_directories(dir_);
+  }
+
+  /// Writes `code` and compiles it to an object file with the strict flag
+  /// set. -fopenmp is required: -Wall turns on -Wunknown-pragmas and the
+  /// emitted parallel loops carry omp pragmas.
+  ::testing::AssertionResult compiles(const std::string& code,
+                                      const std::string& tag) {
+    const fs::path src = dir_ / (tag + ".c");
+    const fs::path obj = dir_ / (tag + ".o");
+    const fs::path err = dir_ / (tag + ".err");
+    {
+      std::ofstream out(src);
+      out << code;
+    }
+    const std::string cmd = verify::hostCompiler() +
+                            " -std=c11 -Wall -Wextra -Werror -fopenmp -c -o \"" +
+                            obj.string() + "\" \"" + src.string() +
+                            "\" 2> \"" + err.string() + "\"";
+    if (std::system(cmd.c_str()) == 0) return ::testing::AssertionSuccess();
+    std::ifstream in(err);
+    std::string diagnostics((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    return ::testing::AssertionFailure()
+           << tag << " failed to compile:\n" << diagnostics << "\n" << code;
+  }
+
+  fs::path dir_;
+};
+
+std::string sanitized(std::string name) {
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return name;
+}
+
+} // namespace
+
+TEST_F(CodegenCompile, EveryBuiltinKernelCompilesWarningFree) {
+  for (const auto& spec : kernels::allKernels()) {
+    const ir::Program p = spec.buildIR(spec.testN);
+    const std::string code =
+        codegen::emitFunction(p, "kernel_" + sanitized(spec.name), true);
+    EXPECT_TRUE(compiles(code, sanitized(spec.name)));
+  }
+}
+
+TEST_F(CodegenCompile, TransformedVariantsCompileWarningFree) {
+  // The tuner's own pathway: skeleton-instantiated (tiled + collapsed
+  // parallel) versions of each kernel, pragmas on.
+  for (const auto& spec : kernels::allKernels()) {
+    const ir::Program p = spec.buildIR(spec.testN);
+    const auto skeleton = analyzer::TransformationSkeleton::build(p, 4);
+    std::vector<std::int64_t> values;
+    for (const auto& param : skeleton.params())
+      values.push_back(std::max<std::int64_t>(param.lo,
+                                              std::min<std::int64_t>(2, param.hi)));
+    const ir::Program tiled = skeleton.instantiate(values);
+    const std::string code = codegen::emitFunction(
+        tiled, "tiled_" + sanitized(spec.name), true);
+    EXPECT_TRUE(compiles(code, "tiled_" + sanitized(spec.name)));
+  }
+}
+
+TEST_F(CodegenCompile, MultiVersionModuleCompilesWarningFree) {
+  const auto& spec = kernels::kernelByName("mm");
+  const ir::Program p = spec.buildIR(spec.testN);
+  const auto skeleton = analyzer::TransformationSkeleton::build(p, 4);
+  std::vector<codegen::VersionDescriptor> versions;
+  for (std::int64_t tile : {2, 4}) {
+    codegen::VersionDescriptor v;
+    std::vector<std::int64_t> values;
+    for (const auto& param : skeleton.params())
+      values.push_back(std::max<std::int64_t>(param.lo,
+                                              std::min<std::int64_t>(tile, param.hi)));
+    v.program = skeleton.instantiate(values);
+    v.tileSizes.assign(values.begin(), values.end() - 1);
+    v.threads = static_cast<int>(values.back());
+    v.estTimeSeconds = 1.0;
+    v.estResources = static_cast<double>(v.threads);
+    versions.push_back(std::move(v));
+  }
+  const std::string module = codegen::emitMultiVersionModule("mm", versions);
+  EXPECT_TRUE(compiles(module, "mm_module"));
+}

@@ -1,0 +1,163 @@
+// Determinism guarantees of the optimization pipeline: a fixed seed must
+// produce identical results regardless of evaluation parallelism or thread
+// pool size. Everything the paper reports (fronts, evaluation counts,
+// hypervolume trajectories) relies on this for reproducibility.
+#include "core/gde3.h"
+#include "core/rsgde3.h"
+#include "core/testproblems.h"
+#include "runtime/thread_pool.h"
+#include "support/rng.h"
+#include "tuning/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+
+using namespace motune;
+
+namespace {
+
+/// Canonical, order-insensitive rendering of a front for comparison:
+/// configs with bit-exact objective values.
+std::multiset<std::pair<tuning::Config, tuning::Objectives>>
+canonicalFront(const std::vector<opt::Individual>& front) {
+  std::multiset<std::pair<tuning::Config, tuning::Objectives>> out;
+  for (const auto& ind : front) out.emplace(ind.config, ind.objectives);
+  return out;
+}
+
+struct RunOutcome {
+  std::multiset<std::pair<tuning::Config, tuning::Objectives>> front;
+  std::uint64_t evaluations = 0;
+  int generations = 0;
+  std::vector<double> hvHistory;
+
+  bool operator==(const RunOutcome&) const = default;
+};
+
+RunOutcome runGDE3(unsigned poolWorkers, bool parallelEvaluation,
+                   std::uint64_t seed) {
+  opt::SyntheticProblem problem = opt::makeSchaffer();
+  runtime::ThreadPool pool(poolWorkers);
+  opt::GDE3Options options;
+  options.seed = seed;
+  options.maxGenerations = 12; // bounded, identical across runs
+  options.parallelEvaluation = parallelEvaluation;
+  opt::GDE3 engine(problem, pool, options);
+  const opt::OptResult result = engine.run();
+  return {canonicalFront(result.front), result.evaluations,
+          result.generations, result.hvHistory};
+}
+
+RunOutcome runRSGDE3(unsigned poolWorkers, bool parallelEvaluation,
+                     std::uint64_t seed) {
+  opt::SyntheticProblem problem = opt::makeFonseca();
+  runtime::ThreadPool pool(poolWorkers);
+  opt::RSGDE3Options options;
+  options.gde3.seed = seed;
+  options.gde3.maxGenerations = 10;
+  options.gde3.parallelEvaluation = parallelEvaluation;
+  opt::RSGDE3 engine(problem, pool, options);
+  const opt::OptResult result = engine.run();
+  return {canonicalFront(result.front), result.evaluations,
+          result.generations, result.hvHistory};
+}
+
+} // namespace
+
+TEST(Determinism, GDE3IdenticalAcrossPoolSizesAndEvaluationModes) {
+  const RunOutcome reference = runGDE3(1, false, 42);
+  EXPECT_FALSE(reference.front.empty());
+  EXPECT_GT(reference.evaluations, 0u);
+  for (unsigned workers : {1u, 2u, 4u})
+    for (bool parallel : {false, true}) {
+      const RunOutcome outcome = runGDE3(workers, parallel, 42);
+      EXPECT_EQ(outcome, reference)
+          << workers << " workers, parallelEvaluation=" << parallel;
+    }
+}
+
+TEST(Determinism, GDE3DifferentSeedsDiverge) {
+  // Sanity check that the comparison above is not vacuous.
+  EXPECT_NE(runGDE3(1, false, 42), runGDE3(1, false, 43));
+}
+
+TEST(Determinism, RSGDE3IdenticalAcrossPoolSizesAndEvaluationModes) {
+  const RunOutcome reference = runRSGDE3(1, false, 7);
+  EXPECT_FALSE(reference.front.empty());
+  for (unsigned workers : {1u, 2u, 4u})
+    for (bool parallel : {false, true}) {
+      const RunOutcome outcome = runRSGDE3(workers, parallel, 7);
+      EXPECT_EQ(outcome, reference)
+          << workers << " workers, parallelEvaluation=" << parallel;
+    }
+}
+
+TEST(Determinism, BatchEvaluatorParallelMatchesSerialBitExactly) {
+  opt::SyntheticProblem problem = opt::makeZDT1();
+  support::Rng rng(123);
+  std::vector<tuning::Config> configs;
+  for (int i = 0; i < 64; ++i) {
+    tuning::Config c;
+    for (const auto& spec : problem.space())
+      c.push_back(rng.uniformInt(spec.lo, spec.hi));
+    configs.push_back(std::move(c));
+  }
+
+  runtime::ThreadPool pool(4);
+  tuning::BatchEvaluator serial(problem, pool, /*parallel=*/false);
+  tuning::BatchEvaluator parallel(problem, pool, /*parallel=*/true);
+  const auto a = serial.evaluateAll(configs);
+  const auto b = parallel.evaluateAll(configs);
+  ASSERT_EQ(a.size(), configs.size());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << "config " << i;
+    for (std::size_t k = 0; k < a[i].size(); ++k)
+      EXPECT_EQ(std::memcmp(&a[i][k], &b[i][k], sizeof(double)), 0)
+          << "config " << i << " objective " << k << ": " << a[i][k]
+          << " vs " << b[i][k];
+  }
+}
+
+TEST(Determinism, CountingEvaluatorMemoConsistentUnderConcurrentBatches) {
+  opt::SyntheticProblem problem = opt::makeSchaffer();
+  tuning::CountingEvaluator counting(problem);
+
+  // A batch with heavy duplication, evaluated concurrently: the memo must
+  // end with exactly the unique configurations and serve every duplicate
+  // the same (bit-identical) objectives.
+  std::vector<tuning::Config> configs;
+  std::set<tuning::Config> unique;
+  support::Rng rng(7);
+  for (int i = 0; i < 16; ++i) {
+    tuning::Config c{rng.uniformInt(problem.space().front().lo,
+                                    problem.space().front().hi)};
+    for (int dup = 0; dup < 8; ++dup) configs.push_back(c);
+    unique.insert(c);
+  }
+
+  runtime::ThreadPool pool(4);
+  tuning::BatchEvaluator batch(counting, pool, /*parallel=*/true);
+  const auto first = batch.evaluateAll(configs);
+  EXPECT_EQ(counting.evaluations(), unique.size());
+
+  // Re-evaluating the identical batch is served fully from the memo.
+  const auto hitsBefore = counting.memoHits();
+  const auto second = batch.evaluateAll(configs);
+  EXPECT_EQ(counting.evaluations(), unique.size());
+  EXPECT_EQ(counting.memoHits(), hitsBefore + configs.size());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_EQ(first[i], second[i]) << "config " << i;
+
+  // Duplicates within the first batch already agreed with each other.
+  std::map<tuning::Config, tuning::Objectives> seen;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto [it, inserted] = seen.emplace(configs[i], first[i]);
+    if (!inserted) EXPECT_EQ(it->second, first[i]) << "config " << i;
+  }
+}

@@ -125,6 +125,36 @@ TEST(Parse, RoundTripThroughPrinter) {
             std::string::npos);
 }
 
+TEST(Parse, PrintSourceRoundTripsBuiltinKernels) {
+  // printSource must be an exact inverse of parseProgram on every built-in
+  // kernel IR — the fuzzer's repro files depend on this identity.
+  for (const auto& spec : kernels::allKernels()) {
+    const Program p = spec.buildIR(spec.testN);
+    const std::string source = printSource(p);
+    Program reparsed;
+    ASSERT_NO_THROW(reparsed = parseProgram(source))
+        << spec.name << ":\n" << source;
+    EXPECT_TRUE(structurallyEqual(p, reparsed))
+        << spec.name << ":\n" << source;
+  }
+}
+
+TEST(Parse, PrintSourceRoundTripsAwkwardConstants) {
+  // Constants that are not exactly representable need all 17 digits; the
+  // sign must fold back into the literal, not a unary negation node.
+  const Program p = parseProgram(
+      "array A[2]\n"
+      "for i = 0 .. 2 { A[i] = (0.1 + -1.8444801241839572) * 3.0; }");
+  const Program reparsed = parseProgram(printSource(p));
+  EXPECT_TRUE(structurallyEqual(p, reparsed)) << printSource(p);
+}
+
+TEST(Parse, PrintSourceRejectsTransformedPrograms) {
+  Program p = parseProgram("array A[4]\nfor i = 0 .. 4 { A[i] = 1.0; }");
+  p.rootLoop().parallel = true; // not representable in the source language
+  EXPECT_THROW(printSource(p), support::CheckError);
+}
+
 struct BadSource {
   const char* label;
   const char* src;

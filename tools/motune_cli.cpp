@@ -36,6 +36,17 @@
 //   motune predict --kernel mm --machine westmere --tiles 64,64,32
 //                  --threads 8 [--n 1400]
 //       Cost-model breakdown for one configuration.
+//   motune fuzz [--seed 1] [--iters 1000] [--time-budget SECONDS]
+//               [--no-native] [--out-dir DIR] [--max-steps 3]
+//               [--metrics FILE.json] [--trace FILE]
+//       Differential correctness fuzzing (see src/verify/): random affine
+//       loop nests x random legal transform sequences, checked three ways
+//       (original interp, transformed interp, compiled C). On disagreement
+//       the case is minimized and written to DIR as a repro file; exit 1.
+//       --no-native skips the compile-and-run leg (interpreter-only).
+//   motune fuzz --repro FILE [--no-native]
+//       Replay a repro file: re-parse the program, re-apply the recorded
+//       transform steps, re-run the oracle; exit 1 if it still disagrees.
 #include "analyzer/dependence.h"
 #include "analyzer/region.h"
 #include "autotune/artifact.h"
@@ -50,6 +61,7 @@
 #include "observe/trace.h"
 #include "support/check.h"
 #include "support/table.h"
+#include "verify/fuzz.h"
 
 #include <fstream>
 #include <iostream>
@@ -74,6 +86,9 @@ struct Args {
   bool has(const std::string& key) const { return options.count(key) > 0; }
 };
 
+/// Options that are pure flags (present/absent, no value token).
+bool isFlagOption(const std::string& key) { return key == "no-native"; }
+
 Args parseArgs(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
@@ -81,6 +96,10 @@ Args parseArgs(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       const std::string key = arg.substr(2);
+      if (isFlagOption(key)) {
+        args.options[key] = "1";
+        continue;
+      }
       MOTUNE_CHECK_MSG(i + 1 < argc, "missing value for --" + key);
       args.options[key] = argv[++i];
     } else {
@@ -214,6 +233,45 @@ int cmdAnalyze(const Args& args) {
   return 0;
 }
 
+/// Attaches the --trace sink (if requested) to the global tracer; shared by
+/// the tune and fuzz commands.
+void attachTraceSink(const Args& args) {
+  if (!args.has("trace")) return;
+  const std::string path = args.options.at("trace");
+  const std::string format = args.get("trace-format", "jsonl");
+  std::shared_ptr<observe::Sink> sink;
+  if (format == "chrome")
+    sink = path == "-" ? std::make_shared<observe::ChromeTraceSink>(std::cout)
+                       : std::make_shared<observe::ChromeTraceSink>(path);
+  else if (format == "jsonl")
+    sink = path == "-" ? std::make_shared<observe::JsonLinesSink>(std::cout)
+                       : std::make_shared<observe::JsonLinesSink>(path);
+  else
+    MOTUNE_CHECK_MSG(false, "unknown trace format: " + format +
+                                " (available: jsonl, chrome)");
+  observe::Tracer::global().addSink(std::move(sink));
+}
+
+/// Snapshots metrics into the trace, detaches the sink, and writes the
+/// --metrics JSON file when requested.
+void finishObservability(const Args& args,
+                         observe::MetricsRegistry& metrics) {
+  observe::Tracer& tracer = observe::Tracer::global();
+  if (args.has("trace")) {
+    tracer.snapshotMetrics(metrics);
+    tracer.clearSinks();
+    if (args.options.at("trace") != "-")
+      std::cout << "trace written to " << args.options.at("trace") << "\n";
+  }
+  if (args.has("metrics")) {
+    const std::string path = args.options.at("metrics");
+    std::ofstream out(path);
+    MOTUNE_CHECK_MSG(out.good(), "cannot write " + path);
+    out << metrics.toJson().dump(2) << "\n";
+    std::cout << "metrics written to " << path << "\n";
+  }
+}
+
 int cmdTune(const Args& args) {
   const kernels::KernelSpec spec =
       args.has("source") ? specFromSource(args.options.at("source"))
@@ -241,43 +299,16 @@ int cmdTune(const Args& args) {
   // Observability: fresh per-run metrics, optional JSONL trace. The final
   // metric snapshot is stitched into the trace so one file carries the
   // full run record (per-generation spans + end-of-run counters).
-  observe::Tracer& tracer = observe::Tracer::global();
   observe::MetricsRegistry& metrics = observe::MetricsRegistry::global();
   metrics.reset();
-  if (args.has("trace")) {
-    const std::string path = args.options.at("trace");
-    const std::string format = args.get("trace-format", "jsonl");
-    std::shared_ptr<observe::Sink> sink;
-    if (format == "chrome")
-      sink = path == "-" ? std::make_shared<observe::ChromeTraceSink>(std::cout)
-                         : std::make_shared<observe::ChromeTraceSink>(path);
-    else if (format == "jsonl")
-      sink = path == "-" ? std::make_shared<observe::JsonLinesSink>(std::cout)
-                         : std::make_shared<observe::JsonLinesSink>(path);
-    else
-      MOTUNE_CHECK_MSG(false, "unknown trace format: " + format +
-                                  " (available: jsonl, chrome)");
-    tracer.addSink(std::move(sink));
-  }
+  attachTraceSink(args);
 
   std::cout << "tuning " << spec.name << " (N=" << problem.problemSize()
             << ") on " << machine.name << " with " << algo << " ...\n";
   autotune::AutoTuner tuner(options);
   const autotune::TuningResult result = tuner.tune(problem);
 
-  if (args.has("trace")) {
-    tracer.snapshotMetrics(metrics);
-    tracer.clearSinks();
-    if (args.options.at("trace") != "-")
-      std::cout << "trace written to " << args.options.at("trace") << "\n";
-  }
-  if (args.has("metrics")) {
-    const std::string path = args.options.at("metrics");
-    std::ofstream out(path);
-    MOTUNE_CHECK_MSG(out.good(), "cannot write " + path);
-    out << metrics.toJson().dump(2) << "\n";
-    std::cout << "metrics written to " << path << "\n";
-  }
+  finishObservability(args, metrics);
 
   std::cout << result.evaluations << " evaluations, V(S) = "
             << support::fmt(result.hypervolume, 3) << ", "
@@ -396,6 +427,71 @@ int cmdPredict(const Args& args) {
   return 0;
 }
 
+int cmdFuzz(const Args& args) {
+  observe::MetricsRegistry& metrics = observe::MetricsRegistry::global();
+  metrics.reset();
+  attachTraceSink(args);
+
+  verify::OracleOptions oracle;
+  oracle.runNative = !args.has("no-native");
+  if (oracle.runNative && verify::hostCompiler().empty()) {
+    std::cout << "no host C compiler found; falling back to --no-native\n";
+    oracle.runNative = false;
+  }
+
+  if (args.has("repro")) {
+    const verify::FuzzCase c =
+        verify::parseRepro(readFile(args.options.at("repro")));
+    std::cout << "replaying " << args.options.at("repro") << " ("
+              << c.steps.size() << " transform step"
+              << (c.steps.size() == 1 ? "" : "s") << ")\n";
+    for (const auto& step : c.steps) std::cout << "  " << step.str() << "\n";
+    const verify::OracleVerdict verdict = verify::replayRepro(c, oracle);
+    finishObservability(args, metrics);
+    std::cout << verdict.describe() << "\n";
+    return verdict.agree ? 0 : 1;
+  }
+
+  verify::FuzzOptions options;
+  options.seed = std::stoull(args.get("seed", "1"));
+  options.iters = std::stoull(args.get("iters", "1000"));
+  options.timeBudgetSeconds = std::stod(args.get("time-budget", "0"));
+  options.sampler.maxSteps = std::stoi(args.get("max-steps", "3"));
+  options.outDir = args.get("out-dir", ".");
+  options.oracle = oracle;
+
+  std::cout << "fuzzing: seed " << options.seed << ", up to " << options.iters
+            << " iterations"
+            << (options.timeBudgetSeconds > 0
+                    ? ", " + args.get("time-budget", "0") + "s budget"
+                    : std::string())
+            << (oracle.runNative ? "" : ", interpreter-only") << " ...\n";
+  const verify::FuzzReport report = verify::runFuzz(options);
+  finishObservability(args, metrics);
+
+  std::cout << report.iterations << " iterations: " << report.programs
+            << " programs, " << report.comparisons << " oracle comparisons ("
+            << report.nativeRuns << " native), " << report.rejectedDraws
+            << " rejected transform draws\n";
+  if (!report.failed) {
+    std::cout << "no disagreements found\n";
+    return 0;
+  }
+  std::cerr << "DISAGREEMENT at iteration " << report.failingIteration << ": "
+            << report.detail << "\n";
+  if (report.minimized) {
+    std::cerr << "minimized to " << report.minimized->steps.size()
+              << " transform step"
+              << (report.minimized->steps.size() == 1 ? "" : "s") << ":\n"
+              << verify::serializeRepro(*report.minimized, options.seed,
+                                        report.failingIteration);
+  }
+  if (!report.reproPath.empty())
+    std::cerr << "repro written to " << report.reproPath << " (replay with "
+              << "`motune fuzz --repro " << report.reproPath << "`)\n";
+  return 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -408,8 +504,9 @@ int main(int argc, char** argv) {
     if (args.command == "show") return cmdShow(args);
     if (args.command == "codegen") return cmdCodegen(args);
     if (args.command == "predict") return cmdPredict(args);
+    if (args.command == "fuzz") return cmdFuzz(args);
     std::cerr << "usage: motune {list|tune|report|analyze|show|codegen|"
-                 "predict} [options]\n"
+                 "predict|fuzz} [options]\n"
                  "see the header of tools/motune_cli.cpp for details\n";
     return args.command.empty() ? 1 : 2;
   } catch (const std::exception& e) {
