@@ -1,0 +1,320 @@
+// Hot-path microbenchmark suite with a committed baseline gate.
+//
+// Times the four paths the tuning pipeline spends its cycles in — the
+// memoizing evaluator (serial and under thread contention), skeleton
+// instantiation + nest analysis, IR execution (tree walker vs. the flat
+// bytecode engine), and batched cache simulation — and emits the
+// throughputs as machine-readable JSON. With --baseline the process fails
+// when any throughput drops more than the tolerance below its committed
+// floor, so order-of-magnitude hot-path regressions fail CI without the
+// gate flaking on runner speed (the floors are deliberately conservative).
+//
+// Every value is a rate (higher is better): lookups/s, variants/s,
+// statements/s, accesses/s — plus derived "ratio" entries
+// (interp.bytecode_speedup, memo.mt4_speedup) that are machine-independent
+// and therefore gated tightly.
+//
+//   bench_hotpath [--out BENCH_hotpath.json]
+//                 [--baseline bench/baselines/hotpath_baseline.json]
+//                 [--tolerance 0.30] [--min-time 0.3] [--metrics FILE]
+#include "analyzer/region.h"
+#include "cachesim/hierarchy.h"
+#include "core/testproblems.h"
+#include "ir/bytecode.h"
+#include "ir/interp.h"
+#include "kernels/kernel.h"
+#include "machine/machine.h"
+#include "observe/metrics.h"
+#include "perfmodel/footprint.h"
+#include "support/check.h"
+#include "support/json.h"
+#include "support/mem_access.h"
+#include "support/table.h"
+#include "tuning/evaluator.h"
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <span>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace motune;
+
+namespace {
+
+/// Keeps a computed value alive past the optimizer.
+inline void escape(const void* p) { asm volatile("" : : "g"(p) : "memory"); }
+
+struct Result {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+/// Repeats `fn` (which returns the number of items it processed) until
+/// `minSeconds` of wall time have elapsed; returns items per second. One
+/// untimed warm-up call precedes the measurement.
+template <typename Fn> double throughput(double minSeconds, Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  fn(); // warm-up: populate caches/memos, fault in pages
+  double items = 0.0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    items += static_cast<double>(fn());
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < minSeconds);
+  return items / elapsed;
+}
+
+/// Deterministic config set over a problem's space (includes repeats once
+/// the space is exhausted, like a converging search re-visiting points).
+std::vector<tuning::Config> makeConfigs(const tuning::ObjectiveFunction& fn,
+                                        std::size_t count) {
+  const auto& space = fn.space();
+  std::vector<tuning::Config> configs;
+  configs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    tuning::Config c(space.size());
+    for (std::size_t d = 0; d < space.size(); ++d) {
+      const std::int64_t range = space[d].hi - space[d].lo + 1;
+      c[d] = space[d].lo +
+             static_cast<std::int64_t>((i * 2654435761u + d * 97) %
+                                       static_cast<std::uint64_t>(range));
+    }
+    configs.push_back(std::move(c));
+  }
+  return configs;
+}
+
+/// Memo-hit throughput: `threads` workers hammer one shared
+/// CountingEvaluator with an already-memoized config set; the aggregate
+/// lookup rate measures shard/lock scalability, not evaluation cost.
+double memoLookupRate(int threads, double minSeconds) {
+  opt::SyntheticProblem problem = opt::makeSchaffer();
+  tuning::CountingEvaluator counting(problem);
+  const auto configs = makeConfigs(counting, 512);
+  for (const auto& c : configs) counting.evaluate(c); // warm the memo
+
+  constexpr int kPasses = 16; // amortize thread spawn over the round
+  const auto hammer = [&] {
+    double acc = 0.0;
+    for (int p = 0; p < kPasses; ++p)
+      for (const auto& c : configs) acc += counting.evaluate(c)[0];
+    escape(&acc);
+  };
+
+  if (threads <= 1)
+    return throughput(minSeconds, [&] {
+      hammer();
+      return kPasses * configs.size();
+    });
+
+  return throughput(minSeconds, [&] {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) workers.emplace_back(hammer);
+    for (auto& w : workers) w.join();
+    return static_cast<std::size_t>(threads) * kPasses * configs.size();
+  });
+}
+
+/// Variant construction: skeleton instantiation plus the nest analysis the
+/// cost model runs on every new variant (what KernelTuningProblem does on a
+/// variant-cache miss).
+double variantRate(double minSeconds) {
+  const ir::Program program = kernels::buildMM(64);
+  const auto skeleton = analyzer::TransformationSkeleton::build(program, 8);
+  const auto& params = skeleton.params();
+  constexpr std::size_t kBatch = 4;
+  std::size_t tick = 0;
+  return throughput(minSeconds, [&] {
+    for (std::size_t b = 0; b < kBatch; ++b, ++tick) {
+      std::vector<std::int64_t> values(params.size());
+      for (std::size_t d = 0; d < params.size(); ++d) {
+        const std::int64_t range = params[d].hi - params[d].lo + 1;
+        values[d] = params[d].lo +
+                    static_cast<std::int64_t>((tick * 7 + d * 3) %
+                                              static_cast<std::uint64_t>(range));
+      }
+      const ir::Program variant = skeleton.instantiate(values);
+      const perf::NestAnalysis analysis = perf::analyzeNest(variant);
+      escape(&analysis);
+    }
+    return kBatch;
+  });
+}
+
+/// Statements per second executing matrix multiply (N = 24, matching
+/// bench_micro's BM_InterpreterMm) through either engine. Construction is
+/// inside the timed region — the tuning pipeline rebuilds the executor per
+/// simulated variant, so that cost is part of the path.
+double interpRate(bool bytecode, double minSeconds) {
+  const ir::Program mm = kernels::buildMM(24);
+  return throughput(minSeconds, [&] {
+    if (bytecode) {
+      ir::CompiledProgram exec(mm);
+      exec.run();
+      escape(&exec.array("C"));
+      return exec.statementsExecuted();
+    }
+    ir::Interpreter exec(mm);
+    exec.run();
+    escape(&exec.array("C"));
+    return exec.statementsExecuted();
+  });
+}
+
+/// Batched cache-hierarchy throughput on a deterministic read/write stream
+/// mixing strided sweeps with scattered lines (hits and misses both on the
+/// path).
+double cachesimRate(double minSeconds) {
+  std::vector<support::MemAccess> stream;
+  stream.reserve(1 << 16);
+  std::uint64_t state = 0x243f6a8885a308d3ull;
+  for (std::size_t i = 0; i < (1u << 16); ++i) {
+    support::MemAccess a;
+    if (i % 4 == 3) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      a.addr = (state >> 20) % (64ull << 20); // scattered within 64 MB
+    } else {
+      a.addr = (i * 8) % (8ull << 20); // strided sweep within 8 MB
+    }
+    a.bytes = 8;
+    a.isWrite = i % 8 == 0;
+    stream.push_back(a);
+  }
+  cachesim::Hierarchy hierarchy(machine::westmere(), 1);
+  return throughput(minSeconds, [&] {
+    hierarchy.access(std::span<const support::MemAccess>(stream));
+    escape(&hierarchy);
+    return stream.size();
+  });
+}
+
+support::Json toJson(const std::vector<Result>& results) {
+  support::JsonArray benchmarks;
+  for (const auto& r : results)
+    benchmarks.push_back(support::Json(support::JsonObject{
+        {"name", support::Json(r.name)},
+        {"value", support::Json(r.value)},
+        {"unit", support::Json(r.unit)}}));
+  return support::Json(support::JsonObject{
+      {"schema", support::Json(1)},
+      {"benchmarks", support::Json(std::move(benchmarks))}});
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  MOTUNE_CHECK_MSG(in.good(), "cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Gate: every baseline entry must exist in `current` with
+/// value >= baseline * (1 - tolerance). Extra current entries (new
+/// benchmarks not yet in the baseline) pass with a note.
+int compare(const std::vector<Result>& current, const support::Json& baseline,
+            double tolerance) {
+  std::map<std::string, double> currentByName;
+  for (const auto& r : current) currentByName[r.name] = r.value;
+
+  support::TextTable table("hot-path throughput vs. baseline floor "
+                           "(tolerance " + support::fmtPercent(tolerance) +
+                           ")");
+  table.setHeader({"benchmark", "current", "floor", "status"});
+  int failures = 0;
+  const support::Json& entries = baseline.at("benchmarks");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const std::string name = entries[i].at("name").asString();
+    const double floor = entries[i].at("value").asNumber();
+    const auto it = currentByName.find(name);
+    if (it == currentByName.end()) {
+      table.addRow({name, "-", support::fmt(floor, 3), "MISSING"});
+      ++failures;
+      continue;
+    }
+    const bool ok = it->second >= floor * (1.0 - tolerance);
+    if (!ok) ++failures;
+    table.addRow({name, support::fmt(it->second, 3), support::fmt(floor, 3),
+                  ok ? "ok" : "REGRESSION"});
+  }
+  std::cout << table.render();
+  return failures;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> options;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    MOTUNE_CHECK_MSG(key.rfind("--", 0) == 0, "unknown argument: " + key);
+    options[key.substr(2)] = argv[i + 1];
+  }
+  const double tolerance =
+      options.count("tolerance") ? std::stod(options.at("tolerance")) : 0.30;
+  const double minTime =
+      options.count("min-time") ? std::stod(options.at("min-time")) : 0.3;
+
+  std::cout << "=== hot-path microbenchmarks ===\n";
+  std::vector<Result> results;
+  const auto add = [&](std::string name, double value, std::string unit) {
+    std::cout << "  " << name << ": " << support::fmt(value, 3) << " " << unit
+              << "\n";
+    results.push_back({std::move(name), value, std::move(unit)});
+  };
+
+  const double memoSerial = memoLookupRate(1, minTime);
+  add("memo.lookup.serial", memoSerial, "lookups/s");
+  const double memoMt2 = memoLookupRate(2, minTime);
+  add("memo.lookup.mt2", memoMt2, "lookups/s");
+  const double memoMt4 = memoLookupRate(4, minTime);
+  add("memo.lookup.mt4", memoMt4, "lookups/s");
+  add("variant.instantiate_analyze", variantRate(minTime), "variants/s");
+  const double tree = interpRate(/*bytecode=*/false, minTime);
+  add("interp.tree", tree, "statements/s");
+  const double bytecode = interpRate(/*bytecode=*/true, minTime);
+  add("interp.bytecode", bytecode, "statements/s");
+  add("cachesim.batch", cachesimRate(minTime), "accesses/s");
+  // Machine-independent ratios: gated tighter than the absolute floors.
+  add("interp.bytecode_speedup", tree > 0.0 ? bytecode / tree : 0.0, "ratio");
+  add("memo.mt4_speedup", memoSerial > 0.0 ? memoMt4 / memoSerial : 0.0,
+      "ratio");
+
+  auto& metrics = observe::MetricsRegistry::global();
+  for (const auto& r : results)
+    metrics.gauge("bench.hotpath." + r.name).set(r.value);
+
+  const support::Json doc = toJson(results);
+  if (options.count("out")) {
+    std::ofstream out(options.at("out"));
+    MOTUNE_CHECK_MSG(out.good(), "cannot write " + options.at("out"));
+    out << doc.dump(2) << "\n";
+    std::cout << "results written to " << options.at("out") << "\n";
+  }
+  if (options.count("metrics")) {
+    std::ofstream out(options.at("metrics"));
+    MOTUNE_CHECK_MSG(out.good(), "cannot write " + options.at("metrics"));
+    out << metrics.toJson().dump(2) << "\n";
+  }
+
+  if (!options.count("baseline")) {
+    std::cout << doc.dump(2) << "\n";
+    return 0;
+  }
+  const support::Json baselineDoc =
+      support::Json::parse(readFile(options.at("baseline")));
+  const int failures = compare(results, baselineDoc, tolerance);
+  if (failures > 0) {
+    std::cerr << failures << " hot-path gate(s) failed\n";
+    return 1;
+  }
+  std::cout << "all hot-path gates passed\n";
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include "core/gde3.h"
 #include "core/hypervolume.h"
 #include "core/testproblems.h"
+#include "ir/bytecode.h"
 #include "ir/interp.h"
 #include "kernels/native.h"
 #include "perfmodel/costmodel.h"
@@ -130,6 +131,18 @@ void BM_InterpreterMm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InterpreterMm);
+
+void BM_BytecodeMm(benchmark::State& state) {
+  // Same program as BM_InterpreterMm through the flat-bytecode engine
+  // (compile + run per iteration, matching how the pipeline uses it).
+  const ir::Program mm = kernels::buildMM(24);
+  for (auto _ : state) {
+    ir::CompiledProgram exec(mm);
+    exec.run();
+    benchmark::DoNotOptimize(exec.array("C").data());
+  }
+}
+BENCHMARK(BM_BytecodeMm);
 
 void BM_ParallelForDispatch(benchmark::State& state) {
   runtime::ThreadPool pool(2);

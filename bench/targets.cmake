@@ -27,6 +27,9 @@ motune_bench(bench_ablation)
 # CI smoke gate: emits metrics.json and diffs it against
 # bench/baselines/smoke_baseline.json (see .github/workflows/ci.yml).
 motune_bench(bench_smoke)
+# Self-timed hot-path throughput suite; emits BENCH_hotpath.json and gates
+# against bench/baselines/hotpath_baseline.json (conservative floors).
+motune_bench(bench_hotpath)
 
 # google-benchmark microbenchmarks of the framework's building blocks.
 add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cpp)

@@ -2,11 +2,15 @@
 
 #include "support/check.h"
 
+#include <algorithm>
 #include <limits>
 
 namespace motune::cachesim {
 
 namespace {
+constexpr std::uint8_t kValid = 1;
+constexpr std::uint8_t kDirty = 2;
+
 bool isPow2(std::int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
 } // namespace
 
@@ -21,7 +25,11 @@ SetAssocCache::SetAssocCache(std::int64_t capacityBytes,
   ways_ = associativity <= 0 ? static_cast<int>(numLines) : associativity;
   MOTUNE_CHECK(numLines % ways_ == 0);
   sets_ = static_cast<std::size_t>(numLines / ways_);
-  lines_.resize(sets_ * static_cast<std::size_t>(ways_));
+  setMask_ = isPow2(static_cast<std::int64_t>(sets_)) ? sets_ - 1 : 0;
+  const std::size_t total = sets_ * static_cast<std::size_t>(ways_);
+  tags_.assign(total, 0);
+  lastUse_.assign(total, 0);
+  flags_.assign(total, 0);
 }
 
 bool SetAssocCache::access(Addr lineAddr, bool isWrite, bool* evictedDirty) {
@@ -29,54 +37,55 @@ bool SetAssocCache::access(Addr lineAddr, bool isWrite, bool* evictedDirty) {
   ++stats_.accesses;
   if (evictedDirty) *evictedDirty = false;
 
-  const std::size_t set = static_cast<std::size_t>(lineAddr) % sets_;
-  Way* begin = &lines_[set * static_cast<std::size_t>(ways_)];
+  const std::size_t base = setOf(lineAddr) * static_cast<std::size_t>(ways_);
+  const Addr* tags = tags_.data() + base;
+  std::uint8_t* flags = flags_.data() + base;
 
-  Way* lru = begin;
+  std::size_t lru = 0;
   std::uint64_t lruUse = std::numeric_limits<std::uint64_t>::max();
   for (int w = 0; w < ways_; ++w) {
-    Way& way = begin[w];
-    if (way.valid && way.tag == lineAddr) {
-      way.lastUse = clock_;
-      way.dirty = way.dirty || isWrite;
+    if ((flags[w] & kValid) && tags[w] == lineAddr) {
+      lastUse_[base + w] = clock_;
+      flags[w] |= isWrite ? kDirty : 0;
       ++stats_.hits;
       return true;
     }
-    const std::uint64_t use = way.valid ? way.lastUse : 0;
-    if (!way.valid) {
-      lru = &way;
+    if (!(flags[w] & kValid)) {
+      lru = static_cast<std::size_t>(w);
       lruUse = 0;
-    } else if (use < lruUse) {
-      lru = &way;
-      lruUse = use;
+    } else if (lastUse_[base + w] < lruUse) {
+      lru = static_cast<std::size_t>(w);
+      lruUse = lastUse_[base + w];
     }
   }
 
   ++stats_.misses;
-  if (lru->valid) {
+  const std::size_t victim = base + lru;
+  if (flags_[victim] & kValid) {
     ++stats_.evictions;
-    if (lru->dirty) {
+    if (flags_[victim] & kDirty) {
       ++stats_.writebacks;
       if (evictedDirty) *evictedDirty = true;
     }
   }
-  lru->valid = true;
-  lru->tag = lineAddr;
-  lru->lastUse = clock_;
-  lru->dirty = isWrite;
+  tags_[victim] = lineAddr;
+  lastUse_[victim] = clock_;
+  flags_[victim] = static_cast<std::uint8_t>(kValid | (isWrite ? kDirty : 0));
   return false;
 }
 
 bool SetAssocCache::contains(Addr lineAddr) const {
-  const std::size_t set = static_cast<std::size_t>(lineAddr) % sets_;
-  const Way* begin = &lines_[set * static_cast<std::size_t>(ways_)];
+  const std::size_t base = setOf(lineAddr) * static_cast<std::size_t>(ways_);
   for (int w = 0; w < ways_; ++w)
-    if (begin[w].valid && begin[w].tag == lineAddr) return true;
+    if ((flags_[base + w] & kValid) && tags_[base + w] == lineAddr)
+      return true;
   return false;
 }
 
 void SetAssocCache::reset() {
-  for (auto& w : lines_) w = Way{};
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(lastUse_.begin(), lastUse_.end(), 0);
+  std::fill(flags_.begin(), flags_.end(), 0);
   clock_ = 0;
   stats_ = CacheStats{};
 }

@@ -4,6 +4,11 @@
 // on miniaturized kernels: both are fed the same loop nests, and tests
 // assert that the model's predicted traffic tracks the simulated miss
 // counts. It models a write-allocate, write-back cache.
+//
+// Storage is structure-of-arrays: the hot tag-match loop scans a dense
+// tag array (one cache line of tags covers 8 ways) instead of striding
+// over {tag, lastUse, valid, dirty} records, and power-of-two set counts
+// are mapped with a mask instead of a modulo.
 #pragma once
 
 #include <cstdint>
@@ -50,18 +55,22 @@ public:
   const CacheStats& stats() const { return stats_; }
 
 private:
-  struct Way {
-    Addr tag = 0;
-    std::uint64_t lastUse = 0;
-    bool valid = false;
-    bool dirty = false;
-  };
+  std::size_t setOf(Addr lineAddr) const {
+    // Shared-level slicing can round the set count off a power of two
+    // (hierarchy.cpp); fall back to modulo only then.
+    return setMask_ != 0 ? static_cast<std::size_t>(lineAddr) & setMask_
+                         : static_cast<std::size_t>(lineAddr) % sets_;
+  }
 
   std::int64_t capacityBytes_;
   std::int64_t lineBytes_;
   int ways_;
   std::size_t sets_;
-  std::vector<Way> lines_; // sets_ * ways_, row-major by set
+  std::size_t setMask_ = 0; ///< sets_ - 1 when sets_ is a power of two
+  // SoA state, sets_ * ways_ each, row-major by set.
+  std::vector<Addr> tags_;
+  std::vector<std::uint64_t> lastUse_;
+  std::vector<std::uint8_t> flags_; ///< bit 0 = valid, bit 1 = dirty
   std::uint64_t clock_ = 0;
   CacheStats stats_;
 };

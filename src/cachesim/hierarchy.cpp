@@ -41,6 +41,20 @@ void Hierarchy::access(Addr addr, std::int64_t sizeBytes, bool isWrite) {
   }
 }
 
+void Hierarchy::access(std::span<const support::MemAccess> batch) {
+  const auto line = static_cast<Addr>(lineBytes_);
+  for (const support::MemAccess& a : batch) {
+    MOTUNE_CHECK(a.bytes > 0);
+    const Addr first = a.addr / line;
+    const Addr last = (a.addr + static_cast<Addr>(a.bytes) - 1) / line;
+    for (Addr l = first; l <= last; ++l) {
+      for (auto& cache : caches_) {
+        if (cache->access(l, a.isWrite)) break; // hit: stop forwarding
+      }
+    }
+  }
+}
+
 std::uint64_t Hierarchy::dramLines() const {
   return caches_.back()->stats().misses;
 }

@@ -3,8 +3,10 @@
 
 #include "cachesim/cache.h"
 #include "machine/machine.h"
+#include "support/mem_access.h"
 
 #include <memory>
+#include <span>
 #include <vector>
 
 namespace motune::cachesim {
@@ -22,6 +24,12 @@ public:
 
   /// Accesses `sizeBytes` bytes starting at `addr` (split into lines).
   void access(Addr addr, std::int64_t sizeBytes, bool isWrite);
+
+  /// Batched entry point: processes a whole span of trace records in one
+  /// call, so trace-driven validation pays one call per batch instead of a
+  /// callback dispatch per access. Equivalent to calling the scalar
+  /// access() for each record in order.
+  void access(std::span<const support::MemAccess> batch);
 
   std::size_t levels() const { return caches_.size(); }
   const SetAssocCache& level(std::size_t i) const { return *caches_[i]; }

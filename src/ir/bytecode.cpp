@@ -1,0 +1,353 @@
+#include "ir/bytecode.h"
+
+#include "support/check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace motune::ir {
+
+namespace {
+// Identical array layout to the tree interpreter so traces are
+// address-for-address comparable between the two engines.
+constexpr std::uint64_t kPageAlign = 4096;
+
+std::uint64_t alignUp(std::uint64_t x) {
+  return (x + kPageAlign - 1) / kPageAlign * kPageAlign;
+}
+} // namespace
+
+CompiledProgram::CompiledProgram(const Program& program) {
+  std::uint64_t nextBase = kPageAlign;
+  arrays_.reserve(program.arrays.size());
+  for (const auto& decl : program.arrays) {
+    ArrayInfo info;
+    info.name = decl.name;
+    info.dims = decl.dims;
+    info.elemBytes = decl.elemBytes;
+    info.baseAddr = nextBase;
+    info.data.assign(static_cast<std::size_t>(decl.elements()), 0.0);
+    nextBase = alignUp(nextBase + static_cast<std::uint64_t>(decl.bytes()));
+    arraySlots_.emplace(decl.name, static_cast<std::uint32_t>(arrays_.size()));
+    arrays_.push_back(std::move(info));
+  }
+  for (const auto& s : program.body) compileStmt(*s);
+  ivRegs_.assign(ivSlots_.size(), 0);
+  boundRegs_.assign(numBoundSlots_, 0);
+  stack_.assign(static_cast<std::size_t>(std::max(maxStackDepth_, 1)), 0.0);
+}
+
+std::uint32_t CompiledProgram::ivSlot(const std::string& name) {
+  auto [it, inserted] =
+      ivSlots_.emplace(name, static_cast<std::uint32_t>(ivSlots_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+std::uint32_t CompiledProgram::compileAffine(const AffineExpr& e) {
+  AffineFn fn;
+  fn.c0 = e.constantTerm();
+  fn.first = static_cast<std::uint32_t>(affineTerms_.size());
+  for (const auto& [name, coeff] : e.terms())
+    affineTerms_.push_back({ivSlot(name), coeff});
+  fn.count = static_cast<std::uint32_t>(affineTerms_.size()) - fn.first;
+  affines_.push_back(fn);
+  return static_cast<std::uint32_t>(affines_.size()) - 1;
+}
+
+std::uint32_t CompiledProgram::compileAccess(
+    const std::string& arrayName, const std::vector<AffineExpr>& subs) {
+  auto it = arraySlots_.find(arrayName);
+  MOTUNE_CHECK_MSG(it != arraySlots_.end(), "unknown array: " + arrayName);
+  MOTUNE_CHECK_MSG(subs.size() == arrays_[it->second].dims.size(),
+                   "subscript rank mismatch for array " + arrayName);
+  Access access;
+  access.arraySlot = it->second;
+  access.firstSub = static_cast<std::uint32_t>(subscripts_.size());
+  access.numSubs = static_cast<std::uint32_t>(subs.size());
+  for (const auto& sub : subs) subscripts_.push_back(compileAffine(sub));
+  accesses_.push_back(access);
+  return static_cast<std::uint32_t>(accesses_.size()) - 1;
+}
+
+void CompiledProgram::compileExpr(const Expr& e, std::vector<EInstr>& out,
+                                  int& depth, int& maxDepth) {
+  switch (e.kind) {
+  case Expr::Kind::Const:
+    consts_.push_back(e.constant);
+    out.push_back({EOp::Const, static_cast<std::uint32_t>(consts_.size()) - 1});
+    maxDepth = std::max(maxDepth, ++depth);
+    return;
+  case Expr::Kind::IvRef:
+    out.push_back({EOp::Iv, ivSlot(e.iv)});
+    maxDepth = std::max(maxDepth, ++depth);
+    return;
+  case Expr::Kind::Read:
+    out.push_back({EOp::Load, compileAccess(e.array, e.subscripts)});
+    maxDepth = std::max(maxDepth, ++depth);
+    return;
+  case Expr::Kind::Binary: {
+    compileExpr(*e.lhs, out, depth, maxDepth);
+    compileExpr(*e.rhs, out, depth, maxDepth);
+    EOp op = EOp::Add;
+    switch (e.binOp) {
+    case BinOp::Add: op = EOp::Add; break;
+    case BinOp::Sub: op = EOp::Sub; break;
+    case BinOp::Mul: op = EOp::Mul; break;
+    case BinOp::Div: op = EOp::Div; break;
+    case BinOp::Min: op = EOp::Min; break;
+    case BinOp::Max: op = EOp::Max; break;
+    }
+    out.push_back({op, 0});
+    --depth;
+    return;
+  }
+  case Expr::Kind::Unary: {
+    compileExpr(*e.lhs, out, depth, maxDepth);
+    EOp op = EOp::Neg;
+    switch (e.unOp) {
+    case UnOp::Neg: op = EOp::Neg; break;
+    case UnOp::Sqrt: op = EOp::Sqrt; break;
+    case UnOp::Abs: op = EOp::Abs; break;
+    }
+    out.push_back({op, 0});
+    return;
+  }
+  }
+  MOTUNE_CHECK_MSG(false, "unreachable expression kind");
+}
+
+void CompiledProgram::compileStmt(const Stmt& s) {
+  if (s.kind == Stmt::Kind::Assign) {
+    const Assign& a = s.assign;
+    AssignOp op;
+    // Compile the RHS tape first so its Load accesses are numbered in
+    // evaluation order (reads before the target access, as the tree
+    // walker traces them).
+    std::vector<EInstr> tape;
+    int depth = 0, maxDepth = 0;
+    compileExpr(*a.rhs, tape, depth, maxDepth);
+    maxStackDepth_ = std::max(maxStackDepth_, maxDepth);
+    op.exprFirst = static_cast<std::uint32_t>(tape_.size());
+    op.exprCount = static_cast<std::uint32_t>(tape.size());
+    tape_.insert(tape_.end(), tape.begin(), tape.end());
+    op.access = compileAccess(a.array, a.subscripts);
+    op.accumulate = a.accumulate;
+    assigns_.push_back(op);
+    ops_.push_back(
+        {OpKind::Assign, static_cast<std::uint32_t>(assigns_.size()) - 1});
+    return;
+  }
+
+  const Loop& loop = s.loop;
+  LoopOp op;
+  op.ivSlot = ivSlot(loop.iv);
+  op.boundSlot = numBoundSlots_++;
+  op.lower = compileAffine(loop.lower);
+  op.upperBase = compileAffine(loop.upper.base);
+  if (loop.upper.cap) {
+    // Constant-fold min(base, cap) once at compile time when both sides
+    // are constant; otherwise keep the cap for per-entry evaluation.
+    if (loop.upper.base.isConstant() && loop.upper.cap->isConstant()) {
+      affines_[op.upperBase].c0 = std::min(loop.upper.base.constantTerm(),
+                                           loop.upper.cap->constantTerm());
+    } else {
+      op.upperCap = compileAffine(*loop.upper.cap);
+    }
+  }
+  op.step = loop.step;
+  const std::uint32_t loopIdx = static_cast<std::uint32_t>(loops_.size());
+  loops_.push_back(op);
+  const std::uint32_t beginPc = static_cast<std::uint32_t>(ops_.size());
+  ops_.push_back({OpKind::LoopBegin, loopIdx});
+  for (const auto& child : loop.body) compileStmt(*child);
+  ops_.push_back({OpKind::LoopEnd, loopIdx});
+  loops_[loopIdx].bodyPc = beginPc + 1;
+  loops_[loopIdx].exitPc = static_cast<std::uint32_t>(ops_.size());
+}
+
+std::vector<double>& CompiledProgram::array(const std::string& name) {
+  auto it = arraySlots_.find(name);
+  MOTUNE_CHECK_MSG(it != arraySlots_.end(), "unknown array: " + name);
+  return arrays_[it->second].data;
+}
+
+const std::vector<double>&
+CompiledProgram::array(const std::string& name) const {
+  auto it = arraySlots_.find(name);
+  MOTUNE_CHECK_MSG(it != arraySlots_.end(), "unknown array: " + name);
+  return arrays_[it->second].data;
+}
+
+void CompiledProgram::setTrace(TraceFn trace) {
+  trace_ = std::move(trace);
+  batchTrace_ = nullptr;
+  traceMode_ = trace_ ? TraceMode::PerAccess : TraceMode::None;
+}
+
+void CompiledProgram::setBatchTrace(BatchTraceFn trace) {
+  batchTrace_ = std::move(trace);
+  trace_ = nullptr;
+  traceMode_ = batchTrace_ ? TraceMode::Batched : TraceMode::None;
+  if (traceMode_ == TraceMode::Batched) traceBuffer_.reserve(kTraceBatch);
+}
+
+std::int64_t CompiledProgram::evalAffine(std::uint32_t id) const {
+  const AffineFn& fn = affines_[id];
+  std::int64_t v = fn.c0;
+  const AffineTerm* term = affineTerms_.data() + fn.first;
+  for (std::uint32_t i = 0; i < fn.count; ++i, ++term)
+    v += term->coeff * ivRegs_[term->slot];
+  return v;
+}
+
+std::size_t CompiledProgram::evalIndex(const Access& access) const {
+  const ArrayInfo& arr = arrays_[access.arraySlot];
+  std::int64_t idx = 0;
+  for (std::uint32_t d = 0; d < access.numSubs; ++d) {
+    const std::int64_t s = evalAffine(subscripts_[access.firstSub + d]);
+    MOTUNE_CHECK_MSG(s >= 0 && s < arr.dims[d],
+                     "out-of-bounds access to array " + arr.name);
+    idx = idx * arr.dims[d] + s;
+  }
+  return static_cast<std::size_t>(idx);
+}
+
+void CompiledProgram::recordAccess(std::uint64_t addr, int bytes,
+                                   bool isWrite) {
+  if (traceMode_ == TraceMode::PerAccess) {
+    trace_(addr, bytes, isWrite);
+    return;
+  }
+  traceBuffer_.push_back({addr, bytes, isWrite});
+  if (traceBuffer_.size() >= kTraceBatch) flushTraceBatch();
+}
+
+void CompiledProgram::flushTraceBatch() {
+  if (traceBuffer_.empty()) return;
+  batchTrace_(std::span<const support::MemAccess>(traceBuffer_));
+  traceBuffer_.clear();
+}
+
+double CompiledProgram::evalTape(const EInstr* code, std::uint32_t count) {
+  double* sp = stack_.data();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const EInstr in = code[i];
+    switch (in.op) {
+    case EOp::Const:
+      *sp++ = consts_[in.arg];
+      break;
+    case EOp::Iv:
+      *sp++ = static_cast<double>(ivRegs_[in.arg]);
+      break;
+    case EOp::Load: {
+      const Access& access = accesses_[in.arg];
+      const ArrayInfo& arr = arrays_[access.arraySlot];
+      const std::size_t idx = evalIndex(access);
+      if (traceMode_ != TraceMode::None)
+        recordAccess(arr.baseAddr +
+                         idx * static_cast<std::uint64_t>(arr.elemBytes),
+                     arr.elemBytes, /*isWrite=*/false);
+      *sp++ = arr.data[idx];
+      break;
+    }
+    case EOp::Add:
+      sp[-2] = sp[-2] + sp[-1];
+      --sp;
+      break;
+    case EOp::Sub:
+      sp[-2] = sp[-2] - sp[-1];
+      --sp;
+      break;
+    case EOp::Mul:
+      sp[-2] = sp[-2] * sp[-1];
+      --sp;
+      break;
+    case EOp::Div:
+      sp[-2] = sp[-2] / sp[-1];
+      --sp;
+      break;
+    case EOp::Min:
+      sp[-2] = std::min(sp[-2], sp[-1]);
+      --sp;
+      break;
+    case EOp::Max:
+      sp[-2] = std::max(sp[-2], sp[-1]);
+      --sp;
+      break;
+    case EOp::Neg:
+      sp[-1] = -sp[-1];
+      break;
+    case EOp::Sqrt:
+      sp[-1] = std::sqrt(sp[-1]);
+      break;
+    case EOp::Abs:
+      sp[-1] = std::abs(sp[-1]);
+      break;
+    }
+  }
+  return sp[-1];
+}
+
+void CompiledProgram::run() {
+  stmtCount_ = 0;
+  std::fill(ivRegs_.begin(), ivRegs_.end(), 0);
+  const std::size_t n = ops_.size();
+  std::size_t pc = 0;
+  while (pc < n) {
+    const Op op = ops_[pc];
+    switch (op.kind) {
+    case OpKind::LoopBegin: {
+      const LoopOp& l = loops_[op.idx];
+      const std::int64_t lo = evalAffine(l.lower);
+      std::int64_t hi = evalAffine(l.upperBase);
+      if (l.upperCap != kNone) hi = std::min(hi, evalAffine(l.upperCap));
+      if (lo >= hi) {
+        pc = l.exitPc;
+        break;
+      }
+      ivRegs_[l.ivSlot] = lo;
+      boundRegs_[l.boundSlot] = hi;
+      ++pc;
+      break;
+    }
+    case OpKind::LoopEnd: {
+      const LoopOp& l = loops_[op.idx];
+      const std::int64_t v = ivRegs_[l.ivSlot] + l.step;
+      if (v < boundRegs_[l.boundSlot]) {
+        ivRegs_[l.ivSlot] = v;
+        pc = l.bodyPc;
+      } else {
+        ++pc;
+      }
+      break;
+    }
+    case OpKind::Assign: {
+      const AssignOp& a = assigns_[op.idx];
+      ++stmtCount_;
+      // Same order as the tree walker: RHS first (tracing its reads),
+      // then the target index, then the read-modify-write trace pair.
+      const double value = evalTape(tape_.data() + a.exprFirst, a.exprCount);
+      const Access& access = accesses_[a.access];
+      ArrayInfo& arr = arrays_[access.arraySlot];
+      const std::size_t idx = evalIndex(access);
+      const std::uint64_t addr =
+          arr.baseAddr + idx * static_cast<std::uint64_t>(arr.elemBytes);
+      if (a.accumulate) {
+        if (traceMode_ != TraceMode::None)
+          recordAccess(addr, arr.elemBytes, /*isWrite=*/false);
+        arr.data[idx] += value;
+      } else {
+        arr.data[idx] = value;
+      }
+      if (traceMode_ != TraceMode::None)
+        recordAccess(addr, arr.elemBytes, /*isWrite=*/true);
+      ++pc;
+      break;
+    }
+    }
+  }
+  if (traceMode_ == TraceMode::Batched) flushTraceBatch();
+}
+
+} // namespace motune::ir

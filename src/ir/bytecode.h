@@ -1,0 +1,194 @@
+// Flat-bytecode execution engine for IR programs.
+//
+// The tree-walking Interpreter (interp.h) is the semantic reference, but it
+// pays a string-keyed environment lookup per induction-variable reference,
+// a hash-map lookup per array access and a recursive dispatch per
+// expression node. This engine compiles a Program once into flat arrays —
+// the statement tree becomes a bytecode sequence with explicit loop
+// back-edges, induction variables and arrays are pre-resolved to integer
+// slots, affine functions become (constant, term-list) records with
+// constant bounds folded at compile time, and expression trees become
+// postfix tapes evaluated on a value stack — and then executes it without
+// touching a string or a node pointer.
+//
+// Semantics are bit-identical to the tree walker (same IEEE operation
+// order, same bounds checks, same trace event sequence); the differential
+// fuzz oracle runs its transformed-program leg through this engine, so
+// every fuzz iteration cross-checks the two executors. Used by the fuzz
+// oracle and by cache-simulator trace generation (tuning/validation.cpp).
+#pragma once
+
+#include "ir/program.h"
+#include "support/mem_access.h"
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace motune::ir {
+
+class CompiledProgram {
+public:
+  /// Per-access trace callback, identical in contract to
+  /// Interpreter::TraceFn: absolute byte address, size, write flag.
+  using TraceFn =
+      std::function<void(std::uint64_t addr, int bytes, bool isWrite)>;
+
+  /// Batched trace callback: accesses are buffered and delivered in flat
+  /// spans (up to kTraceBatch records per call), so the consumer pays one
+  /// indirect call per batch instead of one per access.
+  using BatchTraceFn = std::function<void(std::span<const support::MemAccess>)>;
+
+  /// Trace records per batch delivered through a BatchTraceFn.
+  static constexpr std::size_t kTraceBatch = 4096;
+
+  /// Compiles the program; the original Program is not retained.
+  explicit CompiledProgram(const Program& program);
+
+  /// Read/write access to an array's backing store (zero-initialized),
+  /// mirroring Interpreter::array().
+  std::vector<double>& array(const std::string& name);
+  const std::vector<double>& array(const std::string& name) const;
+
+  /// Installs a per-access trace callback (pass nullptr to disable).
+  /// Mutually exclusive with setBatchTrace.
+  void setTrace(TraceFn trace);
+
+  /// Installs a batched trace callback (pass nullptr to disable). Batches
+  /// are flushed when full and at the end of run(). Mutually exclusive
+  /// with setTrace.
+  void setBatchTrace(BatchTraceFn trace);
+
+  /// Executes the whole program sequentially (parallel markers ignored,
+  /// exactly as the tree walker does).
+  void run();
+
+  /// Number of assignments executed by the last run().
+  std::uint64_t statementsExecuted() const { return stmtCount_; }
+
+  /// Bytecode size (ops), for tests and diagnostics.
+  std::size_t opCount() const { return ops_.size(); }
+
+private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  // value = c0 + sum over terms (coeff * ivRegs[slot]); count == 0 means
+  // the affine function folded to a compile-time constant.
+  struct AffineTerm {
+    std::uint32_t slot = 0;
+    std::int64_t coeff = 0;
+  };
+  struct AffineFn {
+    std::int64_t c0 = 0;
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+  };
+
+  // Postfix expression tape over a value stack.
+  enum class EOp : std::uint8_t {
+    Const, // push consts_[arg]
+    Iv,    // push double(ivRegs[arg])
+    Load,  // push array element, accesses_[arg]
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+    Neg,
+    Sqrt,
+    Abs,
+  };
+  struct EInstr {
+    EOp op;
+    std::uint32_t arg = 0;
+  };
+
+  // One array reference: slot + affine subscripts (rank of the array).
+  struct Access {
+    std::uint32_t arraySlot = 0;
+    std::uint32_t firstSub = 0;
+    std::uint32_t numSubs = 0;
+  };
+
+  struct LoopOp {
+    std::uint32_t ivSlot = 0;
+    std::uint32_t boundSlot = 0;
+    std::uint32_t lower = 0;     // affine id
+    std::uint32_t upperBase = 0; // affine id
+    std::uint32_t upperCap = kNone;
+    std::int64_t step = 1;
+    std::uint32_t exitPc = 0; // LoopBegin: first op after the loop
+    std::uint32_t bodyPc = 0; // LoopEnd: first op of the body
+  };
+  struct AssignOp {
+    std::uint32_t access = 0;
+    std::uint32_t exprFirst = 0;
+    std::uint32_t exprCount = 0;
+    bool accumulate = false;
+  };
+
+  enum class OpKind : std::uint8_t { LoopBegin, LoopEnd, Assign };
+  struct Op {
+    OpKind kind;
+    std::uint32_t idx;
+  };
+
+  struct ArrayInfo {
+    std::string name;
+    std::vector<std::int64_t> dims;
+    int elemBytes = 8;
+    std::uint64_t baseAddr = 0;
+    std::vector<double> data;
+  };
+
+  enum class TraceMode : std::uint8_t { None, PerAccess, Batched };
+
+  // --- compilation ---
+  std::uint32_t ivSlot(const std::string& name);
+  std::uint32_t compileAffine(const AffineExpr& e);
+  std::uint32_t compileAccess(const std::string& arrayName,
+                              const std::vector<AffineExpr>& subs);
+  void compileExpr(const Expr& e, std::vector<EInstr>& out, int& depth,
+                   int& maxDepth);
+  void compileStmt(const Stmt& s);
+
+  // --- execution ---
+  std::int64_t evalAffine(std::uint32_t id) const;
+  std::size_t evalIndex(const Access& access) const;
+  double evalTape(const EInstr* code, std::uint32_t count);
+  void recordAccess(std::uint64_t addr, int bytes, bool isWrite);
+  void flushTraceBatch();
+
+  // compiled form
+  std::vector<ArrayInfo> arrays_;
+  std::unordered_map<std::string, std::uint32_t> arraySlots_;
+  std::unordered_map<std::string, std::uint32_t> ivSlots_;
+  std::vector<AffineTerm> affineTerms_;
+  std::vector<AffineFn> affines_;
+  std::vector<std::uint32_t> subscripts_; // affine ids, per access
+  std::vector<Access> accesses_;
+  std::vector<double> consts_;
+  std::vector<EInstr> tape_;
+  std::vector<LoopOp> loops_;
+  std::vector<AssignOp> assigns_;
+  std::vector<Op> ops_;
+  std::uint32_t numBoundSlots_ = 0;
+  int maxStackDepth_ = 0;
+
+  // execution state
+  std::vector<std::int64_t> ivRegs_;
+  std::vector<std::int64_t> boundRegs_;
+  std::vector<double> stack_;
+  std::uint64_t stmtCount_ = 0;
+
+  TraceMode traceMode_ = TraceMode::None;
+  TraceFn trace_;
+  BatchTraceFn batchTrace_;
+  std::vector<support::MemAccess> traceBuffer_;
+};
+
+} // namespace motune::ir

@@ -13,6 +13,7 @@
 
 #include "support/json.h"
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <limits>
@@ -23,19 +24,43 @@
 
 namespace motune::observe {
 
-/// Monotone counter (reset() excepted).
+/// Monotone counter (reset() excepted). Internally striped: each thread
+/// adds to its own cache-line-padded cell, so counters on hot paths (memo
+/// hits under parallel batch evaluation) do not serialize the threads on
+/// one contended cache line. value() sums the stripes — exact whenever the
+/// writers are quiescent, which is when every reader (tests, report,
+/// snapshot-at-run-end) looks.
 class Counter {
 public:
   void add(std::uint64_t delta = 1) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
+    stripes_[stripeIndex()].v.fetch_add(delta, std::memory_order_relaxed);
   }
   std::uint64_t value() const {
-    return value_.load(std::memory_order_relaxed);
+    std::uint64_t sum = 0;
+    for (const auto& s : stripes_)
+      sum += s.v.load(std::memory_order_relaxed);
+    return sum;
   }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
+  void reset() {
+    for (auto& s : stripes_) s.v.store(0, std::memory_order_relaxed);
+  }
 
 private:
-  std::atomic<std::uint64_t> value_{0};
+  static constexpr std::size_t kStripes = 8; // power of two (mask select)
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  /// Stable per-thread stripe, assigned round-robin on first use; threads
+  /// land on distinct cache lines until more than kStripes are live.
+  static std::size_t stripeIndex() {
+    static std::atomic<std::size_t> next{0};
+    static thread_local std::size_t idx =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return idx & (kStripes - 1);
+  }
+
+  std::array<Stripe, kStripes> stripes_;
 };
 
 /// Last-value-wins gauge.

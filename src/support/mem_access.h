@@ -1,0 +1,20 @@
+// One byte-granular memory access record.
+//
+// Shared vocabulary between trace producers (the IR executors in src/ir)
+// and trace consumers (the cache simulator in src/cachesim): producers
+// append flat batches of these records, consumers process whole batches,
+// so a trace crosses the module boundary without a per-access callback
+// dispatch on the hot path.
+#pragma once
+
+#include <cstdint>
+
+namespace motune::support {
+
+struct MemAccess {
+  std::uint64_t addr = 0;
+  std::int32_t bytes = 0;
+  bool isWrite = false;
+};
+
+} // namespace motune::support

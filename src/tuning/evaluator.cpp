@@ -7,8 +7,32 @@
 
 namespace motune::tuning {
 
+namespace {
+
+std::uint64_t nextEvaluatorId() {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Per-thread front cache (one per thread, handed between evaluator
+/// instances via the owner id). Bounded by the number of unique
+/// configurations the owning evaluator has seen — the same bound as the
+/// shared memo itself.
+struct LocalCache {
+  std::uint64_t owner = 0; ///< id_ of the evaluator the contents belong to
+  std::uint64_t epoch = 0; ///< epoch_ value the contents were filled under
+  std::unordered_map<Config, Objectives, ConfigHash> map;
+};
+
+LocalCache& localCache() {
+  static thread_local LocalCache cache;
+  return cache;
+}
+
+} // namespace
+
 CountingEvaluator::CountingEvaluator(ObjectiveFunction& inner)
-    : inner_(inner),
+    : inner_(inner), id_(nextEvaluatorId()),
       uniqueCounter_(observe::MetricsRegistry::global().counter(
           "tuning.evaluations.unique")),
       memoHitCounter_(observe::MetricsRegistry::global().counter(
@@ -17,46 +41,104 @@ CountingEvaluator::CountingEvaluator(ObjectiveFunction& inner)
           "tuning.evaluation.seconds")) {}
 
 Objectives CountingEvaluator::evaluate(const Config& config) {
-  {
-    std::lock_guard lock(mutex_);
-    auto it = memo_.find(config);
-    if (it != memo_.end()) {
-      ++memoHits_;
-      memoHitCounter_.add();
-      return it->second;
-    }
+  // Front cache: repeat lookups complete without acquiring any lock or
+  // writing any shared cache line (both counters below are striped), which
+  // is what lets parallel batch evaluation scale past one core.
+  LocalCache& local = localCache();
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (local.owner != id_ || local.epoch != epoch) {
+    local.owner = id_;
+    local.epoch = epoch;
+    local.map.clear();
   }
-  const auto begin = std::chrono::steady_clock::now();
-  Objectives obj = inner_.evaluate(config);
-  latency_.observe(
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
-          .count());
-  {
-    std::lock_guard lock(mutex_);
-    auto [it, inserted] = memo_.emplace(config, std::move(obj));
-    if (inserted) {
-      ++evals_;
-      uniqueCounter_.add();
+  if (auto cached = local.map.find(config); cached != local.map.end()) {
+    hits_.add();
+    memoHitCounter_.add();
+    return cached->second;
+  }
+
+  Shard& shard = shards_[ConfigHash{}(config) & (kShards - 1)];
+  for (;;) {
+    std::shared_ptr<Slot> slot;
+    {
+      std::unique_lock lock(shard.mutex);
+      auto it = shard.memo.find(config);
+      if (it == shard.memo.end()) {
+        slot = std::make_shared<Slot>();
+        shard.memo.emplace(config, slot);
+      } else {
+        slot = it->second;
+        // Single-flight: a concurrent evaluation of this exact config is
+        // in progress — wait for its result instead of evaluating twice.
+        shard.ready.wait(lock,
+                         [&] { return slot->state != Slot::State::Pending; });
+        if (slot->state == Slot::State::Ready) {
+          hits_.add();
+          memoHitCounter_.add();
+          // Don't populate the front cache across a concurrent reset():
+          // the value belongs to the epoch it was computed under.
+          if (epoch_.load(std::memory_order_relaxed) == local.epoch)
+            local.map.emplace(config, slot->value);
+          return slot->value;
+        }
+        continue; // leader failed; retry and elect a new leader
+      }
     }
-    return it->second;
+
+    // This thread is the leader for `config`: evaluate outside any lock.
+    const auto begin = std::chrono::steady_clock::now();
+    Objectives obj;
+    try {
+      obj = inner_.evaluate(config);
+    } catch (...) {
+      std::lock_guard lock(shard.mutex);
+      slot->state = Slot::State::Failed;
+      shard.memo.erase(config);
+      shard.ready.notify_all();
+      throw;
+    }
+    latency_.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count());
+    {
+      std::lock_guard lock(shard.mutex);
+      slot->value = std::move(obj);
+      slot->state = Slot::State::Ready;
+      ++shard.evals;
+      uniqueCounter_.add();
+      shard.ready.notify_all();
+      if (epoch_.load(std::memory_order_relaxed) == local.epoch)
+        local.map.emplace(config, slot->value);
+      return slot->value;
+    }
   }
 }
 
 std::uint64_t CountingEvaluator::evaluations() const {
-  std::lock_guard lock(mutex_);
-  return evals_;
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    sum += shard.evals;
+  }
+  return sum;
 }
 
-std::uint64_t CountingEvaluator::memoHits() const {
-  std::lock_guard lock(mutex_);
-  return memoHits_;
-}
+std::uint64_t CountingEvaluator::memoHits() const { return hits_.value(); }
 
 void CountingEvaluator::reset() {
-  std::lock_guard lock(mutex_);
-  memo_.clear();
-  evals_ = 0;
-  memoHits_ = 0;
+  // Bump the epoch first: threads racing with the reset re-validate their
+  // front cache on the next lookup and drop pre-reset contents.
+  epoch_.fetch_add(1, std::memory_order_release);
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    shard.memo.clear();
+    shard.evals = 0;
+  }
+  hits_.reset();
+  // Keep the process-wide mirrors in lockstep: without this, the second
+  // run of a process reports cumulative tuning.evaluations.* counts.
+  uniqueCounter_.reset();
+  memoHitCounter_.reset();
 }
 
 std::vector<Objectives>

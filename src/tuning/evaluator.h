@@ -5,13 +5,28 @@
 //  * BatchEvaluator evaluates configuration sets through the thread pool,
 //    mirroring the paper's parallel evaluation of independent
 //    configurations during compilation (§III.A, §IV).
+//
+// The memo is two-level. A thread-local front cache serves repeat lookups
+// without touching any shared cache line, so parallel batch evaluation of
+// previously-seen configurations scales with the thread count instead of
+// ping-ponging shard locks between cores. Behind it, the shared memo is
+// striped across hash-selected shards (independent mutexes) and has
+// single-flight semantics: when several threads ask for the same
+// not-yet-evaluated configuration, exactly one evaluates it and the others
+// block until the result is published — a duplicate config costs one
+// evaluation, never two, regardless of timing. reset() invalidates the
+// front caches lazily via an epoch counter.
 #pragma once
 
 #include "observe/metrics.h"
 #include "runtime/thread_pool.h"
 #include "tuning/kernel_problem.h"
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
@@ -34,20 +49,52 @@ public:
   /// as re-running an already-measured variant would be skipped).
   std::uint64_t evaluations() const;
 
-  /// Memoized lookups served without re-evaluation, since construction or
-  /// the last reset().
+  /// Memoized lookups served without re-evaluation — including lookups
+  /// that waited on an in-flight evaluation of the same configuration —
+  /// since construction or the last reset().
   std::uint64_t memoHits() const;
 
+  /// Clears the memo and zeroes both the local counters and the
+  /// tuning.evaluations.* metric counters, so back-to-back runs in one
+  /// process report per-run (not cumulative) counts.
   void reset();
 
 private:
+  // 16 shards comfortably cover the pool sizes the batch evaluator runs
+  // with (machine core counts); power of two so selection is a mask.
+  static constexpr std::size_t kShards = 16;
+
+  // One memo entry. Pending entries are in-flight evaluations duplicates
+  // wait on; Ready entries hold the published objectives; Failed marks a
+  // leader whose evaluation threw (the entry is removed and waiters retry,
+  // electing a new leader). Entries are shared_ptrs so waiters keep theirs
+  // alive across a concurrent reset() or failure-erase.
+  struct Slot {
+    enum class State { Pending, Ready, Failed };
+    State state = State::Pending;
+    Objectives value;
+  };
+
+  // Unique-evaluation counts live inside the shard, updated under the
+  // shard mutex the miss path already holds. alignas keeps adjacent shards
+  // off each other's cache lines.
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::condition_variable ready;
+    std::unordered_map<Config, std::shared_ptr<Slot>, ConfigHash> memo;
+    std::uint64_t evals = 0;
+  };
+
   ObjectiveFunction& inner_;
-  mutable std::mutex mutex_;
-  // Hash-indexed memo: ordered-map lookups (O(log n) Config comparisons)
-  // dominate memo-heavy sweeps such as the brute-force grids.
-  std::unordered_map<Config, Objectives, ConfigHash> memo_;
-  std::uint64_t evals_ = 0;
-  std::uint64_t memoHits_ = 0;
+  std::array<Shard, kShards> shards_;
+  // Distinguishes this instance from others a pool thread's front cache
+  // may have served (ids are never reused, unlike addresses).
+  const std::uint64_t id_;
+  // Bumped by reset(); front caches compare-and-clear on their next lookup.
+  std::atomic<std::uint64_t> epoch_{0};
+  // Memo hits (front-cache or shard) — striped, so the front-cache hit
+  // path writes only the calling thread's cell.
+  observe::Counter hits_;
   // Process-wide mirrors exported through the observability layer.
   observe::Counter& uniqueCounter_;
   observe::Counter& memoHitCounter_;

@@ -76,12 +76,25 @@ public:
   /// the multi-versioning backend and codegen).
   ir::Program instantiate(const Config& config) const;
 
+  /// Caps the variant cache (test hook; clears the cache). The default
+  /// capacity admits every tile combination of the paper's grids.
+  void setVariantCacheCapacity(std::size_t capacity);
+
+  /// Cached variant count / residency probe / eviction count — exposed so
+  /// tests can pin the CLOCK eviction behaviour.
+  std::size_t variantCacheSize() const;
+  bool variantCached(const Config& config) const;
+  std::uint64_t variantEvictions() const;
+
 private:
   struct Variant {
     ir::Program program;
     perf::NestAnalysis analysis;
   };
-  const Variant& variantFor(const Config& config);
+  /// The cached (program, analysis) pair for a configuration's tile
+  /// prefix. Returned shared so a concurrent eviction can never dangle an
+  /// in-use variant.
+  std::shared_ptr<const Variant> variantFor(const Config& config);
 
   kernels::KernelSpec kernel_;
   std::int64_t n_;
@@ -91,9 +104,32 @@ private:
   std::vector<Objective> objectives_;
 
   // Tile-indexed variant cache: thread sweeps over identical tile sizes
-  // reuse the (expensive) footprint analysis.
-  std::mutex cacheMutex_;
-  std::unordered_map<std::string, std::unique_ptr<Variant>> cache_;
+  // reuse the (expensive) footprint analysis. Keyed by the ConfigHash of
+  // the tile prefix (no string key construction per lookup); the stored
+  // tiles guard against hash collisions. Bounded by CLOCK second-chance
+  // eviction: a hit sets the slot's referenced bit, a full insert sweeps
+  // the hand over the slots, clearing bits until it finds an unreferenced
+  // victim — recently used variants survive, instead of the whole working
+  // set being dropped mid-search.
+  struct CacheSlot {
+    std::uint64_t key = 0;
+    std::vector<std::int64_t> tiles;
+    std::shared_ptr<const Variant> variant;
+    bool referenced = false;
+  };
+  std::shared_ptr<const Variant> lookupLocked(std::uint64_t key,
+                                              const Config& config,
+                                              std::size_t tileDims);
+  void insertLocked(std::uint64_t key, const Config& config,
+                    std::size_t tileDims,
+                    const std::shared_ptr<const Variant>& variant);
+
+  mutable std::mutex cacheMutex_;
+  std::size_t cacheCapacity_;
+  std::vector<CacheSlot> slots_;
+  std::unordered_map<std::uint64_t, std::uint32_t> slotIndex_;
+  std::size_t clockHand_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 } // namespace motune::tuning

@@ -1,7 +1,7 @@
 #include "tuning/validation.h"
 
 #include "cachesim/hierarchy.h"
-#include "ir/interp.h"
+#include "ir/bytecode.h"
 #include "observe/trace.h"
 #include "support/check.h"
 #include "tuning/kernel_problem.h"
@@ -46,12 +46,14 @@ std::vector<ValidationSample> validateAgainstCachesim(
     sample.modelDramBytes =
         pred.trafficBytes.empty() ? 0.0 : pred.trafficBytes.back();
 
-    ir::Interpreter interp(problem.instantiate(config));
+    // Bytecode execution + batched trace delivery: the simulator consumes
+    // flat spans of records instead of one callback per element access.
+    ir::CompiledProgram exec(problem.instantiate(config));
     cachesim::Hierarchy hierarchy(machine, 1);
-    interp.setTrace([&](std::uint64_t addr, int bytes, bool isWrite) {
-      hierarchy.access(addr, bytes, isWrite);
+    exec.setBatchTrace([&](std::span<const support::MemAccess> batch) {
+      hierarchy.access(batch);
     });
-    interp.run();
+    exec.run();
     sample.simDramBytes = static_cast<double>(hierarchy.dramBytes());
     sample.simSeconds = hierarchy.totalCycles() / (machine.freqGHz * 1e9);
     sample.dramRatio = sample.simDramBytes > 0.0

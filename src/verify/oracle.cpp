@@ -1,6 +1,7 @@
 #include "verify/oracle.h"
 
 #include "codegen/cemit.h"
+#include "ir/bytecode.h"
 #include "ir/interp.h"
 #include "support/check.h"
 
@@ -41,9 +42,12 @@ std::size_t elementCount(const ir::ArrayDecl& decl) {
   return n;
 }
 
-void fillArrays(ir::Interpreter& interp, const ir::Program& p) {
+// Works for both executors (ir::Interpreter and ir::CompiledProgram share
+// the array()/run() surface).
+template <typename Exec>
+void fillArrays(Exec& exec, const ir::Program& p) {
   for (std::size_t a = 0; a < p.arrays.size(); ++a) {
-    auto& data = interp.array(p.arrays[a].name);
+    auto& data = exec.array(p.arrays[a].name);
     for (std::size_t i = 0; i < data.size(); ++i)
       data[i] = fillValue(a, i);
   }
@@ -56,9 +60,10 @@ bool sameValue(double a, double b) {
   return a != a && b != b; // both NaN
 }
 
+template <typename Exec>
 std::optional<Mismatch> compareArrays(const ir::Program& p,
                                       const ir::Interpreter& ref,
-                                      const ir::Interpreter& got,
+                                      const Exec& got,
                                       const std::string& stage) {
   for (const auto& decl : p.arrays) {
     const auto& expected = ref.array(decl.name);
@@ -189,11 +194,22 @@ OracleVerdict checkEquivalence(const ir::Program& original,
   fillArrays(ref, original);
   ref.run();
 
-  // Path 2: interpreted execution of the transformed program.
-  ir::Interpreter alt(transformed);
-  fillArrays(alt, transformed);
-  alt.run();
-  if (auto m = compareArrays(original, ref, alt, "interp")) {
+  // Path 2: the transformed program through the flat-bytecode engine (the
+  // default — every oracle run thus also differentially validates the
+  // bytecode engine against the tree walker) or the tree walker itself.
+  std::optional<Mismatch> m;
+  if (opts.useBytecode) {
+    ir::CompiledProgram alt(transformed);
+    fillArrays(alt, transformed);
+    alt.run();
+    m = compareArrays(original, ref, alt, "interp");
+  } else {
+    ir::Interpreter alt(transformed);
+    fillArrays(alt, transformed);
+    alt.run();
+    m = compareArrays(original, ref, alt, "interp");
+  }
+  if (m) {
     verdict.agree = false;
     verdict.mismatch = std::move(m);
     return verdict;

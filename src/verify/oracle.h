@@ -2,15 +2,18 @@
 //
 // For a (program, transformed-program) pair the oracle executes:
 //   1. the original IR through ir::Interpreter  (the reference),
-//   2. the transformed IR through ir::Interpreter,
+//   2. the transformed IR through the flat-bytecode engine
+//      (ir::CompiledProgram; the tree walker via useBytecode = false),
 //   3. the C emitted for the transformed IR (codegen::emitFunction),
 //      compiled with the host compiler and run in a subprocess,
 // all from the same deterministic input filler, and compares every array
 // element. Legal transforms preserve each element's operation order, so
-// paths 1 and 2 must agree bit-for-bit; the native path is compiled with
-// -ffp-contract=off so the compiled arithmetic is the same IEEE operation
-// sequence and must match too (values are exchanged as %a hex floats, so
-// no decimal rounding enters the comparison).
+// paths 1 and 2 must agree bit-for-bit — which also makes every fuzz
+// iteration a differential test of the bytecode engine against the tree
+// walker; the native path is compiled with -ffp-contract=off so the
+// compiled arithmetic is the same IEEE operation sequence and must match
+// too (values are exchanged as %a hex floats, so no decimal rounding
+// enters the comparison).
 #pragma once
 
 #include "ir/program.h"
@@ -30,6 +33,7 @@ double fillValue(std::size_t arrayIndex, std::size_t elementIndex);
 
 struct OracleOptions {
   bool runNative = true;  ///< false = interpreter-only (sandboxed runs)
+  bool useBytecode = true; ///< transformed leg: bytecode engine vs tree walker
   std::string compiler;   ///< "" = auto-detect via hostCompiler()
   std::string workDir;    ///< "" = per-process temp dir; reused across calls
   bool emitPragmas = true;

@@ -1,8 +1,14 @@
 #include "cachesim/cache.h"
 #include "cachesim/hierarchy.h"
 #include "machine/machine.h"
+#include "support/mem_access.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 namespace motune::cachesim {
 namespace {
@@ -90,6 +96,63 @@ TEST(Hierarchy, MultiLineAccessSplit) {
   Hierarchy h(machine::westmere(), 1);
   h.access(60, 8, false); // straddles two 64B lines
   EXPECT_EQ(h.level(0).stats().accesses, 2u);
+}
+
+TEST(Hierarchy, BatchedAccessMatchesScalarExactly) {
+  // The batched entry point must leave the hierarchy in the same state as
+  // replaying the records one by one — including line splits and write
+  // flags — at every level.
+  std::vector<support::MemAccess> stream;
+  std::uint64_t state = 99;
+  for (int i = 0; i < 4096; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    stream.push_back({(state >> 16) % (4u << 20),
+                      i % 7 == 0 ? 12 : 8, // some straddle a line boundary
+                      i % 3 == 0});
+  }
+
+  Hierarchy scalar(machine::westmere(), 1);
+  for (const auto& a : stream) scalar.access(a.addr, a.bytes, a.isWrite);
+
+  Hierarchy batched(machine::westmere(), 1);
+  // Uneven chunks, so batch boundaries land mid-pattern.
+  std::size_t pos = 0, chunk = 1;
+  while (pos < stream.size()) {
+    const std::size_t n = std::min(chunk, stream.size() - pos);
+    batched.access(std::span<const support::MemAccess>(&stream[pos], n));
+    pos += n;
+    chunk = chunk * 2 + 1;
+  }
+
+  for (std::size_t level = 0; level < 3; ++level) {
+    EXPECT_EQ(scalar.level(level).stats().accesses,
+              batched.level(level).stats().accesses)
+        << "level " << level;
+    EXPECT_EQ(scalar.level(level).stats().hits,
+              batched.level(level).stats().hits)
+        << "level " << level;
+    EXPECT_EQ(scalar.level(level).stats().misses,
+              batched.level(level).stats().misses)
+        << "level " << level;
+  }
+  EXPECT_EQ(scalar.dramBytes(), batched.dramBytes());
+  EXPECT_DOUBLE_EQ(scalar.totalCycles(), batched.totalCycles());
+}
+
+TEST(Cache, NonPowerOfTwoSetCountStillCorrect) {
+  // 3 sets: the set index falls back to modulo instead of the pow2 mask.
+  SetAssocCache c(3 * 2 * 64, 64, 2);
+  EXPECT_EQ(c.numSets(), 3);
+  EXPECT_FALSE(c.access(0, false)); // set 0
+  EXPECT_FALSE(c.access(1, false)); // set 1
+  EXPECT_FALSE(c.access(2, false)); // set 2
+  EXPECT_FALSE(c.access(3, false)); // set 0 again, second way
+  EXPECT_TRUE(c.access(0, false));  // still resident
+  EXPECT_TRUE(c.access(3, false));
+  EXPECT_FALSE(c.access(6, false)); // set 0, evicts LRU line 0
+  EXPECT_FALSE(c.access(0, false));
+  EXPECT_TRUE(c.access(1, false)); // other sets untouched
+  EXPECT_TRUE(c.access(2, false));
 }
 
 TEST(Hierarchy, SharedL3SliceShrinksWithThreads) {

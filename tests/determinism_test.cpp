@@ -12,9 +12,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <set>
+#include <thread>
 
 using namespace motune;
 
@@ -66,7 +69,76 @@ RunOutcome runRSGDE3(unsigned poolWorkers, bool parallelEvaluation,
           result.generations, result.hvHistory};
 }
 
+/// Objective function that records how often each configuration reaches
+/// the inner evaluation and sleeps long enough that concurrent duplicates
+/// overlap in time — the probe for the memo's single-flight guarantee.
+class SlowProbe final : public tuning::ObjectiveFunction {
+public:
+  SlowProbe() : space_{{"x", 0, 1000}} {}
+
+  std::size_t numObjectives() const override { return 2; }
+  const std::vector<tuning::ParamSpec>& space() const override {
+    return space_;
+  }
+
+  tuning::Objectives evaluate(const tuning::Config& config) override {
+    {
+      std::lock_guard lock(mutex_);
+      ++evalCount_[config];
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const double x = static_cast<double>(config.front());
+    return {x * x, (x - 2.0) * (x - 2.0)};
+  }
+
+  std::map<tuning::Config, int> counts() const {
+    std::lock_guard lock(mutex_);
+    return evalCount_;
+  }
+
+private:
+  std::vector<tuning::ParamSpec> space_;
+  mutable std::mutex mutex_;
+  std::map<tuning::Config, int> evalCount_;
+};
+
 } // namespace
+
+TEST(Determinism, SingleFlightEvaluatesConcurrentDuplicatesExactlyOnce) {
+  SlowProbe probe;
+  tuning::CountingEvaluator counting(probe);
+
+  // Each config appears 8 times back-to-back, so the 4 pool workers pick
+  // up duplicates of the same config while its first evaluation is still
+  // sleeping inside SlowProbe — the duplicates must wait for that one
+  // in-flight evaluation, not start their own.
+  const std::vector<std::int64_t> xs{3, 14, 159, 265};
+  std::vector<tuning::Config> configs;
+  for (const std::int64_t x : xs)
+    for (int dup = 0; dup < 8; ++dup) configs.push_back({x});
+
+  runtime::ThreadPool pool(4);
+  tuning::BatchEvaluator batch(counting, pool, /*parallel=*/true);
+  const auto results = batch.evaluateAll(configs);
+
+  for (const auto& [config, times] : probe.counts())
+    EXPECT_EQ(times, 1) << "config " << config.front()
+                        << " reached the inner evaluation more than once";
+  EXPECT_EQ(counting.evaluations(), xs.size());
+  EXPECT_EQ(counting.memoHits(), configs.size() - xs.size());
+
+  // The published results are bit-identical to a serial evaluation.
+  SlowProbe serialProbe;
+  tuning::CountingEvaluator serial(serialProbe);
+  ASSERT_EQ(results.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const tuning::Objectives expected = serial.evaluate(configs[i]);
+    ASSERT_EQ(results[i].size(), expected.size()) << "config " << i;
+    for (std::size_t k = 0; k < expected.size(); ++k)
+      EXPECT_EQ(std::memcmp(&results[i][k], &expected[k], sizeof(double)), 0)
+          << "config " << i << " objective " << k;
+  }
+}
 
 TEST(Determinism, GDE3IdenticalAcrossPoolSizesAndEvaluationModes) {
   const RunOutcome reference = runGDE3(1, false, 42);

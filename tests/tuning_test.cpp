@@ -1,5 +1,6 @@
 #include "kernels/kernel.h"
 #include "machine/machine.h"
+#include "observe/metrics.h"
 #include "support/check.h"
 #include "tuning/evaluator.h"
 #include "tuning/kernel_problem.h"
@@ -87,6 +88,34 @@ TEST(CountingEvaluator, CountsUniqueOnly) {
   EXPECT_EQ(fn.calls.load(), 3);
 }
 
+TEST(CountingEvaluator, ResetClearsMetricCounterMirrors) {
+  auto& metrics = observe::MetricsRegistry::global();
+  metrics.reset();
+  ToyFn fn;
+  CountingEvaluator counter(fn);
+  counter.evaluate({3});
+  counter.evaluate({3});
+  counter.evaluate({4});
+  EXPECT_EQ(metrics.counter("tuning.evaluations.unique").value(), 2u);
+  EXPECT_EQ(metrics.counter("tuning.evaluations.memo_hits").value(), 1u);
+
+  // reset() must zero the process-wide mirrors along with the local
+  // counts, or a second run in the same process reports cumulative
+  // tuning.evaluations.* values.
+  counter.reset();
+  EXPECT_EQ(counter.evaluations(), 0u);
+  EXPECT_EQ(counter.memoHits(), 0u);
+  EXPECT_EQ(metrics.counter("tuning.evaluations.unique").value(), 0u);
+  EXPECT_EQ(metrics.counter("tuning.evaluations.memo_hits").value(), 0u);
+
+  counter.evaluate({3});
+  counter.evaluate({3});
+  EXPECT_EQ(counter.evaluations(), 1u);
+  EXPECT_EQ(counter.memoHits(), 1u);
+  EXPECT_EQ(metrics.counter("tuning.evaluations.unique").value(), 1u);
+  EXPECT_EQ(metrics.counter("tuning.evaluations.memo_hits").value(), 1u);
+}
+
 TEST(BatchEvaluator, PreservesOrderParallel) {
   ToyFn fn;
   runtime::ThreadPool pool(4);
@@ -152,6 +181,56 @@ TEST(KernelProblem, InstantiateProducesParallelTiledProgram) {
   const ir::Program p = prob.instantiate({8, 8, 8, 4});
   EXPECT_TRUE(p.rootLoop().parallel);
   EXPECT_EQ(p.rootLoop().iv, "i_t");
+}
+
+TEST(KernelProblem, VariantCacheClockEvictionPrefersRecentlyUsed) {
+  KernelTuningProblem problem(kernels::kernelByName("mm"),
+                              machine::westmere(), 64);
+  problem.setVariantCacheCapacity(3);
+  const Config a{2, 2, 2, 1}, b{4, 4, 4, 1}, c{8, 8, 8, 1};
+  const Config d{16, 16, 16, 1}, e{32, 32, 32, 1};
+  problem.evaluate(a);
+  problem.evaluate(b);
+  problem.evaluate(c);
+  EXPECT_EQ(problem.variantCacheSize(), 3u);
+  EXPECT_TRUE(problem.variantCached(a));
+  EXPECT_TRUE(problem.variantCached(b));
+  EXPECT_TRUE(problem.variantCached(c));
+  EXPECT_EQ(problem.variantEvictions(), 0u);
+
+  // Cache full: the insert sweeps the hand over the (all-referenced)
+  // slots, clears their second-chance bits, and evicts the oldest entry —
+  // never the whole cache.
+  problem.evaluate(d);
+  EXPECT_EQ(problem.variantCacheSize(), 3u);
+  EXPECT_EQ(problem.variantEvictions(), 1u);
+  EXPECT_FALSE(problem.variantCached(a));
+  EXPECT_TRUE(problem.variantCached(b));
+  EXPECT_TRUE(problem.variantCached(c));
+  EXPECT_TRUE(problem.variantCached(d));
+
+  // A hit re-arms b's second-chance bit, so the next eviction passes b
+  // over and takes c, the least recently touched entry.
+  problem.evaluate(b);
+  problem.evaluate(e);
+  EXPECT_EQ(problem.variantEvictions(), 2u);
+  EXPECT_TRUE(problem.variantCached(b));
+  EXPECT_FALSE(problem.variantCached(c));
+  EXPECT_TRUE(problem.variantCached(d));
+  EXPECT_TRUE(problem.variantCached(e));
+
+  // Evicted tiles rebuild on demand and re-enter the cache.
+  problem.evaluate(a);
+  EXPECT_TRUE(problem.variantCached(a));
+  EXPECT_EQ(problem.variantEvictions(), 3u);
+
+  // Different thread counts over the same tiles share one variant: no
+  // growth, no eviction.
+  const auto evictionsBefore = problem.variantEvictions();
+  for (std::int64_t threads : {1, 2, 4, 8})
+    problem.evaluate({32, 32, 32, threads});
+  EXPECT_EQ(problem.variantEvictions(), evictionsBefore);
+  EXPECT_EQ(problem.variantCacheSize(), 3u);
 }
 
 TEST(KernelProblem, RejectsMalformedConfigs) {

@@ -7,6 +7,7 @@
 #include "verify/sampler.h"
 #include "verify/shrinker.h"
 
+#include "ir/bytecode.h"
 #include "ir/interp.h"
 #include "ir/parse.h"
 #include "ir/print.h"
@@ -16,6 +17,8 @@
 #include "support/rng.h"
 
 #include <gtest/gtest.h>
+
+#include <cstring>
 
 using namespace motune;
 using namespace motune::verify;
@@ -153,6 +156,56 @@ TEST(Oracle, AgreesOnBuiltinKernelsUnderSampledTransforms) {
         EXPECT_TRUE(verdict.nativeRan) << spec.name;
     }
   }
+}
+
+TEST(Oracle, BytecodeEngineMatchesTreeWalkerOnRandomPrograms) {
+  // The bytecode engine is the oracle's transformed-program executor; pin
+  // its bit-exactness against the tree walker directly, over generated
+  // programs and their sampled transforms.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    support::Rng rng(seed * 31 + 5);
+    const ir::Program p = randomProgram(rng);
+    const ir::Program transformed = applySequence(p, sampleSequence(p, rng));
+    for (const ir::Program* exec : {&p, &transformed}) {
+      ir::Interpreter tree(*exec);
+      ir::CompiledProgram flat(*exec);
+      for (std::size_t a = 0; a < exec->arrays.size(); ++a) {
+        auto& t = tree.array(exec->arrays[a].name);
+        auto& f = flat.array(exec->arrays[a].name);
+        for (std::size_t i = 0; i < t.size(); ++i)
+          t[i] = f[i] = fillValue(a, i);
+      }
+      tree.run();
+      flat.run();
+      EXPECT_EQ(tree.statementsExecuted(), flat.statementsExecuted())
+          << "seed " << seed;
+      for (const auto& decl : exec->arrays) {
+        const auto& expect = tree.array(decl.name);
+        const auto& got = flat.array(decl.name);
+        ASSERT_EQ(expect.size(), got.size());
+        for (std::size_t i = 0; i < expect.size(); ++i) {
+          const bool same =
+              std::memcmp(&expect[i], &got[i], sizeof(double)) == 0 ||
+              (expect[i] != expect[i] && got[i] != got[i]);
+          EXPECT_TRUE(same) << "seed " << seed << " " << decl.name << "["
+                            << i << "]: " << expect[i] << " vs " << got[i];
+        }
+      }
+    }
+  }
+}
+
+TEST(Oracle, TreeWalkerLegStillAvailable) {
+  // useBytecode = false reverts the transformed leg to the tree walker —
+  // the escape hatch for bisecting a suspected bytecode bug.
+  const ir::Program p = kernels::buildMM(4);
+  support::Rng rng(12);
+  const ir::Program transformed = applySequence(p, sampleSequence(p, rng));
+  OracleOptions opts;
+  opts.runNative = false;
+  opts.useBytecode = false;
+  const OracleVerdict verdict = checkEquivalence(p, transformed, opts);
+  EXPECT_TRUE(verdict.agree) << verdict.describe();
 }
 
 TEST(Oracle, DetectsSemanticDivergence) {
