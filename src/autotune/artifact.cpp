@@ -17,6 +17,7 @@ TunedArtifact makeArtifact(const TuningResult& result,
   a.hypervolume = result.hypervolume;
   a.untiledSerialSeconds = result.timeRef;
   a.front = result.front;
+  a.session = result.session;
   return a;
 }
 
@@ -51,7 +52,7 @@ mv::VersionMeta metaFromJson(const support::Json& j) {
 support::Json toJson(const TunedArtifact& artifact) {
   support::JsonArray versions;
   for (const auto& m : artifact.front) versions.push_back(metaToJson(m));
-  return support::JsonObject{
+  support::JsonObject out{
       {"format", "motune-artifact-v1"},
       {"kernel", artifact.kernel},
       {"machine", artifact.machineName},
@@ -61,6 +62,16 @@ support::Json toJson(const TunedArtifact& artifact) {
       {"untiled_serial_s", artifact.untiledSerialSeconds},
       {"versions", std::move(versions)},
   };
+  if (artifact.session.has_value()) {
+    const SessionProvenance& s = *artifact.session;
+    out.emplace("session", support::JsonObject{
+                               {"journal", s.journal},
+                               {"checkpoints", s.checkpoints},
+                               {"resumes", s.resumes},
+                               {"recorded_evaluations", s.recordedEvaluations},
+                           });
+  }
+  return out;
 }
 
 TunedArtifact artifactFromJson(const support::Json& json) {
@@ -76,6 +87,16 @@ TunedArtifact artifactFromJson(const support::Json& json) {
   a.untiledSerialSeconds = json.at("untiled_serial_s").asNumber();
   for (const auto& v : json.at("versions").asArray())
     a.front.push_back(metaFromJson(v));
+  if (json.has("session")) {
+    const support::Json& s = json.at("session");
+    SessionProvenance p;
+    p.journal = s.at("journal").asString();
+    p.checkpoints = static_cast<std::uint64_t>(s.at("checkpoints").asInt());
+    p.resumes = static_cast<int>(s.at("resumes").asInt());
+    p.recordedEvaluations =
+        static_cast<std::uint64_t>(s.at("recorded_evaluations").asInt());
+    a.session = std::move(p);
+  }
   return a;
 }
 

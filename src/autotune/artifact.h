@@ -28,6 +28,12 @@ struct TunedArtifact {
   double hypervolume = 0.0;
   double untiledSerialSeconds = 0.0;
   std::vector<mv::VersionMeta> front; ///< time-sorted Pareto set
+  /// Session provenance when the search ran under `--checkpoint`: which
+  /// journal produced this front, how often it checkpointed and how many
+  /// times it was resumed. Serialized as the optional "session" object of
+  /// the artifact format (readers ignore unknown fields, so pre-session
+  /// artifacts load unchanged — see docs/architecture.md).
+  std::optional<SessionProvenance> session;
 };
 
 /// Packages a tuning result (provenance from `problem`).

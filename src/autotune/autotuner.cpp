@@ -24,6 +24,23 @@ const char* algorithmName(Algorithm algorithm) {
   return "unknown";
 }
 
+/// The algorithm-options blob in the session header: every knob that
+/// changes the deterministic search trajectory (the seed is its own header
+/// field). Resume compares this verbatim against the journal's copy.
+support::Json algorithmOptionsJson(const TunerOptions& options) {
+  const opt::GDE3Options& g = options.gde3;
+  return support::JsonObject{
+      {"population", g.population},
+      {"cr", g.cr},
+      {"f", g.f},
+      {"max_generations", g.maxGenerations},
+      {"no_improve_limit", g.noImproveLimit},
+      {"improve_epsilon", g.improveEpsilon},
+      {"immigrants_on_stagnation", g.immigrantsOnStagnation},
+      {"reduction", options.algorithm == Algorithm::RSGDE3},
+  };
+}
+
 } // namespace
 
 AutoTuner::AutoTuner(TunerOptions options)
@@ -32,35 +49,133 @@ AutoTuner::AutoTuner(TunerOptions options)
           options_.evaluationWorkers)) {}
 
 opt::OptResult AutoTuner::optimize(tuning::ObjectiveFunction& fn) {
+  return optimizeImpl(fn, "custom", nullptr);
+}
+
+opt::OptResult
+AutoTuner::optimizeImpl(tuning::ObjectiveFunction& fn,
+                        const std::string& problemTag,
+                        std::optional<SessionProvenance>* provenance) {
   observe::Span span = observe::Tracer::global().span(
       "autotune.optimize",
       {{"algorithm", support::Json(algorithmName(options_.algorithm))}});
-  switch (options_.algorithm) {
-  case Algorithm::RSGDE3: {
-    opt::RSGDE3 engine(fn, *pool_, {options_.gde3, true});
-    return engine.run();
+
+  // The evaluation path the search engine sees: objective function, then
+  // (tests/CI only) the deterministic fault injector, then the fault
+  // tolerance wrapper. The engine's own memoizing CountingEvaluator sits
+  // on top, so retries and fallbacks happen per unique configuration.
+  tuning::ObjectiveFunction* target = &fn;
+  std::optional<tuning::FaultInjectingEvaluator> injector;
+  if (std::optional<tuning::FaultSpec> spec = tuning::FaultSpec::fromEnv()) {
+    injector.emplace(*target, std::move(*spec));
+    target = &*injector;
   }
-  case Algorithm::PlainGDE3: {
-    opt::RSGDE3 engine(fn, *pool_, {options_.gde3, false});
-    return engine.run();
+  std::optional<tuning::FaultTolerantEvaluator> tolerant;
+  if (options_.fault.enabled) {
+    tolerant.emplace(*target, options_.fault, options_.faultFallback);
+    target = &*tolerant;
   }
-  case Algorithm::NSGA2: {
-    opt::NSGA2 engine(fn, *pool_, options_.nsga2);
-    return engine.run();
+
+  const bool useSession = !options_.session.directory.empty();
+  if (!useSession) {
+    switch (options_.algorithm) {
+    case Algorithm::RSGDE3: {
+      opt::RSGDE3 engine(*target, *pool_, {options_.gde3, true});
+      return engine.run();
+    }
+    case Algorithm::PlainGDE3: {
+      opt::RSGDE3 engine(*target, *pool_, {options_.gde3, false});
+      return engine.run();
+    }
+    case Algorithm::NSGA2: {
+      opt::NSGA2 engine(*target, *pool_, options_.nsga2);
+      return engine.run();
+    }
+    case Algorithm::Random: {
+      opt::RandomSearch engine(*target, *pool_,
+                               {options_.randomBudget, options_.gde3.seed, true});
+      return engine.run();
+    }
+    case Algorithm::BruteForce: {
+      MOTUNE_CHECK_MSG(options_.grid.has_value(),
+                       "BruteForce requires a GridSpec");
+      opt::GridSearch engine(*target, *pool_, *options_.grid);
+      return engine.run();
+    }
+    }
+    MOTUNE_CHECK_MSG(false, "unknown algorithm");
+    return {};
   }
-  case Algorithm::Random: {
-    opt::RandomSearch engine(fn, *pool_, {options_.randomBudget, options_.gde3.seed, true});
-    return engine.run();
+
+  // Sessions journal serialized engine state, which only the GDE3-family
+  // engines expose.
+  MOTUNE_CHECK_MSG(options_.algorithm == Algorithm::RSGDE3 ||
+                       options_.algorithm == Algorithm::PlainGDE3,
+                   "--checkpoint/--resume require --algo rsgde3 or gde3 "
+                   "(only the GDE3-family engines are checkpointable)");
+  const bool reduction = options_.algorithm == Algorithm::RSGDE3;
+
+  session::SessionHeader header;
+  header.problem = problemTag;
+  header.algorithm = algorithmName(options_.algorithm);
+  header.seed = options_.gde3.seed;
+  header.objectives = fn.numObjectives();
+  header.space = fn.space();
+  header.algorithmOptions = algorithmOptionsJson(options_);
+
+  opt::RSGDE3 engine(*target, *pool_, {options_.gde3, reduction});
+
+  std::optional<session::ResumeState> resumed;
+  std::unique_ptr<session::SessionWriter> writer;
+  if (options_.session.resume) {
+    resumed = session::loadSession(options_.session.directory);
+    MOTUNE_CHECK_MSG(!resumed->finished,
+                     "session in " + options_.session.directory +
+                         " already ran to completion; nothing to resume");
+    session::checkCompatible(resumed->header, header);
+    // Pre-seed the memo: replayed generations between the last checkpoint
+    // and the kill re-request the same configurations deterministically
+    // and hit these entries, keeping the evaluation count E exact.
+    for (const session::EvalRecord& e : resumed->evaluations)
+      engine.engine().evaluator().preload(e.config, e.objectives);
+    writer = std::make_unique<session::SessionWriter>(
+        options_.session.directory, *resumed);
+  } else {
+    writer = std::make_unique<session::SessionWriter>(
+        options_.session.directory, header);
   }
-  case Algorithm::BruteForce: {
-    MOTUNE_CHECK_MSG(options_.grid.has_value(),
-                     "BruteForce requires a GridSpec");
-    opt::GridSearch engine(fn, *pool_, *options_.grid);
-    return engine.run();
+  engine.engine().evaluator().setListener(
+      [&writer](const tuning::Config& config,
+                const tuning::Objectives& objectives) {
+        writer->recordEvaluation(config, objectives);
+      });
+
+  opt::RunHooks hooks;
+  hooks.checkpointEvery = options_.session.checkpointEvery;
+  hooks.checkpoint = [&writer, &engine](const support::Json& state,
+                                        int generation) {
+    writer->recordCheckpoint(state, generation, engine.engine().evaluations());
+  };
+  if (resumed.has_value() && resumed->checkpoint.has_value())
+    hooks.resumeState = &*resumed->checkpoint;
+
+  opt::OptResult result = engine.run(&hooks);
+  writer->recordFinish(result.evaluations, result.front.size(),
+                       result.hvHistory.empty() ? 0.0
+                                                : result.hvHistory.back());
+
+  if (provenance != nullptr) {
+    SessionProvenance p;
+    p.journal = writer->path();
+    p.checkpoints =
+        (resumed ? resumed->checkpoints : 0) + writer->checkpointsWritten();
+    p.resumes = resumed ? resumed->resumes + 1 : 0;
+    p.recordedEvaluations =
+        (resumed ? resumed->evaluations.size() : 0) +
+        writer->evaluationsRecorded();
+    *provenance = std::move(p);
   }
-  }
-  MOTUNE_CHECK_MSG(false, "unknown algorithm");
-  return {};
+  return result;
 }
 
 double scoreHypervolume(const std::vector<opt::Individual>& front,
@@ -125,7 +240,18 @@ TuningResult AutoTuner::tune(tuning::KernelTuningProblem& problem) {
        {"n", support::Json(problem.problemSize())},
        {"algorithm", support::Json(algorithmName(options_.algorithm))}});
   TuningResult out;
-  out.raw = optimize(problem);
+  // Session-header tag: every problem parameter that must match on resume.
+  std::string problemTag = problem.kernel().name + "/" +
+                           problem.machine().name + "/n" +
+                           std::to_string(problem.problemSize());
+  for (tuning::Objective obj : problem.objectives()) {
+    switch (obj) {
+    case tuning::Objective::Time: problemTag += "/time"; break;
+    case tuning::Objective::Resources: problemTag += "/resources"; break;
+    case tuning::Objective::Energy: problemTag += "/energy"; break;
+    }
+  }
+  out.raw = optimizeImpl(problem, problemTag, &out.session);
   if (options_.algorithm == Algorithm::RSGDE3 ||
       options_.algorithm == Algorithm::PlainGDE3 ||
       options_.algorithm == Algorithm::NSGA2)

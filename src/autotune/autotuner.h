@@ -17,6 +17,8 @@
 #include "core/random_search.h"
 #include "core/rsgde3.h"
 #include "multiversion/version_table.h"
+#include "session/session.h"
+#include "tuning/fault.h"
 #include "tuning/kernel_problem.h"
 
 #include <optional>
@@ -44,6 +46,27 @@ struct TunerOptions {
   /// them). Off by default: the simulation is trace-granular.
   bool validateFront = false;
   std::size_t validateMax = 8; ///< cap on simulated configurations
+  /// Durable sessions (`motune tune --checkpoint DIR [--resume]`): journal
+  /// every unique evaluation plus periodic engine checkpoints so a killed
+  /// run resumes bit-identically. Only RS-GDE3 / plain GDE3 are
+  /// checkpointable; other algorithms reject a non-empty directory.
+  session::SessionOptions session;
+  /// Fault tolerance for the evaluation path (retry, timeout, quarantine);
+  /// inert unless `fault.enabled`.
+  tuning::FaultPolicy fault;
+  /// Optional degradation target when the primary evaluator is exhausted
+  /// or quarantined (typically the analytical model behind a native
+  /// evaluator). Must outlive the tuner. Ignored unless `fault.enabled`.
+  tuning::ObjectiveFunction* faultFallback = nullptr;
+};
+
+/// Where a tuning result came from when it ran under a session — recorded
+/// in the artifact so a deployment can trace a front back to its journal.
+struct SessionProvenance {
+  std::string journal;               ///< path of the session journal
+  std::uint64_t checkpoints = 0;     ///< checkpoint records, all runs
+  int resumes = 0;                   ///< times the session was resumed
+  std::uint64_t recordedEvaluations = 0; ///< journaled unique evaluations
 };
 
 /// Tuning outcome: the Pareto set with metadata plus the comparison metrics
@@ -55,6 +78,7 @@ struct TuningResult {
   double hypervolume = 0.0;           ///< V(S), normalized (see below)
   double timeRef = 0.0;               ///< normalization: untiled serial time
   double resourceRef = 0.0;           ///< normalization: 2x untiled serial
+  std::optional<SessionProvenance> session; ///< set when a session ran
 };
 
 class AutoTuner {
@@ -72,6 +96,13 @@ public:
   const TunerOptions& options() const { return options_; }
 
 private:
+  /// Search dispatch with optional session journaling and fault wrapping.
+  /// `problemTag` identifies the search in the session header; `provenance`
+  /// (may be null) receives the session summary when one ran.
+  opt::OptResult optimizeImpl(tuning::ObjectiveFunction& fn,
+                              const std::string& problemTag,
+                              std::optional<SessionProvenance>* provenance);
+
   TunerOptions options_;
   std::unique_ptr<runtime::ThreadPool> pool_;
 };

@@ -5,6 +5,7 @@
 #include "support/check.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 
 namespace motune::opt {
@@ -241,6 +242,137 @@ OptResult GDE3::run() {
   span.setAttr("evaluations", support::Json(evaluations()));
   span.setAttr("hv", support::Json(bestHv_));
   return snapshot();
+}
+
+namespace {
+
+// RNG words are full 64-bit values; JSON numbers are doubles and lose
+// precision past 2^53, so the stream position travels as hex strings.
+std::string hexU64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t parseHexU64(const std::string& s) {
+  MOTUNE_CHECK_MSG(s.rfind("0x", 0) == 0 && s.size() > 2,
+                   "malformed RNG state word: " + s);
+  return std::stoull(s.substr(2), nullptr, 16);
+}
+
+support::Json individualToJson(const Individual& ind) {
+  support::JsonArray genome, config, objectives;
+  for (double g : ind.genome) genome.emplace_back(g);
+  for (std::int64_t c : ind.config) config.emplace_back(c);
+  for (double o : ind.objectives) objectives.emplace_back(o);
+  return support::JsonObject{{"g", std::move(genome)},
+                             {"c", std::move(config)},
+                             {"o", std::move(objectives)}};
+}
+
+Individual individualFromJson(const support::Json& j) {
+  Individual ind;
+  for (const auto& v : j.at("g").asArray()) ind.genome.push_back(v.asNumber());
+  for (const auto& v : j.at("c").asArray()) ind.config.push_back(v.asInt());
+  for (const auto& v : j.at("o").asArray())
+    ind.objectives.push_back(v.asNumber());
+  return ind;
+}
+
+support::Json boundaryToJson(const tuning::Boundary& b) {
+  support::JsonArray lo, hi;
+  for (double v : b.lo) lo.emplace_back(v);
+  for (double v : b.hi) hi.emplace_back(v);
+  return support::JsonObject{{"lo", std::move(lo)}, {"hi", std::move(hi)}};
+}
+
+tuning::Boundary boundaryFromJson(const support::Json& j) {
+  tuning::Boundary b;
+  for (const auto& v : j.at("lo").asArray()) b.lo.push_back(v.asNumber());
+  for (const auto& v : j.at("hi").asArray()) b.hi.push_back(v.asNumber());
+  MOTUNE_CHECK(b.lo.size() == b.hi.size());
+  return b;
+}
+
+} // namespace
+
+support::Json GDE3::serialize() const {
+  MOTUNE_CHECK_MSG(!population_.empty(),
+                   "serialize() requires an initialized engine");
+  support::JsonArray population, archive, lastFront, worst, hvHistory;
+  for (const auto& ind : population_) population.push_back(individualToJson(ind));
+  for (const auto& ind : archive_) archive.push_back(individualToJson(ind));
+  for (const auto& config : lastFrontConfigs_) {
+    support::JsonArray c;
+    for (std::int64_t v : config) c.emplace_back(v);
+    lastFront.emplace_back(std::move(c));
+  }
+  for (double w : metric_->worst()) worst.emplace_back(w);
+  for (double hv : hvHistory_) hvHistory.emplace_back(hv);
+
+  const support::Rng::State rng = rng_.state();
+  support::JsonArray words;
+  for (std::uint64_t w : rng.words) words.emplace_back(hexU64(w));
+
+  return support::JsonObject{
+      {"population", std::move(population)},
+      {"archive", std::move(archive)},
+      {"last_front_configs", std::move(lastFront)},
+      {"metric_worst", std::move(worst)},
+      {"hv_history", std::move(hvHistory)},
+      {"best_hv", bestHv_},
+      {"generations", generations_},
+      {"boundary", boundaryToJson(boundary_)},
+      {"rng",
+       support::JsonObject{{"words", std::move(words)},
+                           {"gaussian", rng.cachedGaussian},
+                           {"has_gaussian", rng.hasCachedGaussian}}},
+  };
+}
+
+void GDE3::restore(const support::Json& state) {
+  population_.clear();
+  archive_.clear();
+  lastFrontConfigs_.clear();
+  for (const auto& j : state.at("population").asArray())
+    population_.push_back(individualFromJson(j));
+  for (const auto& j : state.at("archive").asArray())
+    archive_.push_back(individualFromJson(j));
+  for (const auto& j : state.at("last_front_configs").asArray()) {
+    Config c;
+    for (const auto& v : j.asArray()) c.push_back(v.asInt());
+    lastFrontConfigs_.insert(std::move(c));
+  }
+  MOTUNE_CHECK_MSG(!population_.empty(), "checkpoint has an empty population");
+
+  Objectives worst;
+  for (const auto& v : state.at("metric_worst").asArray())
+    worst.push_back(v.asNumber());
+  metric_.emplace(std::move(worst));
+
+  hvHistory_.clear();
+  for (const auto& v : state.at("hv_history").asArray())
+    hvHistory_.push_back(v.asNumber());
+  bestHv_ = state.at("best_hv").asNumber();
+  generations_ = static_cast<int>(state.at("generations").asInt());
+
+  tuning::Boundary boundary = boundaryFromJson(state.at("boundary"));
+  MOTUNE_CHECK_MSG(boundary.dims() == fullBoundary_.dims(),
+                   "checkpoint boundary dimensionality mismatch");
+  boundary_ = std::move(boundary);
+
+  const support::Json& rng = state.at("rng");
+  support::Rng::State rngState;
+  const auto& words = rng.at("words").asArray();
+  MOTUNE_CHECK(words.size() == rngState.words.size());
+  for (std::size_t i = 0; i < words.size(); ++i)
+    rngState.words[i] = parseHexU64(words[i].asString());
+  rngState.cachedGaussian = rng.at("gaussian").asNumber();
+  rngState.hasCachedGaussian = rng.at("has_gaussian").asBool();
+  rng_.setState(rngState);
+
+  observe::MetricsRegistry::global().gauge("gde3.best_hv").set(bestHv_);
 }
 
 OptResult GDE3::snapshot() const {

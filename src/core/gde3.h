@@ -14,6 +14,7 @@
 #include "core/hypervolume.h"
 #include "core/result.h"
 #include "runtime/thread_pool.h"
+#include "support/json.h"
 #include "support/rng.h"
 #include "tuning/evaluator.h"
 
@@ -74,6 +75,20 @@ public:
   const std::vector<Individual>& population() const { return population_; }
   int generationsDone() const { return generations_; }
   std::uint64_t evaluations() const { return counter_.evaluations(); }
+
+  /// Complete engine state as one JSON document: population, archive,
+  /// hypervolume normalization, stagnation bookkeeping, current boundary
+  /// and the exact RNG stream position. restore() of this state into a
+  /// freshly constructed engine (same objective function, same options)
+  /// continues the search bit-identically — the basis of the durable
+  /// tuning sessions in src/session/. Only valid after initialize().
+  support::Json serialize() const;
+  void restore(const support::Json& state);
+
+  /// The memoizing evaluator in front of the objective function. The
+  /// session layer pre-seeds it on resume (CountingEvaluator::preload) and
+  /// journals unique evaluations through its listener hook.
+  tuning::CountingEvaluator& evaluator() { return counter_; }
 
 private:
   std::vector<Individual>

@@ -2,58 +2,100 @@
 
 #include "core/roughset.h"
 #include "observe/trace.h"
+#include "support/check.h"
 
 namespace motune::opt {
 
 namespace {
 
-/// Rebuilds the reduced boundary and reports the reduction to the trace.
-void reduceAndRecord(GDE3& engine, const tuning::Boundary& full) {
-  engine.setBoundary(roughSetReduce(engine.population(), full));
-  observe::Tracer& tracer = observe::Tracer::global();
-  if (!tracer.enabled()) return;
-  const double volume = engine.boundary().volume();
-  const double fullVolume = full.volume();
-  tracer.event("roughset.reduce",
-               {{"gen", support::Json(engine.generationsDone())},
-                {"boundary_volume", support::Json(volume)},
-                {"volume_fraction",
-                 support::Json(fullVolume > 0 ? volume / fullVolume : 0.0)}});
+GDE3Options innerOptions(const RSGDE3Options& options, int maxGenerations) {
+  GDE3Options inner = options.gde3;
+  inner.maxGenerations = maxGenerations;
+  return inner;
 }
 
 } // namespace
 
 RSGDE3::RSGDE3(tuning::ObjectiveFunction& fn, runtime::ThreadPool& pool,
                RSGDE3Options options)
-    : fn_(fn), pool_(pool), options_(options) {}
+    : options_(options),
+      maxGenerations_(options.maxTotalGenerations > 0
+                          ? options.maxTotalGenerations
+                          : options.gde3.maxGenerations),
+      full_(tuning::Boundary::fromSpace(fn.space())),
+      engine_(fn, pool, innerOptions(options, maxGenerations_)) {}
 
-OptResult RSGDE3::run() {
-  const int maxGens = options_.maxTotalGenerations > 0
-                          ? options_.maxTotalGenerations
-                          : options_.gde3.maxGenerations;
-  GDE3Options inner = options_.gde3;
-  inner.maxGenerations = maxGens;
-  GDE3 engine(fn_, pool_, inner);
-  const tuning::Boundary full = tuning::Boundary::fromSpace(fn_.space());
+/// Rebuilds the reduced boundary and reports the reduction to the trace.
+void RSGDE3::reduceAndRecord() {
+  engine_.setBoundary(roughSetReduce(engine_.population(), full_));
+  observe::Tracer& tracer = observe::Tracer::global();
+  if (!tracer.enabled()) return;
+  const double volume = engine_.boundary().volume();
+  const double fullVolume = full_.volume();
+  tracer.event("roughset.reduce",
+               {{"gen", support::Json(engine_.generationsDone())},
+                {"boundary_volume", support::Json(volume)},
+                {"volume_fraction",
+                 support::Json(fullVolume > 0 ? volume / fullVolume : 0.0)}});
+}
 
+support::Json RSGDE3::serialize() const {
+  return support::JsonObject{{"format", "motune-rsgde3-state"},
+                             {"version", 1},
+                             {"flat", flat_},
+                             {"gde3", engine_.serialize()}};
+}
+
+void RSGDE3::restore(const support::Json& state) {
+  MOTUNE_CHECK_MSG(state.has("format") && state.at("format").asString() ==
+                                              "motune-rsgde3-state",
+                   "not an RS-GDE3 checkpoint");
+  MOTUNE_CHECK_MSG(state.at("version").asInt() == 1,
+                   "unsupported RS-GDE3 checkpoint version");
+  flat_ = static_cast<int>(state.at("flat").asInt());
+  engine_.restore(state.at("gde3"));
+}
+
+OptResult RSGDE3::run(const RunHooks* hooks) {
   observe::Span span = observe::Tracer::global().span(
       "rsgde3.run",
       {{"reduction", support::Json(options_.reductionEnabled)},
-       {"max_generations", support::Json(maxGens)}});
+       {"max_generations", support::Json(maxGenerations_)},
+       {"resumed", support::Json(hooks != nullptr &&
+                                 hooks->resumeState != nullptr)}});
 
-  engine.initialize();
-  if (options_.reductionEnabled) reduceAndRecord(engine, full);
+  const bool checkpointing = hooks != nullptr && hooks->checkpoint != nullptr;
+  if (hooks != nullptr && hooks->resumeState != nullptr) {
+    restore(*hooks->resumeState);
+  } else {
+    flat_ = 0;
+    engine_.initialize();
+    if (options_.reductionEnabled) reduceAndRecord();
+    // Generation-0 checkpoint: a kill during the very first generation
+    // resumes without repeating the initial population's evaluations.
+    if (checkpointing) hooks->checkpoint(serialize(), 0);
+  }
 
   // Loop of Fig. 4: one GDE3 generation, then rebuild the reduced search
   // space from the new population; terminate when generations stop
   // improving the solution set.
-  int flat = 0;
-  while (flat < options_.gde3.noImproveLimit &&
-         engine.generationsDone() < maxGens) {
-    flat = engine.step() ? 0 : flat + 1;
-    if (options_.reductionEnabled) reduceAndRecord(engine, full);
+  const int every = hooks != nullptr && hooks->checkpointEvery > 0
+                        ? hooks->checkpointEvery
+                        : 1;
+  int sinceCheckpoint = 0;
+  while (flat_ < options_.gde3.noImproveLimit &&
+         engine_.generationsDone() < maxGenerations_) {
+    flat_ = engine_.step() ? 0 : flat_ + 1;
+    if (options_.reductionEnabled) reduceAndRecord();
+    if (checkpointing && ++sinceCheckpoint >= every) {
+      hooks->checkpoint(serialize(), engine_.generationsDone());
+      sinceCheckpoint = 0;
+    }
   }
-  OptResult result = engine.snapshot();
+  if (checkpointing && sinceCheckpoint > 0)
+    hooks->checkpoint(serialize(), engine_.generationsDone());
+
+  OptResult result = engine_.snapshot();
   span.setAttr("generations", support::Json(result.generations));
   span.setAttr("evaluations", support::Json(result.evaluations));
   span.setAttr("front_size", support::Json(result.front.size()));

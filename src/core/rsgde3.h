@@ -5,9 +5,17 @@
 // population ("we continuously update the reduced search space ... to
 // gradually steer the search towards the area where the optimal Pareto set
 // is located"). Terminates when results stop improving.
+//
+// The engine is checkpointable: serialize() captures the complete search
+// state (delegating to GDE3::serialize for population/archive/RNG, plus
+// the stagnation counter), and run() accepts RunHooks so a persistence
+// layer (src/session/) can journal state between generations and resume a
+// killed search bit-identically — without core depending on any file I/O.
 #pragma once
 
 #include "core/gde3.h"
+
+#include <functional>
 
 namespace motune::opt {
 
@@ -18,17 +26,43 @@ struct RSGDE3Options {
                                ///< gde3.maxGenerations
 };
 
+/// Checkpoint/resume callbacks for RSGDE3::run(). All state passes through
+/// as opaque JSON so the caller decides where it lives (the session journal
+/// writes one JSONL record per checkpoint).
+struct RunHooks {
+  /// Invoked with serialize()'d state after initialization and after every
+  /// checkpointEvery-th generation (plus the final one).
+  std::function<void(const support::Json& state, int generation)> checkpoint;
+  int checkpointEvery = 1;
+  /// When set, run() restores this state instead of initializing — the
+  /// engine continues exactly where the serialized search stopped.
+  const support::Json* resumeState = nullptr;
+};
+
 class RSGDE3 {
 public:
   RSGDE3(tuning::ObjectiveFunction& fn, runtime::ThreadPool& pool,
          RSGDE3Options options = {});
 
-  OptResult run();
+  OptResult run(const RunHooks* hooks = nullptr);
+
+  /// Complete search state: the inner GDE3 engine plus the non-improving
+  /// generation counter the stop rule tracks.
+  support::Json serialize() const;
+  void restore(const support::Json& state);
+
+  /// The inner GDE3 engine (evaluator access for memo pre-seeding and
+  /// journaling; result snapshots).
+  GDE3& engine() { return engine_; }
 
 private:
-  tuning::ObjectiveFunction& fn_;
-  runtime::ThreadPool& pool_;
+  void reduceAndRecord();
+
   RSGDE3Options options_;
+  int maxGenerations_;
+  tuning::Boundary full_;
+  GDE3 engine_;
+  int flat_ = 0; ///< consecutive non-improving generations
 };
 
 } // namespace motune::opt

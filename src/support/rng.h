@@ -5,6 +5,7 @@
 // paper reproduction is exactly repeatable from a seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -62,6 +63,29 @@ public:
   /// Derives an independent child stream; used to give each optimizer run
   /// or worker its own generator without correlated sequences.
   Rng split() { return Rng((*this)() ^ 0xd2b74407b1ce6e93ull); }
+
+  /// Complete generator state — the four xoshiro words plus the Marsaglia
+  /// gaussian carry — so a stream can be persisted mid-sequence and
+  /// continued bit-identically (checkpoint/resume, src/session/).
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double cachedGaussian = 0.0;
+    bool hasCachedGaussian = false;
+  };
+
+  State state() const {
+    State s;
+    for (std::size_t i = 0; i < 4; ++i) s.words[i] = state_[i];
+    s.cachedGaussian = cachedGaussian_;
+    s.hasCachedGaussian = hasCachedGaussian_;
+    return s;
+  }
+
+  void setState(const State& s) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = s.words[i];
+    cachedGaussian_ = s.cachedGaussian;
+    hasCachedGaussian_ = s.hasCachedGaussian;
+  }
 
 private:
   static std::uint64_t splitMix64(std::uint64_t& x) {

@@ -109,9 +109,27 @@ Objectives CountingEvaluator::evaluate(const Config& config) {
       shard.ready.notify_all();
       if (epoch_.load(std::memory_order_relaxed) == local.epoch)
         local.map.emplace(config, slot->value);
-      return slot->value;
     }
+    // Journal the unique evaluation outside the shard lock; Ready slot
+    // values are immutable, so reading slot->value here is race-free.
+    if (listener_) listener_(config, slot->value);
+    return slot->value;
   }
+}
+
+bool CountingEvaluator::preload(const Config& config,
+                                const Objectives& objectives) {
+  Shard& shard = shards_[ConfigHash{}(config) & (kShards - 1)];
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.memo.find(config);
+  if (it != shard.memo.end()) return false;
+  auto slot = std::make_shared<Slot>();
+  slot->value = objectives;
+  slot->state = Slot::State::Ready;
+  shard.memo.emplace(config, std::move(slot));
+  ++shard.evals;
+  uniqueCounter_.add();
+  return true;
 }
 
 std::uint64_t CountingEvaluator::evaluations() const {

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -58,6 +59,21 @@ public:
   /// tuning.evaluations.* metric counters, so back-to-back runs in one
   /// process report per-run (not cumulative) counts.
   void reset();
+
+  /// Journal hook for durable sessions (src/session/): called once per
+  /// *unique* evaluation — on the leader path, after the result is
+  /// published, outside any shard lock — never for memo hits or preloaded
+  /// entries. Set it before evaluation starts; it is read concurrently.
+  using EvalListener = std::function<void(const Config&, const Objectives&)>;
+  void setListener(EvalListener listener) { listener_ = std::move(listener); }
+
+  /// Pre-seeds the memo with a result recorded by a previous (killed) run.
+  /// The configuration counts as one unique evaluation, exactly as if this
+  /// evaluator had computed it, so a resumed search reports the same E as
+  /// an uninterrupted one; later lookups are ordinary memo hits. Returns
+  /// false (and changes nothing) if the config is already memoized. Must
+  /// not race evaluate() — preload before the search starts.
+  bool preload(const Config& config, const Objectives& objectives);
 
 private:
   // 16 shards comfortably cover the pool sizes the batch evaluator runs
@@ -95,6 +111,8 @@ private:
   // Memo hits (front-cache or shard) — striped, so the front-cache hit
   // path writes only the calling thread's cell.
   observe::Counter hits_;
+  // Unique-evaluation journal hook (empty = disabled).
+  EvalListener listener_;
   // Process-wide mirrors exported through the observability layer.
   observe::Counter& uniqueCounter_;
   observe::Counter& memoHitCounter_;

@@ -1,0 +1,220 @@
+#include "tuning/fault.h"
+
+#include "support/check.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace motune::tuning {
+
+namespace {
+
+void sleepSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+} // namespace
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  FaultSpec spec;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string rule = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (rule.empty()) continue;
+
+    const std::size_t at = rule.find('@');
+    MOTUNE_CHECK_MSG(at != std::string::npos,
+                     "bad MOTUNE_FAULT_SPEC rule (missing '@'): " + rule);
+    const std::string verb = rule.substr(0, at);
+    std::string rest = rule.substr(at + 1);
+
+    FaultRule r;
+    if (verb == "fail") r.action = FaultRule::Action::Fail;
+    else if (verb == "hang") r.action = FaultRule::Action::Hang;
+    else if (verb == "delay") r.action = FaultRule::Action::Delay;
+    else MOTUNE_CHECK_MSG(false, "bad MOTUNE_FAULT_SPEC action: " + verb +
+                                     " (expected fail|hang|delay)");
+
+    // Duration suffix: ":S" (hang/delay).
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+      r.seconds = std::stod(rest.substr(colon + 1));
+      rest = rest.substr(0, colon);
+    }
+    // Repeat suffix: "xK" (fail@NxK).
+    const std::size_t x = rest.find('x');
+    if (x != std::string::npos) {
+      r.count = std::stoull(rest.substr(x + 1));
+      MOTUNE_CHECK_MSG(r.count >= 1, "bad repeat count in rule: " + rule);
+      rest = rest.substr(0, x);
+    }
+    if (rest == "*") {
+      r.first = 0;
+    } else {
+      r.first = std::stoull(rest);
+      MOTUNE_CHECK_MSG(r.first >= 1,
+                       "evaluation indices are 1-based in rule: " + rule);
+    }
+    MOTUNE_CHECK_MSG(r.action == FaultRule::Action::Fail || r.seconds > 0.0,
+                     "hang/delay rules need a ':seconds' duration: " + rule);
+    spec.rules.push_back(r);
+  }
+  return spec;
+}
+
+std::optional<FaultSpec> FaultSpec::fromEnv() {
+  const char* env = std::getenv("MOTUNE_FAULT_SPEC");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  FaultSpec spec = parse(env);
+  if (spec.empty()) return std::nullopt;
+  return spec;
+}
+
+FaultInjectingEvaluator::FaultInjectingEvaluator(ObjectiveFunction& inner,
+                                                 FaultSpec spec)
+    : inner_(inner), spec_(std::move(spec)) {}
+
+Objectives FaultInjectingEvaluator::evaluate(const Config& config) {
+  const std::uint64_t call = calls_.fetch_add(1) + 1;
+  for (const FaultRule& rule : spec_.rules) {
+    if (!rule.matches(call)) continue;
+    switch (rule.action) {
+    case FaultRule::Action::Fail:
+      throw EvaluationFault("injected failure at evaluation #" +
+                            std::to_string(call));
+    case FaultRule::Action::Hang:
+    case FaultRule::Action::Delay:
+      sleepSeconds(rule.seconds);
+      break;
+    }
+  }
+  return inner_.evaluate(config);
+}
+
+FaultTolerantEvaluator::FaultTolerantEvaluator(ObjectiveFunction& primary,
+                                               FaultPolicy policy,
+                                               ObjectiveFunction* fallback)
+    : primary_(primary), policy_(policy), fallback_(fallback),
+      failures_(observe::MetricsRegistry::global().counter("fault.failures")),
+      retries_(observe::MetricsRegistry::global().counter("fault.retries")),
+      timeouts_(observe::MetricsRegistry::global().counter("fault.timeouts")),
+      fallbacks_(
+          observe::MetricsRegistry::global().counter("fault.fallbacks")),
+      quarantined_(
+          observe::MetricsRegistry::global().counter("fault.quarantined")),
+      quarantineHits_(observe::MetricsRegistry::global().counter(
+          "fault.quarantine_hits")) {
+  MOTUNE_CHECK(policy_.maxRetries >= 0);
+  if (fallback_ != nullptr)
+    MOTUNE_CHECK_MSG(fallback_->numObjectives() == primary_.numObjectives(),
+                     "fault fallback objective count differs from primary");
+}
+
+FaultTolerantEvaluator::~FaultTolerantEvaluator() {
+  // Timed-out attempts still run on detached async threads referencing the
+  // primary; wait for them so the primary can be destroyed safely.
+  std::vector<std::future<Objectives>> abandoned;
+  {
+    std::lock_guard lock(mutex_);
+    abandoned.swap(abandoned_);
+  }
+  for (auto& f : abandoned) {
+    try {
+      f.wait();
+    } catch (...) {
+    }
+  }
+}
+
+void FaultTolerantEvaluator::reapAbandoned() {
+  std::lock_guard lock(mutex_);
+  std::erase_if(abandoned_, [](std::future<Objectives>& f) {
+    return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  });
+}
+
+Objectives FaultTolerantEvaluator::attemptOnce(const Config& config) {
+  if (policy_.timeoutSeconds <= 0.0) return primary_.evaluate(config);
+
+  auto future = std::async(std::launch::async,
+                           [this, config] { return primary_.evaluate(config); });
+  if (future.wait_for(std::chrono::duration<double>(
+          policy_.timeoutSeconds)) == std::future_status::ready)
+    return future.get();
+
+  // The attempt hung: abandon it (the helper thread keeps running until
+  // the evaluation returns; the destructor joins) and report a timeout.
+  {
+    std::lock_guard lock(mutex_);
+    abandoned_.push_back(std::move(future));
+  }
+  timeouts_.add();
+  throw EvaluationFault("evaluation timed out after " +
+                        std::to_string(policy_.timeoutSeconds) + " s");
+}
+
+bool FaultTolerantEvaluator::isQuarantined(const Config& config) const {
+  std::lock_guard lock(mutex_);
+  return quarantine_.count(config) > 0;
+}
+
+std::size_t FaultTolerantEvaluator::quarantinedCount() const {
+  std::lock_guard lock(mutex_);
+  return quarantine_.size();
+}
+
+void FaultTolerantEvaluator::noteExhausted(const Config& config) {
+  std::lock_guard lock(mutex_);
+  if (quarantine_.count(config) > 0) return;
+  if (++exhaustedCalls_[config] >= policy_.quarantineAfter) {
+    quarantine_.insert(config);
+    quarantined_.add();
+  }
+}
+
+Objectives FaultTolerantEvaluator::degrade(const Config& config,
+                                           std::exception_ptr error) {
+  if (fallback_ != nullptr) {
+    fallbacks_.add();
+    return fallback_->evaluate(config);
+  }
+  MOTUNE_CHECK(error != nullptr);
+  std::rethrow_exception(error);
+}
+
+Objectives FaultTolerantEvaluator::evaluate(const Config& config) {
+  reapAbandoned();
+  if (isQuarantined(config)) {
+    quarantineHits_.add();
+    return degrade(config,
+                   std::make_exception_ptr(EvaluationFault(
+                       "configuration is quarantined and no fallback "
+                       "evaluator is configured")));
+  }
+
+  std::exception_ptr last;
+  for (int attempt = 0; attempt <= policy_.maxRetries; ++attempt) {
+    if (attempt > 0) {
+      retries_.add();
+      const double backoff =
+          policy_.backoffSeconds * static_cast<double>(1u << (attempt - 1));
+      sleepSeconds(std::min(backoff, policy_.backoffMaxSeconds));
+    }
+    try {
+      return attemptOnce(config);
+    } catch (...) {
+      failures_.add();
+      last = std::current_exception();
+    }
+  }
+
+  noteExhausted(config);
+  return degrade(config, last);
+}
+
+} // namespace motune::tuning

@@ -1,0 +1,157 @@
+// Fault-tolerant evaluation: long tuning campaigns must survive evaluator
+// failures — a native kernel run that crashes, hangs, or gets OOM-killed —
+// without aborting the whole search or poisoning the Pareto set.
+//
+// FaultTolerantEvaluator wraps any ObjectiveFunction with
+//   * a per-evaluation timeout (the evaluation runs on a helper thread;
+//     on expiry the result is abandoned and counted as a failure),
+//   * bounded retry with exponential backoff,
+//   * a quarantine list: a configuration whose evaluations keep failing is
+//     banned from further primary attempts,
+//   * graceful degradation: an optional fallback evaluator (typically the
+//     analytical model standing behind a native evaluator) scores the
+//     configuration when the primary is exhausted or quarantined.
+// Everything is surfaced as fault.* metrics through the observe layer.
+//
+// FaultInjectingEvaluator is the deterministic test hook: the
+// MOTUNE_FAULT_SPEC environment variable describes faults by global
+// evaluation index, e.g.
+//   MOTUNE_FAULT_SPEC="fail@17x2,hang@40:0.5,delay@*:0.004"
+// fails evaluation calls 17 and 18 ("fail eval #17 twice" — the retry of
+// call 17 is call 18), makes call 40 hang for 0.5 s, and stretches every
+// call by 4 ms (used by the kill-resume CI job to widen the kill window).
+// tests/fault_test.cpp and the CI jobs are the intended users; production
+// runs leave the variable unset.
+#pragma once
+
+#include "observe/metrics.h"
+#include "tuning/kernel_problem.h"
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace motune::tuning {
+
+/// One deterministic fault rule parsed from MOTUNE_FAULT_SPEC.
+struct FaultRule {
+  enum class Action {
+    Fail,  ///< throw EvaluationFault
+    Hang,  ///< sleep `seconds` before evaluating (timeouts see a hang)
+    Delay, ///< sleep `seconds` before evaluating (no failure implied)
+  };
+  Action action = Action::Fail;
+  std::uint64_t first = 0; ///< 1-based evaluation call index; 0 = every call
+  std::uint64_t count = 1; ///< consecutive calls affected
+  double seconds = 0.0;    ///< hang/delay duration
+
+  bool matches(std::uint64_t call) const {
+    if (first == 0) return true;
+    return call >= first && call < first + count;
+  }
+};
+
+/// Parsed MOTUNE_FAULT_SPEC. Grammar (comma-separated rules):
+///   fail@N[xK]   fail calls N .. N+K-1 (K defaults to 1)
+///   hang@N:S     call N sleeps S seconds before evaluating
+///   delay@*:S    every call sleeps S seconds (N also accepted)
+struct FaultSpec {
+  std::vector<FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+
+  /// Throws support::CheckError on malformed input.
+  static FaultSpec parse(const std::string& text);
+
+  /// Reads MOTUNE_FAULT_SPEC; nullopt when unset or empty.
+  static std::optional<FaultSpec> fromEnv();
+};
+
+/// The failure FaultInjectingEvaluator throws and FaultTolerantEvaluator
+/// treats as a (retryable) evaluation fault.
+class EvaluationFault : public std::runtime_error {
+public:
+  explicit EvaluationFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Deterministic fault injector (test/CI hook); thread-safe — the call
+/// counter is atomic, so under parallel evaluation rule indices select
+/// *some* evaluation deterministically per schedule, not a fixed config.
+class FaultInjectingEvaluator final : public ObjectiveFunction {
+public:
+  FaultInjectingEvaluator(ObjectiveFunction& inner, FaultSpec spec);
+
+  std::size_t numObjectives() const override { return inner_.numObjectives(); }
+  const std::vector<ParamSpec>& space() const override {
+    return inner_.space();
+  }
+  Objectives evaluate(const Config& config) override;
+
+  std::uint64_t calls() const { return calls_.load(); }
+
+private:
+  ObjectiveFunction& inner_;
+  FaultSpec spec_;
+  std::atomic<std::uint64_t> calls_{0};
+};
+
+/// Retry/timeout/quarantine policy. Backoff before retry k (k = 1..) is
+/// backoffSeconds * 2^(k-1), capped at backoffMaxSeconds.
+struct FaultPolicy {
+  bool enabled = false;        ///< AutoTuner wraps the evaluator when true
+  int maxRetries = 2;          ///< retries after the first attempt
+  double timeoutSeconds = 0.0; ///< per-attempt wall limit; 0 = none
+  double backoffSeconds = 0.0; ///< base backoff between attempts; 0 = none
+  double backoffMaxSeconds = 1.0;
+  int quarantineAfter = 3; ///< exhausted calls before a config is banned
+};
+
+class FaultTolerantEvaluator final : public ObjectiveFunction {
+public:
+  /// `fallback` (optional) scores configurations the primary cannot; it
+  /// must share the primary's space and objective count. Both must outlive
+  /// this wrapper. The destructor joins abandoned (timed-out) attempts.
+  FaultTolerantEvaluator(ObjectiveFunction& primary, FaultPolicy policy,
+                         ObjectiveFunction* fallback = nullptr);
+  ~FaultTolerantEvaluator() override;
+
+  std::size_t numObjectives() const override {
+    return primary_.numObjectives();
+  }
+  const std::vector<ParamSpec>& space() const override {
+    return primary_.space();
+  }
+  Objectives evaluate(const Config& config) override;
+
+  bool isQuarantined(const Config& config) const;
+  std::size_t quarantinedCount() const;
+
+private:
+  Objectives attemptOnce(const Config& config); ///< timeout-aware
+  Objectives degrade(const Config& config, std::exception_ptr error);
+  void noteExhausted(const Config& config);
+  void reapAbandoned();
+
+  ObjectiveFunction& primary_;
+  FaultPolicy policy_;
+  ObjectiveFunction* fallback_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Config, int, ConfigHash> exhaustedCalls_;
+  std::set<Config> quarantine_;
+  std::vector<std::future<Objectives>> abandoned_; ///< timed-out attempts
+
+  observe::Counter& failures_;
+  observe::Counter& retries_;
+  observe::Counter& timeouts_;
+  observe::Counter& fallbacks_;
+  observe::Counter& quarantined_;
+  observe::Counter& quarantineHits_;
+};
+
+} // namespace motune::tuning

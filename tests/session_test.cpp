@@ -1,0 +1,371 @@
+// Durable tuning sessions (src/session/): journal round-trips with
+// crash-truncated tails, RNG-stream serialization, GDE3 checkpoint/restore
+// mid-search, and the end-to-end guarantee the subsystem exists for — a
+// killed `--checkpoint` run resumed with `--resume` produces a Pareto
+// front and evaluation count bit-identical to the uninterrupted run.
+#include "autotune/autotuner.h"
+#include "core/gde3.h"
+#include "core/testproblems.h"
+#include "session/journal.h"
+#include "session/session.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace motune;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Fresh per-test directory under the gtest temp root.
+std::string freshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::multiset<std::pair<tuning::Config, tuning::Objectives>>
+canonicalFront(const std::vector<opt::Individual>& front) {
+  std::multiset<std::pair<tuning::Config, tuning::Objectives>> out;
+  for (const auto& ind : front) out.emplace(ind.config, ind.objectives);
+  return out;
+}
+
+/// Bitwise comparison of two double sequences (NaN-safe, sign-of-zero
+/// exact) — "bit-identical" means memcmp-equal, not operator==.
+bool bitEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+} // namespace
+
+TEST(Journal, WriteReadRoundTrip) {
+  const std::string dir = freshDir("journal-roundtrip");
+  const std::string path = session::journalPath(dir);
+  {
+    session::JournalWriter writer(path, session::JournalWriter::Mode::Truncate);
+    writer.write(support::JsonObject{{"type", "a"}, {"x", 1}});
+    writer.write(support::JsonObject{{"type", "b"}, {"y", 2.5}});
+    EXPECT_EQ(writer.recordsWritten(), 2u);
+  }
+  const auto records = session::readJournal(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].at("type").asString(), "a");
+  EXPECT_EQ(records[1].at("y").asNumber(), 2.5);
+}
+
+TEST(Journal, ToleratesExactlyOneTruncatedTailLine) {
+  const std::string dir = freshDir("journal-tail");
+  const std::string path = session::journalPath(dir);
+  {
+    session::JournalWriter writer(path, session::JournalWriter::Mode::Truncate);
+    writer.write(support::JsonObject{{"type", "a"}});
+    writer.write(support::JsonObject{{"type", "b"}});
+  }
+  // Crash model: the process died mid-write, leaving a partial final line.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << R"({"type":"ev)"; // no closing brace, no newline
+  }
+  const auto records = session::readJournal(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].at("type").asString(), "b");
+}
+
+TEST(Journal, RejectsMidFileCorruption) {
+  const std::string dir = freshDir("journal-corrupt");
+  const std::string path = session::journalPath(dir);
+  {
+    std::ofstream out(path);
+    out << R"({"type":"a"})" << "\n"
+        << "GARBAGE NOT JSON\n"
+        << R"({"type":"b"})" << "\n";
+  }
+  EXPECT_THROW(session::readJournal(path), support::CheckError);
+}
+
+TEST(Journal, RefusesToOverwriteExistingJournal) {
+  const std::string dir = freshDir("journal-overwrite");
+  const std::string path = session::journalPath(dir);
+  {
+    session::JournalWriter writer(path, session::JournalWriter::Mode::Truncate);
+    writer.write(support::JsonObject{{"type", "a"}});
+  }
+  EXPECT_THROW(session::JournalWriter(path,
+                                      session::JournalWriter::Mode::Truncate),
+               support::CheckError);
+  // Append to a missing journal is equally invalid.
+  EXPECT_THROW(session::JournalWriter(session::journalPath(
+                                          freshDir("journal-absent")),
+                                      session::JournalWriter::Mode::Append),
+               support::CheckError);
+}
+
+TEST(RngState, MidStreamRoundTripReproducesDrawsBitwise) {
+  support::Rng rng(99);
+  for (int i = 0; i < 37; ++i) rng.uniform(); // advance mid-stream
+
+  const support::Rng::State saved = rng.state();
+  std::vector<double> expected;
+  for (int i = 0; i < 64; ++i) expected.push_back(rng.uniform(0.0, 10.0));
+
+  support::Rng other(1); // different seed; state transplant must win
+  other.setState(saved);
+  std::vector<double> actual;
+  for (int i = 0; i < 64; ++i) actual.push_back(other.uniform(0.0, 10.0));
+  EXPECT_TRUE(bitEqual(expected, actual));
+}
+
+TEST(RngState, GaussianCarryPersists) {
+  // Marsaglia polar generates pairs; capture the state while one value of
+  // the pair is still cached — restore must reproduce the cached value,
+  // not restart the pair.
+  support::Rng rng(7);
+  rng.gaussian(); // first of a pair: the second is now cached
+
+  const support::Rng::State saved = rng.state();
+  EXPECT_TRUE(saved.hasCachedGaussian);
+  const double expectedCached = rng.gaussian();
+  const double expectedNext = rng.gaussian();
+
+  support::Rng other(1234);
+  other.setState(saved);
+  EXPECT_EQ(other.gaussian(), expectedCached);
+  EXPECT_EQ(other.gaussian(), expectedNext);
+}
+
+TEST(GDE3Checkpoint, SerializeRestoreMidSearchIsBitIdentical) {
+  // The RNG-stream satellite: serialize() a mid-search engine, restore()
+  // into a fresh one, and the continued differential-evolution draws —
+  // hence populations, fronts and hypervolumes — match bit for bit over
+  // the remaining generations, at pool sizes 1 and 4. The state goes
+  // through a dump()/parse() text round-trip, exactly as the journal
+  // stores it.
+  for (const unsigned workers : {1u, 4u}) {
+    SCOPED_TRACE("pool size " + std::to_string(workers));
+    opt::SyntheticProblem problemA = opt::makeFonseca();
+    opt::SyntheticProblem problemB = opt::makeFonseca();
+    runtime::ThreadPool poolA(workers), poolB(workers);
+    opt::GDE3Options options;
+    options.seed = 5;
+    options.maxGenerations = 7;
+
+    opt::GDE3 a(problemA, poolA, options);
+    a.initialize();
+    a.step();
+    a.step();
+    const support::Json state =
+        support::Json::parse(a.serialize().dump(-1));
+
+    opt::GDE3 b(problemB, poolB, options);
+    b.restore(state);
+    EXPECT_EQ(b.generationsDone(), a.generationsDone());
+
+    for (int g = 0; g < 5; ++g) {
+      const bool improvedA = a.step();
+      const bool improvedB = b.step();
+      EXPECT_EQ(improvedA, improvedB) << "generation " << g;
+    }
+    const opt::OptResult ra = a.snapshot();
+    const opt::OptResult rb = b.snapshot();
+    EXPECT_EQ(canonicalFront(ra.front), canonicalFront(rb.front));
+    EXPECT_TRUE(bitEqual(ra.hvHistory, rb.hvHistory));
+    for (std::size_t i = 0; i < ra.population.size(); ++i) {
+      ASSERT_LT(i, rb.population.size());
+      EXPECT_EQ(ra.population[i].config, rb.population[i].config) << i;
+      EXPECT_TRUE(bitEqual(ra.population[i].objectives,
+                           rb.population[i].objectives))
+          << i;
+    }
+  }
+}
+
+TEST(SessionHeader, RoundTripAndCompatibility) {
+  session::SessionHeader h;
+  h.problem = "mm/Westmere/n1400/time/resources";
+  h.algorithm = "rsgde3";
+  h.seed = 0xdeadbeefcafebabeull; // > 2^53: must survive JSON round-trip
+  h.objectives = 2;
+  h.space = {{"t_i", 1, 300}, {"threads", 1, 12}};
+  h.algorithmOptions = support::JsonObject{{"population", 30}};
+
+  const session::SessionHeader back = session::headerFromJson(
+      support::Json::parse(session::headerToJson(h).dump(-1)));
+  EXPECT_EQ(back.seed, h.seed);
+  EXPECT_NO_THROW(session::checkCompatible(back, h));
+
+  session::SessionHeader wrongSeed = h;
+  wrongSeed.seed = 2;
+  EXPECT_THROW(session::checkCompatible(h, wrongSeed), support::CheckError);
+  session::SessionHeader wrongSpace = h;
+  wrongSpace.space[0].hi = 301;
+  EXPECT_THROW(session::checkCompatible(h, wrongSpace), support::CheckError);
+  session::SessionHeader wrongOpts = h;
+  wrongOpts.algorithmOptions = support::JsonObject{{"population", 31}};
+  EXPECT_THROW(session::checkCompatible(h, wrongOpts), support::CheckError);
+}
+
+TEST(CountingEvaluator, PreloadSeedsMemoAndCountsAsUnique) {
+  opt::SyntheticProblem problem = opt::makeSchaffer();
+  tuning::CountingEvaluator counting(problem);
+
+  int listenerCalls = 0;
+  counting.setListener(
+      [&listenerCalls](const tuning::Config&, const tuning::Objectives&) {
+        ++listenerCalls;
+      });
+
+  const tuning::Config config{42};
+  const tuning::Objectives canned{1.25, -3.5};
+  EXPECT_TRUE(counting.preload(config, canned));
+  EXPECT_FALSE(counting.preload(config, canned)) << "second preload is a dup";
+  EXPECT_EQ(counting.evaluations(), 1u);
+  EXPECT_EQ(listenerCalls, 0) << "preloads must not reach the listener";
+
+  // A lookup serves the preloaded value without evaluating the problem.
+  EXPECT_EQ(counting.evaluate(config), canned);
+  EXPECT_EQ(counting.evaluations(), 1u);
+  EXPECT_EQ(listenerCalls, 0) << "memo hits must not reach the listener";
+
+  // A genuinely new evaluation fires the listener once.
+  counting.evaluate(tuning::Config{7});
+  counting.evaluate(tuning::Config{7});
+  EXPECT_EQ(listenerCalls, 1);
+  EXPECT_EQ(counting.evaluations(), 2u);
+}
+
+namespace {
+
+autotune::TunerOptions sessionlessOptions() {
+  autotune::TunerOptions options;
+  options.algorithm = autotune::Algorithm::RSGDE3;
+  options.gde3.seed = 3;
+  options.gde3.maxGenerations = 12;
+  options.evaluationWorkers = 4;
+  return options;
+}
+
+/// Simulates a SIGKILL: keeps `keepLines` journal lines and appends a
+/// torn partial record, exactly what an interrupted write leaves behind.
+void cloneTruncated(const std::string& fromDir, const std::string& toDir,
+                    std::size_t keepLines) {
+  std::ifstream in(session::journalPath(fromDir));
+  ASSERT_TRUE(in.good());
+  std::ofstream out(session::journalPath(toDir));
+  std::string line;
+  for (std::size_t i = 0; i < keepLines && std::getline(in, line); ++i)
+    out << line << "\n";
+  out << R"({"type":"eval","config":[1,)"; // torn tail, no newline
+}
+
+} // namespace
+
+TEST(SessionResume, KilledRunResumesBitIdentically) {
+  // Golden: the uninterrupted, session-less search.
+  opt::SyntheticProblem golden = opt::makeSchaffer();
+  autotune::AutoTuner goldenTuner(sessionlessOptions());
+  const opt::OptResult goldenResult = goldenTuner.optimize(golden);
+  ASSERT_FALSE(goldenResult.front.empty());
+
+  // Full run under a session: journaling must not perturb the search.
+  const std::string fullDir = freshDir("session-full");
+  autotune::TunerOptions withSession = sessionlessOptions();
+  withSession.session.directory = fullDir;
+  opt::SyntheticProblem fullProblem = opt::makeSchaffer();
+  const opt::OptResult fullResult =
+      autotune::AutoTuner(withSession).optimize(fullProblem);
+  EXPECT_EQ(canonicalFront(fullResult.front),
+            canonicalFront(goldenResult.front));
+  EXPECT_EQ(fullResult.evaluations, goldenResult.evaluations);
+  EXPECT_TRUE(bitEqual(fullResult.hvHistory, goldenResult.hvHistory));
+
+  // Kill the run at several points — early (before much progress), midway,
+  // and near the end — and resume each. Every resume must reproduce the
+  // golden front, evaluation count and hypervolume trajectory bit for bit.
+  std::size_t totalLines = 0;
+  {
+    std::ifstream in(session::journalPath(fullDir));
+    std::string line;
+    while (std::getline(in, line)) ++totalLines;
+  }
+  ASSERT_GT(totalLines, 10u);
+
+  int cut = 0;
+  for (const double fraction : {0.15, 0.55, 0.95}) {
+    SCOPED_TRACE("kill at " + std::to_string(fraction));
+    const std::string dir =
+        freshDir("session-cut-" + std::to_string(cut++));
+    cloneTruncated(fullDir, dir,
+                   static_cast<std::size_t>(
+                       static_cast<double>(totalLines) * fraction));
+
+    autotune::TunerOptions resume = sessionlessOptions();
+    resume.session.directory = dir;
+    resume.session.resume = true;
+    opt::SyntheticProblem problem = opt::makeSchaffer();
+    const opt::OptResult resumed =
+        autotune::AutoTuner(resume).optimize(problem);
+
+    EXPECT_EQ(canonicalFront(resumed.front),
+              canonicalFront(goldenResult.front));
+    EXPECT_EQ(resumed.evaluations, goldenResult.evaluations);
+    EXPECT_TRUE(bitEqual(resumed.hvHistory, goldenResult.hvHistory));
+
+    // The resumed journal now carries the complete record.
+    const session::ResumeState state = session::loadSession(dir);
+    EXPECT_TRUE(state.finished);
+    EXPECT_EQ(state.resumes, 1);
+    EXPECT_EQ(state.evaluations.size(), goldenResult.evaluations);
+  }
+}
+
+TEST(SessionResume, RefusesMismatchedSearch) {
+  const std::string dir = freshDir("session-mismatch");
+  autotune::TunerOptions options = sessionlessOptions();
+  options.gde3.maxGenerations = 4;
+  options.session.directory = dir;
+  opt::SyntheticProblem problem = opt::makeSchaffer();
+  autotune::AutoTuner(options).optimize(problem);
+
+  // A finished session cannot be resumed ...
+  options.session.resume = true;
+  opt::SyntheticProblem again = opt::makeSchaffer();
+  EXPECT_THROW(autotune::AutoTuner(options).optimize(again),
+               support::CheckError);
+
+  // ... and a crashed one only by the same search: un-finish the journal,
+  // then try to resume with a different seed.
+  {
+    std::vector<std::string> lines;
+    std::ifstream in(session::journalPath(dir));
+    std::string line;
+    while (std::getline(in, line))
+      if (line.find("\"finish\"") == std::string::npos) lines.push_back(line);
+    std::ofstream out(session::journalPath(dir));
+    for (const auto& l : lines) out << l << "\n";
+  }
+  options.gde3.seed = 999;
+  opt::SyntheticProblem other = opt::makeSchaffer();
+  EXPECT_THROW(autotune::AutoTuner(options).optimize(other),
+               support::CheckError);
+}
+
+TEST(SessionResume, RequiresCheckpointableAlgorithm) {
+  autotune::TunerOptions options = sessionlessOptions();
+  options.algorithm = autotune::Algorithm::Random;
+  options.session.directory = freshDir("session-random");
+  opt::SyntheticProblem problem = opt::makeSchaffer();
+  EXPECT_THROW(autotune::AutoTuner(options).optimize(problem),
+               support::CheckError);
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repository's markdown files.
+
+For every inline markdown link in the given files, verifies that relative
+targets exist on disk and that `#anchor` fragments (on relative links or
+within the same file) match a heading. External links (http/https/mailto)
+are not fetched. Run by the CI `docs` job.
+
+Usage: check_links.py README.md docs/*.md ...
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def anchors_of(path):
+    """GitHub-style anchor slugs for every heading in a markdown file."""
+    with open(path) as handle:
+        text = handle.read()
+    slugs = set()
+    for heading in HEADING.findall(text):
+        # Strip inline code/formatting, then slugify the way GitHub does.
+        plain = re.sub(r"[`*_]", "", heading)
+        plain = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", plain)
+        slug = re.sub(r"[^\w\s-]", "", plain.lower(), flags=re.UNICODE)
+        slugs.add(re.sub(r"\s+", "-", slug.strip()))
+    return slugs
+
+
+def main():
+    files = sys.argv[1:]
+    if not files:
+        sys.exit(__doc__)
+
+    problems = []
+    checked = 0
+    for source in files:
+        with open(source) as handle:
+            text = handle.read()
+        base = os.path.dirname(source)
+        for target in LINK.findall(text):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            checked += 1
+            path, _, fragment = target.partition("#")
+            resolved = os.path.normpath(os.path.join(base, path)) if path \
+                else source
+            if not os.path.exists(resolved):
+                problems.append(f"{source}: broken link -> {target}")
+                continue
+            if fragment and resolved.endswith(".md"):
+                if fragment.lower() not in anchors_of(resolved):
+                    problems.append(
+                        f"{source}: missing anchor -> {target} "
+                        f"(no heading slugs to '{fragment}')")
+
+    if problems:
+        print(f"{len(problems)} broken markdown link(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"{checked} relative link(s) across {len(files)} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

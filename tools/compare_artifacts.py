@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Compare two motune tuning artifacts for exact equality.
+
+Used by the kill-resume checks (ctest + CI): a SIGKILLed-and-resumed run
+must produce an artifact identical to the uninterrupted golden run, except
+for the top-level keys named with --ignore (the "session" provenance block
+differs by construction: journal path, resume count).
+
+Exit 0 when equal, 1 with a field-level diff when not.
+"""
+
+import argparse
+import json
+import sys
+
+
+def diff(a, b, path="$"):
+    """Yields human-readable differences between two JSON values."""
+    if type(a) is not type(b):
+        yield f"{path}: type {type(a).__name__} != {type(b).__name__}"
+        return
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                yield f"{path}.{key}: only in second"
+            elif key not in b:
+                yield f"{path}.{key}: only in first"
+            else:
+                yield from diff(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, list):
+        if len(a) != len(b):
+            yield f"{path}: length {len(a)} != {len(b)}"
+            return
+        for i, (x, y) in enumerate(zip(a, b)):
+            yield from diff(x, y, f"{path}[{i}]")
+    elif a != b:
+        yield f"{path}: {a!r} != {b!r}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("first")
+    parser.add_argument("second")
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="top-level key to drop from both artifacts before comparing "
+        "(repeatable; typically: session)",
+    )
+    args = parser.parse_args()
+
+    artifacts = []
+    for path in (args.first, args.second):
+        with open(path) as handle:
+            artifact = json.load(handle)
+        for key in args.ignore:
+            artifact.pop(key, None)
+        artifacts.append(artifact)
+
+    differences = list(diff(artifacts[0], artifacts[1]))
+    if not differences:
+        print(f"artifacts identical ({args.first} == {args.second}"
+              + (f", ignoring {', '.join(args.ignore)}" if args.ignore else "")
+              + ")")
+        return 0
+    print(f"artifacts differ ({len(differences)} field(s)):", file=sys.stderr)
+    for line in differences[:40]:
+        print(f"  {line}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Crash-safety check for durable tuning sessions: SIGKILL a checkpointed
+# `motune tune` mid-run, resume it, and assert the resumed artifact is
+# bit-identical to an uninterrupted golden run (modulo the session
+# provenance block, which legitimately records the resume).
+#
+# Usage: kill_resume_check.sh /path/to/motune [WORKDIR]
+#   KILL_AFTER    seconds before the SIGKILL (default 1.2)
+#   EVAL_DELAY    injected per-evaluation delay that stretches the victim
+#                 run so the kill lands mid-search (default 0.002)
+#
+# Registered as the ctest `kill_resume_check` and run by the CI
+# `kill-resume` job. Deterministic by construction: wherever the kill
+# lands — before the first checkpoint, mid-generation, or between
+# checkpoints — resume replays the deterministic search over the journaled
+# evaluations and must reach the identical front.
+set -euo pipefail
+
+MOTUNE="${1:?usage: kill_resume_check.sh /path/to/motune [workdir]}"
+WORK="${2:-$(mktemp -d)}"
+HERE="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+KILL_AFTER="${KILL_AFTER:-1.2}"
+EVAL_DELAY="${EVAL_DELAY:-0.002}"
+
+TUNE_ARGS=(tune --kernel mm --n 600 --seed 7)
+mkdir -p "$WORK"
+rm -rf "$WORK/session" "$WORK/golden.json" "$WORK/victim.json" "$WORK/resumed.json"
+
+echo "== golden run (uninterrupted, no session)"
+"$MOTUNE" "${TUNE_ARGS[@]}" --out "$WORK/golden.json" > /dev/null
+
+echo "== victim run (checkpointed, ${EVAL_DELAY}s injected per evaluation)"
+MOTUNE_FAULT_SPEC="delay@*:${EVAL_DELAY}" \
+  "$MOTUNE" "${TUNE_ARGS[@]}" --checkpoint "$WORK/session" \
+  --out "$WORK/victim.json" > "$WORK/victim.log" 2>&1 &
+VICTIM=$!
+sleep "$KILL_AFTER"
+if kill -KILL "$VICTIM" 2> /dev/null; then
+  echo "   SIGKILL delivered after ${KILL_AFTER}s"
+fi
+wait "$VICTIM" 2> /dev/null || true
+
+if [ -f "$WORK/victim.json" ]; then
+  # The run outpaced the kill (slow CI runner warming up, tiny search).
+  # Fall back to simulating the crash: drop the finish record, truncate the
+  # journal and leave a torn tail — the exact on-disk state a kill produces.
+  echo "   run finished before the kill; truncating the journal instead"
+  grep -v '"type":"finish"' "$WORK/session/session.jsonl" > "$WORK/session/cut"
+  TOTAL=$(wc -l < "$WORK/session/cut")
+  head -n "$((TOTAL * 6 / 10))" "$WORK/session/cut" > "$WORK/session/session.jsonl"
+  printf '{"type":"eval","config":[9,' >> "$WORK/session/session.jsonl"
+  rm -f "$WORK/session/cut" "$WORK/victim.json"
+fi
+
+echo "== resume"
+"$MOTUNE" "${TUNE_ARGS[@]}" --resume "$WORK/session" \
+  --out "$WORK/resumed.json" > /dev/null
+
+echo "== compare (ignoring the session provenance block)"
+python3 "$HERE/compare_artifacts.py" "$WORK/golden.json" "$WORK/resumed.json" \
+  --ignore session
+
+echo "kill-resume check passed"

@@ -7,6 +7,9 @@
 //               [--objectives time,resources[,energy]] [--out FILE]
 //               [--trace FILE] [--trace-format jsonl|chrome]
 //               [--metrics FILE.json] [--validate 1]
+//               [--checkpoint DIR [--checkpoint-every N] | --resume DIR]
+//               [--fault-tolerant 1 [--eval-retries N] [--eval-timeout S]
+//                [--eval-backoff S] [--quarantine-after N]]
 //       Run the static optimizer on a built-in kernel or a textual kernel
 //       (see ir/parse.h for the language); print the Pareto set;
 //       optionally save a tuning artifact (JSON).
@@ -87,7 +90,157 @@ struct Args {
 };
 
 /// Options that are pure flags (present/absent, no value token).
-bool isFlagOption(const std::string& key) { return key == "no-native"; }
+bool isFlagOption(const std::string& key) {
+  return key == "no-native" || key == "help";
+}
+
+// ---------------------------------------------------------------------------
+// Help. One table drives `motune --help`, `motune CMD --help` and the
+// docs-drift check (tools/check_cli_docs.py asserts every flag printed here
+// is documented in docs/cli.md).
+
+struct FlagHelp {
+  const char* flag;  ///< without the leading "--"
+  const char* value; ///< value placeholder; "" for pure flags
+  const char* text;
+};
+
+struct CommandHelp {
+  const char* name;
+  const char* summary; ///< one line for the global listing
+  const char* usage;
+  std::vector<FlagHelp> flags;
+};
+
+const std::vector<CommandHelp>& commandHelp() {
+  static const std::vector<CommandHelp> table = {
+      {"list", "print the built-in kernels and machine models",
+       "motune list", {}},
+      {"tune", "run the static optimizer and print the Pareto set",
+       "motune tune [--kernel NAME | --source FILE] [options]",
+       {
+           {"kernel", "NAME", "built-in kernel to tune (default: mm)"},
+           {"source", "FILE", "tune a textual kernel instead (ir/parse.h)"},
+           {"machine", "NAME", "westmere or barcelona (default: westmere)"},
+           {"n", "N", "problem size; 0 = the kernel's paper size"},
+           {"algorithm", "NAME",
+            "rsgde3 (default), gde3, nsga2 or random"},
+           {"seed", "S", "RNG seed for the search (default: 1)"},
+           {"objectives", "LIST",
+            "comma list of time,resources,energy (default: time,resources)"},
+           {"budget", "N", "evaluation budget for --algorithm random"},
+           {"out", "FILE", "save the tuning artifact as JSON"},
+           {"trace", "FILE", "stream the structured run trace; - = stdout"},
+           {"trace-format", "FMT", "jsonl (default) or chrome"},
+           {"metrics", "FILE", "write the final metric registry as JSON"},
+           {"validate", "0|1",
+            "replay the front through the cache simulator"},
+           {"checkpoint", "DIR",
+            "journal the session to DIR/session.jsonl (crash-safe)"},
+           {"checkpoint-every", "N",
+            "generations between engine checkpoints (default: 1)"},
+           {"resume", "DIR",
+            "continue a killed session from DIR (bit-identical)"},
+           {"fault-tolerant", "0|1",
+            "retry/quarantine failing evaluations instead of aborting"},
+           {"eval-retries", "N",
+            "retries per configuration after the first attempt (default: 2)"},
+           {"eval-timeout", "S",
+            "per-attempt wall-clock limit in seconds; 0 = none"},
+           {"eval-backoff", "S",
+            "base backoff between retries, doubled per attempt (default: 0)"},
+           {"quarantine-after", "N",
+            "exhausted attempts before a configuration is banned (default: 3)"},
+       }},
+      {"report", "analyze a JSONL trace into a Markdown/JSON report",
+       "motune report --trace FILE.jsonl [options]",
+       {
+           {"trace", "FILE", "JSONL trace to analyze (required)"},
+           {"out", "FILE", "write the Markdown report here (default: stdout)"},
+           {"json", "FILE", "additionally write the machine-readable report"},
+           {"top", "N", "rows per ranking section (default: 10)"},
+           {"stall-epsilon", "X",
+            "relative HV gain below which a generation counts as stalled"},
+           {"fail-on-stall", "0|1", "exit 3 when the stall detector fires"},
+       }},
+      {"analyze", "parse a textual kernel and print its analysis",
+       "motune analyze --source FILE",
+       {
+           {"source", "FILE", "textual kernel to analyze (required)"},
+       }},
+      {"show", "print a saved tuning artifact",
+       "motune show FILE", {}},
+      {"codegen", "emit the multi-versioned C module for an artifact",
+       "motune codegen FILE [--out FILE.c]",
+       {
+           {"out", "FILE", "write the C module here (default: stdout)"},
+       }},
+      {"predict", "cost-model breakdown for one configuration",
+       "motune predict --tiles T1,T2[,T3] --threads P [options]",
+       {
+           {"kernel", "NAME", "built-in kernel (default: mm)"},
+           {"machine", "NAME", "westmere or barcelona (default: westmere)"},
+           {"n", "N", "problem size; 0 = the kernel's paper size"},
+           {"tiles", "LIST", "comma list of tile sizes (required)"},
+           {"threads", "P", "thread count (required)"},
+       }},
+      {"fuzz", "differential correctness fuzzing of the transform/codegen "
+               "pipeline",
+       "motune fuzz [options] | motune fuzz --repro FILE [--no-native]",
+       {
+           {"seed", "S", "fuzzer RNG seed (default: 1)"},
+           {"iters", "N", "iteration cap (default: 1000)"},
+           {"time-budget", "S", "stop after S seconds; 0 = no budget"},
+           {"max-steps", "N", "transform steps per case (default: 3)"},
+           {"no-native", "", "skip the compile-and-run leg"},
+           {"use-bytecode", "0|1",
+            "transformed leg runs the bytecode engine (default: 1; 0 = tree "
+            "walker)"},
+           {"out-dir", "DIR", "where repro files are written (default: .)"},
+           {"repro", "FILE", "replay a repro file instead of fuzzing"},
+           {"trace", "FILE", "stream the structured run trace; - = stdout"},
+           {"trace-format", "FMT", "jsonl (default) or chrome"},
+           {"metrics", "FILE", "write the final metric registry as JSON"},
+       }},
+  };
+  return table;
+}
+
+int printGlobalHelp() {
+  std::cout << "usage: motune COMMAND [options]\n\n"
+               "multi-objective auto-tuning for parallel loop nests "
+               "(see README.md)\n\ncommands:\n";
+  for (const CommandHelp& c : commandHelp()) {
+    std::cout << "  ";
+    std::cout.width(10);
+    std::cout << std::left << c.name;
+    std::cout << c.summary << "\n";
+  }
+  std::cout << "\nrun `motune COMMAND --help` for the options of one "
+               "command;\nfull reference: docs/cli.md\n";
+  return 0;
+}
+
+int printCommandHelp(const std::string& name) {
+  for (const CommandHelp& c : commandHelp()) {
+    if (name != c.name) continue;
+    std::cout << "usage: " << c.usage << "\n\n" << c.summary << "\n";
+    if (!c.flags.empty()) {
+      std::cout << "\noptions:\n";
+      for (const FlagHelp& f : c.flags) {
+        std::string head = "--" + std::string(f.flag);
+        if (f.value[0] != '\0') head += " " + std::string(f.value);
+        std::cout << "  ";
+        std::cout.width(24);
+        std::cout << std::left << head;
+        std::cout << f.text << "\n";
+      }
+    }
+    return 0;
+  }
+  std::cerr << "unknown command: " << name << "\n";
+  return 2;
+}
 
 Args parseArgs(int argc, char** argv) {
   Args args;
@@ -296,6 +449,30 @@ int cmdTune(const Args& args) {
   options.randomBudget = std::stoull(args.get("budget", "1000"));
   options.validateFront = args.get("validate", "0") != "0";
 
+  // Durable sessions: --resume DIR implies the checkpoint directory.
+  if (args.has("resume")) {
+    options.session.directory = args.options.at("resume");
+    options.session.resume = true;
+    MOTUNE_CHECK_MSG(!args.has("checkpoint") ||
+                         args.options.at("checkpoint") ==
+                             options.session.directory,
+                     "--checkpoint and --resume point at different "
+                     "directories");
+  } else if (args.has("checkpoint")) {
+    options.session.directory = args.options.at("checkpoint");
+  }
+  options.session.checkpointEvery =
+      std::stoi(args.get("checkpoint-every", "1"));
+  MOTUNE_CHECK_MSG(options.session.checkpointEvery >= 1,
+                   "--checkpoint-every must be >= 1");
+
+  options.fault.enabled = args.get("fault-tolerant", "0") != "0";
+  options.fault.maxRetries = std::stoi(args.get("eval-retries", "2"));
+  options.fault.timeoutSeconds = std::stod(args.get("eval-timeout", "0"));
+  options.fault.backoffSeconds = std::stod(args.get("eval-backoff", "0"));
+  options.fault.quarantineAfter =
+      std::stoi(args.get("quarantine-after", "3"));
+
   // Observability: fresh per-run metrics, optional JSONL trace. The final
   // metric snapshot is stitched into the trace so one file carries the
   // full run record (per-generation spans + end-of-run counters).
@@ -314,6 +491,11 @@ int cmdTune(const Args& args) {
             << support::fmt(result.hypervolume, 3) << ", "
             << result.front.size() << " Pareto-optimal versions:\n";
   printFront(result.front);
+  if (result.session.has_value())
+    std::cout << "session journal " << result.session->journal << " ("
+              << result.session->recordedEvaluations << " evaluations, "
+              << result.session->checkpoints << " checkpoints, "
+              << result.session->resumes << " resumes)\n";
 
   if (args.has("out")) {
     autotune::saveArtifact(autotune::makeArtifact(result, problem),
@@ -369,6 +551,10 @@ int cmdShow(const Args& args) {
             << support::fmt(a.hypervolume, 3)
             << ", untiled serial baseline "
             << support::fmtSeconds(a.untiledSerialSeconds) << "\n";
+  if (a.session.has_value())
+    std::cout << "session: " << a.session->journal << " ("
+              << a.session->checkpoints << " checkpoints, "
+              << a.session->resumes << " resumes)\n";
   printFront(a.front);
   return 0;
 }
@@ -434,6 +620,7 @@ int cmdFuzz(const Args& args) {
 
   verify::OracleOptions oracle;
   oracle.runNative = !args.has("no-native");
+  oracle.useBytecode = args.get("use-bytecode", "1") != "0";
   if (oracle.runNative && verify::hostCompiler().empty()) {
     std::cout << "no host C compiler found; falling back to --no-native\n";
     oracle.runNative = false;
@@ -497,6 +684,14 @@ int cmdFuzz(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = parseArgs(argc, argv);
+    if (args.command.empty() || args.command == "help" ||
+        args.command == "--help" || args.command == "-h") {
+      if (args.command == "help" && !args.positional.empty())
+        return printCommandHelp(args.positional.front());
+      printGlobalHelp();
+      return args.command.empty() ? 1 : 0;
+    }
+    if (args.has("help")) return printCommandHelp(args.command);
     if (args.command == "list") return cmdList();
     if (args.command == "tune") return cmdTune(args);
     if (args.command == "report") return cmdReport(args);
@@ -505,10 +700,9 @@ int main(int argc, char** argv) {
     if (args.command == "codegen") return cmdCodegen(args);
     if (args.command == "predict") return cmdPredict(args);
     if (args.command == "fuzz") return cmdFuzz(args);
-    std::cerr << "usage: motune {list|tune|report|analyze|show|codegen|"
-                 "predict|fuzz} [options]\n"
-                 "see the header of tools/motune_cli.cpp for details\n";
-    return args.command.empty() ? 1 : 2;
+    std::cerr << "unknown command: " << args.command << "\n";
+    printGlobalHelp();
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
