@@ -30,6 +30,11 @@ motune_bench(bench_smoke)
 # Self-timed hot-path throughput suite; emits BENCH_hotpath.json and gates
 # against bench/baselines/hotpath_baseline.json (conservative floors).
 motune_bench(bench_hotpath)
+# Daemon load harness: boots an in-process `motune serve`, pushes a burst of
+# small jobs, reports submit throughput and p50/p99 job latency, and gates
+# against bench/baselines/serve_baseline.json (floors for rates, ceilings
+# for latencies).
+motune_bench(bench_serve)
 
 # google-benchmark microbenchmarks of the framework's building blocks.
 add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cpp)

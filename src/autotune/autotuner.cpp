@@ -76,16 +76,22 @@ AutoTuner::optimizeImpl(tuning::ObjectiveFunction& fn,
     target = &*tolerant;
   }
 
+  // Cancellation hooks for hook-less (non-session) GDE3-family runs.
+  opt::RunHooks stopOnly;
+  stopOnly.shouldStop = options_.stopRequested;
+  const opt::RunHooks* stopHooks =
+      options_.stopRequested ? &stopOnly : nullptr;
+
   const bool useSession = !options_.session.directory.empty();
   if (!useSession) {
     switch (options_.algorithm) {
     case Algorithm::RSGDE3: {
       opt::RSGDE3 engine(*target, *pool_, {options_.gde3, true});
-      return engine.run();
+      return engine.run(stopHooks);
     }
     case Algorithm::PlainGDE3: {
       opt::RSGDE3 engine(*target, *pool_, {options_.gde3, false});
-      return engine.run();
+      return engine.run(stopHooks);
     }
     case Algorithm::NSGA2: {
       opt::NSGA2 engine(*target, *pool_, options_.nsga2);
@@ -156,13 +162,18 @@ AutoTuner::optimizeImpl(tuning::ObjectiveFunction& fn,
                                         int generation) {
     writer->recordCheckpoint(state, generation, engine.engine().evaluations());
   };
+  hooks.shouldStop = options_.stopRequested;
   if (resumed.has_value() && resumed->checkpoint.has_value())
     hooks.resumeState = &*resumed->checkpoint;
 
   opt::OptResult result = engine.run(&hooks);
-  writer->recordFinish(result.evaluations, result.front.size(),
-                       result.hvHistory.empty() ? 0.0
-                                                : result.hvHistory.back());
+  // A cancelled run gets no finish record: the journal stays resumable in
+  // case the cancellation is operator error, and the serve layer marks the
+  // job cancelled through its own store.
+  if (!options_.stopRequested || !options_.stopRequested())
+    writer->recordFinish(result.evaluations, result.front.size(),
+                         result.hvHistory.empty() ? 0.0
+                                                  : result.hvHistory.back());
 
   if (provenance != nullptr) {
     SessionProvenance p;

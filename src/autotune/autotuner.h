@@ -58,6 +58,12 @@ struct TunerOptions {
   /// or quarantined (typically the analytical model behind a native
   /// evaluator). Must outlive the tuner. Ignored unless `fault.enabled`.
   tuning::ObjectiveFunction* faultFallback = nullptr;
+  /// Cooperative cancellation, polled between generations (GDE3-family
+  /// engines only — the other strategies run to completion). When it
+  /// returns true the search stops after the current generation and
+  /// returns its partial snapshot; the serve daemon uses this to cancel
+  /// running jobs without tearing down worker threads.
+  std::function<bool()> stopRequested;
 };
 
 /// Where a tuning result came from when it ran under a session — recorded

@@ -85,6 +85,7 @@ OptResult RSGDE3::run(const RunHooks* hooks) {
   int sinceCheckpoint = 0;
   while (flat_ < options_.gde3.noImproveLimit &&
          engine_.generationsDone() < maxGenerations_) {
+    if (hooks != nullptr && hooks->shouldStop && hooks->shouldStop()) break;
     flat_ = engine_.step() ? 0 : flat_ + 1;
     if (options_.reductionEnabled) reduceAndRecord();
     if (checkpointing && ++sinceCheckpoint >= every) {

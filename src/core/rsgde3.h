@@ -37,6 +37,12 @@ struct RunHooks {
   /// When set, run() restores this state instead of initializing — the
   /// engine continues exactly where the serialized search stopped.
   const support::Json* resumeState = nullptr;
+  /// Cooperative stop: polled between generations. Returning true ends the
+  /// run after the current generation (a final checkpoint is still
+  /// written), so a serving layer can cancel an in-flight search without
+  /// tearing down its thread. The snapshot returned is the usual partial
+  /// result — callers that cancel typically discard it.
+  std::function<bool()> shouldStop;
 };
 
 class RSGDE3 {

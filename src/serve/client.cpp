@@ -1,0 +1,132 @@
+#include "serve/client.h"
+
+#include "support/check.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace motune::serve {
+
+namespace {
+
+/// Unwraps {"ok":true,...}; rethrows {"ok":false,"error":..} as CheckError.
+const support::Json& unwrap(const support::Json& response) {
+  MOTUNE_CHECK_MSG(response.has("ok"), "malformed response: no ok field");
+  if (!response.at("ok").asBool()) {
+    MOTUNE_CHECK_MSG(false, response.has("error")
+                                ? response.at("error").asString()
+                                : "request failed");
+  }
+  return response;
+}
+
+} // namespace
+
+Client::Client(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  MOTUNE_CHECK_MSG(fd_ >= 0, "client: cannot create socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  MOTUNE_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                   "client: invalid address: " + host);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    MOTUNE_CHECK_MSG(false, "client: cannot connect to " + host + ":" +
+                                std::to_string(port) + ": " + err);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+support::Json Client::request(const support::Json& body) {
+  sendFrame(fd_, body);
+  std::optional<support::Json> response = recvFrame(fd_, reader_);
+  MOTUNE_CHECK_MSG(response.has_value(),
+                   "client: daemon closed the connection");
+  return std::move(*response);
+}
+
+void Client::ping() {
+  unwrap(request(support::JsonObject{{"verb", "ping"}}));
+}
+
+SubmitOutcome Client::submit(const JobSpec& spec, int priority) {
+  const support::Json response = request(support::JsonObject{
+      {"verb", "submit"}, {"spec", specToJson(spec)}, {"priority", priority}});
+  SubmitOutcome outcome;
+  outcome.accepted = response.at("ok").asBool();
+  if (outcome.accepted) {
+    outcome.id = response.at("id").asString();
+  } else {
+    outcome.error = response.at("error").asString();
+    if (response.has("retry_after"))
+      outcome.retryAfterSeconds = response.at("retry_after").asNumber();
+  }
+  return outcome;
+}
+
+JobInfo Client::status(const std::string& id) {
+  const support::Json response =
+      unwrap(request(support::JsonObject{{"verb", "status"}, {"id", id}}));
+  return infoFromJson(response.at("job"));
+}
+
+support::Json Client::result(const std::string& id) {
+  const support::Json response =
+      unwrap(request(support::JsonObject{{"verb", "result"}, {"id", id}}));
+  return response.at("artifact");
+}
+
+std::string Client::cancel(const std::string& id) {
+  const support::Json response =
+      unwrap(request(support::JsonObject{{"verb", "cancel"}, {"id", id}}));
+  return response.at("detail").asString();
+}
+
+std::vector<JobInfo> Client::list() {
+  const support::Json response =
+      unwrap(request(support::JsonObject{{"verb", "list"}}));
+  std::vector<JobInfo> jobs;
+  for (const auto& job : response.at("jobs").asArray())
+    jobs.push_back(infoFromJson(job));
+  return jobs;
+}
+
+support::Json Client::stats() {
+  return unwrap(request(support::JsonObject{{"verb", "stats"}})).at("stats");
+}
+
+void Client::shutdown() {
+  unwrap(request(support::JsonObject{{"verb", "shutdown"}}));
+}
+
+JobInfo Client::await(const std::string& id, double timeoutSeconds,
+                      double pollSeconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeoutSeconds));
+  for (;;) {
+    JobInfo info = status(id);
+    if (info.state == JobState::Done || info.state == JobState::Failed ||
+        info.state == JobState::Cancelled)
+      return info;
+    if (timeoutSeconds > 0.0 && std::chrono::steady_clock::now() >= deadline)
+      MOTUNE_CHECK_MSG(false, "await: job " + id + " still " +
+                                  jobStateName(info.state) + " after " +
+                                  std::to_string(timeoutSeconds) + "s");
+    std::this_thread::sleep_for(std::chrono::duration<double>(pollSeconds));
+  }
+}
+
+} // namespace motune::serve

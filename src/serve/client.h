@@ -1,0 +1,65 @@
+// Client side of the daemon protocol: one blocking TCP connection, one
+// request/response pair per call. Used by the `motune submit` / `motune
+// jobs` subcommands, tests/serve_test.cpp and bench/bench_serve.cpp; the
+// CI load harness (tools/loadtest_serve.py) speaks the same frames from
+// Python.
+//
+// Errors come back two ways, deliberately distinct:
+//   - transport/protocol failures (cannot connect, connection dropped,
+//     malformed frame) throw ProtocolError / support::CheckError;
+//   - application failures ({"ok":false}) are data: request() returns the
+//     response as-is, and the typed helpers rethrow the embedded error as
+//     support::CheckError — except submit(), whose rejection (admission
+//     control backpressure) is an expected outcome and is returned as a
+//     value for the caller to retry on.
+#pragma once
+
+#include "serve/job.h"
+#include "serve/protocol.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace motune::serve {
+
+/// Submit outcome as the client sees it (mirror of scheduler::Admission).
+struct SubmitOutcome {
+  bool accepted = false;
+  std::string id;
+  std::string error;
+  double retryAfterSeconds = 0.0;
+};
+
+class Client {
+public:
+  /// Connects immediately; throws support::CheckError on failure.
+  Client(const std::string& host, int port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One request/response round trip (the raw escape hatch).
+  support::Json request(const support::Json& body);
+
+  void ping();
+  SubmitOutcome submit(const JobSpec& spec, int priority = 0);
+  JobInfo status(const std::string& id);
+  support::Json result(const std::string& id); ///< the artifact JSON
+  std::string cancel(const std::string& id);   ///< returns the detail
+  std::vector<JobInfo> list();
+  support::Json stats();
+  void shutdown(); ///< asks the daemon to stop accepting and exit
+
+  /// Polls status() until the job reaches a terminal state; returns the
+  /// final info. Throws on timeout (<= 0 waits forever).
+  JobInfo await(const std::string& id, double timeoutSeconds = 0.0,
+                double pollSeconds = 0.02);
+
+private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+} // namespace motune::serve

@@ -1,0 +1,228 @@
+#include "serve/daemon.h"
+
+#include "serve/protocol.h"
+#include "support/check.h"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace motune::serve {
+
+namespace {
+
+support::Json errorResponse(const std::string& message) {
+  return support::JsonObject{{"ok", false}, {"error", message}};
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)), store_(options_.stateDir) {
+  MOTUNE_CHECK_MSG(!options_.stateDir.empty(), "serve: state dir is required");
+}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start() {
+  MOTUNE_CHECK_MSG(!running_, "daemon already running");
+
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  MOTUNE_CHECK_MSG(listenFd_ >= 0, "serve: cannot create socket");
+  int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  MOTUNE_CHECK_MSG(
+      ::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) == 1,
+      "serve: invalid bind address: " + options_.host);
+  if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    MOTUNE_CHECK_MSG(false, "serve: cannot bind " + options_.host + ":" +
+                                std::to_string(options_.port) + ": " + err);
+  }
+  MOTUNE_CHECK_MSG(::listen(listenFd_, 64) == 0, "serve: listen failed");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  scheduler_ = std::make_unique<JobScheduler>(store_, options_.scheduler);
+  scheduler_->start();
+  store_.writeDaemonInfo(port_, options_.scheduler.workers);
+
+  running_ = true;
+  shutdownRequested_ = false;
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+bool Daemon::waitForShutdown(double timeoutSeconds) {
+  std::unique_lock lock(shutdownMutex_);
+  auto requested = [this] { return shutdownRequested_; };
+  if (timeoutSeconds <= 0.0) {
+    shutdownCv_.wait(lock, requested);
+    return true;
+  }
+  return shutdownCv_.wait_for(
+      lock, std::chrono::duration<double>(timeoutSeconds), requested);
+}
+
+void Daemon::requestShutdown() {
+  {
+    std::lock_guard lock(shutdownMutex_);
+    shutdownRequested_ = true;
+  }
+  shutdownCv_.notify_all();
+}
+
+void Daemon::stop() {
+  if (!running_) return;
+  running_ = false;
+  requestShutdown();
+
+  // Closing the listen socket pops the accept loop out of accept().
+  if (listenFd_ >= 0) {
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  if (acceptThread_.joinable()) acceptThread_.join();
+
+  // Kick live connections out of recv(); their threads then exit.
+  {
+    std::lock_guard lock(connMutex_);
+    for (int fd : connFds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : connThreads_)
+    if (t.joinable()) t.join();
+  connThreads_.clear();
+  {
+    std::lock_guard lock(connMutex_);
+    for (int fd : connFds_) ::close(fd);
+    connFds_.clear();
+  }
+
+  if (scheduler_) scheduler_->stop();
+}
+
+void Daemon::acceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return; // listener closed: shutting down
+    }
+    std::lock_guard lock(connMutex_);
+    connFds_.push_back(fd);
+    connThreads_.emplace_back([this, fd] { serveConnection(fd); });
+  }
+}
+
+void Daemon::serveConnection(int fd) {
+  FrameReader reader;
+  try {
+    for (;;) {
+      std::optional<support::Json> request = recvFrame(fd, reader);
+      if (!request) break; // clean EOF
+      support::Json response = dispatch(*request);
+      const bool shutdownVerb =
+          request->has("verb") && request->at("verb").asString() == "shutdown";
+      sendFrame(fd, response);
+      if (shutdownVerb) {
+        requestShutdown();
+        break;
+      }
+    }
+  } catch (const std::exception&) {
+    // Protocol violation or the peer vanished mid-frame: this connection
+    // is done; the daemon and every other connection are unaffected.
+  }
+  // Signal the peer we are done (it may be blocked in recv waiting for a
+  // response that will never come). The fd itself stays in connFds_ for
+  // stop() to close — shutdown() on an already-dead fd is harmless,
+  // close() from two threads is not.
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+support::Json Daemon::dispatch(const support::Json& request) {
+  try {
+    MOTUNE_CHECK_MSG(request.has("verb"), "request has no verb");
+    const std::string verb = request.at("verb").asString();
+
+    if (verb == "ping") return support::JsonObject{{"ok", true}};
+
+    if (verb == "submit") {
+      const JobSpec spec = specFromJson(request.at("spec"));
+      const int priority =
+          request.has("priority")
+              ? static_cast<int>(request.at("priority").asInt())
+              : 0;
+      const Admission admission = scheduler_->submit(spec, priority);
+      if (!admission.accepted) {
+        support::JsonObject response{{"ok", false},
+                                     {"error", admission.error}};
+        if (admission.retryAfterSeconds > 0.0)
+          response.emplace("retry_after", admission.retryAfterSeconds);
+        return response;
+      }
+      return support::JsonObject{{"ok", true}, {"id", admission.id}};
+    }
+
+    if (verb == "status") {
+      const std::string id = request.at("id").asString();
+      const std::optional<JobInfo> info = scheduler_->status(id);
+      if (!info) return errorResponse("unknown job: " + id);
+      return support::JsonObject{{"ok", true}, {"job", infoToJson(*info)}};
+    }
+
+    if (verb == "result") {
+      const std::string id = request.at("id").asString();
+      const std::optional<JobInfo> info = scheduler_->status(id);
+      if (!info) return errorResponse("unknown job: " + id);
+      if (info->state != JobState::Done)
+        return errorResponse("job " + id + " is " +
+                             jobStateName(info->state) + ", not done");
+      std::ifstream in(info->artifactPath);
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      return support::JsonObject{{"ok", true},
+                                 {"artifact", support::Json::parse(text)}};
+    }
+
+    if (verb == "cancel") {
+      const CancelOutcome outcome =
+          scheduler_->cancel(request.at("id").asString());
+      if (!outcome.ok) return errorResponse(outcome.detail);
+      return support::JsonObject{{"ok", true}, {"detail", outcome.detail}};
+    }
+
+    if (verb == "list") {
+      support::JsonArray jobs;
+      for (const JobInfo& info : scheduler_->list())
+        jobs.push_back(infoToJson(info));
+      return support::JsonObject{{"ok", true}, {"jobs", std::move(jobs)}};
+    }
+
+    if (verb == "stats")
+      return support::JsonObject{{"ok", true}, {"stats", scheduler_->stats()}};
+
+    if (verb == "shutdown") return support::JsonObject{{"ok", true}};
+
+    return errorResponse("unknown verb: " + verb);
+  } catch (const std::exception& e) {
+    return errorResponse(e.what());
+  }
+}
+
+} // namespace motune::serve

@@ -1,0 +1,176 @@
+#include "serve/job.h"
+
+#include "kernels/kernel.h"
+#include "machine/machine.h"
+#include "session/session.h"
+#include "support/check.h"
+
+namespace motune::serve {
+
+namespace {
+
+const char* objectiveName(tuning::Objective o) {
+  switch (o) {
+  case tuning::Objective::Time: return "time";
+  case tuning::Objective::Resources: return "resources";
+  case tuning::Objective::Energy: return "energy";
+  }
+  return "unknown";
+}
+
+tuning::Objective objectiveFromName(const std::string& name) {
+  if (name == "time") return tuning::Objective::Time;
+  if (name == "resources") return tuning::Objective::Resources;
+  if (name == "energy") return tuning::Objective::Energy;
+  MOTUNE_CHECK_MSG(false, "unknown objective: " + name);
+  return tuning::Objective::Time;
+}
+
+std::vector<tuning::Objective> effectiveObjectives(const JobSpec& spec) {
+  if (!spec.objectives.empty()) return spec.objectives;
+  return {tuning::Objective::Time, tuning::Objective::Resources};
+}
+
+} // namespace
+
+support::Json specToJson(const JobSpec& spec) {
+  support::JsonArray objectives;
+  for (tuning::Objective o : effectiveObjectives(spec))
+    objectives.emplace_back(objectiveName(o));
+  return support::JsonObject{
+      {"kernel", spec.kernel},
+      {"machine", spec.machine},
+      {"n", spec.n},
+      {"algorithm", spec.algorithm},
+      {"seed", std::to_string(spec.seed)}, // u64-safe (JSON numbers are doubles)
+      {"objectives", std::move(objectives)},
+      {"budget", std::to_string(spec.budget)},
+  };
+}
+
+JobSpec specFromJson(const support::Json& json) {
+  JobSpec spec;
+  spec.kernel = json.at("kernel").asString();
+  spec.machine = json.at("machine").asString();
+  spec.n = json.at("n").asInt();
+  spec.algorithm = json.at("algorithm").asString();
+  spec.seed = std::stoull(json.at("seed").asString());
+  spec.objectives.clear();
+  for (const auto& o : json.at("objectives").asArray())
+    spec.objectives.push_back(objectiveFromName(o.asString()));
+  spec.budget = std::stoull(json.at("budget").asString());
+  return spec;
+}
+
+void validateSpec(const JobSpec& spec) {
+  kernels::kernelByName(spec.kernel); // throws on an unknown kernel
+  MOTUNE_CHECK_MSG(spec.machine == "westmere" || spec.machine == "barcelona",
+                   "unknown machine: " + spec.machine +
+                       " (available: westmere, barcelona)");
+  MOTUNE_CHECK_MSG(spec.n >= 0, "problem size must be >= 0");
+  MOTUNE_CHECK_MSG(spec.algorithm == "rsgde3" || spec.algorithm == "gde3" ||
+                       spec.algorithm == "nsga2" ||
+                       spec.algorithm == "random",
+                   "unknown algorithm: " + spec.algorithm +
+                       " (available: rsgde3, gde3, nsga2, random)");
+  for (tuning::Objective o : spec.objectives) (void)objectiveName(o);
+}
+
+bool checkpointable(const std::string& algorithm) {
+  return algorithm == "rsgde3" || algorithm == "gde3";
+}
+
+tuning::KernelTuningProblem problemFromSpec(const JobSpec& spec) {
+  const machine::MachineModel machine = spec.machine == "barcelona"
+                                            ? machine::barcelona()
+                                            : machine::westmere();
+  return tuning::KernelTuningProblem(kernels::kernelByName(spec.kernel),
+                                     machine, spec.n, {},
+                                     effectiveObjectives(spec));
+}
+
+autotune::TunerOptions tunerOptionsFromSpec(const JobSpec& spec,
+                                            const std::string& sessionDir,
+                                            unsigned jobThreads,
+                                            int checkpointEvery) {
+  autotune::TunerOptions options;
+  if (spec.algorithm == "rsgde3")
+    options.algorithm = autotune::Algorithm::RSGDE3;
+  else if (spec.algorithm == "gde3")
+    options.algorithm = autotune::Algorithm::PlainGDE3;
+  else if (spec.algorithm == "nsga2")
+    options.algorithm = autotune::Algorithm::NSGA2;
+  else if (spec.algorithm == "random")
+    options.algorithm = autotune::Algorithm::Random;
+  else
+    MOTUNE_CHECK_MSG(false, "unknown algorithm: " + spec.algorithm);
+  options.gde3.seed = spec.seed;
+  options.nsga2.seed = spec.seed;
+  options.randomBudget = spec.budget;
+  options.evaluationWorkers = jobThreads == 0 ? 1 : jobThreads;
+  if (checkpointable(spec.algorithm) && !sessionDir.empty()) {
+    options.session.directory = sessionDir;
+    options.session.checkpointEvery = checkpointEvery;
+    options.session.resume = session::sessionExists(sessionDir);
+  }
+  return options;
+}
+
+const char* jobStateName(JobState state) {
+  switch (state) {
+  case JobState::Queued: return "queued";
+  case JobState::Running: return "running";
+  case JobState::Done: return "done";
+  case JobState::Failed: return "failed";
+  case JobState::Cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+JobState jobStateFromName(const std::string& name) {
+  if (name == "queued") return JobState::Queued;
+  if (name == "running") return JobState::Running;
+  if (name == "done") return JobState::Done;
+  if (name == "failed") return JobState::Failed;
+  if (name == "cancelled") return JobState::Cancelled;
+  MOTUNE_CHECK_MSG(false, "unknown job state: " + name);
+  return JobState::Queued;
+}
+
+support::Json infoToJson(const JobInfo& info) {
+  return support::JsonObject{
+      {"id", info.id},
+      {"state", jobStateName(info.state)},
+      {"priority", info.priority},
+      {"spec", specToJson(info.spec)},
+      {"submitted_unix", info.submittedUnix},
+      {"queue_seconds", info.queueSeconds},
+      {"run_seconds", info.runSeconds},
+      {"resumes", info.resumes},
+      {"evaluations", std::to_string(info.evaluations)},
+      {"hypervolume", info.hypervolume},
+      {"front_size", info.frontSize},
+      {"error", info.error},
+      {"artifact", info.artifactPath},
+  };
+}
+
+JobInfo infoFromJson(const support::Json& json) {
+  JobInfo info;
+  info.id = json.at("id").asString();
+  info.state = jobStateFromName(json.at("state").asString());
+  info.priority = static_cast<int>(json.at("priority").asInt());
+  info.spec = specFromJson(json.at("spec"));
+  info.submittedUnix = json.at("submitted_unix").asNumber();
+  info.queueSeconds = json.at("queue_seconds").asNumber();
+  info.runSeconds = json.at("run_seconds").asNumber();
+  info.resumes = static_cast<int>(json.at("resumes").asInt());
+  info.evaluations = std::stoull(json.at("evaluations").asString());
+  info.hypervolume = json.at("hypervolume").asNumber();
+  info.frontSize = static_cast<std::size_t>(json.at("front_size").asInt());
+  info.error = json.at("error").asString();
+  info.artifactPath = json.at("artifact").asString();
+  return info;
+}
+
+} // namespace motune::serve

@@ -1,0 +1,97 @@
+// Job model of the tuning daemon: what a client submits (JobSpec), what
+// the scheduler tracks (JobState/JobInfo), and the translation from a spec
+// to the tuning stack (problem + tuner options).
+//
+// A JobSpec is deliberately the same vocabulary as the `motune tune`
+// flags (kernel, machine, n, algorithm, seed, objectives, budget), so the
+// `motune submit` subcommand reuses the tune flag parsing verbatim and a
+// spec can be replayed locally with `motune tune` for debugging. Specs are
+// serialized into the job directory (job.json) at admission time — before
+// the submit is acknowledged — which is what makes an acked job durable
+// across a daemon crash.
+#pragma once
+
+#include "autotune/autotuner.h"
+#include "support/json.h"
+#include "tuning/kernel_problem.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace motune::serve {
+
+/// One tuning request, in `motune tune` vocabulary.
+struct JobSpec {
+  std::string kernel = "mm";        ///< built-in kernel name
+  std::string machine = "westmere"; ///< machine model name
+  std::int64_t n = 0;               ///< problem size; 0 = the paper size
+  std::string algorithm = "rsgde3"; ///< rsgde3 | gde3 | nsga2 | random
+  std::uint64_t seed = 1;
+  std::vector<tuning::Objective> objectives; ///< empty = time,resources
+  std::uint64_t budget = 1000; ///< evaluation budget for algorithm=random
+};
+
+support::Json specToJson(const JobSpec& spec);
+JobSpec specFromJson(const support::Json& json);
+
+/// MOTUNE_CHECK-fails with a field-level message on an invalid spec
+/// (unknown kernel/machine/algorithm/objective, negative n). Run at
+/// admission time so bad specs are rejected on submit, not when a worker
+/// finally dequeues them.
+void validateSpec(const JobSpec& spec);
+
+/// True for the algorithms whose engine state can be journaled (the
+/// GDE3 family). Other algorithms are still durable — they re-run from
+/// scratch on daemon restart, which reproduces the identical artifact
+/// because every search is deterministic in its seed — they just cannot
+/// reuse the interrupted run's evaluations.
+bool checkpointable(const std::string& algorithm);
+
+/// Builds the tuning problem a spec describes.
+tuning::KernelTuningProblem problemFromSpec(const JobSpec& spec);
+
+/// Tuner options for a spec: algorithm, seed, budget — plus the serve
+/// policy (sessions under `sessionDir` for checkpointable algorithms,
+/// `jobThreads` evaluation workers). Session resume is enabled when a
+/// journal already exists (daemon restart). Each call builds a fresh
+/// options value: one AutoTuner — and therefore one CountingEvaluator —
+/// per job, never shared (see CountingEvaluator::preload).
+autotune::TunerOptions tunerOptionsFromSpec(const JobSpec& spec,
+                                            const std::string& sessionDir,
+                                            unsigned jobThreads,
+                                            int checkpointEvery);
+
+/// Lifecycle of a job inside the scheduler.
+enum class JobState {
+  Queued,    ///< admitted, waiting for a worker
+  Running,   ///< a worker is tuning it
+  Done,      ///< artifact written
+  Failed,    ///< the search threw; error recorded
+  Cancelled, ///< cancelled while queued or running
+};
+
+const char* jobStateName(JobState state);
+JobState jobStateFromName(const std::string& name);
+
+/// Status snapshot of one job (the `status`/`list` wire payload).
+struct JobInfo {
+  std::string id;
+  JobState state = JobState::Queued;
+  int priority = 0;
+  JobSpec spec;
+  double submittedUnix = 0.0;  ///< wall clock, seconds
+  double queueSeconds = 0.0;   ///< admission -> start (or now)
+  double runSeconds = 0.0;     ///< start -> finish (or now)
+  int resumes = 0;             ///< times the job resumed from its journal
+  std::uint64_t evaluations = 0; ///< set when Done
+  double hypervolume = 0.0;      ///< set when Done
+  std::size_t frontSize = 0;     ///< set when Done
+  std::string error;             ///< set when Failed
+  std::string artifactPath;      ///< set when Done
+};
+
+support::Json infoToJson(const JobInfo& info);
+JobInfo infoFromJson(const support::Json& json);
+
+} // namespace motune::serve

@@ -1,0 +1,101 @@
+#include "serve/protocol.h"
+
+#include "support/check.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace motune::serve {
+
+namespace {
+
+std::string errnoDetail(const char* op) {
+  return std::string(op) + " failed: " + std::strerror(errno);
+}
+
+std::uint32_t decodeLength(const char* bytes) {
+  const auto b = reinterpret_cast<const unsigned char*>(bytes);
+  return (std::uint32_t(b[0]) << 24) | (std::uint32_t(b[1]) << 16) |
+         (std::uint32_t(b[2]) << 8) | std::uint32_t(b[3]);
+}
+
+} // namespace
+
+std::string encodeFrame(const support::Json& message) {
+  const std::string payload = message.dump(-1);
+  MOTUNE_CHECK_MSG(payload.size() <= kMaxFrameBytes,
+                   "frame payload exceeds kMaxFrameBytes");
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xff));
+  out.push_back(static_cast<char>((n >> 16) & 0xff));
+  out.push_back(static_cast<char>((n >> 8) & 0xff));
+  out.push_back(static_cast<char>(n & 0xff));
+  out += payload;
+  return out;
+}
+
+void FrameReader::feed(const char* data, std::size_t size) {
+  buffer_.append(data, size);
+}
+
+std::optional<support::Json> FrameReader::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const std::uint32_t length = decodeLength(buffer_.data());
+  if (length > kMaxFrameBytes)
+    throw ProtocolError("frame length " + std::to_string(length) +
+                        " exceeds the " + std::to_string(kMaxFrameBytes) +
+                        "-byte limit");
+  if (buffer_.size() < 4 + static_cast<std::size_t>(length))
+    return std::nullopt;
+  const std::string payload = buffer_.substr(4, length);
+  buffer_.erase(0, 4 + static_cast<std::size_t>(length));
+  try {
+    return support::Json::parse(payload);
+  } catch (const support::CheckError& e) {
+    throw ProtocolError(std::string("malformed frame payload: ") + e.what());
+  }
+}
+
+void sendFrame(int fd, const support::Json& message) {
+  const std::string frame = encodeFrame(message);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE instead of killing
+    // the daemon with SIGPIPE.
+    const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(errnoDetail("send"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<support::Json> recvFrame(int fd, FrameReader& reader) {
+  char chunk[4096];
+  for (;;) {
+    if (std::optional<support::Json> message = reader.next())
+      return message;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(errnoDetail("recv"));
+    }
+    if (n == 0) {
+      if (reader.pending() == 0) return std::nullopt; // clean EOF
+      throw ProtocolError("connection closed mid-frame (" +
+                          std::to_string(reader.pending()) +
+                          " bytes of a partial frame)");
+    }
+    reader.feed(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+} // namespace motune::serve

@@ -1,0 +1,74 @@
+// Wire protocol of the motune tuning daemon: length-prefixed JSON frames
+// over a stream socket.
+//
+// A frame is a 4-byte big-endian unsigned payload length followed by that
+// many bytes of UTF-8 JSON (one request or one response object). The
+// length prefix makes message boundaries explicit — no sentinel scanning,
+// no ambiguity with embedded newlines — and caps resource usage: a frame
+// longer than kMaxFrameBytes is a protocol error and the connection is
+// dropped, so a misbehaving client cannot balloon the daemon's memory.
+//
+// The verb vocabulary (submit/status/result/cancel/list/stats/ping/
+// shutdown) and the response envelope ({"ok":true,...} /
+// {"ok":false,"error":...,"retry_after_ms":...}) are specified field by
+// field in docs/serve.md; this layer only moves JSON values across the
+// socket. FrameReader is the incremental decoder: feed it whatever chunk
+// sizes the transport delivers (partial reads are the common case under
+// load) and it yields complete payloads in order.
+#pragma once
+
+#include "support/json.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace motune::serve {
+
+/// Hard cap on one frame's payload. Generous for the protocol's payloads
+/// (specs, status lists, artifacts — all well under a megabyte) while
+/// bounding what one connection can make the peer buffer.
+inline constexpr std::size_t kMaxFrameBytes = 4u << 20;
+
+/// Framing violation: oversized length prefix, unparseable payload, or a
+/// stream that ends mid-frame. The daemon answers with a best-effort error
+/// response and drops the connection; clients surface it to the caller.
+class ProtocolError : public std::runtime_error {
+public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Serializes one message to its on-wire bytes (prefix + compact JSON).
+std::string encodeFrame(const support::Json& message);
+
+/// Incremental frame decoder. feed() appends raw bytes in whatever chunks
+/// arrived; next() returns the earliest complete payload, or nullopt when
+/// more bytes are needed. Throws ProtocolError on an oversized declared
+/// length or a payload that is not valid JSON — the stream is unusable
+/// after that (framing is lost).
+class FrameReader {
+public:
+  void feed(const char* data, std::size_t size);
+  std::optional<support::Json> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t pending() const { return buffer_.size(); }
+
+private:
+  std::string buffer_;
+};
+
+/// Blocking socket I/O. sendFrame writes the whole encoded frame (handling
+/// short writes); recvFrame reads exactly one frame through `reader`, the
+/// connection's persistent decoder state (a pipelined second frame read in
+/// the same chunk stays buffered for the next call). recvFrame returns
+/// nullopt on clean EOF at a frame boundary; EOF mid-frame, an oversized
+/// frame, or malformed JSON throw ProtocolError; transport errors throw
+/// std::runtime_error with errno detail.
+void sendFrame(int fd, const support::Json& message);
+std::optional<support::Json> recvFrame(int fd, FrameReader& reader);
+
+} // namespace motune::serve

@@ -1,0 +1,387 @@
+#include "serve/scheduler.h"
+
+#include "autotune/artifact.h"
+#include "observe/metrics.h"
+#include "support/check.h"
+
+#include <chrono>
+#include <exception>
+
+namespace motune::serve {
+
+namespace {
+
+double nowUnix() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+double secondsSince(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t)
+      .count();
+}
+
+observe::MetricsRegistry& metrics() {
+  return observe::MetricsRegistry::global();
+}
+
+} // namespace
+
+JobScheduler::JobScheduler(JobStore& store, SchedulerOptions options)
+    : store_(store), options_(options) {
+  if (options_.workers == 0) options_.workers = 1;
+}
+
+JobScheduler::~JobScheduler() { stop(); }
+
+void JobScheduler::start() {
+  std::vector<RecoveredJob> recovered = store_.recover();
+  {
+    std::lock_guard lock(mutex_);
+    MOTUNE_CHECK_MSG(!started_, "scheduler already started");
+    started_ = true;
+    stopping_ = false;
+    for (RecoveredJob& rec : recovered) {
+      auto job = std::make_shared<Job>();
+      job->id = rec.id;
+      job->spec = rec.spec;
+      job->priority = rec.priority;
+      job->state = rec.state;
+      job->submittedUnix = rec.submittedUnix;
+      job->enqueued = std::chrono::steady_clock::now();
+      job->error = rec.error;
+      job->hasSession = rec.hasSession;
+      job->log = store_.log(rec.id);
+      if (rec.state == JobState::Done) {
+        job->evaluations = rec.doneInfo.evaluations;
+        job->hypervolume = rec.doneInfo.hypervolume;
+        job->frontSize = rec.doneInfo.frontSize;
+        job->resumes = rec.doneInfo.resumes;
+        job->artifactPath = rec.doneInfo.artifactPath;
+      }
+      jobs_.emplace(job->id, job);
+      if (rec.state == JobState::Queued) enqueueLocked(job, /*recovered=*/true);
+    }
+    metrics().gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+  }
+  for (unsigned i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+void JobScheduler::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  wakeWorkers_.notify_all();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+  std::lock_guard lock(mutex_);
+  started_ = false;
+}
+
+void JobScheduler::enqueueLocked(const std::shared_ptr<Job>& job,
+                                 bool recovered) {
+  queue_.emplace(std::make_pair(-job->priority, seq_++), job);
+  if (recovered) job->log->record("requeued", {{"priority", job->priority}});
+}
+
+Admission JobScheduler::submit(const JobSpec& spec, int priority) {
+  Admission admission;
+  try {
+    validateSpec(spec);
+  } catch (const support::CheckError& e) {
+    admission.error = e.what();
+    metrics().counter("serve.admission.invalid").add();
+    return admission;
+  }
+
+  // Admission control: persistNewJob touches the disk, so check capacity
+  // first and do the I/O outside the lock only after reserving a slot is
+  // impossible to get wrong — here the simple order is check + persist +
+  // enqueue all under the lock; job submission is not the hot path.
+  std::unique_lock lock(mutex_);
+  if (stopping_ || !started_) {
+    admission.error = "daemon is shutting down";
+    return admission;
+  }
+  if (queue_.size() >= options_.queueCapacity) {
+    admission.error = "queue full";
+    admission.retryAfterSeconds = options_.retryAfterSeconds;
+    metrics().counter("serve.admission.rejects").add();
+    return admission;
+  }
+
+  const double submitted = nowUnix();
+  const std::string id = store_.persistNewJob(spec, priority, submitted);
+  auto job = std::make_shared<Job>();
+  job->id = id;
+  job->spec = spec;
+  job->priority = priority;
+  job->submittedUnix = submitted;
+  job->enqueued = std::chrono::steady_clock::now();
+  job->log = store_.log(id);
+  job->log->record("submitted", {{"priority", priority},
+                                 {"spec", specToJson(spec)}});
+  jobs_.emplace(id, job);
+  enqueueLocked(job, /*recovered=*/false);
+  metrics().counter("serve.submits").add();
+  metrics().gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+  lock.unlock();
+  wakeWorkers_.notify_one();
+
+  admission.accepted = true;
+  admission.id = id;
+  return admission;
+}
+
+CancelOutcome JobScheduler::cancel(const std::string& id) {
+  CancelOutcome outcome;
+  std::shared_ptr<Job> toMark; // markCancelled outside the lock
+  {
+    std::lock_guard lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      outcome.detail = "unknown job: " + id;
+      return outcome;
+    }
+    Job& job = *it->second;
+    switch (job.state) {
+    case JobState::Queued: {
+      for (auto qit = queue_.begin(); qit != queue_.end(); ++qit)
+        if (qit->second->id == id) {
+          queue_.erase(qit);
+          break;
+        }
+      job.state = JobState::Cancelled;
+      job.queueSeconds = secondsSince(job.enqueued);
+      toMark = it->second;
+      outcome.ok = true;
+      outcome.detail = "cancelled";
+      metrics().counter("serve.jobs.cancelled").add();
+      metrics().gauge("serve.queue_depth")
+          .set(static_cast<double>(queue_.size()));
+      break;
+    }
+    case JobState::Running:
+      // Cooperative: the worker observes the flag between generations,
+      // discards the partial result and confirms the cancellation.
+      job.stopRequested.store(true);
+      outcome.ok = true;
+      outcome.detail = "cancelling";
+      break;
+    case JobState::Done:
+    case JobState::Failed:
+    case JobState::Cancelled:
+      outcome.detail = std::string("job already ") + jobStateName(job.state);
+      break;
+    }
+  }
+  if (toMark) {
+    store_.markCancelled(id);
+    toMark->log->record("cancelled", {{"while", "queued"}});
+  }
+  return outcome;
+}
+
+JobInfo JobScheduler::infoOf(const Job& job) const {
+  JobInfo info;
+  info.id = job.id;
+  info.state = job.state;
+  info.priority = job.priority;
+  info.spec = job.spec;
+  info.submittedUnix = job.submittedUnix;
+  info.queueSeconds = job.state == JobState::Queued
+                          ? secondsSince(job.enqueued)
+                          : job.queueSeconds;
+  info.runSeconds = job.state == JobState::Running ? secondsSince(job.started)
+                                                   : job.runSeconds;
+  info.resumes = job.resumes;
+  info.evaluations = job.evaluations;
+  info.hypervolume = job.hypervolume;
+  info.frontSize = job.frontSize;
+  info.error = job.error;
+  info.artifactPath = job.artifactPath;
+  return info;
+}
+
+std::optional<JobInfo> JobScheduler::status(const std::string& id) const {
+  std::lock_guard lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return infoOf(*it->second);
+}
+
+std::vector<JobInfo> JobScheduler::list() const {
+  std::lock_guard lock(mutex_);
+  std::vector<JobInfo> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(infoOf(*job));
+  return out;
+}
+
+support::Json JobScheduler::stats() const {
+  std::size_t depth;
+  unsigned active;
+  {
+    std::lock_guard lock(mutex_);
+    depth = queue_.size();
+    active = active_;
+  }
+  auto& reg = metrics();
+  const auto wait = reg.histogram("serve.job.queue_seconds").snapshot();
+  const auto run = reg.histogram("serve.job.run_seconds").snapshot();
+  const auto total = reg.histogram("serve.job.total_seconds").snapshot();
+  auto summary = [](const observe::Histogram::Snapshot& s) -> support::Json {
+    return support::JsonObject{{"count", std::to_string(s.count)},
+                               {"mean", s.mean()},
+                               {"p50", s.p50()},
+                               {"p99", s.p99()}};
+  };
+  return support::JsonObject{
+      {"queue_depth", static_cast<std::int64_t>(depth)},
+      {"queue_capacity", static_cast<std::int64_t>(options_.queueCapacity)},
+      {"active_jobs", static_cast<std::int64_t>(active)},
+      {"workers", static_cast<std::int64_t>(options_.workers)},
+      {"submits",
+       std::to_string(reg.counter("serve.submits").value())},
+      {"admission_rejects",
+       std::to_string(reg.counter("serve.admission.rejects").value())},
+      {"completed", std::to_string(reg.counter("serve.jobs.completed").value())},
+      {"failed", std::to_string(reg.counter("serve.jobs.failed").value())},
+      {"cancelled",
+       std::to_string(reg.counter("serve.jobs.cancelled").value())},
+      {"resumed", std::to_string(reg.counter("serve.jobs.resumed").value())},
+      {"queue_seconds", summary(wait)},
+      {"run_seconds", summary(run)},
+      {"total_seconds", summary(total)},
+  };
+}
+
+bool JobScheduler::drain(double timeoutSeconds) {
+  std::unique_lock lock(mutex_);
+  auto done = [this] { return queue_.empty() && active_ == 0; };
+  if (timeoutSeconds <= 0.0) {
+    idle_.wait(lock, done);
+    return true;
+  }
+  return idle_.wait_for(lock, std::chrono::duration<double>(timeoutSeconds),
+                        done);
+}
+
+std::size_t JobScheduler::queueDepth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+unsigned JobScheduler::activeJobs() const {
+  std::lock_guard lock(mutex_);
+  return active_;
+}
+
+void JobScheduler::workerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lock(mutex_);
+      wakeWorkers_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      job = queue_.begin()->second;
+      queue_.erase(queue_.begin());
+      job->state = JobState::Running;
+      job->started = std::chrono::steady_clock::now();
+      job->queueSeconds = secondsSince(job->enqueued);
+      ++active_;
+      metrics().gauge("serve.queue_depth")
+          .set(static_cast<double>(queue_.size()));
+      metrics().gauge("serve.active_jobs").set(static_cast<double>(active_));
+    }
+    runJob(job);
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      metrics().gauge("serve.active_jobs").set(static_cast<double>(active_));
+    }
+    idle_.notify_all();
+  }
+}
+
+void JobScheduler::runJob(const std::shared_ptr<Job>& job) {
+  job->log->record("started", {{"resume", job->hasSession},
+                               {"queue_seconds", job->queueSeconds}});
+  if (job->hasSession) metrics().counter("serve.jobs.resumed").add();
+
+  JobState finalState;
+  std::string error;
+  autotune::TuningResult result;
+  try {
+    tuning::KernelTuningProblem problem = problemFromSpec(job->spec);
+    autotune::TunerOptions options = tunerOptionsFromSpec(
+        job->spec, store_.sessionDir(job->id), options_.jobThreads,
+        options_.checkpointEvery);
+    options.stopRequested = [job] { return job->stopRequested.load(); };
+    autotune::AutoTuner tuner(std::move(options));
+    result = tuner.tune(problem);
+    if (job->stopRequested.load()) {
+      finalState = JobState::Cancelled;
+    } else {
+      autotune::TunedArtifact artifact = autotune::makeArtifact(result, problem);
+      autotune::saveArtifact(artifact, store_.artifactPath(job->id));
+      finalState = JobState::Done;
+    }
+  } catch (const std::exception& e) {
+    finalState = JobState::Failed;
+    error = e.what();
+  }
+
+  const double runSeconds = secondsSince(job->started);
+  {
+    std::lock_guard lock(mutex_);
+    job->state = finalState;
+    job->runSeconds = runSeconds;
+    job->error = error;
+    if (finalState == JobState::Done) {
+      job->evaluations = result.evaluations;
+      job->hypervolume = result.hypervolume;
+      job->frontSize = result.front.size();
+      job->resumes = result.session ? result.session->resumes : 0;
+      job->artifactPath = store_.artifactPath(job->id);
+    }
+  }
+
+  auto& reg = metrics();
+  switch (finalState) {
+  case JobState::Done:
+    job->log->record("finished",
+                     {{"run_seconds", runSeconds},
+                      {"evaluations", std::to_string(result.evaluations)},
+                      {"hypervolume", result.hypervolume},
+                      {"front_size",
+                       static_cast<std::int64_t>(result.front.size())},
+                      {"resumes", result.session ? result.session->resumes : 0}});
+    reg.counter("serve.jobs.completed").add();
+    break;
+  case JobState::Cancelled:
+    store_.markCancelled(job->id);
+    job->log->record("cancelled",
+                     {{"while", "running"}, {"run_seconds", runSeconds}});
+    reg.counter("serve.jobs.cancelled").add();
+    break;
+  case JobState::Failed:
+  default:
+    store_.markFailed(job->id, error);
+    job->log->record("failed",
+                     {{"error", error}, {"run_seconds", runSeconds}});
+    reg.counter("serve.jobs.failed").add();
+    break;
+  }
+  reg.histogram("serve.job.queue_seconds").observe(job->queueSeconds);
+  reg.histogram("serve.job.run_seconds").observe(runSeconds);
+  reg.histogram("serve.job.total_seconds")
+      .observe(job->queueSeconds + runSeconds);
+}
+
+} // namespace motune::serve

@@ -1,0 +1,215 @@
+#include "serve/store.h"
+
+#include "session/session.h"
+#include "support/check.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include <unistd.h>
+
+namespace motune::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+double nowUnix() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Write-temp + rename: readers never observe a half-written file.
+void writeFileAtomic(const fs::path& path, const std::string& content) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp);
+    MOTUNE_CHECK_MSG(out.good(), "cannot write " + tmp.string());
+    out << content;
+    out.flush();
+    MOTUNE_CHECK_MSG(out.good(), "write failed: " + tmp.string());
+  }
+  fs::rename(tmp, path);
+}
+
+} // namespace
+
+JobLog::JobLog(const std::string& path) : path_(path) {}
+
+void JobLog::record(const std::string& event, support::JsonObject fields) {
+  fields.emplace("event", event);
+  fields.emplace("t_unix", nowUnix());
+  const std::string line = support::Json(std::move(fields)).dump(-1);
+  std::lock_guard lock(mutex_);
+  std::ofstream out(path_, std::ios::out | std::ios::app);
+  MOTUNE_CHECK_MSG(out.good(), "cannot append to " + path_);
+  out << line << '\n';
+  out.flush();
+}
+
+JobStore::JobStore(std::string stateDir) : stateDir_(std::move(stateDir)) {
+  fs::create_directories(fs::path(stateDir_) / "jobs");
+}
+
+std::string JobStore::jobDir(const std::string& id) const {
+  return (fs::path(stateDir_) / "jobs" / id).string();
+}
+
+std::string JobStore::artifactPath(const std::string& id) const {
+  return (fs::path(jobDir(id)) / "artifact.json").string();
+}
+
+std::string JobStore::sessionDir(const std::string& id) const {
+  return (fs::path(jobDir(id)) / "session").string();
+}
+
+std::string JobStore::eventsPath(const std::string& id) const {
+  return (fs::path(jobDir(id)) / "events.jsonl").string();
+}
+
+std::string JobStore::persistNewJob(const JobSpec& spec, int priority,
+                                    double submittedUnix) {
+  std::string id;
+  {
+    std::lock_guard lock(mutex_);
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "j%06llu",
+                  static_cast<unsigned long long>(nextId_++));
+    id = buf;
+  }
+  fs::create_directories(jobDir(id));
+  const support::Json record = support::JsonObject{
+      {"id", id},
+      {"spec", specToJson(spec)},
+      {"priority", priority},
+      {"submitted_unix", submittedUnix},
+  };
+  writeFileAtomic(fs::path(jobDir(id)) / "job.json", record.dump(2) + "\n");
+  return id;
+}
+
+std::shared_ptr<JobLog> JobStore::log(const std::string& id) {
+  return std::make_shared<JobLog>(eventsPath(id));
+}
+
+void JobStore::markCancelled(const std::string& id) {
+  writeFileAtomic(fs::path(jobDir(id)) / "cancelled", "cancelled\n");
+}
+
+void JobStore::markFailed(const std::string& id, const std::string& error) {
+  writeFileAtomic(fs::path(jobDir(id)) / "error.json",
+                  support::Json(support::JsonObject{{"error", error}}).dump(2) +
+                      "\n");
+}
+
+std::vector<RecoveredJob> JobStore::recover() {
+  std::vector<RecoveredJob> out;
+  const fs::path jobsRoot = fs::path(stateDir_) / "jobs";
+  std::uint64_t maxId = 0;
+  std::vector<fs::path> dirs;
+  for (const auto& entry : fs::directory_iterator(jobsRoot))
+    if (entry.is_directory()) dirs.push_back(entry.path());
+  std::sort(dirs.begin(), dirs.end());
+
+  for (const fs::path& dir : dirs) {
+    const fs::path specPath = dir / "job.json";
+    // A crash between mkdir and the job.json rename leaves a spec-less
+    // directory; the submit was never acknowledged, so it is not a job.
+    if (!fs::exists(specPath)) continue;
+
+    std::ifstream in(specPath);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const support::Json record = support::Json::parse(text);
+
+    RecoveredJob job;
+    job.id = record.at("id").asString();
+    job.spec = specFromJson(record.at("spec"));
+    job.priority = static_cast<int>(record.at("priority").asInt());
+    job.submittedUnix = record.at("submitted_unix").asNumber();
+    if (job.id.size() > 1)
+      maxId = std::max<std::uint64_t>(maxId, std::stoull(job.id.substr(1)));
+
+    if (fs::exists(dir / "cancelled")) {
+      job.state = JobState::Cancelled;
+    } else if (fs::exists(dir / "error.json")) {
+      job.state = JobState::Failed;
+      std::ifstream err(dir / "error.json");
+      std::string errText((std::istreambuf_iterator<char>(err)),
+                          std::istreambuf_iterator<char>());
+      job.error = support::Json::parse(errText).at("error").asString();
+    } else if (fs::exists(dir / "artifact.json")) {
+      job.state = JobState::Done;
+      job.doneInfo.id = job.id;
+      job.doneInfo.state = JobState::Done;
+      job.doneInfo.priority = job.priority;
+      job.doneInfo.spec = job.spec;
+      job.doneInfo.submittedUnix = job.submittedUnix;
+      job.doneInfo.artifactPath = (dir / "artifact.json").string();
+      // Result metrics: prefer the artifact itself (always present for a
+      // done job) over the event log (whose terminal record can be lost to
+      // a crash between the artifact write and the event append).
+      try {
+        std::ifstream art(dir / "artifact.json");
+        std::string artText((std::istreambuf_iterator<char>(art)),
+                            std::istreambuf_iterator<char>());
+        const support::Json artifact = support::Json::parse(artText);
+        job.doneInfo.evaluations =
+            static_cast<std::uint64_t>(artifact.at("evaluations").asInt());
+        job.doneInfo.hypervolume = artifact.at("hypervolume").asNumber();
+        job.doneInfo.frontSize = artifact.at("versions").size();
+        if (artifact.has("session"))
+          job.doneInfo.resumes = static_cast<int>(
+              artifact.at("session").at("resumes").asInt());
+      } catch (const support::CheckError&) {
+        // Torn artifact (killed mid-write): treat as not done — drop the
+        // file and requeue below.
+        fs::remove(dir / "artifact.json");
+        job.state = JobState::Queued;
+      }
+    } else {
+      job.state = JobState::Queued;
+    }
+
+    if (job.state == JobState::Queued) {
+      // Re-runnable. Use the session journal when it is actually loadable;
+      // a journal killed before its header flushed, or carrying a finish
+      // record with no artifact (killed between finish and artifact
+      // write), cannot seed a resume — drop it and re-run from scratch,
+      // which reproduces the identical artifact deterministically.
+      const std::string sess = sessionDir(job.id);
+      if (session::sessionExists(sess)) {
+        bool usable = false;
+        try {
+          usable = !session::loadSession(sess).finished;
+        } catch (const support::CheckError&) {
+          usable = false;
+        }
+        if (!usable) fs::remove_all(sess);
+        job.hasSession = usable;
+      }
+    }
+    out.push_back(std::move(job));
+  }
+
+  std::lock_guard lock(mutex_);
+  nextId_ = std::max(nextId_, maxId + 1);
+  return out;
+}
+
+void JobStore::writeDaemonInfo(int port, unsigned workers) {
+  const support::Json info = support::JsonObject{
+      {"port", port},
+      {"pid", static_cast<std::int64_t>(::getpid())},
+      {"workers", static_cast<std::int64_t>(workers)},
+      {"started_unix", nowUnix()},
+  };
+  writeFileAtomic(fs::path(stateDir_) / "daemon.json", info.dump(2) + "\n");
+}
+
+} // namespace motune::serve

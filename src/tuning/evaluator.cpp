@@ -100,19 +100,29 @@ Objectives CountingEvaluator::evaluate(const Config& config) {
     latency_.observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
             .count());
+    bool current;
     {
       std::lock_guard lock(shard.mutex);
       slot->value = std::move(obj);
       slot->state = Slot::State::Ready;
-      ++shard.evals;
-      uniqueCounter_.add();
+      // A reset() that raced this evaluation has already dropped the slot
+      // from the memo (and zeroed the counters). The computed value is
+      // still returned to the caller, but it belongs to the pre-reset
+      // epoch: counting it or journaling it would double-book the config
+      // once the post-reset world evaluates it again.
+      auto it = shard.memo.find(config);
+      current = it != shard.memo.end() && it->second == slot;
+      if (current) {
+        ++shard.evals;
+        uniqueCounter_.add();
+      }
       shard.ready.notify_all();
       if (epoch_.load(std::memory_order_relaxed) == local.epoch)
         local.map.emplace(config, slot->value);
     }
     // Journal the unique evaluation outside the shard lock; Ready slot
     // values are immutable, so reading slot->value here is race-free.
-    if (listener_) listener_(config, slot->value);
+    if (current && listener_) listener_(config, slot->value);
     return slot->value;
   }
 }

@@ -71,8 +71,15 @@ public:
   /// The configuration counts as one unique evaluation, exactly as if this
   /// evaluator had computed it, so a resumed search reports the same E as
   /// an uninterrupted one; later lookups are ordinary memo hits. Returns
-  /// false (and changes nothing) if the config is already memoized. Must
-  /// not race evaluate() — preload before the search starts.
+  /// false (and changes nothing) if the config is already memoized or has
+  /// an evaluation in flight (the leader's identical result then wins).
+  ///
+  /// Thread safety: preload() takes the shard lock and may race evaluate()
+  /// and reset() — a daemon restart can re-seed one job's evaluator while
+  /// other jobs are mid-search. The deterministic-E guarantee, however,
+  /// only holds when each search owns its evaluator: the serve layer
+  /// enforces per-job evaluator isolation (one AutoTuner per job), pinned
+  /// by tests/serve_test.cpp and the concurrency tests in tuning_test.cpp.
   bool preload(const Config& config, const Objectives& objectives);
 
 private:

@@ -1,0 +1,550 @@
+// The tuning daemon (src/serve/): protocol framing (partial reads,
+// pipelining, malformed and oversized frames), the durable job store's
+// crash classification, admission control under load, cancel semantics,
+// scheduling priority, concurrent-submit determinism (same seeds produce
+// bitwise-same artifacts regardless of worker count and dequeue order),
+// and the headline guarantee — a daemon restarted on the state dir of a
+// killed one resumes every in-flight job and finishes with artifacts
+// identical to an uninterrupted run.
+#include "autotune/artifact.h"
+#include "autotune/autotuner.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/job.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/store.h"
+#include "session/session.h"
+#include "support/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace motune;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Fresh per-test directory under the gtest temp root.
+std::string freshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// Every evaluation sleeps, so scheduler tests can observe running/queued
+/// states; removed again so the other tests stay fast. Jobs read the spec
+/// when their AutoTuner starts, i.e. when a worker dequeues them.
+struct SlowEvals {
+  explicit SlowEvals(const char* spec) { ::setenv("MOTUNE_FAULT_SPEC", spec, 1); }
+  ~SlowEvals() { ::unsetenv("MOTUNE_FAULT_SPEC"); }
+};
+
+serve::JobSpec fastSpec(std::uint64_t seed) {
+  serve::JobSpec spec;
+  spec.kernel = "mm";
+  spec.n = 64;
+  spec.algorithm = "random";
+  spec.budget = 50;
+  spec.seed = seed;
+  return spec;
+}
+
+serve::JobSpec gde3Spec(std::uint64_t seed) {
+  serve::JobSpec spec;
+  spec.kernel = "mm";
+  spec.n = 64;
+  spec.algorithm = "rsgde3";
+  spec.seed = seed;
+  return spec;
+}
+
+serve::DaemonOptions daemonOptions(const std::string& stateDir,
+                                   unsigned workers,
+                                   std::size_t queueCapacity = 64) {
+  serve::DaemonOptions options;
+  options.stateDir = stateDir;
+  options.scheduler.workers = workers;
+  options.scheduler.queueCapacity = queueCapacity;
+  return options;
+}
+
+/// Artifact comparison modulo provenance: the session block carries the
+/// journal path (state-dir specific) and the resume count, which are
+/// expected to differ between an interrupted and an uninterrupted run of
+/// the same spec. Everything else must match byte for byte.
+std::string canonicalArtifact(autotune::TunedArtifact artifact) {
+  artifact.session.reset();
+  return autotune::serializeArtifact(artifact);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Protocol framing.
+
+TEST(Protocol, EncodeDecodeRoundTrip) {
+  const support::Json msg = support::JsonObject{
+      {"verb", "submit"}, {"n", 64}, {"nested", support::JsonArray{1, 2, 3}}};
+  const std::string frame = serve::encodeFrame(msg);
+  serve::FrameReader reader;
+  reader.feed(frame.data(), frame.size());
+  const auto decoded = reader.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->dump(-1), msg.dump(-1));
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Protocol, PartialReadsReassemble) {
+  const support::Json msg =
+      support::JsonObject{{"verb", "status"}, {"id", "j000042"}};
+  const std::string frame = serve::encodeFrame(msg);
+  serve::FrameReader reader;
+  // One byte at a time: no prefix of the frame may yield a message.
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    reader.feed(frame.data() + i, 1);
+    EXPECT_FALSE(reader.next().has_value()) << "premature frame at byte " << i;
+  }
+  reader.feed(frame.data() + frame.size() - 1, 1);
+  const auto decoded = reader.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->at("id").asString(), "j000042");
+}
+
+TEST(Protocol, PipelinedFramesInOneChunk) {
+  const std::string chunk =
+      serve::encodeFrame(support::JsonObject{{"seq", 1}}) +
+      serve::encodeFrame(support::JsonObject{{"seq", 2}});
+  serve::FrameReader reader;
+  reader.feed(chunk.data(), chunk.size());
+  const auto first = reader.next();
+  const auto second = reader.next();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->at("seq").asInt(), 1);
+  EXPECT_EQ(second->at("seq").asInt(), 2);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Protocol, OversizedFrameIsRejected) {
+  // Header advertising one byte past the limit; the reader must reject on
+  // the header alone, before any payload arrives (no buffering 4 MiB of
+  // attacker-controlled length).
+  const std::uint32_t size = serve::kMaxFrameBytes + 1;
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(size >> 24),
+      static_cast<unsigned char>(size >> 16),
+      static_cast<unsigned char>(size >> 8),
+      static_cast<unsigned char>(size)};
+  serve::FrameReader reader;
+  EXPECT_THROW(
+      {
+        reader.feed(reinterpret_cast<const char*>(header), 4);
+        reader.next();
+      },
+      serve::ProtocolError);
+}
+
+TEST(Protocol, MalformedPayloadIsRejected) {
+  const std::string payload = "{not json";
+  std::string frame;
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  frame.push_back(static_cast<char>(size >> 24));
+  frame.push_back(static_cast<char>(size >> 16));
+  frame.push_back(static_cast<char>(size >> 8));
+  frame.push_back(static_cast<char>(size));
+  frame += payload;
+  serve::FrameReader reader;
+  reader.feed(frame.data(), frame.size());
+  EXPECT_THROW(reader.next(), serve::ProtocolError);
+}
+
+// ---------------------------------------------------------------------------
+// Job model.
+
+TEST(JobModel, SpecAndInfoRoundTrip) {
+  serve::JobSpec spec;
+  spec.kernel = "jacobi-2d";
+  spec.machine = "barcelona";
+  spec.n = 1234;
+  spec.algorithm = "gde3";
+  spec.seed = 0xdeadbeefcafeULL; // exceeds double precision if mis-serialized
+  spec.objectives = {tuning::Objective::Time, tuning::Objective::Energy};
+  spec.budget = (1ULL << 53) + 1;
+  const serve::JobSpec back = serve::specFromJson(serve::specToJson(spec));
+  EXPECT_EQ(back.kernel, spec.kernel);
+  EXPECT_EQ(back.machine, spec.machine);
+  EXPECT_EQ(back.n, spec.n);
+  EXPECT_EQ(back.algorithm, spec.algorithm);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.objectives, spec.objectives);
+  EXPECT_EQ(back.budget, spec.budget);
+
+  serve::JobInfo info;
+  info.id = "j000007";
+  info.state = serve::JobState::Failed;
+  info.spec = spec;
+  info.error = "boom";
+  info.evaluations = (1ULL << 53) + 3;
+  const serve::JobInfo infoBack = serve::infoFromJson(serve::infoToJson(info));
+  EXPECT_EQ(infoBack.id, info.id);
+  EXPECT_EQ(infoBack.state, serve::JobState::Failed);
+  EXPECT_EQ(infoBack.error, "boom");
+  EXPECT_EQ(infoBack.evaluations, info.evaluations);
+}
+
+TEST(JobModel, ValidateRejectsBadSpecs) {
+  serve::JobSpec spec = fastSpec(1);
+  spec.kernel = "no-such-kernel";
+  EXPECT_THROW(serve::validateSpec(spec), support::CheckError);
+  spec = fastSpec(1);
+  spec.machine = "cray-1";
+  EXPECT_THROW(serve::validateSpec(spec), support::CheckError);
+  spec = fastSpec(1);
+  spec.algorithm = "simulated-annealing";
+  EXPECT_THROW(serve::validateSpec(spec), support::CheckError);
+  EXPECT_NO_THROW(serve::validateSpec(fastSpec(1)));
+}
+
+// ---------------------------------------------------------------------------
+// Durable store: crash classification.
+
+TEST(JobStore, RecoverClassifiesJobDirs) {
+  const std::string dir = freshDir("store-classify");
+  serve::JobStore store(dir);
+  const std::string done = store.persistNewJob(fastSpec(1), 0, 1.0);
+  const std::string failed = store.persistNewJob(fastSpec(2), 0, 2.0);
+  const std::string cancelled = store.persistNewJob(fastSpec(3), 0, 3.0);
+  const std::string queued = store.persistNewJob(fastSpec(4), 5, 4.0);
+
+  // Done: a real (tiny but valid) artifact.
+  {
+    std::ofstream out(store.artifactPath(done));
+    out << support::Json(support::JsonObject{
+               {"format", "motune-artifact-v1"},
+               {"kernel", "mm"},
+               {"evaluations", 50},
+               {"hypervolume", 0.5},
+               {"versions", support::JsonArray{}},
+           })
+               .dump(2);
+  }
+  store.markFailed(failed, "search exploded");
+  store.markCancelled(cancelled);
+
+  // A crash between mkdir and the job.json rename: never acknowledged,
+  // must not resurface as a job.
+  fs::create_directories(fs::path(dir) / "jobs" / "j000099");
+
+  serve::JobStore reopened(dir);
+  const std::vector<serve::RecoveredJob> jobs = reopened.recover();
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(jobs[0].id, done);
+  EXPECT_EQ(jobs[0].state, serve::JobState::Done);
+  EXPECT_EQ(jobs[0].doneInfo.evaluations, 50u);
+  EXPECT_EQ(jobs[1].state, serve::JobState::Failed);
+  EXPECT_EQ(jobs[1].error, "search exploded");
+  EXPECT_EQ(jobs[2].state, serve::JobState::Cancelled);
+  EXPECT_EQ(jobs[3].state, serve::JobState::Queued);
+  EXPECT_EQ(jobs[3].priority, 5);
+
+  // The id allocator continues past everything on disk.
+  EXPECT_EQ(reopened.persistNewJob(fastSpec(9), 0, 9.0), "j000005");
+}
+
+TEST(JobStore, TornArtifactIsDroppedAndRequeued) {
+  const std::string dir = freshDir("store-torn");
+  serve::JobStore store(dir);
+  const std::string id = store.persistNewJob(fastSpec(1), 0, 1.0);
+  {
+    std::ofstream out(store.artifactPath(id));
+    out << "{\"format\": \"motune-art"; // killed mid-write
+  }
+  serve::JobStore reopened(dir);
+  const auto jobs = reopened.recover();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].state, serve::JobState::Queued);
+  EXPECT_FALSE(fs::exists(store.artifactPath(id)));
+}
+
+// ---------------------------------------------------------------------------
+// Daemon protocol behavior over a live socket.
+
+TEST(Daemon, VerbsAndErrors) {
+  serve::Daemon daemon(daemonOptions(freshDir("daemon-verbs"), 1));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+  EXPECT_NO_THROW(client.ping());
+
+  // Unknown verb and unknown ids are responses, not dropped connections.
+  const support::Json bogus =
+      client.request(support::JsonObject{{"verb", "bogus"}});
+  EXPECT_FALSE(bogus.at("ok").asBool());
+  EXPECT_THROW(client.status("j999999"), support::CheckError);
+  EXPECT_THROW(client.cancel("j999999"), support::CheckError);
+
+  // An invalid spec is rejected at admission, with the validation message.
+  serve::JobSpec bad = fastSpec(1);
+  bad.algorithm = "bogus";
+  const serve::SubmitOutcome outcome = client.submit(bad);
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_NE(outcome.error.find("unknown algorithm"), std::string::npos);
+
+  // result on a job that is not done reports its state instead.
+  const serve::SubmitOutcome ok = client.submit(fastSpec(1));
+  ASSERT_TRUE(ok.accepted);
+  client.await(ok.id, 60.0);
+  EXPECT_NO_THROW(client.result(ok.id));
+  daemon.stop();
+}
+
+TEST(Daemon, MalformedFrameDropsOnlyThatConnection) {
+  serve::Daemon daemon(daemonOptions(freshDir("daemon-malformed"), 1));
+  daemon.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(daemon.port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  // Oversized length prefix: the daemon must drop this connection.
+  const unsigned char evil[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(fd, evil, 4, 0), 4);
+  char buf[8];
+  EXPECT_EQ(::recv(fd, buf, sizeof buf, 0), 0); // peer closed
+  ::close(fd);
+
+  // The daemon itself survives and serves new connections.
+  serve::Client client("127.0.0.1", daemon.port());
+  EXPECT_NO_THROW(client.ping());
+  daemon.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling: admission control, cancel, priority.
+
+TEST(Scheduler, QueueFullShedsLoadWithRetryAfter) {
+  SlowEvals slow("delay@*:0.002");
+  serve::Daemon daemon(
+      daemonOptions(freshDir("sched-admission"), 1, /*queueCapacity=*/2));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+
+  // One running + two queued fills the queue; the next submit is shed.
+  std::vector<std::string> accepted;
+  serve::SubmitOutcome rejected;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const serve::SubmitOutcome outcome = client.submit(fastSpec(seed));
+    if (!outcome.accepted) {
+      rejected = outcome;
+      break;
+    }
+    accepted.push_back(outcome.id);
+  }
+  ASSERT_FALSE(rejected.error.empty()) << "queue never filled";
+  EXPECT_NE(rejected.error.find("queue full"), std::string::npos);
+  EXPECT_GT(rejected.retryAfterSeconds, 0.0);
+  EXPECT_LE(accepted.size(), 3u); // 1 running + queueCapacity
+
+  // Shedding is backpressure, not loss: what was acked still completes.
+  ASSERT_TRUE(daemon.scheduler().drain(120.0));
+  for (const std::string& id : accepted)
+    EXPECT_EQ(client.status(id).state, serve::JobState::Done) << id;
+  const support::Json stats = client.stats();
+  EXPECT_GE(std::stoull(stats.at("admission_rejects").asString()), 1u);
+  daemon.stop();
+}
+
+TEST(Scheduler, CancelQueuedJobIsImmediateAndDurable) {
+  SlowEvals slow("delay@*:0.002");
+  const std::string dir = freshDir("sched-cancel");
+  serve::Daemon daemon(daemonOptions(dir, 1));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+
+  // The gde3 job occupies the single worker; the fast job stays queued.
+  const serve::SubmitOutcome running = client.submit(gde3Spec(1));
+  const serve::SubmitOutcome queued = client.submit(fastSpec(2));
+  ASSERT_TRUE(running.accepted);
+  ASSERT_TRUE(queued.accepted);
+
+  EXPECT_EQ(client.cancel(queued.id), "cancelled");
+  EXPECT_EQ(client.status(queued.id).state, serve::JobState::Cancelled);
+  EXPECT_TRUE(
+      fs::exists(fs::path(dir) / "jobs" / queued.id / "cancelled"));
+  client.await(running.id, 120.0); // the worker was never disturbed
+  EXPECT_EQ(client.status(running.id).state, serve::JobState::Done);
+  daemon.stop();
+}
+
+TEST(Scheduler, CancelRunningJobStopsCooperatively) {
+  SlowEvals slow("delay@*:0.002");
+  const std::string dir = freshDir("sched-cancel-running");
+  serve::Daemon daemon(daemonOptions(dir, 1));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+
+  const serve::SubmitOutcome job = client.submit(gde3Spec(1));
+  ASSERT_TRUE(job.accepted);
+  // Wait for the worker to pick it up, then cancel mid-search.
+  for (int i = 0; i < 2000; ++i) {
+    if (client.status(job.id).state == serve::JobState::Running) break;
+    ::usleep(2000);
+  }
+  ASSERT_EQ(client.status(job.id).state, serve::JobState::Running);
+  EXPECT_EQ(client.cancel(job.id), "cancelling");
+
+  const serve::JobInfo info = client.await(job.id, 60.0);
+  EXPECT_EQ(info.state, serve::JobState::Cancelled);
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "jobs" / job.id / "artifact.json"));
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "jobs" / job.id / "cancelled"));
+  EXPECT_THROW(client.cancel(job.id), support::CheckError); // already terminal
+  daemon.stop();
+}
+
+TEST(Scheduler, HigherPriorityDequeuesFirst) {
+  SlowEvals slow("delay@*:0.002");
+  const std::string dir = freshDir("sched-priority");
+  serve::Daemon daemon(daemonOptions(dir, 1));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+
+  const serve::SubmitOutcome blocker = client.submit(fastSpec(1));
+  const serve::SubmitOutcome low = client.submit(fastSpec(2), 0);
+  const serve::SubmitOutcome high = client.submit(fastSpec(3), 5);
+  ASSERT_TRUE(blocker.accepted && low.accepted && high.accepted);
+  ASSERT_TRUE(daemon.scheduler().drain(120.0));
+
+  // The high-priority job must have started before the low-priority one
+  // submitted ahead of it; the per-job event logs carry the start stamps.
+  auto startedAt = [&](const std::string& id) {
+    std::ifstream in((fs::path(dir) / "jobs" / id / "events.jsonl").string());
+    std::string line;
+    while (std::getline(in, line)) {
+      const support::Json event = support::Json::parse(line);
+      if (event.at("event").asString() == "started")
+        return event.at("t_unix").asNumber();
+    }
+    ADD_FAILURE() << "no started event for " << id;
+    return 0.0;
+  };
+  EXPECT_LT(startedAt(high.id), startedAt(low.id));
+  daemon.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: same seeds, bitwise-same artifacts, any scheduling order.
+
+TEST(Determinism, ConcurrentSubmitsMatchSerialBitwise) {
+  const std::vector<std::uint64_t> seeds{1, 2, 3, 4};
+
+  serve::Daemon parallelDaemon(
+      daemonOptions(freshDir("det-parallel"), /*workers=*/4));
+  serve::Daemon serialDaemon(
+      daemonOptions(freshDir("det-serial"), /*workers=*/1));
+  parallelDaemon.start();
+  serialDaemon.start();
+  serve::Client parallelClient("127.0.0.1", parallelDaemon.port());
+  serve::Client serialClient("127.0.0.1", serialDaemon.port());
+
+  std::vector<std::string> parallelIds, serialIds;
+  for (std::uint64_t seed : seeds) {
+    parallelIds.push_back(parallelClient.submit(gde3Spec(seed)).id);
+    serialIds.push_back(serialClient.submit(gde3Spec(seed)).id);
+  }
+  ASSERT_TRUE(parallelDaemon.scheduler().drain(300.0));
+  ASSERT_TRUE(serialDaemon.scheduler().drain(300.0));
+
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const serve::JobInfo p = parallelClient.status(parallelIds[i]);
+    const serve::JobInfo s = serialClient.status(serialIds[i]);
+    ASSERT_EQ(p.state, serve::JobState::Done) << "seed " << seeds[i];
+    ASSERT_EQ(s.state, serve::JobState::Done) << "seed " << seeds[i];
+    EXPECT_EQ(canonicalArtifact(autotune::loadArtifact(p.artifactPath)),
+              canonicalArtifact(autotune::loadArtifact(s.artifactPath)))
+        << "seed " << seeds[i]
+        << ": artifact depends on worker count / dequeue order";
+  }
+  parallelDaemon.stop();
+  serialDaemon.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Crash-restart resume.
+
+TEST(Resume, RestartFinishesInterruptedJobBitIdentically) {
+  // Golden: the same spec run uninterrupted (no daemon involved).
+  const serve::JobSpec spec = gde3Spec(42);
+  std::string golden;
+  {
+    tuning::KernelTuningProblem problem = serve::problemFromSpec(spec);
+    autotune::AutoTuner tuner(serve::tunerOptionsFromSpec(
+        spec, freshDir("resume-golden") + "/session", 1, 1));
+    golden = canonicalArtifact(autotune::makeArtifact(tuner.tune(problem),
+                                                      problem));
+  }
+
+  // Simulate a daemon killed mid-job: persist the job, then run its search
+  // with a stop request that fires after the first generation — the
+  // journal is left checkpointed but unfinished, exactly as a SIGKILL
+  // between checkpoints leaves it (no artifact, no terminal marker).
+  const std::string dir = freshDir("resume-state");
+  std::string id;
+  {
+    serve::JobStore store(dir);
+    id = store.persistNewJob(spec, 0, 1.0);
+    tuning::KernelTuningProblem problem = serve::problemFromSpec(spec);
+    autotune::TunerOptions options =
+        serve::tunerOptionsFromSpec(spec, store.sessionDir(id), 1, 1);
+    options.stopRequested = [] { return true; };
+    autotune::AutoTuner tuner(std::move(options));
+    (void)tuner.tune(problem);
+    ASSERT_TRUE(session::sessionExists(store.sessionDir(id)));
+  }
+
+  // Restart: the daemon recovers the job, resumes its session and
+  // completes it with the identical artifact.
+  serve::Daemon daemon(daemonOptions(dir, 1));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+  const serve::JobInfo info = client.await(id, 120.0);
+  EXPECT_EQ(info.state, serve::JobState::Done);
+  EXPECT_GE(info.resumes, 1);
+  EXPECT_EQ(canonicalArtifact(autotune::loadArtifact(info.artifactPath)),
+            golden);
+  daemon.stop();
+}
+
+TEST(Resume, RecoveredDoneJobsServeResultsWithoutRerun) {
+  const std::string dir = freshDir("resume-done");
+  std::string id;
+  {
+    serve::Daemon daemon(daemonOptions(dir, 1));
+    daemon.start();
+    serve::Client client("127.0.0.1", daemon.port());
+    id = client.submit(fastSpec(7)).id;
+    client.await(id, 60.0);
+    daemon.stop();
+  }
+  serve::Daemon daemon(daemonOptions(dir, 1));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+  const serve::JobInfo info = client.status(id);
+  EXPECT_EQ(info.state, serve::JobState::Done);
+  EXPECT_GT(info.evaluations, 0u);
+  EXPECT_NO_THROW(client.result(id));
+  daemon.stop();
+}

@@ -11,6 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
 namespace motune::tuning {
 namespace {
@@ -287,6 +290,114 @@ TEST(Validation, DeduplicatesClampedConfigsAndHonorsCap) {
   EXPECT_EQ(validateAgainstCachesim(mm, machine::westmere(), many, {2, 0})
                 .size(),
             2u);
+}
+
+/// Objective function whose evaluate() blocks until released — lets tests
+/// freeze a leader mid-evaluation and race reset()/preload() against its
+/// publish step deterministically.
+class GatedFn final : public ObjectiveFunction {
+public:
+  std::size_t numObjectives() const override { return 2; }
+  const std::vector<ParamSpec>& space() const override { return space_; }
+  Objectives evaluate(const Config& c) override {
+    {
+      std::unique_lock lock(mutex_);
+      ++entered_;
+      enteredCv_.notify_all();
+      releaseCv_.wait(lock, [this] { return released_; });
+    }
+    return {static_cast<double>(c[0]), 10.0 - static_cast<double>(c[0])};
+  }
+  void waitForEntry(int n) {
+    std::unique_lock lock(mutex_);
+    enteredCv_.wait(lock, [&] { return entered_ >= n; });
+  }
+  void release() {
+    std::lock_guard lock(mutex_);
+    released_ = true;
+    releaseCv_.notify_all();
+  }
+
+private:
+  std::vector<ParamSpec> space_{{"x", 0, 10}};
+  std::mutex mutex_;
+  std::condition_variable enteredCv_, releaseCv_;
+  int entered_ = 0;
+  bool released_ = false;
+};
+
+TEST(CountingEvaluator, ResetRacingLeaderPublishDoesNotInflateCounts) {
+  GatedFn fn;
+  CountingEvaluator counter(fn);
+  std::atomic<int> listenerCalls{0};
+  counter.setListener([&](const Config&, const Objectives&) {
+    listenerCalls.fetch_add(1);
+  });
+
+  // Leader blocks inside fn.evaluate({3}); reset() clears the memo while
+  // the evaluation is in flight. The leader still returns its value to its
+  // caller, but the result no longer belongs to the (new) memo epoch: it
+  // must be neither counted as a unique evaluation nor journaled —
+  // otherwise a resumed session replays a phantom eval record and E drifts
+  // from the uninterrupted run.
+  std::thread leader([&] {
+    const Objectives obj = counter.evaluate({3});
+    EXPECT_DOUBLE_EQ(obj[0], 3.0);
+  });
+  fn.waitForEntry(1);
+  counter.reset();
+  fn.release();
+  leader.join();
+
+  EXPECT_EQ(counter.evaluations(), 0u)
+      << "stale leader publish counted after reset()";
+  EXPECT_EQ(listenerCalls.load(), 0)
+      << "stale leader publish reached the journal listener";
+
+  // The next evaluation of the same config is a fresh unique eval.
+  counter.evaluate({3});
+  EXPECT_EQ(counter.evaluations(), 1u);
+  EXPECT_EQ(listenerCalls.load(), 1);
+}
+
+TEST(CountingEvaluator, PreloadLosesToInFlightEvaluation) {
+  GatedFn fn;
+  CountingEvaluator counter(fn);
+
+  std::thread leader([&] {
+    const Objectives obj = counter.evaluate({4});
+    EXPECT_DOUBLE_EQ(obj[1], 6.0);
+  });
+  fn.waitForEntry(1);
+  // A daemon-restart preload racing a live evaluation of the same config
+  // must not clobber the pending slot: the leader's identical result wins
+  // and the preload reports "already known".
+  EXPECT_FALSE(counter.preload({4}, {99.0, 99.0}));
+  fn.release();
+  leader.join();
+
+  EXPECT_EQ(counter.evaluations(), 1u);
+  const Objectives cached = counter.evaluate({4});
+  EXPECT_DOUBLE_EQ(cached[0], 4.0) << "preload overwrote the live result";
+  EXPECT_EQ(counter.evaluations(), 1u);
+}
+
+TEST(CountingEvaluator, IndependentInstancesAreIsolated) {
+  // The serve daemon runs one evaluator per job; their memo, counters and
+  // listeners must not bleed into each other even over the same inner fn.
+  ToyFn fn;
+  CountingEvaluator a(fn);
+  CountingEvaluator b(fn);
+  a.evaluate({3});
+  a.evaluate({5});
+  b.evaluate({3});
+  EXPECT_EQ(a.evaluations(), 2u);
+  EXPECT_EQ(b.evaluations(), 1u);
+  EXPECT_TRUE(b.preload({7}, {7.0, 3.0}));
+  EXPECT_EQ(b.evaluations(), 2u);
+  EXPECT_EQ(a.evaluations(), 2u) << "preload leaked across instances";
+  a.reset();
+  EXPECT_EQ(b.evaluations(), 2u) << "reset leaked across instances";
 }
 
 } // namespace

@@ -1,26 +1,92 @@
 #!/usr/bin/env bash
 # Crash-safety check for durable tuning sessions: SIGKILL a checkpointed
-# `motune tune` mid-run, resume it, and assert the resumed artifact is
+# run mid-flight, resume it, and assert the resumed artifact is
 # bit-identical to an uninterrupted golden run (modulo the session
 # provenance block, which legitimately records the resume).
 #
-# Usage: kill_resume_check.sh /path/to/motune [WORKDIR]
+# Usage: kill_resume_check.sh /path/to/motune [WORKDIR] [MODE]
+#   MODE          "tune" (default): SIGKILL a checkpointed `motune tune`,
+#                 resume with --resume, diff against an uninterrupted run.
+#                 "serve": SIGKILL a `motune serve` daemon mid-load (a
+#                 burst of checkpointed jobs in flight), restart it on the
+#                 same state dir, and diff every job's artifact against a
+#                 golden uninterrupted daemon run.
 #   KILL_AFTER    seconds before the SIGKILL (default 1.2)
 #   EVAL_DELAY    injected per-evaluation delay that stretches the victim
 #                 run so the kill lands mid-search (default 0.002)
+#   SERVE_PORT    fixed port for serve mode (default 7831)
+#   SERVE_JOBS    burst size for serve mode (default 12)
 #
-# Registered as the ctest `kill_resume_check` and run by the CI
-# `kill-resume` job. Deterministic by construction: wherever the kill
-# lands — before the first checkpoint, mid-generation, or between
-# checkpoints — resume replays the deterministic search over the journaled
-# evaluations and must reach the identical front.
+# Registered as the ctest `kill_resume_check` / `kill_resume_serve_check`
+# and run by the CI `kill-resume` and `serve-gate` jobs. Deterministic by
+# construction: wherever the kill lands — before the first checkpoint,
+# mid-generation, or between checkpoints — resume replays the
+# deterministic search over the journaled evaluations and must reach the
+# identical front.
 set -euo pipefail
 
-MOTUNE="${1:?usage: kill_resume_check.sh /path/to/motune [workdir]}"
+MOTUNE="${1:?usage: kill_resume_check.sh /path/to/motune [workdir] [tune|serve]}"
 WORK="${2:-$(mktemp -d)}"
+MODE="${3:-tune}"
 HERE="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 KILL_AFTER="${KILL_AFTER:-1.2}"
 EVAL_DELAY="${EVAL_DELAY:-0.002}"
+SERVE_PORT="${SERVE_PORT:-7831}"
+SERVE_JOBS="${SERVE_JOBS:-12}"
+
+if [ "$MODE" = "serve" ]; then
+  mkdir -p "$WORK"
+  rm -rf "$WORK/golden_state" "$WORK/victim_state" \
+         "$WORK/golden_artifacts" "$WORK/resumed_artifacts" "$WORK/ids.json"
+  LOAD=(python3 "$HERE/loadtest_serve.py" --port "$SERVE_PORT"
+        --jobs "$SERVE_JOBS" --seeds "$SERVE_JOBS" --threads 4
+        --algorithm rsgde3 --timeout 600)
+
+  echo "== golden daemon run (uninterrupted)"
+  "$MOTUNE" serve --dir "$WORK/golden_state" --port "$SERVE_PORT" \
+    --workers 2 --queue-capacity 64 > "$WORK/golden.log" 2>&1 &
+  GOLDEN=$!
+  sleep 0.5
+  "${LOAD[@]}" --artifacts-dir "$WORK/golden_artifacts"
+  "$MOTUNE" jobs --port "$SERVE_PORT" --shutdown > /dev/null
+  wait "$GOLDEN" 2> /dev/null || true
+
+  echo "== victim daemon (${EVAL_DELAY}s injected per evaluation)"
+  MOTUNE_FAULT_SPEC="delay@*:${EVAL_DELAY}" \
+    "$MOTUNE" serve --dir "$WORK/victim_state" --port "$SERVE_PORT" \
+    --workers 2 --queue-capacity 64 > "$WORK/victim.log" 2>&1 &
+  VICTIM=$!
+  sleep 0.5
+  "${LOAD[@]}" --phase submit --ids-file "$WORK/ids.json"
+  sleep "$KILL_AFTER"
+  kill -KILL "$VICTIM" 2> /dev/null && echo "   SIGKILL delivered after ${KILL_AFTER}s"
+  wait "$VICTIM" 2> /dev/null || true
+
+  FINISHED=$(find "$WORK/victim_state/jobs" -name artifact.json 2> /dev/null | wc -l)
+  echo "   $FINISHED/$SERVE_JOBS jobs had finished at kill time"
+  if [ "$FINISHED" -ge "$SERVE_JOBS" ]; then
+    echo "ERROR: the burst outpaced the kill; raise EVAL_DELAY or SERVE_JOBS" >&2
+    exit 1
+  fi
+
+  echo "== restart on the same state dir; in-flight jobs must resume"
+  "$MOTUNE" serve --dir "$WORK/victim_state" --port "$SERVE_PORT" \
+    --workers 2 --queue-capacity 64 > "$WORK/restart.log" 2>&1 &
+  RESTART=$!
+  sleep 0.5
+  "${LOAD[@]}" --phase await --ids-file "$WORK/ids.json" \
+    --artifacts-dir "$WORK/resumed_artifacts"
+  "$MOTUNE" jobs --port "$SERVE_PORT" --shutdown > /dev/null
+  wait "$RESTART" 2> /dev/null || true
+
+  echo "== compare every job against the golden run"
+  for golden in "$WORK/golden_artifacts/"*.json; do
+    python3 "$HERE/compare_artifacts.py" "$golden" \
+      "$WORK/resumed_artifacts/$(basename "$golden")" --ignore session
+  done
+  echo "serve kill-resume check passed"
+  exit 0
+fi
 
 TUNE_ARGS=(tune --kernel mm --n 600 --seed 7)
 mkdir -p "$WORK"

@@ -50,6 +50,21 @@
 //   motune fuzz --repro FILE [--no-native]
 //       Replay a repro file: re-parse the program, re-apply the recorded
 //       transform steps, re-run the oracle; exit 1 if it still disagrees.
+//   motune serve --dir STATE [--port P] [--workers N] [...]
+//       Run the multi-tenant tuning daemon (docs/serve.md): accepts
+//       concurrent tuning jobs over a length-prefixed JSON socket
+//       protocol, persists every job under STATE/, and resumes in-flight
+//       jobs bit-identically after a crash or SIGKILL.
+//   motune submit --port P [tune flags] [--priority N] [--wait]
+//       Submit one tuning job to a running daemon. The job spec uses the
+//       same flags as `motune tune` (kernel, machine, n, algorithm, seed,
+//       objectives, budget). Exit 4 when the daemon sheds load (queue
+//       full); retry after the printed delay.
+//   motune jobs --port P [--id ID | --result ID | --cancel ID | --stats |
+//                --shutdown]
+//       Inspect or control a running daemon: list jobs (default), show one
+//       job, fetch a finished job's artifact, cancel, dump daemon stats,
+//       or ask the daemon to shut down.
 #include "analyzer/dependence.h"
 #include "analyzer/region.h"
 #include "autotune/artifact.h"
@@ -62,10 +77,15 @@
 #include "observe/metrics.h"
 #include "observe/report.h"
 #include "observe/trace.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/job.h"
 #include "support/check.h"
 #include "support/table.h"
 #include "verify/fuzz.h"
 
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -91,7 +111,8 @@ struct Args {
 
 /// Options that are pure flags (present/absent, no value token).
 bool isFlagOption(const std::string& key) {
-  return key == "no-native" || key == "help";
+  return key == "no-native" || key == "help" || key == "wait" ||
+         key == "stats" || key == "shutdown";
 }
 
 // ---------------------------------------------------------------------------
@@ -201,6 +222,55 @@ const std::vector<CommandHelp>& commandHelp() {
            {"trace", "FILE", "stream the structured run trace; - = stdout"},
            {"trace-format", "FMT", "jsonl (default) or chrome"},
            {"metrics", "FILE", "write the final metric registry as JSON"},
+       }},
+      {"serve", "run the multi-tenant tuning daemon",
+       "motune serve --dir STATE [options]",
+       {
+           {"dir", "STATE",
+            "durable state directory; jobs resume from it after a crash "
+            "(required)"},
+           {"host", "ADDR", "bind address (default: 127.0.0.1)"},
+           {"port", "P", "TCP port; 0 = pick an ephemeral port (default: 0)"},
+           {"workers", "N", "concurrent tuning jobs (default: 2)"},
+           {"queue-capacity", "N",
+            "queued jobs admitted before submits are shed (default: 64)"},
+           {"job-threads", "N", "evaluation workers per job (default: 1)"},
+           {"checkpoint-every", "N",
+            "generations between job checkpoints (default: 1)"},
+           {"retry-after", "S",
+            "retry hint returned with queue-full rejections (default: 0.5)"},
+       }},
+      {"submit", "submit one tuning job to a running daemon",
+       "motune submit [--port P] [tune flags] [--priority N] [--wait]",
+       {
+           {"host", "ADDR", "daemon address (default: 127.0.0.1)"},
+           {"port", "P", "daemon TCP port (required)"},
+           {"kernel", "NAME", "built-in kernel to tune (default: mm)"},
+           {"machine", "NAME", "westmere or barcelona (default: westmere)"},
+           {"n", "N", "problem size; 0 = the kernel's paper size"},
+           {"algorithm", "NAME",
+            "rsgde3 (default), gde3, nsga2 or random"},
+           {"seed", "S", "RNG seed for the search (default: 1)"},
+           {"objectives", "LIST",
+            "comma list of time,resources,energy (default: time,resources)"},
+           {"budget", "N", "evaluation budget for --algorithm random"},
+           {"priority", "N",
+            "scheduling priority; higher runs first (default: 0)"},
+           {"wait", "", "block until the job finishes and print the front"},
+           {"out", "FILE", "with --wait: save the artifact here"},
+       }},
+      {"jobs", "inspect or control a running daemon",
+       "motune jobs [--port P] [--id ID | --result ID | --cancel ID | "
+       "--stats | --shutdown]",
+       {
+           {"host", "ADDR", "daemon address (default: 127.0.0.1)"},
+           {"port", "P", "daemon TCP port (required)"},
+           {"id", "ID", "show one job instead of the full listing"},
+           {"result", "ID", "fetch a finished job's artifact JSON"},
+           {"out", "FILE", "with --result: save the artifact here"},
+           {"cancel", "ID", "cancel a queued or running job"},
+           {"stats", "", "dump the daemon's metrics snapshot as JSON"},
+           {"shutdown", "", "ask the daemon to shut down gracefully"},
        }},
   };
   return table;
@@ -679,6 +749,158 @@ int cmdFuzz(const Args& args) {
   return 1;
 }
 
+// ---------------------------------------------------------------------------
+// The tuning daemon (docs/serve.md).
+
+std::atomic<bool> g_interrupted{false};
+void onSignal(int) { g_interrupted.store(true); }
+
+int cmdServe(const Args& args) {
+  MOTUNE_CHECK_MSG(args.has("dir"), "serve needs --dir STATE");
+  serve::DaemonOptions options;
+  options.stateDir = args.options.at("dir");
+  options.host = args.get("host", "127.0.0.1");
+  options.port = std::stoi(args.get("port", "0"));
+  options.scheduler.workers =
+      static_cast<unsigned>(std::stoul(args.get("workers", "2")));
+  options.scheduler.queueCapacity = std::stoull(args.get("queue-capacity",
+                                                         "64"));
+  options.scheduler.jobThreads =
+      static_cast<unsigned>(std::stoul(args.get("job-threads", "1")));
+  options.scheduler.checkpointEvery =
+      std::stoi(args.get("checkpoint-every", "1"));
+  options.scheduler.retryAfterSeconds = std::stod(args.get("retry-after",
+                                                           "0.5"));
+  MOTUNE_CHECK_MSG(options.scheduler.checkpointEvery >= 1,
+                   "--checkpoint-every must be >= 1");
+
+  serve::Daemon daemon(options);
+  daemon.start();
+  std::cout << "motune daemon on " << options.host << ":" << daemon.port()
+            << ", state dir " << options.stateDir << ", "
+            << options.scheduler.workers << " worker"
+            << (options.scheduler.workers == 1 ? "" : "s") << "\n"
+            << std::flush;
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  while (!daemon.waitForShutdown(0.1))
+    if (g_interrupted.load()) break;
+  std::cout << "shutting down (running jobs finish first) ...\n";
+  daemon.stop();
+  return 0;
+}
+
+/// JobSpec from the shared tune-flag vocabulary (`motune submit` accepts
+/// exactly the spec flags `motune tune` does).
+serve::JobSpec specFromArgs(const Args& args) {
+  serve::JobSpec spec;
+  spec.kernel = args.get("kernel", "mm");
+  spec.machine = args.get("machine", "westmere");
+  spec.n = std::stoll(args.get("n", "0"));
+  spec.algorithm = args.get("algorithm", "rsgde3");
+  spec.seed = std::stoull(args.get("seed", "1"));
+  spec.objectives = parseObjectives(args.get("objectives", "time,resources"));
+  spec.budget = std::stoull(args.get("budget", "1000"));
+  return spec;
+}
+
+int cmdSubmit(const Args& args) {
+  MOTUNE_CHECK_MSG(args.has("port"), "submit needs --port P");
+  serve::Client client(args.get("host", "127.0.0.1"),
+                       std::stoi(args.options.at("port")));
+  const serve::JobSpec spec = specFromArgs(args);
+  const int priority = std::stoi(args.get("priority", "0"));
+  const serve::SubmitOutcome outcome = client.submit(spec, priority);
+  if (!outcome.accepted) {
+    std::cerr << "rejected: " << outcome.error;
+    if (outcome.retryAfterSeconds > 0)
+      std::cerr << " (retry after " << outcome.retryAfterSeconds << "s)";
+    std::cerr << "\n";
+    return 4; // distinct exit code: backpressure, not an error in the spec
+  }
+  std::cout << outcome.id << "\n";
+  if (!args.has("wait")) return 0;
+
+  const serve::JobInfo info = client.await(outcome.id);
+  if (info.state == serve::JobState::Failed) {
+    std::cerr << "job " << info.id << " failed: " << info.error << "\n";
+    return 1;
+  }
+  if (info.state == serve::JobState::Cancelled) {
+    std::cerr << "job " << info.id << " was cancelled\n";
+    return 1;
+  }
+  std::cout << info.evaluations << " evaluations, V(S) = "
+            << support::fmt(info.hypervolume, 3) << ", " << info.frontSize
+            << " Pareto-optimal versions ("
+            << support::fmt(info.runSeconds, 2) << "s run)\n";
+  if (args.has("out")) {
+    const support::Json artifact = client.result(info.id);
+    std::ofstream out(args.options.at("out"));
+    MOTUNE_CHECK_MSG(out.good(), "cannot write " + args.options.at("out"));
+    out << artifact.dump(2) << "\n";
+    std::cout << "artifact written to " << args.options.at("out") << "\n";
+  }
+  return 0;
+}
+
+int cmdJobs(const Args& args) {
+  MOTUNE_CHECK_MSG(args.has("port"), "jobs needs --port P");
+  serve::Client client(args.get("host", "127.0.0.1"),
+                       std::stoi(args.options.at("port")));
+
+  if (args.has("shutdown")) {
+    client.shutdown();
+    std::cout << "shutdown requested\n";
+    return 0;
+  }
+  if (args.has("stats")) {
+    std::cout << client.stats().dump(2) << "\n";
+    return 0;
+  }
+  if (args.has("cancel")) {
+    std::cout << client.cancel(args.options.at("cancel")) << "\n";
+    return 0;
+  }
+  if (args.has("result")) {
+    const support::Json artifact = client.result(args.options.at("result"));
+    if (args.has("out")) {
+      std::ofstream out(args.options.at("out"));
+      MOTUNE_CHECK_MSG(out.good(), "cannot write " + args.options.at("out"));
+      out << artifact.dump(2) << "\n";
+      std::cout << "artifact written to " << args.options.at("out") << "\n";
+    } else {
+      std::cout << artifact.dump(2) << "\n";
+    }
+    return 0;
+  }
+
+  const std::vector<serve::JobInfo> jobs =
+      args.has("id") ? std::vector<serve::JobInfo>{client.status(
+                           args.options.at("id"))}
+                     : client.list();
+  support::TextTable table;
+  table.setHeader({"id", "state", "kernel", "n", "algorithm", "seed", "prio",
+                   "queue", "run", "evals", "V(S)"});
+  for (const serve::JobInfo& job : jobs) {
+    const bool done = job.state == serve::JobState::Done;
+    table.addRow({job.id, serve::jobStateName(job.state), job.spec.kernel,
+                  std::to_string(job.spec.n), job.spec.algorithm,
+                  std::to_string(job.spec.seed),
+                  std::to_string(job.priority),
+                  support::fmt(job.queueSeconds, 2) + "s",
+                  support::fmt(job.runSeconds, 2) + "s",
+                  done ? std::to_string(job.evaluations) : "-",
+                  done ? support::fmt(job.hypervolume, 3) : "-"});
+  }
+  std::cout << table.render();
+  for (const serve::JobInfo& job : jobs)
+    if (job.state == serve::JobState::Failed)
+      std::cout << job.id << " error: " << job.error << "\n";
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -700,6 +922,9 @@ int main(int argc, char** argv) {
     if (args.command == "codegen") return cmdCodegen(args);
     if (args.command == "predict") return cmdPredict(args);
     if (args.command == "fuzz") return cmdFuzz(args);
+    if (args.command == "serve") return cmdServe(args);
+    if (args.command == "submit") return cmdSubmit(args);
+    if (args.command == "jobs") return cmdJobs(args);
     std::cerr << "unknown command: " << args.command << "\n";
     printGlobalHelp();
     return 2;
