@@ -160,9 +160,26 @@ int main(int argc, char** argv) {
   const double submitSeconds =
       std::chrono::duration<double>(clock::now() - submitStart).count();
 
+  // One live subscriber rides along for the rest of the burst: the gate
+  // measures job latency with the streaming plane active, pinning the
+  // contract that a subscriber never slows the scheduler. It watches the
+  // last acked job, so it stays subscribed for most of the drain.
+  std::uint64_t subscriberFrames = 0;
+  std::thread subscriber([&daemon, watchId = ids.back(),
+                          &subscriberFrames] {
+    serve::Client sub("127.0.0.1", daemon.port());
+    const serve::StreamEnd end = sub.subscribe(
+        watchId, [&subscriberFrames](const support::Json&) {
+          ++subscriberFrames;
+        });
+    MOTUNE_CHECK_MSG(end.state == "done",
+                     "subscribed job ended " + end.state);
+  });
+
   // Drain: end-to-end completion of the whole burst.
   MOTUNE_CHECK_MSG(daemon.scheduler().drain(600.0),
                    "burst did not drain in 600s");
+  subscriber.join();
   const double wallSeconds =
       std::chrono::duration<double>(clock::now() - submitStart).count();
 
@@ -172,6 +189,8 @@ int main(int argc, char** argv) {
     if (info.state == serve::JobState::Done) ++done;
   MOTUNE_CHECK_MSG(done == jobs, "lost results: " + std::to_string(done) +
                                      "/" + std::to_string(jobs) + " done");
+  std::cout << "  live subscriber saw " << subscriberFrames
+            << " stream frames\n";
 
   const support::Json stats = client.stats();
   const double p50 = stats.at("total_seconds").at("p50").asNumber();

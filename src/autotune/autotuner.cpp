@@ -76,11 +76,13 @@ AutoTuner::optimizeImpl(tuning::ObjectiveFunction& fn,
     target = &*tolerant;
   }
 
-  // Cancellation hooks for hook-less (non-session) GDE3-family runs.
+  // Cancellation/progress hooks for hook-less (non-session) GDE3-family
+  // runs.
   opt::RunHooks stopOnly;
   stopOnly.shouldStop = options_.stopRequested;
+  stopOnly.onGeneration = options_.onProgress;
   const opt::RunHooks* stopHooks =
-      options_.stopRequested ? &stopOnly : nullptr;
+      options_.stopRequested || options_.onProgress ? &stopOnly : nullptr;
 
   const bool useSession = !options_.session.directory.empty();
   if (!useSession) {
@@ -163,6 +165,7 @@ AutoTuner::optimizeImpl(tuning::ObjectiveFunction& fn,
     writer->recordCheckpoint(state, generation, engine.engine().evaluations());
   };
   hooks.shouldStop = options_.stopRequested;
+  hooks.onGeneration = options_.onProgress;
   if (resumed.has_value() && resumed->checkpoint.has_value())
     hooks.resumeState = &*resumed->checkpoint;
 

@@ -64,6 +64,11 @@ struct TunerOptions {
   /// returns its partial snapshot; the serve daemon uses this to cancel
   /// running jobs without tearing down worker threads.
   std::function<bool()> stopRequested;
+  /// Live per-generation telemetry (GDE3-family engines only), forwarded
+  /// from opt::RunHooks::onGeneration. Runs on the search thread between
+  /// generations — must be cheap and never block (the daemon uses it to
+  /// publish progress frames to subscribers).
+  std::function<void(const opt::GenerationProgress&)> onProgress;
 };
 
 /// Where a tuning result came from when it ran under a session — recorded

@@ -76,6 +76,15 @@ public:
   int generationsDone() const { return generations_; }
   std::uint64_t evaluations() const { return counter_.evaluations(); }
 
+  /// Live progress accessors (per-generation streaming): best archive-front
+  /// hypervolume so far, the latest generation's hypervolume, and the size
+  /// of the latest archive front.
+  double bestHypervolume() const { return bestHv_; }
+  double lastHypervolume() const {
+    return hvHistory_.empty() ? 0.0 : hvHistory_.back();
+  }
+  std::size_t lastFrontSize() const { return lastFrontConfigs_.size(); }
+
   /// Complete engine state as one JSON document: population, archive,
   /// hypervolume normalization, stagnation bookkeeping, current boundary
   /// and the exact RNG stream position. restore() of this state into a

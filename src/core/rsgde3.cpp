@@ -87,6 +87,15 @@ OptResult RSGDE3::run(const RunHooks* hooks) {
          engine_.generationsDone() < maxGenerations_) {
     if (hooks != nullptr && hooks->shouldStop && hooks->shouldStop()) break;
     flat_ = engine_.step() ? 0 : flat_ + 1;
+    if (hooks != nullptr && hooks->onGeneration) {
+      GenerationProgress progress;
+      progress.generation = engine_.generationsDone();
+      progress.hypervolume = engine_.bestHypervolume();
+      progress.genHypervolume = engine_.lastHypervolume();
+      progress.frontSize = engine_.lastFrontSize();
+      progress.evaluations = engine_.evaluations();
+      hooks->onGeneration(progress);
+    }
     if (options_.reductionEnabled) reduceAndRecord();
     if (checkpointing && ++sinceCheckpoint >= every) {
       hooks->checkpoint(serialize(), engine_.generationsDone());

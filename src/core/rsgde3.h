@@ -26,6 +26,16 @@ struct RSGDE3Options {
                                ///< gde3.maxGenerations
 };
 
+/// Per-generation progress snapshot handed to RunHooks::onGeneration —
+/// the live-streaming payload (daemon subscribe verb, `motune top`).
+struct GenerationProgress {
+  int generation = 0;
+  double hypervolume = 0.0;    ///< best archive-front HV so far
+  double genHypervolume = 0.0; ///< this generation's HV
+  std::size_t frontSize = 0;   ///< archive front size after this generation
+  std::uint64_t evaluations = 0;
+};
+
 /// Checkpoint/resume callbacks for RSGDE3::run(). All state passes through
 /// as opaque JSON so the caller decides where it lives (the session journal
 /// writes one JSONL record per checkpoint).
@@ -43,6 +53,10 @@ struct RunHooks {
   /// tearing down its thread. The snapshot returned is the usual partial
   /// result — callers that cancel typically discard it.
   std::function<bool()> shouldStop;
+  /// Live telemetry: invoked after every completed generation with the
+  /// current search trajectory. Must be cheap and non-blocking — it runs
+  /// on the search thread between generations.
+  std::function<void(const GenerationProgress&)> onGeneration;
 };
 
 class RSGDE3 {

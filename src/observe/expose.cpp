@@ -1,0 +1,68 @@
+#include "observe/expose.h"
+
+#include "observe/metrics.h"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace motune::observe {
+
+namespace {
+
+/// Prometheus sample values: full double precision, but "NaN"/"+Inf"/"-Inf"
+/// spellings for the non-finite cases the text format defines.
+std::string sampleValue(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+void writeHelpType(std::ostream& out, const std::string& name,
+                   const char* type) {
+  out << "# TYPE " << name << ' ' << type << '\n';
+}
+
+} // namespace
+
+std::string prometheusName(const std::string& name) {
+  std::string out = "motune_";
+  for (char c : name) {
+    const bool valid = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                       c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  return out;
+}
+
+std::string renderPrometheus(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  registry.eachCounter([&](const std::string& name, const Counter& c) {
+    const std::string metric = prometheusName(name) + "_total";
+    writeHelpType(out, metric, "counter");
+    out << metric << ' ' << c.value() << '\n';
+  });
+  registry.eachGauge([&](const std::string& name, const Gauge& g) {
+    const std::string metric = prometheusName(name);
+    writeHelpType(out, metric, "gauge");
+    out << metric << ' ' << sampleValue(g.value()) << '\n';
+  });
+  registry.eachHistogram([&](const std::string& name, const Histogram& h) {
+    const Histogram::Snapshot s = h.snapshot();
+    const std::string metric = prometheusName(name);
+    writeHelpType(out, metric, "summary");
+    if (s.count > 0) {
+      out << metric << "{quantile=\"0.5\"} " << sampleValue(s.p50()) << '\n';
+      out << metric << "{quantile=\"0.9\"} " << sampleValue(s.p90()) << '\n';
+      out << metric << "{quantile=\"0.99\"} " << sampleValue(s.p99()) << '\n';
+    }
+    out << metric << "_sum " << sampleValue(s.sum) << '\n';
+    out << metric << "_count " << s.count << '\n';
+  });
+  return out.str();
+}
+
+} // namespace motune::observe

@@ -1,0 +1,23 @@
+// Prometheus text exposition (format version 0.0.4) for the metric
+// registry. The daemon's `stats --format prometheus` verb and the CI
+// serve-gate scrape use this to publish every counter, gauge and DDSketch
+// histogram (as a quantile summary) without taking on a client library.
+#pragma once
+
+#include <string>
+
+namespace motune::observe {
+
+class MetricsRegistry;
+
+/// Sanitizes a metric name into the Prometheus grammar:
+/// `motune_` prefix, dots and other invalid characters to underscores.
+std::string prometheusName(const std::string& name);
+
+/// Renders the whole registry as Prometheus text exposition:
+/// counters as `motune_<name>_total`, gauges plainly, histograms as
+/// summaries (`{quantile="0.5|0.9|0.99"}` samples plus `_sum`/`_count`).
+/// Deterministic ordering (registry iteration order is sorted by name).
+std::string renderPrometheus(const MetricsRegistry& registry);
+
+} // namespace motune::observe

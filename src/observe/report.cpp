@@ -199,10 +199,26 @@ Report buildReport(const std::vector<TraceRecord>& records,
             [attrInt(r.attrs, "version")];
     }
   }
-  std::sort(report.convergence.begin(), report.convergence.end(),
-            [](const GenerationPoint& a, const GenerationPoint& b) {
-              return a.gen < b.gen;
-            });
+  // A daemon job's trace.jsonl accumulates runs (appended across restarts),
+  // so generations can arrive out of order and a generation interrupted at
+  // a checkpoint boundary can appear twice. Order by generation keeping
+  // file order within ties, then keep only the last record of each
+  // generation — the resumed run's version of it.
+  std::stable_sort(report.convergence.begin(), report.convergence.end(),
+                   [](const GenerationPoint& a, const GenerationPoint& b) {
+                     return a.gen < b.gen;
+                   });
+  {
+    std::vector<GenerationPoint> unique;
+    unique.reserve(report.convergence.size());
+    for (const GenerationPoint& p : report.convergence) {
+      if (!unique.empty() && unique.back().gen == p.gen)
+        unique.back() = p;
+      else
+        unique.push_back(p);
+    }
+    report.convergence = std::move(unique);
+  }
 
   // ------------------------------------------------------ runtime threads
   std::map<std::uint32_t, ThreadActivity> threads;

@@ -22,7 +22,21 @@ struct OpenSpan {
 };
 thread_local std::vector<OpenSpan> tlsSpanStack;
 
+/// Active per-thread tracer override (see ScopedTracer).
+thread_local Tracer* tlsTracerOverride = nullptr;
+
 std::atomic<std::uint32_t> nextThreadId{1};
+
+/// True iff `path` exists, is non-empty, and its last byte is not '\n' —
+/// i.e. a crash tore the final line mid-write.
+bool hasTornTail(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good() || in.tellg() == std::streampos(0)) return false;
+  in.seekg(-1, std::ios::end);
+  char last = '\n';
+  in.read(&last, 1);
+  return last != '\n';
+}
 
 } // namespace
 
@@ -64,9 +78,14 @@ support::Json TraceRecord::toJson() const {
 
 JsonLinesSink::JsonLinesSink(std::ostream& out) : out_(&out) {}
 
-JsonLinesSink::JsonLinesSink(const std::string& path)
-    : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get()) {
-  MOTUNE_CHECK_MSG(owned_->good(), "cannot open trace file: " + path);
+JsonLinesSink::JsonLinesSink(const std::string& path, Mode mode) {
+  const bool sealTornTail = mode == Mode::Append && hasTornTail(path);
+  auto out = std::make_unique<std::ofstream>(
+      path, mode == Mode::Append ? std::ios::app : std::ios::trunc);
+  MOTUNE_CHECK_MSG(out->good(), "cannot open trace file: " + path);
+  if (sealTornTail) *out << '\n';
+  owned_ = std::move(out);
+  out_ = owned_.get();
 }
 
 void JsonLinesSink::write(const TraceRecord& record) {
@@ -245,6 +264,9 @@ void Tracer::addSink(std::shared_ptr<Sink> sink) {
                   {"clock", support::Json("steady")},
                   {"time_unit", support::Json("s")}};
   std::lock_guard lock(mutex_);
+  for (const auto& [key, value] : stamp_)
+    if (header.attrs.find(key) == header.attrs.end())
+      header.attrs[key] = value;
   sink->write(header);
   sinks_.push_back(std::move(sink));
   enabled_.store(true, std::memory_order_relaxed);
@@ -299,9 +321,22 @@ void Tracer::endSpan(Span& span) {
   emit(span.record_);
 }
 
+void Tracer::setStamp(support::JsonObject stamp) {
+  std::lock_guard lock(mutex_);
+  stamp_ = std::move(stamp);
+}
+
 void Tracer::emit(const TraceRecord& record) {
   std::lock_guard lock(mutex_);
-  for (const auto& sink : sinks_) sink->write(record);
+  if (stamp_.empty()) {
+    for (const auto& sink : sinks_) sink->write(record);
+    return;
+  }
+  TraceRecord stamped = record;
+  for (const auto& [key, value] : stamp_)
+    if (stamped.attrs.find(key) == stamped.attrs.end())
+      stamped.attrs[key] = value;
+  for (const auto& sink : sinks_) sink->write(stamped);
 }
 
 void Tracer::snapshotMetrics(const MetricsRegistry& registry) {
@@ -343,9 +378,9 @@ void Tracer::snapshotMetrics(const MetricsRegistry& registry) {
 
 void Tracer::drainRuntimeEvents() {
   // Only the process-wide tracer owns the runtime rings: instrumented
-  // runtime code reports to Tracer::global(), so draining into a private
-  // (test) tracer would misattribute records.
-  if (this == &Tracer::global() && enabled())
+  // runtime code reports to Tracer::process(), so draining into a private
+  // (per-job or test) tracer would misattribute records.
+  if (this == &Tracer::process() && enabled())
     RuntimeLog::global().drainInto(*this);
 }
 
@@ -356,8 +391,22 @@ void Tracer::flush() {
 }
 
 Tracer& Tracer::global() {
+  return tlsTracerOverride ? *tlsTracerOverride : process();
+}
+
+Tracer& Tracer::process() {
   static Tracer tracer;
   return tracer;
 }
+
+// ----------------------------------------------------------- scoped tracer
+
+ScopedTracer::ScopedTracer(Tracer* tracer) : previous_(tlsTracerOverride) {
+  tlsTracerOverride = tracer;
+}
+
+ScopedTracer::~ScopedTracer() { tlsTracerOverride = previous_; }
+
+Tracer* ScopedTracer::current() { return tlsTracerOverride; }
 
 } // namespace motune::observe

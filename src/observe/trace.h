@@ -67,8 +67,14 @@ public:
 /// Machine-readable backend: one compact JSON object per line.
 class JsonLinesSink final : public Sink {
 public:
+  /// Appending keeps records from a previous run of the same trace file
+  /// (daemon restarts after SIGKILL); a torn final line left by the crash
+  /// is sealed with a newline so the new run starts on a fresh line.
+  enum class Mode { Truncate, Append };
+
   explicit JsonLinesSink(std::ostream& out); ///< not owned
-  explicit JsonLinesSink(const std::string& path);
+  explicit JsonLinesSink(const std::string& path,
+                         Mode mode = Mode::Truncate);
   void write(const TraceRecord& record) override;
   void flush() override;
 
@@ -185,6 +191,17 @@ public:
     return nextId_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Starts span-id allocation at `base`. Per-job tracers seed a disjoint
+  /// id range (job number in the high bits) so ids never collide across
+  /// concurrent jobs or across the runs of one resumed job.
+  void seedIds(std::uint64_t base) {
+    nextId_.store(base, std::memory_order_relaxed);
+  }
+
+  /// Attributes merged into every record this tracer emits (job id, run
+  /// sequence). Set before attaching sinks; record-local keys win.
+  void setStamp(support::JsonObject stamp);
+
   /// Stitches a snapshot of every registry instrument into the trace as
   /// Counter/Gauge/Histogram records (run-level totals at end of run).
   void snapshotMetrics(const MetricsRegistry& registry);
@@ -195,8 +212,14 @@ public:
   /// Seconds since this tracer's epoch (construction time).
   double now() const;
 
-  /// Process-wide tracer the pipeline instrumentation reports to.
+  /// Tracer the pipeline instrumentation reports to: the thread's
+  /// ScopedTracer override when one is installed (per-job tracing in the
+  /// daemon), otherwise the process-wide tracer.
   static Tracer& global();
+
+  /// The process-wide tracer itself, ignoring thread overrides. Owns the
+  /// runtime event rings; the CLI attaches `--trace` sinks here.
+  static Tracer& process();
 
 private:
   friend class Span;
@@ -211,6 +234,26 @@ private:
   double wallEpochUnix_ = 0.0; ///< system_clock anchor, captured once
   mutable std::mutex mutex_;
   std::vector<std::shared_ptr<Sink>> sinks_;
+  support::JsonObject stamp_; ///< merged into every record (see setStamp)
+};
+
+/// RAII thread-local tracer override: while alive, Tracer::global() on this
+/// thread resolves to `tracer`. The daemon installs one per job worker so
+/// all instrumentation below (autotuner, evaluator, search engines) lands
+/// in the job's trace; ThreadPool::submit propagates the override into pool
+/// threads so parallel evaluations are captured too.
+class ScopedTracer {
+public:
+  explicit ScopedTracer(Tracer* tracer);
+  ~ScopedTracer();
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+  /// The calling thread's active override (nullptr when none).
+  static Tracer* current();
+
+private:
+  Tracer* previous_;
 };
 
 } // namespace motune::observe

@@ -22,7 +22,8 @@ void parallelForBlocked(
   if (nChunks == 1) {
     // Single-chunk runs (one worker, or total == 1) execute inline on the
     // caller; still record the chunk so single-core machines trace too.
-    observe::Tracer& tracer = observe::Tracer::global();
+    // Ring events report to the process tracer that owns the rings.
+    observe::Tracer& tracer = observe::Tracer::process();
     if (tracer.enabled()) {
       observe::RuntimeEvent event;
       event.kind = observe::RuntimeEvent::Kind::Chunk;
@@ -52,7 +53,7 @@ void parallelForBlocked(
       if (lo < hi) {
         // One relaxed load when tracing is off; when on, each chunk's
         // execution window lands in the executing worker's ring.
-        observe::Tracer& tracer = observe::Tracer::global();
+        observe::Tracer& tracer = observe::Tracer::process();
         if (tracer.enabled()) {
           observe::RuntimeEvent event;
           event.kind = observe::RuntimeEvent::Kind::Chunk;

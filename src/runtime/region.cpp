@@ -35,7 +35,8 @@ void Region::invokeVersion(std::size_t index) {
   MOTUNE_CHECK(index < table_.size());
   const mv::CodeVersion& version = table_[index];
   MOTUNE_CHECK_MSG(version.run != nullptr, "version has no executable body");
-  observe::Tracer& tracer = observe::Tracer::global();
+  // Ring events report to the process tracer that owns the rings.
+  observe::Tracer& tracer = observe::Tracer::process();
   const bool traced = tracer.enabled(); // one relaxed load when disabled
   const double traceStart = traced ? tracer.now() : 0.0;
   const auto begin = std::chrono::steady_clock::now();

@@ -41,6 +41,13 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   MOTUNE_CHECK(task != nullptr);
+  // Propagate the submitter's tracer override: a job worker's parallel
+  // evaluations must land in the same per-job trace as its serial ones.
+  if (observe::Tracer* active = observe::ScopedTracer::current())
+    task = [active, inner = std::move(task)] {
+      observe::ScopedTracer scope(active);
+      inner();
+    };
   {
     std::lock_guard lock(mutex_);
     MOTUNE_CHECK_MSG(!stopping_, "submit() on a stopping pool");
@@ -66,7 +73,9 @@ bool ThreadPool::tryRunOne() {
   // One relaxed atomic load when tracing is off (the acceptance budget for
   // the runtime path); when on, the task execution lands in this thread's
   // ring with arg0 = 1 marking a helping joiner rather than a pool worker.
-  observe::Tracer& tracer = observe::Tracer::global();
+  // Ring events always belong to the process tracer (which owns the rings
+  // and drains them with its own epoch), never a per-job override.
+  observe::Tracer& tracer = observe::Tracer::process();
   if (tracer.enabled()) {
     const double start = tracer.now();
     task();
@@ -84,7 +93,7 @@ bool ThreadPool::tryRunOne() {
 
 void ThreadPool::workerLoop() {
   for (;;) {
-    observe::Tracer& tracer = observe::Tracer::global();
+    observe::Tracer& tracer = observe::Tracer::process();
     const bool traced = tracer.enabled();
     const double waitStart = traced ? tracer.now() : 0.0;
     std::function<void()> task;

@@ -49,6 +49,10 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void Client::shutdownConnection() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 support::Json Client::request(const support::Json& body) {
   sendFrame(fd_, body);
   std::optional<support::Json> response = recvFrame(fd_, reader_);
@@ -105,6 +109,33 @@ std::vector<JobInfo> Client::list() {
 
 support::Json Client::stats() {
   return unwrap(request(support::JsonObject{{"verb", "stats"}})).at("stats");
+}
+
+std::string Client::statsPrometheus() {
+  return unwrap(request(support::JsonObject{{"verb", "stats"},
+                                            {"format", "prometheus"}}))
+      .at("prometheus")
+      .asString();
+}
+
+StreamEnd Client::subscribe(
+    const std::string& id,
+    const std::function<void(const support::Json&)>& onFrame) {
+  unwrap(request(support::JsonObject{{"verb", "subscribe"}, {"id", id}}));
+  StreamEnd end;
+  for (;;) {
+    std::optional<support::Json> frame = recvFrame(fd_, reader_);
+    MOTUNE_CHECK_MSG(frame.has_value(),
+                     "client: daemon closed the stream before the end frame");
+    const std::string stream =
+        frame->has("stream") ? frame->at("stream").asString() : "";
+    if (stream == "end") {
+      end.state = frame->at("state").asString();
+      end.dropped = std::stoull(frame->at("dropped").asString());
+      return end;
+    }
+    if (onFrame) onFrame(*frame);
+  }
 }
 
 void Client::shutdown() {

@@ -17,6 +17,8 @@
 #include "serve/job.h"
 #include "serve/protocol.h"
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +31,14 @@ struct SubmitOutcome {
   std::string id;
   std::string error;
   double retryAfterSeconds = 0.0;
+};
+
+/// How a subscribe stream ended: the job's terminal state and how many
+/// best-effort frames the daemon dropped for this subscriber (trace and
+/// progress frames only — state and end frames are never dropped).
+struct StreamEnd {
+  std::string state;
+  std::uint64_t dropped = 0;
 };
 
 class Client {
@@ -50,12 +60,28 @@ public:
   std::string cancel(const std::string& id);   ///< returns the detail
   std::vector<JobInfo> list();
   support::Json stats();
+  /// `stats --format prometheus`: the metrics registry rendered as
+  /// Prometheus text exposition (observe/expose.h).
+  std::string statsPrometheus();
   void shutdown(); ///< asks the daemon to stop accepting and exit
+
+  /// Streams a job's live frames: sends the subscribe verb, invokes
+  /// onFrame for every pushed frame (control/progress/trace — see
+  /// docs/serve.md) and returns when the daemon sends the end frame. The
+  /// connection is usable for further requests afterwards. Throws
+  /// support::CheckError when the job is unknown.
+  StreamEnd subscribe(const std::string& id,
+                      const std::function<void(const support::Json&)>& onFrame);
 
   /// Polls status() until the job reaches a terminal state; returns the
   /// final info. Throws on timeout (<= 0 waits forever).
   JobInfo await(const std::string& id, double timeoutSeconds = 0.0,
                 double pollSeconds = 0.02);
+
+  /// Half-closes the socket from any thread, popping a blocked subscribe()
+  /// or request() out with an error. The teardown path of `motune top`,
+  /// whose watcher threads block in subscribe() indefinitely.
+  void shutdownConnection();
 
 private:
   int fd_ = -1;

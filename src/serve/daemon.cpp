@@ -1,5 +1,7 @@
 #include "serve/daemon.h"
 
+#include "observe/expose.h"
+#include "observe/metrics.h"
 #include "serve/protocol.h"
 #include "support/check.h"
 
@@ -58,7 +60,9 @@ void Daemon::start() {
   ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
 
-  scheduler_ = std::make_unique<JobScheduler>(store_, options_.scheduler);
+  hub_ = std::make_unique<StreamHub>(options_.streamBufferFrames);
+  scheduler_ =
+      std::make_unique<JobScheduler>(store_, options_.scheduler, hub_.get());
   scheduler_->start();
   store_.writeDaemonInfo(port_, options_.scheduler.workers);
 
@@ -99,6 +103,11 @@ void Daemon::stop() {
   }
   if (acceptThread_.joinable()) acceptThread_.join();
 
+  // Close every live subscription first: streaming connection threads are
+  // blocked in Subscription::next(), not recv(), and only a closed
+  // subscription pops them out promptly.
+  if (hub_) hub_->closeAll();
+
   // Kick live connections out of recv(); their threads then exit.
   {
     std::lock_guard lock(connMutex_);
@@ -135,6 +144,13 @@ void Daemon::serveConnection(int fd) {
     for (;;) {
       std::optional<support::Json> request = recvFrame(fd, reader);
       if (!request) break; // clean EOF
+      if (request->has("verb") &&
+          request->at("verb").asString() == "subscribe") {
+        // Streaming verb: pushes frames until the job ends, then the
+        // connection is request/response again.
+        handleSubscribe(fd, *request);
+        continue;
+      }
       support::Json response = dispatch(*request);
       const bool shutdownVerb =
           request->has("verb") && request->at("verb").asString() == "shutdown";
@@ -153,6 +169,78 @@ void Daemon::serveConnection(int fd) {
   // stop() to close — shutdown() on an already-dead fd is harmless,
   // close() from two threads is not.
   ::shutdown(fd, SHUT_RDWR);
+}
+
+void Daemon::handleSubscribe(int fd, const support::Json& request) {
+  std::string id;
+  try {
+    MOTUNE_CHECK_MSG(request.has("id"), "subscribe needs an id");
+    id = request.at("id").asString();
+  } catch (const std::exception& e) {
+    sendFrame(fd, errorResponse(e.what()));
+    return;
+  }
+
+  // Register before looking at the job's state: a terminal transition
+  // between the two would otherwise slip past both the status check and
+  // the hub. The reverse order is safe — publishEnd on the freshly
+  // registered subscription just closes it and the loop below drains.
+  std::shared_ptr<Subscription> sub = hub_->subscribe(id);
+  const std::optional<JobInfo> info = scheduler_->status(id);
+  if (!info) {
+    hub_->unsubscribe(id, sub);
+    sendFrame(fd, errorResponse("unknown job: " + id));
+    return;
+  }
+
+  sendFrame(fd, support::JsonObject{{"ok", true},
+                                    {"id", id},
+                                    {"state", jobStateName(info->state)}});
+
+  const bool terminal = info->state == JobState::Done ||
+                        info->state == JobState::Failed ||
+                        info->state == JobState::Cancelled;
+  bool peerGone = false;
+  if (terminal) {
+    hub_->unsubscribe(id, sub);
+  } else {
+    for (;;) {
+      std::optional<support::Json> frame = sub->next(0.25);
+      if (frame) {
+        try {
+          sendFrame(fd, *frame);
+        } catch (const std::exception&) {
+          peerGone = true; // EPIPE mid-stream
+          break;
+        }
+        continue;
+      }
+      if (sub->finished()) break; // job ended (or daemon shutting down)
+      // Idle tick: is the peer still there? MSG_PEEK leaves any pipelined
+      // request in the socket buffer for the post-stream loop.
+      char probe;
+      const ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+      if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR)) {
+        peerGone = true;
+        break;
+      }
+    }
+    if (peerGone) hub_->unsubscribe(id, sub);
+  }
+
+  if (peerGone)
+    throw std::runtime_error("subscriber disconnected mid-stream");
+
+  // The daemon (not the hub) composes the end frame: it carries the final
+  // state from a fresh status lookup and this subscriber's drop count.
+  const std::optional<JobInfo> last = scheduler_->status(id);
+  sendFrame(fd,
+            support::JsonObject{
+                {"stream", "end"},
+                {"job", id},
+                {"state", last ? jobStateName(last->state) : "unknown"},
+                {"dropped", std::to_string(sub->dropped())}});
 }
 
 support::Json Daemon::dispatch(const support::Json& request) {
@@ -214,8 +302,15 @@ support::Json Daemon::dispatch(const support::Json& request) {
       return support::JsonObject{{"ok", true}, {"jobs", std::move(jobs)}};
     }
 
-    if (verb == "stats")
+    if (verb == "stats") {
+      if (request.has("format") &&
+          request.at("format").asString() == "prometheus")
+        return support::JsonObject{
+            {"ok", true},
+            {"prometheus",
+             observe::renderPrometheus(observe::MetricsRegistry::global())}};
       return support::JsonObject{{"ok", true}, {"stats", scheduler_->stats()}};
+    }
 
     if (verb == "shutdown") return support::JsonObject{{"ok", true}};
 

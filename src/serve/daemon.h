@@ -12,8 +12,19 @@
 //   {"verb":"cancel","id":"j000001"}         -> {"ok":true,"detail":"..."}
 //   {"verb":"list"}                          -> {"ok":true,"jobs":[..]}
 //   {"verb":"stats"}                         -> {"ok":true,"stats":{..}}
+//   {"verb":"stats","format":"prometheus"}   -> {"ok":true,"prometheus":"..."}
+//                                               (text exposition 0.0.4)
 //   {"verb":"shutdown"}                      -> {"ok":true}, then the daemon
 //                                               drains connections and stops
+//
+// One streaming verb breaks the request/response pattern: subscribe
+// upgrades the connection to a push stream of a job's live frames (state
+// transitions, per-generation progress, trace records) until the job
+// reaches a terminal state, closing with an `end` frame that reports how
+// many best-effort frames this subscriber lost. Wire format in
+// docs/serve.md; buffering policy in serve/stream.h.
+//
+//   {"verb":"subscribe","id":"j000001"}      -> {"ok":true,...}, then frames
 //
 // Every failure is an {"ok":false,"error":...} response on the same
 // connection; only a protocol violation (oversized/malformed frame) drops
@@ -32,6 +43,7 @@
 
 #include "serve/scheduler.h"
 #include "serve/store.h"
+#include "serve/stream.h"
 
 #include <condition_variable>
 #include <memory>
@@ -47,6 +59,10 @@ struct DaemonOptions {
   std::string host = "127.0.0.1"; ///< bind address
   int port = 0;                  ///< 0 = ephemeral (see Daemon::port())
   SchedulerOptions scheduler;
+  /// Per-subscriber buffer (frames) for the subscribe verb. A subscriber
+  /// slower than the stream loses best-effort frames past this depth —
+  /// counted, reported in its end frame — but never blocks a worker.
+  std::size_t streamBufferFrames = 256;
 };
 
 class Daemon {
@@ -82,9 +98,14 @@ private:
   void acceptLoop();
   void serveConnection(int fd);
   support::Json dispatch(const support::Json& request);
+  /// The subscribe verb: upgrades the connection to a push stream of the
+  /// job's frames until the job ends (or the peer hangs up), then returns
+  /// — the connection goes back to request/response.
+  void handleSubscribe(int fd, const support::Json& request);
 
   DaemonOptions options_;
   JobStore store_;
+  std::unique_ptr<StreamHub> hub_;
   std::unique_ptr<JobScheduler> scheduler_;
 
   int listenFd_ = -1;

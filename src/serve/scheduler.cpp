@@ -2,6 +2,8 @@
 
 #include "autotune/artifact.h"
 #include "observe/metrics.h"
+#include "observe/trace.h"
+#include "serve/stream.h"
 #include "support/check.h"
 
 #include <chrono>
@@ -28,9 +30,20 @@ observe::MetricsRegistry& metrics() {
 
 } // namespace
 
-JobScheduler::JobScheduler(JobStore& store, SchedulerOptions options)
-    : store_(store), options_(options) {
+JobScheduler::JobScheduler(JobStore& store, SchedulerOptions options,
+                           StreamHub* hub)
+    : store_(store), options_(options), hub_(hub) {
   if (options_.workers == 0) options_.workers = 1;
+}
+
+void JobScheduler::publishState(const std::string& id, JobState state) {
+  if (hub_ == nullptr || !hub_->anySubscribers()) return;
+  hub_->publishControl(
+      id, support::Json(support::JsonObject{
+              {"stream", support::Json("control")},
+              {"event", support::Json("state")},
+              {"job", support::Json(id)},
+              {"state", support::Json(jobStateName(state))}}));
 }
 
 JobScheduler::~JobScheduler() { stop(); }
@@ -183,6 +196,13 @@ CancelOutcome JobScheduler::cancel(const std::string& id) {
   if (toMark) {
     store_.markCancelled(id);
     toMark->log->record("cancelled", {{"while", "queued"}});
+    if (hub_ != nullptr)
+      hub_->publishEnd(
+          id, support::Json(support::JsonObject{
+                  {"stream", support::Json("control")},
+                  {"event", support::Json("state")},
+                  {"job", support::Json(id)},
+                  {"state", support::Json(jobStateName(JobState::Cancelled))}}));
   }
   return outcome;
 }
@@ -250,7 +270,7 @@ support::Json JobScheduler::stats() const {
        std::to_string(reg.counter("serve.submits").value())},
       {"admission_rejects",
        std::to_string(reg.counter("serve.admission.rejects").value())},
-      {"completed", std::to_string(reg.counter("serve.jobs.completed").value())},
+      {"completed", std::to_string(reg.counter("serve.jobs.done").value())},
       {"failed", std::to_string(reg.counter("serve.jobs.failed").value())},
       {"cancelled",
        std::to_string(reg.counter("serve.jobs.cancelled").value())},
@@ -299,6 +319,7 @@ void JobScheduler::workerLoop() {
           .set(static_cast<double>(queue_.size()));
       metrics().gauge("serve.active_jobs").set(static_cast<double>(active_));
     }
+    publishState(job->id, JobState::Running);
     runJob(job);
     {
       std::lock_guard lock(mutex_);
@@ -314,15 +335,68 @@ void JobScheduler::runJob(const std::shared_ptr<Job>& job) {
                                {"queue_seconds", job->queueSeconds}});
   if (job->hasSession) metrics().counter("serve.jobs.resumed").add();
 
+  // Per-job tracer: every span/event this job's search emits — from any
+  // thread of its private evaluation pool — lands in the job's own
+  // trace.jsonl, stamped with the job id and run sequence. A restarted
+  // daemon appends run 1, 2, ... to the same file, and the span-id base
+  // (job number in the high bits, run sequence below) keeps ids globally
+  // unique across concurrent jobs and across resumes of one job.
+  const int runSeq = store_.traceRunCount(job->id);
+  std::uint64_t jobNum = 0;
+  try {
+    jobNum = std::stoull(job->id.substr(1));
+  } catch (const std::exception&) {
+    jobNum = 0;
+  }
+  observe::Tracer jobTracer;
+  jobTracer.seedIds((jobNum << 32) |
+                    (static_cast<std::uint64_t>(runSeq & 0xff) << 24) | 1);
+  jobTracer.setStamp({{"job", support::Json(job->id)},
+                      {"run", support::Json(runSeq)}});
+  jobTracer.addSink(std::make_shared<observe::JsonLinesSink>(
+      store_.tracePath(job->id), observe::JsonLinesSink::Mode::Append));
+  if (hub_ != nullptr)
+    jobTracer.addSink(std::make_shared<StreamSink>(*hub_, job->id));
+  jobTracer.event("serve.job.start",
+                  {{"resume", support::Json(job->hasSession)},
+                   {"queue_seconds", support::Json(job->queueSeconds)},
+                   {"kernel", support::Json(job->spec.kernel)},
+                   {"algorithm", support::Json(job->spec.algorithm)}});
+
   JobState finalState;
   std::string error;
   autotune::TuningResult result;
   try {
+    // The override covers the tuner's whole lifetime; its evaluation pool
+    // threads inherit it through ThreadPool::submit. The tuner (and its
+    // pool) is destroyed before jobTracer goes out of scope below.
+    observe::ScopedTracer traceScope(&jobTracer);
     tuning::KernelTuningProblem problem = problemFromSpec(job->spec);
     autotune::TunerOptions options = tunerOptionsFromSpec(
         job->spec, store_.sessionDir(job->id), options_.jobThreads,
         options_.checkpointEvery);
     options.stopRequested = [job] { return job->stopRequested.load(); };
+    options.onProgress = [this, job](const opt::GenerationProgress& p) {
+      {
+        std::lock_guard lock(mutex_);
+        job->evaluations = p.evaluations;
+        job->hypervolume = p.hypervolume;
+        job->frontSize = p.frontSize;
+      }
+      if (hub_ != nullptr && hub_->anySubscribers())
+        hub_->publishBestEffort(
+            job->id,
+            support::Json(support::JsonObject{
+                {"stream", support::Json("progress")},
+                {"job", support::Json(job->id)},
+                {"generation", support::Json(p.generation)},
+                {"hypervolume", support::Json(p.hypervolume)},
+                {"gen_hypervolume", support::Json(p.genHypervolume)},
+                {"front_size",
+                 support::Json(static_cast<std::uint64_t>(p.frontSize))},
+                {"evaluations",
+                 support::Json(std::to_string(p.evaluations))}}));
+    };
     autotune::AutoTuner tuner(std::move(options));
     result = tuner.tune(problem);
     if (job->stopRequested.load()) {
@@ -362,7 +436,7 @@ void JobScheduler::runJob(const std::shared_ptr<Job>& job) {
                       {"front_size",
                        static_cast<std::int64_t>(result.front.size())},
                       {"resumes", result.session ? result.session->resumes : 0}});
-    reg.counter("serve.jobs.completed").add();
+    reg.counter("serve.jobs.done").add();
     break;
   case JobState::Cancelled:
     store_.markCancelled(job->id);
@@ -382,6 +456,26 @@ void JobScheduler::runJob(const std::shared_ptr<Job>& job) {
   reg.histogram("serve.job.run_seconds").observe(runSeconds);
   reg.histogram("serve.job.total_seconds")
       .observe(job->queueSeconds + runSeconds);
+
+  jobTracer.event("serve.job.finish",
+                  {{"state", support::Json(jobStateName(finalState))},
+                   {"run_seconds", support::Json(runSeconds)},
+                   {"evaluations",
+                    support::Json(std::to_string(job->evaluations))},
+                   {"hypervolume", support::Json(job->hypervolume)}});
+  // Drop the sinks before the tracer dies: the StreamSink borrows the hub
+  // and the file sink should flush/close deterministically here, not at
+  // some later destructor ordering.
+  jobTracer.clearSinks();
+
+  if (hub_ != nullptr)
+    hub_->publishEnd(
+        job->id,
+        support::Json(support::JsonObject{
+            {"stream", support::Json("control")},
+            {"event", support::Json("state")},
+            {"job", support::Json(job->id)},
+            {"state", support::Json(jobStateName(finalState))}}));
 }
 
 } // namespace motune::serve

@@ -36,6 +36,8 @@
 
 namespace motune::serve {
 
+class StreamHub;
+
 struct SchedulerOptions {
   unsigned workers = 2;          ///< concurrent tuning jobs
   std::size_t queueCapacity = 64; ///< queued (not running) jobs admitted
@@ -63,7 +65,11 @@ struct CancelOutcome {
 
 class JobScheduler {
 public:
-  JobScheduler(JobStore& store, SchedulerOptions options);
+  /// `hub` (optional) receives live frames — job state transitions,
+  /// per-generation progress, trace records — for the daemon's subscribe
+  /// verb. The scheduler never blocks on it (serve/stream.h).
+  JobScheduler(JobStore& store, SchedulerOptions options,
+               StreamHub* hub = nullptr);
   ~JobScheduler(); ///< stop()s if still running
 
   /// Recovers durable jobs from the store (done/failed/cancelled jobs
@@ -119,9 +125,13 @@ private:
   void runJob(const std::shared_ptr<Job>& job);
   void enqueueLocked(const std::shared_ptr<Job>& job, bool recovered);
   JobInfo infoOf(const Job& job) const; ///< caller holds mutex_
+  /// Publishes a `{"stream":"control","event":"state",...}` frame (no-op
+  /// without a hub or subscribers).
+  void publishState(const std::string& id, JobState state);
 
   JobStore& store_;
   SchedulerOptions options_;
+  StreamHub* hub_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable wakeWorkers_;

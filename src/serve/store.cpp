@@ -72,6 +72,20 @@ std::string JobStore::eventsPath(const std::string& id) const {
   return (fs::path(jobDir(id)) / "events.jsonl").string();
 }
 
+std::string JobStore::tracePath(const std::string& id) const {
+  return (fs::path(jobDir(id)) / "trace.jsonl").string();
+}
+
+int JobStore::traceRunCount(const std::string& id) const {
+  std::ifstream in(tracePath(id));
+  if (!in.good()) return 0;
+  int runs = 0;
+  std::string line;
+  while (std::getline(in, line))
+    if (line.find("\"trace.header\"") != std::string::npos) ++runs;
+  return runs;
+}
+
 std::string JobStore::persistNewJob(const JobSpec& spec, int priority,
                                     double submittedUnix) {
   std::string id;

@@ -73,6 +73,13 @@ public:
   std::string artifactPath(const std::string& id) const;
   std::string sessionDir(const std::string& id) const;
   std::string eventsPath(const std::string& id) const;
+  std::string tracePath(const std::string& id) const;
+
+  /// Number of runs already recorded in the job's trace.jsonl (one
+  /// `trace.header` line per run). A restarted daemon appends run 1, 2, ...
+  /// to the same file; the count keys the resumed run's span-id range so
+  /// ids stay unique across the whole trace.
+  int traceRunCount(const std::string& id) const;
 
   /// Allocates the next job id ("j%06d", continuing past any ids already
   /// on disk) and persists {id, spec, priority}: the directory, job.json

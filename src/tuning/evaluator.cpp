@@ -1,5 +1,6 @@
 #include "tuning/evaluator.h"
 
+#include "observe/trace.h"
 #include "runtime/parallel_for.h"
 #include "support/check.h"
 
@@ -163,6 +164,13 @@ void CountingEvaluator::reset() {
     shard.evals = 0;
   }
   hits_.reset();
+  // A reset marker makes traces self-delimiting: a resumed job's trace
+  // shows where each run's tuning.evaluations.* mirrors started over.
+  observe::Tracer& tracer = observe::Tracer::global();
+  if (tracer.enabled())
+    tracer.event("evaluator.reset",
+                 {{"unique", support::Json(uniqueCounter_.value())},
+                  {"memo_hits", support::Json(memoHitCounter_.value())}});
   // Keep the process-wide mirrors in lockstep: without this, the second
   // run of a process reports cumulative tuning.evaluations.* counts.
   uniqueCounter_.reset();

@@ -1,3 +1,4 @@
+#include "observe/expose.h"
 #include "observe/metrics.h"
 #include "observe/ring.h"
 #include "observe/trace.h"
@@ -413,6 +414,144 @@ TEST(Observability, TracedOptimizerRunInvariants) {
             engine.evaluations())
       << "trace counter must match CountingEvaluator::evaluations()";
   EXPECT_EQ(engine.evaluations(), result.evaluations);
+}
+
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition (observe/expose.h)
+
+TEST(Exposition, PrometheusNameSanitization) {
+  EXPECT_EQ(observe::prometheusName("serve.jobs.done"),
+            "motune_serve_jobs_done");
+  EXPECT_EQ(observe::prometheusName("already_fine:ok"),
+            "motune_already_fine:ok");
+  EXPECT_EQ(observe::prometheusName("weird-chars @here"),
+            "motune_weird_chars__here");
+}
+
+TEST(Exposition, RenderPrometheusFormatsAllInstrumentKinds) {
+  MetricsRegistry registry;
+  registry.counter("serve.jobs.done").add(3);
+  registry.gauge("serve.stream.subscribers").set(2.0);
+  observe::Histogram& hist = registry.histogram("serve.job.run_seconds");
+  for (int i = 1; i <= 100; ++i) hist.observe(static_cast<double>(i));
+
+  const std::string text = observe::renderPrometheus(registry);
+
+  // Counter: TYPE line and the _total suffix convention.
+  EXPECT_NE(text.find("# TYPE motune_serve_jobs_done_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("motune_serve_jobs_done_total 3\n"), std::string::npos);
+
+  // Gauge: plain name, no _total.
+  EXPECT_NE(text.find("# TYPE motune_serve_stream_subscribers gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("motune_serve_stream_subscribers 2\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("motune_serve_stream_subscribers_total"),
+            std::string::npos);
+
+  // Histogram: exposed as a summary with the three pinned quantiles.
+  EXPECT_NE(text.find("# TYPE motune_serve_job_run_seconds summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("motune_serve_job_run_seconds{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("motune_serve_job_run_seconds{quantile=\"0.9\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("motune_serve_job_run_seconds{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("motune_serve_job_run_seconds_count 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("motune_serve_job_run_seconds_sum 5050\n"),
+            std::string::npos);
+
+  // Every non-comment line is "<name...> <value>"; every comment is # TYPE.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE motune_", 0), 0u) << line;
+      continue;
+    }
+    EXPECT_EQ(line.rfind("motune_", 0), 0u) << line;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW(std::stod(line.substr(space + 1))) << line;
+  }
+}
+
+TEST(Exposition, EmptyHistogramOmitsQuantilesKeepsSumCount) {
+  MetricsRegistry registry;
+  registry.histogram("idle.hist");
+  const std::string text = observe::renderPrometheus(registry);
+  EXPECT_EQ(text.find("quantile"), std::string::npos);
+  EXPECT_NE(text.find("motune_idle_hist_count 0\n"), std::string::npos);
+  EXPECT_NE(text.find("motune_idle_hist_sum 0\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Per-job tracer plumbing: stamps, seeded ids, the scoped override, and the
+// evaluator.reset marker the serve scheduler relies on for resumed traces.
+
+TEST(Tracer, StampIsMergedIntoEveryRecord) {
+  Tracer tracer;
+  auto sink = std::make_shared<MemorySink>();
+  // Stamp first, as the serve scheduler does: the trace.header that addSink
+  // emits must carry the job/run attrs too.
+  tracer.setStamp({{"job", support::Json("j000042")},
+                   {"run", support::Json(1)}});
+  tracer.addSink(sink);
+
+  { observe::Span span = tracer.span("stamped"); }
+  tracer.event("also-stamped");
+
+  const auto records = sink->records();
+  ASSERT_GE(records.size(), 3u); // header + span + event
+  for (const auto& r : records) {
+    ASSERT_TRUE(r.attrs.count("job")) << r.name;
+    EXPECT_EQ(r.attrs.at("job").asString(), "j000042") << r.name;
+    EXPECT_EQ(r.attrs.at("run").asNumber(), 1.0) << r.name;
+  }
+}
+
+TEST(Tracer, SeededIdsKeepConcurrentTracersDisjoint) {
+  // The serve scheduler seeds each job's tracer at (jobNum << 32) so span
+  // ids never collide across jobs; two seeded tracers must hand out ids in
+  // disjoint ranges.
+  Tracer a, b;
+  a.addSink(std::make_shared<MemorySink>());
+  b.addSink(std::make_shared<MemorySink>());
+  a.seedIds((1ull << 32) | 1);
+  b.seedIds((2ull << 32) | 1);
+
+  observe::Span spanA = a.span("a");
+  observe::Span spanB = b.span("b");
+  EXPECT_GE(spanA.id(), 1ull << 32);
+  EXPECT_LT(spanA.id(), 2ull << 32);
+  EXPECT_GE(spanB.id(), 2ull << 32);
+}
+
+TEST(Tracer, ScopedOverrideRoutesEvaluatorResetEvent) {
+  Tracer tracer;
+  auto sink = std::make_shared<MemorySink>();
+  tracer.addSink(sink);
+
+  opt::SyntheticProblem problem = opt::makeSchaffer();
+  tuning::CountingEvaluator counting(problem);
+  counting.evaluate({42});
+
+  {
+    observe::ScopedTracer scope(&tracer);
+    counting.reset(); // emits the trace marker through Tracer::global()
+  }
+  counting.reset(); // outside the scope: must NOT land in our sink
+
+  const auto resets = byName(sink->records(), "evaluator.reset");
+  ASSERT_EQ(resets.size(), 1u)
+      << "exactly the reset inside the scoped override is captured";
+  EXPECT_TRUE(resets[0].attrs.count("unique"));
+  EXPECT_TRUE(resets[0].attrs.count("memo_hits"));
 }
 
 } // namespace

@@ -8,21 +8,27 @@
 // identical to an uninterrupted run.
 #include "autotune/artifact.h"
 #include "autotune/autotuner.h"
+#include "observe/report.h"
+#include "observe/trace.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
 #include "serve/job.h"
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
 #include "serve/store.h"
+#include "serve/stream.h"
 #include "session/session.h"
 #include "support/check.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -547,4 +553,379 @@ TEST(Resume, RecoveredDoneJobsServeResultsWithoutRerun) {
   EXPECT_GT(info.evaluations, 0u);
   EXPECT_NO_THROW(client.result(id));
   daemon.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Live streaming: the subscribe verb and its buffering contract.
+
+namespace {
+
+int rawConnect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+} // namespace
+
+TEST(Stream, SubscribeDeliversProgressTraceAndEnd) {
+  serve::Daemon daemon(daemonOptions(freshDir("stream-subscribe"), 1));
+  daemon.start();
+  serve::Client submitter("127.0.0.1", daemon.port());
+  const serve::SubmitOutcome job = submitter.submit(gde3Spec(1));
+  ASSERT_TRUE(job.accepted);
+
+  serve::Client watcher("127.0.0.1", daemon.port());
+  std::size_t progressFrames = 0, traceFrames = 0;
+  int lastGen = 0;
+  double lastHv = 0.0;
+  const serve::StreamEnd end =
+      watcher.subscribe(job.id, [&](const support::Json& frame) {
+        ASSERT_TRUE(frame.has("stream"));
+        ASSERT_TRUE(frame.has("job"));
+        EXPECT_EQ(frame.at("job").asString(), job.id);
+        const std::string stream = frame.at("stream").asString();
+        if (stream == "progress") {
+          ++progressFrames;
+          const int gen = static_cast<int>(frame.at("generation").asInt());
+          EXPECT_GT(gen, lastGen); // generations arrive in order
+          lastGen = gen;
+          lastHv = frame.at("hypervolume").asNumber();
+          EXPECT_GE(frame.at("front_size").asInt(), 1);
+        } else if (stream == "trace") {
+          ++traceFrames;
+          EXPECT_TRUE(frame.at("record").has("name"));
+        }
+      });
+
+  EXPECT_EQ(end.state, "done");
+  EXPECT_GT(progressFrames, 0u) << "no per-generation progress frames";
+  EXPECT_GT(traceFrames, 0u) << "no trace records streamed";
+  EXPECT_GT(lastHv, 0.0);
+
+  // The finished job's hypervolume (recomputed over the final front) can
+  // only improve on what the last streamed generation reported.
+  const serve::JobInfo info = submitter.status(job.id);
+  EXPECT_EQ(info.state, serve::JobState::Done);
+  EXPECT_GE(info.hypervolume, lastHv - 1e-9);
+
+  // The connection is request/response again after the end frame.
+  EXPECT_NO_THROW(watcher.ping());
+  daemon.stop();
+}
+
+TEST(Stream, SubscribeUnknownJobIsAnErrorNotAStream) {
+  serve::Daemon daemon(daemonOptions(freshDir("stream-unknown"), 1));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+  EXPECT_THROW(client.subscribe("j999999", nullptr), support::CheckError);
+  EXPECT_NO_THROW(client.ping()); // connection survives the error
+  daemon.stop();
+}
+
+TEST(Stream, SubscribeFinishedJobEndsImmediately) {
+  serve::Daemon daemon(daemonOptions(freshDir("stream-finished"), 1));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+  const serve::SubmitOutcome job = client.submit(fastSpec(1));
+  ASSERT_TRUE(job.accepted);
+  client.await(job.id, 60.0);
+
+  std::size_t frames = 0;
+  const serve::StreamEnd end = client.subscribe(
+      job.id, [&](const support::Json&) { ++frames; });
+  EXPECT_EQ(end.state, "done");
+  EXPECT_EQ(end.dropped, 0u);
+  EXPECT_EQ(frames, 0u) << "a finished job must not replay frames";
+  daemon.stop();
+}
+
+TEST(Stream, BoundedBufferDropsBestEffortNeverControl) {
+  serve::StreamHub hub(/*bufferFrames=*/2);
+  auto sub = hub.subscribe("j000001");
+  for (int i = 0; i < 10; ++i)
+    hub.publishBestEffort("j000001",
+                          support::Json(support::JsonObject{{"i", i}}));
+  // Control frames enqueue even with the buffer full.
+  hub.publishControl("j000001", support::Json(support::JsonObject{
+                                    {"stream", "control"}}));
+  EXPECT_EQ(sub->dropped(), 8u);
+
+  std::size_t drained = 0;
+  bool sawControl = false;
+  while (auto frame = sub->next(0.0)) {
+    ++drained;
+    if (frame->has("stream")) sawControl = true;
+  }
+  EXPECT_EQ(drained, 3u); // 2 best-effort + 1 control
+  EXPECT_TRUE(sawControl);
+  EXPECT_FALSE(sub->finished());
+
+  hub.publishEnd("j000001", support::Json(support::JsonObject{
+                                {"stream", "control"}}));
+  EXPECT_TRUE(sub->next(0.0).has_value()); // the terminal control frame
+  EXPECT_TRUE(sub->finished());
+  EXPECT_EQ(hub.subscriberCount(), 0u);
+
+  // Publishing to a job with no subscribers is a no-op, not an error.
+  hub.publishBestEffort("j000001",
+                        support::Json(support::JsonObject{{"late", true}}));
+}
+
+TEST(Stream, SlowSubscriberNeverBlocksTheScheduler) {
+  // A subscriber that stops reading must not stall job completion: frames
+  // past its buffer are dropped (best-effort) while control frames and the
+  // end frame still arrive once it drains.
+  serve::DaemonOptions options = daemonOptions(freshDir("stream-slow"), 2);
+  options.streamBufferFrames = 4;
+  serve::Daemon daemon(options);
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+
+  std::vector<std::string> ids;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const serve::SubmitOutcome job = client.submit(gde3Spec(seed));
+    ASSERT_TRUE(job.accepted);
+    ids.push_back(job.id);
+  }
+
+  // Subscribe to the last queued job and then read NOTHING while the whole
+  // burst drains.
+  const int fd = rawConnect(daemon.port());
+  serve::sendFrame(fd, support::JsonObject{{"verb", "subscribe"},
+                                           {"id", ids.back()}});
+  ASSERT_TRUE(daemon.scheduler().drain(300.0))
+      << "a non-reading subscriber stalled the scheduler";
+
+  // Now drain the stream: ack, then frames, then the end frame.
+  serve::FrameReader reader;
+  std::optional<support::Json> ack = serve::recvFrame(fd, reader);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(ack->at("ok").asBool());
+  std::uint64_t dropped = 0;
+  for (;;) {
+    std::optional<support::Json> frame = serve::recvFrame(fd, reader);
+    ASSERT_TRUE(frame.has_value()) << "stream ended without an end frame";
+    if (frame->has("stream") && frame->at("stream").asString() == "end") {
+      EXPECT_EQ(frame->at("state").asString(), "done");
+      dropped = std::stoull(frame->at("dropped").asString());
+      break;
+    }
+  }
+  EXPECT_GT(dropped, 0u) << "tiny buffer + unread stream must drop frames";
+  ::close(fd);
+
+  for (const std::string& id : ids)
+    EXPECT_EQ(client.status(id).state, serve::JobState::Done) << id;
+  daemon.stop();
+}
+
+TEST(Stream, MidStreamDisconnectCleansUpSubscriber) {
+  SlowEvals slow("delay@*:0.002");
+  serve::Daemon daemon(daemonOptions(freshDir("stream-disconnect"), 1));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+  const serve::SubmitOutcome job = client.submit(gde3Spec(1));
+  ASSERT_TRUE(job.accepted);
+
+  // Subscribe, read the ack and one frame, then vanish.
+  const int fd = rawConnect(daemon.port());
+  serve::sendFrame(fd, support::JsonObject{{"verb", "subscribe"},
+                                           {"id", job.id}});
+  serve::FrameReader reader;
+  ASSERT_TRUE(serve::recvFrame(fd, reader).has_value()); // ack
+  ::close(fd);
+
+  // The daemon notices within its idle tick and unsubscribes: the
+  // subscriber gauge returns to zero while the job is still running.
+  bool cleaned = false;
+  for (int i = 0; i < 500 && !cleaned; ++i) {
+    const std::string text = client.statsPrometheus();
+    cleaned = text.find("motune_serve_stream_subscribers 0") !=
+              std::string::npos;
+    if (!cleaned) ::usleep(20000);
+  }
+  EXPECT_TRUE(cleaned) << "disconnected subscriber was not reaped";
+
+  // The job is unaffected.
+  EXPECT_EQ(client.await(job.id, 120.0).state, serve::JobState::Done);
+  daemon.stop();
+}
+
+TEST(Stream, ShutdownWithLiveSubscribersUnblocksThem) {
+  SlowEvals slow("delay@*:0.002");
+  serve::Daemon daemon(daemonOptions(freshDir("stream-shutdown"), 1));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+  // One running job (the worker holds it) and one that stays queued.
+  const serve::SubmitOutcome running = client.submit(gde3Spec(1));
+  const serve::SubmitOutcome queued = client.submit(gde3Spec(2));
+  ASSERT_TRUE(running.accepted && queued.accepted);
+
+  // A subscriber on the queued job blocks until the daemon stops: the job
+  // will never run (stop() only finishes the running one).
+  std::atomic<bool> returned{false};
+  std::thread watcher([&] {
+    try {
+      serve::Client sub("127.0.0.1", daemon.port());
+      (void)sub.subscribe(queued.id, nullptr);
+    } catch (const std::exception&) {
+      // Torn down mid-stream: also a clean unblock.
+    }
+    returned.store(true);
+  });
+
+  ::usleep(100000); // let the subscription register
+  daemon.stop();    // must close the stream, not hang on the watcher
+  watcher.join();
+  EXPECT_TRUE(returned.load());
+}
+
+// ---------------------------------------------------------------------------
+// Per-job traces: stamping, id disjointness, append across restarts.
+
+namespace {
+
+/// Parses a job's trace.jsonl into records.
+std::vector<support::Json> traceLines(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "no trace at " << path;
+  std::vector<support::Json> out;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) out.push_back(support::Json::parse(line));
+  return out;
+}
+
+} // namespace
+
+TEST(Trace, PerJobTracesAreStampedAndSpanIdsDisjoint) {
+  const std::string dir = freshDir("trace-stamp");
+  serve::Daemon daemon(daemonOptions(dir, 2));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+  const serve::SubmitOutcome a = client.submit(gde3Spec(1));
+  const serve::SubmitOutcome b = client.submit(gde3Spec(2));
+  ASSERT_TRUE(a.accepted && b.accepted);
+  ASSERT_TRUE(daemon.scheduler().drain(300.0));
+  daemon.stop();
+
+  std::set<std::uint64_t> idsA, idsB;
+  for (const std::string& id : {a.id, b.id}) {
+    serve::JobStore store(dir);
+    const auto records = traceLines(store.tracePath(id));
+    ASSERT_FALSE(records.empty()) << id;
+    for (const support::Json& r : records) {
+      // Every record carries the job stamp.
+      ASSERT_TRUE(r.has("attrs")) << r.dump(-1);
+      ASSERT_TRUE(r.at("attrs").has("job")) << r.dump(-1);
+      EXPECT_EQ(r.at("attrs").at("job").asString(), id);
+      EXPECT_EQ(static_cast<int>(r.at("attrs").at("run").asInt()), 0);
+      if (r.has("id")) {
+        const auto spanId = static_cast<std::uint64_t>(r.at("id").asInt());
+        if (spanId != 0) (id == a.id ? idsA : idsB).insert(spanId);
+      }
+    }
+  }
+  ASSERT_FALSE(idsA.empty());
+  ASSERT_FALSE(idsB.empty());
+  for (std::uint64_t id : idsA)
+    EXPECT_EQ(idsB.count(id), 0u) << "span id " << id
+                                  << " appears in both jobs' traces";
+}
+
+TEST(Trace, AppendAcrossRestartYieldsFullConvergenceCurve) {
+  const serve::JobSpec spec = gde3Spec(42);
+  const std::string dir = freshDir("trace-append");
+  std::string id;
+  {
+    // Interrupted first run, traced exactly as the scheduler traces it:
+    // per-job tracer, job/run stamp, append-mode sink. The stop request
+    // fires after the first generation, like a SIGKILL between
+    // checkpoints (journal left resumable, no artifact).
+    serve::JobStore store(dir);
+    id = store.persistNewJob(spec, 0, 1.0);
+    ASSERT_EQ(store.traceRunCount(id), 0);
+    observe::Tracer tracer;
+    tracer.seedIds(1ull << 32 | 1);
+    tracer.setStamp({{"job", support::Json(id)}, {"run", support::Json(0)}});
+    tracer.addSink(std::make_shared<observe::JsonLinesSink>(
+        store.tracePath(id), observe::JsonLinesSink::Mode::Append));
+    observe::ScopedTracer scope(&tracer);
+    tuning::KernelTuningProblem problem = serve::problemFromSpec(spec);
+    autotune::TunerOptions options =
+        serve::tunerOptionsFromSpec(spec, store.sessionDir(id), 1, 1);
+    options.stopRequested = [] { return true; };
+    autotune::AutoTuner tuner(std::move(options));
+    (void)tuner.tune(problem);
+    tracer.clearSinks();
+    ASSERT_TRUE(session::sessionExists(store.sessionDir(id)));
+    ASSERT_EQ(store.traceRunCount(id), 1);
+  }
+
+  // Restart: the daemon resumes the job and appends run 1 to the trace.
+  serve::Daemon daemon(daemonOptions(dir, 1));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+  EXPECT_EQ(client.await(id, 120.0).state, serve::JobState::Done);
+  daemon.stop();
+
+  serve::JobStore store(dir);
+  EXPECT_EQ(store.traceRunCount(id), 2) << "resume must append, not truncate";
+
+  // The stitched trace renders one contiguous convergence curve: the
+  // report layer sorts generations across runs and keeps the resumed
+  // run's version of any generation recorded twice.
+  const auto records = observe::parseTraceFile(store.tracePath(id));
+  const observe::Report report = observe::buildReport(records, {});
+  ASSERT_GT(report.convergence.size(), 1u);
+  for (std::size_t i = 0; i < report.convergence.size(); ++i)
+    EXPECT_EQ(report.convergence[i].gen, static_cast<int>(i) + 1)
+        << "convergence curve has gaps or duplicates";
+  // Both runs contributed generations.
+  bool sawRun0 = false, sawRun1 = false;
+  for (const support::Json& r : traceLines(store.tracePath(id))) {
+    if (!r.has("attrs") || !r.at("attrs").has("run")) continue;
+    const int run = static_cast<int>(r.at("attrs").at("run").asInt());
+    if (run == 0) sawRun0 = true;
+    if (run == 1) sawRun1 = true;
+  }
+  EXPECT_TRUE(sawRun0);
+  EXPECT_TRUE(sawRun1);
+}
+
+TEST(Trace, TornTraceTailIsSealedOnAppend) {
+  const std::string dir = freshDir("trace-torn");
+  const std::string path = dir + "/trace.jsonl";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"name\":\"ok\"}\n{\"name\":\"torn"; // no trailing newline
+  }
+  {
+    observe::JsonLinesSink sink(path, observe::JsonLinesSink::Mode::Append);
+    observe::Tracer tracer;
+    tracer.addSink(std::make_shared<observe::JsonLinesSink>(
+        path, observe::JsonLinesSink::Mode::Append));
+    tracer.event("after.crash");
+    tracer.clearSinks();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::size_t parsed = 0, torn = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      (void)support::Json::parse(line);
+      ++parsed;
+    } catch (const support::CheckError&) {
+      ++torn;
+    }
+  }
+  EXPECT_GE(parsed, 2u); // the intact line + the post-crash records
+  EXPECT_EQ(torn, 1u);   // the torn line is isolated, not concatenated
 }

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition scrape from `motune serve`.
+
+Stdlib-only parser for the text format (version 0.0.4) the daemon's
+`stats --format prometheus` verb emits. Used by the CI serve-gate to
+prove the exposition stays machine-readable under load and that the
+daemon's own accounting agrees with the client's:
+
+  1. every line is either a `# TYPE <name> <counter|gauge|summary>`
+     comment or a `<name>[{labels}] <value>` sample;
+  2. every sample is preceded by a TYPE declaration for its metric
+     family, every metric name starts with `motune_`, counters end in
+     `_total`, and values parse as floats (NaN/+Inf/-Inf included);
+  3. summaries expose quantile samples only with a matching _sum/_count
+     pair, and quantile label values parse as probabilities;
+  4. with --expect-jobs-done N, `motune_serve_jobs_done_total` must
+     equal N exactly — the scrape agrees with the number of jobs the
+     load client saw complete (zero lost, zero phantom).
+
+Usage: check_prom.py SCRAPE.txt [--expect-jobs-done N]
+       ... | check_prom.py - [--expect-jobs-done N]
+"""
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r' (?P<value>\S+)$')
+TYPE_RE = re.compile(
+    r'^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r' (?P<kind>counter|gauge|summary|histogram|untyped)$')
+
+
+def parse_value(text):
+    if text == "NaN":
+        return float("nan")
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)  # raises ValueError on garbage
+
+
+def family_of(sample_name):
+    """Strips the summary suffixes so samples map to their TYPE family."""
+    for suffix in ("_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def main():
+    argv = sys.argv[1:]
+    expect_done = None
+    if "--expect-jobs-done" in argv:
+        i = argv.index("--expect-jobs-done")
+        if i + 1 >= len(argv):
+            print(__doc__, file=sys.stderr)
+            return 2
+        expect_done = int(argv[i + 1])
+        del argv[i:i + 2]
+    if len(argv) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if argv[0] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(argv[0], encoding="utf-8") as fh:
+            text = fh.read()
+
+    types = {}       # family -> kind
+    samples = {}     # (name, labels) -> value
+    quantiles = set()  # summary families that exposed quantile samples
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if not m:
+                print(f"line {lineno}: malformed comment: {line!r}",
+                      file=sys.stderr)
+                return 1
+            if m.group("name") in types:
+                print(f"line {lineno}: duplicate TYPE for "
+                      f"{m.group('name')}", file=sys.stderr)
+                return 1
+            types[m.group("name")] = m.group("kind")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            print(f"line {lineno}: malformed sample: {line!r}",
+                  file=sys.stderr)
+            return 1
+        name, labels = m.group("name"), m.group("labels") or ""
+        if not name.startswith("motune_"):
+            print(f"line {lineno}: sample outside the motune_ namespace: "
+                  f"{name}", file=sys.stderr)
+            return 1
+        family = family_of(name)
+        if family not in types:
+            print(f"line {lineno}: sample {name} has no TYPE declaration",
+                  file=sys.stderr)
+            return 1
+        if types[family] == "counter" and not name.endswith("_total"):
+            print(f"line {lineno}: counter sample {name} lacks _total",
+                  file=sys.stderr)
+            return 1
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            print(f"line {lineno}: unparsable value: {line!r}",
+                  file=sys.stderr)
+            return 1
+        if "quantile=" in labels:
+            q = labels.split('quantile="', 1)[1].split('"', 1)[0]
+            if not 0.0 <= float(q) <= 1.0:
+                print(f"line {lineno}: quantile out of range: {q}",
+                      file=sys.stderr)
+                return 1
+            quantiles.add(family)
+        if (name, labels) in samples:
+            print(f"line {lineno}: duplicate sample {name}{{{labels}}}",
+                  file=sys.stderr)
+            return 1
+        samples[(name, labels)] = value
+
+    if not samples:
+        print("empty scrape", file=sys.stderr)
+        return 1
+    for family in quantiles:
+        for suffix in ("_sum", "_count"):
+            if (family + suffix, "") not in samples:
+                print(f"summary {family} has quantiles but no "
+                      f"{family}{suffix}", file=sys.stderr)
+                return 1
+
+    if expect_done is not None:
+        key = ("motune_serve_jobs_done_total", "")
+        if key not in samples:
+            print("motune_serve_jobs_done_total missing from scrape",
+                  file=sys.stderr)
+            return 1
+        got = samples[key]
+        if got != expect_done:
+            print(f"motune_serve_jobs_done_total is {got:.0f}, the load "
+                  f"client saw {expect_done} jobs complete", file=sys.stderr)
+            return 1
+
+    kinds = {}
+    for kind in types.values():
+        kinds[kind] = kinds.get(kind, 0) + 1
+    print(f"scrape ok: {len(samples)} samples across {len(types)} families "
+          f"({', '.join(f'{n} {k}' for k, n in sorted(kinds.items()))})"
+          + (f", serve.jobs.done == {expect_done}"
+             if expect_done is not None else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

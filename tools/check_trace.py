@@ -20,9 +20,24 @@ array structurally: tolerant of a truncated tail (per the format spec),
 every event needs name/ph/ts/pid/tid, `X` events need a non-negative
 `dur`, and `B`/`E` events must balance per (pid, tid).
 
+With --serve JOBS_DIR, validates the per-job traces a `motune serve`
+state directory accumulates (`jobs/jNNNNNN/trace.jsonl`) instead of a
+single tuning trace:
+  1. every line parses and carries `type`/`name`;
+  2. every record's `attrs.job` stamp matches the directory it lives in
+     (no cross-job bleed through the shared scheduler threads);
+  3. span ids are disjoint across jobs (the scheduler seeds each job's
+     tracer in its own id range — a collision means two jobs' spans
+     could be confused in a merged view);
+  4. each trace starts with a `trace.header` and a resumed job has one
+     header per run, with the `run` stamp increasing.
+
 Usage: check_trace.py TRACE.jsonl [--chrome TRACE.json]
+       check_trace.py --serve STATE_DIR/jobs
 """
+import glob
 import json
+import os
 import sys
 
 
@@ -79,8 +94,90 @@ def check_chrome(path: str) -> int:
     return 0
 
 
+def load_jsonl(path: str):
+    """Parses a trace.jsonl; returns (records, error_string_or_None)."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                return None, f"{path}:{lineno}: invalid JSON: {err}"
+            if "type" not in record or "name" not in record:
+                return None, f"{path}:{lineno}: missing type/name"
+            records.append(record)
+    return records, None
+
+
+def check_serve(jobs_dir: str) -> int:
+    """Validate every per-job trace under a serve state dir's jobs/."""
+    paths = sorted(glob.glob(os.path.join(jobs_dir, "j*", "trace.jsonl")))
+    if not paths:
+        print(f"{jobs_dir}: no jobs/*/trace.jsonl found", file=sys.stderr)
+        return 1
+
+    span_owner = {}  # span/event id -> job id, to prove disjointness
+    total_records = 0
+    resumed = 0
+    for path in paths:
+        job_id = os.path.basename(os.path.dirname(path))
+        records, err = load_jsonl(path)
+        if err:
+            print(err, file=sys.stderr)
+            return 1
+        if not records:
+            print(f"{path}: empty trace", file=sys.stderr)
+            return 1
+        if records[0]["name"] != "trace.header":
+            print(f"{path}: first record is {records[0]['name']!r}, "
+                  "expected trace.header", file=sys.stderr)
+            return 1
+
+        headers = [r for r in records if r["name"] == "trace.header"]
+        runs = [r.get("attrs", {}).get("run") for r in headers]
+        if runs != sorted(runs) or len(set(runs)) != len(runs):
+            print(f"{path}: run stamps on headers not strictly increasing: "
+                  f"{runs}", file=sys.stderr)
+            return 1
+        if len(headers) > 1:
+            resumed += 1
+
+        for r in records:
+            attrs = r.get("attrs", {})
+            if attrs.get("job") != job_id:
+                print(f"{path}: record {r['name']!r} stamped "
+                      f"job={attrs.get('job')!r}, expected {job_id!r}",
+                      file=sys.stderr)
+                return 1
+            if "run" not in attrs:
+                print(f"{path}: record {r['name']!r} has no run stamp",
+                      file=sys.stderr)
+                return 1
+            rid = r.get("id")
+            if rid is None or rid == 0:
+                continue
+            owner = span_owner.setdefault(rid, job_id)
+            if owner != job_id:
+                print(f"{path}: span id {rid} also appears in {owner} — "
+                      "per-job id ranges must be disjoint", file=sys.stderr)
+                return 1
+        total_records += len(records)
+
+    print(f"serve traces ok: {len(paths)} jobs, {total_records} records, "
+          f"{len(span_owner)} distinct span ids, {resumed} resumed")
+    return 0
+
+
 def main() -> int:
     args = sys.argv[1:]
+    if args and args[0] == "--serve":
+        if len(args) != 2:
+            print(__doc__, file=sys.stderr)
+            return 2
+        return check_serve(args[1])
     chrome_path = None
     if "--chrome" in args:
         i = args.index("--chrome")

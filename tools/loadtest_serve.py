@@ -22,6 +22,14 @@ What it checks, beyond the latency/throughput numbers:
   * backpressure         — queue-full rejections are retried after the
                            daemon's advertised retry_after and counted,
                            never treated as failures
+  * live streaming       — with --subscribe N, N connections hold live
+                           subscribe streams on in-flight jobs for the
+                           whole burst; every stream must terminate in an
+                           end frame whose state is "done". Dropped frames
+                           are allowed (trace/progress streams are
+                           best-effort by contract) and reported, but
+                           results must still be complete: a subscriber
+                           never costs a job
 
 Gate semantics mirror bench_serve: baseline entries whose unit is
 "seconds" are ceilings, everything else is a floor, both scaled by
@@ -68,15 +76,18 @@ class Conn:
             buf += chunk
         return buf
 
+    def recv_obj(self):
+        (length,) = struct.unpack(">I", self._recv_exact(4))
+        if length > MAX_FRAME:
+            raise ProtocolError(f"oversized response frame: {length}")
+        return json.loads(self._recv_exact(length))
+
     def request(self, obj):
         payload = json.dumps(obj, separators=(",", ":")).encode()
         if len(payload) > MAX_FRAME:
             raise ProtocolError("frame too large")
         self.sock.sendall(struct.pack(">I", len(payload)) + payload)
-        (length,) = struct.unpack(">I", self._recv_exact(4))
-        if length > MAX_FRAME:
-            raise ProtocolError(f"oversized response frame: {length}")
-        return json.loads(self._recv_exact(length))
+        return self.recv_obj()
 
 
 def job_spec(args, seed):
@@ -118,6 +129,33 @@ def submit_slice(args, indices, acked, rejects, errors, lock):
     except Exception as e:  # surface thread failures to the main thread
         with lock:
             errors.append(str(e))
+
+
+def subscribe_stream(args, jid, outcome, errors, lock):
+    """Holds one live subscribe stream until its end frame and records
+    (end_state, dropped, frames_seen) into `outcome[jid]`."""
+    try:
+        conn = Conn(args.host, args.port, timeout=args.timeout)
+        ack = conn.request({"verb": "subscribe", "id": jid})
+        if not ack.get("ok"):
+            raise ProtocolError(f"subscribe {jid}: {ack.get('error')}")
+        frames = 0
+        while True:
+            frame = conn.recv_obj()
+            if frame.get("stream") == "end":
+                with lock:
+                    outcome[jid] = (frame.get("state"),
+                                    int(frame.get("dropped", "0")), frames)
+                break
+            if frame.get("job") != jid:
+                raise ProtocolError(
+                    f"stream for {jid} carried a frame for "
+                    f"{frame.get('job')}")
+            frames += 1
+        conn.close()
+    except Exception as e:
+        with lock:
+            errors.append(f"subscriber {jid}: {e}")
 
 
 def await_all(args, ids_with_t0):
@@ -218,6 +256,9 @@ def main():
     parser.add_argument("--ids-file",
                         help="submit phase writes acked ids here; await "
                              "phase reads them")
+    parser.add_argument("--subscribe", type=int, default=0,
+                        help="hold N live subscribe streams on in-flight "
+                             "jobs while the burst drains")
     parser.add_argument("--baseline",
                         help="gate against this baseline JSON")
     parser.add_argument("--tolerance", type=float, default=0.50)
@@ -274,6 +315,20 @@ def main():
         now = time.monotonic()
         acked = [(jid, seed, now) for jid, seed in pairs]
 
+    # ---- live subscribers ride along while the burst drains ----------
+    stream_outcome, stream_errors = {}, []
+    subscribers = []
+    if args.subscribe > 0:
+        # Watch the most recently acked jobs: they sit at the back of the
+        # queue, so their streams stay live for most of the drain.
+        watch = [jid for jid, _, _ in acked][-args.subscribe:]
+        subscribers = [threading.Thread(
+            target=subscribe_stream,
+            args=(args, jid, stream_outcome, stream_errors, lock))
+            for jid in watch]
+        for t in subscribers:
+            t.start()
+
     states = await_all(args, [(jid, t0) for jid, _, t0 in acked])
     bad = {jid: s for jid, (s, _) in states.items() if s != "done"}
     if bad:
@@ -303,6 +358,23 @@ def main():
     conn.close()
     print(f"verified {len(acked)} artifacts "
           f"({len(by_seed)} distinct seeds, zero lost/duplicated)")
+
+    if subscribers:
+        for t in subscribers:
+            t.join()
+        if stream_errors:
+            print("subscriber errors:\n  " + "\n  ".join(stream_errors))
+            return 1
+        not_done = {jid: s for jid, (s, _, _) in stream_outcome.items()
+                    if s != "done"}
+        if not_done:
+            print(f"LOST streams: subscriptions ended {not_done}")
+            return 1
+        dropped = sum(d for _, d, _ in stream_outcome.values())
+        frames = sum(f for _, _, f in stream_outcome.values())
+        print(f"{len(stream_outcome)} live streams all ended done: "
+              f"{frames} frames delivered, {dropped} dropped "
+              "(best-effort trace/progress only; results complete)")
 
     latencies = sorted(lat for _, lat in states.values())
     results = {

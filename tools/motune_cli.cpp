@@ -60,11 +60,16 @@
 //       same flags as `motune tune` (kernel, machine, n, algorithm, seed,
 //       objectives, budget). Exit 4 when the daemon sheds load (queue
 //       full); retry after the printed delay.
-//   motune jobs --port P [--id ID | --result ID | --cancel ID | --stats |
-//                --shutdown]
+//   motune jobs --port P [--id ID | --result ID | --cancel ID | --stats
+//                [--format json|prometheus] | --shutdown]
 //       Inspect or control a running daemon: list jobs (default), show one
-//       job, fetch a finished job's artifact, cancel, dump daemon stats,
-//       or ask the daemon to shut down.
+//       job, fetch a finished job's artifact, cancel, dump daemon stats
+//       (as JSON or Prometheus text exposition), or ask the daemon to shut
+//       down.
+//   motune top --port P [--interval S] [--iterations N] [--plain]
+//       Live terminal dashboard for a running daemon: queue depth, active
+//       jobs, latency quantiles, and a hypervolume sparkline per running
+//       job fed by the subscribe stream (docs/serve.md).
 #include "analyzer/dependence.h"
 #include "analyzer/region.h"
 #include "autotune/artifact.h"
@@ -84,13 +89,18 @@
 #include "support/table.h"
 #include "verify/fuzz.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace motune;
@@ -112,7 +122,7 @@ struct Args {
 /// Options that are pure flags (present/absent, no value token).
 bool isFlagOption(const std::string& key) {
   return key == "no-native" || key == "help" || key == "wait" ||
-         key == "stats" || key == "shutdown";
+         key == "stats" || key == "shutdown" || key == "plain";
 }
 
 // ---------------------------------------------------------------------------
@@ -239,6 +249,9 @@ const std::vector<CommandHelp>& commandHelp() {
             "generations between job checkpoints (default: 1)"},
            {"retry-after", "S",
             "retry hint returned with queue-full rejections (default: 0.5)"},
+           {"stream-buffer", "N",
+            "frames buffered per subscribe stream before best-effort "
+            "drops (default: 256)"},
        }},
       {"submit", "submit one tuning job to a running daemon",
        "motune submit [--port P] [tune flags] [--priority N] [--wait]",
@@ -270,7 +283,20 @@ const std::vector<CommandHelp>& commandHelp() {
            {"out", "FILE", "with --result: save the artifact here"},
            {"cancel", "ID", "cancel a queued or running job"},
            {"stats", "", "dump the daemon's metrics snapshot as JSON"},
+           {"format", "FMT",
+            "with --stats: json (default) or prometheus text exposition"},
            {"shutdown", "", "ask the daemon to shut down gracefully"},
+       }},
+      {"top", "live dashboard of a running daemon",
+       "motune top --port P [--interval S] [--iterations N] [--plain]",
+       {
+           {"host", "ADDR", "daemon address (default: 127.0.0.1)"},
+           {"port", "P", "daemon TCP port (required)"},
+           {"interval", "S", "refresh period in seconds (default: 1)"},
+           {"iterations", "N",
+            "stop after N refreshes; 0 = run until interrupted (default: 0)"},
+           {"plain", "",
+            "append snapshots instead of redrawing the screen (logs, CI)"},
        }},
   };
   return table;
@@ -771,6 +797,7 @@ int cmdServe(const Args& args) {
       std::stoi(args.get("checkpoint-every", "1"));
   options.scheduler.retryAfterSeconds = std::stod(args.get("retry-after",
                                                            "0.5"));
+  options.streamBufferFrames = std::stoull(args.get("stream-buffer", "256"));
   MOTUNE_CHECK_MSG(options.scheduler.checkpointEvery >= 1,
                    "--checkpoint-every must be >= 1");
 
@@ -856,7 +883,14 @@ int cmdJobs(const Args& args) {
     return 0;
   }
   if (args.has("stats")) {
-    std::cout << client.stats().dump(2) << "\n";
+    const std::string format = args.get("format", "json");
+    if (format == "prometheus") {
+      std::cout << client.statsPrometheus();
+    } else {
+      MOTUNE_CHECK_MSG(format == "json", "unknown stats format: " + format +
+                                             " (available: json, prometheus)");
+      std::cout << client.stats().dump(2) << "\n";
+    }
     return 0;
   }
   if (args.has("cancel")) {
@@ -901,6 +935,175 @@ int cmdJobs(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// motune top: a refreshing dashboard over the subscribe stream.
+
+/// Last `width` samples rendered as a unicode sparkline, scaled to the
+/// window's own min/max (a flat window renders as all-low).
+std::string sparkline(const std::vector<double>& values, std::size_t width) {
+  static const char* const levels[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇",
+                                       "█"};
+  if (values.empty()) return "";
+  const std::size_t start = values.size() > width ? values.size() - width : 0;
+  double lo = values[start], hi = values[start];
+  for (std::size_t i = start; i < values.size(); ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  std::string out;
+  for (std::size_t i = start; i < values.size(); ++i) {
+    int idx = 0;
+    if (hi > lo)
+      idx = static_cast<int>((values[i] - lo) / (hi - lo) * 7.0 + 0.5);
+    out += levels[idx];
+  }
+  return out;
+}
+
+/// What the watcher threads learn about one job from its subscribe stream.
+struct TopJobLive {
+  std::vector<double> hv; ///< hypervolume per progress frame
+  int generation = -1;
+  std::uint64_t evaluations = 0;
+  std::uint64_t dropped = 0;
+  bool ended = false;
+  std::string endState;
+};
+
+int cmdTop(const Args& args) {
+  MOTUNE_CHECK_MSG(args.has("port"), "top needs --port P");
+  const std::string host = args.get("host", "127.0.0.1");
+  const int port = std::stoi(args.options.at("port"));
+  const double interval = std::stod(args.get("interval", "1"));
+  const long iterations = std::stol(args.get("iterations", "0"));
+  const bool plain = args.has("plain");
+  MOTUNE_CHECK_MSG(interval > 0, "--interval must be > 0");
+
+  serve::Client poll(host, port);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  // One watcher thread (and connection) per non-terminal job: it holds the
+  // subscribe stream and folds progress frames into `live`. The polling
+  // connection only fetches list/stats snapshots for the frame.
+  std::mutex liveMutex;
+  std::map<std::string, TopJobLive> live;
+  std::vector<std::thread> watchers;
+  std::vector<std::shared_ptr<serve::Client>> watcherClients;
+  std::map<std::string, bool> watched;
+
+  auto spawnWatcher = [&](const std::string& id) {
+    auto sub = std::make_shared<serve::Client>(host, port);
+    watcherClients.push_back(sub);
+    watchers.emplace_back([sub, id, &liveMutex, &live] {
+      try {
+        const serve::StreamEnd end =
+            sub->subscribe(id, [&](const support::Json& frame) {
+              if (!frame.has("stream") ||
+                  frame.at("stream").asString() != "progress")
+                return;
+              std::lock_guard lock(liveMutex);
+              TopJobLive& j = live[id];
+              j.hv.push_back(frame.at("hypervolume").asNumber());
+              j.generation =
+                  static_cast<int>(frame.at("generation").asInt());
+              j.evaluations =
+                  std::stoull(frame.at("evaluations").asString());
+            });
+        std::lock_guard lock(liveMutex);
+        live[id].ended = true;
+        live[id].endState = end.state;
+        live[id].dropped = end.dropped;
+      } catch (const std::exception&) {
+        std::lock_guard lock(liveMutex);
+        live[id].ended = true; // daemon gone or teardown
+      }
+    });
+  };
+
+  long tick = 0;
+  bool daemonGone = false;
+  while (!g_interrupted.load() && (iterations <= 0 || tick < iterations)) {
+    support::Json stats;
+    std::vector<serve::JobInfo> jobs;
+    try {
+      stats = poll.stats();
+      jobs = poll.list();
+    } catch (const std::exception&) {
+      daemonGone = true;
+      break;
+    }
+    for (const serve::JobInfo& job : jobs) {
+      const bool terminal = job.state == serve::JobState::Done ||
+                            job.state == serve::JobState::Failed ||
+                            job.state == serve::JobState::Cancelled;
+      if (!terminal && !watched[job.id]) {
+        watched[job.id] = true;
+        spawnWatcher(job.id);
+      }
+    }
+
+    std::ostringstream frame;
+    frame << "motune top — " << host << ":" << port << "   queue "
+          << stats.at("queue_depth").asInt() << "/"
+          << stats.at("queue_capacity").asInt() << "   active "
+          << stats.at("active_jobs").asInt() << "/"
+          << stats.at("workers").asInt() << "   done "
+          << stats.at("completed").asString() << "   failed "
+          << stats.at("failed").asString() << "   cancelled "
+          << stats.at("cancelled").asString() << "   shed "
+          << stats.at("admission_rejects").asString() << "\n"
+          << "run seconds p50 "
+          << support::fmt(stats.at("run_seconds").at("p50").asNumber(), 3)
+          << "  p99 "
+          << support::fmt(stats.at("run_seconds").at("p99").asNumber(), 3)
+          << "   queue seconds p50 "
+          << support::fmt(stats.at("queue_seconds").at("p50").asNumber(), 3)
+          << "  p99 "
+          << support::fmt(stats.at("queue_seconds").at("p99").asNumber(), 3)
+          << "\n";
+    support::TextTable table;
+    table.setHeader({"id", "state", "kernel", "algorithm", "gen", "evals",
+                     "V(S)", "drops", "trend"});
+    {
+      std::lock_guard lock(liveMutex);
+      for (const serve::JobInfo& job : jobs) {
+        const TopJobLive& l = live[job.id];
+        const double hv = !l.hv.empty() ? l.hv.back() : job.hypervolume;
+        const std::uint64_t evals =
+            l.evaluations != 0 ? l.evaluations : job.evaluations;
+        table.addRow(
+            {job.id, serve::jobStateName(job.state), job.spec.kernel,
+             job.spec.algorithm,
+             l.generation >= 0 ? std::to_string(l.generation) : "-",
+             evals != 0 ? std::to_string(evals) : "-",
+             hv != 0.0 ? support::fmt(hv, 3) : "-",
+             l.dropped != 0 ? std::to_string(l.dropped) : "-",
+             sparkline(l.hv, 32)});
+      }
+    }
+    frame << table.render();
+    if (!plain) std::cout << "\x1b[H\x1b[2J";
+    std::cout << frame.str() << std::flush;
+    if (plain) std::cout << "\n";
+
+    ++tick;
+    if (iterations > 0 && tick >= iterations) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+
+  // Teardown: half-close the watcher sockets so blocked subscribe() calls
+  // error out, then join.
+  for (const auto& client : watcherClients) client->shutdownConnection();
+  for (std::thread& t : watchers)
+    if (t.joinable()) t.join();
+  if (daemonGone) {
+    std::cerr << "daemon is gone\n";
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -925,6 +1128,7 @@ int main(int argc, char** argv) {
     if (args.command == "serve") return cmdServe(args);
     if (args.command == "submit") return cmdSubmit(args);
     if (args.command == "jobs") return cmdJobs(args);
+    if (args.command == "top") return cmdTop(args);
     std::cerr << "unknown command: " << args.command << "\n";
     printGlobalHelp();
     return 2;
