@@ -26,6 +26,8 @@
 #include "machine/machine.h"
 #include "observe/metrics.h"
 #include "perfmodel/footprint.h"
+#include "runtime/adaptive.h"
+#include "runtime/traffic.h"
 #include "support/check.h"
 #include "support/json.h"
 #include "support/mem_access.h"
@@ -196,6 +198,32 @@ double cachesimRate(double minSeconds) {
   });
 }
 
+/// Adaptive dispatch: one steady-state select() + onMeasured() cycle on a
+/// warmed policy — the overhead the adaptive runtime adds to every region
+/// invocation. Healthy is tens of nanoseconds, i.e. tens of millions of
+/// selections per second.
+double adaptiveDispatchRate(double minSeconds) {
+  const mv::VersionTable table = runtime::syntheticTable(6, 1, 16);
+  runtime::AdaptiveOptions options;
+  options.window = 16;
+  runtime::AdaptivePolicy policy(options);
+  runtime::AdaptiveContext context;
+  context.sizeBucket = 12;
+  context.availableThreads = 16;
+  policy.setContext(context);
+  for (int i = 0; i < 64; ++i) // get past warmup: measure the Hold path
+    policy.onMeasured(policy.select(table), 1e-3);
+  constexpr std::size_t kBatch = 1024;
+  return throughput(minSeconds, [&] {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const std::size_t arm = policy.select(table);
+      policy.onMeasured(arm, 1e-3 + 1e-6 * static_cast<double>(arm));
+    }
+    escape(&policy);
+    return kBatch;
+  });
+}
+
 support::Json toJson(const std::vector<Result>& results) {
   support::JsonArray benchmarks;
   for (const auto& r : results)
@@ -282,6 +310,8 @@ int main(int argc, char** argv) {
   const double bytecode = interpRate(/*bytecode=*/true, minTime);
   add("interp.bytecode", bytecode, "statements/s");
   add("cachesim.batch", cachesimRate(minTime), "accesses/s");
+  add("dispatch.adaptive_select", adaptiveDispatchRate(minTime),
+      "selections/s");
   // Machine-independent ratios: gated tighter than the absolute floors.
   add("interp.bytecode_speedup", tree > 0.0 ? bytecode / tree : 0.0, "ratio");
   add("memo.mt4_speedup", memoSerial > 0.0 ? memoMt4 / memoSerial : 0.0,

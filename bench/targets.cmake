@@ -30,6 +30,10 @@ motune_bench(bench_smoke)
 # Self-timed hot-path throughput suite; emits BENCH_hotpath.json and gates
 # against bench/baselines/hotpath_baseline.json (conservative floors).
 motune_bench(bench_hotpath)
+# Adaptive-selection gate: deterministic per-scenario convergence ratios
+# (tight machine-independent floors) plus replay throughput, gated against
+# bench/baselines/adaptive_baseline.json.
+motune_bench(bench_adaptive)
 # Daemon load harness: boots an in-process `motune serve`, pushes a burst of
 # small jobs, reports submit throughput and p50/p99 job latency, and gates
 # against bench/baselines/serve_baseline.json (floors for rates, ceilings

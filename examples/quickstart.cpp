@@ -68,12 +68,12 @@ int main() {
 
   struct Scenario {
     const char* description;
-    const runtime::SelectionPolicy& policy;
+    runtime::SelectionPolicy& policy;
   };
-  const runtime::WeightedSumPolicy fastest(1.0, 0.0);
-  const runtime::WeightedSumPolicy balanced(0.5, 0.5);
-  const runtime::WeightedSumPolicy thrifty(0.0, 1.0);
-  const runtime::ThreadCapPolicy capped(4);
+  runtime::WeightedSumPolicy fastest(1.0, 0.0);
+  runtime::WeightedSumPolicy balanced(0.5, 0.5);
+  runtime::WeightedSumPolicy thrifty(0.0, 1.0);
+  runtime::ThreadCapPolicy capped(4);
   for (const Scenario& s :
        {Scenario{"all about speed  (w = 1.0/0.0)", fastest},
         Scenario{"balanced         (w = 0.5/0.5)", balanced},

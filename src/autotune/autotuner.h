@@ -8,7 +8,8 @@
 //   autotune::TuningResult result = tuner.tune(problem);
 //   mv::VersionTable table = autotune::buildVersionTable(result, problem);
 //   runtime::Region region(table);
-//   region.invoke(runtime::WeightedSumPolicy(0.7, 0.3));
+//   runtime::WeightedSumPolicy policy(0.7, 0.3);
+//   region.invoke(policy);
 #pragma once
 
 #include "core/gde3.h"

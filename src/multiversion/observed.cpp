@@ -1,0 +1,59 @@
+#include "multiversion/observed.h"
+
+namespace motune::mv {
+
+ObservedCost::ObservedCost(std::size_t capacity) {
+  MOTUNE_CHECK_MSG(capacity > 0, "ObservedCost window capacity must be positive");
+  ring_.assign(capacity, 0.0);
+}
+
+void ObservedCost::push(double cost) {
+  if (count_ == ring_.size()) {
+    sum_ -= ring_[head_];
+  } else {
+    ++count_;
+  }
+  ring_[head_] = cost;
+  sum_ += cost;
+  head_ = (head_ + 1) % ring_.size();
+  ++pushes_;
+  // Re-sum the ring exactly once per wrap: the incremental add/subtract
+  // above drifts by one ulp-scale error per eviction, and selection
+  // thresholds (hysteresis margins of a few percent) must not wander
+  // over a long run.
+  if (head_ == 0 && count_ == ring_.size()) {
+    double exact = 0.0;
+    for (double v : ring_) exact += v;
+    sum_ = exact;
+  }
+}
+
+double ObservedCost::mean() const {
+  MOTUNE_CHECK_MSG(count_ > 0, "ObservedCost::mean on empty window");
+  return sum_ / static_cast<double>(count_);
+}
+
+double ObservedCost::last() const {
+  MOTUNE_CHECK_MSG(count_ > 0, "ObservedCost::last on empty window");
+  std::size_t idx = (head_ + ring_.size() - 1) % ring_.size();
+  return ring_[idx];
+}
+
+double ObservedCost::min() const {
+  MOTUNE_CHECK_MSG(count_ > 0, "ObservedCost::min on empty window");
+  double best = ring_[(head_ + ring_.size() - 1) % ring_.size()];
+  for (std::size_t i = 0; i < count_; ++i) {
+    std::size_t idx = (head_ + ring_.size() - 1 - i) % ring_.size();
+    if (ring_[idx] < best) best = ring_[idx];
+  }
+  return best;
+}
+
+void ObservedCost::clear() {
+  head_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  for (double& v : ring_) v = 0.0;
+}
+
+}  // namespace motune::mv

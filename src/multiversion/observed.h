@@ -1,0 +1,59 @@
+#pragma once
+// Per-version observed-cost statistics.
+//
+// The offline tuner stamps every code version with a *predicted* cost
+// (VersionMeta::timeSeconds, measured on the tuning machine at the tuning
+// problem size).  At run time the real cost drifts: inputs shrink, cores
+// disappear under co-scheduled regions, caches cool.  ObservedCost keeps a
+// fixed-capacity sliding window of measured costs per version so an online
+// selection policy can rank versions by what they cost *now* rather than
+// what they cost when tuned.
+//
+// Deterministic by construction: same push sequence, same state.  The
+// windowed mean keeps a running sum that is recomputed exactly from the
+// ring once per wrap, so a billion pushes cannot accumulate float drift
+// into a selection decision.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.h"
+
+namespace motune::mv {
+
+/// Fixed-capacity sliding window over observed costs with O(1) push/mean.
+class ObservedCost {
+ public:
+  explicit ObservedCost(std::size_t capacity = 32);
+
+  /// Record one measured cost (seconds).  Evicts the oldest sample once
+  /// the window is full.
+  void push(double cost);
+
+  /// Samples currently in the window: min(pushes(), capacity()).
+  std::size_t count() const { return count_; }
+  /// Lifetime samples recorded, including evicted ones.
+  std::uint64_t pushes() const { return pushes_; }
+  std::size_t capacity() const { return ring_.size(); }
+  bool empty() const { return count_ == 0; }
+
+  /// Windowed mean cost.  MOTUNE_CHECKs against an empty window.
+  double mean() const;
+  /// Most recent sample.  MOTUNE_CHECKs against an empty window.
+  double last() const;
+  /// Smallest sample in the window (O(window); not for hot paths).
+  double min() const;
+
+  /// Drop all samples (lifetime pushes() is kept).
+  void clear();
+
+ private:
+  std::vector<double> ring_;
+  std::size_t head_ = 0;   ///< next slot to write
+  std::size_t count_ = 0;  ///< live samples
+  std::uint64_t pushes_ = 0;
+  double sum_ = 0.0;  ///< running sum of the live window
+};
+
+}  // namespace motune::mv

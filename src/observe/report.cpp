@@ -189,6 +189,9 @@ Report buildReport(const std::vector<TraceRecord>& records,
       else if (r.name == "rt.ring.dropped") {
         report.sawRingDropCounter = true;
         report.ringDrops = static_cast<std::uint64_t>(attrInt(r.attrs, "value"));
+      } else if (r.name.rfind("rt.adaptive.", 0) == 0) {
+        report.adaptiveCounters[r.name] =
+            static_cast<std::uint64_t>(attrInt(r.attrs, "value"));
       }
     } else if (r.kind == TraceRecord::Kind::Histogram &&
                r.name == "tuning.evaluation.seconds") {
@@ -404,6 +407,12 @@ std::string renderMarkdown(const Report& report) {
       out << "\n";
     }
   }
+  if (!report.adaptiveCounters.empty()) {
+    out << mdHeader({"adaptive counter", "value"});
+    for (const auto& [counter, n] : report.adaptiveCounters)
+      out << mdRow({counter, std::to_string(n)});
+    out << "\n";
+  }
 
   // Model validation.
   out << "## Cost model vs. cache simulator\n\n";
@@ -500,6 +509,15 @@ support::Json reportToJson(const Report& report) {
   for (const auto& [version, n] : report.invocations)
     invocations["v" + std::to_string(version)] = support::Json(n);
   root["invocations"] = support::Json(std::move(invocations));
+
+  // Only present when the trace carries adaptive-selection counters, so
+  // tuning-only report JSON is unchanged.
+  if (!report.adaptiveCounters.empty()) {
+    support::JsonObject adaptive;
+    for (const auto& [counter, n] : report.adaptiveCounters)
+      adaptive[counter] = support::Json(n);
+    root["adaptive"] = support::Json(std::move(adaptive));
+  }
 
   support::JsonArray validations;
   for (const auto& a : report.validations)

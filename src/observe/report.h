@@ -89,6 +89,7 @@ struct Report {
   std::map<std::string, std::map<std::int64_t, std::uint64_t>>
       selectionsByPolicy;                            ///< region.select
   std::map<std::int64_t, std::uint64_t> invocations; ///< rt.region by version
+  std::map<std::string, std::uint64_t> adaptiveCounters; ///< rt.adaptive.*
 
   // Model-vs-cachesim validation (eval.validate events).
   std::vector<support::JsonObject> validations;

@@ -1,0 +1,251 @@
+#include "runtime/adaptive.h"
+
+#include "observe/metrics.h"
+#include "runtime/scheduler.h"
+#include "support/check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace motune::runtime {
+
+namespace {
+
+// Stable handles; look them up once instead of per decision.
+observe::Counter& invocationsCounter() {
+  static observe::Counter& c =
+      observe::MetricsRegistry::global().counter("rt.adaptive.invocations");
+  return c;
+}
+observe::Counter& switchesCounter() {
+  static observe::Counter& c =
+      observe::MetricsRegistry::global().counter("rt.adaptive.switches");
+  return c;
+}
+observe::Counter& explorationsCounter() {
+  static observe::Counter& c =
+      observe::MetricsRegistry::global().counter("rt.adaptive.explorations");
+  return c;
+}
+observe::Counter& contextShiftsCounter() {
+  static observe::Counter& c =
+      observe::MetricsRegistry::global().counter("rt.adaptive.context_shifts");
+  return c;
+}
+
+} // namespace
+
+int sizeBucketOf(std::int64_t size) {
+  if (size < 2) return 0;
+  int bucket = 0;
+  std::uint64_t v = static_cast<std::uint64_t>(size);
+  while (v >>= 1) ++bucket;
+  return bucket;
+}
+
+std::uint64_t AdaptiveContext::key() const {
+  // 16 bits of size bucket, 24 of threads, 24 of pressure — far beyond any
+  // plausible value range, so distinct contexts never collide.
+  return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(sizeBucket))
+          << 48) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+              availableThreads) &
+          0xffffffu)
+          << 24) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pressure)) &
+          0xffffffu);
+}
+
+AdaptivePolicy::AdaptivePolicy(AdaptiveOptions options)
+    : options_(options), rng_(options.seed) {
+  MOTUNE_CHECK_MSG(options_.window > 0, "adaptive window must be positive");
+  MOTUNE_CHECK_MSG(options_.epsilon >= 0.0 && options_.epsilon < 1.0,
+                   "epsilon must be in [0, 1)");
+  MOTUNE_CHECK_MSG(options_.switchMargin >= 0.0,
+                   "switch margin must be non-negative");
+  MOTUNE_CHECK_MSG(options_.warmupPulls > 0,
+                   "warmup must measure every arm at least once");
+  // Register every counter up front: a metrics dump from a run with zero
+  // switches must show rt.adaptive.switches = 0, not omit the key.
+  invocationsCounter();
+  switchesCounter();
+  explorationsCounter();
+  contextShiftsCounter();
+}
+
+AdaptivePolicy::ContextState&
+AdaptivePolicy::stateFor(const mv::VersionTable& table) {
+  if (current_ == nullptr) current_ = &bank_[context_.key()];
+  ContextState& state = *current_;
+  if (state.arms.empty()) {
+    state.arms.reserve(table.size());
+    for (std::size_t i = 0; i < table.size(); ++i)
+      state.arms.emplace_back(options_.window);
+  }
+  MOTUNE_CHECK_MSG(state.arms.size() == table.size(),
+                   "version table resized under an adaptive policy");
+  return state;
+}
+
+void AdaptivePolicy::refreshBest(ContextState& state, std::size_t updated) {
+  const Arm& candidate = state.arms[updated];
+  const Arm& incumbent = state.arms[state.best];
+  if (incumbent.window.pushes() == 0 ||
+      candidate.cachedMean < incumbent.cachedMean) {
+    state.best = updated;
+    return;
+  }
+  if (updated == state.best) {
+    // The best arm's own mean moved (possibly up): rescan.  O(arms), only
+    // when the incumbent is the arm that changed.
+    std::size_t best = updated;
+    for (std::size_t i = 0; i < state.arms.size(); ++i) {
+      if (state.arms[i].window.pushes() == 0) continue;
+      if (state.arms[i].cachedMean < state.arms[best].cachedMean) best = i;
+    }
+    state.best = best;
+  }
+}
+
+std::size_t AdaptivePolicy::select(const mv::VersionTable& table) {
+  MOTUNE_CHECK_MSG(!table.empty(), "adaptive select on empty table");
+  ContextState& state = stateFor(table);
+  ++decisions_;
+  invocationsCounter().add();
+
+  // Warmup: measure every arm warmupPulls times, round-robin, before any
+  // exploitation in this context.
+  if (!state.warmedUp) {
+    const std::uint64_t target = options_.warmupPulls;
+    for (std::size_t probe = 0; probe < state.arms.size(); ++probe) {
+      const std::size_t arm =
+          (state.warmupCursor + probe) % state.arms.size();
+      if (state.arms[arm].window.pushes() < target) {
+        state.warmupCursor = arm + 1;
+        pending_ = arm;
+        lastReason_ = SelectReason::Warmup;
+        return arm;
+      }
+    }
+    state.warmedUp = true;
+    state.committed = state.best;
+    state.dwell = 0;
+  }
+
+  ++state.dwell;
+
+  // Exploration excursion (epsilon-greedy): measure a random non-committed
+  // arm without moving the committed choice or resetting its dwell.
+  if (options_.explore == ExploreKind::EpsilonGreedy &&
+      options_.epsilon > 0.0 && table.size() > 1 &&
+      rng_.uniform() < options_.epsilon) {
+    std::size_t arm = static_cast<std::size_t>(rng_.uniformInt(
+        0, static_cast<std::int64_t>(table.size()) - 2));
+    if (arm >= state.committed) ++arm; // skip the committed arm
+    ++explorations_;
+    explorationsCounter().add();
+    pending_ = arm;
+    lastReason_ = SelectReason::Explore;
+    return arm;
+  }
+
+  // Candidate: lowest windowed mean, optionally decorated with a UCB
+  // optimism bonus that favours under-sampled arms.
+  std::size_t candidate = state.best;
+  if (options_.explore == ExploreKind::Ucb && table.size() > 1) {
+    const double total = static_cast<double>(state.dwell + table.size());
+    double bestScore = 0.0;
+    bool first = true;
+    for (std::size_t i = 0; i < state.arms.size(); ++i) {
+      const Arm& arm = state.arms[i];
+      if (arm.window.pushes() == 0) continue;
+      const double pulls = static_cast<double>(
+          std::min<std::uint64_t>(arm.window.pushes(), options_.window));
+      const double bonus =
+          options_.ucbC * std::sqrt(std::log(total) / pulls);
+      const double score = arm.cachedMean * (1.0 - bonus);
+      if (first || score < bestScore) {
+        bestScore = score;
+        candidate = i;
+        first = false;
+      }
+    }
+    if (candidate != state.best && candidate != state.committed) {
+      ++explorations_;
+      explorationsCounter().add();
+      pending_ = candidate;
+      lastReason_ = SelectReason::Explore;
+      return candidate;
+    }
+    candidate = state.best;
+  }
+
+  // Hysteresis: switch the committed arm only after minDwell decisions and
+  // only for a relative improvement beyond switchMargin.
+  if (candidate != state.committed && state.dwell >= options_.minDwell) {
+    const double incumbent = state.arms[state.committed].cachedMean;
+    const double challenger = state.arms[candidate].cachedMean;
+    if (challenger < incumbent * (1.0 - options_.switchMargin)) {
+      state.committed = candidate;
+      state.dwell = 0;
+      ++switches_;
+      switchesCounter().add();
+      pending_ = candidate;
+      lastReason_ = SelectReason::Switch;
+      return candidate;
+    }
+  }
+
+  pending_ = state.committed;
+  lastReason_ = SelectReason::Hold;
+  return state.committed;
+}
+
+void AdaptivePolicy::onMeasured(std::size_t index, double seconds) {
+  if (current_ == nullptr) return; // feedback before any select(): ignore
+  ContextState& state = *current_;
+  if (index >= state.arms.size()) return;
+  Arm& arm = state.arms[index];
+  arm.window.push(seconds);
+  arm.cachedMean = arm.window.mean();
+  refreshBest(state, index);
+}
+
+void AdaptivePolicy::setContext(const AdaptiveContext& context) {
+  if (current_ != nullptr && context == context_) return;
+  const bool shifted = current_ != nullptr;
+  context_ = context;
+  current_ = &bank_[context_.key()];
+  if (shifted) {
+    ++contextShifts_;
+    contextShiftsCounter().add();
+  }
+}
+
+std::size_t AdaptivePolicy::committedArm() const {
+  if (current_ == nullptr) return 0;
+  return current_->warmedUp ? current_->committed : current_->best;
+}
+
+std::vector<ArmSnapshot> AdaptivePolicy::armStats() const {
+  std::vector<ArmSnapshot> out;
+  if (current_ == nullptr) return out;
+  out.reserve(current_->arms.size());
+  for (const Arm& arm : current_->arms) {
+    ArmSnapshot snap;
+    snap.pulls = arm.window.pushes();
+    snap.mean = arm.window.pushes() > 0 ? arm.cachedMean : 0.0;
+    out.push_back(snap);
+  }
+  return out;
+}
+
+int coScheduledPressure(const std::vector<Placement>& placements,
+                        std::size_t selfRegion) {
+  int pressure = 0;
+  for (const Placement& p : placements)
+    if (p.regionIndex != selfRegion) pressure += p.threads;
+  return pressure;
+}
+
+} // namespace motune::runtime

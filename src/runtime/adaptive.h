@@ -1,0 +1,139 @@
+#pragma once
+// Online adaptive version selection (ROADMAP: "online adaptive runtime
+// selection under live traffic").
+//
+// The offline tuner (paper §III) leaves a Pareto table of code versions;
+// the paper's runtime (§IV, Fig. 3 label 6) picks among them with *static*
+// policies driven by the tuning-time measurements.  AdaptivePolicy closes
+// the loop at run time: it treats the table's versions as bandit arms,
+// keeps a sliding window of *measured* cost per arm (mv::ObservedCost),
+// and picks the arm with the lowest windowed mean — with seeded
+// deterministic exploration (epsilon-greedy or UCB) so a drifting
+// environment is re-probed, and hysteresis (minimum dwell + relative
+// switch margin) so selection never thrashes between near-equal arms.
+//
+// Context: the observable environment (input size bucket, available
+// threads, co-scheduled pressure) keys a separate bank of arm statistics.
+// A context shift re-enters warmup for unseen contexts and instantly
+// resumes learned statistics for previously seen ones.
+//
+// Everything is deterministic given (options.seed, context sequence,
+// measured-cost sequence): the only randomness is the policy's own
+// xoshiro stream.  The traffic replay harness (runtime/traffic.h) drives
+// this property into a bit-reproducibility gate.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "multiversion/observed.h"
+#include "runtime/policy.h"
+#include "support/rng.h"
+
+namespace motune::runtime {
+
+/// What the selector can observe about the world at one invocation.
+struct AdaptiveContext {
+  int sizeBucket = 0;       ///< floor(log2(problem size)); see sizeBucketOf
+  int availableThreads = 0; ///< cores currently usable (0 = unconstrained)
+  int pressure = 0;         ///< threads demanded by co-scheduled regions
+
+  friend bool operator==(const AdaptiveContext&,
+                         const AdaptiveContext&) = default;
+  /// Stable packed key for the per-context statistics bank.
+  std::uint64_t key() const;
+};
+
+/// Bucket a problem size for context keying: floor(log2(max(1, size))).
+int sizeBucketOf(std::int64_t size);
+
+enum class ExploreKind { EpsilonGreedy, Ucb };
+
+struct AdaptiveOptions {
+  std::uint64_t seed = 1;
+  std::size_t window = 32;   ///< sliding-window samples kept per arm
+  double epsilon = 0.02;     ///< exploration rate (EpsilonGreedy)
+  double ucbC = 0.5;         ///< optimism coefficient (Ucb)
+  ExploreKind explore = ExploreKind::EpsilonGreedy;
+  std::uint64_t minDwell = 32; ///< invocations between committed switches
+  double switchMargin = 0.05;  ///< relative gain required to switch
+  std::size_t warmupPulls = 1; ///< measurements per arm before exploiting
+};
+
+/// Why the last select() picked what it picked (exposed for tests/logs).
+enum class SelectReason { Warmup, Hold, Switch, Explore };
+
+/// Snapshot of one arm's statistics in the current context.
+struct ArmSnapshot {
+  std::uint64_t pulls = 0; ///< lifetime measurements for this (context, arm)
+  double mean = 0.0;       ///< windowed mean cost; 0 when never pulled
+};
+
+class AdaptivePolicy final : public SelectionPolicy {
+public:
+  explicit AdaptivePolicy(AdaptiveOptions options = {});
+
+  std::size_t select(const mv::VersionTable& table) override;
+  void onMeasured(std::size_t index, double seconds) override;
+  std::string name() const override { return "adaptive"; }
+
+  /// Declare the observed context for subsequent invocations.  A shift to
+  /// an unseen context re-enters warmup; a return to a seen context
+  /// resumes its learned statistics.
+  void setContext(const AdaptiveContext& context);
+  const AdaptiveContext& context() const { return context_; }
+
+  const AdaptiveOptions& options() const { return options_; }
+
+  // Introspection (cheap; used by tests, benches, and the replay log).
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t switches() const { return switches_; }
+  std::uint64_t explorations() const { return explorations_; }
+  std::uint64_t contextShifts() const { return contextShifts_; }
+  std::size_t committedArm() const;
+  SelectReason lastReason() const { return lastReason_; }
+  /// Arm statistics for the current context (empty before first select).
+  std::vector<ArmSnapshot> armStats() const;
+
+private:
+  struct Arm {
+    explicit Arm(std::size_t capacity) : window(capacity) {}
+    mv::ObservedCost window;
+    double cachedMean = 0.0; ///< window.mean(), maintained on push
+  };
+
+  struct ContextState {
+    std::vector<Arm> arms;
+    std::size_t committed = 0;   ///< arm exploitation returns to
+    std::size_t best = 0;        ///< argmin of cachedMean over pulled arms
+    std::uint64_t dwell = 0;     ///< decisions since the last switch
+    std::size_t warmupCursor = 0;
+    bool warmedUp = false;
+  };
+
+  ContextState& stateFor(const mv::VersionTable& table);
+  void refreshBest(ContextState& state, std::size_t updated);
+
+  AdaptiveOptions options_;
+  support::Rng rng_;
+  AdaptiveContext context_;
+  std::map<std::uint64_t, ContextState> bank_;
+  ContextState* current_ = nullptr; ///< bank_[context_.key()], cached
+  std::size_t pending_ = 0;         ///< arm returned by the last select()
+  SelectReason lastReason_ = SelectReason::Warmup;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t switches_ = 0;
+  std::uint64_t explorations_ = 0;
+  std::uint64_t contextShifts_ = 0;
+};
+
+/// Co-scheduled pressure on `selfRegion` implied by a scheduler placement:
+/// the threads every *other* region was granted.  Feed it into
+/// AdaptiveContext::pressure so a region's selector sees its neighbours.
+struct Placement; // scheduler.h
+int coScheduledPressure(const std::vector<Placement>& placements,
+                        std::size_t selfRegion);
+
+} // namespace motune::runtime

@@ -19,7 +19,7 @@ WeightedSumPolicy::WeightedSumPolicy(double timeWeight, double resourceWeight)
   MOTUNE_CHECK(timeWeight + resourceWeight > 0.0);
 }
 
-std::size_t WeightedSumPolicy::select(const mv::VersionTable& table) const {
+std::size_t WeightedSumPolicy::select(const mv::VersionTable& table) {
   MOTUNE_CHECK(!table.empty());
   const auto [tLo, tHi] = table.timeRange();
   const auto [rLo, rHi] = table.resourceRange();
@@ -44,7 +44,7 @@ TimeBudgetPolicy::TimeBudgetPolicy(double budgetSeconds) : budget_(budgetSeconds
   MOTUNE_CHECK(budgetSeconds > 0.0);
 }
 
-std::size_t TimeBudgetPolicy::select(const mv::VersionTable& table) const {
+std::size_t TimeBudgetPolicy::select(const mv::VersionTable& table) {
   MOTUNE_CHECK(!table.empty());
   std::size_t best = table.fastest();
   bool found = false;
@@ -66,7 +66,7 @@ EfficiencyFloorPolicy::EfficiencyFloorPolicy(double minEfficiency,
   MOTUNE_CHECK(minEfficiency > 0.0 && minEfficiency <= 1.0);
 }
 
-std::size_t EfficiencyFloorPolicy::select(const mv::VersionTable& table) const {
+std::size_t EfficiencyFloorPolicy::select(const mv::VersionTable& table) {
   MOTUNE_CHECK(!table.empty());
   const double serial = serialSeconds_.value_or(serialReference(table));
   std::size_t best = table.mostEfficient();
@@ -87,7 +87,7 @@ ThreadCapPolicy::ThreadCapPolicy(int maxThreads) : maxThreads_(maxThreads) {
   MOTUNE_CHECK(maxThreads >= 1);
 }
 
-std::size_t ThreadCapPolicy::select(const mv::VersionTable& table) const {
+std::size_t ThreadCapPolicy::select(const mv::VersionTable& table) {
   MOTUNE_CHECK(!table.empty());
   std::size_t best = 0;
   double bestTime = std::numeric_limits<double>::infinity();

@@ -19,10 +19,21 @@
 namespace motune::runtime {
 
 /// Strategy interface: picks the version of a table to execute.
+///
+/// select() is non-const: adaptive policies fold every decision into an
+/// internal model (stateless policies simply ignore the latitude).  After
+/// the chosen version runs, the region feeds the measured wall time back
+/// through onMeasured(), closing the measure -> model -> select loop.
 class SelectionPolicy {
 public:
   virtual ~SelectionPolicy() = default;
-  virtual std::size_t select(const mv::VersionTable& table) const = 0;
+  virtual std::size_t select(const mv::VersionTable& table) = 0;
+  /// Runtime feedback: version `index` just ran in `seconds`.  Default
+  /// no-op keeps the static policies oblivious.
+  virtual void onMeasured(std::size_t index, double seconds) {
+    (void)index;
+    (void)seconds;
+  }
   virtual std::string name() const = 0;
 };
 
@@ -32,7 +43,7 @@ public:
 class WeightedSumPolicy final : public SelectionPolicy {
 public:
   WeightedSumPolicy(double timeWeight, double resourceWeight);
-  std::size_t select(const mv::VersionTable& table) const override;
+  std::size_t select(const mv::VersionTable& table) override;
   std::string name() const override { return "weighted-sum"; }
 
 private:
@@ -45,7 +56,7 @@ private:
 class TimeBudgetPolicy final : public SelectionPolicy {
 public:
   explicit TimeBudgetPolicy(double budgetSeconds);
-  std::size_t select(const mv::VersionTable& table) const override;
+  std::size_t select(const mv::VersionTable& table) override;
   std::string name() const override { return "time-budget"; }
 
 private:
@@ -60,7 +71,7 @@ class EfficiencyFloorPolicy final : public SelectionPolicy {
 public:
   EfficiencyFloorPolicy(double minEfficiency,
                         std::optional<double> serialSeconds = std::nullopt);
-  std::size_t select(const mv::VersionTable& table) const override;
+  std::size_t select(const mv::VersionTable& table) override;
   std::string name() const override { return "efficiency-floor"; }
 
 private:
@@ -73,7 +84,7 @@ private:
 class ThreadCapPolicy final : public SelectionPolicy {
 public:
   explicit ThreadCapPolicy(int maxThreads);
-  std::size_t select(const mv::VersionTable& table) const override;
+  std::size_t select(const mv::VersionTable& table) override;
   std::string name() const override { return "thread-cap"; }
 
 private:

@@ -15,7 +15,7 @@ Region::Region(mv::VersionTable table)
   MOTUNE_CHECK_MSG(!table_.empty(), "region needs at least one version");
 }
 
-std::size_t Region::invoke(const SelectionPolicy& policy) {
+std::size_t Region::invoke(SelectionPolicy& policy) {
   const std::size_t index = policy.select(table_);
   // Record the version-selection decision itself (which policy picked
   // which version), not just the execution below.
@@ -27,11 +27,12 @@ std::size_t Region::invoke(const SelectionPolicy& policy) {
          {"version", support::Json(index)},
          {"threads", support::Json(table_[index].meta.threads)},
          {"est_seconds", support::Json(table_[index].meta.timeSeconds)}});
-  invokeVersion(index);
+  const double seconds = invokeVersion(index);
+  policy.onMeasured(index, seconds);
   return index;
 }
 
-void Region::invokeVersion(std::size_t index) {
+double Region::invokeVersion(std::size_t index) {
   MOTUNE_CHECK(index < table_.size());
   const mv::CodeVersion& version = table_[index];
   MOTUNE_CHECK_MSG(version.run != nullptr, "version has no executable body");
@@ -63,6 +64,7 @@ void Region::invokeVersion(std::size_t index) {
     event.arg1 = version.meta.threads;
     observe::RuntimeLog::global().ring().tryPush(event);
   }
+  return seconds;
 }
 
 std::uint64_t Region::totalInvocations() const {

@@ -19,12 +19,14 @@ class Region {
 public:
   explicit Region(mv::VersionTable table);
 
-  /// Selects a version with `policy`, executes it, and returns the index
-  /// of the version that ran.
-  std::size_t invoke(const SelectionPolicy& policy);
+  /// Selects a version with `policy`, executes it, feeds the measured wall
+  /// time back through SelectionPolicy::onMeasured (adaptive policies fold
+  /// it into their model), and returns the index of the version that ran.
+  std::size_t invoke(SelectionPolicy& policy);
 
   /// Executes a specific version (e.g. a scheduler made the decision).
-  void invokeVersion(std::size_t index);
+  /// Returns the measured wall time in seconds.
+  double invokeVersion(std::size_t index);
 
   const mv::VersionTable& table() const { return table_; }
 

@@ -1,0 +1,463 @@
+#include "runtime/traffic.h"
+
+#include "support/check.h"
+#include "support/json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace motune::runtime {
+
+namespace {
+
+// Shortest %g round-trip representation of a double for the spec printer.
+std::string fmtDouble(double v) {
+  for (int precision = 6; precision <= 17; ++precision) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::stod(buf) == v) return buf;
+  }
+  return "0";
+}
+
+// SplitMix64-style finalizer for counter-based noise hashing.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+} // namespace
+
+std::uint64_t TrafficSpec::totalInvocations() const {
+  std::uint64_t total = 0;
+  for (const TrafficPhase& p : phases) total += p.invocations;
+  return total;
+}
+
+void TrafficSpec::scaleTo(std::uint64_t total) {
+  const std::uint64_t current = totalInvocations();
+  MOTUNE_CHECK_MSG(current > 0, "cannot scale an empty traffic spec");
+  MOTUNE_CHECK_MSG(total > 0, "scaled invocation total must be positive");
+  for (TrafficPhase& p : phases) {
+    const double share =
+        static_cast<double>(p.invocations) / static_cast<double>(current);
+    p.invocations = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(share * total)));
+  }
+}
+
+TrafficSpec parseTrafficSpec(const std::string& text) {
+  TrafficSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& what) {
+    throw support::CheckError("traffic spec line " + std::to_string(lineno) +
+                              ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream words(line);
+    std::string directive;
+    if (!(words >> directive)) continue;
+    auto number = [&](const std::string& token, double lo) {
+      double v = 0.0;
+      try {
+        std::size_t used = 0;
+        v = std::stod(token, &used);
+        if (used != token.size()) throw std::invalid_argument(token);
+      } catch (const std::exception&) {
+        fail("malformed number '" + token + "'");
+      }
+      if (v < lo) fail("value " + token + " below minimum");
+      return v;
+    };
+    auto oneNumber = [&](double lo) {
+      std::string token;
+      if (!(words >> token)) fail("missing value after " + directive);
+      return number(token, lo);
+    };
+    if (directive == "seed") {
+      std::string token;
+      if (!(words >> token)) fail("missing value after seed");
+      try {
+        spec.seed = std::stoull(token);
+      } catch (const std::exception&) {
+        fail("malformed seed '" + token + "'");
+      }
+    } else if (directive == "ref-size") {
+      spec.refSize = static_cast<std::int64_t>(oneNumber(1.0));
+    } else if (directive == "fork-cost") {
+      spec.forkCost = oneNumber(0.0);
+    } else if (directive == "oversub-penalty") {
+      spec.oversubPenalty = oneNumber(1.0);
+    } else if (directive == "work-exponent") {
+      spec.workExponent = oneNumber(0.0);
+    } else if (directive == "default-threads") {
+      spec.defaultThreads = static_cast<int>(oneNumber(1.0));
+    } else if (directive == "phase") {
+      TrafficPhase phase;
+      std::string field;
+      while (words >> field) {
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos) fail("phase field without '=': " + field);
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "name") {
+          phase.name = value;
+        } else if (key == "invocations") {
+          phase.invocations = static_cast<std::uint64_t>(number(value, 1.0));
+        } else if (key == "size") {
+          const std::size_t dots = value.find("..");
+          const std::string lo =
+              dots == std::string::npos ? value : value.substr(0, dots);
+          const std::string hi =
+              dots == std::string::npos ? value : value.substr(dots + 2);
+          phase.sizeLo = static_cast<std::int64_t>(number(lo, 1.0));
+          phase.sizeHi = static_cast<std::int64_t>(number(hi, 1.0));
+        } else if (key == "threads") {
+          phase.availableThreads = static_cast<int>(number(value, 0.0));
+        } else if (key == "pressure") {
+          phase.pressure = static_cast<int>(number(value, 0.0));
+        } else if (key == "noise") {
+          phase.noise = number(value, 0.0);
+        } else {
+          fail("unknown phase field '" + key + "'");
+        }
+      }
+      spec.phases.push_back(std::move(phase));
+    } else {
+      fail("unknown directive '" + directive + "'");
+    }
+  }
+  MOTUNE_CHECK_MSG(!spec.phases.empty(), "traffic spec declares no phases");
+  return spec;
+}
+
+std::string printTrafficSpec(const TrafficSpec& spec) {
+  std::ostringstream out;
+  out << "seed " << spec.seed << "\n";
+  out << "ref-size " << spec.refSize << "\n";
+  out << "fork-cost " << fmtDouble(spec.forkCost) << "\n";
+  out << "oversub-penalty " << fmtDouble(spec.oversubPenalty) << "\n";
+  out << "work-exponent " << fmtDouble(spec.workExponent) << "\n";
+  out << "default-threads " << spec.defaultThreads << "\n";
+  for (const TrafficPhase& p : spec.phases) {
+    out << "phase name=" << p.name << " invocations=" << p.invocations
+        << " size=" << p.sizeLo;
+    if (p.sizeHi != p.sizeLo) out << ".." << p.sizeHi;
+    if (p.availableThreads != 0) out << " threads=" << p.availableThreads;
+    if (p.pressure != 0) out << " pressure=" << p.pressure;
+    if (p.noise != 0.0) out << " noise=" << fmtDouble(p.noise);
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<std::string> builtinScenarioNames() {
+  return {"steady", "size-ramp", "thread-drop", "pressure-burst", "mix"};
+}
+
+TrafficSpec builtinScenario(const std::string& name, std::uint64_t seed) {
+  // All scenarios model a 16-core host running a table tuned at size 4096.
+  // fork-cost is deliberately large relative to the base times so that
+  // small problem sizes genuinely favour low-thread versions.
+  std::string text;
+  if (name == "steady") {
+    text = "phase name=steady invocations=20000 size=4096 noise=0.1\n";
+  } else if (name == "size-ramp") {
+    text = "phase name=large invocations=8000 size=4096 noise=0.05\n"
+           "phase name=shrink invocations=8000 size=4096..64 noise=0.05\n"
+           "phase name=small invocations=8000 size=64 noise=0.05\n";
+  } else if (name == "thread-drop") {
+    text = "phase name=full invocations=8000 size=4096 threads=16 noise=0.05\n"
+           "phase name=starved invocations=8000 size=4096 threads=2 "
+           "noise=0.05\n"
+           "phase name=recovered invocations=8000 size=4096 threads=16 "
+           "noise=0.05\n";
+  } else if (name == "pressure-burst") {
+    text = "phase name=alone invocations=8000 size=4096 noise=0.05\n"
+           "phase name=burst invocations=8000 size=4096 pressure=14 "
+           "noise=0.05\n"
+           "phase name=calm invocations=8000 size=4096 noise=0.05\n";
+  } else if (name == "mix") {
+    text = "phase name=warm invocations=6000 size=4096 noise=0.08\n"
+           "phase name=shrink invocations=6000 size=4096..128 noise=0.08\n"
+           "phase name=starved invocations=6000 size=2048 threads=3 "
+           "noise=0.08\n"
+           "phase name=burst invocations=6000 size=4096 pressure=12 "
+           "noise=0.08\n"
+           "phase name=steady invocations=6000 size=4096 noise=0.08\n";
+  } else {
+    throw support::CheckError("unknown traffic scenario '" + name +
+                              "' (known: steady, size-ramp, thread-drop, "
+                              "pressure-burst, mix)");
+  }
+  TrafficSpec spec = parseTrafficSpec("fork-cost 2e-3\n" + text);
+  spec.seed = seed;
+  return spec;
+}
+
+TrafficGenerator::TrafficGenerator(TrafficSpec spec) : spec_(std::move(spec)) {
+  MOTUNE_CHECK_MSG(!spec_.phases.empty(), "traffic spec declares no phases");
+  MOTUNE_CHECK_MSG(spec_.defaultThreads > 0,
+                   "default-threads must be positive");
+  phaseStart_.reserve(spec_.phases.size());
+  for (const TrafficPhase& p : spec_.phases) {
+    MOTUNE_CHECK_MSG(p.invocations > 0, "phase with zero invocations");
+    MOTUNE_CHECK_MSG(p.sizeLo > 0 && p.sizeHi > 0, "phase size must be >= 1");
+    phaseStart_.push_back(total_);
+    total_ += p.invocations;
+  }
+}
+
+TrafficPoint TrafficGenerator::at(std::uint64_t index) const {
+  MOTUNE_CHECK_MSG(index < total_, "traffic index out of range");
+  const auto it =
+      std::upper_bound(phaseStart_.begin(), phaseStart_.end(), index);
+  const std::size_t phase =
+      static_cast<std::size_t>(it - phaseStart_.begin()) - 1;
+  const TrafficPhase& p = spec_.phases[phase];
+  const std::uint64_t local = index - phaseStart_[phase];
+
+  TrafficPoint point;
+  point.index = index;
+  point.phase = phase;
+  if (p.sizeLo == p.sizeHi || p.invocations <= 1) {
+    point.size = p.sizeLo;
+  } else {
+    const double t = static_cast<double>(local) /
+                     static_cast<double>(p.invocations - 1);
+    const double ratio =
+        static_cast<double>(p.sizeHi) / static_cast<double>(p.sizeLo);
+    const double size = static_cast<double>(p.sizeLo) * std::pow(ratio, t);
+    point.size = std::max<std::int64_t>(1, std::llround(size));
+  }
+  point.availableThreads =
+      p.availableThreads > 0 ? p.availableThreads : spec_.defaultThreads;
+  point.pressure = p.pressure;
+  return point;
+}
+
+AdaptiveContext TrafficGenerator::contextOf(const TrafficPoint& point) const {
+  AdaptiveContext ctx;
+  ctx.sizeBucket = sizeBucketOf(point.size);
+  ctx.availableThreads = point.availableThreads;
+  ctx.pressure = point.pressure;
+  return ctx;
+}
+
+double TrafficGenerator::trueCost(const mv::VersionMeta& meta,
+                                  const TrafficPoint& point) const {
+  const int usable = std::max(1, point.availableThreads - point.pressure);
+  const int threads = std::max(1, meta.threads);
+  const int effective = std::min(threads, usable);
+  const double scale = std::pow(
+      static_cast<double>(point.size) / static_cast<double>(spec_.refSize),
+      spec_.workExponent);
+  // Total work at the tuned size is time * threads (parallel versions carry
+  // their real waste); it shrinks or grows with the problem size, runs on
+  // the threads actually usable, and pays for oversubscription plus a
+  // per-extra-thread fork overhead that dominates at tiny sizes.
+  double cost = meta.timeSeconds * threads * scale / effective;
+  if (threads > usable) cost *= spec_.oversubPenalty;
+  cost += spec_.forkCost * (threads - 1);
+  return cost;
+}
+
+double TrafficGenerator::observedCost(const mv::VersionMeta& meta,
+                                      const TrafficPoint& point,
+                                      std::size_t arm) const {
+  const double cost = trueCost(meta, point);
+  const double noise = spec_.phases[point.phase].noise;
+  if (noise <= 0.0) return cost;
+  // Counter-based: the perturbation for (invocation, arm) is fixed by the
+  // seed alone, never by which arms the policy happened to pick earlier.
+  const std::uint64_t h =
+      mix64(spec_.seed ^ mix64(point.index * 0x9e3779b97f4a7c15ull ^
+                               (static_cast<std::uint64_t>(arm) + 1)));
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53; // [0, 1)
+  return cost * (1.0 + noise * (2.0 * unit - 1.0));
+}
+
+double ReplayOutcome::convergenceRatio() const {
+  if (adaptiveCost <= 0.0) return 1.0;
+  return bestStaticCost / adaptiveCost;
+}
+
+namespace {
+
+void writeLogLine(std::ostream& out, const char* name,
+                  support::JsonObject attrs) {
+  support::JsonObject record{{"type", support::Json("replay")},
+                             {"name", support::Json(name)},
+                             {"attrs", support::Json(std::move(attrs))}};
+  out << support::Json(std::move(record)).dump(-1) << '\n';
+}
+
+} // namespace
+
+ReplayOutcome replayTraffic(const TrafficSpec& spec,
+                            const mv::VersionTable& table,
+                            AdaptivePolicy& policy,
+                            const ReplayOptions& options) {
+  MOTUNE_CHECK_MSG(!table.empty(), "replay needs a non-empty version table");
+  const TrafficGenerator gen(spec);
+  const std::size_t arms = table.size();
+
+  ReplayOutcome outcome;
+  outcome.invocations = gen.total();
+  outcome.selectionCounts.assign(arms, 0);
+
+  if (options.log != nullptr) {
+    const AdaptiveOptions& opts = policy.options();
+    writeLogLine(
+        *options.log, "replay.header",
+        {{"format", support::Json("motune-replay-v1")},
+         {"scenario", support::Json(options.scenario)},
+         {"seed", support::Json(std::to_string(spec.seed))},
+         {"policy_seed", support::Json(std::to_string(opts.seed))},
+         {"policy", support::Json(policy.name())},
+         {"versions", support::Json(arms)},
+         {"invocations", support::Json(gen.total())},
+         {"window", support::Json(opts.window)},
+         {"epsilon", support::Json(opts.epsilon)},
+         {"min_dwell", support::Json(opts.minDwell)},
+         {"switch_margin", support::Json(opts.switchMargin)},
+         {"explore", support::Json(opts.explore == ExploreKind::Ucb
+                                       ? "ucb"
+                                       : "epsilon-greedy")}});
+  }
+
+  std::vector<double> armBill(arms, 0.0); // per-phase static bills
+  std::uint64_t index = 0;
+  for (std::size_t phaseIdx = 0; phaseIdx < spec.phases.size(); ++phaseIdx) {
+    const TrafficPhase& phase = spec.phases[phaseIdx];
+    PhaseOutcome po;
+    po.name = phase.name;
+    po.invocations = phase.invocations;
+    std::fill(armBill.begin(), armBill.end(), 0.0);
+    const std::uint64_t switchesBefore = policy.switches();
+    const std::uint64_t explorationsBefore = policy.explorations();
+
+    if (options.log != nullptr) {
+      writeLogLine(*options.log, "replay.phase",
+                   {{"phase", support::Json(phaseIdx)},
+                    {"phase_name", support::Json(phase.name)},
+                    {"invocation", support::Json(index)},
+                    {"invocations", support::Json(phase.invocations)},
+                    {"size_lo", support::Json(phase.sizeLo)},
+                    {"size_hi", support::Json(phase.sizeHi)},
+                    {"threads", support::Json(phase.availableThreads)},
+                    {"pressure", support::Json(phase.pressure)},
+                    {"noise", support::Json(phase.noise)}});
+    }
+
+    for (std::uint64_t local = 0; local < phase.invocations;
+         ++local, ++index) {
+      const TrafficPoint point = gen.at(index);
+      policy.setContext(gen.contextOf(point));
+      const std::size_t before = policy.committedArm();
+      const std::size_t arm = policy.select(table);
+      MOTUNE_CHECK(arm < arms);
+
+      double charged = 0.0;
+      double best = 0.0;
+      for (std::size_t a = 0; a < arms; ++a) {
+        const double cost = gen.observedCost(table[a].meta, point, a);
+        armBill[a] += cost;
+        if (a == 0 || cost < best) best = cost;
+        if (a == arm) charged = cost;
+      }
+      po.adaptiveCost += charged;
+      outcome.oracleCost += best;
+      ++outcome.selectionCounts[arm];
+
+      if (options.execute) table[arm].run(table[arm].meta.threads);
+      policy.onMeasured(arm, charged);
+
+      if (options.log != nullptr &&
+          policy.lastReason() == SelectReason::Switch) {
+        writeLogLine(*options.log, "replay.switch",
+                     {{"invocation", support::Json(point.index)},
+                      {"from", support::Json(before)},
+                      {"to", support::Json(arm)}});
+      }
+    }
+
+    po.bestStaticArm = 0;
+    for (std::size_t a = 1; a < arms; ++a)
+      if (armBill[a] < armBill[po.bestStaticArm]) po.bestStaticArm = a;
+    po.bestStaticCost = armBill[po.bestStaticArm];
+    po.switches = policy.switches() - switchesBefore;
+    po.explorations = policy.explorations() - explorationsBefore;
+    outcome.adaptiveCost += po.adaptiveCost;
+    outcome.bestStaticCost += po.bestStaticCost;
+    outcome.phases.push_back(std::move(po));
+  }
+
+  outcome.switches = policy.switches();
+  outcome.explorations = policy.explorations();
+  outcome.contextShifts = policy.contextShifts();
+
+  if (options.log != nullptr) {
+    support::JsonArray counts;
+    counts.reserve(arms);
+    for (std::uint64_t c : outcome.selectionCounts)
+      counts.emplace_back(c);
+    writeLogLine(*options.log, "replay.summary",
+                 {{"invocations", support::Json(outcome.invocations)},
+                  {"switches", support::Json(outcome.switches)},
+                  {"explorations", support::Json(outcome.explorations)},
+                  {"context_shifts", support::Json(outcome.contextShifts)},
+                  {"counts", support::Json(std::move(counts))},
+                  {"adaptive_cost", support::Json(outcome.adaptiveCost)},
+                  {"best_static_cost",
+                   support::Json(outcome.bestStaticCost)},
+                  {"oracle_cost", support::Json(outcome.oracleCost)},
+                  {"ratio", support::Json(outcome.convergenceRatio())}});
+  }
+  return outcome;
+}
+
+mv::VersionTable syntheticTable(std::size_t versions, std::uint64_t seed,
+                                int maxThreads) {
+  MOTUNE_CHECK_MSG(versions > 0, "synthetic table needs at least one version");
+  MOTUNE_CHECK_MSG(maxThreads >= 1, "synthetic table needs maxThreads >= 1");
+  support::Rng rng(seed);
+  mv::VersionTable table;
+  const double serialTime = 1.0;
+  for (std::size_t i = 0; i < versions; ++i) {
+    // Thread counts descend geometrically from maxThreads to 1; speedup is
+    // sub-linear (waste grows with thread count), so times ascend while
+    // resources descend — a Pareto front shaped like the paper's tables.
+    const double frac =
+        versions == 1 ? 0.0
+                      : static_cast<double>(i) /
+                            static_cast<double>(versions - 1);
+    const int threads = std::max(
+        1, static_cast<int>(std::llround(
+               std::pow(static_cast<double>(maxThreads), 1.0 - frac))));
+    const double efficiency = 0.55 + 0.4 * frac + 0.05 * rng.uniform();
+    mv::VersionMeta meta;
+    meta.configuration = {static_cast<std::int64_t>(i)};
+    meta.threads = threads;
+    meta.timeSeconds =
+        threads == 1 ? serialTime
+                     : serialTime / (static_cast<double>(threads) * efficiency);
+    meta.resources = static_cast<double>(threads) * meta.timeSeconds;
+    table.add({meta, [](int) {}});
+  }
+  return table;
+}
+
+} // namespace motune::runtime

@@ -1,0 +1,176 @@
+#pragma once
+// Deterministic synthetic traffic for the adaptive runtime.
+//
+// A TrafficSpec describes a sequence of workload phases — each phase fixes
+// an invocation count, a problem-size ramp, the threads the machine has
+// left over, and the co-scheduled pressure — plus a synthetic cost model
+// that maps a tuned VersionMeta onto the cost it would exhibit under that
+// phase's conditions.  replayTraffic() then drives millions of region
+// invocations through an AdaptivePolicy, charging it the modelled cost of
+// whichever arm it picks, and compares the cumulative bill against the
+// best *static* arm per phase in hindsight and against the per-invocation
+// oracle.
+//
+// Everything is a pure function of (spec, seed): measurement noise is
+// counter-based — hashed from (seed, invocation index, arm) — so the noise
+// an arm would see does not depend on which arms were picked before it,
+// and the selection log is byte-identical across reruns, thread-pool
+// sizes, and platforms.
+//
+// Spec text grammar (one directive per line, '#' comments):
+//
+//   seed 42
+//   ref-size 4096
+//   fork-cost 2e-4
+//   oversub-penalty 1.6
+//   work-exponent 1.0
+//   default-threads 16
+//   phase name=warm invocations=2000 size=4096 threads=16 pressure=0 noise=0.05
+//   phase name=drop invocations=2000 size=4096..1024 threads=4
+//
+// `size=A..B` ramps geometrically from A to B across the phase.  Omitted
+// phase fields keep their defaults (threads=0 means "default-threads").
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "multiversion/version_table.h"
+#include "runtime/adaptive.h"
+
+namespace motune::runtime {
+
+struct TrafficPhase {
+  std::string name = "phase";
+  std::uint64_t invocations = 1000;
+  std::int64_t sizeLo = 4096; ///< problem size at the phase's first invocation
+  std::int64_t sizeHi = 4096; ///< ... and at its last (geometric ramp between)
+  int availableThreads = 0;   ///< 0 = the spec's default-threads
+  int pressure = 0;           ///< co-scheduled thread demand
+  double noise = 0.0;         ///< relative measurement noise amplitude
+
+  friend bool operator==(const TrafficPhase&, const TrafficPhase&) = default;
+};
+
+struct TrafficSpec {
+  std::uint64_t seed = 1;
+  std::int64_t refSize = 4096;  ///< size the table's timeSeconds was tuned at
+  double forkCost = 2e-4;       ///< per-extra-thread spawn overhead (seconds)
+  double oversubPenalty = 1.6;  ///< cost multiplier when threads > usable
+  double workExponent = 1.0;    ///< work ~ (size / refSize) ^ exponent
+  int defaultThreads = 16;
+  std::vector<TrafficPhase> phases;
+
+  std::uint64_t totalInvocations() const;
+  /// Proportionally rescale the phase lengths to ~total invocations
+  /// (each phase keeps at least one invocation).
+  void scaleTo(std::uint64_t total);
+
+  friend bool operator==(const TrafficSpec&, const TrafficSpec&) = default;
+};
+
+/// Parses the spec grammar above.  Throws support::CheckError on unknown
+/// directives, malformed values, or a spec with no phases.
+TrafficSpec parseTrafficSpec(const std::string& text);
+
+/// Renders a spec back into the grammar; parse(print(s)) == s.
+std::string printTrafficSpec(const TrafficSpec& spec);
+
+/// Names of the built-in scenarios: steady, size-ramp, thread-drop,
+/// pressure-burst, mix.
+std::vector<std::string> builtinScenarioNames();
+
+/// A built-in phase-changing scenario by name, reseeded with `seed`.
+/// Throws support::CheckError for an unknown name.
+TrafficSpec builtinScenario(const std::string& name, std::uint64_t seed);
+
+/// One invocation's observable conditions, decoded from the spec.
+struct TrafficPoint {
+  std::uint64_t index = 0;  ///< global invocation index
+  std::size_t phase = 0;    ///< phase ordinal
+  std::int64_t size = 0;    ///< problem size at this invocation
+  int availableThreads = 0; ///< resolved (never 0)
+  int pressure = 0;
+};
+
+/// Random-access decoder for a spec: invocation index -> conditions and
+/// per-arm modelled costs.  Stateless after construction; all methods are
+/// const and thread-safe.
+class TrafficGenerator {
+public:
+  explicit TrafficGenerator(TrafficSpec spec);
+
+  const TrafficSpec& spec() const { return spec_; }
+  std::uint64_t total() const { return total_; }
+
+  TrafficPoint at(std::uint64_t index) const;
+  AdaptiveContext contextOf(const TrafficPoint& point) const;
+
+  /// Noise-free modelled cost of running `meta` under `point`.
+  double trueCost(const mv::VersionMeta& meta, const TrafficPoint& point) const;
+
+  /// trueCost with deterministic multiplicative measurement noise drawn
+  /// from hash(seed, point.index, arm) — independent of selection history.
+  double observedCost(const mv::VersionMeta& meta, const TrafficPoint& point,
+                      std::size_t arm) const;
+
+private:
+  TrafficSpec spec_;
+  std::vector<std::uint64_t> phaseStart_; ///< cumulative invocation offsets
+  std::uint64_t total_ = 0;
+};
+
+/// Per-phase replay outcome: the adaptive bill vs. the hindsight-best
+/// static arm held for the whole phase.
+struct PhaseOutcome {
+  std::string name;
+  std::uint64_t invocations = 0;
+  double adaptiveCost = 0.0;
+  double bestStaticCost = 0.0;
+  std::size_t bestStaticArm = 0;
+  std::uint64_t switches = 0;     ///< committed switches during the phase
+  std::uint64_t explorations = 0; ///< exploration excursions during the phase
+};
+
+struct ReplayOutcome {
+  std::vector<PhaseOutcome> phases;
+  double adaptiveCost = 0.0;
+  double bestStaticCost = 0.0; ///< sum of per-phase hindsight-best bills
+  double oracleCost = 0.0;     ///< per-invocation best arm (lower bound)
+  std::uint64_t invocations = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t explorations = 0;
+  std::uint64_t contextShifts = 0;
+  std::vector<std::uint64_t> selectionCounts; ///< per arm, whole replay
+
+  /// bestStaticCost / adaptiveCost — 1.0 means "as good as the hindsight
+  /// best static schedule"; the scenario gates assert >= 0.9.
+  double convergenceRatio() const;
+};
+
+struct ReplayOptions {
+  /// Stream for the JSONL selection log (replay.header / replay.phase /
+  /// replay.switch / replay.summary records).  Null disables logging.
+  std::ostream* log = nullptr;
+  /// Execute the table's run bodies for real (replay decisions are still
+  /// driven purely by modelled costs, so logs stay bit-identical — this
+  /// exercises the policy under genuine concurrent execution).
+  bool execute = false;
+  /// Label written into the replay.header `scenario` attribute.
+  std::string scenario = "custom";
+};
+
+/// Drive `policy` through every invocation of `spec` over `table`.
+ReplayOutcome replayTraffic(const TrafficSpec& spec,
+                            const mv::VersionTable& table,
+                            AdaptivePolicy& policy,
+                            const ReplayOptions& options = {});
+
+/// Deterministic Pareto-shaped table of `versions` arms for replay tests
+/// and benches: thread counts descend from `maxThreads`, times ascend, and
+/// parallel versions carry realistic waste (total work above serial).
+mv::VersionTable syntheticTable(std::size_t versions, std::uint64_t seed,
+                                int maxThreads = 32);
+
+} // namespace motune::runtime

@@ -130,7 +130,8 @@ TEST(Artifact, FileRoundTripAndTableReconstruction) {
       autotune::buildVersionTableFromMetas(b.kernel, 64, b.front, pool);
   ASSERT_EQ(table.size(), b.front.size());
   runtime::Region region(std::move(table));
-  region.invoke(runtime::WeightedSumPolicy(1.0, 0.0));
+  runtime::WeightedSumPolicy fastestPolicy(1.0, 0.0);
+  region.invoke(fastestPolicy);
   EXPECT_EQ(region.totalInvocations(), 1u);
   std::remove(path.c_str());
 }

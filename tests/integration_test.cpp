@@ -90,8 +90,10 @@ TEST(EndToEnd, VersionTableExecutesRealKernels) {
   ASSERT_EQ(table.size(), result.front.size());
 
   runtime::Region region(table);
-  const std::size_t fast = region.invoke(runtime::WeightedSumPolicy(1, 0));
-  const std::size_t thrifty = region.invoke(runtime::WeightedSumPolicy(0, 1));
+  runtime::WeightedSumPolicy fastestPolicy(1, 0);
+  runtime::WeightedSumPolicy thriftyPolicy(0, 1);
+  const std::size_t fast = region.invoke(fastestPolicy);
+  const std::size_t thrifty = region.invoke(thriftyPolicy);
   EXPECT_EQ(region.totalInvocations(), 2u);
   EXPECT_LE(table[fast].meta.timeSeconds, table[thrifty].meta.timeSeconds);
 }

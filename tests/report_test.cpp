@@ -140,6 +140,44 @@ TEST(Report, MarkdownMatchesGolden) {
   EXPECT_EQ(markdown, readFile(goldenPath));
 }
 
+TEST(Report, AdaptiveCountersRenderOnlyWhenPresent) {
+  // The tuning-only mini trace has no rt.adaptive.* counters: neither the
+  // markdown section nor the JSON key may appear (golden stability).
+  const auto records = parseTraceFile(dataPath("mini_trace.jsonl"));
+  const Report without = buildReport(records);
+  EXPECT_TRUE(without.adaptiveCounters.empty());
+  EXPECT_EQ(renderMarkdown(without).find("adaptive counter"),
+            std::string::npos);
+  EXPECT_FALSE(reportToJson(without).has("adaptive"));
+
+  auto counter = [](const std::string& name, std::int64_t value) {
+    TraceRecord r;
+    r.kind = TraceRecord::Kind::Counter;
+    r.name = name;
+    r.attrs = {{"value", support::Json(value)}};
+    return r;
+  };
+  auto augmented = records;
+  augmented.push_back(counter("rt.adaptive.invocations", 30000));
+  augmented.push_back(counter("rt.adaptive.switches", 3));
+  augmented.push_back(counter("rt.adaptive.explorations", 857));
+  augmented.push_back(counter("rt.adaptive.context_shifts", 8));
+
+  const Report with = buildReport(augmented);
+  ASSERT_EQ(with.adaptiveCounters.size(), 4u);
+  EXPECT_EQ(with.adaptiveCounters.at("rt.adaptive.invocations"), 30000u);
+  EXPECT_EQ(with.adaptiveCounters.at("rt.adaptive.switches"), 3u);
+
+  const std::string markdown = renderMarkdown(with);
+  EXPECT_NE(markdown.find("adaptive counter"), std::string::npos);
+  EXPECT_NE(markdown.find("rt.adaptive.context_shifts | 8"),
+            std::string::npos);
+
+  const support::Json json =
+      support::Json::parse(reportToJson(with).dump(2));
+  EXPECT_EQ(json.at("adaptive").at("rt.adaptive.explorations").asInt(), 857);
+}
+
 TEST(Report, RejectsMalformedTraceWithLineNumber) {
   std::istringstream in("{\"type\":\"event\",\"name\":\"ok\",\"t\":0}\n"
                         "this is not json\n");

@@ -4,10 +4,12 @@
 #include "runtime/region.h"
 #include "runtime/thread_pool.h"
 #include "support/check.h"
+#include "support/rng.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <numeric>
 
 namespace motune::runtime {
@@ -168,6 +170,120 @@ TEST(Policy, ThreadCapRespectsAvailableCores) {
   EXPECT_EQ(t[ThreadCapPolicy(100).select(t)].meta.threads, 40);
 }
 
+// --- Property tests over degenerate and randomized tables (ISSUE 8) ------
+
+mv::VersionTable singleVersionTable() {
+  mv::VersionTable t("solo");
+  mv::CodeVersion v;
+  v.meta.threads = 8;
+  v.meta.timeSeconds = 0.3;
+  v.meta.resources = 2.4;
+  v.run = [](int) {};
+  t.add(std::move(v));
+  return t;
+}
+
+mv::VersionTable allEqualTable(std::size_t n) {
+  mv::VersionTable t("flat");
+  for (std::size_t i = 0; i < n; ++i) {
+    mv::CodeVersion v;
+    v.meta.threads = 4;
+    v.meta.timeSeconds = 0.5; // identical objectives: both ranges collapse
+    v.meta.resources = 2.0;
+    v.run = [](int) {};
+    t.add(std::move(v));
+  }
+  return t;
+}
+
+TEST(PolicyProperty, WeightedSumSingleVersionDoesNotDivideByZero) {
+  // A one-row table collapses both min-max ranges to zero width; the
+  // normalization must degrade gracefully instead of producing NaN.
+  const mv::VersionTable t = singleVersionTable();
+  for (const auto& [wT, wR] :
+       {std::pair{1.0, 0.0}, {0.0, 1.0}, {0.5, 0.5}, {3.0, 7.0}}) {
+    EXPECT_EQ(WeightedSumPolicy(wT, wR).select(t), 0u);
+  }
+}
+
+TEST(PolicyProperty, WeightedSumAllEqualObjectivesPicksAValidIndex) {
+  const mv::VersionTable t = allEqualTable(5);
+  for (const auto& [wT, wR] :
+       {std::pair{1.0, 0.0}, {0.0, 1.0}, {0.25, 0.75}}) {
+    const std::size_t pick = WeightedSumPolicy(wT, wR).select(t);
+    EXPECT_LT(pick, t.size());
+  }
+}
+
+TEST(PolicyProperty, WeightedSumPickMinimizesScoreOnRandomTables) {
+  support::Rng rng(2024);
+  for (int trial = 0; trial < 100; ++trial) {
+    mv::VersionTable t("random");
+    const int n = static_cast<int>(rng.uniformInt(1, 8));
+    for (int i = 0; i < n; ++i) {
+      mv::CodeVersion v;
+      v.meta.threads = static_cast<int>(rng.uniformInt(1, 64));
+      v.meta.timeSeconds = rng.uniform(0.01, 2.0);
+      v.meta.resources = v.meta.timeSeconds * v.meta.threads;
+      v.run = [](int) {};
+      t.add(std::move(v));
+    }
+    const double wT = rng.uniform();
+    const double wR = rng.uniform();
+    const std::size_t pick = WeightedSumPolicy(wT, wR).select(t);
+    ASSERT_LT(pick, t.size());
+    const auto [tLo, tHi] = t.timeRange();
+    const auto [rLo, rHi] = t.resourceRange();
+    const double tSpan = tHi > tLo ? tHi - tLo : 1.0;
+    const double rSpan = rHi > rLo ? rHi - rLo : 1.0;
+    auto score = [&](std::size_t i) {
+      return wT * (t[i].meta.timeSeconds - tLo) / tSpan +
+             wR * (t[i].meta.resources - rLo) / rSpan;
+    };
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      EXPECT_LE(score(pick), score(i) + 1e-12)
+          << "trial " << trial << ": index " << i << " beats pick " << pick;
+      EXPECT_FALSE(std::isnan(score(i)));
+    }
+  }
+}
+
+TEST(PolicyProperty, TimeBudgetFallbackAndFeasibilityOnRandomTables) {
+  // Whenever any version meets the budget the pick must meet it too;
+  // when none does, the pick must be the fastest version.
+  support::Rng rng(4711);
+  for (int trial = 0; trial < 100; ++trial) {
+    mv::VersionTable t("random");
+    const int n = static_cast<int>(rng.uniformInt(1, 8));
+    for (int i = 0; i < n; ++i) {
+      mv::CodeVersion v;
+      v.meta.threads = static_cast<int>(rng.uniformInt(1, 64));
+      v.meta.timeSeconds = rng.uniform(0.01, 2.0);
+      v.meta.resources = v.meta.timeSeconds * v.meta.threads;
+      v.run = [](int) {};
+      t.add(std::move(v));
+    }
+    const double budget = rng.uniform(0.0, 2.5);
+    const std::size_t pick = TimeBudgetPolicy(budget).select(t);
+    ASSERT_LT(pick, t.size());
+    const bool feasible = t[t.fastest()].meta.timeSeconds <= budget;
+    if (feasible) {
+      EXPECT_LE(t[pick].meta.timeSeconds, budget);
+    } else {
+      EXPECT_EQ(pick, t.fastest());
+    }
+  }
+}
+
+TEST(PolicyProperty, SingleVersionTableIsAFixedPointForEveryPolicy) {
+  const mv::VersionTable t = singleVersionTable();
+  EXPECT_EQ(TimeBudgetPolicy(0.001).select(t), 0u); // fallback path
+  EXPECT_EQ(TimeBudgetPolicy(10.0).select(t), 0u);
+  EXPECT_EQ(EfficiencyFloorPolicy(0.99).select(t), 0u);
+  EXPECT_EQ(ThreadCapPolicy(1).select(t), 0u);
+  EXPECT_EQ(ThreadCapPolicy(100).select(t), 0u);
+}
+
 TEST(Region, InvokeRunsSelectedVersionAndCounts) {
   mv::VersionTable table("r");
   std::vector<int> runs(2, 0);
@@ -184,9 +300,11 @@ TEST(Region, InvokeRunsSelectedVersionAndCounts) {
     table.add(std::move(cv));
   }
   Region region(std::move(table));
-  const std::size_t fast = region.invoke(WeightedSumPolicy(1.0, 0.0));
+  WeightedSumPolicy fastestPolicy(1.0, 0.0);
+  const std::size_t fast = region.invoke(fastestPolicy);
   EXPECT_EQ(fast, 0u);
-  region.invoke(WeightedSumPolicy(0.0, 1.0));
+  WeightedSumPolicy thriftyPolicy(0.0, 1.0);
+  region.invoke(thriftyPolicy);
   EXPECT_EQ(runs[0], 1);
   EXPECT_EQ(runs[1], 1);
   EXPECT_EQ(region.totalInvocations(), 2u);

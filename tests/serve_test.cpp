@@ -677,6 +677,79 @@ TEST(Stream, BoundedBufferDropsBestEffortNeverControl) {
                         support::Json(support::JsonObject{{"late", true}}));
 }
 
+TEST(Stream, DropAccountingIsExactPerSubscriber) {
+  // Two subscribers to the same job, one drained promptly and one never
+  // read: each must carry its own exact drop arithmetic — not a shared or
+  // approximate figure.
+  serve::StreamHub hub(/*bufferFrames=*/3);
+  auto prompt = hub.subscribe("j000002");
+  auto stalled = hub.subscribe("j000002");
+
+  for (int i = 0; i < 3; ++i)
+    hub.publishBestEffort("j000002",
+                          support::Json(support::JsonObject{{"i", i}}));
+  // Drain the prompt subscriber; the stalled one sits on a full buffer.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(prompt->next(0.0).has_value());
+  for (int i = 3; i < 8; ++i)
+    hub.publishBestEffort("j000002",
+                          support::Json(support::JsonObject{{"i", i}}));
+  EXPECT_EQ(prompt->dropped(), 2u);  // 3 drained + 3 buffered, 2 over
+  EXPECT_EQ(stalled->dropped(), 5u); // 3 buffered, 5 over
+  hub.publishEnd("j000002",
+                 support::Json(support::JsonObject{{"stream", "end"}}));
+  EXPECT_EQ(prompt->dropped(), 2u); // the end frame never drops
+  EXPECT_EQ(stalled->dropped(), 5u);
+}
+
+TEST(Stream, ControlFramesSurviveAFullBufferAndDropsStayExact) {
+  // A deliberately unread subscriber with a 2-frame buffer: every control
+  // frame must still arrive, in order, while the drop counter tracks the
+  // exact number of discarded best-effort frames through the end frame.
+  serve::StreamHub hub(/*bufferFrames=*/2);
+  auto sub = hub.subscribe("j000003");
+
+  for (int i = 0; i < 6; ++i) // 2 buffered, 4 dropped
+    hub.publishBestEffort("j000003",
+                          support::Json(support::JsonObject{{"i", i}}));
+  for (int c = 0; c < 3; ++c) // beyond capacity, but control: all enqueue
+    hub.publishControl("j000003",
+                       support::Json(support::JsonObject{{"control", c}}));
+  for (int i = 6; i < 10; ++i) // buffer over capacity: 4 more dropped
+    hub.publishBestEffort("j000003",
+                          support::Json(support::JsonObject{{"i", i}}));
+  hub.publishEnd("j000003", support::Json(support::JsonObject{
+                                {"stream", "end"}}));
+  EXPECT_EQ(sub->dropped(), 8u);
+
+  // Drained frames: the 2 surviving best-effort, all 3 controls in publish
+  // order, then the end frame.
+  std::vector<std::string> kinds;
+  std::vector<int> controls;
+  while (auto frame = sub->next(0.0)) {
+    if (frame->has("control")) {
+      kinds.push_back("control");
+      controls.push_back(static_cast<int>(frame->at("control").asInt()));
+    } else if (frame->has("stream")) {
+      kinds.push_back("end");
+    } else {
+      kinds.push_back("best-effort");
+    }
+  }
+  EXPECT_EQ(kinds, (std::vector<std::string>{"best-effort", "best-effort",
+                                             "control", "control", "control",
+                                             "end"}));
+  EXPECT_EQ(controls, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(sub->finished());
+
+  // The stream is over: late publishes are no-ops and the exact count
+  // reported with the end frame can never move again.
+  hub.publishBestEffort("j000003",
+                        support::Json(support::JsonObject{{"late", 1}}));
+  hub.publishControl("j000003",
+                     support::Json(support::JsonObject{{"late", 2}}));
+  EXPECT_EQ(sub->dropped(), 8u);
+}
+
 TEST(Stream, SlowSubscriberNeverBlocksTheScheduler) {
   // A subscriber that stops reading must not stall job completion: frames
   // past its buffer are dropped (best-effort) while control frames and the

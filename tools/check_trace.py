@@ -32,8 +32,22 @@ single tuning trace:
   4. each trace starts with a `trace.header` and a resumed job has one
      header per run, with the `run` stamp increasing.
 
+With --replay LOG, validates a `motune replay --log LOG` selection log
+(format motune-replay-v1) instead:
+  1. every line parses, is `type: replay`, and the first record is a
+     `replay.header` declaring the format;
+  2. phase records appear in ordinal order with invocation offsets that
+     match the cumulative phase lengths;
+  3. switch records carry strictly increasing invocation indices, move
+     between two *different* in-range arms, and their count equals the
+     summary's `switches`;
+  4. the final record is the one `replay.summary`, its per-arm selection
+     counts sum to the invocation total, and its ratio is consistent
+     with the logged bills.
+
 Usage: check_trace.py TRACE.jsonl [--chrome TRACE.json]
        check_trace.py --serve STATE_DIR/jobs
+       check_trace.py --replay LOG.jsonl
 """
 import glob
 import json
@@ -171,8 +185,122 @@ def check_serve(jobs_dir: str) -> int:
     return 0
 
 
+def check_replay(path: str) -> int:
+    """Validate a `motune replay --log` selection log."""
+    records, err = load_jsonl(path)
+    if err:
+        print(err, file=sys.stderr)
+        return 1
+    if not records:
+        print(f"{path}: empty replay log", file=sys.stderr)
+        return 1
+
+    for i, r in enumerate(records):
+        if r["type"] != "replay":
+            print(f"{path}: record {i} has type {r['type']!r}, expected "
+                  "'replay'", file=sys.stderr)
+            return 1
+
+    header = records[0]
+    if header["name"] != "replay.header":
+        print(f"{path}: first record is {header['name']!r}, expected "
+              "replay.header", file=sys.stderr)
+        return 1
+    fmt = header.get("attrs", {}).get("format")
+    if fmt != "motune-replay-v1":
+        print(f"{path}: header declares format {fmt!r}, expected "
+              "motune-replay-v1", file=sys.stderr)
+        return 1
+    versions = header["attrs"]["versions"]
+    declared = header["attrs"]["invocations"]
+
+    summaries = [r for r in records if r["name"] == "replay.summary"]
+    if len(summaries) != 1 or records[-1]["name"] != "replay.summary":
+        print(f"{path}: expected exactly one replay.summary as the last "
+              f"record (found {len(summaries)})", file=sys.stderr)
+        return 1
+    summary = summaries[0]["attrs"]
+    if summary["invocations"] != declared:
+        print(f"{path}: summary covers {summary['invocations']} invocations "
+              f"but the header declared {declared}", file=sys.stderr)
+        return 1
+    counts = summary["counts"]
+    if len(counts) != versions or sum(counts) != declared:
+        print(f"{path}: selection counts {counts} do not sum to "
+              f"{declared} over {versions} arms", file=sys.stderr)
+        return 1
+    if summary["adaptive_cost"] > 0:
+        implied = summary["best_static_cost"] / summary["adaptive_cost"]
+        if abs(implied - summary["ratio"]) > 1e-9 * max(1.0, abs(implied)):
+            print(f"{path}: summary ratio {summary['ratio']} inconsistent "
+                  f"with bills (implied {implied})", file=sys.stderr)
+            return 1
+
+    phases = [r for r in records if r["name"] == "replay.phase"]
+    if not phases:
+        print(f"{path}: no replay.phase records", file=sys.stderr)
+        return 1
+    offset = 0
+    for ordinal, r in enumerate(phases):
+        attrs = r["attrs"]
+        if attrs["phase"] != ordinal:
+            print(f"{path}: phase ordinal {attrs['phase']} out of order "
+                  f"(expected {ordinal})", file=sys.stderr)
+            return 1
+        if attrs["invocation"] != offset:
+            print(f"{path}: phase {ordinal} starts at {attrs['invocation']}, "
+                  f"expected cumulative offset {offset}", file=sys.stderr)
+            return 1
+        offset += attrs["invocations"]
+    if offset != declared:
+        print(f"{path}: phase lengths sum to {offset}, header declared "
+              f"{declared}", file=sys.stderr)
+        return 1
+
+    switches = [r for r in records if r["name"] == "replay.switch"]
+    last_invocation = -1
+    for r in switches:
+        attrs = r["attrs"]
+        if attrs["invocation"] <= last_invocation:
+            print(f"{path}: switch invocations not strictly increasing at "
+                  f"{attrs['invocation']}", file=sys.stderr)
+            return 1
+        last_invocation = attrs["invocation"]
+        if attrs["from"] == attrs["to"]:
+            print(f"{path}: switch at {attrs['invocation']} does not move "
+                  f"(arm {attrs['from']})", file=sys.stderr)
+            return 1
+        for key in ("from", "to"):
+            if not 0 <= attrs[key] < versions:
+                print(f"{path}: switch at {attrs['invocation']} has "
+                      f"{key}={attrs[key]} outside [0, {versions})",
+                      file=sys.stderr)
+                return 1
+    if len(switches) != summary["switches"]:
+        print(f"{path}: {len(switches)} switch records but the summary "
+              f"claims {summary['switches']}", file=sys.stderr)
+        return 1
+
+    names = {r["name"] for r in records}
+    known = {"replay.header", "replay.phase", "replay.switch",
+             "replay.summary"}
+    if not names <= known:
+        print(f"{path}: unknown record names {sorted(names - known)}",
+              file=sys.stderr)
+        return 1
+
+    print(f"replay log ok: {declared} invocations over {len(phases)} phases, "
+          f"{len(switches)} switches, ratio {summary['ratio']:.3f}")
+    return 0
+
+
 def main() -> int:
     args = sys.argv[1:]
+    if args and args[0] == "--replay":
+        if len(args) != 2:
+            print(__doc__, file=sys.stderr)
+            return 2
+        return check_replay(args[1])
     if args and args[0] == "--serve":
         if len(args) != 2:
             print(__doc__, file=sys.stderr)

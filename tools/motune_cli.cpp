@@ -82,6 +82,8 @@
 #include "observe/metrics.h"
 #include "observe/report.h"
 #include "observe/trace.h"
+#include "runtime/adaptive.h"
+#include "runtime/traffic.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
 #include "serve/job.h"
@@ -122,7 +124,8 @@ struct Args {
 /// Options that are pure flags (present/absent, no value token).
 bool isFlagOption(const std::string& key) {
   return key == "no-native" || key == "help" || key == "wait" ||
-         key == "stats" || key == "shutdown" || key == "plain";
+         key == "stats" || key == "shutdown" || key == "plain" ||
+         key == "list";
 }
 
 // ---------------------------------------------------------------------------
@@ -231,6 +234,35 @@ const std::vector<CommandHelp>& commandHelp() {
            {"repro", "FILE", "replay a repro file instead of fuzzing"},
            {"trace", "FILE", "stream the structured run trace; - = stdout"},
            {"trace-format", "FMT", "jsonl (default) or chrome"},
+           {"metrics", "FILE", "write the final metric registry as JSON"},
+       }},
+      {"replay", "drive the adaptive policy through deterministic synthetic "
+                 "traffic",
+       "motune replay [--scenario NAME | --spec FILE] [options]",
+       {
+           {"scenario", "NAME",
+            "built-in scenario: steady, size-ramp, thread-drop, "
+            "pressure-burst or mix (default: mix)"},
+           {"spec", "FILE", "replay a traffic spec file instead "
+                            "(docs/adaptive.md has the grammar)"},
+           {"list", "", "print the built-in scenarios and exit"},
+           {"seed", "S",
+            "seed for traffic noise and exploration (default: the spec's)"},
+           {"invocations", "N",
+            "rescale the spec to ~N total invocations; 0 = as declared"},
+           {"versions", "N", "arms in the synthetic version table "
+                             "(default: 6)"},
+           {"window", "N", "sliding-window samples per arm (default: 16)"},
+           {"epsilon", "X", "exploration rate (default: 0.03)"},
+           {"explore", "KIND", "epsilon-greedy (default) or ucb"},
+           {"min-dwell", "N",
+            "invocations between committed switches (default: 50)"},
+           {"switch-margin", "X",
+            "relative gain required to switch (default: 0.05)"},
+           {"min-ratio", "X",
+            "fail (exit 1) when best-static/adaptive falls below X "
+            "(default: 0 = report only)"},
+           {"log", "FILE", "write the JSONL selection log here"},
            {"metrics", "FILE", "write the final metric registry as JSON"},
        }},
       {"serve", "run the multi-tenant tuning daemon",
@@ -776,6 +808,112 @@ int cmdFuzz(const Args& args) {
 }
 
 // ---------------------------------------------------------------------------
+// Deterministic traffic replay through the adaptive policy
+// (docs/adaptive.md).
+
+int cmdReplay(const Args& args) {
+  if (args.has("list")) {
+    for (const auto& name : runtime::builtinScenarioNames())
+      std::cout << name << "\n";
+    return 0;
+  }
+
+  observe::MetricsRegistry& metrics = observe::MetricsRegistry::global();
+  metrics.reset();
+
+  runtime::TrafficSpec spec;
+  std::string scenario;
+  if (args.has("spec")) {
+    MOTUNE_CHECK_MSG(!args.has("scenario"),
+                     "--spec and --scenario are mutually exclusive");
+    scenario = args.options.at("spec");
+    spec = runtime::parseTrafficSpec(readFile(scenario));
+    if (args.has("seed")) spec.seed = std::stoull(args.options.at("seed"));
+  } else {
+    scenario = args.get("scenario", "mix");
+    spec = runtime::builtinScenario(scenario,
+                                    std::stoull(args.get("seed", "1")));
+  }
+  const std::uint64_t rescale = std::stoull(args.get("invocations", "0"));
+  if (rescale > 0) spec.scaleTo(rescale);
+
+  const std::size_t versions = std::stoull(args.get("versions", "6"));
+  const mv::VersionTable table =
+      runtime::syntheticTable(versions, spec.seed, spec.defaultThreads);
+
+  runtime::AdaptiveOptions options;
+  options.seed = spec.seed;
+  options.window = std::stoull(args.get("window", "16"));
+  options.epsilon = std::stod(args.get("epsilon", "0.03"));
+  options.minDwell = std::stoull(args.get("min-dwell", "50"));
+  options.switchMargin = std::stod(args.get("switch-margin", "0.05"));
+  const std::string explore = args.get("explore", "epsilon-greedy");
+  if (explore == "ucb")
+    options.explore = runtime::ExploreKind::Ucb;
+  else
+    MOTUNE_CHECK_MSG(explore == "epsilon-greedy",
+                     "unknown --explore: " + explore +
+                         " (available: epsilon-greedy, ucb)");
+  runtime::AdaptivePolicy policy(options);
+
+  runtime::ReplayOptions replay;
+  replay.scenario = scenario;
+  std::ofstream logFile;
+  if (args.has("log")) {
+    logFile.open(args.options.at("log"));
+    MOTUNE_CHECK_MSG(logFile.good(),
+                     "cannot write " + args.options.at("log"));
+    replay.log = &logFile;
+  }
+
+  const runtime::ReplayOutcome outcome =
+      runtime::replayTraffic(spec, table, policy, replay);
+
+  support::TextTable phaseTable("replay of " + scenario + " (seed " +
+                                std::to_string(spec.seed) + ", " +
+                                std::to_string(versions) + " versions)");
+  phaseTable.setHeader({"phase", "invocations", "best static", "static cost",
+                        "adaptive cost", "ratio", "switches"});
+  for (const auto& phase : outcome.phases) {
+    const double ratio = phase.adaptiveCost > 0
+                             ? phase.bestStaticCost / phase.adaptiveCost
+                             : 1.0;
+    phaseTable.addRow({phase.name, std::to_string(phase.invocations),
+                       "v" + std::to_string(phase.bestStaticArm),
+                       support::fmt(phase.bestStaticCost, 3),
+                       support::fmt(phase.adaptiveCost, 3),
+                       support::fmt(ratio, 3),
+                       std::to_string(phase.switches)});
+  }
+  std::cout << phaseTable.render();
+
+  std::cout << outcome.invocations << " invocations: convergence ratio "
+            << support::fmt(outcome.convergenceRatio(), 3) << " (oracle bill "
+            << support::fmt(outcome.oracleCost, 3) << "), "
+            << outcome.switches << " switches, " << outcome.explorations
+            << " explorations, " << outcome.contextShifts
+            << " context shifts\n";
+  std::cout << "selections:";
+  for (std::size_t i = 0; i < outcome.selectionCounts.size(); ++i)
+    std::cout << " v" << i << "=" << outcome.selectionCounts[i];
+  std::cout << "\n";
+  if (args.has("log"))
+    std::cout << "selection log written to " << args.options.at("log")
+              << "\n";
+
+  finishObservability(args, metrics);
+
+  const double minRatio = std::stod(args.get("min-ratio", "0"));
+  if (outcome.convergenceRatio() < minRatio) {
+    std::cerr << "FAIL: convergence ratio "
+              << support::fmt(outcome.convergenceRatio(), 3) << " < "
+              << support::fmt(minRatio, 3) << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // The tuning daemon (docs/serve.md).
 
 std::atomic<bool> g_interrupted{false};
@@ -1125,6 +1263,7 @@ int main(int argc, char** argv) {
     if (args.command == "codegen") return cmdCodegen(args);
     if (args.command == "predict") return cmdPredict(args);
     if (args.command == "fuzz") return cmdFuzz(args);
+    if (args.command == "replay") return cmdReplay(args);
     if (args.command == "serve") return cmdServe(args);
     if (args.command == "submit") return cmdSubmit(args);
     if (args.command == "jobs") return cmdJobs(args);
