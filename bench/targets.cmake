@@ -23,6 +23,10 @@ motune_bench(bench_fig9)
 motune_bench(bench_table4)
 motune_bench(bench_table5)
 motune_bench(bench_table6)
+# Surrogate ablation gate: per-generation evaluations-to-target-hypervolume
+# curves for plain vs surrogate-culled RS-GDE3 (plus the keep=1.0 identity
+# check), gated against bench/baselines/ablation_baseline.json; --full 1
+# runs the ungated algorithm-variant study instead.
 motune_bench(bench_ablation)
 # CI smoke gate: emits metrics.json and diffs it against
 # bench/baselines/smoke_baseline.json (see .github/workflows/ci.yml).

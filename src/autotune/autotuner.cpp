@@ -4,9 +4,11 @@
 #include "observe/metrics.h"
 #include "observe/trace.h"
 #include "support/check.h"
+#include "tuning/surrogate.h"
 #include "tuning/validation.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 namespace motune::autotune {
@@ -29,7 +31,7 @@ const char* algorithmName(Algorithm algorithm) {
 /// field). Resume compares this verbatim against the journal's copy.
 support::Json algorithmOptionsJson(const TunerOptions& options) {
   const opt::GDE3Options& g = options.gde3;
-  return support::JsonObject{
+  support::JsonObject blob{
       {"population", g.population},
       {"cr", g.cr},
       {"f", g.f},
@@ -39,6 +41,59 @@ support::Json algorithmOptionsJson(const TunerOptions& options) {
       {"immigrants_on_stagnation", g.immigrantsOnStagnation},
       {"reduction", options.algorithm == Algorithm::RSGDE3},
   };
+  // Surrogate culling changes the search trajectory, so it (and the
+  // warm-start corpus that shapes its early predictions) is part of the
+  // search identity. At keep == 1 the trajectory is provably unchanged,
+  // and omitting the fields keeps old journals resumable byte for byte.
+  if (options.surrogateKeep < 1.0) {
+    blob.emplace("surrogate_keep", options.surrogateKeep);
+    support::JsonArray dirs;
+    for (const std::string& d : options.warmStartDirs) dirs.emplace_back(d);
+    blob.emplace("warm_start", std::move(dirs));
+  }
+  return blob;
+}
+
+/// Builds (when enabled) the surrogate for one optimize call and pre-trains
+/// it from any warm-start journals whose header passes the relaxed
+/// warmStartCompatible fingerprint. Incompatible journals are skipped, not
+/// fatal — a stale directory of unrelated sessions should not kill a run —
+/// but a directory without a journal is an operator error.
+std::unique_ptr<tuning::Surrogate>
+makeSurrogate(const TunerOptions& options, tuning::ObjectiveFunction& fn,
+              const std::string& problemTag) {
+  const bool active = options.surrogateEnabled ||
+                      options.surrogateKeep < 1.0 ||
+                      !options.warmStartDirs.empty();
+  if (!active) return nullptr;
+  MOTUNE_CHECK_MSG(options.algorithm == Algorithm::RSGDE3 ||
+                       options.algorithm == Algorithm::PlainGDE3,
+                   "--surrogate-keep/--warm-start require --algo rsgde3 or "
+                   "gde3 (only the GDE3-family engines take a surrogate)");
+  auto surrogate = std::make_unique<tuning::Surrogate>(
+      fn.space(), fn.numObjectives());
+
+  session::SessionHeader current;
+  current.problem = problemTag;
+  current.objectives = fn.numObjectives();
+  current.space = fn.space();
+  auto& metrics = observe::MetricsRegistry::global();
+  for (const std::string& dir : options.warmStartDirs) {
+    MOTUNE_CHECK_MSG(session::sessionExists(dir),
+                     "--warm-start directory has no session journal: " + dir);
+    const session::ResumeState state = session::loadSession(dir);
+    if (!session::warmStartCompatible(state.header, current)) {
+      metrics.counter("tuning.surrogate.warmstart.skipped").add();
+      continue;
+    }
+    for (const session::EvalRecord& e : state.evaluations)
+      surrogate->observe(e.config, e.objectives);
+    metrics.counter("tuning.surrogate.warmstart.evaluations")
+        .add(state.evaluations.size());
+    metrics.counter("tuning.surrogate.warmstart.journals").add();
+  }
+  surrogate->markPreloaded();
+  return surrogate;
 }
 
 } // namespace
@@ -84,15 +139,26 @@ AutoTuner::optimizeImpl(tuning::ObjectiveFunction& fn,
   const opt::RunHooks* stopHooks =
       options_.stopRequested || options_.onProgress ? &stopOnly : nullptr;
 
+  // Surrogate pre-ranking: built per optimize call (it is trained on this
+  // problem's evaluations) and handed to the engine by pointer, so it must
+  // outlive the engine below.
+  const std::unique_ptr<tuning::Surrogate> surrogate =
+      makeSurrogate(options_, fn, problemTag);
+  opt::GDE3Options gde3 = options_.gde3;
+  if (surrogate) {
+    gde3.surrogate = surrogate.get();
+    gde3.surrogateKeep = options_.surrogateKeep;
+  }
+
   const bool useSession = !options_.session.directory.empty();
   if (!useSession) {
     switch (options_.algorithm) {
     case Algorithm::RSGDE3: {
-      opt::RSGDE3 engine(*target, *pool_, {options_.gde3, true});
+      opt::RSGDE3 engine(*target, *pool_, {gde3, true});
       return engine.run(stopHooks);
     }
     case Algorithm::PlainGDE3: {
-      opt::RSGDE3 engine(*target, *pool_, {options_.gde3, false});
+      opt::RSGDE3 engine(*target, *pool_, {gde3, false});
       return engine.run(stopHooks);
     }
     case Algorithm::NSGA2: {
@@ -131,7 +197,7 @@ AutoTuner::optimizeImpl(tuning::ObjectiveFunction& fn,
   header.space = fn.space();
   header.algorithmOptions = algorithmOptionsJson(options_);
 
-  opt::RSGDE3 engine(*target, *pool_, {options_.gde3, reduction});
+  opt::RSGDE3 engine(*target, *pool_, {gde3, reduction});
 
   std::optional<session::ResumeState> resumed;
   std::unique_ptr<session::SessionWriter> writer;

@@ -70,6 +70,21 @@ struct TunerOptions {
   /// generations — must be cheap and never block (the daemon uses it to
   /// publish progress frames to subscribers).
   std::function<void(const opt::GenerationProgress&)> onProgress;
+  /// Surrogate-assisted evaluation (GDE3-family engines only). When the
+  /// keep fraction is below 1, each generation's trial offspring are scored
+  /// by an online ridge surrogate (src/tuning/surrogate.h) and only the top
+  /// ceil(keep * population) receive a full cost-model evaluation. At
+  /// exactly 1.0 with surrogateEnabled the surrogate observes and scores
+  /// but culls nothing — results are byte-identical to a surrogate-free
+  /// run. Enabled implicitly by a keep < 1 or a non-empty warmStartDirs.
+  bool surrogateEnabled = false;
+  double surrogateKeep = 1.0;
+  /// Session directories whose journaled eval records pre-train the
+  /// surrogate before the search starts (cross-session warm start).
+  /// Each directory must hold a journal; incompatible journals (different
+  /// problem/space/objectives — see session::warmStartCompatible) are
+  /// skipped and counted in tuning.surrogate.warmstart.skipped.
+  std::vector<std::string> warmStartDirs;
 };
 
 /// Where a tuning result came from when it ran under a session — recorded

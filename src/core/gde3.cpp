@@ -3,9 +3,12 @@
 #include "observe/metrics.h"
 #include "observe/trace.h"
 #include "support/check.h"
+#include "tuning/surrogate.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <set>
 
 namespace motune::opt {
@@ -21,6 +24,7 @@ GDE3::GDE3(tuning::ObjectiveFunction& fn, runtime::ThreadPool& pool,
   MOTUNE_CHECK(options_.population >= 4); // DE needs 4 distinct members
   MOTUNE_CHECK(options_.cr >= 0.0 && options_.cr <= 1.0);
   MOTUNE_CHECK(options_.f > 0.0);
+  MOTUNE_CHECK(options_.surrogateKeep > 0.0 && options_.surrogateKeep <= 1.0);
 }
 
 std::vector<Individual>
@@ -42,6 +46,11 @@ GDE3::evaluateAll(std::vector<std::vector<double>> genomes,
   // the non-dominated subset of everything measured, exactly as for the
   // brute-force and random-search baselines.
   archive_.insert(archive_.end(), out.begin(), out.end());
+  // The surrogate learns from the same sequence the archive records, so
+  // restore() can rebuild its state by replaying the archive.
+  if (options_.surrogate)
+    for (const auto& ind : out)
+      options_.surrogate->observe(ind.config, ind.objectives);
   return out;
 }
 
@@ -123,14 +132,50 @@ bool GDE3::step() {
     trials.push_back(std::move(r));
   }
 
-  std::vector<Individual> offspring = evaluateAll(std::move(trials), boundary_);
+  // Surrogate pre-ranking: score every projected trial with the cheap
+  // model and send only the top ceil(keep * n) to the full evaluation.
+  // Scoring never touches rng_, so at keep == 1 (score-but-don't-cull)
+  // the evaluation sequence is identical to a surrogate-free generation.
+  std::vector<char> culled(n, 0);
+  std::size_t culledCount = 0;
+  if (options_.surrogate && options_.surrogate->ready()) {
+    std::vector<std::pair<double, std::size_t>> ranked;
+    ranked.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = options_.surrogate->score(boundary_.closestTo(trials[i]));
+      if (std::isnan(s)) s = std::numeric_limits<double>::infinity();
+      ranked.emplace_back(s, i);
+    }
+    const auto keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(
+               options_.surrogateKeep * static_cast<double>(n))));
+    if (keep < n) {
+      std::sort(ranked.begin(), ranked.end()); // ties break on trial index
+      for (std::size_t j = keep; j < n; ++j) culled[ranked[j].second] = 1;
+      culledCount = n - keep;
+      observe::MetricsRegistry::global()
+          .counter("tuning.surrogate.culled")
+          .add(culledCount);
+    }
+  }
+  std::vector<std::vector<double>> toEval;
+  toEval.reserve(n - culledCount);
+  for (std::size_t i = 0; i < n; ++i)
+    if (!culled[i]) toEval.push_back(std::move(trials[i]));
+
+  std::vector<Individual> offspring = evaluateAll(std::move(toEval), boundary_);
 
   // GDE3 selection.
   std::vector<Individual> next;
   next.reserve(2 * n);
+  std::size_t evaluated = 0;
   for (std::size_t i = 0; i < n; ++i) {
     Individual& parent = population_[i];
-    Individual& trial = offspring[i];
+    if (culled[i]) { // the surrogate rejected the trial: the parent survives
+      next.push_back(std::move(parent));
+      continue;
+    }
+    Individual& trial = offspring[evaluated++];
     if (dominates(trial.objectives, parent.objectives)) {
       next.push_back(std::move(trial));
     } else if (dominates(parent.objectives, trial.objectives) ||
@@ -176,6 +221,7 @@ bool GDE3::step() {
   span.setAttr("immigrants", support::Json(immigrants));
   span.setAttr("boundary_volume", support::Json(boundary_.volume()));
   span.setAttr("improved", support::Json(improved));
+  if (options_.surrogate) span.setAttr("culled", support::Json(culledCount));
   auto& metrics = observe::MetricsRegistry::global();
   metrics.counter("gde3.generations").add();
   metrics.gauge("gde3.best_hv").set(bestHv_);
@@ -371,6 +417,15 @@ void GDE3::restore(const support::Json& state) {
   rngState.cachedGaussian = rng.at("gaussian").asNumber();
   rngState.hasCachedGaussian = rng.at("has_gaussian").asBool();
   rng_.setState(rngState);
+
+  // The surrogate is not serialized: its state is a pure function of the
+  // observation sequence, which is exactly the archive (plus any warm-start
+  // base the owner preloaded before the engine started). Replay it.
+  if (options_.surrogate) {
+    options_.surrogate->resetToPreloaded();
+    for (const auto& ind : archive_)
+      options_.surrogate->observe(ind.config, ind.objectives);
+  }
 
   observe::MetricsRegistry::global().gauge("gde3.best_hv").set(bestHv_);
 }

@@ -21,6 +21,10 @@
 #include <optional>
 #include <set>
 
+namespace motune::tuning {
+class Surrogate;
+} // namespace motune::tuning
+
 namespace motune::opt {
 
 struct GDE3Options {
@@ -43,6 +47,17 @@ struct GDE3Options {
   std::size_t immigrantsOnStagnation = 5;
   std::uint64_t seed = 1;
   bool parallelEvaluation = true;
+  /// Optional surrogate pre-ranking (src/tuning/surrogate.h). When set, the
+  /// engine feeds every full evaluation into the surrogate and, once it is
+  /// ready and surrogateKeep < 1, sends only the top ceil(keep * population)
+  /// trial offspring per generation to the full evaluation — culled trials
+  /// keep their parent. At surrogateKeep == 1 the surrogate only observes
+  /// and scores (pure observability mode): the evaluation sequence, fronts
+  /// and RNG stream are byte-identical to a surrogate-free run. Not owned;
+  /// must outlive the engine. Restore() rebuilds the surrogate
+  /// deterministically by replaying the archive over its warm-start base.
+  tuning::Surrogate* surrogate = nullptr;
+  double surrogateKeep = 1.0;
 };
 
 /// Step-wise GDE3 engine. RS-GDE3 drives it one generation at a time,

@@ -65,13 +65,17 @@ void Client::ping() {
   unwrap(request(support::JsonObject{{"verb", "ping"}}));
 }
 
-SubmitOutcome Client::submit(const JobSpec& spec, int priority) {
-  const support::Json response = request(support::JsonObject{
-      {"verb", "submit"}, {"spec", specToJson(spec)}, {"priority", priority}});
+SubmitOutcome Client::submit(const JobSpec& spec, int priority,
+                             bool noCache) {
+  support::JsonObject body{
+      {"verb", "submit"}, {"spec", specToJson(spec)}, {"priority", priority}};
+  if (noCache) body.emplace("no_cache", true);
+  const support::Json response = request(std::move(body));
   SubmitOutcome outcome;
   outcome.accepted = response.at("ok").asBool();
   if (outcome.accepted) {
     outcome.id = response.at("id").asString();
+    outcome.cached = response.has("cached") && response.at("cached").asBool();
   } else {
     outcome.error = response.at("error").asString();
     if (response.has("retry_after"))

@@ -31,6 +31,7 @@ struct SubmitOutcome {
   std::string id;
   std::string error;
   double retryAfterSeconds = 0.0;
+  bool cached = false; ///< id names an already-finished identical job
 };
 
 /// How a subscribe stream ended: the job's terminal state and how many
@@ -54,7 +55,10 @@ public:
   support::Json request(const support::Json& body);
 
   void ping();
-  SubmitOutcome submit(const JobSpec& spec, int priority = 0);
+  /// `noCache` forces a real run even when an identical spec already
+  /// finished (the daemon's exact-spec result cache).
+  SubmitOutcome submit(const JobSpec& spec, int priority = 0,
+                       bool noCache = false);
   JobInfo status(const std::string& id);
   support::Json result(const std::string& id); ///< the artifact JSON
   std::string cancel(const std::string& id);   ///< returns the detail

@@ -256,7 +256,10 @@ support::Json Daemon::dispatch(const support::Json& request) {
           request.has("priority")
               ? static_cast<int>(request.at("priority").asInt())
               : 0;
-      const Admission admission = scheduler_->submit(spec, priority);
+      const bool noCache =
+          request.has("no_cache") && request.at("no_cache").asBool();
+      const Admission admission =
+          scheduler_->submit(spec, priority, noCache);
       if (!admission.accepted) {
         support::JsonObject response{{"ok", false},
                                      {"error", admission.error}};
@@ -264,7 +267,9 @@ support::Json Daemon::dispatch(const support::Json& request) {
           response.emplace("retry_after", admission.retryAfterSeconds);
         return response;
       }
-      return support::JsonObject{{"ok", true}, {"id", admission.id}};
+      support::JsonObject response{{"ok", true}, {"id", admission.id}};
+      if (admission.cached) response.emplace("cached", true);
+      return response;
     }
 
     if (verb == "status") {

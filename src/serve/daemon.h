@@ -4,8 +4,10 @@
 // Request/response verbs (one JSON object per frame, "verb" selects):
 //
 //   {"verb":"ping"}                          -> {"ok":true}
-//   {"verb":"submit","spec":{..},"priority":N}
+//   {"verb":"submit","spec":{..},"priority":N[,"no_cache":true]}
 //     -> {"ok":true,"id":"j000001"}
+//     -> {"ok":true,"id":"j000001","cached":true}  (spec already finished;
+//                                                   nothing scheduled)
 //     -> {"ok":false,"error":"queue full","retry_after":0.5}   (backpressure)
 //   {"verb":"status","id":"j000001"}         -> {"ok":true,"job":{..}}
 //   {"verb":"result","id":"j000001"}         -> {"ok":true,"artifact":{..}}

@@ -5,6 +5,8 @@
 #include "session/session.h"
 #include "support/check.h"
 
+#include <cstdio>
+
 namespace motune::serve {
 
 namespace {
@@ -45,6 +47,7 @@ support::Json specToJson(const JobSpec& spec) {
       {"seed", std::to_string(spec.seed)}, // u64-safe (JSON numbers are doubles)
       {"objectives", std::move(objectives)},
       {"budget", std::to_string(spec.budget)},
+      {"surrogate_keep", spec.surrogateKeep},
   };
 }
 
@@ -59,7 +62,23 @@ JobSpec specFromJson(const support::Json& json) {
   for (const auto& o : json.at("objectives").asArray())
     spec.objectives.push_back(objectiveFromName(o.asString()));
   spec.budget = std::stoull(json.at("budget").asString());
+  // Absent in job.json written by older daemons: default = no surrogate.
+  if (json.has("surrogate_keep"))
+    spec.surrogateKeep = json.at("surrogate_keep").asNumber();
   return spec;
+}
+
+std::string specHash(const JobSpec& spec) {
+  const std::string canonical = specToJson(spec).dump(-1);
+  std::uint64_t h = 0xcbf29ce484222325ULL; // FNV-1a 64 offset basis
+  for (unsigned char c : canonical) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
 }
 
 void validateSpec(const JobSpec& spec) {
@@ -74,6 +93,11 @@ void validateSpec(const JobSpec& spec) {
                    "unknown algorithm: " + spec.algorithm +
                        " (available: rsgde3, gde3, nsga2, random)");
   for (tuning::Objective o : spec.objectives) (void)objectiveName(o);
+  MOTUNE_CHECK_MSG(spec.surrogateKeep > 0.0 && spec.surrogateKeep <= 1.0,
+                   "surrogate_keep must be in (0, 1]");
+  MOTUNE_CHECK_MSG(spec.surrogateKeep == 1.0 ||
+                       checkpointable(spec.algorithm),
+                   "surrogate_keep < 1 requires algorithm rsgde3 or gde3");
 }
 
 bool checkpointable(const std::string& algorithm) {
@@ -89,10 +113,9 @@ tuning::KernelTuningProblem problemFromSpec(const JobSpec& spec) {
                                      effectiveObjectives(spec));
 }
 
-autotune::TunerOptions tunerOptionsFromSpec(const JobSpec& spec,
-                                            const std::string& sessionDir,
-                                            unsigned jobThreads,
-                                            int checkpointEvery) {
+autotune::TunerOptions tunerOptionsFromSpec(
+    const JobSpec& spec, const std::string& sessionDir, unsigned jobThreads,
+    int checkpointEvery, const std::vector<std::string>& warmStartDirs) {
   autotune::TunerOptions options;
   if (spec.algorithm == "rsgde3")
     options.algorithm = autotune::Algorithm::RSGDE3;
@@ -112,6 +135,11 @@ autotune::TunerOptions tunerOptionsFromSpec(const JobSpec& spec,
     options.session.directory = sessionDir;
     options.session.checkpointEvery = checkpointEvery;
     options.session.resume = session::sessionExists(sessionDir);
+  }
+  if (spec.surrogateKeep < 1.0) {
+    options.surrogateEnabled = true;
+    options.surrogateKeep = spec.surrogateKeep;
+    options.warmStartDirs = warmStartDirs;
   }
   return options;
 }

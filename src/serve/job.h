@@ -30,10 +30,22 @@ struct JobSpec {
   std::uint64_t seed = 1;
   std::vector<tuning::Objective> objectives; ///< empty = time,resources
   std::uint64_t budget = 1000; ///< evaluation budget for algorithm=random
+  /// Surrogate keep fraction (GDE3 family only; see tune --surrogate-keep).
+  /// Below 1 the daemon also warm-starts the surrogate from the journals of
+  /// finished compatible jobs in its own store; the chosen journal list is
+  /// persisted per job so a crash-resume trains on the identical corpus.
+  double surrogateKeep = 1.0;
 };
 
 support::Json specToJson(const JobSpec& spec);
 JobSpec specFromJson(const support::Json& json);
+
+/// Content hash of a canonicalized spec (FNV-1a 64 over the compact JSON
+/// dump), as 16 lowercase hex digits. Two specs hash equal iff they
+/// describe the same deterministic search, so a finished job's artifact
+/// can answer a byte-identical resubmission (the serve result cache,
+/// `jobs/by-spec/<hash>`).
+std::string specHash(const JobSpec& spec);
 
 /// MOTUNE_CHECK-fails with a field-level message on an invalid spec
 /// (unknown kernel/machine/algorithm/objective, negative n). Run at
@@ -57,10 +69,10 @@ tuning::KernelTuningProblem problemFromSpec(const JobSpec& spec);
 /// journal already exists (daemon restart). Each call builds a fresh
 /// options value: one AutoTuner — and therefore one CountingEvaluator —
 /// per job, never shared (see CountingEvaluator::preload).
-autotune::TunerOptions tunerOptionsFromSpec(const JobSpec& spec,
-                                            const std::string& sessionDir,
-                                            unsigned jobThreads,
-                                            int checkpointEvery);
+autotune::TunerOptions tunerOptionsFromSpec(
+    const JobSpec& spec, const std::string& sessionDir, unsigned jobThreads,
+    int checkpointEvery,
+    const std::vector<std::string>& warmStartDirs = {});
 
 /// Lifecycle of a job inside the scheduler.
 enum class JobState {

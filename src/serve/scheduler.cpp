@@ -6,8 +6,10 @@
 #include "serve/stream.h"
 #include "support/check.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
+#include <fstream>
 
 namespace motune::serve {
 
@@ -75,9 +77,20 @@ void JobScheduler::start() {
       }
       jobs_.emplace(job->id, job);
       if (rec.state == JobState::Queued) enqueueLocked(job, /*recovered=*/true);
+      // Result cache: recovered in id order, so emplace keeps the earliest
+      // finished job for each distinct spec across restarts too.
+      if (rec.state == JobState::Done)
+        specIndex_.emplace(specHash(rec.spec), job->id);
     }
+    for (const auto& [hash, id] : specIndex_) store_.indexSpec(hash, id);
     metrics().gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
   }
+  // Touch the whole cache counter family up front so every scrape exposes
+  // all three members — a member absent until its first event reads as an
+  // incomplete family on dashboards.
+  metrics().counter("serve.cache.lookups");
+  metrics().counter("serve.cache.hits");
+  metrics().counter("serve.cache.misses");
   for (unsigned i = 0; i < options_.workers; ++i)
     workers_.emplace_back([this] { workerLoop(); });
 }
@@ -102,7 +115,8 @@ void JobScheduler::enqueueLocked(const std::shared_ptr<Job>& job,
   if (recovered) job->log->record("requeued", {{"priority", job->priority}});
 }
 
-Admission JobScheduler::submit(const JobSpec& spec, int priority) {
+Admission JobScheduler::submit(const JobSpec& spec, int priority,
+                               bool noCache) {
   Admission admission;
   try {
     validateSpec(spec);
@@ -121,6 +135,33 @@ Admission JobScheduler::submit(const JobSpec& spec, int priority) {
     admission.error = "daemon is shutting down";
     return admission;
   }
+
+  // Exact-spec result cache: a byte-identical spec that already finished
+  // gets the finished job's id back — before the capacity check, since
+  // nothing is scheduled. The artifact existence check guards against an
+  // operator deleting a job directory behind the index.
+  if (!noCache) {
+    metrics().counter("serve.cache.lookups").add();
+    const auto hit = specIndex_.find(specHash(spec));
+    std::shared_ptr<Job> cachedJob;
+    if (hit != specIndex_.end()) {
+      const auto it = jobs_.find(hit->second);
+      if (it != jobs_.end() && it->second->state == JobState::Done &&
+          std::ifstream(store_.artifactPath(hit->second)).good())
+        cachedJob = it->second;
+    }
+    if (cachedJob) {
+      metrics().counter("serve.cache.hits").add();
+      admission.accepted = true;
+      admission.cached = true;
+      admission.id = cachedJob->id;
+      lock.unlock();
+      cachedJob->log->record("cache_hit", {{"priority", priority}});
+      return admission;
+    }
+    metrics().counter("serve.cache.misses").add();
+  }
+
   if (queue_.size() >= options_.queueCapacity) {
     admission.error = "queue full";
     admission.retryAfterSeconds = options_.retryAfterSeconds;
@@ -330,6 +371,37 @@ void JobScheduler::workerLoop() {
   }
 }
 
+std::vector<std::string> JobScheduler::warmStartDirsFor(const Job& job) {
+  if (std::optional<std::vector<std::string>> pinned =
+          store_.readWarmStart(job.id))
+    return *pinned;
+  // First run: the corpus is the session journals of finished jobs over
+  // the same problem (kernel/machine/n/objectives; seed and algorithm may
+  // differ — session::warmStartCompatible re-checks per journal). Pinned
+  // to disk before the search starts: the list is part of the search
+  // identity once culling is on, and a later resume must not see a corpus
+  // grown by jobs that finished in between.
+  std::vector<std::string> dirs;
+  const std::string objectives =
+      specToJson(job.spec).at("objectives").dump(-1);
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& [id, other] : jobs_) { // id order: deterministic
+      if (id == job.id || other->state != JobState::Done) continue;
+      const JobSpec& s = other->spec;
+      if (s.kernel != job.spec.kernel || s.machine != job.spec.machine ||
+          s.n != job.spec.n ||
+          specToJson(s).at("objectives").dump(-1) != objectives)
+        continue;
+      if (!session::sessionExists(store_.sessionDir(id))) continue;
+      dirs.push_back(store_.sessionDir(id));
+      if (dirs.size() >= 8) break; // bounded preload cost
+    }
+  }
+  store_.writeWarmStart(job.id, dirs);
+  return dirs;
+}
+
 void JobScheduler::runJob(const std::shared_ptr<Job>& job) {
   job->log->record("started", {{"resume", job->hasSession},
                                {"queue_seconds", job->queueSeconds}});
@@ -372,9 +444,11 @@ void JobScheduler::runJob(const std::shared_ptr<Job>& job) {
     // pool) is destroyed before jobTracer goes out of scope below.
     observe::ScopedTracer traceScope(&jobTracer);
     tuning::KernelTuningProblem problem = problemFromSpec(job->spec);
+    std::vector<std::string> warmDirs;
+    if (job->spec.surrogateKeep < 1.0) warmDirs = warmStartDirsFor(*job);
     autotune::TunerOptions options = tunerOptionsFromSpec(
         job->spec, store_.sessionDir(job->id), options_.jobThreads,
-        options_.checkpointEvery);
+        options_.checkpointEvery, warmDirs);
     options.stopRequested = [job] { return job->stopRequested.load(); };
     options.onProgress = [this, job](const opt::GenerationProgress& p) {
       {
@@ -412,6 +486,8 @@ void JobScheduler::runJob(const std::shared_ptr<Job>& job) {
   }
 
   const double runSeconds = secondsSince(job->started);
+  bool indexNew = false;
+  std::string indexHash;
   {
     std::lock_guard lock(mutex_);
     job->state = finalState;
@@ -423,8 +499,13 @@ void JobScheduler::runJob(const std::shared_ptr<Job>& job) {
       job->frontSize = result.front.size();
       job->resumes = result.session ? result.session->resumes : 0;
       job->artifactPath = store_.artifactPath(job->id);
+      indexHash = specHash(job->spec);
+      indexNew = specIndex_.emplace(indexHash, job->id).second;
     }
   }
+  // Keep-first: only the job that claimed the in-memory entry writes the
+  // on-disk index, so concurrent no-cache runs of one spec cannot flap it.
+  if (indexNew) store_.indexSpec(indexHash, job->id);
 
   auto& reg = metrics();
   switch (finalState) {

@@ -53,6 +53,10 @@ struct Admission {
   std::string id;
   std::string error;
   double retryAfterSeconds = 0.0;
+  /// The spec matched an already-finished job byte for byte: `id` is that
+  /// job's id and its artifact is immediately fetchable — nothing was
+  /// scheduled (the serve result cache; opt out per submit with no_cache).
+  bool cached = false;
 };
 
 /// Outcome of a cancel. Queued jobs cancel immediately; running
@@ -83,7 +87,11 @@ public:
   /// durable on disk for the next start. Idempotent.
   void stop();
 
-  Admission submit(const JobSpec& spec, int priority);
+  /// `noCache` bypasses the exact-spec result cache (the deterministic
+  /// searches make a finished job's artifact the correct answer for any
+  /// byte-identical resubmission; load harnesses that need N real runs of
+  /// one spec opt out).
+  Admission submit(const JobSpec& spec, int priority, bool noCache = false);
   CancelOutcome cancel(const std::string& id);
   std::optional<JobInfo> status(const std::string& id) const;
   std::vector<JobInfo> list() const;
@@ -124,6 +132,11 @@ private:
   void workerLoop();
   void runJob(const std::shared_ptr<Job>& job);
   void enqueueLocked(const std::shared_ptr<Job>& job, bool recovered);
+  /// The warm-start corpus for a surrogate job: the pinned on-disk list
+  /// when one exists, else the session journals of finished compatible
+  /// jobs (pinned to disk before returning, so every resume sees the same
+  /// list).
+  std::vector<std::string> warmStartDirsFor(const Job& job);
   JobInfo infoOf(const Job& job) const; ///< caller holds mutex_
   /// Publishes a `{"stream":"control","event":"state",...}` frame (no-op
   /// without a hub or subscribers).
@@ -142,6 +155,11 @@ private:
   /// order and run ahead of new jobs of equal priority.
   std::map<std::pair<int, std::uint64_t>, std::shared_ptr<Job>> queue_;
   std::map<std::string, std::shared_ptr<Job>> jobs_;
+  /// Exact-spec result cache: specHash -> id of the first job that
+  /// finished that spec. Rebuilt from recovered Done jobs on start() (the
+  /// job directories are the source of truth; jobs/by-spec/ is healed from
+  /// them), extended as jobs finish.
+  std::map<std::string, std::string> specIndex_;
   std::uint64_t seq_ = 0;
   unsigned active_ = 0;
   bool stopping_ = false;

@@ -121,6 +121,36 @@ void JobStore::markFailed(const std::string& id, const std::string& error) {
                       "\n");
 }
 
+void JobStore::indexSpec(const std::string& hash, const std::string& id) {
+  const fs::path dir = fs::path(stateDir_) / "jobs" / "by-spec";
+  fs::create_directories(dir);
+  writeFileAtomic(dir / hash, id + "\n");
+}
+
+void JobStore::writeWarmStart(const std::string& id,
+                              const std::vector<std::string>& dirs) {
+  support::JsonArray list;
+  for (const std::string& d : dirs) list.emplace_back(d);
+  writeFileAtomic(fs::path(jobDir(id)) / "warm_start.json",
+                  support::Json(support::JsonObject{
+                                    {"dirs", std::move(list)}})
+                          .dump(2) +
+                      "\n");
+}
+
+std::optional<std::vector<std::string>>
+JobStore::readWarmStart(const std::string& id) const {
+  const fs::path path = fs::path(jobDir(id)) / "warm_start.json";
+  std::ifstream in(path);
+  if (!in.good()) return std::nullopt;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::vector<std::string> dirs;
+  for (const auto& d : support::Json::parse(text).at("dirs").asArray())
+    dirs.push_back(d.asString());
+  return dirs;
+}
+
 std::vector<RecoveredJob> JobStore::recover() {
   std::vector<RecoveredJob> out;
   const fs::path jobsRoot = fs::path(stateDir_) / "jobs";

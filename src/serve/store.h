@@ -4,9 +4,16 @@
 //   STATE/
 //     daemon.json            # {port, pid, workers, started_unix} per start
 //     jobs/
+//       by-spec/
+//         <spec hash>        # result-cache index: one file per distinct
+//                            # finished spec, holding the id of the first
+//                            # job that completed it (docs/serve.md)
 //       j000001/
 //         job.json           # id + spec + priority, written before the
 //                            # submit is acknowledged (atomic rename)
+//         warm_start.json    # journals chosen to pre-train the surrogate,
+//                            # pinned at first run so a crash-resume
+//                            # trains on the identical corpus
 //         events.jsonl       # per-job observability stream: submitted /
 //                            # started / resumed / finished / failed /
 //                            # cancelled records with timings and metrics
@@ -32,6 +39,7 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -96,6 +104,21 @@ public:
   /// `result` parses the JSON and fails cleanly on a torn file).
   void markCancelled(const std::string& id);
   void markFailed(const std::string& id, const std::string& error);
+
+  /// Result-cache index (jobs/by-spec/<hash> -> job id, atomic write).
+  /// The scheduler keeps the authoritative in-memory map; these files make
+  /// the mapping auditable and are healed from recovered Done jobs on
+  /// start, so the index never has to be trusted over the job directories.
+  void indexSpec(const std::string& hash, const std::string& id);
+
+  /// The surrogate warm-start corpus pinned to a job: written once before
+  /// the job's first run, read back verbatim on every resume (the journal
+  /// list is part of the search identity once culling is on).
+  void writeWarmStart(const std::string& id,
+                      const std::vector<std::string>& dirs);
+  /// Returns the pinned list, or nullopt when the job has none on disk.
+  std::optional<std::vector<std::string>>
+  readWarmStart(const std::string& id) const;
 
   /// Scans STATE/jobs/ and classifies every job directory; also reseeds
   /// the id allocator past the highest recovered id. Jobs whose session

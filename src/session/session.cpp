@@ -94,6 +94,15 @@ void checkCompatible(const SessionHeader& journal,
                    "stop rule, ... must equal the original run's)");
 }
 
+bool warmStartCompatible(const SessionHeader& journal,
+                         const SessionHeader& current) {
+  return journal.version == kFormatVersion &&
+         journal.problem == current.problem &&
+         journal.objectives == current.objectives &&
+         spaceToJson(journal.space).dump(-1) ==
+             spaceToJson(current.space).dump(-1);
+}
+
 bool sessionExists(const std::string& directory) {
   return std::filesystem::exists(journalPath(directory));
 }

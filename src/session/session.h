@@ -62,6 +62,14 @@ SessionHeader headerFromJson(const support::Json& json);
 void checkCompatible(const SessionHeader& journal,
                      const SessionHeader& current);
 
+/// Relaxed fingerprint match for surrogate warm-starting: the journal's
+/// eval records are usable as training data for `current` when the problem
+/// tag, objective count and search space agree. Seed, algorithm and
+/// algorithm options may differ — a different search over the same problem
+/// still measured the same cost surface.
+bool warmStartCompatible(const SessionHeader& journal,
+                         const SessionHeader& current);
+
 /// One recorded unique evaluation.
 struct EvalRecord {
   tuning::Config config;

@@ -1,0 +1,112 @@
+// Online surrogate model for evaluation pre-ranking.
+//
+// A ridge regression per objective over a fixed-order polynomial feature
+// map of the configuration, fit incrementally from the (config ->
+// objectives) pairs the search evaluates (and, for warm starts, from the
+// eval records of prior compatible session journals). The optimizer scores
+// each generation's candidate offspring with the surrogate first and sends
+// only the most promising fraction to the full cost-model evaluation
+// (GDE3Options::surrogate / surrogateKeep).
+//
+// Determinism contract: the model is a pure function of the observation
+// sequence — fixed feature order, threshold-triggered refits, pivoted
+// Gaussian elimination, no random draws. Replaying the same observations
+// (e.g. from a session journal or the optimizer's archive on restore)
+// reproduces every prediction bit for bit, at any thread-pool size.
+//
+// Exports tuning.surrogate.{fits,predictions,warmstart.*} counters and the
+// tuning.surrogate.rank_correlation gauge through the global metric
+// registry; the optimizer adds tuning.surrogate.culled.
+#pragma once
+
+#include "tuning/search_space.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace motune::tuning {
+
+struct SurrogateOptions {
+  double ridgeLambda = 1e-3;          ///< L2 strength, scaled by sample count
+  std::size_t refitEvery = 16;        ///< observations between refits
+  std::size_t minSamples = 60;        ///< no predictions before this many
+  std::size_t correlationWindow = 128; ///< recent samples for the estimate
+};
+
+class Surrogate {
+public:
+  Surrogate(std::vector<ParamSpec> space, std::size_t objectives,
+            SurrogateOptions options = {});
+
+  /// Fixed-order feature map of a configuration: bias, normalized
+  /// coordinates, their squares, normalized log-scale coordinates, and
+  /// pairwise products. Deterministic; exposed for the journal round-trip
+  /// property test.
+  std::vector<double> features(const Config& config) const;
+  std::size_t featureCount() const { return featureCount_; }
+  std::size_t objectiveCount() const { return objectives_; }
+
+  /// Feeds one evaluated configuration; refits on the configured schedule.
+  void observe(const Config& config, const Objectives& objectives);
+
+  /// Snapshots the current observations as the warm-start base so that
+  /// resetToPreloaded() can drop everything observed after this point
+  /// (used when an optimizer restores from a checkpoint and replays its
+  /// archive to rebuild the surrogate deterministically).
+  void markPreloaded();
+  void resetToPreloaded();
+
+  /// True once enough samples accumulated for a first fit.
+  bool ready() const { return fitted_; }
+
+  /// Predicted objective vector (model scale). Counts as one prediction.
+  Objectives predict(const Config& config);
+
+  /// Scalar ranking key, lower is better: a blend of the best and the mean
+  /// normalized predicted objective, so both specialists and all-rounders
+  /// survive the cull. Counts as one prediction.
+  double score(const Config& config);
+
+  std::uint64_t observations() const { return accum_.samples; }
+  std::uint64_t fits() const { return fits_; }
+  std::uint64_t predictions() const { return predictions_; }
+
+  /// Spearman rank correlation between predicted and actual scalar scores
+  /// over the recent-sample window, refreshed on every refit. 0 until the
+  /// first fit; 1 is a perfect ranking.
+  double rankCorrelation() const { return rankCorrelation_; }
+
+private:
+  struct Accum {
+    std::vector<double> gram;                 ///< featureCount^2, row-major
+    std::vector<std::vector<double>> moment;  ///< per objective
+    std::vector<double> minLog, maxLog;       ///< per objective, running
+    struct Recent {
+      std::vector<double> phi;
+      std::vector<double> logY;
+    };
+    std::vector<Recent> recent;               ///< rank-correlation window
+    std::size_t recentNext = 0;
+    std::uint64_t samples = 0;
+  };
+
+  void refit();
+  std::vector<double> predictLog(const std::vector<double>& phi) const;
+  double scalarize(const std::vector<double>& logY) const;
+
+  std::vector<ParamSpec> space_;
+  std::size_t objectives_;
+  SurrogateOptions options_;
+  std::size_t featureCount_;
+
+  Accum accum_;
+  Accum preloaded_;
+  std::vector<std::vector<double>> weights_; ///< per objective, post-fit
+  bool fitted_ = false;
+  std::uint64_t samplesAtFit_ = 0;
+  std::uint64_t fits_ = 0;
+  std::uint64_t predictions_ = 0;
+  double rankCorrelation_ = 0.0;
+};
+
+} // namespace motune::tuning

@@ -556,6 +556,100 @@ TEST(Resume, RecoveredDoneJobsServeResultsWithoutRerun) {
 }
 
 // ---------------------------------------------------------------------------
+// Exact-spec result cache: resubmitting a finished spec returns the
+// existing artifact without scheduling anything.
+
+TEST(SpecCache, ResubmitReturnsCachedJobWithoutRerun) {
+  serve::Daemon daemon(daemonOptions(freshDir("cache-resubmit"), 1));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+
+  const serve::SubmitOutcome first = client.submit(fastSpec(7));
+  ASSERT_TRUE(first.accepted);
+  EXPECT_FALSE(first.cached);
+  const serve::JobInfo done = client.await(first.id, 60.0);
+  ASSERT_EQ(done.state, serve::JobState::Done);
+
+  // Identical spec: same id back, no new job, marked as a cache hit.
+  const serve::SubmitOutcome again = client.submit(fastSpec(7));
+  EXPECT_TRUE(again.accepted);
+  EXPECT_TRUE(again.cached);
+  EXPECT_EQ(again.id, first.id);
+  EXPECT_EQ(client.list().size(), 1u);
+  EXPECT_NO_THROW(client.result(again.id));
+
+  // A different spec (seed differs) is a miss and runs for real.
+  const serve::SubmitOutcome other = client.submit(fastSpec(8));
+  EXPECT_TRUE(other.accepted);
+  EXPECT_FALSE(other.cached);
+  EXPECT_NE(other.id, first.id);
+  client.await(other.id, 60.0);
+  daemon.stop();
+}
+
+TEST(SpecCache, NoCacheOptOutForcesAFreshRun) {
+  serve::Daemon daemon(daemonOptions(freshDir("cache-opt-out"), 1));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+
+  const serve::SubmitOutcome first = client.submit(fastSpec(7));
+  ASSERT_TRUE(first.accepted);
+  client.await(first.id, 60.0);
+
+  const serve::SubmitOutcome fresh =
+      client.submit(fastSpec(7), /*priority=*/0, /*noCache=*/true);
+  EXPECT_TRUE(fresh.accepted);
+  EXPECT_FALSE(fresh.cached);
+  EXPECT_NE(fresh.id, first.id);
+  const serve::JobInfo done = client.await(fresh.id, 60.0);
+  EXPECT_EQ(done.state, serve::JobState::Done);
+  // Determinism makes the fresh run's artifact identical anyway.
+  EXPECT_EQ(canonicalArtifact(autotune::loadArtifact(done.artifactPath)),
+            canonicalArtifact(
+                autotune::loadArtifact(client.status(first.id).artifactPath)));
+  daemon.stop();
+}
+
+TEST(SpecCache, RestartRebuildsTheIndexFromDisk) {
+  const std::string dir = freshDir("cache-restart");
+  std::string id;
+  {
+    serve::Daemon daemon(daemonOptions(dir, 1));
+    daemon.start();
+    serve::Client client("127.0.0.1", daemon.port());
+    id = client.submit(fastSpec(7)).id;
+    client.await(id, 60.0);
+    daemon.stop();
+  }
+  // The index is durable: one file per finished spec under jobs/by-spec/.
+  EXPECT_TRUE(
+      fs::exists(fs::path(dir) / "jobs" / "by-spec" / serve::specHash(fastSpec(7))));
+
+  serve::Daemon daemon(daemonOptions(dir, 1));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+  const serve::SubmitOutcome again = client.submit(fastSpec(7));
+  EXPECT_TRUE(again.accepted);
+  EXPECT_TRUE(again.cached);
+  EXPECT_EQ(again.id, id);
+  daemon.stop();
+}
+
+TEST(SpecCache, HashIsStableUnderDefaultedFields) {
+  // The hash covers the canonical spec JSON: equal specs collide, any
+  // semantic difference — including the surrogate keep fraction — does
+  // not.
+  EXPECT_EQ(serve::specHash(fastSpec(7)), serve::specHash(fastSpec(7)));
+  EXPECT_NE(serve::specHash(fastSpec(7)), serve::specHash(fastSpec(8)));
+  serve::JobSpec tuned = fastSpec(7);
+  tuned.surrogateKeep = 0.5;
+  EXPECT_NE(serve::specHash(tuned), serve::specHash(fastSpec(7)));
+  const std::string hash = serve::specHash(fastSpec(7));
+  EXPECT_EQ(hash.size(), 16u);
+  EXPECT_EQ(hash.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Live streaming: the subscribe verb and its buffering contract.
 
 namespace {

@@ -10,6 +10,7 @@
 #include "session/session.h"
 #include "support/check.h"
 #include "support/rng.h"
+#include "tuning/surrogate.h"
 
 #include <gtest/gtest.h>
 
@@ -359,6 +360,84 @@ TEST(SessionResume, RefusesMismatchedSearch) {
   opt::SyntheticProblem other = opt::makeSchaffer();
   EXPECT_THROW(autotune::AutoTuner(options).optimize(other),
                support::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Journal → surrogate warm-start property.
+
+TEST(SessionSurrogate, JournalFeatureVectorsRoundTripBitIdentically) {
+  // The warm-start path trains a surrogate from loadSession()'d eval
+  // records. Property: the recorded evaluation sequence — and therefore
+  // every derived feature vector — is bit-identical no matter how many
+  // evaluation workers wrote the journal, and a crash-truncated journal
+  // reloads as an exact prefix with the same features and predictions.
+  std::vector<session::ResumeState> states;
+  std::vector<std::string> dirs;
+  for (const unsigned workers : {1u, 4u}) {
+    const std::string dir =
+        freshDir("surrogate-journal-" + std::to_string(workers));
+    autotune::TunerOptions options = sessionlessOptions();
+    options.evaluationWorkers = workers;
+    options.session.directory = dir;
+    opt::SyntheticProblem problem = opt::makeSchaffer();
+    (void)autotune::AutoTuner(options).optimize(problem);
+    dirs.push_back(dir);
+    states.push_back(session::loadSession(dir));
+  }
+
+  ASSERT_EQ(states[0].evaluations.size(), states[1].evaluations.size());
+  ASSERT_FALSE(states[0].evaluations.empty());
+  tuning::Surrogate model(states[0].header.space,
+                          states[0].header.objectives);
+  for (std::size_t i = 0; i < states[0].evaluations.size(); ++i) {
+    const session::EvalRecord& a = states[0].evaluations[i];
+    const session::EvalRecord& b = states[1].evaluations[i];
+    EXPECT_EQ(a.config, b.config) << i;
+    EXPECT_TRUE(bitEqual(a.objectives, b.objectives)) << i;
+    EXPECT_TRUE(bitEqual(model.features(a.config), model.features(b.config)))
+        << i;
+  }
+
+  // A torn tail (SIGKILL mid-record) must reload as an exact prefix.
+  std::size_t totalLines = 0;
+  {
+    std::ifstream in(session::journalPath(dirs[0]));
+    std::string line;
+    while (std::getline(in, line)) ++totalLines;
+  }
+  const std::string torn = freshDir("surrogate-journal-torn");
+  cloneTruncated(dirs[0], torn, totalLines / 2);
+  const session::ResumeState tornState = session::loadSession(torn);
+  ASSERT_FALSE(tornState.evaluations.empty());
+  ASSERT_LE(tornState.evaluations.size(), states[0].evaluations.size());
+  for (std::size_t i = 0; i < tornState.evaluations.size(); ++i) {
+    EXPECT_EQ(tornState.evaluations[i].config,
+              states[0].evaluations[i].config)
+        << i;
+    EXPECT_TRUE(bitEqual(tornState.evaluations[i].objectives,
+                         states[0].evaluations[i].objectives))
+        << i;
+  }
+
+  // Training on the reloaded prefix reproduces the same model bit for bit
+  // as training on the same prefix of the intact journal.
+  tuning::SurrogateOptions eager;
+  eager.minSamples = 20;
+  eager.refitEvery = 8;
+  tuning::Surrogate fromTorn(tornState.header.space,
+                             tornState.header.objectives, eager);
+  tuning::Surrogate fromFull(states[0].header.space,
+                             states[0].header.objectives, eager);
+  for (std::size_t i = 0; i < tornState.evaluations.size(); ++i) {
+    fromTorn.observe(tornState.evaluations[i].config,
+                     tornState.evaluations[i].objectives);
+    fromFull.observe(states[0].evaluations[i].config,
+                     states[0].evaluations[i].objectives);
+  }
+  ASSERT_TRUE(fromTorn.ready());
+  for (const session::EvalRecord& record : tornState.evaluations)
+    EXPECT_TRUE(bitEqual(fromTorn.predict(record.config),
+                         fromFull.predict(record.config)));
 }
 
 TEST(SessionResume, RequiresCheckpointableAlgorithm) {

@@ -1,0 +1,279 @@
+// Surrogate-assisted evaluation (src/tuning/surrogate.h): the feature map
+// and ridge fit are pure functions of the observation sequence, a keep
+// fraction of 1.0 leaves the search byte-identical to a surrogate-free
+// run, culling actually saves evaluations while staying deterministic
+// across thread-pool sizes, and checkpoint/restore rebuilds the model by
+// replaying the engine's archive.
+#include "core/gde3.h"
+#include "core/testproblems.h"
+#include "runtime/thread_pool.h"
+#include "support/json.h"
+#include "tuning/surrogate.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+using namespace motune;
+
+namespace {
+
+bool bitEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+bool bitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+std::multiset<std::pair<tuning::Config, tuning::Objectives>>
+canonicalFront(const std::vector<opt::Individual>& front) {
+  std::multiset<std::pair<tuning::Config, tuning::Objectives>> out;
+  for (const auto& ind : front) out.emplace(ind.config, ind.objectives);
+  return out;
+}
+
+/// Deterministic space-filling sequence of valid configurations — wide
+/// enough spread for the ridge fit to be well conditioned, no RNG
+/// involved so every run of the test sees the same sequence.
+tuning::Config probeConfig(const std::vector<tuning::ParamSpec>& space,
+                           std::size_t i) {
+  tuning::Config config(space.size());
+  for (std::size_t d = 0; d < space.size(); ++d) {
+    const auto span =
+        static_cast<std::uint64_t>(space[d].hi - space[d].lo + 1);
+    config[d] = space[d].lo +
+                static_cast<std::int64_t>((i * 7919 + (d + 1) * 104729) %
+                                          span);
+  }
+  return config;
+}
+
+/// Small-sample surrogate so culling activates within a short test run.
+tuning::SurrogateOptions eagerSurrogate() {
+  tuning::SurrogateOptions options;
+  options.minSamples = 40;
+  options.refitEvery = 8;
+  return options;
+}
+
+} // namespace
+
+TEST(Surrogate, FeatureMapIsDeterministicAndFixedOrder) {
+  opt::SyntheticProblem problem = opt::makeFonseca();
+  tuning::Surrogate a(problem.space(), problem.numObjectives());
+  tuning::Surrogate b(problem.space(), problem.numObjectives());
+  for (std::size_t i = 0; i < 32; ++i) {
+    const tuning::Config config = probeConfig(problem.space(), i);
+    const std::vector<double> features = a.features(config);
+    EXPECT_EQ(features.size(), a.featureCount());
+    EXPECT_TRUE(bitEqual(features, a.features(config))) << "config " << i;
+    EXPECT_TRUE(bitEqual(features, b.features(config))) << "config " << i;
+  }
+}
+
+TEST(Surrogate, PredictionsArePureFunctionOfTheObservationSequence) {
+  // Two independently constructed models fed the identical observation
+  // sequence agree bit for bit on every later prediction and score — the
+  // determinism contract the session warm-start and checkpoint-restore
+  // paths rely on.
+  opt::SyntheticProblem problem = opt::makeFonseca();
+  tuning::Surrogate a(problem.space(), problem.numObjectives(),
+                      eagerSurrogate());
+  tuning::Surrogate b(problem.space(), problem.numObjectives(),
+                      eagerSurrogate());
+  for (std::size_t i = 0; i < 96; ++i) {
+    const tuning::Config config = probeConfig(problem.space(), i);
+    const tuning::Objectives objectives = problem.evaluate(config);
+    a.observe(config, objectives);
+    b.observe(config, objectives);
+  }
+  ASSERT_TRUE(a.ready());
+  ASSERT_TRUE(b.ready());
+  EXPECT_EQ(a.fits(), b.fits());
+  EXPECT_TRUE(bitEqual(a.rankCorrelation(), b.rankCorrelation()));
+  for (std::size_t i = 200; i < 232; ++i) {
+    const tuning::Config config = probeConfig(problem.space(), i);
+    EXPECT_TRUE(bitEqual(a.predict(config), b.predict(config))) << i;
+    EXPECT_TRUE(bitEqual(a.score(config), b.score(config))) << i;
+  }
+  EXPECT_EQ(a.predictions(), b.predictions());
+}
+
+TEST(Surrogate, ResetToPreloadedDropsEverythingObservedAfterTheMark) {
+  // markPreloaded()/resetToPreloaded() is the restore-replay primitive:
+  // after a reset, re-observing the same tail must land the model in the
+  // same state as a straight-through run.
+  opt::SyntheticProblem problem = opt::makeFonseca();
+  tuning::Surrogate replayed(problem.space(), problem.numObjectives(),
+                             eagerSurrogate());
+  tuning::Surrogate straight(problem.space(), problem.numObjectives(),
+                             eagerSurrogate());
+
+  const std::size_t base = 48, tail = 48;
+  for (std::size_t i = 0; i < base; ++i) {
+    const tuning::Config config = probeConfig(problem.space(), i);
+    const tuning::Objectives objectives = problem.evaluate(config);
+    replayed.observe(config, objectives);
+    straight.observe(config, objectives);
+  }
+  replayed.markPreloaded();
+
+  // Detour: observations that must leave no trace after the reset.
+  for (std::size_t i = 500; i < 520; ++i) {
+    const tuning::Config config = probeConfig(problem.space(), i);
+    replayed.observe(config, problem.evaluate(config));
+  }
+  replayed.resetToPreloaded();
+  EXPECT_EQ(replayed.observations(), base);
+
+  for (std::size_t i = base; i < base + tail; ++i) {
+    const tuning::Config config = probeConfig(problem.space(), i);
+    const tuning::Objectives objectives = problem.evaluate(config);
+    replayed.observe(config, objectives);
+    straight.observe(config, objectives);
+  }
+  EXPECT_EQ(replayed.observations(), straight.observations());
+  for (std::size_t i = 300; i < 316; ++i) {
+    const tuning::Config config = probeConfig(problem.space(), i);
+    EXPECT_TRUE(bitEqual(replayed.predict(config), straight.predict(config)))
+        << i;
+  }
+}
+
+TEST(Surrogate, KeepOneIsByteIdenticalToSurrogateFree) {
+  // The acceptance bar for the observability mode: with surrogateKeep ==
+  // 1.0 the surrogate watches every evaluation but culls nothing, so the
+  // evaluation count, Pareto front and hypervolume trajectory match a
+  // surrogate-free run bit for bit — at any pool size.
+  for (const unsigned workers : {1u, 4u}) {
+    SCOPED_TRACE("pool size " + std::to_string(workers));
+    opt::GDE3Options options;
+    options.seed = 5;
+    options.maxGenerations = 10;
+
+    opt::SyntheticProblem plainProblem = opt::makeFonseca();
+    runtime::ThreadPool plainPool(workers);
+    opt::GDE3 plain(plainProblem, plainPool, options);
+    const opt::OptResult plainResult = plain.run();
+
+    opt::SyntheticProblem observedProblem = opt::makeFonseca();
+    runtime::ThreadPool observedPool(workers);
+    tuning::Surrogate surrogate(observedProblem.space(),
+                                observedProblem.numObjectives(),
+                                eagerSurrogate());
+    opt::GDE3Options withSurrogate = options;
+    withSurrogate.surrogate = &surrogate;
+    withSurrogate.surrogateKeep = 1.0;
+    opt::GDE3 observed(observedProblem, observedPool, withSurrogate);
+    const opt::OptResult observedResult = observed.run();
+
+    EXPECT_EQ(observedResult.evaluations, plainResult.evaluations);
+    EXPECT_EQ(observedResult.generations, plainResult.generations);
+    EXPECT_EQ(canonicalFront(observedResult.front),
+              canonicalFront(plainResult.front));
+    EXPECT_TRUE(bitEqual(observedResult.hvHistory, plainResult.hvHistory));
+    EXPECT_GT(surrogate.observations(), 0u);
+  }
+}
+
+TEST(Surrogate, CullingSavesEvaluationsDeterministicallyAcrossPools) {
+  // With keep < 1 the engine sends fewer trials to the full evaluation
+  // once the model is ready — and because the cull is driven by the
+  // deterministic surrogate, pool sizes 1 and 4 still produce the same
+  // search bit for bit.
+  opt::GDE3Options options;
+  options.seed = 5;
+  options.maxGenerations = 20;
+  options.noImproveLimit = 100; // fixed-length run: budgets comparable
+
+  opt::SyntheticProblem plainProblem = opt::makeFonseca();
+  runtime::ThreadPool plainPool(1);
+  opt::GDE3 plain(plainProblem, plainPool, options);
+  const opt::OptResult plainResult = plain.run();
+
+  std::vector<opt::OptResult> culledResults;
+  std::vector<std::uint64_t> observations;
+  for (const unsigned workers : {1u, 4u}) {
+    SCOPED_TRACE("pool size " + std::to_string(workers));
+    opt::SyntheticProblem problem = opt::makeFonseca();
+    runtime::ThreadPool pool(workers);
+    tuning::Surrogate surrogate(problem.space(), problem.numObjectives(),
+                                eagerSurrogate());
+    opt::GDE3Options culled = options;
+    culled.surrogate = &surrogate;
+    culled.surrogateKeep = 0.5;
+    opt::GDE3 engine(problem, pool, culled);
+    culledResults.push_back(engine.run());
+    observations.push_back(surrogate.observations());
+    ASSERT_FALSE(culledResults.back().front.empty());
+  }
+
+  EXPECT_LT(culledResults[0].evaluations, plainResult.evaluations);
+  EXPECT_EQ(culledResults[0].evaluations, culledResults[1].evaluations);
+  EXPECT_EQ(culledResults[0].generations, culledResults[1].generations);
+  EXPECT_EQ(canonicalFront(culledResults[0].front),
+            canonicalFront(culledResults[1].front));
+  EXPECT_TRUE(bitEqual(culledResults[0].hvHistory,
+                       culledResults[1].hvHistory));
+  EXPECT_EQ(observations[0], observations[1]);
+}
+
+TEST(Surrogate, RestoreRebuildsTheModelByReplayingTheArchive) {
+  // Serialize a mid-search engine with an active culling surrogate,
+  // restore into a fresh engine with a fresh surrogate, and continue
+  // both: restore() replays the archive into the new model, so the
+  // remaining generations — cull decisions included — match bit for bit.
+  // The restored run uses a different pool size to pin thread-count
+  // independence through the replay path too.
+  opt::GDE3Options options;
+  options.seed = 5;
+  options.maxGenerations = 20;
+  options.noImproveLimit = 100;
+
+  opt::SyntheticProblem problemA = opt::makeFonseca();
+  opt::SyntheticProblem problemB = opt::makeFonseca();
+  runtime::ThreadPool poolA(1), poolB(4);
+  tuning::Surrogate surrogateA(problemA.space(), problemA.numObjectives(),
+                               eagerSurrogate());
+  tuning::Surrogate surrogateB(problemB.space(), problemB.numObjectives(),
+                               eagerSurrogate());
+  opt::GDE3Options optionsA = options;
+  optionsA.surrogate = &surrogateA;
+  optionsA.surrogateKeep = 0.5;
+  opt::GDE3Options optionsB = options;
+  optionsB.surrogate = &surrogateB;
+  optionsB.surrogateKeep = 0.5;
+
+  opt::GDE3 a(problemA, poolA, optionsA);
+  a.initialize();
+  for (int g = 0; g < 4; ++g) a.step();
+  ASSERT_TRUE(surrogateA.ready());
+  const support::Json state = support::Json::parse(a.serialize().dump(-1));
+
+  opt::GDE3 b(problemB, poolB, optionsB);
+  b.restore(state);
+  EXPECT_EQ(b.generationsDone(), a.generationsDone());
+  EXPECT_EQ(surrogateB.observations(), surrogateA.observations());
+  EXPECT_TRUE(surrogateB.ready());
+
+  for (int g = 0; g < 6; ++g) {
+    const bool improvedA = a.step();
+    const bool improvedB = b.step();
+    EXPECT_EQ(improvedA, improvedB) << "generation " << g;
+  }
+  // No evaluation-count comparison: the restored engine's memo counter
+  // starts empty (the session layer pre-seeds it separately on resume);
+  // the bitwise contract is on the search trajectory itself.
+  const opt::OptResult ra = a.snapshot();
+  const opt::OptResult rb = b.snapshot();
+  EXPECT_EQ(canonicalFront(rb.front), canonicalFront(ra.front));
+  EXPECT_TRUE(bitEqual(rb.hvHistory, ra.hvHistory));
+  EXPECT_EQ(surrogateB.observations(), surrogateA.observations());
+}

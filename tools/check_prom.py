@@ -15,9 +15,17 @@ daemon's own accounting agrees with the client's:
      pair, and quantile label values parse as probabilities;
   4. with --expect-jobs-done N, `motune_serve_jobs_done_total` must
      equal N exactly — the scrape agrees with the number of jobs the
-     load client saw complete (zero lost, zero phantom).
+     load client saw complete (zero lost, zero phantom);
+  5. whenever the exact-spec result-cache family is present,
+     motune_serve_cache_hits_total + motune_serve_cache_misses_total
+     must equal motune_serve_cache_lookups_total (every lookup resolved
+     one way, none double-counted);
+  6. with --expect-cache-hits N, motune_serve_cache_hits_total must be
+     at least N (a floor, not an exact match: other clients of the same
+     daemon may add hits of their own).
 
 Usage: check_prom.py SCRAPE.txt [--expect-jobs-done N]
+                                [--expect-cache-hits N]
        ... | check_prom.py - [--expect-jobs-done N]
 """
 import re
@@ -59,6 +67,14 @@ def main():
             print(__doc__, file=sys.stderr)
             return 2
         expect_done = int(argv[i + 1])
+        del argv[i:i + 2]
+    expect_cache_hits = None
+    if "--expect-cache-hits" in argv:
+        i = argv.index("--expect-cache-hits")
+        if i + 1 >= len(argv):
+            print(__doc__, file=sys.stderr)
+            return 2
+        expect_cache_hits = int(argv[i + 1])
         del argv[i:i + 2]
     if len(argv) != 1:
         print(__doc__, file=sys.stderr)
@@ -147,13 +163,32 @@ def main():
                   f"client saw {expect_done} jobs complete", file=sys.stderr)
             return 1
 
+    cache = {suffix: samples.get((f"motune_serve_cache_{suffix}_total", ""))
+             for suffix in ("lookups", "hits", "misses")}
+    if any(v is not None for v in cache.values()):
+        # A member the daemon never touched is simply absent: that is a 0.
+        cache = {s: v if v is not None else 0.0 for s, v in cache.items()}
+        if cache["hits"] + cache["misses"] != cache["lookups"]:
+            print(f"cache accounting broken: hits ({cache['hits']:.0f}) + "
+                  f"misses ({cache['misses']:.0f}) != lookups "
+                  f"({cache['lookups']:.0f})", file=sys.stderr)
+            return 1
+    if expect_cache_hits is not None:
+        if cache["hits"] is None or cache["hits"] < expect_cache_hits:
+            got = "missing" if cache["hits"] is None else f"{cache['hits']:.0f}"
+            print(f"motune_serve_cache_hits_total is {got}, expected at "
+                  f"least {expect_cache_hits}", file=sys.stderr)
+            return 1
+
     kinds = {}
     for kind in types.values():
         kinds[kind] = kinds.get(kind, 0) + 1
     print(f"scrape ok: {len(samples)} samples across {len(types)} families "
           f"({', '.join(f'{n} {k}' for k, n in sorted(kinds.items()))})"
           + (f", serve.jobs.done == {expect_done}"
-             if expect_done is not None else ""))
+             if expect_done is not None else "")
+          + (f", cache hits >= {expect_cache_hits}"
+             if expect_cache_hits is not None else ""))
     return 0
 
 

@@ -13,7 +13,12 @@ Checks, over the output of `motune tune --trace FILE`:
   4. every runtime ring record (`rt.*`) and region event carries a
      positive thread id;
   5. when any `rt.*` record is present, the `rt.ring.dropped` counter is
-     present too (no silent loss) and its value is reported.
+     present too (no silent loss) and its value is reported;
+  6. the surrogate / result-cache counter families obey their invariants
+     when present: every `tuning.surrogate.*` and `serve.cache.*` counter
+     is non-negative, `tuning.surrogate.culled` never exceeds
+     `tuning.surrogate.predictions` (every culled trial was scored), and
+     for any `<family>.lookups` counter, hits + misses == lookups.
 
 With --chrome FILE, additionally validates a Chrome trace-event JSON
 array structurally: tolerant of a truncated tail (per the format spec),
@@ -45,9 +50,17 @@ With --replay LOG, validates a `motune replay --log LOG` selection log
      counts sum to the invocation total, and its ratio is consistent
      with the logged bills.
 
+With --metrics FILE, validates a metrics-registry JSON dump (the
+--metrics output of the benches and the CLI) instead of a trace: every
+counter must be non-negative (registry counters are monotone by
+construction), plus the rule-6 family invariants above — this is how the
+CI gates check `serve.cache.{lookups,hits,misses}` consistency, since
+those counters live in the daemon's registry, not in any per-job trace.
+
 Usage: check_trace.py TRACE.jsonl [--chrome TRACE.json]
        check_trace.py --serve STATE_DIR/jobs
        check_trace.py --replay LOG.jsonl
+       check_trace.py --metrics METRICS.json
 """
 import glob
 import json
@@ -185,6 +198,57 @@ def check_serve(jobs_dir: str) -> int:
     return 0
 
 
+def counter_family_error(counters):
+    """Invariants shared by the trace mode and --metrics mode (rule 6 of
+    the module docstring); returns an error string or None."""
+    for name in sorted(counters):
+        if (name.startswith("tuning.surrogate.")
+                or name.startswith("serve.cache.")) and counters[name] < 0:
+            return f"counter {name} is negative: {counters[name]}"
+    culled = counters.get("tuning.surrogate.culled")
+    predictions = counters.get("tuning.surrogate.predictions")
+    if culled is not None and predictions is not None and culled > predictions:
+        return (f"tuning.surrogate.culled ({culled}) exceeds "
+                f"tuning.surrogate.predictions ({predictions}) — every "
+                "culled trial must have been scored first")
+    for name in sorted(counters):
+        if not name.endswith(".lookups"):
+            continue
+        family = name[: -len(".lookups")]
+        hits = counters.get(family + ".hits", 0)
+        misses = counters.get(family + ".misses", 0)
+        if hits + misses != counters[name]:
+            return (f"{family}: hits ({hits}) + misses ({misses}) != "
+                    f"lookups ({counters[name]})")
+    return None
+
+
+def check_metrics(path: str) -> int:
+    """Validate a metrics-registry JSON dump (bench/CLI --metrics)."""
+    with open(path, encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as err:
+            print(f"{path}: invalid JSON: {err}", file=sys.stderr)
+            return 1
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        print(f"{path}: no counters object", file=sys.stderr)
+        return 1
+    negative = {n: v for n, v in counters.items() if v < 0}
+    if negative:
+        print(f"{path}: negative counters: {negative}", file=sys.stderr)
+        return 1
+    err = counter_family_error(counters)
+    if err:
+        print(f"{path}: {err}", file=sys.stderr)
+        return 1
+    families = sorted({n.rsplit(".", 1)[0] for n in counters})
+    print(f"metrics ok: {len(counters)} counters over families "
+          f"{families}")
+    return 0
+
+
 def check_replay(path: str) -> int:
     """Validate a `motune replay --log` selection log."""
     records, err = load_jsonl(path)
@@ -306,6 +370,11 @@ def main() -> int:
             print(__doc__, file=sys.stderr)
             return 2
         return check_serve(args[1])
+    if args and args[0] == "--metrics":
+        if len(args) != 2:
+            print(__doc__, file=sys.stderr)
+            return 2
+        return check_metrics(args[1])
     chrome_path = None
     if "--chrome" in args:
         i = args.index("--chrome")
@@ -353,6 +422,11 @@ def main() -> int:
         print("missing tuning.evaluations.unique counter", file=sys.stderr)
         return 1
     unique = counters["tuning.evaluations.unique"]
+
+    err = counter_family_error(counters)
+    if err:
+        print(err, file=sys.stderr)
+        return 1
 
     run_spans = [r for r in records if r["type"] == "span"
                  and r["name"] in ("rsgde3.run", "gde3.run")]

@@ -14,7 +14,10 @@ What it checks, beyond the latency/throughput numbers:
   * zero lost results    — every acked job id reaches state "done" and its
                            artifact is retrievable via the result verb
   * zero duplicated      — the daemon never acks the same id twice and the
-                           list verb reports each id exactly once
+                           list verb reports each id exactly once (submits
+                           carry no_cache so duplicate specs in the burst
+                           are really executed, not served from the
+                           daemon's exact-spec result cache)
   * determinism          — seeds repeat across the burst; jobs sharing a
                            (spec, seed) must produce byte-identical
                            artifacts (modulo the "session" provenance
@@ -113,8 +116,14 @@ def submit_slice(args, indices, acked, rejects, errors, lock):
             seed = 1 + (i % args.seeds)
             while True:
                 t0 = time.monotonic()
-                resp = conn.request(
-                    {"verb": "submit", "spec": job_spec(args, seed)})
+                # no_cache: the burst repeats specs across seeds, and this
+                # suite's invariants (every ack a distinct id, every job
+                # actually executed) need real runs — without it the
+                # daemon's exact-spec result cache would ack the first
+                # finished job's id for every duplicate.
+                resp = conn.request({"verb": "submit",
+                                     "spec": job_spec(args, seed),
+                                     "no_cache": True})
                 if resp.get("ok"):
                     with lock:
                         acked.append((resp["id"], seed, t0))

@@ -8,6 +8,7 @@
 //               [--trace FILE] [--trace-format jsonl|chrome]
 //               [--metrics FILE.json] [--validate 1]
 //               [--checkpoint DIR [--checkpoint-every N] | --resume DIR]
+//               [--surrogate-keep X] [--warm-start DIR[,DIR...]]
 //               [--fault-tolerant 1 [--eval-retries N] [--eval-timeout S]
 //                [--eval-backoff S] [--quarantine-after N]]
 //       Run the static optimizer on a built-in kernel or a textual kernel
@@ -55,11 +56,16 @@
 //       concurrent tuning jobs over a length-prefixed JSON socket
 //       protocol, persists every job under STATE/, and resumes in-flight
 //       jobs bit-identically after a crash or SIGKILL.
-//   motune submit --port P [tune flags] [--priority N] [--wait]
+//   motune submit --port P [tune flags] [--priority N] [--no-cache]
+//                 [--wait]
 //       Submit one tuning job to a running daemon. The job spec uses the
 //       same flags as `motune tune` (kernel, machine, n, algorithm, seed,
-//       objectives, budget). Exit 4 when the daemon sheds load (queue
-//       full); retry after the printed delay.
+//       objectives, budget, surrogate-keep). A spec identical to an
+//       already-finished job returns that job's id from the daemon's
+//       result cache without scheduling anything (--no-cache opts out).
+//       Exit 4 when the daemon sheds load (queue full; retry after the
+//       printed delay); with --wait, exit 5 when the job failed and 6 when
+//       it was cancelled.
 //   motune jobs --port P [--id ID | --result ID | --cancel ID | --stats
 //                [--format json|prometheus] | --shutdown]
 //       Inspect or control a running daemon: list jobs (default), show one
@@ -125,7 +131,7 @@ struct Args {
 bool isFlagOption(const std::string& key) {
   return key == "no-native" || key == "help" || key == "wait" ||
          key == "stats" || key == "shutdown" || key == "plain" ||
-         key == "list";
+         key == "list" || key == "no-cache";
 }
 
 // ---------------------------------------------------------------------------
@@ -175,6 +181,12 @@ const std::vector<CommandHelp>& commandHelp() {
             "generations between engine checkpoints (default: 1)"},
            {"resume", "DIR",
             "continue a killed session from DIR (bit-identical)"},
+           {"surrogate-keep", "X",
+            "fraction (0,1] of each generation sent to full evaluation; "
+            "the rest is culled by the online surrogate (default: 1 = off)"},
+           {"warm-start", "DIRS",
+            "comma list of session directories whose journals pre-train "
+            "the surrogate (incompatible journals are skipped)"},
            {"fault-tolerant", "0|1",
             "retry/quarantine failing evaluations instead of aborting"},
            {"eval-retries", "N",
@@ -299,9 +311,17 @@ const std::vector<CommandHelp>& commandHelp() {
            {"objectives", "LIST",
             "comma list of time,resources,energy (default: time,resources)"},
            {"budget", "N", "evaluation budget for --algorithm random"},
+           {"surrogate-keep", "X",
+            "fraction (0,1] of each generation fully evaluated; below 1 "
+            "the daemon also warm-starts the surrogate from finished "
+            "compatible jobs"},
            {"priority", "N",
             "scheduling priority; higher runs first (default: 0)"},
-           {"wait", "", "block until the job finishes and print the front"},
+           {"no-cache",
+            "", "force a real run even when an identical spec already "
+                "finished (skip the daemon's result cache)"},
+           {"wait", "", "block until the job finishes and print the front; "
+                        "exits 5 if the job failed, 6 if it was cancelled"},
            {"out", "FILE", "with --wait: save the artifact here"},
        }},
       {"jobs", "inspect or control a running daemon",
@@ -593,6 +613,21 @@ int cmdTune(const Args& args) {
       std::stoi(args.get("checkpoint-every", "1"));
   MOTUNE_CHECK_MSG(options.session.checkpointEvery >= 1,
                    "--checkpoint-every must be >= 1");
+
+  // Surrogate-assisted evaluation: either flag turns the surrogate on;
+  // culling only happens below keep == 1.
+  options.surrogateKeep = std::stod(args.get("surrogate-keep", "1"));
+  MOTUNE_CHECK_MSG(options.surrogateKeep > 0.0 &&
+                       options.surrogateKeep <= 1.0,
+                   "--surrogate-keep must be in (0, 1]");
+  options.surrogateEnabled =
+      args.has("surrogate-keep") || args.has("warm-start");
+  if (args.has("warm-start")) {
+    std::stringstream dirs(args.options.at("warm-start"));
+    std::string dir;
+    while (std::getline(dirs, dir, ','))
+      if (!dir.empty()) options.warmStartDirs.push_back(dir);
+  }
 
   options.fault.enabled = args.get("fault-tolerant", "0") != "0";
   options.fault.maxRetries = std::stoi(args.get("eval-retries", "2"));
@@ -967,6 +1002,7 @@ serve::JobSpec specFromArgs(const Args& args) {
   spec.seed = std::stoull(args.get("seed", "1"));
   spec.objectives = parseObjectives(args.get("objectives", "time,resources"));
   spec.budget = std::stoull(args.get("budget", "1000"));
+  spec.surrogateKeep = std::stod(args.get("surrogate-keep", "1"));
   return spec;
 }
 
@@ -976,7 +1012,8 @@ int cmdSubmit(const Args& args) {
                        std::stoi(args.options.at("port")));
   const serve::JobSpec spec = specFromArgs(args);
   const int priority = std::stoi(args.get("priority", "0"));
-  const serve::SubmitOutcome outcome = client.submit(spec, priority);
+  const serve::SubmitOutcome outcome =
+      client.submit(spec, priority, args.has("no-cache"));
   if (!outcome.accepted) {
     std::cerr << "rejected: " << outcome.error;
     if (outcome.retryAfterSeconds > 0)
@@ -985,16 +1022,19 @@ int cmdSubmit(const Args& args) {
     return 4; // distinct exit code: backpressure, not an error in the spec
   }
   std::cout << outcome.id << "\n";
+  if (outcome.cached)
+    std::cerr << "cached: identical spec already finished as " << outcome.id
+              << "\n";
   if (!args.has("wait")) return 0;
 
   const serve::JobInfo info = client.await(outcome.id);
   if (info.state == serve::JobState::Failed) {
     std::cerr << "job " << info.id << " failed: " << info.error << "\n";
-    return 1;
+    return 5; // distinct from transport errors (1) and backpressure (4)
   }
   if (info.state == serve::JobState::Cancelled) {
     std::cerr << "job " << info.id << " was cancelled\n";
-    return 1;
+    return 6;
   }
   std::cout << info.evaluations << " evaluations, V(S) = "
             << support::fmt(info.hypervolume, 3) << ", " << info.frontSize
