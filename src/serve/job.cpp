@@ -81,6 +81,8 @@ std::string specHash(const JobSpec& spec) {
   return buf;
 }
 
+bool cacheableSpec(const JobSpec& spec) { return spec.surrogateKeep >= 1.0; }
+
 void validateSpec(const JobSpec& spec) {
   kernels::kernelByName(spec.kernel); // throws on an unknown kernel
   MOTUNE_CHECK_MSG(spec.machine == "westmere" || spec.machine == "barcelona",

@@ -41,11 +41,20 @@ support::Json specToJson(const JobSpec& spec);
 JobSpec specFromJson(const support::Json& json);
 
 /// Content hash of a canonicalized spec (FNV-1a 64 over the compact JSON
-/// dump), as 16 lowercase hex digits. Two specs hash equal iff they
-/// describe the same deterministic search, so a finished job's artifact
-/// can answer a byte-identical resubmission (the serve result cache,
-/// `jobs/by-spec/<hash>`).
+/// dump), as 16 lowercase hex digits. Equal specs always hash equal;
+/// 64 bits is not proof of identity, so the scheduler re-compares the
+/// canonical JSON on every cache hit before serving it (the serve result
+/// cache, `jobs/by-spec/<hash>`).
 std::string specHash(const JobSpec& spec);
+
+/// True when a finished job's artifact is a pure function of the spec, so
+/// the result cache may answer a byte-identical resubmission with it.
+/// False for surrogate_keep < 1: the daemon warm-starts those jobs from
+/// whatever compatible jobs had finished in its store when the job first
+/// ran, so the same spec submitted later (or to another daemon) can
+/// legitimately produce a different artifact — such jobs neither hit nor
+/// populate the cache.
+bool cacheableSpec(const JobSpec& spec);
 
 /// MOTUNE_CHECK-fails with a field-level message on an invalid spec
 /// (unknown kernel/machine/algorithm/objective, negative n). Run at

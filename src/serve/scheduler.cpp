@@ -79,7 +79,8 @@ void JobScheduler::start() {
       if (rec.state == JobState::Queued) enqueueLocked(job, /*recovered=*/true);
       // Result cache: recovered in id order, so emplace keeps the earliest
       // finished job for each distinct spec across restarts too.
-      if (rec.state == JobState::Done)
+      // Warm-started specs are never cacheable (see submit()).
+      if (rec.state == JobState::Done && cacheableSpec(rec.spec))
         specIndex_.emplace(specHash(rec.spec), job->id);
     }
     for (const auto& [hash, id] : specIndex_) store_.indexSpec(hash, id);
@@ -138,15 +139,27 @@ Admission JobScheduler::submit(const JobSpec& spec, int priority,
 
   // Exact-spec result cache: a byte-identical spec that already finished
   // gets the finished job's id back — before the capacity check, since
-  // nothing is scheduled. The artifact existence check guards against an
-  // operator deleting a job directory behind the index.
-  if (!noCache) {
+  // nothing is scheduled. Only warm-start-free specs (surrogate_keep ==
+  // 1) are eligible: below 1 the artifact also depends on the corpus of
+  // compatible jobs that had finished when the job first ran
+  // (warmStartDirsFor), so an identical spec submitted later can
+  // legitimately produce a different artifact. Ineligible submits skip
+  // the lookup entirely (no serve.cache.* counter moves). The artifact
+  // existence check guards against an operator deleting a job directory
+  // behind the index.
+  if (!noCache && cacheableSpec(spec)) {
     metrics().counter("serve.cache.lookups").add();
     const auto hit = specIndex_.find(specHash(spec));
     std::shared_ptr<Job> cachedJob;
     if (hit != specIndex_.end()) {
       const auto it = jobs_.find(hit->second);
+      // The 64-bit hash alone is not proof of identity: verify the
+      // indexed job's canonical spec JSON matches before serving it, so
+      // a hash collision demotes to a miss instead of returning another
+      // spec's artifact.
       if (it != jobs_.end() && it->second->state == JobState::Done &&
+          specToJson(it->second->spec).dump(-1) ==
+              specToJson(spec).dump(-1) &&
           std::ifstream(store_.artifactPath(hit->second)).good())
         cachedJob = it->second;
     }
@@ -316,6 +329,12 @@ support::Json JobScheduler::stats() const {
       {"cancelled",
        std::to_string(reg.counter("serve.jobs.cancelled").value())},
       {"resumed", std::to_string(reg.counter("serve.jobs.resumed").value())},
+      {"cache_lookups",
+       std::to_string(reg.counter("serve.cache.lookups").value())},
+      {"cache_hits",
+       std::to_string(reg.counter("serve.cache.hits").value())},
+      {"cache_misses",
+       std::to_string(reg.counter("serve.cache.misses").value())},
       {"queue_seconds", summary(wait)},
       {"run_seconds", summary(run)},
       {"total_seconds", summary(total)},
@@ -499,8 +518,13 @@ void JobScheduler::runJob(const std::shared_ptr<Job>& job) {
       job->frontSize = result.front.size();
       job->resumes = result.session ? result.session->resumes : 0;
       job->artifactPath = store_.artifactPath(job->id);
-      indexHash = specHash(job->spec);
-      indexNew = specIndex_.emplace(indexHash, job->id).second;
+      // Warm-started jobs (surrogate_keep < 1) are not cacheable: their
+      // artifact depends on the store's contents at first run, not just
+      // the spec — never index them.
+      if (cacheableSpec(job->spec)) {
+        indexHash = specHash(job->spec);
+        indexNew = specIndex_.emplace(indexHash, job->id).second;
+      }
     }
   }
   // Keep-first: only the job that claimed the in-memory entry writes the

@@ -87,10 +87,11 @@ public:
   /// durable on disk for the next start. Idempotent.
   void stop();
 
-  /// `noCache` bypasses the exact-spec result cache (the deterministic
-  /// searches make a finished job's artifact the correct answer for any
-  /// byte-identical resubmission; load harnesses that need N real runs of
-  /// one spec opt out).
+  /// `noCache` bypasses the exact-spec result cache (for cacheable specs
+  /// — see cacheableSpec() — the deterministic searches make a finished
+  /// job's artifact the correct answer for any byte-identical
+  /// resubmission; load harnesses that need N real runs of one spec opt
+  /// out).
   Admission submit(const JobSpec& spec, int priority, bool noCache = false);
   CancelOutcome cancel(const std::string& id);
   std::optional<JobInfo> status(const std::string& id) const;
@@ -156,9 +157,11 @@ private:
   std::map<std::pair<int, std::uint64_t>, std::shared_ptr<Job>> queue_;
   std::map<std::string, std::shared_ptr<Job>> jobs_;
   /// Exact-spec result cache: specHash -> id of the first job that
-  /// finished that spec. Rebuilt from recovered Done jobs on start() (the
-  /// job directories are the source of truth; jobs/by-spec/ is healed from
-  /// them), extended as jobs finish.
+  /// finished that spec. Holds cacheable specs only (cacheableSpec():
+  /// warm-started surrogate jobs are excluded — their artifacts are not
+  /// pure functions of the spec). Rebuilt from recovered Done jobs on
+  /// start() (the job directories are the source of truth; jobs/by-spec/
+  /// is healed from them), extended as jobs finish.
   std::map<std::string, std::string> specIndex_;
   std::uint64_t seq_ = 0;
   unsigned active_ = 0;

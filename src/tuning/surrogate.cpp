@@ -163,15 +163,22 @@ void Surrogate::observe(const Config& config, const Objectives& objectives) {
     refit();
 }
 
-void Surrogate::markPreloaded() { preloaded_ = accum_; }
+void Surrogate::markPreloaded() {
+  preloaded_ = accum_;
+  preloadedFit_ = {weights_, fitted_, samplesAtFit_, fits_, rankCorrelation_};
+}
 
 void Surrogate::resetToPreloaded() {
+  // Restore the fit verbatim instead of refitting: the mark is usually not
+  // on the `minSamples + k*refitEvery` threshold grid, and a fit at the
+  // mark would shift every subsequent refit (and cull decision) off the
+  // uninterrupted run's schedule.
   accum_ = preloaded_;
-  weights_.clear();
-  fitted_ = false;
-  samplesAtFit_ = 0;
-  rankCorrelation_ = 0.0;
-  if (accum_.samples >= options_.minSamples) refit();
+  weights_ = preloadedFit_.weights;
+  fitted_ = preloadedFit_.fitted;
+  samplesAtFit_ = preloadedFit_.samplesAtFit;
+  fits_ = preloadedFit_.fits;
+  rankCorrelation_ = preloadedFit_.rankCorrelation;
 }
 
 void Surrogate::refit() {

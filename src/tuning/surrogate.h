@@ -49,10 +49,16 @@ public:
   /// Feeds one evaluated configuration; refits on the configured schedule.
   void observe(const Config& config, const Objectives& objectives);
 
-  /// Snapshots the current observations as the warm-start base so that
-  /// resetToPreloaded() can drop everything observed after this point
-  /// (used when an optimizer restores from a checkpoint and replays its
-  /// archive to rebuild the surrogate deterministically).
+  /// Snapshots the current state — observations AND the fitted model
+  /// (weights, refit position, rank correlation) — as the warm-start base
+  /// so that resetToPreloaded() can drop everything observed after this
+  /// point (used when an optimizer restores from a checkpoint and replays
+  /// its archive to rebuild the surrogate deterministically). The fit
+  /// state is restored verbatim, not refit: a refit at the mark would put
+  /// the next refit on a `markSamples + refitEvery` grid, which diverges
+  /// from the uninterrupted run's `minSamples + k*refitEvery` grid
+  /// whenever the mark is not threshold-aligned — and with it every later
+  /// cull decision.
   void markPreloaded();
   void resetToPreloaded();
 
@@ -99,8 +105,19 @@ private:
   SurrogateOptions options_;
   std::size_t featureCount_;
 
+  /// The fitted-model half of a markPreloaded() snapshot; Accum holds the
+  /// observation half.
+  struct FitState {
+    std::vector<std::vector<double>> weights;
+    bool fitted = false;
+    std::uint64_t samplesAtFit = 0;
+    std::uint64_t fits = 0;
+    double rankCorrelation = 0.0;
+  };
+
   Accum accum_;
   Accum preloaded_;
+  FitState preloadedFit_;
   std::vector<std::vector<double>> weights_; ///< per objective, post-fit
   bool fitted_ = false;
   std::uint64_t samplesAtFit_ = 0;

@@ -635,6 +635,38 @@ TEST(SpecCache, RestartRebuildsTheIndexFromDisk) {
   daemon.stop();
 }
 
+TEST(SpecCache, WarmStartedSpecsNeverUseTheCache) {
+  // A surrogate_keep < 1 job's artifact depends on the warm-start corpus
+  // — the compatible jobs finished in this store when it first ran — not
+  // just on the spec, so such specs are excluded from the result cache
+  // entirely: a byte-identical resubmission runs for real, and neither
+  // submission moves the serve.cache.* counters (the metrics registry is
+  // process-global, so compare deltas).
+  serve::Daemon daemon(daemonOptions(freshDir("cache-surrogate"), 1));
+  daemon.start();
+  serve::Client client("127.0.0.1", daemon.port());
+
+  serve::JobSpec spec = gde3Spec(7);
+  spec.surrogateKeep = 0.5;
+  ASSERT_FALSE(serve::cacheableSpec(spec));
+  EXPECT_TRUE(serve::cacheableSpec(gde3Spec(7)));
+
+  const std::string lookupsBefore =
+      client.stats().at("cache_lookups").asString();
+  const serve::SubmitOutcome first = client.submit(spec);
+  ASSERT_TRUE(first.accepted);
+  EXPECT_FALSE(first.cached);
+  ASSERT_EQ(client.await(first.id, 120.0).state, serve::JobState::Done);
+
+  const serve::SubmitOutcome again = client.submit(spec);
+  EXPECT_TRUE(again.accepted);
+  EXPECT_FALSE(again.cached);
+  EXPECT_NE(again.id, first.id);
+  EXPECT_EQ(client.stats().at("cache_lookups").asString(), lookupsBefore);
+  ASSERT_EQ(client.await(again.id, 120.0).state, serve::JobState::Done);
+  daemon.stop();
+}
+
 TEST(SpecCache, HashIsStableUnderDefaultedFields) {
   // The hash covers the canonical spec JSON: equal specs collide, any
   // semantic difference — including the surrogate keep fraction — does

@@ -147,6 +147,57 @@ TEST(Surrogate, ResetToPreloadedDropsEverythingObservedAfterTheMark) {
   }
 }
 
+TEST(Surrogate, ResetToPreloadedOffTheRefitGridKeepsTheStraightRunSchedule) {
+  // A warm-start corpus rarely lands exactly on the minSamples +
+  // k*refitEvery threshold grid (here: 50 observations against a 40+8k
+  // grid, so the last preload fit is at 48). resetToPreloaded() must
+  // restore the fit taken at the mark — not refit over all 50 — or the
+  // resumed run's refit schedule (56, 64, ...) shifts to (58, 66, ...)
+  // and every later prediction diverges from the uninterrupted run's.
+  opt::SyntheticProblem problem = opt::makeFonseca();
+  tuning::Surrogate replayed(problem.space(), problem.numObjectives(),
+                             eagerSurrogate());
+  tuning::Surrogate straight(problem.space(), problem.numObjectives(),
+                             eagerSurrogate());
+
+  const std::size_t base = 50, tail = 48; // base off the 40+8k fit grid
+  for (std::size_t i = 0; i < base; ++i) {
+    const tuning::Config config = probeConfig(problem.space(), i);
+    const tuning::Objectives objectives = problem.evaluate(config);
+    replayed.observe(config, objectives);
+    straight.observe(config, objectives);
+  }
+  replayed.markPreloaded();
+  const std::uint64_t fitsAtMark = replayed.fits();
+
+  for (std::size_t i = 500; i < 520; ++i) {
+    const tuning::Config config = probeConfig(problem.space(), i);
+    replayed.observe(config, problem.evaluate(config));
+  }
+  replayed.resetToPreloaded();
+  EXPECT_EQ(replayed.observations(), base);
+  EXPECT_EQ(replayed.fits(), fitsAtMark);
+  EXPECT_TRUE(bitEqual(replayed.rankCorrelation(),
+                       straight.rankCorrelation()));
+
+  for (std::size_t i = base; i < base + tail; ++i) {
+    const tuning::Config config = probeConfig(problem.space(), i);
+    const tuning::Objectives objectives = problem.evaluate(config);
+    replayed.observe(config, objectives);
+    straight.observe(config, objectives);
+  }
+  EXPECT_EQ(replayed.fits(), straight.fits());
+  EXPECT_TRUE(bitEqual(replayed.rankCorrelation(),
+                       straight.rankCorrelation()));
+  for (std::size_t i = 300; i < 316; ++i) {
+    const tuning::Config config = probeConfig(problem.space(), i);
+    EXPECT_TRUE(bitEqual(replayed.predict(config), straight.predict(config)))
+        << i;
+    EXPECT_TRUE(bitEqual(replayed.score(config), straight.score(config)))
+        << i;
+  }
+}
+
 TEST(Surrogate, KeepOneIsByteIdenticalToSurrogateFree) {
   // The acceptance bar for the observability mode: with surrogateKeep ==
   // 1.0 the surrogate watches every evaluation but culls nothing, so the
