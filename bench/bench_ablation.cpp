@@ -23,15 +23,30 @@
 // of the final hypervolume, so the band over the *gain* is what separates
 // the curves.
 //
+// The same mode also gates analytic seeding (tune --seed-analytic): for
+// each kernel a fourth run plants the perfmodel-derived seeds
+// (src/tuning/seed.h) into the initial population, and its band-averaged
+// evaluations-to-target savings over the unseeded run must clear a
+// per-kernel floor.
+//
 // Gated rows (floors, checked with --tolerance, default 0):
 //   ablation.surrogate_kernels_passing  >= 2 (of 3)
 //   ablation.identity                   == 1 (keep=1.0 bit-identical)
-// Per-kernel savings rows ride along ungated, and the full curves are
-// embedded under "curves" in the --out JSON for offline plotting.
+//   ablation.seed_kernels_passing       >= 3 (of 3)
+//   ablation.<kernel>.seed_evals_saved  per-kernel floors
+// Per-kernel surrogate-savings rows ride along ungated, and the full
+// curves (plain/surrogate/seeded) are embedded under "curves" in the
+// --out JSON for offline plotting.
 //
 //   bench_ablation [--keep 0.5] [--seed 3] [--out BENCH_ablation.json]
 //                  [--baseline bench/baselines/ablation_baseline.json]
-//                  [--tolerance 0] [--metrics FILE] [--full 1]
+//                  [--tolerance 0] [--metrics FILE] [--full 1] [--island 1]
+//
+// --island 1 instead runs the island-model ablation
+// (bench/baselines/island_baseline.json): the merged front of a 4-island
+// run (tune --islands 4) must reach at least the single search's
+// hypervolume under joint normalization, and a rerun must reproduce it
+// exactly (rows ablation.island.{hv_ratio,deterministic}).
 //
 // --full 1 instead runs the original algorithm-variant study (RS-GDE3 vs
 // plain GDE3 vs NSGA-II, population sweep; beyond the paper, ungated).
@@ -41,6 +56,8 @@
 #include "observe/metrics.h"
 #include "support/check.h"
 #include "support/stats.h"
+#include "tuning/island.h"
+#include "tuning/seed.h"
 #include "tuning/surrogate.h"
 
 #include <algorithm>
@@ -76,12 +93,15 @@ struct SearchRun {
 };
 
 /// One RS-GDE3 search with the paper configuration, optionally with the
-/// surrogate attached, recording the per-generation trajectory.
+/// surrogate attached or the initial population analytically seeded,
+/// recording the per-generation trajectory.
 SearchRun runSearch(tuning::KernelTuningProblem& problem,
                     runtime::ThreadPool& pool, std::uint64_t seed,
-                    tuning::Surrogate* surrogate, double keep) {
+                    tuning::Surrogate* surrogate, double keep,
+                    const std::vector<tuning::Config>& initialSeeds = {}) {
   opt::RSGDE3Options options;
   options.gde3.seed = seed;
+  options.gde3.initialSeeds = initialSeeds;
   if (surrogate != nullptr) {
     options.gde3.surrogate = surrogate;
     options.gde3.surrogateKeep = keep;
@@ -211,7 +231,12 @@ int runSurrogateAblation(const std::map<std::string, std::string>& options) {
   std::vector<Result> results;
   support::JsonObject curves;
   int passing = 0;
+  int seedPassing = 0;
   bool identityOk = true;
+  support::TextTable seedTable;
+  seedTable.setHeader({"kernel", "seeds", "E plain", "E seeded",
+                       "final HV plain", "final HV seeded", "saved",
+                       "status"});
 
   for (const std::string& name : kernels) {
     tuning::KernelTuningProblem problem(kernels::kernelByName(name), machine);
@@ -251,23 +276,53 @@ int runSurrogateAblation(const std::map<std::string, std::string>& options) {
 
     results.push_back({"ablation." + name + ".evals_saved",
                        saved, "ratio"});
+
+    // Analytic seeding ablation: the same search with the perfmodel-derived
+    // seeds planted in the initial population (tune --seed-analytic),
+    // measured by the same evaluations-to-target band. Passing = the seeds
+    // save evaluations at all; the per-kernel savings are gated as floors.
+    const std::vector<tuning::Config> analytic = tuning::analyticSeeds(problem);
+    const SearchRun seeded =
+        runSearch(problem, pool, seed, nullptr, 1.0, analytic);
+    MOTUNE_CHECK_MSG(!seeded.curve.empty(), name + ": empty seeded trajectory");
+    const double seedSaved = bandSavings(plain.curve, seeded.curve);
+    const bool seedPass = seedSaved > 0.0;
+    if (seedPass) ++seedPassing;
+    seedTable.addRow({name, std::to_string(analytic.size()),
+                      std::to_string(plain.result.evaluations),
+                      std::to_string(seeded.result.evaluations),
+                      support::fmt(plain.curve.back().hypervolume, 4),
+                      support::fmt(seeded.curve.back().hypervolume, 4),
+                      support::fmtPercent(seedSaved),
+                      seedPass ? "pass" : "FAIL"});
+    results.push_back({"ablation." + name + ".seed_evals_saved",
+                       seedSaved, "ratio"});
+
     curves.emplace(name,
                    support::Json(support::JsonObject{
                        {"plain", curveToJson(plain.curve)},
-                       {"surrogate", curveToJson(culled.curve)}}));
+                       {"surrogate", curveToJson(culled.curve)},
+                       {"seeded", curveToJson(seeded.curve)}}));
   }
 
   std::cout << table.render();
   std::cout << "  identity (keep=1.0 byte-identical): "
             << (identityOk ? "ok" : "FAILED") << "\n";
+  std::cout << "=== Analytic seeding: evaluations-to-target savings over "
+               "the unseeded run (same band) ===\n";
+  std::cout << seedTable.render();
 
   results.push_back({"ablation.surrogate_kernels_passing",
                      static_cast<double>(passing), "kernels"});
+  results.push_back({"ablation.seed_kernels_passing",
+                     static_cast<double>(seedPassing), "kernels"});
   results.push_back({"ablation.identity", identityOk ? 1.0 : 0.0, "ok"});
 
   auto& metrics = observe::MetricsRegistry::global();
   metrics.gauge("bench.ablation.surrogate_kernels_passing")
       .set(static_cast<double>(passing));
+  metrics.gauge("bench.ablation.seed_kernels_passing")
+      .set(static_cast<double>(seedPassing));
   metrics.gauge("bench.ablation.identity").set(identityOk ? 1.0 : 0.0);
 
   support::JsonArray benchmarks;
@@ -305,6 +360,110 @@ int runSurrogateAblation(const std::map<std::string, std::string>& options) {
     return 1;
   }
   std::cout << "all ablation gates passed\n";
+  return 0;
+}
+
+// --- island-model ablation (--island 1), gated like the surrogate mode ---
+
+int runIslandAblation(const std::map<std::string, std::string>& options) {
+  const std::uint64_t seed =
+      options.count("seed") ? std::stoull(options.at("seed")) : 3;
+  const int islands =
+      options.count("islands") ? std::stoi(options.at("islands")) : 4;
+  const double tolerance =
+      options.count("tolerance") ? std::stod(options.at("tolerance")) : 0.0;
+  const machine::MachineModel machine = bench::paperMachines().front();
+
+  std::cout << "=== Island ablation: " << islands
+            << "-island merged front vs the single search (mm, seed " << seed
+            << ", " << machine.name << ") ===\n";
+
+  tuning::KernelTuningProblem problem(kernels::kernelByName("mm"), machine);
+  runtime::ThreadPool pool;
+
+  // The single-island reference stops itself on stagnation, so its final
+  // front is its best at any evaluation budget — comparing the merged
+  // front against it is the equal-total-evaluations comparison.
+  const SearchRun single = runSearch(problem, pool, seed, nullptr, 1.0);
+
+  auto runIslandModel = [&] {
+    tuning::IslandOptions io;
+    io.islands = islands;
+    io.gde3.seed = seed;
+    return tuning::runIslands(problem, pool, io);
+  };
+  const tuning::IslandRun first = runIslandModel();
+  const tuning::IslandRun second = runIslandModel();
+  const bool deterministic =
+      sameFront(first.merged.front, second.merged.front) &&
+      first.merged.evaluations == second.merged.evaluations;
+
+  // Joint normalization so the two hypervolumes are comparable.
+  const std::vector<double> scores = bench::scoreFrontsJointly(
+      {&single.result.front, &first.merged.front});
+  const double hvRatio = scores[0] > 0.0 ? scores[1] / scores[0] : 0.0;
+
+  support::TextTable table;
+  table.setHeader({"variant", "E", "|S|", "V(S)"});
+  table.addRow({"single island", std::to_string(single.result.evaluations),
+                std::to_string(single.result.front.size()),
+                support::fmt(scores[0], 4)});
+  table.addRow({std::to_string(islands) + " islands (merged)",
+                std::to_string(first.merged.evaluations),
+                std::to_string(first.merged.front.size()),
+                support::fmt(scores[1], 4)});
+  std::cout << table.render();
+  std::cout << "  merged/single hypervolume ratio: "
+            << support::fmt(hvRatio, 4) << "\n"
+            << "  rerun determinism: " << (deterministic ? "ok" : "FAILED")
+            << "\n";
+
+  const std::vector<Result> results = {
+      {"ablation.island.hv_ratio", hvRatio, "ratio"},
+      {"ablation.island.deterministic", deterministic ? 1.0 : 0.0, "ok"},
+      {"ablation.island.front_size",
+       static_cast<double>(first.merged.front.size()), "configs"},
+  };
+
+  auto& metrics = observe::MetricsRegistry::global();
+  metrics.gauge("bench.ablation.island_hv_ratio").set(hvRatio);
+  metrics.gauge("bench.ablation.island_deterministic")
+      .set(deterministic ? 1.0 : 0.0);
+
+  support::JsonArray benchmarks;
+  for (const auto& r : results)
+    benchmarks.push_back(support::Json(support::JsonObject{
+        {"name", support::Json(r.name)},
+        {"value", support::Json(r.value)},
+        {"unit", support::Json(r.unit)}}));
+  const support::Json doc(support::JsonObject{
+      {"schema", support::Json(1)},
+      {"benchmarks", support::Json(std::move(benchmarks))}});
+
+  if (options.count("out")) {
+    std::ofstream out(options.at("out"));
+    MOTUNE_CHECK_MSG(out.good(), "cannot write " + options.at("out"));
+    out << doc.dump(2) << "\n";
+    std::cout << "results written to " << options.at("out") << "\n";
+  }
+  if (options.count("metrics")) {
+    std::ofstream out(options.at("metrics"));
+    MOTUNE_CHECK_MSG(out.good(), "cannot write " + options.at("metrics"));
+    out << metrics.toJson().dump(2) << "\n";
+  }
+
+  if (!options.count("baseline")) {
+    std::cout << doc.dump(2) << "\n";
+    return 0;
+  }
+  const int failures = compare(
+      results, support::Json::parse(readFile(options.at("baseline"))),
+      tolerance);
+  if (failures > 0) {
+    std::cerr << failures << " island gate(s) failed\n";
+    return 1;
+  }
+  std::cout << "all island gates passed\n";
   return 0;
 }
 
@@ -420,5 +579,7 @@ int main(int argc, char** argv) {
     options[key.substr(2)] = argv[i + 1];
   }
   if (options.count("full") && options.at("full") != "0") return runFullStudy();
+  if (options.count("island") && options.at("island") != "0")
+    return runIslandAblation(options);
   return runSurrogateAblation(options);
 }

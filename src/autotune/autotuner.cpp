@@ -4,6 +4,8 @@
 #include "observe/metrics.h"
 #include "observe/trace.h"
 #include "support/check.h"
+#include "tuning/island.h"
+#include "tuning/seed.h"
 #include "tuning/surrogate.h"
 #include "tuning/validation.h"
 
@@ -29,7 +31,11 @@ const char* algorithmName(Algorithm algorithm) {
 /// The algorithm-options blob in the session header: every knob that
 /// changes the deterministic search trajectory (the seed is its own header
 /// field). Resume compares this verbatim against the journal's copy.
-support::Json algorithmOptionsJson(const TunerOptions& options) {
+/// `islandIndex` >= 0 stamps the island identity of a per-island session
+/// (src/tuning/island.h) — worker and merge invocations rebuild the same
+/// blob, which is what lets them resume each other's journals.
+support::Json algorithmOptionsJson(const TunerOptions& options,
+                                   int islandIndex = -1) {
   const opt::GDE3Options& g = options.gde3;
   support::JsonObject blob{
       {"population", g.population},
@@ -50,6 +56,26 @@ support::Json algorithmOptionsJson(const TunerOptions& options) {
     support::JsonArray dirs;
     for (const std::string& d : options.warmStartDirs) dirs.emplace_back(d);
     blob.emplace("warm_start", std::move(dirs));
+  }
+  // Initial seeds redirect where the search starts, so they are part of
+  // the identity too; omitted when empty for the same reason as above.
+  if (!g.initialSeeds.empty()) {
+    support::JsonArray seeds;
+    for (const tuning::Config& c : g.initialSeeds) {
+      support::JsonArray values;
+      for (std::int64_t v : c) values.emplace_back(v);
+      seeds.emplace_back(std::move(values));
+    }
+    blob.emplace("seeds", std::move(seeds));
+  }
+  if (options.islands > 1) {
+    blob.emplace("island",
+                 support::JsonObject{
+                     {"islands", options.islands},
+                     {"index", islandIndex},
+                     {"migrate_every", options.migrateEvery},
+                     {"migrants", options.islandMigrants},
+                 });
   }
   return blob;
 }
@@ -148,6 +174,51 @@ AutoTuner::optimizeImpl(tuning::ObjectiveFunction& fn,
   if (surrogate) {
     gde3.surrogate = surrogate.get();
     gde3.surrogateKeep = options_.surrogateKeep;
+  }
+
+  if (options_.islands > 1 || options_.islandIndex >= 0) {
+    MOTUNE_CHECK_MSG(options_.algorithm == Algorithm::RSGDE3 ||
+                         options_.algorithm == Algorithm::PlainGDE3,
+                     "--islands requires --algo rsgde3 or gde3 (only the "
+                     "GDE3-family engines support the island model)");
+    MOTUNE_CHECK_MSG(surrogate == nullptr,
+                     "--islands is incompatible with --surrogate-keep/"
+                     "--warm-start (the surrogate is not shared between "
+                     "islands)");
+    tuning::IslandOptions io;
+    io.islands = options_.islands;
+    io.migrateEvery = options_.migrateEvery;
+    io.migrants = options_.islandMigrants;
+    io.islandIndex = options_.islandIndex;
+    io.directory = options_.session.directory;
+    io.checkpointEvery = options_.session.checkpointEvery;
+    io.resume = options_.session.resume;
+    io.reduction = options_.algorithm == Algorithm::RSGDE3;
+    io.gde3 = gde3;
+    io.seeds = gde3.initialSeeds;
+    io.stopRequested = options_.stopRequested;
+    io.onProgress = options_.onProgress;
+    io.makeHeader = [this, &fn, &problemTag](int island,
+                                             std::uint64_t islandSeed) {
+      session::SessionHeader h;
+      h.problem = problemTag;
+      h.algorithm = algorithmName(options_.algorithm);
+      h.seed = islandSeed;
+      h.objectives = fn.numObjectives();
+      h.space = fn.space();
+      h.algorithmOptions = algorithmOptionsJson(options_, island);
+      return h;
+    };
+    tuning::IslandRun run = tuning::runIslands(*target, *pool_, io);
+    if (provenance != nullptr && !io.directory.empty()) {
+      SessionProvenance p;
+      p.journal = run.journal;
+      p.checkpoints = run.checkpoints;
+      p.resumes = run.resumes;
+      p.recordedEvaluations = run.recordedEvaluations;
+      *provenance = std::move(p);
+    }
+    return run.merged;
   }
 
   const bool useSession = !options_.session.directory.empty();
@@ -331,10 +402,27 @@ TuningResult AutoTuner::tune(tuning::KernelTuningProblem& problem) {
     case tuning::Objective::Energy: problemTag += "/energy"; break;
     }
   }
+  // Analytic seeding: derived from the performance model before the search
+  // starts, stashed into the engine options so both the engine and the
+  // session header (algorithmOptionsJson) see the same seed list.
+  if (options_.seedAnalytic) {
+    MOTUNE_CHECK_MSG(options_.algorithm == Algorithm::RSGDE3 ||
+                         options_.algorithm == Algorithm::PlainGDE3,
+                     "--seed-analytic requires --algo rsgde3 or gde3 (seeds "
+                     "are injected into the GDE3 initial population)");
+    options_.gde3.initialSeeds = tuning::analyticSeeds(problem);
+    observe::MetricsRegistry::global()
+        .counter("tuning.seed.analytic")
+        .add(options_.gde3.initialSeeds.size());
+  }
   out.raw = optimizeImpl(problem, problemTag, &out.session);
-  if (options_.algorithm == Algorithm::RSGDE3 ||
-      options_.algorithm == Algorithm::PlainGDE3 ||
-      options_.algorithm == Algorithm::NSGA2)
+  // Worker-mode island invocations produce a provisional single-island
+  // snapshot; the merge invocation refines and scores the real front.
+  const bool islandWorker = options_.islandIndex >= 0;
+  if (!islandWorker &&
+      (options_.algorithm == Algorithm::RSGDE3 ||
+       options_.algorithm == Algorithm::PlainGDE3 ||
+       options_.algorithm == Algorithm::NSGA2))
     threadSweepRefinement(problem, out.raw);
   out.evaluations = out.raw.evaluations;
 

@@ -85,6 +85,26 @@ struct TunerOptions {
   /// problem/space/objectives — see session::warmStartCompatible) are
   /// skipped and counted in tuning.surrogate.warmstart.skipped.
   std::vector<std::string> warmStartDirs;
+  /// Analytic seeding (`motune tune --seed-analytic`, src/tuning/seed.h):
+  /// tune() derives cache-capacity-constrained starting configurations
+  /// from the performance model and injects them into the initial GDE3
+  /// population (GDE3 family only; optimize() has no kernel model and
+  /// ignores the flag). Deterministic — the seeds become part of the
+  /// session header, so resumes validate them.
+  bool seedAnalytic = false;
+  /// Island-model distributed search (`motune tune --islands N`,
+  /// src/tuning/island.h; GDE3 family only, mutually exclusive with
+  /// surrogate culling). islands > 1 runs that many independent searches
+  /// (in-process threads, or one worker process per island via
+  /// islandIndex) exchanging migrants on a deterministic ring; the result
+  /// is the merged Pareto front.
+  int islands = 1;
+  int migrateEvery = 5;          ///< generations between migration rounds
+  std::size_t islandMigrants = 3; ///< emigrants per island per round
+  /// Worker-process mode: run only this island (>= 0) against the shared
+  /// session directory; a later `--islands N --resume` invocation merges
+  /// the finished islands. Requires a session directory.
+  int islandIndex = -1;
 };
 
 /// Where a tuning result came from when it ran under a session — recorded

@@ -68,6 +68,19 @@ void GDE3::initialize() {
       g[d] = rng_.uniform(fullBoundary_.lo[d], fullBoundary_.hi[d]);
     genomes.push_back(std::move(g));
   }
+  // Analytic/island seeds overwrite the first slots AFTER the draws above,
+  // so the RNG stream position is independent of the seed list (see
+  // GDE3Options::initialSeeds).
+  const std::size_t seeded =
+      std::min(options_.initialSeeds.size(), options_.population);
+  for (std::size_t i = 0; i < seeded; ++i) {
+    const tuning::Config& c = options_.initialSeeds[i];
+    MOTUNE_CHECK_MSG(c.size() == dims,
+                     "initial seed dimensionality mismatch");
+    std::vector<double>& g = genomes[i];
+    for (std::size_t d = 0; d < dims; ++d)
+      g[d] = static_cast<double>(c[d]);
+  }
   population_ = evaluateAll(std::move(genomes), fullBoundary_);
 
   // Fix the hypervolume normalization from the initial sample: the worst
@@ -84,6 +97,7 @@ void GDE3::initialize() {
   bestHv_ = frontHypervolume();
   hvHistory_.assign(1, bestHv_);
   generations_ = 0;
+  span.setAttr("seeds", support::Json(seeded));
   span.setAttr("initial_hv", support::Json(bestHv_));
   observe::MetricsRegistry::global().gauge("gde3.best_hv").set(bestHv_);
 }
@@ -277,6 +291,58 @@ std::size_t GDE3::injectImmigrants(std::size_t count) {
   return immigrants.size();
 }
 
+std::vector<Individual> GDE3::selectTop(std::size_t count) const {
+  MOTUNE_CHECK_MSG(!population_.empty(), "initialize() must run first");
+  std::vector<Individual> pool = population_;
+  if (count < pool.size()) truncateByRankAndCrowding(pool, count);
+  return pool;
+}
+
+std::size_t GDE3::integrateMigrants(const std::vector<Individual>& migrants) {
+  MOTUNE_CHECK_MSG(!population_.empty(), "initialize() must run first");
+  // Configurations already present keep their local copy: re-integrating
+  // them would shrink diversity without adding information.
+  std::set<Config> have;
+  for (const auto& ind : population_) have.insert(ind.config);
+  std::vector<Individual> fresh;
+  for (const auto& m : migrants) {
+    MOTUNE_CHECK_MSG(m.genome.size() == fullBoundary_.dims() &&
+                         m.objectives.size() ==
+                             population_.front().objectives.size(),
+                     "migrant dimensionality mismatch");
+    if (have.insert(m.config).second) fresh.push_back(m);
+  }
+  if (fresh.empty()) return 0;
+
+  // Worst-first replacement order: fronts from last to first, within a
+  // front by ascending crowding distance (stable sort: deterministic).
+  const auto fronts = nonDominatedSort(population_);
+  std::vector<std::size_t> worstFirst;
+  worstFirst.reserve(population_.size());
+  for (auto f = fronts.rbegin(); f != fronts.rend(); ++f) {
+    const auto dist = crowdingDistance(population_, *f);
+    std::vector<std::size_t> order(f->size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return dist[a] < dist[b];
+                     });
+    for (std::size_t k : order) worstFirst.push_back((*f)[k]);
+  }
+
+  const std::size_t n = std::min(fresh.size(), population_.size());
+  for (std::size_t i = 0; i < n; ++i)
+    population_[worstFirst[i]] = fresh[i];
+  archive_.insert(archive_.end(), fresh.begin(),
+                  fresh.begin() + static_cast<std::ptrdiff_t>(n));
+  // Keep the archive-replay invariant: restore() rebuilds the surrogate by
+  // replaying the archive, so migrants entering it must be observed too.
+  if (options_.surrogate)
+    for (std::size_t i = 0; i < n; ++i)
+      options_.surrogate->observe(fresh[i].config, fresh[i].objectives);
+  return n;
+}
+
 OptResult GDE3::run() {
   observe::Span span = observe::Tracer::global().span("gde3.run");
   initialize();
@@ -288,23 +354,6 @@ OptResult GDE3::run() {
   span.setAttr("evaluations", support::Json(evaluations()));
   span.setAttr("hv", support::Json(bestHv_));
   return snapshot();
-}
-
-namespace {
-
-// RNG words are full 64-bit values; JSON numbers are doubles and lose
-// precision past 2^53, so the stream position travels as hex strings.
-std::string hexU64(std::uint64_t v) {
-  char buf[19];
-  std::snprintf(buf, sizeof buf, "0x%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
-}
-
-std::uint64_t parseHexU64(const std::string& s) {
-  MOTUNE_CHECK_MSG(s.rfind("0x", 0) == 0 && s.size() > 2,
-                   "malformed RNG state word: " + s);
-  return std::stoull(s.substr(2), nullptr, 16);
 }
 
 support::Json individualToJson(const Individual& ind) {
@@ -324,6 +373,23 @@ Individual individualFromJson(const support::Json& j) {
   for (const auto& v : j.at("o").asArray())
     ind.objectives.push_back(v.asNumber());
   return ind;
+}
+
+namespace {
+
+// RNG words are full 64-bit values; JSON numbers are doubles and lose
+// precision past 2^53, so the stream position travels as hex strings.
+std::string hexU64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t parseHexU64(const std::string& s) {
+  MOTUNE_CHECK_MSG(s.rfind("0x", 0) == 0 && s.size() > 2,
+                   "malformed RNG state word: " + s);
+  return std::stoull(s.substr(2), nullptr, 16);
 }
 
 support::Json boundaryToJson(const tuning::Boundary& b) {

@@ -27,6 +27,12 @@ class Surrogate;
 
 namespace motune::opt {
 
+/// JSON codec of one evaluated individual ({"g": genome, "c": config,
+/// "o": objectives}) — shared by the engine checkpoints and the island
+/// migrant wire format (docs/search.md).
+support::Json individualToJson(const Individual& ind);
+Individual individualFromJson(const support::Json& json);
+
 struct GDE3Options {
   std::size_t population = 30;
   double cr = 0.5;
@@ -47,6 +53,15 @@ struct GDE3Options {
   std::size_t immigrantsOnStagnation = 5;
   std::uint64_t seed = 1;
   bool parallelEvaluation = true;
+  /// Deterministic starting points injected into the initial population
+  /// (analytic seeding, src/tuning/seed.h; island rotation,
+  /// src/tuning/island.h). The first min(size, population) random members
+  /// are overwritten with these configurations AFTER the uniform draws, so
+  /// the RNG stream position after initialize() is identical with and
+  /// without seeds — seeding redirects where the search starts, it never
+  /// reshapes downstream randomness. Seeds beyond the population size are
+  /// ignored.
+  std::vector<tuning::Config> initialSeeds;
   /// Optional surrogate pre-ranking (src/tuning/surrogate.h). When set, the
   /// engine feeds every full evaluation into the surrogate and, once it is
   /// ready and surrogateKeep < 1, sends only the top ceil(keep * population)
@@ -88,6 +103,21 @@ public:
   OptResult snapshot() const;
 
   const std::vector<Individual>& population() const { return population_; }
+
+  /// The top `count` population members by non-dominated rank, ties broken
+  /// by descending crowding distance — the emigrant set of the island
+  /// model. Deterministic; touches no RNG state.
+  std::vector<Individual> selectTop(std::size_t count) const;
+
+  /// Integrates externally evaluated individuals (island immigrants):
+  /// migrants whose configuration is not already in the population replace
+  /// the worst-ranked members, and every integrated migrant enters the
+  /// archive (its objectives were produced by the same deterministic
+  /// objective function on the sending island). Touches no RNG state and
+  /// does not count toward evaluations() — the sender already paid for
+  /// them. Returns the number of migrants integrated.
+  std::size_t integrateMigrants(const std::vector<Individual>& migrants);
+
   int generationsDone() const { return generations_; }
   std::uint64_t evaluations() const { return counter_.evaluations(); }
 

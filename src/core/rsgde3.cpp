@@ -96,6 +96,9 @@ OptResult RSGDE3::run(const RunHooks* hooks) {
       progress.evaluations = engine_.evaluations();
       hooks->onGeneration(progress);
     }
+    if (hooks != nullptr && hooks->onMigrate && hooks->migrateEvery > 0 &&
+        engine_.generationsDone() % hooks->migrateEvery == 0)
+      hooks->onMigrate(engine_, engine_.generationsDone());
     if (options_.reductionEnabled) reduceAndRecord();
     if (checkpointing && ++sinceCheckpoint >= every) {
       hooks->checkpoint(serialize(), engine_.generationsDone());

@@ -57,6 +57,15 @@ struct RunHooks {
   /// current search trajectory. Must be cheap and non-blocking — it runs
   /// on the search thread between generations.
   std::function<void(const GenerationProgress&)> onGeneration;
+  /// Island-model migration point (src/tuning/island.h): invoked after
+  /// every migrateEvery-th generation, between onGeneration and the
+  /// rough-set reduction, with direct engine access so the exchange layer
+  /// can publish selectTop() emigrants and integrateMigrants() from the
+  /// ring neighbor. Runs before the generation's checkpoint, so a resumed
+  /// island re-executes an unpersisted migration deterministically (peer
+  /// records are immutable once written). 0 disables migration.
+  std::function<void(GDE3& engine, int generation)> onMigrate;
+  int migrateEvery = 0;
 };
 
 class RSGDE3 {

@@ -4,6 +4,7 @@
 #include "machine/machine.h"
 #include "session/session.h"
 #include "support/check.h"
+#include "tuning/island.h"
 
 #include <cstdio>
 
@@ -39,7 +40,7 @@ support::Json specToJson(const JobSpec& spec) {
   support::JsonArray objectives;
   for (tuning::Objective o : effectiveObjectives(spec))
     objectives.emplace_back(objectiveName(o));
-  return support::JsonObject{
+  support::JsonObject obj{
       {"kernel", spec.kernel},
       {"machine", spec.machine},
       {"n", spec.n},
@@ -49,6 +50,12 @@ support::Json specToJson(const JobSpec& spec) {
       {"budget", std::to_string(spec.budget)},
       {"surrogate_keep", spec.surrogateKeep},
   };
+  // Emitted only when non-default: the canonical dump feeds specHash, and
+  // unconditional new fields would invalidate every existing result-cache
+  // entry (jobs/by-spec) for specs that never asked for islands/seeding.
+  if (spec.islands > 1) obj.emplace("islands", spec.islands);
+  if (spec.seedAnalytic) obj.emplace("seed_analytic", true);
+  return obj;
 }
 
 JobSpec specFromJson(const support::Json& json) {
@@ -65,6 +72,10 @@ JobSpec specFromJson(const support::Json& json) {
   // Absent in job.json written by older daemons: default = no surrogate.
   if (json.has("surrogate_keep"))
     spec.surrogateKeep = json.at("surrogate_keep").asNumber();
+  if (json.has("islands"))
+    spec.islands = static_cast<int>(json.at("islands").asInt());
+  if (json.has("seed_analytic"))
+    spec.seedAnalytic = json.at("seed_analytic").asBool();
   return spec;
 }
 
@@ -100,6 +111,14 @@ void validateSpec(const JobSpec& spec) {
   MOTUNE_CHECK_MSG(spec.surrogateKeep == 1.0 ||
                        checkpointable(spec.algorithm),
                    "surrogate_keep < 1 requires algorithm rsgde3 or gde3");
+  MOTUNE_CHECK_MSG(spec.islands >= 1, "islands must be >= 1");
+  MOTUNE_CHECK_MSG(spec.islands == 1 || checkpointable(spec.algorithm),
+                   "islands > 1 requires algorithm rsgde3 or gde3");
+  MOTUNE_CHECK_MSG(spec.islands == 1 || spec.surrogateKeep == 1.0,
+                   "islands > 1 is incompatible with surrogate_keep < 1 "
+                   "(the surrogate is not shared between islands)");
+  MOTUNE_CHECK_MSG(!spec.seedAnalytic || checkpointable(spec.algorithm),
+                   "seed_analytic requires algorithm rsgde3 or gde3");
 }
 
 bool checkpointable(const std::string& algorithm) {
@@ -133,10 +152,17 @@ autotune::TunerOptions tunerOptionsFromSpec(
   options.nsga2.seed = spec.seed;
   options.randomBudget = spec.budget;
   options.evaluationWorkers = jobThreads == 0 ? 1 : jobThreads;
+  options.seedAnalytic = spec.seedAnalytic;
+  options.islands = spec.islands;
   if (checkpointable(spec.algorithm) && !sessionDir.empty()) {
     options.session.directory = sessionDir;
     options.session.checkpointEvery = checkpointEvery;
-    options.session.resume = session::sessionExists(sessionDir);
+    // Island jobs journal under per-island subdirectories, so restart
+    // detection probes island 0's journal instead of the root one.
+    options.session.resume =
+        spec.islands > 1
+            ? session::sessionExists(tuning::islandDirectory(sessionDir, 0))
+            : session::sessionExists(sessionDir);
   }
   if (spec.surrogateKeep < 1.0) {
     options.surrogateEnabled = true;

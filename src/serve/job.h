@@ -35,6 +35,15 @@ struct JobSpec {
   /// finished compatible jobs in its own store; the chosen journal list is
   /// persisted per job so a crash-resume trains on the identical corpus.
   double surrogateKeep = 1.0;
+  /// Island-model search (GDE3 family only, incompatible with
+  /// surrogate_keep < 1; see tune --islands). The worker runs the islands
+  /// in-process under the job's session directory, so a daemon restart
+  /// resumes every island from its own journal. Deterministic for a fixed
+  /// spec, so island jobs stay result-cacheable.
+  int islands = 1;
+  /// Analytic seeding of the initial population (GDE3 family only; see
+  /// tune --seed-analytic). Deterministic per spec.
+  bool seedAnalytic = false;
 };
 
 support::Json specToJson(const JobSpec& spec);

@@ -1,0 +1,455 @@
+#include "tuning/island.h"
+
+#include "observe/metrics.h"
+#include "observe/trace.h"
+#include "support/check.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+namespace motune::tuning {
+
+namespace {
+
+support::Json migrantHeaderRecord(int island, int islands, int migrateEvery,
+                                  std::size_t migrants, std::uint64_t seed) {
+  return support::JsonObject{{"type", "header"},
+                             {"format", "motune-island-migrants"},
+                             {"version", 1},
+                             {"island", island},
+                             {"islands", islands},
+                             {"migrate_every", migrateEvery},
+                             {"migrants", migrants},
+                             {"seed", seed}};
+}
+
+support::Json migrantsRecord(int island, int round, int generation,
+                             const std::vector<opt::Individual>& emigrants) {
+  support::JsonArray individuals;
+  for (const opt::Individual& ind : emigrants)
+    individuals.push_back(opt::individualToJson(ind));
+  return support::JsonObject{{"type", "migrants"},
+                             {"island", island},
+                             {"round", round},
+                             {"generation", generation},
+                             {"individuals", std::move(individuals)}};
+}
+
+support::Json retireRecord(int island, int round, int generation,
+                           std::uint64_t evaluations) {
+  return support::JsonObject{{"type", "retire"},
+                             {"island", island},
+                             {"round", round},
+                             {"generation", generation},
+                             {"evaluations", evaluations}};
+}
+
+observe::Counter& counter(const char* name) {
+  return observe::MetricsRegistry::global().counter(name);
+}
+
+} // namespace
+
+std::string islandDirectory(const std::string& directory, int island) {
+  return directory + "/island-" + std::to_string(island);
+}
+
+std::string migrantJournalPath(const std::string& directory, int island) {
+  return islandDirectory(directory, island) + "/migrants.jsonl";
+}
+
+// ---------------------------------------------------------------------------
+// MemoryExchange
+
+bool MemoryExchange::publish(int island, int round, int /*generation*/,
+                             const std::vector<opt::Individual>& emigrants) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!records_.emplace(std::make_pair(island, round), emigrants).second)
+      return false;
+  }
+  arrived_.notify_all();
+  return true;
+}
+
+std::vector<opt::Individual>
+MemoryExchange::fetch(int from, int round,
+                      const std::function<bool()>& stop) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto it = records_.find(std::make_pair(from, round));
+    if (it != records_.end()) return it->second;
+    const auto retired = retired_.find(from);
+    if (retired != retired_.end() && retired->second < round) return {};
+    if (stop && stop()) return {};
+    arrived_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+void MemoryExchange::retire(int island, int round, int /*generation*/,
+                            std::uint64_t /*evaluations*/) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    retired_[island] = round;
+  }
+  arrived_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// JournalExchange
+
+JournalExchange::JournalExchange(std::string directory, int islands,
+                                 int migrateEvery, std::size_t migrants,
+                                 std::uint64_t seed)
+    : directory_(std::move(directory)),
+      islands_(islands),
+      migrateEvery_(migrateEvery),
+      migrants_(migrants),
+      seed_(seed) {
+  MOTUNE_CHECK(!directory_.empty());
+}
+
+void JournalExchange::attach(int island, bool resume) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MOTUNE_CHECK_MSG(attached_.find(island) == attached_.end(),
+                   "island attached twice");
+  const std::string path = migrantJournalPath(directory_, island);
+  Attached state;
+  // A kill between session creation and the first migrant write leaves a
+  // session journal but no migrant journal; the resumed island then starts
+  // its migrant journal fresh.
+  if (resume && !std::filesystem::exists(path)) resume = false;
+  if (resume) {
+    // Re-scan what the killed run already published: those rounds are
+    // visible to peers and must not be appended again (exactly-once), and
+    // JournalWriter's append mode trims any torn tail before we write.
+    const std::vector<support::Json> records = session::readJournal(path);
+    MOTUNE_CHECK_MSG(!records.empty(), "empty migrant journal: " + path);
+    const support::Json& header = records.front();
+    MOTUNE_CHECK_MSG(header.at("type").asString() == "header" &&
+                         header.at("format").asString() ==
+                             "motune-island-migrants",
+                     "not a migrant journal: " + path);
+    MOTUNE_CHECK_MSG(header.at("version").asInt() == 1,
+                     "unsupported migrant journal version: " + path);
+    MOTUNE_CHECK_MSG(
+        header.at("islands").asInt() == islands_ &&
+            header.at("migrate_every").asInt() == migrateEvery_ &&
+            static_cast<std::size_t>(header.at("migrants").asInt()) ==
+                migrants_ &&
+            static_cast<std::uint64_t>(header.at("seed").asInt()) == seed_,
+        "migrant journal belongs to a different island run: " + path);
+    for (const support::Json& r : records) {
+      const std::string type = r.at("type").asString();
+      if (type == "migrants")
+        state.publishedRounds.insert(static_cast<int>(r.at("round").asInt()));
+      else if (type == "retire")
+        state.retired = true;
+    }
+    state.writer = std::make_unique<session::JournalWriter>(
+        path, session::JournalWriter::Mode::Append);
+  } else {
+    state.writer = std::make_unique<session::JournalWriter>(
+        path, session::JournalWriter::Mode::Truncate);
+    state.writer->write(
+        migrantHeaderRecord(island, islands_, migrateEvery_, migrants_,
+                            seed_));
+  }
+  attached_.emplace(island, std::move(state));
+}
+
+bool JournalExchange::publish(int island, int round, int generation,
+                              const std::vector<opt::Individual>& emigrants) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = attached_.find(island);
+  MOTUNE_CHECK_MSG(it != attached_.end(), "publish from unattached island");
+  if (!it->second.publishedRounds.insert(round).second) return false;
+  it->second.writer->write(migrantsRecord(island, round, generation,
+                                          emigrants));
+  return true;
+}
+
+std::optional<std::vector<opt::Individual>>
+JournalExchange::tryFetch(int from, int round) {
+  const std::string path = migrantJournalPath(directory_, from);
+  // A journal that does not exist yet (the peer process is still starting
+  // up) is indistinguishable from lagging; mid-file corruption inside an
+  // existing journal stays a hard error (readJournal throws).
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  const std::vector<support::Json> records = session::readJournal(path);
+  for (const support::Json& r : records) {
+    if (!r.has("type")) continue;
+    const std::string type = r.at("type").asString();
+    if (type == "migrants" && r.at("round").asInt() == round) {
+      std::vector<opt::Individual> out;
+      for (const support::Json& ind : r.at("individuals").asArray())
+        out.push_back(opt::individualFromJson(ind));
+      return out;
+    }
+    if (type == "retire" && r.at("round").asInt() < round)
+      return std::vector<opt::Individual>{};
+  }
+  return std::nullopt;
+}
+
+std::vector<opt::Individual>
+JournalExchange::fetch(int from, int round,
+                       const std::function<bool()>& stop) {
+  for (;;) {
+    if (std::optional<std::vector<opt::Individual>> got =
+            tryFetch(from, round))
+      return *got;
+    counter("tuning.island.stale_reads").add();
+    if (stop && stop()) return {};
+    std::this_thread::sleep_for(std::chrono::milliseconds(pollMs_));
+  }
+}
+
+void JournalExchange::retire(int island, int round, int generation,
+                             std::uint64_t evaluations) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = attached_.find(island);
+  MOTUNE_CHECK_MSG(it != attached_.end(), "retire from unattached island");
+  if (it->second.retired) return; // resumed island that had already finished
+  it->second.writer->write(retireRecord(island, round, generation,
+                                        evaluations));
+  it->second.retired = true;
+}
+
+// ---------------------------------------------------------------------------
+// runIslands
+
+namespace {
+
+/// Outcome of one island's run (or reconstruction).
+struct IslandOutcome {
+  opt::OptResult result;
+  std::string journal;
+  std::uint64_t checkpoints = 0;
+  int resumes = 0;
+  std::uint64_t recordedEvaluations = 0;
+};
+
+/// Engine options of island k: shifted RNG seed, rotated analytic seeds.
+opt::RSGDE3Options islandEngineOptions(const IslandOptions& options, int k) {
+  opt::RSGDE3Options rs;
+  rs.gde3 = options.gde3;
+  rs.reductionEnabled = options.reduction;
+  rs.gde3.seed = options.gde3.seed + static_cast<std::uint64_t>(k);
+  rs.gde3.initialSeeds.clear();
+  const std::size_t n = options.seeds.size();
+  for (std::size_t i = 0; i < n; ++i)
+    rs.gde3.initialSeeds.push_back(
+        options.seeds[(i + static_cast<std::size_t>(k)) % n]);
+  return rs;
+}
+
+/// Runs (or, when its session already finished, reconstructs) island k.
+IslandOutcome runOneIsland(ObjectiveFunction& fn, runtime::ThreadPool& pool,
+                           const IslandOptions& options, int k,
+                           MigrantExchange& exchange) {
+  observe::Span span = observe::Tracer::global().span(
+      "island.run", {{"island", support::Json(k)},
+                     {"islands", support::Json(options.islands)}});
+  IslandOutcome out;
+  opt::RSGDE3 engine(fn, pool, islandEngineOptions(options, k));
+
+  const bool useSession = !options.directory.empty();
+  const std::string dir =
+      useSession ? islandDirectory(options.directory, k) : std::string();
+  std::optional<session::ResumeState> resumed;
+  std::unique_ptr<session::SessionWriter> writer;
+  session::SessionHeader header;
+  if (useSession) {
+    MOTUNE_CHECK_MSG(options.makeHeader != nullptr,
+                     "island sessions need a header factory");
+    header = options.makeHeader(k, options.gde3.seed +
+                                       static_cast<std::uint64_t>(k));
+    const bool resume = options.resume && session::sessionExists(dir);
+    if (resume) {
+      resumed = session::loadSession(dir);
+      session::checkCompatible(resumed->header, header);
+      for (const session::EvalRecord& e : resumed->evaluations)
+        engine.engine().evaluator().preload(e.config, e.objectives);
+      if (resumed->finished) {
+        // The island already ran to completion: rebuild its snapshot from
+        // the final checkpoint plus the preloaded evaluations — this is
+        // how a later invocation merges finished worker islands without
+        // re-running anything.
+        MOTUNE_CHECK_MSG(resumed->checkpoint.has_value(),
+                         "finished island session has no checkpoint: " + dir);
+        engine.restore(*resumed->checkpoint);
+        out.result = engine.engine().snapshot();
+        out.journal = session::journalPath(dir);
+        out.checkpoints = resumed->checkpoints;
+        out.resumes = resumed->resumes;
+        out.recordedEvaluations = resumed->evaluations.size();
+        span.setAttr("reconstructed", support::Json(true));
+        return out;
+      }
+      writer = std::make_unique<session::SessionWriter>(dir, *resumed);
+    } else {
+      writer = std::make_unique<session::SessionWriter>(dir, header);
+    }
+    dynamic_cast<JournalExchange&>(exchange).attach(k, resume);
+    engine.engine().evaluator().setListener(
+        [&writer](const Config& config, const Objectives& objectives) {
+          writer->recordEvaluation(config, objectives);
+        });
+  }
+
+  opt::RunHooks hooks;
+  hooks.shouldStop = options.stopRequested;
+  if (k == 0) hooks.onGeneration = options.onProgress;
+  if (writer) {
+    hooks.checkpointEvery = options.checkpointEvery;
+    hooks.checkpoint = [&writer, &engine](const support::Json& state,
+                                          int generation) {
+      writer->recordCheckpoint(state, generation,
+                               engine.engine().evaluations());
+    };
+  }
+  if (resumed.has_value() && resumed->checkpoint.has_value())
+    hooks.resumeState = &*resumed->checkpoint;
+  if (options.islands > 1) {
+    hooks.migrateEvery = options.migrateEvery;
+    hooks.onMigrate = [&](opt::GDE3& gde3, int generation) {
+      const int round = generation / options.migrateEvery;
+      const std::vector<opt::Individual> outbound =
+          gde3.selectTop(options.migrants);
+      if (exchange.publish(k, round, generation, outbound))
+        counter("tuning.island.migrants_out").add(outbound.size());
+      const int from = (k - 1 + options.islands) % options.islands;
+      const std::vector<opt::Individual> inbound =
+          exchange.fetch(from, round, options.stopRequested);
+      counter("tuning.island.migrants_in")
+          .add(gde3.integrateMigrants(inbound));
+    };
+  }
+
+  out.result = engine.run(&hooks);
+  const bool cancelled =
+      options.stopRequested != nullptr && options.stopRequested();
+  if (!cancelled) {
+    if (options.islands > 1)
+      exchange.retire(k, out.result.generations / options.migrateEvery,
+                      out.result.generations, out.result.evaluations);
+    if (writer)
+      writer->recordFinish(out.result.evaluations, out.result.front.size(),
+                           out.result.hvHistory.empty()
+                               ? 0.0
+                               : out.result.hvHistory.back());
+  }
+  if (writer) {
+    out.journal = writer->path();
+    out.checkpoints = (resumed ? resumed->checkpoints : 0) +
+                      writer->checkpointsWritten();
+    out.resumes = resumed ? resumed->resumes + 1 : 0;
+    out.recordedEvaluations = (resumed ? resumed->evaluations.size() : 0) +
+                              writer->evaluationsRecorded();
+  }
+  span.setAttr("generations", support::Json(out.result.generations));
+  span.setAttr("evaluations", support::Json(out.result.evaluations));
+  return out;
+}
+
+/// Deterministic merge of the islands' snapshots (see IslandOptions).
+opt::OptResult mergeOutcomes(const std::vector<IslandOutcome>& outcomes) {
+  opt::OptResult merged;
+  std::vector<opt::Individual> fronts;
+  for (const IslandOutcome& o : outcomes) {
+    fronts.insert(fronts.end(), o.result.front.begin(), o.result.front.end());
+    merged.population.insert(merged.population.end(),
+                             o.result.population.begin(),
+                             o.result.population.end());
+    merged.evaluations += o.result.evaluations;
+    merged.generations = std::max(merged.generations, o.result.generations);
+  }
+  merged.front = opt::paretoFront(fronts);
+  if (!outcomes.empty()) merged.hvHistory = outcomes.front().result.hvHistory;
+  return merged;
+}
+
+} // namespace
+
+IslandRun runIslands(ObjectiveFunction& fn, runtime::ThreadPool& pool,
+                     const IslandOptions& options) {
+  MOTUNE_CHECK_MSG(options.islands >= 1, "--islands must be >= 1");
+  MOTUNE_CHECK_MSG(options.migrateEvery >= 1,
+                   "--migrate-every must be >= 1");
+  MOTUNE_CHECK_MSG(options.migrants >= 1, "--migrants must be >= 1");
+  MOTUNE_CHECK_MSG(options.islandIndex < options.islands,
+                   "--island-index out of range");
+  MOTUNE_CHECK_MSG(options.islandIndex < 0 || !options.directory.empty(),
+                   "--island-index (worker mode) requires --checkpoint: "
+                   "workers exchange migrants through the shared directory");
+  MOTUNE_CHECK_MSG(options.gde3.surrogate == nullptr,
+                   "islands and surrogate culling are mutually exclusive");
+  observe::Span span = observe::Tracer::global().span(
+      "island.model", {{"islands", support::Json(options.islands)},
+                       {"migrate_every", support::Json(options.migrateEvery)},
+                       {"worker", support::Json(options.islandIndex >= 0)}});
+
+  std::unique_ptr<MigrantExchange> exchange;
+  if (options.directory.empty())
+    exchange = std::make_unique<MemoryExchange>();
+  else
+    exchange = std::make_unique<JournalExchange>(
+        options.directory, options.islands, options.migrateEvery,
+        options.migrants, options.gde3.seed);
+
+  IslandRun run;
+  std::vector<IslandOutcome> outcomes;
+  if (options.islandIndex >= 0) {
+    // Worker mode: run exactly one island; the merged result is this
+    // island's own snapshot (provisional — a later merge invocation over
+    // the shared directory produces the combined front).
+    outcomes.push_back(runOneIsland(fn, pool, options, options.islandIndex,
+                                    *exchange));
+  } else {
+    // A failing island must unblock peers waiting on its records, so the
+    // per-island stop predicate also observes the shared failure flag.
+    std::atomic<bool> failed{false};
+    IslandOptions local = options;
+    const std::function<bool()> baseStop = options.stopRequested;
+    local.stopRequested = [baseStop, &failed] {
+      return failed.load() || (baseStop && baseStop());
+    };
+    outcomes.resize(static_cast<std::size_t>(options.islands));
+    std::vector<std::thread> threads;
+    std::mutex errorMutex;
+    std::exception_ptr error;
+    for (int k = 0; k < options.islands; ++k) {
+      threads.emplace_back([&, k] {
+        try {
+          outcomes[static_cast<std::size_t>(k)] =
+              runOneIsland(fn, pool, local, k, *exchange);
+        } catch (...) {
+          failed.store(true);
+          std::lock_guard<std::mutex> lock(errorMutex);
+          if (!error) error = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    if (error) std::rethrow_exception(error);
+  }
+
+  run.merged = mergeOutcomes(outcomes);
+  run.cancelled =
+      options.stopRequested != nullptr && options.stopRequested();
+  for (const IslandOutcome& o : outcomes) {
+    run.checkpoints += o.checkpoints;
+    run.resumes += o.resumes;
+    run.recordedEvaluations += o.recordedEvaluations;
+  }
+  if (!outcomes.empty()) run.journal = outcomes.front().journal;
+  span.setAttr("evaluations", support::Json(run.merged.evaluations));
+  span.setAttr("front_size", support::Json(run.merged.front.size()));
+  return run;
+}
+
+} // namespace motune::tuning

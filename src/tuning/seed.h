@@ -1,0 +1,42 @@
+// Analytic seeding of the GDE3 initial population (`motune tune
+// --seed-analytic`).
+//
+// The perfmodel already carries closed-form working-set expressions per
+// tile parameter (perfmodel/footprint.h): one tile's footprint is the
+// distinct-bytes count of the point-loop sub-nest, a monotone function of
+// the tile sizes. Solving that expression against each cache level's
+// per-thread effective capacity — the same fitFraction * capacity
+// constraint the cost model's mStar level selection uses — yields
+// cache-capacity-constrained tile products that land inside the model's
+// sweet spots before a single evaluation is spent. Seeds are injected via
+// GDE3Options::initialSeeds, which overwrites initial population slots
+// without touching the RNG stream, so seeding is deterministic and
+// bit-reproducible (docs/search.md, "Analytic seeding").
+#pragma once
+
+#include "tuning/kernel_problem.h"
+
+namespace motune::tuning {
+
+struct SeedOptions {
+  /// Cap on the number of seeds produced. Candidates are interleaved
+  /// round-robin across thread-count candidates before truncation, so the
+  /// cap never starves a thread count entirely.
+  std::size_t maxSeeds = 8;
+  /// Fraction of a cache level's per-thread effective capacity one tile's
+  /// working set is solved to occupy; matches perf::CostParams::fitFraction
+  /// so seeds sit exactly where the cost model's level-fit test flips.
+  double fitFraction = 0.70;
+};
+
+/// Derives high-quality starting configurations for `problem`: for every
+/// cache level, thread-count candidate (serial / one socket / all cores)
+/// and tile-shape profile (uniform, innermost-heavy), bisects a tile-scale
+/// factor until the tile footprint meets the capacity constraint. Pure
+/// function of the problem and options — deterministic, no RNG, no
+/// objective evaluations. Duplicates are removed; at most
+/// `options.maxSeeds` configurations are returned.
+std::vector<Config> analyticSeeds(const KernelTuningProblem& problem,
+                                  const SeedOptions& options = {});
+
+} // namespace motune::tuning

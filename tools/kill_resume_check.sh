@@ -11,6 +11,11 @@
 #                 burst of checkpointed jobs in flight), restart it on the
 #                 same state dir, and diff every job's artifact against a
 #                 golden uninterrupted daemon run.
+#                 "island": run a 2-island search as two worker processes
+#                 sharing a session directory, SIGKILL one island mid-run
+#                 (its peer keeps polling the shared migrant journal),
+#                 resume the victim, merge, and diff the merged front
+#                 against an uninterrupted in-process golden run.
 #   KILL_AFTER    seconds before the SIGKILL (default 1.2)
 #   EVAL_DELAY    injected per-evaluation delay that stretches the victim
 #                 run so the kill lands mid-search (default 0.002)
@@ -85,6 +90,61 @@ if [ "$MODE" = "serve" ]; then
       "$WORK/resumed_artifacts/$(basename "$golden")" --ignore session
   done
   echo "serve kill-resume check passed"
+  exit 0
+fi
+
+if [ "$MODE" = "island" ]; then
+  ISLAND_ARGS=(tune --kernel mm --n 600 --seed 7 --islands 2)
+  mkdir -p "$WORK"
+  rm -rf "$WORK/session" "$WORK/golden.json" "$WORK/resumed.json"
+
+  echo "== golden run (uninterrupted, in-process islands, no session)"
+  "$MOTUNE" "${ISLAND_ARGS[@]}" --out "$WORK/golden.json" > /dev/null
+
+  echo "== two worker processes; island 1 gets ${EVAL_DELAY}s per evaluation"
+  "$MOTUNE" "${ISLAND_ARGS[@]}" --island-index 0 \
+    --checkpoint "$WORK/session" > "$WORK/island0.log" 2>&1 &
+  PEER=$!
+  MOTUNE_FAULT_SPEC="delay@*:${EVAL_DELAY}" \
+    "$MOTUNE" "${ISLAND_ARGS[@]}" --island-index 1 \
+    --checkpoint "$WORK/session" > "$WORK/island1.log" 2>&1 &
+  VICTIM=$!
+  sleep "$KILL_AFTER"
+  if kill -KILL "$VICTIM" 2> /dev/null; then
+    echo "   SIGKILL delivered to island 1 after ${KILL_AFTER}s"
+  fi
+  wait "$VICTIM" 2> /dev/null || true
+
+  VICTIM_JOURNAL="$WORK/session/island-1/session.jsonl"
+  if grep -q '"type":"finish"' "$VICTIM_JOURNAL" 2> /dev/null; then
+    # The victim outpaced the kill. Simulate the crash instead: drop the
+    # finish record, truncate the journal and leave a torn tail — the
+    # exact on-disk state a kill produces. The already-published migrant
+    # records stay (they are immutable and peers may have read them); the
+    # resumed island re-offers those rounds and the journal refuses the
+    # duplicates.
+    echo "   island 1 finished before the kill; truncating its journal"
+    grep -v '"type":"finish"' "$VICTIM_JOURNAL" > "$WORK/session/cut"
+    TOTAL=$(wc -l < "$WORK/session/cut")
+    head -n "$((TOTAL * 6 / 10))" "$WORK/session/cut" > "$VICTIM_JOURNAL"
+    printf '{"type":"eval","config":[9,' >> "$VICTIM_JOURNAL"
+    rm -f "$WORK/session/cut"
+  fi
+
+  echo "== resume island 1; island 0 unblocks as the replayed rounds land"
+  "$MOTUNE" "${ISLAND_ARGS[@]}" --island-index 1 \
+    --resume "$WORK/session" > "$WORK/island1_resume.log" 2>&1
+  wait "$PEER"
+
+  echo "== merge the finished islands"
+  "$MOTUNE" "${ISLAND_ARGS[@]}" --resume "$WORK/session" \
+    --out "$WORK/resumed.json" > /dev/null
+
+  echo "== compare (ignoring the session provenance block)"
+  python3 "$HERE/compare_artifacts.py" "$WORK/golden.json" \
+    "$WORK/resumed.json" --ignore session
+
+  echo "island kill-resume check passed"
   exit 0
 fi
 

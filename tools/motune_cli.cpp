@@ -143,6 +143,10 @@ struct FlagHelp {
   const char* flag;  ///< without the leading "--"
   const char* value; ///< value placeholder; "" for pure flags
   const char* text;
+  /// Feature area ("search", "checkpoint", "surrogate", "fault"); flags
+  /// sharing a group are printed together under a group heading, "" flags
+  /// lead the list. Purely presentational — parsing ignores it.
+  const char* group = "";
 };
 
 struct CommandHelp {
@@ -163,40 +167,67 @@ const std::vector<CommandHelp>& commandHelp() {
            {"source", "FILE", "tune a textual kernel instead (ir/parse.h)"},
            {"machine", "NAME", "westmere or barcelona (default: westmere)"},
            {"n", "N", "problem size; 0 = the kernel's paper size"},
-           {"algorithm", "NAME",
-            "rsgde3 (default), gde3, nsga2 or random"},
-           {"seed", "S", "RNG seed for the search (default: 1)"},
            {"objectives", "LIST",
             "comma list of time,resources,energy (default: time,resources)"},
-           {"budget", "N", "evaluation budget for --algorithm random"},
            {"out", "FILE", "save the tuning artifact as JSON"},
            {"trace", "FILE", "stream the structured run trace; - = stdout"},
            {"trace-format", "FMT", "jsonl (default) or chrome"},
            {"metrics", "FILE", "write the final metric registry as JSON"},
            {"validate", "0|1",
             "replay the front through the cache simulator"},
+           {"algorithm", "NAME",
+            "rsgde3 (default), gde3, nsga2 or random", "search"},
+           {"seed", "S", "RNG seed for the search (default: 1)", "search"},
+           {"budget", "N", "evaluation budget for --algorithm random",
+            "search"},
+           {"seed-analytic", "0|1",
+            "seed the initial population with cache-capacity-derived "
+            "configurations from the performance model (default: 0)",
+            "search"},
+           {"islands", "N",
+            "island-model search: N independent islands exchanging "
+            "top-ranked migrants on a ring (default: 1 = off)", "search"},
+           {"migrate-every", "N",
+            "generations between island migration rounds (default: 5)",
+            "search"},
+           {"migrants", "M",
+            "emigrants per island per migration round (default: 3)",
+            "search"},
+           {"island-index", "K",
+            "worker mode: run only island K against the shared --checkpoint "
+            "directory; merge later with --islands N --resume DIR",
+            "search"},
            {"checkpoint", "DIR",
-            "journal the session to DIR/session.jsonl (crash-safe)"},
+            "journal the session to DIR/session.jsonl (crash-safe)",
+            "checkpoint"},
            {"checkpoint-every", "N",
-            "generations between engine checkpoints (default: 1)"},
+            "generations between engine checkpoints (default: 1)",
+            "checkpoint"},
            {"resume", "DIR",
-            "continue a killed session from DIR (bit-identical)"},
+            "continue a killed session from DIR (bit-identical)",
+            "checkpoint"},
            {"surrogate-keep", "X",
             "fraction (0,1] of each generation sent to full evaluation; "
-            "the rest is culled by the online surrogate (default: 1 = off)"},
+            "the rest is culled by the online surrogate (default: 1 = off)",
+            "surrogate"},
            {"warm-start", "DIRS",
             "comma list of session directories whose journals pre-train "
-            "the surrogate (incompatible journals are skipped)"},
+            "the surrogate (incompatible journals are skipped)",
+            "surrogate"},
            {"fault-tolerant", "0|1",
-            "retry/quarantine failing evaluations instead of aborting"},
+            "retry/quarantine failing evaluations instead of aborting",
+            "fault"},
            {"eval-retries", "N",
-            "retries per configuration after the first attempt (default: 2)"},
+            "retries per configuration after the first attempt (default: 2)",
+            "fault"},
            {"eval-timeout", "S",
-            "per-attempt wall-clock limit in seconds; 0 = none"},
+            "per-attempt wall-clock limit in seconds; 0 = none", "fault"},
            {"eval-backoff", "S",
-            "base backoff between retries, doubled per attempt (default: 0)"},
+            "base backoff between retries, doubled per attempt (default: 0)",
+            "fault"},
            {"quarantine-after", "N",
-            "exhausted attempts before a configuration is banned (default: 3)"},
+            "exhausted attempts before a configuration is banned "
+            "(default: 3)", "fault"},
        }},
       {"report", "analyze a JSONL trace into a Markdown/JSON report",
        "motune report --trace FILE.jsonl [options]",
@@ -315,6 +346,12 @@ const std::vector<CommandHelp>& commandHelp() {
             "fraction (0,1] of each generation fully evaluated; below 1 "
             "the daemon also warm-starts the surrogate from finished "
             "compatible jobs"},
+           {"islands", "N",
+            "island-model search with N islands (rsgde3/gde3 only; "
+            "default: 1 = off)"},
+           {"seed-analytic", "0|1",
+            "seed the initial population from the performance model "
+            "(rsgde3/gde3 only; default: 0)"},
            {"priority", "N",
             "scheduling priority; higher runs first (default: 0)"},
            {"no-cache",
@@ -370,18 +407,33 @@ int printGlobalHelp() {
 }
 
 int printCommandHelp(const std::string& name) {
+  const auto printFlag = [](const FlagHelp& f) {
+    std::string head = "--" + std::string(f.flag);
+    if (f.value[0] != '\0') head += " " + std::string(f.value);
+    std::cout << "  ";
+    std::cout.width(24);
+    std::cout << std::left << head;
+    std::cout << f.text << "\n";
+  };
   for (const CommandHelp& c : commandHelp()) {
     if (name != c.name) continue;
     std::cout << "usage: " << c.usage << "\n\n" << c.summary << "\n";
     if (!c.flags.empty()) {
+      // Ungrouped flags lead under "options:"; grouped flags follow under
+      // one heading per feature area, in first-appearance order.
       std::cout << "\noptions:\n";
+      for (const FlagHelp& f : c.flags)
+        if (f.group[0] == '\0') printFlag(f);
+      std::vector<std::string> groups;
       for (const FlagHelp& f : c.flags) {
-        std::string head = "--" + std::string(f.flag);
-        if (f.value[0] != '\0') head += " " + std::string(f.value);
-        std::cout << "  ";
-        std::cout.width(24);
-        std::cout << std::left << head;
-        std::cout << f.text << "\n";
+        if (f.group[0] == '\0') continue;
+        if (std::find(groups.begin(), groups.end(), f.group) == groups.end())
+          groups.push_back(f.group);
+      }
+      for (const std::string& group : groups) {
+        std::cout << "\n" << group << " options:\n";
+        for (const FlagHelp& f : c.flags)
+          if (group == f.group) printFlag(f);
       }
     }
     return 0;
@@ -628,6 +680,16 @@ int cmdTune(const Args& args) {
     while (std::getline(dirs, dir, ','))
       if (!dir.empty()) options.warmStartDirs.push_back(dir);
   }
+
+  // Distributed search: analytic seeding and the island model (validated
+  // inside the tuner/island layer — GDE3 family only, islands exclude the
+  // surrogate, worker mode needs the shared checkpoint directory).
+  options.seedAnalytic = args.get("seed-analytic", "0") != "0";
+  options.islands = std::stoi(args.get("islands", "1"));
+  options.migrateEvery = std::stoi(args.get("migrate-every", "5"));
+  options.islandMigrants = std::stoull(args.get("migrants", "3"));
+  if (args.has("island-index"))
+    options.islandIndex = std::stoi(args.options.at("island-index"));
 
   options.fault.enabled = args.get("fault-tolerant", "0") != "0";
   options.fault.maxRetries = std::stoi(args.get("eval-retries", "2"));
@@ -1003,6 +1065,8 @@ serve::JobSpec specFromArgs(const Args& args) {
   spec.objectives = parseObjectives(args.get("objectives", "time,resources"));
   spec.budget = std::stoull(args.get("budget", "1000"));
   spec.surrogateKeep = std::stod(args.get("surrogate-keep", "1"));
+  spec.islands = std::stoi(args.get("islands", "1"));
+  spec.seedAnalytic = args.get("seed-analytic", "0") != "0";
   return spec;
 }
 
